@@ -1,0 +1,42 @@
+//! **Figure 13** — YCSB throughput across all seven systems, with (a)
+//! zipfian and (b) uniform request distributions (1 KB values).
+//!
+//! The paper's shape: PebblesDB wins the write-only loads (it avoids
+//! merge work entirely), BoLT beats LevelDB ≈3.2× and LVL64MB on LA;
+//! BoLT/HBoLT win or tie most mixed workloads; RocksDB's read throughput
+//! is strong; LevelDB is the slowest writer.
+//!
+//! Run: `cargo bench -p bolt-bench --bench fig13_ycsb`
+
+use bolt_bench::{fig13_profiles, kops, print_table, run_suite, write_csv, SuiteConfig};
+
+fn run_part(part: &str, uniform: bool) {
+    let cfg = SuiteConfig {
+        uniform,
+        ..SuiteConfig::default()
+    };
+    let mut rows = Vec::new();
+    for (name, opts) in fig13_profiles() {
+        let result = run_suite(name, opts, &cfg);
+        let mut row = vec![name.to_string()];
+        row.extend(result.phases.iter().map(|p| kops(p.throughput)));
+        rows.push(row);
+    }
+    let headers = ["system", "LA", "A", "B", "C", "F", "D", "LE", "E"];
+    let dist = if uniform { "uniform" } else { "zipfian" };
+    print_table(
+        &format!("Fig 13({part}) — YCSB throughput ({dist}), kops/s"),
+        &headers,
+        &rows,
+    );
+    write_csv(&format!("fig13{part}_ycsb_{dist}"), &headers, &rows);
+}
+
+fn main() {
+    run_part("a", false);
+    run_part("b", true);
+    println!(
+        "\npaper shape: Pebbles > BoLT > LVL64MB > LevelDB on the loads;\n\
+         BoLT/HBoLT lead most mixed workloads; Rocks reads are strong."
+    );
+}

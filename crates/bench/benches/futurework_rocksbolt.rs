@@ -1,0 +1,38 @@
+//! **Future-work bench** — the paper's §4.1 closing claim: "we can replace
+//! the LSM-tree implementation of RocksDB with BoLT to improve its
+//! performance. We leave the application of BoLT in RocksDB as our future
+//! work." Because every system here is a profile over one engine, that
+//! future work is `Options::rocksbolt()` — RocksDB's sizing, triggers, and
+//! compact record encoding with BoLT's compaction files, logical SSTables,
+//! group + settled compaction, and fd cache.
+//!
+//! Run: `cargo bench -p bolt-bench --bench futurework_rocksbolt`
+
+use bolt_bench::bolt_core::Options;
+use bolt_bench::{kops, mb, print_table, run_suite, write_csv, SuiteConfig};
+
+fn main() {
+    let cfg = SuiteConfig::default();
+    let mut rows = Vec::new();
+    for (name, opts) in [
+        ("Rocks", Options::rocksdb()),
+        ("RocksBoLT", Options::rocksbolt()),
+    ] {
+        let result = run_suite(name, opts, &cfg);
+        let mut row = vec![name.to_string()];
+        row.extend(result.phases.iter().map(|p| kops(p.throughput)));
+        row.push(result.io.fsync_calls.to_string());
+        row.push(mb(result.bytes_written));
+        rows.push(row);
+    }
+    let headers = [
+        "system", "LA", "A", "B", "C", "F", "D", "LE", "E", "fsync", "written_MB",
+    ];
+    print_table(
+        "Future work — BoLT mechanisms inside the RocksDB profile",
+        &headers,
+        &rows,
+    );
+    write_csv("futurework_rocksbolt", &headers, &rows);
+    println!("\nthe paper's expectation: BoLT's barrier reduction carries over to RocksDB.");
+}

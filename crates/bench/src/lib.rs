@@ -1,0 +1,369 @@
+//! # bolt-bench
+//!
+//! Shared harness for the figure-regeneration benchmarks. Each bench target
+//! under `benches/` reproduces one table/figure of the BoLT paper
+//! (MIDDLEWARE 2020); this crate holds the common scaffolding: scaled
+//! experiment sizing, environment construction, the YCSB suite driver, and
+//! result formatting (stdout tables + CSV files under `target/figures/`).
+//!
+//! ## Scaling
+//!
+//! The paper's experiments load 50–100 GB onto a SATA SSD. The harness
+//! runs the same workloads at `1/64` capacity scale on the simulated SSD
+//! (`bolt_env::SimEnv`), with every governing *ratio* preserved —
+//! memtable : level1 : multiplier, SSTable : logical SSTable, group budget.
+//! Set `BOLT_BENCH_SCALE` (default `1.0`) to multiply record/op counts,
+//! e.g. `BOLT_BENCH_SCALE=4 cargo bench -p bolt-bench --bench fig13_ycsb`.
+
+#![warn(missing_docs)]
+
+use std::io::Write as _;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+use bolt_core::{Db, Options};
+use bolt_env::{DeviceModel, Env, IoSnapshot, SimEnv};
+use bolt_ycsb::{load_db, run_workload, BenchConfig, RunResult, Workload};
+
+pub use bolt_core;
+pub use bolt_env;
+pub use bolt_ycsb;
+
+/// Capacity scale applied to every profile (1/64 of the paper's sizes).
+pub const CAPACITY_SCALE: f64 = 1.0 / 64.0;
+
+/// Default time scale of the simulated SSD (1.0 = real delays).
+pub const TIME_SCALE: f64 = 1.0;
+
+/// The simulated SSD used by every figure bench.
+///
+/// Capacity knobs are scaled 1/64, so the device is scaled 1/8 in both
+/// sequential bandwidth and barrier latency. That preserves the paper's
+/// governing ratio — a 2 MB SSTable at 500 MB/s takes 4 ms against a 2 ms
+/// barrier (≈50 % barrier overhead); a scaled 32 KB SSTable at 64 MB/s
+/// takes 0.5 ms against a 0.25 ms barrier (≈50 %) — while keeping CPU time
+/// negligible relative to modeled I/O, exactly as on real hardware.
+pub fn bench_device() -> DeviceModel {
+    DeviceModel {
+        write_bandwidth: 64 * 1024 * 1024,
+        read_bandwidth: 70 * 1024 * 1024,
+        read_base_latency: std::time::Duration::from_micros(30),
+        // A consumer-SSD cache flush costs 1–5 ms; 1 ms here (unscaled —
+        // barrier cost does not shrink with capacity).
+        barrier_latency: std::time::Duration::from_millis(1),
+        time_scale: TIME_SCALE,
+    }
+}
+
+/// Multiplier from `BOLT_BENCH_SCALE` (default 1.0).
+pub fn bench_scale() -> f64 {
+    std::env::var("BOLT_BENCH_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0)
+}
+
+/// Scale an operation count by [`bench_scale`].
+pub fn scaled_ops(base: u64) -> u64 {
+    ((base as f64) * bench_scale()).max(1.0) as u64
+}
+
+/// A fresh simulated-SSD environment with the calibrated bench model.
+pub fn sim_env() -> Arc<dyn Env> {
+    Arc::new(SimEnv::new(bench_device()))
+}
+
+/// Open a database on `env` with `opts` scaled to laptop size.
+pub fn open_db(env: &Arc<dyn Env>, opts: Options) -> Arc<Db> {
+    Arc::new(
+        Db::open(Arc::clone(env), "bench-db", opts.scaled(CAPACITY_SCALE))
+            .expect("open bench db"),
+    )
+}
+
+/// The system profiles of Fig 13, in the paper's presentation order.
+pub fn fig13_profiles() -> Vec<(&'static str, Options)> {
+    vec![
+        ("Level", Options::leveldb()),
+        ("LVL64MB", Options::leveldb_64mb()),
+        ("Hyper", Options::hyperleveldb()),
+        ("Pebbles", Options::pebblesdb()),
+        ("Rocks", Options::rocksdb()),
+        ("BoLT", Options::bolt()),
+        ("HBoLT", Options::hyperbolt()),
+    ]
+}
+
+/// The Fig 12(a) ablation ladder on LevelDB.
+pub fn fig12a_profiles() -> Vec<(&'static str, Options)> {
+    vec![
+        ("LevelDB", Options::leveldb()),
+        ("+LS", Options::bolt_ls()),
+        ("+GC", Options::bolt_gc()),
+        ("+STL", Options::bolt_stl()),
+        ("+FC", Options::bolt()),
+    ]
+}
+
+/// The Fig 12(b) ablation ladder on HyperLevelDB.
+pub fn fig12b_profiles() -> Vec<(&'static str, Options)> {
+    let on_hyper = |mut opts: Options| {
+        let hyper = Options::hyperleveldb();
+        opts.sstable_bytes = hyper.sstable_bytes;
+        opts.level0_slowdown_trigger = hyper.level0_slowdown_trigger;
+        opts.level0_stop_trigger = hyper.level0_stop_trigger;
+        opts.seek_compaction = hyper.seek_compaction;
+        opts
+    };
+    vec![
+        ("Hyper", Options::hyperleveldb()),
+        ("+LS", on_hyper(Options::bolt_ls())),
+        ("+GC", on_hyper(Options::bolt_gc())),
+        ("+STL", on_hyper(Options::bolt_stl())),
+        ("+FC", Options::hyperbolt()),
+    ]
+}
+
+/// One phase's headline numbers.
+#[derive(Debug, Clone)]
+pub struct PhaseResult {
+    /// Workload name (LA, A, ..., LE, E).
+    pub phase: String,
+    /// Throughput in ops/s.
+    pub throughput: f64,
+    /// Selected latency percentiles in nanoseconds: (p50, p95, p99, p999).
+    pub latency: (u64, u64, u64, u64),
+    /// Full CDF of the phase's operations.
+    pub cdf: Vec<(u64, f64)>,
+}
+
+impl PhaseResult {
+    fn from_run(result: &RunResult) -> PhaseResult {
+        PhaseResult {
+            phase: result.workload.clone(),
+            throughput: result.throughput(),
+            latency: (
+                result.percentile(50.0),
+                result.percentile(95.0),
+                result.percentile(99.0),
+                result.percentile(99.9),
+            ),
+            cdf: result.overall.cdf(),
+        }
+    }
+}
+
+/// Results of a full YCSB suite run for one system.
+#[derive(Debug)]
+pub struct SuiteResult {
+    /// System label.
+    pub system: String,
+    /// Per-phase results in run order (LA, A, B, C, F, D, LE, E).
+    pub phases: Vec<PhaseResult>,
+    /// I/O counters accumulated over the first database (LA..D).
+    pub io: IoSnapshot,
+    /// Total bytes written across both databases.
+    pub bytes_written: u64,
+    /// Full per-phase run results for CDF figures.
+    pub op_results: Vec<(String, RunResult)>,
+}
+
+/// Workload-suite sizing.
+#[derive(Debug, Clone)]
+pub struct SuiteConfig {
+    /// Records loaded in LA and LE.
+    pub records: u64,
+    /// Operations per transactional phase.
+    pub ops: u64,
+    /// Value size in bytes.
+    pub value_len: usize,
+    /// Uniform instead of zipfian request distribution for A/B/C/F/E.
+    pub uniform: bool,
+    /// Client threads.
+    pub threads: usize,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        SuiteConfig {
+            records: scaled_ops(30_000),
+            ops: scaled_ops(10_000),
+            value_len: 256,
+            uniform: false,
+            threads: 4,
+        }
+    }
+}
+
+/// Run the paper's YCSB order — LA, A, B, C, F, D, delete DB, LE, E — for
+/// one system profile on a fresh simulated SSD.
+pub fn run_suite(system: &str, opts: Options, cfg: &SuiteConfig) -> SuiteResult {
+    let env = sim_env();
+    let db = open_db(&env, opts.clone());
+    let bench_cfg = BenchConfig {
+        record_count: cfg.records,
+        op_count: cfg.ops,
+        threads: cfg.threads,
+        value_len: cfg.value_len,
+        seed: 0xb01d,
+    };
+
+    let mut phases = Vec::new();
+    let mut op_results = Vec::new();
+
+    let load = load_db(&db, &bench_cfg).expect("load A");
+    let mut load_phase = PhaseResult::from_run(&load);
+    load_phase.phase = "LA".into();
+    phases.push(load_phase);
+    op_results.push(("LA".into(), load));
+
+    let dist = if cfg.uniform {
+        bolt_ycsb::RequestDistribution::Uniform
+    } else {
+        bolt_ycsb::RequestDistribution::Zipfian
+    };
+    let cursor = Arc::new(AtomicU64::new(cfg.records));
+    for workload in [
+        Workload::a().with_distribution(dist),
+        Workload::b().with_distribution(dist),
+        Workload::c().with_distribution(dist),
+        Workload::f().with_distribution(dist),
+        Workload::d(),
+    ] {
+        let result = run_workload(&db, &workload, &bench_cfg, &cursor).expect(workload.name);
+        phases.push(PhaseResult::from_run(&result));
+        op_results.push((workload.name.to_string(), result));
+    }
+    let io_first = env.stats().snapshot();
+    db.close().expect("close");
+
+    // Delete database, Load E, E.
+    let env2 = sim_env();
+    let db = open_db(&env2, opts);
+    let load = load_db(&db, &bench_cfg).expect("load E");
+    let mut load_phase = PhaseResult::from_run(&load);
+    load_phase.phase = "LE".into();
+    phases.push(load_phase);
+    op_results.push(("LE".into(), load));
+
+    let cursor = Arc::new(AtomicU64::new(cfg.records));
+    let e_cfg = BenchConfig {
+        // Scans touch ~50 records each; run fewer of them.
+        op_count: (cfg.ops / 8).max(200),
+        ..bench_cfg
+    };
+    let result = run_workload(
+        &db,
+        &Workload::e().with_distribution(dist),
+        &e_cfg,
+        &cursor,
+    )
+    .expect("E");
+    phases.push(PhaseResult::from_run(&result));
+    op_results.push(("E".into(), result));
+    db.close().expect("close");
+    let io_second = env2.stats().snapshot();
+
+    SuiteResult {
+        system: system.to_string(),
+        phases,
+        bytes_written: io_first.bytes_written + io_second.bytes_written,
+        io: io_first,
+        op_results,
+    }
+}
+
+/// Print an aligned table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let header_line: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{h:>width$}", width = widths[i]))
+        .collect();
+    println!("{}", header_line.join("  "));
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>width$}", width = widths[i]))
+            .collect();
+        println!("{}", line.join("  "));
+    }
+}
+
+/// Write rows as CSV under `target/figures/<name>.csv`.
+pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
+    let dir = std::path::Path::new("target/figures");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.csv"));
+    let Ok(mut file) = std::fs::File::create(&path) else {
+        return;
+    };
+    let _ = writeln!(file, "{}", headers.join(","));
+    for row in rows {
+        let _ = writeln!(file, "{}", row.join(","));
+    }
+    println!("(csv written to {})", path.display());
+}
+
+/// Format ops/s in thousands with one decimal.
+pub fn kops(v: f64) -> String {
+    format!("{:.1}", v / 1000.0)
+}
+
+/// Format nanoseconds as microseconds.
+pub fn us(nanos: u64) -> String {
+    format!("{:.0}", nanos as f64 / 1000.0)
+}
+
+/// Format bytes as MB with one decimal.
+pub fn mb(bytes: u64) -> String {
+    format!("{:.1}", bytes as f64 / (1 << 20) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_ops_respects_default() {
+        assert_eq!(scaled_ops(100), 100);
+    }
+
+    #[test]
+    fn profiles_cover_the_paper() {
+        assert_eq!(fig13_profiles().len(), 7);
+        assert_eq!(fig12a_profiles().len(), 5);
+        assert_eq!(fig12b_profiles().len(), 5);
+    }
+
+    #[test]
+    fn tiny_suite_runs_end_to_end() {
+        let cfg = SuiteConfig {
+            records: 2_000,
+            ops: 500,
+            value_len: 64,
+            uniform: false,
+            threads: 2,
+        };
+        let result = run_suite("BoLT", Options::bolt(), &cfg);
+        assert_eq!(result.phases.len(), 8);
+        assert_eq!(result.phases[0].phase, "LA");
+        assert_eq!(result.phases.last().unwrap().phase, "E");
+        for phase in &result.phases {
+            assert!(phase.throughput > 0.0, "phase {}", phase.phase);
+        }
+        assert!(result.bytes_written > 0);
+    }
+}

@@ -1,0 +1,113 @@
+//! CRC32C (Castagnoli) with LevelDB-compatible masking.
+//!
+//! Every block persisted by the WAL, SSTable, and MANIFEST formats carries a
+//! CRC32C. The checksum is *masked* before being stored, as in LevelDB, so
+//! that computing the CRC of data that itself embeds CRCs stays robust.
+
+const POLY: u32 = 0x82f6_3b78; // reversed Castagnoli polynomial
+
+/// 8-way slicing tables generated at first use.
+struct Tables([[u32; 256]; 8]);
+
+fn make_tables() -> Tables {
+    let mut t = [[0u32; 256]; 8];
+    for i in 0..256u32 {
+        let mut crc = i;
+        for _ in 0..8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+        }
+        t[0][i as usize] = crc;
+    }
+    for i in 0..256usize {
+        for k in 1..8usize {
+            t[k][i] = (t[k - 1][i] >> 8) ^ t[0][(t[k - 1][i] & 0xff) as usize];
+        }
+    }
+    Tables(t)
+}
+
+fn tables() -> &'static Tables {
+    use std::sync::OnceLock;
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(make_tables)
+}
+
+/// Compute the CRC32C of `data`.
+pub fn crc32c(data: &[u8]) -> u32 {
+    extend(0, data)
+}
+
+/// Extend a running CRC32C `crc` with `data`.
+pub fn extend(crc: u32, data: &[u8]) -> u32 {
+    let t = &tables().0;
+    let mut crc = !crc;
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        let low = crc ^ u32::from_le_bytes(chunk[..4].try_into().unwrap());
+        let high = u32::from_le_bytes(chunk[4..].try_into().unwrap());
+        crc = t[7][(low & 0xff) as usize]
+            ^ t[6][((low >> 8) & 0xff) as usize]
+            ^ t[5][((low >> 16) & 0xff) as usize]
+            ^ t[4][(low >> 24) as usize]
+            ^ t[3][(high & 0xff) as usize]
+            ^ t[2][((high >> 8) & 0xff) as usize]
+            ^ t[1][((high >> 16) & 0xff) as usize]
+            ^ t[0][(high >> 24) as usize];
+    }
+    for &byte in chunks.remainder() {
+        crc = (crc >> 8) ^ t[0][((crc ^ u32::from(byte)) & 0xff) as usize];
+    }
+    !crc
+}
+
+const MASK_DELTA: u32 = 0xa282_ead8;
+
+/// Mask a CRC before storing it alongside the data it covers.
+pub fn mask(crc: u32) -> u32 {
+    crc.rotate_right(15).wrapping_add(MASK_DELTA)
+}
+
+/// Invert [`mask`].
+pub fn unmask(masked: u32) -> u32 {
+    masked.wrapping_sub(MASK_DELTA).rotate_left(15)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard CRC32C test vectors.
+        assert_eq!(crc32c(b""), 0);
+        assert_eq!(crc32c(b"123456789"), 0xe306_9283);
+        assert_eq!(crc32c(&[0u8; 32]), 0x8a91_36aa);
+        assert_eq!(crc32c(&[0xffu8; 32]), 0x62a8_ab43);
+        let ascending: Vec<u8> = (0u8..32).collect();
+        assert_eq!(crc32c(&ascending), 0x46dd_794e);
+    }
+
+    #[test]
+    fn extend_equals_whole() {
+        let data = b"hello world, this is crc32c extension";
+        for split in 0..data.len() {
+            let (a, b) = data.split_at(split);
+            assert_eq!(extend(crc32c(a), b), crc32c(data));
+        }
+    }
+
+    #[test]
+    fn values_differ_per_input() {
+        assert_ne!(crc32c(b"a"), crc32c(b"foo"));
+        assert_ne!(crc32c(b"foo"), crc32c(b"bar"));
+    }
+
+    #[test]
+    fn mask_roundtrip_and_changes_value() {
+        let crc = crc32c(b"foo");
+        assert_ne!(mask(crc), crc);
+        assert_ne!(mask(mask(crc)), crc);
+        assert_eq!(unmask(mask(crc)), crc);
+        assert_eq!(unmask(unmask(mask(mask(crc)))), crc);
+    }
+}

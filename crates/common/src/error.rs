@@ -1,0 +1,108 @@
+//! Error and result types shared by every crate in the workspace.
+
+use std::fmt;
+
+/// The error type returned by all fallible operations in the BoLT workspace.
+///
+/// The variants mirror the status codes used by LevelDB-family stores so that
+/// engine code can react to the *category* of failure (e.g. treat
+/// [`Error::Corruption`] from a torn WAL tail as end-of-log during recovery).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// An I/O error from the storage substrate (message carries context).
+    Io(String),
+    /// Data failed a checksum or structural validation.
+    Corruption(String),
+    /// The requested key (or file) does not exist.
+    NotFound,
+    /// The caller passed an argument that violates a documented contract.
+    InvalidArgument(String),
+    /// The operation cannot proceed in the current state (e.g. writing to a
+    /// database that is shutting down).
+    InvalidState(String),
+}
+
+impl Error {
+    /// Build an [`Error::Io`] from any displayable cause plus context.
+    pub fn io(context: impl fmt::Display) -> Self {
+        Error::Io(context.to_string())
+    }
+
+    /// Build an [`Error::Corruption`] with context.
+    pub fn corruption(context: impl fmt::Display) -> Self {
+        Error::Corruption(context.to_string())
+    }
+
+    /// Returns `true` if this is [`Error::NotFound`].
+    pub fn is_not_found(&self) -> bool {
+        matches!(self, Error::NotFound)
+    }
+
+    /// Returns `true` if this is [`Error::Corruption`].
+    pub fn is_corruption(&self) -> bool {
+        matches!(self, Error::Corruption(_))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(msg) => write!(f, "io error: {msg}"),
+            Error::Corruption(msg) => write!(f, "corruption: {msg}"),
+            Error::NotFound => write!(f, "not found"),
+            Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            Error::InvalidState(msg) => write!(f, "invalid state: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(err: std::io::Error) -> Self {
+        if err.kind() == std::io::ErrorKind::NotFound {
+            Error::NotFound
+        } else {
+            Error::Io(err.to_string())
+        }
+    }
+}
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_lowercase_and_concise() {
+        assert_eq!(Error::NotFound.to_string(), "not found");
+        assert_eq!(Error::io("disk on fire").to_string(), "io error: disk on fire");
+        assert_eq!(
+            Error::corruption("bad crc").to_string(),
+            "corruption: bad crc"
+        );
+    }
+
+    #[test]
+    fn io_error_conversion_maps_not_found() {
+        let err = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        assert!(Error::from(err).is_not_found());
+        let err = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        assert!(matches!(Error::from(err), Error::Io(_)));
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+
+    #[test]
+    fn category_predicates() {
+        assert!(Error::corruption("x").is_corruption());
+        assert!(!Error::NotFound.is_corruption());
+        assert!(!Error::io("x").is_not_found());
+    }
+}

@@ -1,0 +1,316 @@
+//! Log-bucketed latency histogram with percentile and CDF queries.
+//!
+//! The paper reports 95th/99th/99.9th-percentile tail latencies and full
+//! latency CDFs (Figs 4, 14, 16). [`Histogram`] records nanosecond samples in
+//! log-spaced buckets (~2% relative error) and supports lock-free concurrent
+//! recording via atomics, merging, percentile lookup, and CDF export.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-buckets per power of two; 32 gives ≤ ~3.1% relative bucket width.
+const SUBBUCKETS: usize = 32;
+const SUBBUCKET_BITS: u32 = 5;
+/// 64 exponents × 32 sub-buckets covers the full `u64` range.
+const NUM_BUCKETS: usize = 64 * SUBBUCKETS;
+
+fn bucket_for(value: u64) -> usize {
+    if value < SUBBUCKETS as u64 {
+        return value as usize;
+    }
+    let exp = 63 - value.leading_zeros();
+    let sub = (value >> (exp - SUBBUCKET_BITS)) as usize & (SUBBUCKETS - 1);
+    ((exp - SUBBUCKET_BITS + 1) as usize) * SUBBUCKETS + sub
+}
+
+fn bucket_upper_bound(bucket: usize) -> u64 {
+    if bucket < SUBBUCKETS {
+        return bucket as u64;
+    }
+    let scale = bucket / SUBBUCKETS - 1;
+    let sub = (bucket % SUBBUCKETS + SUBBUCKETS) as u64;
+    // Highest value mapping to this bucket.
+    (sub << scale) + ((1u64 << scale) - 1)
+}
+
+/// A concurrent log-bucketed histogram of `u64` samples (typically
+/// nanoseconds).
+///
+/// Recording is wait-free (`fetch_add` on the target bucket); queries take a
+/// consistent-enough snapshot for benchmarking purposes.
+pub struct Histogram {
+    buckets: Box<[AtomicU64; NUM_BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    min: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("mean", &self.mean())
+            .field("p50", &self.percentile(50.0))
+            .field("p99", &self.percentile(99.0))
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// Create an empty histogram.
+    pub fn new() -> Self {
+        let buckets: Vec<AtomicU64> = (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let buckets: Box<[AtomicU64; NUM_BUCKETS]> =
+            buckets.into_boxed_slice().try_into().expect("sized");
+        Histogram {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_for(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Arithmetic mean, or 0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / count as f64
+        }
+    }
+
+    /// Largest recorded sample, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        if self.count() == 0 {
+            0
+        } else {
+            self.max.load(Ordering::Relaxed)
+        }
+    }
+
+    /// Smallest recorded sample, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count() == 0 {
+            0
+        } else {
+            self.min.load(Ordering::Relaxed)
+        }
+    }
+
+    /// Value at percentile `p` (0–100), with bucket-granularity error.
+    ///
+    /// Returns 0 for an empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let target = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= target {
+                return bucket_upper_bound(i).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Merge another histogram's samples into this one.
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min
+            .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Reset all samples.
+    pub fn clear(&self) {
+        for bucket in self.buckets.iter() {
+            bucket.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+    }
+
+    /// Export a CDF as `(value, cumulative_fraction)` points, one per
+    /// non-empty bucket — the format plotted in Figs 14 and 16.
+    pub fn cdf(&self) -> Vec<(u64, f64)> {
+        let total = self.count();
+        if total == 0 {
+            return Vec::new();
+        }
+        let mut points = Vec::new();
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            let n = bucket.load(Ordering::Relaxed);
+            if n > 0 {
+                seen += n;
+                points.push((
+                    bucket_upper_bound(i).min(self.max()),
+                    seen as f64 / total as f64,
+                ));
+            }
+        }
+        points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_mapping_is_monotonic_and_tight() {
+        let mut prev = 0usize;
+        for exp in 0..63 {
+            let v = 1u64 << exp;
+            let b = bucket_for(v);
+            assert!(b >= prev, "bucket regressed at {v}");
+            prev = b;
+            // The upper bound of a value's bucket is >= the value and within
+            // ~2x (actually within 1/32) of it.
+            let ub = bucket_upper_bound(b);
+            assert!(ub >= v);
+            assert!(ub <= v + v / 16 + 1, "bound too loose: {v} -> {ub}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.min(), 0);
+        assert!(h.cdf().is_empty());
+    }
+
+    #[test]
+    fn exact_small_values() {
+        let h = Histogram::new();
+        for v in 0..SUBBUCKETS as u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), SUBBUCKETS as u64);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), SUBBUCKETS as u64 - 1);
+        assert_eq!(h.percentile(100.0), SUBBUCKETS as u64 - 1);
+    }
+
+    #[test]
+    fn percentiles_of_uniform_distribution() {
+        let h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let p50 = h.percentile(50.0);
+        assert!((4800..=5300).contains(&p50), "p50 = {p50}");
+        let p99 = h.percentile(99.0);
+        assert!((9500..=10_000).contains(&p99), "p99 = {p99}");
+        assert_eq!(h.percentile(100.0), 10_000);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in 0..100 {
+            a.record(v);
+            b.record(v + 1000);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 200);
+        assert_eq!(a.min(), 0);
+        assert!(a.max() >= 1099);
+        let p75 = a.percentile(75.0);
+        assert!(p75 >= 1000, "p75 = {p75}");
+    }
+
+    #[test]
+    fn cdf_is_monotonic_and_ends_at_one() {
+        let h = Histogram::new();
+        for v in [1u64, 5, 5, 80, 1000, 1_000_000] {
+            h.record(v);
+        }
+        let cdf = h.cdf();
+        assert!(!cdf.is_empty());
+        let mut prev = 0.0;
+        for &(_, frac) in &cdf {
+            assert!(frac >= prev);
+            prev = frac;
+        }
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let h = Histogram::new();
+        h.record(42);
+        h.clear();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(99.0), 0);
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        use std::sync::Arc;
+        let h = Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 10_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 40_000);
+    }
+}

@@ -1,0 +1,474 @@
+//! Lock-free-read skiplist backing the memtable.
+//!
+//! Same concurrency contract as LevelDB's `db/skiplist.h`:
+//!
+//! * **Writers** must be externally synchronized (the engine inserts under
+//!   its write mutex).
+//! * **Readers** need no locks: next-pointers are published with release
+//!   stores and read with acquire loads, and nodes are never removed until
+//!   the whole list (and its [`Arena`]) is dropped.
+//!
+//! Entries are opaque byte strings ordered by a caller-provided
+//! [`KeyComparator`]; the memtable encodes `internal key ⊕ value` into a
+//! single entry and compares only the key part.
+
+use std::cmp::Ordering as CmpOrdering;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+
+use crate::arena::Arena;
+
+const MAX_HEIGHT: usize = 12;
+const BRANCHING: u32 = 4;
+
+/// Total order over skiplist entries.
+pub trait KeyComparator: Send + Sync {
+    /// Compare two entries.
+    fn compare(&self, a: &[u8], b: &[u8]) -> CmpOrdering;
+}
+
+impl<F> KeyComparator for F
+where
+    F: Fn(&[u8], &[u8]) -> CmpOrdering + Send + Sync,
+{
+    fn compare(&self, a: &[u8], b: &[u8]) -> CmpOrdering {
+        self(a, b)
+    }
+}
+
+#[repr(C)]
+struct Node {
+    key_ptr: *const u8,
+    key_len: usize,
+    height: usize,
+    // Variable-length array of `height` AtomicPtr<Node> follows.
+}
+
+impl Node {
+    unsafe fn tower(&self) -> *const AtomicPtr<Node> {
+        (self as *const Node).add(1) as *const AtomicPtr<Node>
+    }
+
+    unsafe fn next(&self, level: usize) -> *mut Node {
+        debug_assert!(level < self.height);
+        (*self.tower().add(level)).load(Ordering::Acquire)
+    }
+
+    unsafe fn set_next(&self, level: usize, node: *mut Node) {
+        debug_assert!(level < self.height);
+        (*self.tower().add(level)).store(node, Ordering::Release);
+    }
+
+    unsafe fn next_relaxed(&self, level: usize) -> *mut Node {
+        (*self.tower().add(level)).load(Ordering::Relaxed)
+    }
+
+    unsafe fn set_next_relaxed(&self, level: usize, node: *mut Node) {
+        (*self.tower().add(level)).store(node, Ordering::Relaxed);
+    }
+
+    unsafe fn key(&self) -> &[u8] {
+        std::slice::from_raw_parts(self.key_ptr, self.key_len)
+    }
+}
+
+/// An append-only skiplist over byte-string entries.
+pub struct SkipList<C: KeyComparator> {
+    arena: Arena,
+    head: *mut Node,
+    max_height: AtomicUsize,
+    len: AtomicUsize,
+    cmp: C,
+    rng_state: AtomicUsize,
+}
+
+// SAFETY: see module docs — single synchronized writer, lock-free readers,
+// nodes live as long as the list.
+unsafe impl<C: KeyComparator> Send for SkipList<C> {}
+unsafe impl<C: KeyComparator> Sync for SkipList<C> {}
+
+impl<C: KeyComparator> std::fmt::Debug for SkipList<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SkipList")
+            .field("len", &self.len())
+            .field("memory_usage", &self.memory_usage())
+            .finish()
+    }
+}
+
+impl<C: KeyComparator> SkipList<C> {
+    /// Create an empty list ordered by `cmp`.
+    pub fn new(cmp: C) -> Self {
+        let arena = Arena::new();
+        let head = unsafe { Self::alloc_node(&arena, &[], MAX_HEIGHT) };
+        SkipList {
+            arena,
+            head,
+            max_height: AtomicUsize::new(1),
+            len: AtomicUsize::new(0),
+            cmp,
+            rng_state: AtomicUsize::new(0x9e37_79b9),
+        }
+    }
+
+    /// Number of inserted entries.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// `true` when no entries have been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes reserved by the backing arena (keys + node towers).
+    pub fn memory_usage(&self) -> usize {
+        self.arena.memory_usage()
+    }
+
+    unsafe fn alloc_node(arena: &Arena, key: &[u8], height: usize) -> *mut Node {
+        let key_copy = arena.alloc_bytes(key);
+        let size = std::mem::size_of::<Node>() + height * std::mem::size_of::<AtomicPtr<Node>>();
+        let mem = arena.alloc(size, std::mem::align_of::<Node>());
+        let node = mem as *mut Node;
+        ptr::write(
+            node,
+            Node {
+                key_ptr: key_copy.as_ptr(),
+                key_len: key_copy.len(),
+                height,
+            },
+        );
+        let tower = (node.add(1)) as *mut AtomicPtr<Node>;
+        for i in 0..height {
+            ptr::write(tower.add(i), AtomicPtr::new(ptr::null_mut()));
+        }
+        node
+    }
+
+    fn random_height(&self) -> usize {
+        // xorshift; writer-only so relaxed is fine.
+        let mut x = self.rng_state.load(Ordering::Relaxed);
+        let mut height = 1;
+        loop {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            if height >= MAX_HEIGHT || (x as u32) % BRANCHING != 0 {
+                break;
+            }
+            height += 1;
+        }
+        self.rng_state.store(x, Ordering::Relaxed);
+        height
+    }
+
+    unsafe fn key_is_after_node(&self, key: &[u8], node: *mut Node) -> bool {
+        !node.is_null() && self.cmp.compare((*node).key(), key) == CmpOrdering::Less
+    }
+
+    /// Find the first node with entry >= `key`, filling `prev` per level.
+    unsafe fn find_greater_or_equal(
+        &self,
+        key: &[u8],
+        mut prev: Option<&mut [*mut Node; MAX_HEIGHT]>,
+    ) -> *mut Node {
+        let mut node = self.head;
+        let mut level = self.max_height.load(Ordering::Relaxed) - 1;
+        loop {
+            let next = (*node).next(level);
+            if self.key_is_after_node(key, next) {
+                node = next;
+            } else {
+                if let Some(prev) = prev.as_deref_mut() {
+                    prev[level] = node;
+                }
+                if level == 0 {
+                    return next;
+                }
+                level -= 1;
+            }
+        }
+    }
+
+    unsafe fn find_last(&self) -> *mut Node {
+        let mut node = self.head;
+        let mut level = self.max_height.load(Ordering::Relaxed) - 1;
+        loop {
+            let next = (*node).next(level);
+            if !next.is_null() {
+                node = next;
+            } else if level == 0 {
+                return node;
+            } else {
+                level -= 1;
+            }
+        }
+    }
+
+    /// Insert `key`.
+    ///
+    /// Duplicate entries are not permitted — the memtable guarantees
+    /// uniqueness by embedding a monotonically increasing sequence number in
+    /// every entry.
+    ///
+    /// # Safety (contract)
+    ///
+    /// Callers must serialize `insert` invocations externally; concurrent
+    /// readers are fine.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if an equal entry is already present.
+    pub fn insert(&self, key: &[u8]) {
+        unsafe {
+            let mut prev: [*mut Node; MAX_HEIGHT] = [ptr::null_mut(); MAX_HEIGHT];
+            let found = self.find_greater_or_equal(key, Some(&mut prev));
+            debug_assert!(
+                found.is_null() || self.cmp.compare((*found).key(), key) != CmpOrdering::Equal,
+                "duplicate skiplist entry"
+            );
+
+            let height = self.random_height();
+            let current_max = self.max_height.load(Ordering::Relaxed);
+            if height > current_max {
+                for slot in prev.iter_mut().take(height).skip(current_max) {
+                    *slot = self.head;
+                }
+                // Relaxed is sufficient: a concurrent reader seeing the old
+                // height simply skips the new upper levels.
+                self.max_height.store(height, Ordering::Relaxed);
+            }
+
+            let node = Self::alloc_node(&self.arena, key, height);
+            for level in 0..height {
+                (*node).set_next_relaxed(level, (*prev[level]).next_relaxed(level));
+                (*prev[level]).set_next(level, node);
+            }
+            self.len.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// `true` if an entry equal to `key` is present.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        unsafe {
+            let node = self.find_greater_or_equal(key, None);
+            !node.is_null() && self.cmp.compare((*node).key(), key) == CmpOrdering::Equal
+        }
+    }
+
+    /// Create an iterator over the list.
+    ///
+    /// The iterator observes entries inserted before each positioning call;
+    /// it is safe to use concurrently with a writer.
+    pub fn iter(&self) -> Iter<'_, C> {
+        Iter {
+            list: self,
+            node: ptr::null_mut(),
+        }
+    }
+}
+
+/// Iterator over a [`SkipList`]; positions must be established with one of
+/// the `seek` methods before calling [`Iter::key`] / [`Iter::next`].
+pub struct Iter<'a, C: KeyComparator> {
+    list: &'a SkipList<C>,
+    node: *mut Node,
+}
+
+// SAFETY: the raw node pointer refers to arena memory that lives as long as
+// the list and is only read through acquire loads; the iterator can move
+// between threads as freely as `&SkipList` itself.
+unsafe impl<C: KeyComparator> Send for Iter<'_, C> {}
+
+impl<C: KeyComparator> std::fmt::Debug for Iter<'_, C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("skiplist::Iter")
+            .field("valid", &self.valid())
+            .finish()
+    }
+}
+
+impl<'a, C: KeyComparator> Iter<'a, C> {
+    /// `true` when positioned on an entry.
+    pub fn valid(&self) -> bool {
+        !self.node.is_null()
+    }
+
+    /// The current entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator is not [`valid`](Self::valid).
+    pub fn key(&self) -> &'a [u8] {
+        assert!(self.valid(), "iterator not positioned");
+        unsafe { (*self.node).key() }
+    }
+
+    /// Advance to the next entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator is not [`valid`](Self::valid).
+    pub fn next(&mut self) {
+        assert!(self.valid(), "iterator not positioned");
+        unsafe {
+            self.node = (*self.node).next(0);
+        }
+    }
+
+    /// Position at the first entry >= `target`.
+    pub fn seek(&mut self, target: &[u8]) {
+        unsafe {
+            self.node = self.list.find_greater_or_equal(target, None);
+        }
+    }
+
+    /// Position at the first entry.
+    pub fn seek_to_first(&mut self) {
+        unsafe {
+            self.node = (*self.list.head).next(0);
+        }
+    }
+
+    /// Position at the last entry (or invalid if empty).
+    pub fn seek_to_last(&mut self) {
+        unsafe {
+            let last = self.list.find_last();
+            self.node = if last == self.list.head {
+                ptr::null_mut()
+            } else {
+                last
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn bytewise() -> impl KeyComparator {
+        |a: &[u8], b: &[u8]| a.cmp(b)
+    }
+
+    fn key(i: u32) -> Vec<u8> {
+        format!("key{i:08}").into_bytes()
+    }
+
+    #[test]
+    fn empty_list() {
+        let list = SkipList::new(bytewise());
+        assert!(list.is_empty());
+        assert!(!list.contains(b"anything"));
+        let mut it = list.iter();
+        assert!(!it.valid());
+        it.seek_to_first();
+        assert!(!it.valid());
+        it.seek_to_last();
+        assert!(!it.valid());
+        it.seek(b"x");
+        assert!(!it.valid());
+    }
+
+    #[test]
+    fn insert_and_lookup_sorted_order() {
+        let list = SkipList::new(bytewise());
+        // Insert in a scrambled order.
+        let mut order: Vec<u32> = (0..1000).collect();
+        let mut state = 12345u64;
+        for i in (1..order.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (state >> 33) as usize % (i + 1);
+            order.swap(i, j);
+        }
+        for &i in &order {
+            list.insert(&key(i));
+        }
+        assert_eq!(list.len(), 1000);
+        for i in 0..1000 {
+            assert!(list.contains(&key(i)), "missing {i}");
+        }
+        assert!(!list.contains(&key(1000)));
+
+        let mut it = list.iter();
+        it.seek_to_first();
+        for i in 0..1000 {
+            assert!(it.valid());
+            assert_eq!(it.key(), &key(i)[..]);
+            it.next();
+        }
+        assert!(!it.valid());
+    }
+
+    #[test]
+    fn seek_positions_at_lower_bound() {
+        let list = SkipList::new(bytewise());
+        for i in (0..100).map(|i| i * 2) {
+            list.insert(&key(i));
+        }
+        let mut it = list.iter();
+        it.seek(&key(10));
+        assert_eq!(it.key(), &key(10)[..]);
+        it.seek(&key(11));
+        assert_eq!(it.key(), &key(12)[..]);
+        it.seek(&key(199));
+        assert!(!it.valid());
+        it.seek_to_last();
+        assert_eq!(it.key(), &key(198)[..]);
+    }
+
+    #[test]
+    fn concurrent_readers_during_writes() {
+        let list = Arc::new(SkipList::new(|a: &[u8], b: &[u8]| a.cmp(b)));
+        let writer = {
+            let list = Arc::clone(&list);
+            std::thread::spawn(move || {
+                for i in 0..20_000u32 {
+                    list.insert(&key(i));
+                }
+            })
+        };
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let list = Arc::clone(&list);
+                std::thread::spawn(move || {
+                    let mut max_seen = 0usize;
+                    while max_seen < 20_000 {
+                        let mut it = list.iter();
+                        it.seek_to_first();
+                        let mut count = 0usize;
+                        let mut prev: Option<Vec<u8>> = None;
+                        while it.valid() {
+                            let k = it.key().to_vec();
+                            if let Some(p) = &prev {
+                                assert!(p < &k, "out of order during concurrent read");
+                            }
+                            prev = Some(k);
+                            count += 1;
+                            it.next();
+                        }
+                        assert!(count >= max_seen, "list shrank");
+                        max_seen = count;
+                    }
+                })
+            })
+            .collect();
+        writer.join().unwrap();
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(list.len(), 20_000);
+    }
+
+    #[test]
+    fn memory_usage_grows() {
+        let list = SkipList::new(bytewise());
+        let before = list.memory_usage();
+        for i in 0..100 {
+            list.insert(&key(i));
+        }
+        assert!(list.memory_usage() > before);
+    }
+}

@@ -1,0 +1,250 @@
+//! WriteBatch: the atomic unit of the write path and the WAL record format.
+//!
+//! Layout (LevelDB `write_batch.cc`):
+//!
+//! ```text
+//! sequence: fixed64     # of the first operation in the batch
+//! count:    fixed32
+//! records:  (kTypeValue  varkey varvalue |
+//!            kTypeDeletion varkey)*
+//! ```
+
+use bolt_common::coding::{put_length_prefixed_slice, Decoder};
+use bolt_common::{Error, Result};
+use bolt_table::ikey::{SequenceNumber, ValueType};
+
+use crate::memtable::MemTable;
+
+const HEADER_SIZE: usize = 12;
+
+/// A batch of updates applied (and logged) atomically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteBatch {
+    rep: Vec<u8>,
+    count: u32,
+}
+
+impl Default for WriteBatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WriteBatch {
+    /// Create an empty batch.
+    pub fn new() -> Self {
+        WriteBatch {
+            rep: vec![0; HEADER_SIZE],
+            count: 0,
+        }
+    }
+
+    /// Queue a put.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) {
+        self.rep.push(ValueType::Value as u8);
+        put_length_prefixed_slice(&mut self.rep, key);
+        put_length_prefixed_slice(&mut self.rep, value);
+        self.count += 1;
+    }
+
+    /// Queue a delete.
+    pub fn delete(&mut self, key: &[u8]) {
+        self.rep.push(ValueType::Deletion as u8);
+        put_length_prefixed_slice(&mut self.rep, key);
+        self.count += 1;
+    }
+
+    /// Number of queued operations.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// `true` when no operations are queued.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Approximate encoded size in bytes.
+    pub fn approximate_size(&self) -> usize {
+        self.rep.len()
+    }
+
+    /// Remove all operations.
+    pub fn clear(&mut self) {
+        self.rep.clear();
+        self.rep.resize(HEADER_SIZE, 0);
+        self.count = 0;
+    }
+
+    /// Stamp the starting sequence number (group-commit leader does this).
+    pub fn set_sequence(&mut self, seq: SequenceNumber) {
+        self.rep[..8].copy_from_slice(&seq.to_le_bytes());
+    }
+
+    /// The starting sequence number.
+    pub fn sequence(&self) -> SequenceNumber {
+        u64::from_le_bytes(self.rep[..8].try_into().expect("batch header"))
+    }
+
+    /// Append all operations of `other` to `self` (group commit).
+    pub fn append(&mut self, other: &WriteBatch) {
+        self.rep.extend_from_slice(&other.rep[HEADER_SIZE..]);
+        self.count += other.count;
+    }
+
+    /// Serialized representation (written verbatim to the WAL).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut rep = self.rep.clone();
+        rep[8..12].copy_from_slice(&self.count.to_le_bytes());
+        rep
+    }
+
+    /// Parse a WAL record back into a batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corruption`] on malformed input.
+    pub fn decode(data: &[u8]) -> Result<WriteBatch> {
+        if data.len() < HEADER_SIZE {
+            return Err(Error::corruption("write batch too small"));
+        }
+        let count = u32::from_le_bytes(data[8..12].try_into().expect("count"));
+        let batch = WriteBatch {
+            rep: data.to_vec(),
+            count,
+        };
+        // Validate structure eagerly.
+        let mut n = 0u32;
+        batch.for_each(|_, _, _| n += 1)?;
+        if n != count {
+            return Err(Error::corruption("write batch count mismatch"));
+        }
+        Ok(batch)
+    }
+
+    /// Visit each operation as `(type, key, value)` (value empty for
+    /// deletes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corruption`] on malformed records.
+    pub fn for_each<F: FnMut(ValueType, &[u8], &[u8])>(&self, mut f: F) -> Result<()> {
+        let mut dec = Decoder::new(&self.rep[HEADER_SIZE..]);
+        while !dec.is_empty() {
+            let tag = dec.bytes(1)?[0];
+            match ValueType::from_u8(tag)? {
+                ValueType::Value => {
+                    let key = dec.length_prefixed_slice()?;
+                    let value = dec.length_prefixed_slice()?;
+                    f(ValueType::Value, key, value);
+                }
+                ValueType::Deletion => {
+                    let key = dec.length_prefixed_slice()?;
+                    f(ValueType::Deletion, key, &[]);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Apply the batch to a memtable, assigning sequence numbers starting
+    /// from the stamped sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corruption`] on malformed records.
+    pub fn apply_to(&self, mem: &MemTable) -> Result<()> {
+        let mut seq = self.sequence();
+        self.for_each(|vt, key, value| {
+            mem.add(seq, vt, key, value);
+            seq += 1;
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memtable::LookupResult;
+
+    #[test]
+    fn empty_batch() {
+        let batch = WriteBatch::new();
+        assert!(batch.is_empty());
+        assert_eq!(batch.count(), 0);
+        let decoded = WriteBatch::decode(&batch.encode()).unwrap();
+        assert_eq!(decoded.count(), 0);
+    }
+
+    #[test]
+    fn put_delete_roundtrip() {
+        let mut batch = WriteBatch::new();
+        batch.put(b"a", b"1");
+        batch.delete(b"b");
+        batch.put(b"c", b"3");
+        batch.set_sequence(100);
+
+        let decoded = WriteBatch::decode(&batch.encode()).unwrap();
+        assert_eq!(decoded.sequence(), 100);
+        assert_eq!(decoded.count(), 3);
+        let mut ops = Vec::new();
+        decoded
+            .for_each(|vt, k, v| ops.push((vt, k.to_vec(), v.to_vec())))
+            .unwrap();
+        assert_eq!(
+            ops,
+            vec![
+                (ValueType::Value, b"a".to_vec(), b"1".to_vec()),
+                (ValueType::Deletion, b"b".to_vec(), Vec::new()),
+                (ValueType::Value, b"c".to_vec(), b"3".to_vec()),
+            ]
+        );
+    }
+
+    #[test]
+    fn append_merges_groups() {
+        let mut leader = WriteBatch::new();
+        leader.put(b"x", b"1");
+        let mut follower = WriteBatch::new();
+        follower.put(b"y", b"2");
+        follower.delete(b"z");
+        leader.append(&follower);
+        assert_eq!(leader.count(), 3);
+        let mut keys = Vec::new();
+        leader.for_each(|_, k, _| keys.push(k.to_vec())).unwrap();
+        assert_eq!(keys, vec![b"x".to_vec(), b"y".to_vec(), b"z".to_vec()]);
+    }
+
+    #[test]
+    fn apply_assigns_consecutive_sequences() {
+        let mem = MemTable::new();
+        let mut batch = WriteBatch::new();
+        batch.put(b"k", b"first");
+        batch.put(b"k", b"second"); // same key, later op wins
+        batch.set_sequence(10);
+        batch.apply_to(&mem).unwrap();
+        assert_eq!(mem.get(b"k", 10), LookupResult::Value(b"first".to_vec()));
+        assert_eq!(mem.get(b"k", 11), LookupResult::Value(b"second".to_vec()));
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(WriteBatch::decode(b"tiny").is_err());
+        let mut batch = WriteBatch::new();
+        batch.put(b"k", b"v");
+        let mut encoded = batch.encode();
+        encoded[8..12].copy_from_slice(&5u32.to_le_bytes()); // wrong count
+        assert!(WriteBatch::decode(&encoded).is_err());
+        encoded.truncate(encoded.len() - 1); // torn record
+        assert!(WriteBatch::decode(&encoded).is_err());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut batch = WriteBatch::new();
+        batch.put(b"k", b"v");
+        batch.clear();
+        assert!(batch.is_empty());
+        assert_eq!(batch.approximate_size(), 12);
+    }
+}

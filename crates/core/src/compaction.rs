@@ -1,0 +1,756 @@
+//! Compaction picking: victims, group selection, settled-compaction
+//! candidates, clusters, and the entry-drop rule.
+//!
+//! This module is pure metadata logic (no I/O) so it can be unit-tested
+//! exhaustively; execution lives in `db.rs`.
+
+use std::sync::Arc;
+
+use bolt_table::comparator::{Comparator, InternalKeyComparator};
+use bolt_table::ikey::{ParsedInternalKey, SequenceNumber, ValueType};
+
+use crate::options::{CompactionStyle, Options};
+use crate::version::{TableMeta, Version};
+
+/// Why a compaction was scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompactionReason {
+    /// Too many runs in level 0.
+    Level0,
+    /// A level exceeded its byte limit.
+    Size,
+    /// A table burned its seek budget (LevelDB seek compaction).
+    Seek,
+}
+
+/// A picked compaction, ready for execution.
+#[derive(Debug)]
+pub struct CompactionTask {
+    /// Source level.
+    pub level: usize,
+    /// Why it was picked.
+    pub reason: CompactionReason,
+    /// Victims at `level` to merge, grouped by run (each group sorted and
+    /// internally disjoint).
+    pub input_runs: Vec<Vec<Arc<TableMeta>>>,
+    /// Overlapping tables at `level + 1` (sorted, disjoint; empty for
+    /// fragmented compactions).
+    pub next_inputs: Vec<Arc<TableMeta>>,
+    /// Zero-overlap victims promoted without rewriting (settled compaction
+    /// or LevelDB trivial move).
+    pub settled_moves: Vec<Arc<TableMeta>>,
+    /// Fragmented style: append the merged output as a new run at
+    /// `level + 1` without touching existing runs there.
+    pub fragmented: bool,
+}
+
+impl CompactionTask {
+    /// All tables being merged (not the settled moves).
+    pub fn merge_inputs(&self) -> impl Iterator<Item = &Arc<TableMeta>> {
+        self.input_runs
+            .iter()
+            .flatten()
+            .chain(self.next_inputs.iter())
+    }
+
+    /// Total bytes entering the merge.
+    pub fn input_bytes(&self) -> u64 {
+        self.merge_inputs().map(|t| t.size).sum()
+    }
+
+    /// `true` when there is nothing to merge (pure settled move).
+    pub fn is_move_only(&self) -> bool {
+        self.input_runs.iter().all(|r| r.is_empty()) && self.next_inputs.is_empty()
+    }
+
+    /// Largest victim internal key (the new compact pointer for the level).
+    pub fn max_victim_key(&self, icmp: &InternalKeyComparator) -> Option<Vec<u8>> {
+        self.input_runs
+            .iter()
+            .flatten()
+            .chain(self.settled_moves.iter())
+            .map(|t| t.largest.clone())
+            .max_by(|a, b| icmp.compare(a, b))
+    }
+}
+
+/// Compute the compaction score of every level; > 1.0 means "needs work".
+pub fn level_scores(opts: &Options, version: &Version) -> Vec<f64> {
+    let mut scores = vec![0.0; version.levels.len()];
+    scores[0] = version.levels[0].num_runs() as f64 / opts.level0_compaction_trigger as f64;
+    // The deepest level has no target below it.
+    for level in 1..version.levels.len().saturating_sub(1) {
+        scores[level] =
+            version.levels[level].size() as f64 / opts.max_bytes_for_level(level) as f64;
+    }
+    scores
+}
+
+/// `true` if any level needs compaction (ignoring seek candidates).
+pub fn needs_compaction(opts: &Options, version: &Version) -> bool {
+    level_scores(opts, version).iter().any(|&s| s >= 1.0)
+}
+
+/// Pick the next compaction, if any.
+///
+/// `seek_candidate` is a `(level, table)` pair charged out of its seek
+/// budget; it is used only when no size-based compaction is due.
+pub fn pick_compaction(
+    opts: &Options,
+    icmp: &InternalKeyComparator,
+    version: &Version,
+    compact_pointer: &[Option<Vec<u8>>],
+    seek_candidate: Option<(usize, Arc<TableMeta>)>,
+) -> Option<CompactionTask> {
+    let scores = level_scores(opts, version);
+    let (best_level, best_score) = scores
+        .iter()
+        .copied()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("scores are finite"))?;
+
+    if best_score >= 1.0 {
+        if matches!(opts.compaction_style, CompactionStyle::Fragmented) {
+            return Some(pick_fragmented(version, best_level));
+        }
+        if best_level == 0 {
+            return Some(pick_level0(opts, icmp, version));
+        }
+        return Some(pick_leveled(opts, icmp, version, compact_pointer, best_level));
+    }
+
+    // Seek compaction (stock LevelDB only).
+    if opts.seek_compaction {
+        if let Some((level, table)) = seek_candidate {
+            if level + 1 < version.levels.len()
+                && version.levels[level]
+                    .tables()
+                    .any(|t| t.table_id == table.table_id)
+            {
+                if level == 0 {
+                    // L0 runs overlap each other: compacting one table in
+                    // isolation would sink a newer version below an older
+                    // one. Take the whole of level 0 (LevelDB expands L0
+                    // inputs to all overlapping files for the same reason).
+                    let mut task = pick_level0(opts, icmp, version);
+                    task.reason = CompactionReason::Seek;
+                    return Some(task);
+                }
+                let next_inputs = version.overlapping_tables(
+                    icmp,
+                    level + 1,
+                    table.smallest_user_key(),
+                    table.largest_user_key(),
+                );
+                return Some(CompactionTask {
+                    level,
+                    reason: CompactionReason::Seek,
+                    input_runs: vec![vec![table]],
+                    next_inputs,
+                    settled_moves: Vec::new(),
+                    fragmented: false,
+                });
+            }
+        }
+    }
+    None
+}
+
+fn pick_fragmented(version: &Version, level: usize) -> CompactionTask {
+    // Merge the *entire* level into one run appended at level + 1. Merging
+    // whole levels preserves the recency invariant between runs.
+    let input_runs: Vec<Vec<Arc<TableMeta>>> = version.levels[level]
+        .runs
+        .iter()
+        .map(|r| r.tables.clone())
+        .collect();
+    CompactionTask {
+        level,
+        reason: if level == 0 {
+            CompactionReason::Level0
+        } else {
+            CompactionReason::Size
+        },
+        input_runs,
+        next_inputs: Vec::new(),
+        settled_moves: Vec::new(),
+        fragmented: true,
+    }
+}
+
+fn pick_level0(
+    opts: &Options,
+    icmp: &InternalKeyComparator,
+    version: &Version,
+) -> CompactionTask {
+    let _ = opts; // level 0 is governed by run count, not size knobs
+    let input_runs: Vec<Vec<Arc<TableMeta>>> = version.levels[0]
+        .runs
+        .iter()
+        .map(|r| r.tables.clone())
+        .collect();
+    let (mut begin, mut end): (Option<Vec<u8>>, Option<Vec<u8>>) = (None, None);
+    let ucmp = icmp.user_comparator();
+    for table in input_runs.iter().flatten() {
+        let s = table.smallest_user_key().to_vec();
+        let l = table.largest_user_key().to_vec();
+        begin = Some(match begin {
+            None => s,
+            Some(b) if ucmp.compare(&s, &b).is_lt() => s,
+            Some(b) => b,
+        });
+        end = Some(match end {
+            None => l,
+            Some(e) if ucmp.compare(&l, &e).is_gt() => l,
+            Some(e) => e,
+        });
+    }
+    let next_inputs = match (&begin, &end) {
+        (Some(b), Some(e)) => version.overlapping_tables(icmp, 1, b, e),
+        _ => Vec::new(),
+    };
+    CompactionTask {
+        level: 0,
+        reason: CompactionReason::Level0,
+        input_runs,
+        next_inputs,
+        settled_moves: Vec::new(),
+        fragmented: false,
+    }
+}
+
+fn overlap_bytes(
+    icmp: &InternalKeyComparator,
+    version: &Version,
+    level: usize,
+    table: &TableMeta,
+) -> u64 {
+    version
+        .overlapping_tables(
+            icmp,
+            level,
+            table.smallest_user_key(),
+            table.largest_user_key(),
+        )
+        .iter()
+        .map(|t| t.size)
+        .sum()
+}
+
+fn pick_leveled(
+    opts: &Options,
+    icmp: &InternalKeyComparator,
+    version: &Version,
+    compact_pointer: &[Option<Vec<u8>>],
+    level: usize,
+) -> CompactionTask {
+    let run = &version.levels[level].runs[0];
+    let tables = &run.tables;
+    debug_assert!(!tables.is_empty());
+
+    let bolt = opts.bolt_options();
+    let group_budget = bolt
+        .map(|b| b.group_compaction_bytes)
+        .unwrap_or(0); // non-BoLT: single victim
+    let settled = bolt.map(|b| b.settled_compaction).unwrap_or(false);
+
+    let mut victims: Vec<Arc<TableMeta>> = Vec::new();
+    if settled {
+        // Settled compaction: pick the N least-overlapping victims
+        // anywhere in the level (§3.4) until the group budget is covered.
+        let mut scored: Vec<(u64, usize)> = tables
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (overlap_bytes(icmp, version, level + 1, t), i))
+            .collect();
+        scored.sort();
+        let mut total = 0u64;
+        for (_, idx) in scored {
+            victims.push(Arc::clone(&tables[idx]));
+            total += tables[idx].size;
+            if total >= group_budget {
+                break;
+            }
+        }
+        victims.sort_by(|a, b| icmp.compare(&a.smallest, &b.smallest));
+    } else {
+        // Round-robin start after the compact pointer.
+        let start = match &compact_pointer[level] {
+            Some(ptr) => {
+                let idx = tables.partition_point(|t| icmp.compare(&t.largest, ptr).is_le());
+                if idx >= tables.len() {
+                    0
+                } else {
+                    idx
+                }
+            }
+            None => 0,
+        };
+        let mut total = 0u64;
+        for table in &tables[start..] {
+            victims.push(Arc::clone(table));
+            total += table.size;
+            if total >= group_budget || group_budget == 0 {
+                break;
+            }
+        }
+    }
+
+    // Partition victims into moves (no next-level overlap) and merge
+    // victims. Zero-overlap victims are never rewritten: for settled
+    // compaction this is the *deliberate* §3.4 mechanism (the selection
+    // above preferred them); for the other styles it is LevelDB's
+    // opportunistic trivial move.
+    let mut settled_moves = Vec::new();
+    let mut merge_victims = Vec::new();
+    for victim in victims {
+        let overlap = overlap_bytes(icmp, version, level + 1, &victim);
+        if overlap == 0 {
+            settled_moves.push(victim);
+        } else {
+            merge_victims.push(victim);
+        }
+    }
+
+    let mut next_inputs: Vec<Arc<TableMeta>> = Vec::new();
+    for victim in &merge_victims {
+        for table in version.overlapping_tables(
+            icmp,
+            level + 1,
+            victim.smallest_user_key(),
+            victim.largest_user_key(),
+        ) {
+            if !next_inputs.iter().any(|t| t.table_id == table.table_id) {
+                next_inputs.push(table);
+            }
+        }
+    }
+    next_inputs.sort_by(|a, b| icmp.compare(&a.smallest, &b.smallest));
+
+    CompactionTask {
+        level,
+        reason: CompactionReason::Size,
+        input_runs: vec![merge_victims],
+        next_inputs,
+        settled_moves,
+        fragmented: false,
+    }
+}
+
+/// A maximal set of merge inputs whose user-key ranges form one contiguous
+/// interval. Outputs of one cluster replace exactly its members.
+#[derive(Debug, Default)]
+pub struct Cluster {
+    /// Victim tables grouped by source run.
+    pub input_runs: Vec<Vec<Arc<TableMeta>>>,
+    /// Next-level tables.
+    pub next_inputs: Vec<Arc<TableMeta>>,
+}
+
+/// Split a task's merge inputs into independent clusters by user-key
+/// connectivity (scattered settled-compaction victims produce several).
+pub fn clusters(icmp: &InternalKeyComparator, task: &CompactionTask) -> Vec<Cluster> {
+    #[derive(Clone)]
+    struct Item {
+        run: Option<usize>, // None = next-level input
+        table: Arc<TableMeta>,
+    }
+    let mut items: Vec<Item> = Vec::new();
+    for (run_idx, run) in task.input_runs.iter().enumerate() {
+        for table in run {
+            items.push(Item {
+                run: Some(run_idx),
+                table: Arc::clone(table),
+            });
+        }
+    }
+    for table in &task.next_inputs {
+        items.push(Item {
+            run: None,
+            table: Arc::clone(table),
+        });
+    }
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let ucmp = icmp.user_comparator();
+    items.sort_by(|a, b| ucmp.compare(a.table.smallest_user_key(), b.table.smallest_user_key()));
+
+    let mut result: Vec<Cluster> = Vec::new();
+    let mut current = Cluster {
+        input_runs: vec![Vec::new(); task.input_runs.len()],
+        next_inputs: Vec::new(),
+    };
+    let mut current_end: Option<Vec<u8>> = None;
+    let mut current_empty = true;
+    for item in items {
+        let starts_new = match &current_end {
+            None => false,
+            Some(end) => ucmp.compare(item.table.smallest_user_key(), end).is_gt(),
+        };
+        if starts_new && !current_empty {
+            result.push(std::mem::replace(
+                &mut current,
+                Cluster {
+                    input_runs: vec![Vec::new(); task.input_runs.len()],
+                    next_inputs: Vec::new(),
+                },
+            ));
+            current_end = None;
+        }
+        let largest = item.table.largest_user_key().to_vec();
+        current_end = Some(match current_end {
+            None => largest,
+            Some(end) if ucmp.compare(&largest, &end).is_gt() => largest,
+            Some(end) => end,
+        });
+        match item.run {
+            Some(run_idx) => current.input_runs[run_idx].push(item.table),
+            None => current.next_inputs.push(item.table),
+        }
+        current_empty = false;
+    }
+    if !current_empty {
+        result.push(current);
+    }
+    result
+}
+
+/// The LevelDB entry-drop rule applied while merging.
+#[derive(Debug)]
+pub struct DropFilter {
+    smallest_snapshot: SequenceNumber,
+    last_user_key: Option<Vec<u8>>,
+    last_sequence_for_key: SequenceNumber,
+}
+
+impl DropFilter {
+    /// Entries shadowed at or below `smallest_snapshot` may be dropped.
+    pub fn new(smallest_snapshot: SequenceNumber) -> Self {
+        DropFilter {
+            smallest_snapshot,
+            last_user_key: None,
+            last_sequence_for_key: u64::MAX,
+        }
+    }
+
+    /// Decide whether the entry (arriving in internal-key order) can be
+    /// dropped. `is_base_level` must be `true` only if no deeper level can
+    /// contain this user key.
+    pub fn should_drop(&mut self, parsed: &ParsedInternalKey<'_>, is_base_level: bool) -> bool {
+        if self
+            .last_user_key
+            .as_deref()
+            .is_none_or(|k| k != parsed.user_key)
+        {
+            self.last_user_key = Some(parsed.user_key.to_vec());
+            self.last_sequence_for_key = u64::MAX;
+        }
+        let drop = if self.last_sequence_for_key <= self.smallest_snapshot {
+            // Shadowed by a newer entry that is itself visible at (or
+            // below) the oldest snapshot.
+            true
+        } else {
+            parsed.value_type == ValueType::Deletion
+                && parsed.sequence <= self.smallest_snapshot
+                && is_base_level
+        };
+        self.last_sequence_for_key = parsed.sequence;
+        drop
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::version::{VersionBuilder, VersionEdit};
+    use bolt_table::ikey::{make_internal_key, parse_internal_key};
+
+    fn icmp() -> InternalKeyComparator {
+        InternalKeyComparator::default()
+    }
+
+    fn meta(id: u64, smallest: &str, largest: &str, size: u64) -> TableMeta {
+        TableMeta::new(
+            id,
+            id,
+            0,
+            size,
+            1,
+            make_internal_key(smallest.as_bytes(), 100, ValueType::Value),
+            make_internal_key(largest.as_bytes(), 1, ValueType::Value),
+        )
+    }
+
+    fn version_with(tables: &[(u32, u64, TableMeta)]) -> Version {
+        let mut edit = VersionEdit::default();
+        for (level, tag, m) in tables {
+            edit.added_tables.push((*level, *tag, m.clone()));
+        }
+        let mut builder = VersionBuilder::new(icmp(), Arc::new(Version::empty(7)));
+        builder.apply(&edit);
+        builder.build()
+    }
+
+    #[test]
+    fn scores_trigger_on_l0_runs_and_level_size() {
+        let opts = Options::leveldb();
+        let v = version_with(&[
+            (0, 1, meta(1, "a", "b", 1)),
+            (0, 2, meta(2, "a", "b", 1)),
+            (0, 3, meta(3, "a", "b", 1)),
+            (0, 4, meta(4, "a", "b", 1)),
+        ]);
+        assert!(needs_compaction(&opts, &v));
+        let scores = level_scores(&opts, &v);
+        assert!((scores[0] - 1.0).abs() < 1e-9);
+
+        let big = 11 << 20; // over the 10 MB L1 limit
+        let v = version_with(&[(1, 0, meta(1, "a", "b", big))]);
+        assert!(needs_compaction(&opts, &v));
+        let v = version_with(&[(1, 0, meta(1, "a", "b", 9 << 20))]);
+        assert!(!needs_compaction(&opts, &v));
+    }
+
+    #[test]
+    fn deepest_level_never_compacts_down() {
+        let opts = Options::leveldb();
+        let v = version_with(&[(6, 0, meta(1, "a", "b", u64::MAX / 2))]);
+        assert!(!needs_compaction(&opts, &v));
+    }
+
+    #[test]
+    fn level0_pick_takes_all_runs_and_l1_overlaps() {
+        let opts = Options::leveldb();
+        let v = version_with(&[
+            (0, 1, meta(1, "a", "m", 1)),
+            (0, 2, meta(2, "c", "p", 1)),
+            (0, 3, meta(3, "b", "d", 1)),
+            (0, 4, meta(4, "x", "z", 1)),
+            (1, 0, meta(5, "a", "c", 1)), // overlaps
+            (1, 0, meta(6, "q", "r", 1)), // no overlap with a..z? yes overlaps (a..z covers q)
+        ]);
+        let task = pick_compaction(&opts, &icmp(), &v, &vec![None; 7], None).unwrap();
+        assert_eq!(task.level, 0);
+        assert_eq!(task.reason, CompactionReason::Level0);
+        assert_eq!(task.input_runs.iter().flatten().count(), 4);
+        // Combined L0 range is a..z: both L1 tables overlap.
+        assert_eq!(task.next_inputs.len(), 2);
+    }
+
+    #[test]
+    fn leveled_pick_respects_compact_pointer() {
+        let mut opts = Options::leveldb();
+        opts.level1_max_bytes = 1; // force level 1 over limit
+        let v = version_with(&[
+            (1, 0, meta(1, "a", "c", 100)),
+            (1, 0, meta(2, "e", "g", 100)),
+            (1, 0, meta(3, "i", "k", 100)),
+        ]);
+        let mut pointers = vec![None; 7];
+        let task = pick_compaction(&opts, &icmp(), &v, &pointers, None).unwrap();
+        assert_eq!(task.level, 1);
+        let first = task
+            .input_runs
+            .iter()
+            .flatten()
+            .chain(task.settled_moves.iter())
+            .next()
+            .unwrap()
+            .table_id;
+        assert_eq!(first, 1);
+
+        pointers[1] = Some(make_internal_key(b"c", 1, ValueType::Value));
+        let task = pick_compaction(&opts, &icmp(), &v, &pointers, None).unwrap();
+        let first = task
+            .input_runs
+            .iter()
+            .flatten()
+            .chain(task.settled_moves.iter())
+            .next()
+            .unwrap()
+            .table_id;
+        assert_eq!(first, 2, "pointer advances the round-robin");
+
+        pointers[1] = Some(make_internal_key(b"z", 1, ValueType::Value));
+        let task = pick_compaction(&opts, &icmp(), &v, &pointers, None).unwrap();
+        let first = task
+            .input_runs
+            .iter()
+            .flatten()
+            .chain(task.settled_moves.iter())
+            .next()
+            .unwrap()
+            .table_id;
+        assert_eq!(first, 1, "pointer wraps");
+    }
+
+    #[test]
+    fn trivial_move_for_stock_leveldb() {
+        let mut opts = Options::leveldb();
+        opts.level1_max_bytes = 1;
+        let v = version_with(&[
+            (1, 0, meta(1, "a", "c", 100)),
+            (2, 0, meta(2, "x", "z", 100)), // no overlap with a..c
+        ]);
+        let task = pick_compaction(&opts, &icmp(), &v, &vec![None; 7], None).unwrap();
+        assert_eq!(task.settled_moves.len(), 1);
+        assert!(task.is_move_only());
+    }
+
+    #[test]
+    fn group_compaction_gathers_victims_to_budget() {
+        let mut opts = Options::bolt();
+        opts.level1_max_bytes = 1;
+        if let CompactionStyle::Bolt(b) = &mut opts.compaction_style {
+            b.group_compaction_bytes = 250;
+            b.settled_compaction = false;
+        }
+        let v = version_with(&[
+            (1, 0, meta(1, "a", "b", 100)),
+            (1, 0, meta(2, "c", "d", 100)),
+            (1, 0, meta(3, "e", "f", 100)),
+            (1, 0, meta(4, "g", "h", 100)),
+        ]);
+        let task = pick_compaction(&opts, &icmp(), &v, &vec![None; 7], None).unwrap();
+        let victims = task.input_runs[0].len() + task.settled_moves.len();
+        assert_eq!(victims, 3, "100+100+100 >= 250 budget -> 3 victims");
+        // L2 is empty, so every victim is a zero-overlap (trivial) move.
+        assert_eq!(task.settled_moves.len(), 3);
+    }
+
+    #[test]
+    fn settled_compaction_prefers_low_overlap_victims() {
+        let mut opts = Options::bolt();
+        opts.level1_max_bytes = 1;
+        if let CompactionStyle::Bolt(b) = &mut opts.compaction_style {
+            b.group_compaction_bytes = 200;
+        }
+        let v = version_with(&[
+            (1, 0, meta(1, "a", "c", 100)), // overlaps big L2 table
+            (1, 0, meta(2, "h", "i", 100)), // no overlap
+            (1, 0, meta(3, "p", "q", 100)), // no overlap
+            (2, 0, meta(4, "a", "d", 1000)),
+        ]);
+        let task = pick_compaction(&opts, &icmp(), &v, &vec![None; 7], None).unwrap();
+        let moved: Vec<u64> = task.settled_moves.iter().map(|t| t.table_id).collect();
+        assert_eq!(moved, vec![2, 3], "zero-overlap victims settle");
+        assert!(task.input_runs[0].is_empty(), "no rewrite needed");
+        assert!(task.is_move_only());
+    }
+
+    #[test]
+    fn fragmented_pick_merges_whole_level() {
+        let mut opts = Options::pebblesdb();
+        opts.level1_max_bytes = 1;
+        let v = version_with(&[
+            (1, 5, meta(1, "a", "c", 100)),
+            (1, 6, meta(2, "b", "d", 100)), // overlapping runs allowed
+        ]);
+        let task = pick_compaction(&opts, &icmp(), &v, &vec![None; 7], None).unwrap();
+        assert!(task.fragmented);
+        assert_eq!(task.input_runs.len(), 2);
+        assert!(task.next_inputs.is_empty());
+    }
+
+    #[test]
+    fn seek_candidate_used_only_when_no_size_work() {
+        let opts = Options::leveldb();
+        let t = Arc::new(meta(9, "a", "c", 100));
+        let v = version_with(&[(1, 0, meta(9, "a", "c", 100))]);
+        let task = pick_compaction(
+            &opts,
+            &icmp(),
+            &v,
+            &vec![None; 7],
+            Some((1, Arc::clone(&t))),
+        )
+        .unwrap();
+        assert_eq!(task.reason, CompactionReason::Seek);
+
+        // Stale candidate (table no longer in the version) is ignored.
+        let v2 = version_with(&[(1, 0, meta(8, "a", "c", 100))]);
+        assert!(pick_compaction(&opts, &icmp(), &v2, &vec![None; 7], Some((1, t))).is_none());
+    }
+
+    #[test]
+    fn clusters_split_disconnected_ranges() {
+        let task = CompactionTask {
+            level: 1,
+            reason: CompactionReason::Size,
+            input_runs: vec![vec![
+                Arc::new(meta(1, "a", "c", 1)),
+                Arc::new(meta(2, "m", "o", 1)),
+            ]],
+            next_inputs: vec![
+                Arc::new(meta(3, "b", "d", 1)),
+                Arc::new(meta(4, "n", "p", 1)),
+                Arc::new(meta(5, "c", "e", 1)),
+            ],
+            settled_moves: Vec::new(),
+            fragmented: false,
+        };
+        let cs = clusters(&icmp(), &task);
+        assert_eq!(cs.len(), 2);
+        assert_eq!(cs[0].input_runs[0].len(), 1);
+        assert_eq!(cs[0].next_inputs.len(), 2); // b..d and c..e chain
+        assert_eq!(cs[1].input_runs[0].len(), 1);
+        assert_eq!(cs[1].next_inputs.len(), 1);
+    }
+
+    #[test]
+    fn clusters_empty_task() {
+        let task = CompactionTask {
+            level: 1,
+            reason: CompactionReason::Size,
+            input_runs: vec![Vec::new()],
+            next_inputs: Vec::new(),
+            settled_moves: Vec::new(),
+            fragmented: false,
+        };
+        assert!(clusters(&icmp(), &task).is_empty());
+    }
+
+    #[test]
+    fn drop_filter_keeps_newest_drops_shadowed() {
+        let mut filter = DropFilter::new(100);
+        let k_new = make_internal_key(b"k", 50, ValueType::Value);
+        let k_old = make_internal_key(b"k", 20, ValueType::Value);
+        let other = make_internal_key(b"z", 10, ValueType::Value);
+        assert!(!filter.should_drop(&parse_internal_key(&k_new).unwrap(), false));
+        assert!(
+            filter.should_drop(&parse_internal_key(&k_old).unwrap(), false),
+            "older version shadowed below snapshot"
+        );
+        assert!(!filter.should_drop(&parse_internal_key(&other).unwrap(), false));
+    }
+
+    #[test]
+    fn drop_filter_respects_snapshots() {
+        // Oldest snapshot at 30: the version at 50 does NOT shadow the one
+        // at 20, because a reader at snapshot 30 still needs it.
+        let mut filter = DropFilter::new(30);
+        let k_new = make_internal_key(b"k", 50, ValueType::Value);
+        let k_mid = make_internal_key(b"k", 25, ValueType::Value);
+        let k_old = make_internal_key(b"k", 10, ValueType::Value);
+        assert!(!filter.should_drop(&parse_internal_key(&k_new).unwrap(), false));
+        assert!(!filter.should_drop(&parse_internal_key(&k_mid).unwrap(), false));
+        assert!(
+            filter.should_drop(&parse_internal_key(&k_old).unwrap(), false),
+            "k@10 shadowed by k@25 which is visible at snapshot 30"
+        );
+    }
+
+    #[test]
+    fn drop_filter_tombstones_only_at_base_level() {
+        let del = make_internal_key(b"k", 5, ValueType::Deletion);
+        let mut filter = DropFilter::new(100);
+        assert!(!filter.should_drop(&parse_internal_key(&del).unwrap(), false));
+        let mut filter = DropFilter::new(100);
+        assert!(filter.should_drop(&parse_internal_key(&del).unwrap(), true));
+        // Tombstone newer than the snapshot is kept even at base level.
+        let del_new = make_internal_key(b"k", 200, ValueType::Deletion);
+        let mut filter = DropFilter::new(100);
+        assert!(!filter.should_drop(&parse_internal_key(&del_new).unwrap(), true));
+    }
+}

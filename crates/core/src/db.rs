@@ -1,0 +1,1657 @@
+//! The database: write path with group sequencing and L0 governors,
+//! a single background thread for flushes and compactions (as in stock
+//! LevelDB), point lookups, range iterators, snapshots, and recovery.
+//!
+//! The compaction executor is where the paper's mechanisms act:
+//!
+//! * **Stock styles** write each output table to its own file and pay one
+//!   `fsync` per table plus one for the MANIFEST (Fig 3a).
+//! * **BoLT** streams every output table of a compaction into one
+//!   *compaction file* and pays exactly two barriers — one for the file,
+//!   one for the MANIFEST (Fig 3b) — regardless of how many logical
+//!   SSTables were produced.
+//! * **Settled compaction** promotes zero-overlap victims with a pure
+//!   MANIFEST edit; their bytes never move.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use bolt_common::cache::LruCache;
+use bolt_common::{Error, Result};
+use bolt_env::Env;
+use bolt_table::cache::TableCache;
+use bolt_table::comparator::{Comparator, InternalKeyComparator};
+use bolt_table::ikey::{parse_internal_key, SequenceNumber};
+use bolt_table::{BlockCache, BuiltTable, TableBuilder, TableReadOptions};
+use bolt_wal::{LogReader, LogWriter};
+
+use crate::batch::WriteBatch;
+use crate::compaction::{
+    clusters, needs_compaction, pick_compaction, CompactionReason, CompactionTask, DropFilter,
+};
+use crate::filename::{current_file, log_file, parse_file_name, table_file, FileType};
+use crate::iterator::{DbIter, InternalIterator, MergingIter, RunIter};
+use crate::memtable::{LookupResult, MemTable};
+use crate::options::Options;
+use crate::stats::DbStats;
+use crate::version::{TableMeta, Version, VersionEdit};
+use crate::versions::VersionSet;
+
+/// Mutable engine state guarded by the main mutex.
+struct DbState {
+    mem: Arc<MemTable>,
+    imm: Option<Arc<MemTable>>,
+    wal: Option<LogWriter>,
+    wal_number: u64,
+    /// WAL number that made the current `imm` obsolete once flushed.
+    imm_log_boundary: u64,
+    bg_error: Option<Error>,
+    bg_busy: bool,
+    seek_candidate: Option<(usize, Arc<TableMeta>)>,
+    snapshots: Vec<SequenceNumber>,
+    /// Pending manual compaction: (level, begin user key, end user key).
+    manual: Option<(usize, Vec<u8>, Vec<u8>)>,
+    /// Completion counter for manual compactions.
+    manual_done: u64,
+}
+
+struct DbInner {
+    env: Arc<dyn Env>,
+    name: String,
+    opts: Options,
+    icmp: InternalKeyComparator,
+    table_cache: Arc<TableCache>,
+    #[allow(dead_code)] // shared into TableReadOptions; kept for stats access
+    block_cache: Arc<BlockCache>,
+    state: Mutex<DbState>,
+    versions: Mutex<VersionSet>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+    last_sequence: AtomicU64,
+    l0_runs: AtomicUsize,
+    has_imm: AtomicBool,
+    shutdown: AtomicBool,
+    stats: DbStats,
+}
+
+/// A consistent read view. Dropping it releases the sequence for
+/// compaction garbage collection.
+pub struct Snapshot {
+    seq: SequenceNumber,
+    inner: std::sync::Weak<DbInner>,
+}
+
+impl std::fmt::Debug for Snapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Snapshot").field("seq", &self.seq).finish()
+    }
+}
+
+impl Snapshot {
+    /// The sequence number this snapshot reads at.
+    pub fn sequence(&self) -> SequenceNumber {
+        self.seq
+    }
+}
+
+impl Drop for Snapshot {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.upgrade() {
+            let mut state = inner.state.lock();
+            if let Some(pos) = state.snapshots.iter().position(|&s| s == self.seq) {
+                state.snapshots.remove(pos);
+            }
+        }
+    }
+}
+
+/// Per-level shape summary (runs, tables, bytes).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LevelInfo {
+    /// Number of sorted runs.
+    pub runs: usize,
+    /// Number of logical tables.
+    pub tables: usize,
+    /// Total bytes.
+    pub bytes: u64,
+}
+
+/// A BoLT/LevelDB-family key-value store.
+///
+/// ```
+/// use bolt_core::{Db, Options};
+/// use bolt_env::MemEnv;
+/// use std::sync::Arc;
+///
+/// # fn main() -> bolt_common::Result<()> {
+/// let env: Arc<dyn bolt_env::Env> = Arc::new(MemEnv::new());
+/// let db = Db::open(env, "demo-db", Options::bolt())?;
+/// db.put(b"key", b"value")?;
+/// assert_eq!(db.get(b"key")?, Some(b"value".to_vec()));
+/// db.close()?;
+/// # Ok(())
+/// # }
+/// ```
+pub struct Db {
+    inner: Arc<DbInner>,
+    bg: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Db {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Db").field("name", &self.inner.name).finish()
+    }
+}
+
+impl Db {
+    /// Open (creating or recovering) the database in directory `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors from the env and corruption errors from
+    /// recovery.
+    pub fn open(env: Arc<dyn Env>, name: &str, opts: Options) -> Result<Db> {
+        opts.validate()?;
+        env.create_dir_all(name)?;
+        let icmp = InternalKeyComparator::default();
+        let block_cache: Arc<BlockCache> = Arc::new(LruCache::new(opts.block_cache_bytes));
+        let read_opts = TableReadOptions {
+            comparator: Arc::new(icmp.clone()),
+            filter_policy: opts.filter_policy,
+            filter_key: bolt_table::FilterKey::UserKey,
+            block_cache: Some(Arc::clone(&block_cache)),
+        };
+        let fd_cache = opts
+            .bolt_options()
+            .filter(|b| b.fd_cache)
+            .map(|_| opts.fd_cache_files);
+        let table_cache = Arc::new(TableCache::new(
+            Arc::clone(&env),
+            opts.max_open_files,
+            fd_cache,
+            read_opts,
+        ));
+
+        let mut versions = VersionSet::new(Arc::clone(&env), name, icmp.clone(), opts.num_levels);
+        let is_new = !env.file_exists(&current_file(name));
+        if is_new {
+            versions.create_new()?;
+        } else {
+            versions.recover()?;
+        }
+
+        let inner = Arc::new(DbInner {
+            env,
+            name: name.to_string(),
+            opts,
+            icmp,
+            table_cache,
+            block_cache,
+            state: Mutex::new(DbState {
+                mem: Arc::new(MemTable::new()),
+                imm: None,
+                wal: None,
+                wal_number: 0,
+                imm_log_boundary: 0,
+                bg_error: None,
+                bg_busy: false,
+                seek_candidate: None,
+                snapshots: Vec::new(),
+                manual: None,
+                manual_done: 0,
+            }),
+            versions: Mutex::new(versions),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            last_sequence: AtomicU64::new(0),
+            l0_runs: AtomicUsize::new(0),
+            has_imm: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            stats: DbStats::default(),
+        });
+
+        inner.recover_wals()?;
+        inner.start_fresh_wal()?;
+        inner.delete_obsolete_files();
+        inner.refresh_shape_hints();
+
+        let bg = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("bolt-background".into())
+                .spawn(move || {
+                    let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe({
+                        let inner = Arc::clone(&inner);
+                        move || inner.background_loop()
+                    }));
+                    if let Err(payload) = panic {
+                        let message = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| (*s).to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "background thread panicked".into());
+                        let mut state = inner.state.lock();
+                        state.bg_error =
+                            Some(Error::InvalidState(format!("background panic: {message}")));
+                        state.bg_busy = false;
+                        inner.done_cv.notify_all();
+                    }
+                })
+                .map_err(Error::io)?
+        };
+
+        Ok(Db {
+            inner,
+            bg: Mutex::new(Some(bg)),
+        })
+    }
+
+    /// Insert or overwrite `key`.
+    ///
+    /// # Errors
+    ///
+    /// Returns background errors and WAL I/O errors.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        let mut batch = WriteBatch::new();
+        batch.put(key, value);
+        self.write(batch)
+    }
+
+    /// Delete `key`.
+    ///
+    /// # Errors
+    ///
+    /// Returns background errors and WAL I/O errors.
+    pub fn delete(&self, key: &[u8]) -> Result<()> {
+        let mut batch = WriteBatch::new();
+        batch.delete(key);
+        self.write(batch)
+    }
+
+    /// Apply a batch atomically.
+    ///
+    /// # Errors
+    ///
+    /// Returns background errors and WAL I/O errors.
+    pub fn write(&self, mut batch: WriteBatch) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let inner = &self.inner;
+        inner.stats.record_user_bytes(batch.approximate_size() as u64);
+        let mut state = inner.state.lock();
+        inner.make_room(&mut state)?;
+
+        let base = inner.last_sequence.load(Ordering::Relaxed);
+        batch.set_sequence(base + 1);
+        let count = u64::from(batch.count());
+        {
+            let wal = state.wal.as_mut().expect("wal open");
+            wal.add_record(&batch.encode())?;
+            if inner.opts.sync_wal {
+                wal.sync()?;
+            }
+        }
+        batch.apply_to(&state.mem)?;
+        inner.last_sequence.store(base + count, Ordering::Release);
+        Ok(())
+    }
+
+    /// Point lookup at the latest sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns read errors from the storage substrate.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.inner.get_at(key, None)
+    }
+
+    /// Point lookup at `snapshot`.
+    ///
+    /// # Errors
+    ///
+    /// Returns read errors from the storage substrate.
+    pub fn get_at(&self, key: &[u8], snapshot: &Snapshot) -> Result<Option<Vec<u8>>> {
+        self.inner.get_at(key, Some(snapshot.seq))
+    }
+
+    /// Take a consistent read view.
+    pub fn snapshot(&self) -> Snapshot {
+        let seq = self.inner.last_sequence.load(Ordering::Acquire);
+        let mut state = self.inner.state.lock();
+        state.snapshots.push(seq);
+        Snapshot {
+            seq,
+            inner: Arc::downgrade(&self.inner),
+        }
+    }
+
+    /// Iterator over the live keys at the latest sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns read errors from the storage substrate.
+    pub fn iter(&self) -> Result<DbIterator> {
+        self.inner.iter_at(None)
+    }
+
+    /// Iterator at `snapshot`.
+    ///
+    /// # Errors
+    ///
+    /// Returns read errors from the storage substrate.
+    pub fn iter_at(&self, snapshot: &Snapshot) -> Result<DbIterator> {
+        self.inner.iter_at(Some(snapshot.seq))
+    }
+
+    /// Force the current memtable to disk and wait for the flush.
+    ///
+    /// # Errors
+    ///
+    /// Returns background errors.
+    pub fn flush(&self) -> Result<()> {
+        let inner = &self.inner;
+        let mut state = inner.state.lock();
+        // Wait out any in-flight flush first — switching while an immutable
+        // memtable is pending would clobber it.
+        while state.imm.is_some() && state.bg_error.is_none() {
+            inner.work_cv.notify_one();
+            inner.done_cv.wait(&mut state);
+        }
+        if state.bg_error.is_none() && !state.mem.is_empty() {
+            inner.switch_memtable(&mut state)?;
+        }
+        while state.imm.is_some() && state.bg_error.is_none() {
+            inner.work_cv.notify_one();
+            inner.done_cv.wait(&mut state);
+        }
+        match &state.bg_error {
+            Some(e) => Err(e.clone()),
+            None => Ok(()),
+        }
+    }
+
+    /// Block until no flush or compaction work remains.
+    ///
+    /// # Errors
+    ///
+    /// Returns background errors.
+    pub fn compact_until_quiet(&self) -> Result<()> {
+        let inner = &self.inner;
+        let mut state = inner.state.lock();
+        loop {
+            if let Some(e) = &state.bg_error {
+                return Err(e.clone());
+            }
+            let has_work = state.imm.is_some() || state.bg_busy || {
+                let versions = inner.versions.lock();
+                needs_compaction(&inner.opts, &versions.current())
+            };
+            if !has_work {
+                return Ok(());
+            }
+            inner.work_cv.notify_one();
+            inner
+                .done_cv
+                .wait_for(&mut state, Duration::from_millis(50));
+        }
+    }
+
+    /// The current [`Version`] — the logical view of the tree. Useful for
+    /// inspection tools and tests; the version is immutable.
+    pub fn current_version(&self) -> Arc<Version> {
+        self.inner.versions.lock().current()
+    }
+
+    /// Approximate on-disk bytes of user keys in `[begin, end)` — the sum
+    /// of the sizes of tables whose range intersects it (tables partially
+    /// inside are pro-rated at half). Like LevelDB's `GetApproximateSizes`.
+    pub fn approximate_size(&self, begin: &[u8], end: &[u8]) -> u64 {
+        let version = self.current_version();
+        let icmp = &self.inner.icmp;
+        let ucmp = icmp.user_comparator();
+        let mut total = 0u64;
+        for (_, _, table) in version.all_tables() {
+            if !table.overlaps(icmp, begin, end) {
+                continue;
+            }
+            let fully_inside = ucmp.compare(table.smallest_user_key(), begin).is_ge()
+                && ucmp.compare(table.largest_user_key(), end).is_lt();
+            total += if fully_inside { table.size } else { table.size / 2 };
+        }
+        total
+    }
+
+    /// Compact every level that overlaps the user-key range `[begin, end]`
+    /// down one level at a time until no level above the deepest occupied
+    /// one overlaps it. The work runs on the background thread (serialized
+    /// with automatic compactions); this call blocks until it completes.
+    /// Like LevelDB's `CompactRange`.
+    ///
+    /// # Errors
+    ///
+    /// Returns background errors.
+    pub fn compact_range(&self, begin: &[u8], end: &[u8]) -> Result<()> {
+        self.flush()?;
+        self.compact_until_quiet()?;
+        for level in 0..self.inner.opts.num_levels - 1 {
+            loop {
+                let overlapping = {
+                    let version = self.current_version();
+                    !version
+                        .overlapping_tables(&self.inner.icmp, level, begin, end)
+                        .is_empty()
+                };
+                if !overlapping {
+                    break;
+                }
+                let mut state = self.inner.state.lock();
+                if let Some(e) = &state.bg_error {
+                    return Err(e.clone());
+                }
+                let generation = state.manual_done;
+                state.manual = Some((level, begin.to_vec(), end.to_vec()));
+                self.inner.work_cv.notify_one();
+                while state.manual_done == generation && state.bg_error.is_none() {
+                    self.inner.done_cv.wait(&mut state);
+                }
+                if let Some(e) = &state.bg_error {
+                    return Err(e.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Per-level shape (runs, tables, bytes).
+    pub fn level_info(&self) -> Vec<LevelInfo> {
+        let versions = self.inner.versions.lock();
+        let version = versions.current();
+        version
+            .levels
+            .iter()
+            .map(|l| LevelInfo {
+                runs: l.num_runs(),
+                tables: l.num_tables(),
+                bytes: l.size(),
+            })
+            .collect()
+    }
+
+    /// Engine statistics.
+    pub fn stats(&self) -> &DbStats {
+        &self.inner.stats
+    }
+
+    /// The environment this database runs on.
+    pub fn env(&self) -> &Arc<dyn Env> {
+        &self.inner.env
+    }
+
+    /// TableCache open-count and hit statistics.
+    pub fn table_cache(&self) -> &TableCache {
+        &self.inner.table_cache
+    }
+
+    /// Shut down: stop the background thread. The WAL preserves any
+    /// unflushed writes for the next open.
+    ///
+    /// # Errors
+    ///
+    /// Returns the background error, if one occurred.
+    pub fn close(&self) -> Result<()> {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        {
+            let _state = self.inner.state.lock();
+            self.inner.work_cv.notify_all();
+            self.inner.done_cv.notify_all();
+        }
+        if let Some(handle) = self.bg.lock().take() {
+            let _ = handle.join();
+        }
+        // Make the tail of the WAL durable so close() is a clean shutdown.
+        let mut state = self.inner.state.lock();
+        if let Some(wal) = state.wal.as_mut() {
+            wal.sync()?;
+        }
+        match &state.bg_error {
+            Some(e) => Err(e.clone()),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for Db {
+    fn drop(&mut self) {
+        let _ = self.close();
+    }
+}
+
+/// Owning iterator pinning the version it reads.
+pub struct DbIterator {
+    inner: DbIter,
+    _version: Arc<Version>,
+}
+
+impl std::fmt::Debug for DbIterator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DbIterator")
+            .field("valid", &self.valid())
+            .finish()
+    }
+}
+
+impl DbIterator {
+    /// `true` when positioned on an entry.
+    pub fn valid(&self) -> bool {
+        self.inner.valid()
+    }
+    /// Position at the first key.
+    ///
+    /// # Errors
+    ///
+    /// Returns read errors.
+    pub fn seek_to_first(&mut self) -> Result<()> {
+        self.inner.seek_to_first()
+    }
+    /// Position at the first key >= `user_key`.
+    ///
+    /// # Errors
+    ///
+    /// Returns read errors.
+    pub fn seek(&mut self, user_key: &[u8]) -> Result<()> {
+        self.inner.seek(user_key)
+    }
+    /// Advance to the next live key.
+    ///
+    /// # Errors
+    ///
+    /// Returns read errors.
+    pub fn next(&mut self) -> Result<()> {
+        self.inner.next()
+    }
+    /// Current user key.
+    pub fn key(&self) -> &[u8] {
+        self.inner.key()
+    }
+    /// Current value.
+    pub fn value(&self) -> &[u8] {
+        self.inner.value()
+    }
+}
+
+impl DbInner {
+    // ------------------------------------------------------------------
+    // Read path
+    // ------------------------------------------------------------------
+
+    /// Read at `snapshot`, or at the freshest consistent point when `None`.
+    ///
+    /// Capture order matters: memtables first, then the version, then (for
+    /// snapshot-less reads) the sequence. A sequence captured *before* the
+    /// version pin could be older than the `smallest_snapshot` of a
+    /// concurrently committing compaction, which is allowed to drop entry
+    /// versions that such a reader still needs. Explicit [`Snapshot`]s are
+    /// registered and respected by compaction instead.
+    fn get_at(&self, user_key: &[u8], snapshot: Option<SequenceNumber>) -> Result<Option<Vec<u8>>> {
+        let (mem, imm) = {
+            let state = self.state.lock();
+            (Arc::clone(&state.mem), state.imm.clone())
+        };
+        let version = self.versions.lock().current();
+        let snapshot =
+            snapshot.unwrap_or_else(|| self.last_sequence.load(Ordering::Acquire));
+        match mem.get(user_key, snapshot) {
+            LookupResult::Value(v) => return Ok(Some(v)),
+            LookupResult::Deleted => return Ok(None),
+            LookupResult::NotFound => {}
+        }
+        if let Some(imm) = imm {
+            match imm.get(user_key, snapshot) {
+                LookupResult::Value(v) => return Ok(Some(v)),
+                LookupResult::Deleted => return Ok(None),
+                LookupResult::NotFound => {}
+            }
+        }
+        let got = version.get(&self.icmp, &self.table_cache, &self.name, user_key, snapshot)?;
+        if self.opts.seek_compaction {
+            if let Some((level, table)) = got.seek_charge {
+                if table.allowed_seeks.fetch_sub(1, Ordering::Relaxed) <= 1 {
+                    let mut state = self.state.lock();
+                    if state.seek_candidate.is_none() {
+                        state.seek_candidate = Some((level, table));
+                        self.work_cv.notify_one();
+                    }
+                }
+            }
+        }
+        Ok(match got.result {
+            LookupResult::Value(v) => Some(v),
+            _ => None,
+        })
+    }
+
+    fn iter_at(&self, snapshot: Option<SequenceNumber>) -> Result<DbIterator> {
+        let (mem, imm) = {
+            let state = self.state.lock();
+            (Arc::clone(&state.mem), state.imm.clone())
+        };
+        let version = self.versions.lock().current();
+        // See `get_at` for why the sequence is captured after the version.
+        let snapshot =
+            snapshot.unwrap_or_else(|| self.last_sequence.load(Ordering::Acquire));
+        let mut children: Vec<Box<dyn InternalIterator>> = Vec::new();
+        children.push(Box::new(mem.iter()));
+        if let Some(imm) = imm {
+            children.push(Box::new(imm.iter()));
+        }
+        for level in &version.levels {
+            for run in &level.runs {
+                children.push(Box::new(RunIter::new(
+                    self.icmp.clone(),
+                    Arc::clone(&self.table_cache),
+                    self.name.clone(),
+                    run.tables.clone(),
+                )));
+            }
+        }
+        let merged = MergingIter::new(self.icmp.clone(), children);
+        Ok(DbIterator {
+            inner: DbIter::new(self.icmp.clone(), merged, snapshot),
+            _version: version,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Write path: governors + memtable switching
+    // ------------------------------------------------------------------
+
+    fn make_room(&self, state: &mut parking_lot::MutexGuard<'_, DbState>) -> Result<()> {
+        let mut allow_delay = true;
+        loop {
+            if let Some(e) = &state.bg_error {
+                return Err(e.clone());
+            }
+            let l0 = self.l0_runs.load(Ordering::Relaxed);
+            if allow_delay
+                && self
+                    .opts
+                    .level0_slowdown_trigger
+                    .is_some_and(|t| l0 >= t)
+            {
+                // L0SlowDown governor: sleep 1 ms, once, outside the lock.
+                allow_delay = false;
+                self.stats.record_slowdown(1);
+                parking_lot::MutexGuard::unlocked(state, || {
+                    std::thread::sleep(Duration::from_millis(1));
+                });
+                continue;
+            }
+            if state.mem.approximate_memory_usage() < self.opts.memtable_bytes {
+                return Ok(());
+            }
+            if state.imm.is_some() {
+                // Write stall: previous memtable still flushing.
+                self.stats.record_stall(1);
+                let start = Instant::now();
+                self.work_cv.notify_one();
+                self.done_cv.wait(state);
+                self.stats.record_stall_nanos(start.elapsed().as_nanos() as u64);
+                continue;
+            }
+            if self.opts.level0_stop_trigger.is_some_and(|t| l0 >= t) {
+                // L0Stop governor.
+                self.stats.record_stall(1);
+                let start = Instant::now();
+                self.work_cv.notify_one();
+                self.done_cv.wait(state);
+                self.stats.record_stall_nanos(start.elapsed().as_nanos() as u64);
+                continue;
+            }
+            self.switch_memtable(state)?;
+        }
+    }
+
+    fn switch_memtable(&self, state: &mut parking_lot::MutexGuard<'_, DbState>) -> Result<()> {
+        assert!(state.imm.is_none(), "cannot switch with a pending flush");
+        let new_log = self.versions.lock().new_file_number();
+        let file = self.env.new_writable_file(&log_file(&self.name, new_log))?;
+        state.imm = Some(Arc::clone(&state.mem));
+        self.has_imm.store(true, Ordering::Release);
+        state.imm_log_boundary = new_log;
+        state.wal = Some(LogWriter::new(file));
+        state.wal_number = new_log;
+        state.mem = Arc::new(MemTable::new());
+        self.work_cv.notify_one();
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Background thread
+    // ------------------------------------------------------------------
+
+    fn background_loop(self: Arc<Self>) {
+        loop {
+            enum Work {
+                Flush(Arc<MemTable>, u64),
+                Compact(CompactionTask),
+                Manual(CompactionTask),
+            }
+            let work = {
+                let mut state = self.state.lock();
+                loop {
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    if state.imm.is_some() {
+                        state.bg_busy = true;
+                        let imm = Arc::clone(state.imm.as_ref().expect("imm present"));
+                        break Work::Flush(imm, state.imm_log_boundary);
+                    }
+                    if let Some((level, begin, end)) = state.manual.take() {
+                        match self.build_manual_task(level, &begin, &end) {
+                            Some(task) => {
+                                state.bg_busy = true;
+                                break Work::Manual(task);
+                            }
+                            None => {
+                                // Nothing overlaps (anymore): complete it.
+                                state.manual_done += 1;
+                                self.done_cv.notify_all();
+                                continue;
+                            }
+                        }
+                    }
+                    let task = {
+                        let versions = self.versions.lock();
+                        let version = versions.current();
+                        pick_compaction(
+                            &self.opts,
+                            &self.icmp,
+                            &version,
+                            &versions.compact_pointer,
+                            state.seek_candidate.clone(),
+                        )
+                    };
+                    if let Some(task) = task {
+                        if task.reason == CompactionReason::Seek {
+                            state.seek_candidate = None;
+                            self.stats.record_seek_compaction(1);
+                        }
+                        state.bg_busy = true;
+                        break Work::Compact(task);
+                    }
+                    state.seek_candidate = None;
+                    self.work_cv.wait(&mut state);
+                }
+            };
+
+            let (result, was_manual) = match work {
+                Work::Flush(imm, log_boundary) => {
+                    (self.flush_memtable(&imm, log_boundary, true), false)
+                }
+                Work::Compact(task) => (self.run_compaction(task), false),
+                Work::Manual(task) => (self.run_compaction(task), true),
+            };
+
+            let mut state = self.state.lock();
+            state.bg_busy = false;
+            if was_manual {
+                state.manual_done += 1;
+            }
+            match result {
+                Ok(()) => {}
+                Err(e) => {
+                    state.bg_error = Some(e);
+                }
+            }
+            self.done_cv.notify_all();
+        }
+    }
+
+    fn refresh_shape_hints(&self) {
+        let versions = self.versions.lock();
+        let version = versions.current();
+        self.l0_runs
+            .store(version.levels[0].num_runs(), Ordering::Relaxed);
+    }
+
+    // ------------------------------------------------------------------
+    // Flush
+    // ------------------------------------------------------------------
+
+    /// Write `mem` to level 0 and commit. `clear_imm` distinguishes the
+    /// background flush (true) from recovery-time flushes (false).
+    fn flush_memtable(&self, mem: &Arc<MemTable>, log_boundary: u64, clear_imm: bool) -> Result<()> {
+        let mut iter = mem.iter();
+        iter.seek_to_first();
+        let internal: &mut dyn InternalIterator = &mut iter;
+        // Stock LevelDB flushes the whole memtable as ONE SSTable file;
+        // BoLT cuts logical SSTables but still writes one compaction file.
+        let target = match self.opts.bolt_options() {
+            Some(b) => b.logical_sstable_bytes,
+            None => u64::MAX,
+        };
+        let outputs = self.write_sorted_run(internal, target)?;
+
+        let mut edit = VersionEdit::default();
+        edit.log_number = Some(log_boundary);
+        {
+            let mut versions = self.versions.lock();
+            let mut run_tag = 0;
+            let mut flush_bytes = 0u64;
+            for (i, (file_number, built)) in outputs.iter().enumerate() {
+                let table_id = versions.new_table_id();
+                if i == 0 {
+                    run_tag = table_id;
+                }
+                flush_bytes += built.size;
+                edit.added_tables.push((
+                    0,
+                    run_tag,
+                    TableMeta::new(
+                        table_id,
+                        *file_number,
+                        built.offset,
+                        built.size,
+                        built.num_entries,
+                        built.smallest.clone(),
+                        built.largest.clone(),
+                    ),
+                ));
+            }
+            edit.last_sequence = Some(self.last_sequence.load(Ordering::Acquire));
+            versions.log_and_apply(edit)?;
+            for (file_number, _) in &outputs {
+                versions.clear_pending(*file_number);
+            }
+            versions.collect_garbage(&self.table_cache);
+            self.stats.record_flush(1);
+            self.stats.record_flush_bytes(flush_bytes);
+        }
+        self.refresh_shape_hints();
+
+        if clear_imm {
+            let mut state = self.state.lock();
+            state.imm = None;
+            self.has_imm.store(false, Ordering::Release);
+            // Wake writers stalled on the full memtable immediately — this
+            // may run mid-compaction (flush preemption).
+            self.done_cv.notify_all();
+        }
+        self.delete_obsolete_logs(log_boundary);
+        Ok(())
+    }
+
+    /// Flush the pending immutable memtable right now if one exists. Called
+    /// from within long compactions, mirroring LevelDB's `DoCompactionWork`
+    /// check of `has_imm_`: without preemption a 64 MB group compaction
+    /// would stall writers for its entire duration.
+    fn maybe_flush_pending_imm(&self) -> Result<()> {
+        if !self.has_imm.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let pending = {
+            let state = self.state.lock();
+            state
+                .imm
+                .as_ref()
+                .map(|imm| (Arc::clone(imm), state.imm_log_boundary))
+        };
+        if let Some((imm, boundary)) = pending {
+            self.flush_memtable(&imm, boundary, true)?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Compaction
+    // ------------------------------------------------------------------
+
+    fn run_compaction(&self, task: CompactionTask) -> Result<()> {
+        let output_level = task.level + 1;
+        let smallest_snapshot = {
+            let state = self.state.lock();
+            state
+                .snapshots
+                .iter()
+                .copied()
+                .min()
+                .unwrap_or_else(|| self.last_sequence.load(Ordering::Acquire))
+        };
+        let version = self.versions.lock().current();
+
+        let mut edit = VersionEdit::default();
+        // Settled compaction / trivial move: MANIFEST-only promotion.
+        let deliberate_settling = self
+            .opts
+            .bolt_options()
+            .is_some_and(|b| b.settled_compaction);
+        for table in &task.settled_moves {
+            edit.deleted_tables.push((task.level as u32, table.table_id));
+            edit.added_tables
+                .push((output_level as u32, 0, table.as_ref().clone()));
+            if deliberate_settling {
+                self.stats.record_settled_move(1);
+            } else {
+                self.stats.record_trivial_move(1);
+            }
+        }
+
+        let mut outputs: Vec<(u64, BuiltTable)> = Vec::new();
+        if !task.is_move_only() {
+            let input_bytes = task.input_bytes();
+            self.stats.record_compaction_input(input_bytes);
+
+            // BoLT: one physical compaction file for the entire compaction.
+            let target = self.opts.output_table_bytes();
+            let mut sink = OutputSink::new(self, self.opts.bolt_options().is_some(), target);
+
+            if task.fragmented {
+                let children: Vec<Box<dyn InternalIterator>> = task
+                    .input_runs
+                    .iter()
+                    .filter(|r| !r.is_empty())
+                    .map(|r| self.run_iter(r.clone()))
+                    .collect();
+                let mut merged = MergingIter::new(self.icmp.clone(), children);
+                merged.seek_to_first()?;
+                let mut filter = DropFilter::new(smallest_snapshot);
+                // Fragmented tombstones must survive unless no run at or
+                // below the output level can hold the key.
+                sink.write_run(&mut merged, Some(&mut filter), &version, output_level, true)?;
+            } else {
+                for cluster in clusters(&self.icmp, &task) {
+                    let mut children: Vec<Box<dyn InternalIterator>> = cluster
+                        .input_runs
+                        .iter()
+                        .filter(|r| !r.is_empty())
+                        .map(|r| self.run_iter(r.clone()))
+                        .collect();
+                    if !cluster.next_inputs.is_empty() {
+                        children.push(self.run_iter(cluster.next_inputs.clone()));
+                    }
+                    let mut merged = MergingIter::new(self.icmp.clone(), children);
+                    merged.seek_to_first()?;
+                    let mut filter = DropFilter::new(smallest_snapshot);
+                    sink.write_run(&mut merged, Some(&mut filter), &version, output_level, false)?;
+                }
+            }
+            outputs = sink.finish()?;
+        }
+
+        {
+            let mut versions = self.versions.lock();
+            for table in task.merge_inputs() {
+                // Inputs at `task.level` and `output_level`; level recorded
+                // for bookkeeping only (deletion is by table id).
+                edit.deleted_tables.push((task.level as u32, table.table_id));
+            }
+            let mut run_tag = if task.fragmented { 0 } else { 0 };
+            let mut output_bytes = 0u64;
+            for (i, (file_number, built)) in outputs.iter().enumerate() {
+                let table_id = versions.new_table_id();
+                if i == 0 && task.fragmented {
+                    run_tag = table_id;
+                }
+                output_bytes += built.size;
+                edit.added_tables.push((
+                    output_level as u32,
+                    run_tag,
+                    TableMeta::new(
+                        table_id,
+                        *file_number,
+                        built.offset,
+                        built.size,
+                        built.num_entries,
+                        built.smallest.clone(),
+                        built.largest.clone(),
+                    ),
+                ));
+            }
+            if task.reason == CompactionReason::Size && !task.fragmented {
+                if let Some(key) = task.max_victim_key(&self.icmp) {
+                    edit.compact_pointers.push((task.level as u32, key));
+                }
+            }
+            versions.log_and_apply(edit)?;
+            for (file_number, _) in &outputs {
+                versions.clear_pending(*file_number);
+            }
+            versions.collect_garbage(&self.table_cache);
+            self.stats.record_compaction(1);
+            self.stats.record_compaction_output(output_bytes);
+            if std::env::var_os("BOLT_TRACE_COMPACTION").is_some() {
+                eprintln!(
+                    "CTRACE level={} victims={} next={} moves={} in={} out={}",
+                    task.level,
+                    task.input_runs.iter().map(|r| r.len()).sum::<usize>(),
+                    task.next_inputs.len(),
+                    task.settled_moves.len(),
+                    task.input_bytes(),
+                    output_bytes
+                );
+            }
+        }
+        self.refresh_shape_hints();
+        Ok(())
+    }
+
+    /// Build a compaction task pushing the tables of `level` overlapping
+    /// `[begin, end]` down one level, or `None` if nothing overlaps.
+    fn build_manual_task(
+        &self,
+        level: usize,
+        begin: &[u8],
+        end: &[u8],
+    ) -> Option<CompactionTask> {
+        let version = self.versions.lock().current();
+        let overlapping = version.overlapping_tables(&self.icmp, level, begin, end);
+        if overlapping.is_empty() {
+            return None;
+        }
+        let fragmented = matches!(
+            self.opts.compaction_style,
+            crate::options::CompactionStyle::Fragmented
+        );
+        // L0 runs (and fragmented levels) overlap each other: take whole
+        // runs to preserve recency ordering.
+        let take_whole_level = level == 0 || fragmented;
+        let input_runs: Vec<Vec<Arc<TableMeta>>> = if take_whole_level {
+            version.levels[level]
+                .runs
+                .iter()
+                .map(|r| r.tables.clone())
+                .collect()
+        } else {
+            vec![overlapping]
+        };
+        let next_inputs = if fragmented {
+            Vec::new()
+        } else {
+            let mut next: Vec<Arc<TableMeta>> = Vec::new();
+            for victim in input_runs.iter().flatten() {
+                for t in version.overlapping_tables(
+                    &self.icmp,
+                    level + 1,
+                    victim.smallest_user_key(),
+                    victim.largest_user_key(),
+                ) {
+                    if !next.iter().any(|x| x.table_id == t.table_id) {
+                        next.push(t);
+                    }
+                }
+            }
+            next.sort_by(|a, b| self.icmp.compare(&a.smallest, &b.smallest));
+            next
+        };
+        Some(CompactionTask {
+            level,
+            reason: CompactionReason::Size,
+            input_runs,
+            next_inputs,
+            settled_moves: Vec::new(),
+            fragmented,
+        })
+    }
+
+    fn run_iter(&self, tables: Vec<Arc<TableMeta>>) -> Box<dyn InternalIterator> {
+        Box::new(RunIter::new(
+            self.icmp.clone(),
+            Arc::clone(&self.table_cache),
+            self.name.clone(),
+            tables,
+        ))
+    }
+
+    /// Stream one sorted input into output tables without dropping entries
+    /// (the flush path; a flush must preserve every memtable entry). With
+    /// `target = u64::MAX` everything lands in a single table.
+    fn write_sorted_run(
+        &self,
+        iter: &mut dyn InternalIterator,
+        target: u64,
+    ) -> Result<Vec<(u64, BuiltTable)>> {
+        let mut sink = OutputSink::new(self, self.opts.bolt_options().is_some(), target);
+        let version = Version::empty(self.opts.num_levels);
+        sink.write_run(iter, None, &version, usize::MAX, false)?;
+        sink.finish()
+    }
+
+    // ------------------------------------------------------------------
+    // Recovery & housekeeping
+    // ------------------------------------------------------------------
+
+    fn recover_wals(&self) -> Result<()> {
+        let (log_floor, mut logs) = {
+            let versions = self.versions.lock();
+            let names = self.env.list_dir(&self.name)?;
+            let logs: Vec<u64> = names
+                .iter()
+                .filter_map(|n| match parse_file_name(n) {
+                    Some(FileType::Log(num)) if num >= versions.log_number => Some(num),
+                    _ => None,
+                })
+                .collect();
+            (versions.log_number, logs)
+        };
+        let _ = log_floor;
+        logs.sort_unstable();
+
+        let mut max_seq = { self.versions.lock().last_sequence };
+        let mut mem = Arc::new(MemTable::new());
+        for log in logs {
+            let file = self.env.new_random_access_file(&log_file(&self.name, log))?;
+            let mut reader = LogReader::new(file);
+            while let Some(record) = reader.read_record()? {
+                let batch = WriteBatch::decode(&record)?;
+                batch.apply_to(&mem)?;
+                max_seq = max_seq.max(batch.sequence() + u64::from(batch.count()) - 1);
+                if mem.approximate_memory_usage() >= self.opts.memtable_bytes {
+                    self.last_sequence.store(max_seq, Ordering::Release);
+                    self.flush_memtable(&mem, 0, false)?;
+                    mem = Arc::new(MemTable::new());
+                }
+            }
+        }
+        self.last_sequence.store(max_seq, Ordering::Release);
+        {
+            let mut versions = self.versions.lock();
+            versions.last_sequence = versions.last_sequence.max(max_seq);
+        }
+        if !mem.is_empty() {
+            self.flush_memtable(&mem, 0, false)?;
+        }
+        Ok(())
+    }
+
+    fn start_fresh_wal(&self) -> Result<()> {
+        let new_log = self.versions.lock().new_file_number();
+        let file = self.env.new_writable_file(&log_file(&self.name, new_log))?;
+        {
+            let mut state = self.state.lock();
+            state.wal = Some(LogWriter::new(file));
+            state.wal_number = new_log;
+        }
+        // Persist the log floor so old WALs are not replayed twice.
+        let mut versions = self.versions.lock();
+        let edit = VersionEdit {
+            log_number: Some(new_log),
+            last_sequence: Some(self.last_sequence.load(Ordering::Acquire)),
+            ..Default::default()
+        };
+        versions.log_and_apply(edit)?;
+        Ok(())
+    }
+
+    fn delete_obsolete_logs(&self, boundary: u64) {
+        if let Ok(names) = self.env.list_dir(&self.name) {
+            for name in names {
+                if let Some(FileType::Log(num)) = parse_file_name(&name) {
+                    if num < boundary {
+                        let _ = self.env.delete_file(&log_file(&self.name, num));
+                    }
+                }
+            }
+        }
+    }
+
+    fn delete_obsolete_files(&self) {
+        let versions = self.versions.lock();
+        let referenced = versions.referenced_files();
+        let log_floor = versions.log_number;
+        let manifest = versions.manifest_number();
+        drop(versions);
+        let Ok(names) = self.env.list_dir(&self.name) else {
+            return;
+        };
+        for name in names {
+            let keep = match parse_file_name(&name) {
+                Some(FileType::Table(num)) => referenced.contains(&num),
+                Some(FileType::Log(num)) => num >= log_floor,
+                Some(FileType::Manifest(num)) => num == manifest,
+                Some(FileType::Current) => true,
+                Some(FileType::Temp(_)) => false,
+                None => true, // unknown files are left alone
+            };
+            if !keep {
+                let _ = self
+                    .env
+                    .delete_file(&bolt_env::join_path(&self.name, &name));
+            }
+        }
+    }
+}
+
+/// Streams sorted entries into output tables; one physical file per table
+/// for stock styles, one shared compaction file for BoLT.
+struct OutputSink<'a> {
+    inner: &'a DbInner,
+    bolt: bool,
+    target: u64,
+    file: Option<(u64, Box<dyn bolt_env::WritableFile>)>,
+    outputs: Vec<(u64, BuiltTable)>,
+}
+
+impl<'a> OutputSink<'a> {
+    fn new(inner: &'a DbInner, bolt: bool, target: u64) -> Self {
+        OutputSink {
+            inner,
+            bolt,
+            target,
+            file: None,
+            outputs: Vec::new(),
+        }
+    }
+
+    fn ensure_file(&mut self) -> Result<()> {
+        if self.file.is_none() {
+            let number = {
+                let mut versions = self.inner.versions.lock();
+                let n = versions.new_file_number();
+                versions.mark_pending(n);
+                n
+            };
+            let file = self
+                .inner
+                .env
+                .new_writable_file(&table_file(&self.inner.name, number))?;
+            self.file = Some((number, file));
+        }
+        Ok(())
+    }
+
+    fn sync_file(inner: &DbInner, file: &mut dyn bolt_env::WritableFile) -> Result<()> {
+        if inner.opts.use_ordering_barriers && inner.env.supports_ordering_barrier() {
+            // BarrierFS: ordering (not durability) is enough for data files
+            // because the MANIFEST fsync that follows is the commit point.
+            file.ordering_barrier()
+        } else {
+            file.sync()
+        }
+    }
+
+    /// Merge one cluster into output tables, applying the drop rule when a
+    /// filter is supplied (compaction) and keeping everything otherwise
+    /// (flush).
+    fn write_run(
+        &mut self,
+        iter: &mut dyn InternalIterator,
+        mut filter: Option<&mut DropFilter>,
+        version: &Version,
+        output_level: usize,
+        include_output_level: bool,
+    ) -> Result<()> {
+        // Only compactions preempt for flushes; a flush must not recurse.
+        let allow_preemption = filter.is_some();
+        while iter.valid() {
+            self.ensure_file()?;
+            let (file_number, file) = self.file.as_mut().expect("file open");
+            let file_number = *file_number;
+            // Flush preemption point: between output tables.
+            if allow_preemption {
+                self.inner.maybe_flush_pending_imm()?;
+            }
+            let mut builder = TableBuilder::new(file.as_mut(), self.inner.opts.table_format.clone());
+            let mut last_added_user_key: Option<Vec<u8>> = None;
+            while iter.valid() {
+                let drop = match filter.as_deref_mut() {
+                    None => false,
+                    Some(filter) => {
+                        let parsed = parse_internal_key(iter.key())?;
+                        let base = is_base_level(
+                            &self.inner.icmp,
+                            version,
+                            output_level,
+                            include_output_level,
+                            parsed.user_key,
+                        );
+                        filter.should_drop(&parsed, base)
+                    }
+                };
+                if !drop {
+                    builder.add(iter.key(), iter.value())?;
+                    let user_key = bolt_table::ikey::extract_user_key(iter.key());
+                    if last_added_user_key.as_deref() != Some(user_key) {
+                        last_added_user_key = Some(user_key.to_vec());
+                    }
+                }
+                iter.next()?;
+                if builder.estimated_size() >= self.target {
+                    // Never cut between two versions of the same user key:
+                    // runs must stay disjoint by user key.
+                    let next_same_key = iter.valid()
+                        && last_added_user_key.as_deref()
+                            == Some(bolt_table::ikey::extract_user_key(iter.key()));
+                    if !next_same_key {
+                        break;
+                    }
+                }
+            }
+            if builder.is_empty() {
+                break;
+            }
+            let built = builder.finish()?;
+            self.outputs.push((file_number, built));
+            if !self.bolt {
+                let (_, mut file) = self.file.take().expect("file open");
+                Self::sync_file(self.inner, file.as_mut())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Sync any shared compaction file and return the outputs.
+    fn finish(mut self) -> Result<Vec<(u64, BuiltTable)>> {
+        if let Some((number, mut file)) = self.file.take() {
+            if file.is_empty() {
+                // Never written: drop the empty file.
+                let _ = self
+                    .inner
+                    .env
+                    .delete_file(&table_file(&self.inner.name, number));
+                let mut versions = self.inner.versions.lock();
+                versions.clear_pending(number);
+            } else {
+                Self::sync_file(self.inner, file.as_mut())?;
+            }
+        }
+        Ok(self.outputs)
+    }
+}
+
+/// `true` if no table at a deeper level (or, for fragmented compactions,
+/// at the output level itself) can contain `user_key` — the condition for
+/// dropping a tombstone.
+fn is_base_level(
+    icmp: &InternalKeyComparator,
+    version: &Version,
+    output_level: usize,
+    include_output_level: bool,
+    user_key: &[u8],
+) -> bool {
+    if output_level >= version.levels.len() {
+        return true;
+    }
+    let start = if include_output_level {
+        output_level
+    } else {
+        output_level + 1
+    };
+    for level in start..version.levels.len() {
+        for run in &version.levels[level].runs {
+            if run.find(icmp, user_key).is_some() {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolt_env::MemEnv;
+
+    fn mem_db(opts: Options) -> (Arc<MemEnv>, Db) {
+        let env = Arc::new(MemEnv::new());
+        let db = Db::open(Arc::clone(&env) as Arc<dyn Env>, "db", opts).unwrap();
+        (env, db)
+    }
+
+    fn small_opts(mut opts: Options) -> Options {
+        opts.memtable_bytes = 64 << 10;
+        opts.sstable_bytes = 16 << 10;
+        opts.level1_max_bytes = 128 << 10;
+        if let crate::options::CompactionStyle::Bolt(b) = &mut opts.compaction_style {
+            b.logical_sstable_bytes = 8 << 10;
+            b.group_compaction_bytes = 64 << 10;
+        }
+        opts
+    }
+
+    #[test]
+    fn put_get_delete_roundtrip() {
+        let (_env, db) = mem_db(Options::leveldb());
+        db.put(b"alpha", b"1").unwrap();
+        db.put(b"beta", b"2").unwrap();
+        assert_eq!(db.get(b"alpha").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(db.get(b"beta").unwrap(), Some(b"2".to_vec()));
+        assert_eq!(db.get(b"gamma").unwrap(), None);
+        db.delete(b"alpha").unwrap();
+        assert_eq!(db.get(b"alpha").unwrap(), None);
+        db.close().unwrap();
+    }
+
+    #[test]
+    fn overwrites_visible_in_order() {
+        let (_env, db) = mem_db(Options::leveldb());
+        for i in 0..100 {
+            db.put(b"k", format!("v{i}").as_bytes()).unwrap();
+        }
+        assert_eq!(db.get(b"k").unwrap(), Some(b"v99".to_vec()));
+        db.close().unwrap();
+    }
+
+    #[test]
+    fn flush_moves_data_to_l0_and_reads_still_work() {
+        let (_env, db) = mem_db(small_opts(Options::leveldb()));
+        for i in 0..500u32 {
+            db.put(format!("key{i:05}").as_bytes(), &[b'x'; 100]).unwrap();
+        }
+        db.flush().unwrap();
+        let info = db.level_info();
+        assert!(info[0].tables >= 1, "L0 has tables after flush: {info:?}");
+        for i in (0..500u32).step_by(37) {
+            assert_eq!(
+                db.get(format!("key{i:05}").as_bytes()).unwrap(),
+                Some(vec![b'x'; 100]),
+                "key{i}"
+            );
+        }
+        db.close().unwrap();
+    }
+
+    fn load_and_verify(opts: Options, n: u32) {
+        let (_env, db) = mem_db(small_opts(opts));
+        let value = |i: u32| format!("value-{i}-{}", "p".repeat(100)).into_bytes();
+        for i in 0..n {
+            db.put(format!("key{:06}", i % (n / 2)).as_bytes(), &value(i))
+                .unwrap();
+        }
+        db.flush().unwrap();
+        db.compact_until_quiet().unwrap();
+        // Every key holds its newest value.
+        for k in 0..(n / 2) {
+            let newest = if k < n % (n / 2) { n - (n / 2) + k } else { k + (n / 2) - (n % (n/2)) };
+            let _ = newest;
+            // The newest write of key k is the last i with i % (n/2) == k.
+            let last_i = ((n - 1 - k) / (n / 2)) * (n / 2) + k;
+            assert_eq!(
+                db.get(format!("key{k:06}").as_bytes()).unwrap(),
+                Some(value(last_i)),
+                "key{k}"
+            );
+        }
+        db.close().unwrap();
+    }
+
+    #[test]
+    fn compaction_preserves_data_leveldb() {
+        load_and_verify(Options::leveldb(), 3000);
+    }
+
+    #[test]
+    fn compaction_preserves_data_bolt() {
+        load_and_verify(Options::bolt(), 3000);
+    }
+
+    #[test]
+    fn compaction_preserves_data_fragmented() {
+        load_and_verify(Options::pebblesdb(), 3000);
+    }
+
+    #[test]
+    fn bolt_uses_far_fewer_fsyncs_than_leveldb() {
+        let run = |opts: Options| {
+            let (env, db) = mem_db(small_opts(opts));
+            for i in 0..4000u32 {
+                db.put(format!("key{i:06}").as_bytes(), &[b'v'; 100]).unwrap();
+            }
+            db.flush().unwrap();
+            db.compact_until_quiet().unwrap();
+            let syncs = env.stats().fsync_calls();
+            db.close().unwrap();
+            syncs
+        };
+        let leveldb = run(Options::leveldb());
+        let bolt = run(Options::bolt());
+        assert!(
+            bolt * 2 <= leveldb,
+            "bolt {bolt} fsyncs vs leveldb {leveldb}"
+        );
+    }
+
+    #[test]
+    fn snapshot_reads_are_stable() {
+        let (_env, db) = mem_db(Options::leveldb());
+        db.put(b"k", b"old").unwrap();
+        let snap = db.snapshot();
+        db.put(b"k", b"new").unwrap();
+        db.delete(b"k2").unwrap();
+        assert_eq!(db.get_at(b"k", &snap).unwrap(), Some(b"old".to_vec()));
+        assert_eq!(db.get(b"k").unwrap(), Some(b"new".to_vec()));
+        drop(snap);
+        db.close().unwrap();
+    }
+
+    #[test]
+    fn scan_returns_sorted_live_keys() {
+        let (_env, db) = mem_db(small_opts(Options::bolt()));
+        for i in (0..300u32).rev() {
+            db.put(format!("key{i:05}").as_bytes(), format!("v{i}").as_bytes())
+                .unwrap();
+        }
+        db.delete(b"key00100").unwrap();
+        db.flush().unwrap();
+        for i in 300..400u32 {
+            db.put(format!("key{i:05}").as_bytes(), format!("v{i}").as_bytes())
+                .unwrap();
+        }
+        let mut iter = db.iter().unwrap();
+        iter.seek(b"key00050").unwrap();
+        let mut count = 0;
+        let mut prev: Option<Vec<u8>> = None;
+        while iter.valid() {
+            let key = iter.key().to_vec();
+            assert_ne!(key, b"key00100".to_vec(), "deleted key must not appear");
+            if let Some(p) = &prev {
+                assert!(*p < key);
+            }
+            prev = Some(key);
+            count += 1;
+            iter.next().unwrap();
+        }
+        assert_eq!(count, 400 - 50 - 1);
+        db.close().unwrap();
+    }
+
+    #[test]
+    fn recovery_restores_unflushed_writes() {
+        let env = Arc::new(MemEnv::new());
+        {
+            let db = Db::open(
+                Arc::clone(&env) as Arc<dyn Env>,
+                "db",
+                Options::leveldb(),
+            )
+            .unwrap();
+            db.put(b"durable", b"yes").unwrap();
+            db.close().unwrap();
+        }
+        // close() syncs the WAL, so a crash after close loses nothing.
+        env.crash(bolt_env::CrashConfig::Clean);
+        let db = Db::open(Arc::clone(&env) as Arc<dyn Env>, "db", Options::leveldb()).unwrap();
+        assert_eq!(db.get(b"durable").unwrap(), Some(b"yes".to_vec()));
+        db.close().unwrap();
+    }
+
+    #[test]
+    fn recovery_after_flush_and_more_writes() {
+        let env = Arc::new(MemEnv::new());
+        let opts = small_opts(Options::bolt());
+        {
+            let db = Db::open(Arc::clone(&env) as Arc<dyn Env>, "db", opts.clone()).unwrap();
+            for i in 0..500u32 {
+                db.put(format!("key{i:05}").as_bytes(), &[b'a'; 100]).unwrap();
+            }
+            db.flush().unwrap();
+            for i in 500..600u32 {
+                db.put(format!("key{i:05}").as_bytes(), &[b'b'; 100]).unwrap();
+            }
+            db.close().unwrap();
+        }
+        env.crash(bolt_env::CrashConfig::Clean);
+        let db = Db::open(Arc::clone(&env) as Arc<dyn Env>, "db", opts).unwrap();
+        assert_eq!(db.get(b"key00001").unwrap(), Some(vec![b'a'; 100]));
+        assert_eq!(db.get(b"key00550").unwrap(), Some(vec![b'b'; 100]));
+        db.close().unwrap();
+    }
+
+    #[test]
+    fn concurrent_writers_and_readers() {
+        let (_env, db) = mem_db(small_opts(Options::bolt()));
+        let db = Arc::new(db);
+        let writers: Vec<_> = (0..4)
+            .map(|t| {
+                let db = Arc::clone(&db);
+                std::thread::spawn(move || {
+                    for i in 0..500u32 {
+                        db.put(
+                            format!("t{t}-key{i:05}").as_bytes(),
+                            format!("v{t}-{i}").as_bytes(),
+                        )
+                        .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        for t in 0..4 {
+            for i in (0..500u32).step_by(83) {
+                assert_eq!(
+                    db.get(format!("t{t}-key{i:05}").as_bytes()).unwrap(),
+                    Some(format!("v{t}-{i}").into_bytes())
+                );
+            }
+        }
+        db.close().unwrap();
+    }
+
+    #[test]
+    fn settled_compaction_happens_for_bolt() {
+        let mut opts = small_opts(Options::bolt());
+        opts.level0_compaction_trigger = 2;
+        let (_env, db) = mem_db(opts);
+        // Write several disjoint key ranges so zero-overlap victims exist.
+        for round in 0..12u32 {
+            for i in 0..200u32 {
+                db.put(
+                    format!("r{:02}key{i:05}", round % 6).as_bytes(),
+                    &[b'z'; 128],
+                )
+                .unwrap();
+            }
+            db.flush().unwrap();
+        }
+        db.compact_until_quiet().unwrap();
+        let moves = db.stats().settled_moves();
+        assert!(moves > 0, "expected settled moves, stats: {:?}", db.stats());
+        db.close().unwrap();
+    }
+}

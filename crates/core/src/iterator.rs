@@ -1,0 +1,637 @@
+//! Internal and user-facing iterators.
+//!
+//! [`MergingIter`] merges any number of sorted internal-key streams
+//! (memtables, runs of tables) preferring the newest version of each key;
+//! [`DbIter`] layers snapshot visibility and tombstone suppression on top,
+//! yielding user keys — the machinery behind range scans (YCSB workload E).
+
+use std::sync::Arc;
+
+use bolt_common::Result;
+use bolt_table::cache::TableCache;
+#[allow(unused_imports)]
+use bolt_table::comparator::Comparator;
+use bolt_table::comparator::InternalKeyComparator;
+use bolt_table::ikey::{lookup_key, parse_internal_key, SequenceNumber, ValueType};
+
+use crate::memtable::MemTableIter;
+use crate::version::TableMeta;
+
+/// A cursor over internal-key entries in sorted order.
+pub trait InternalIterator: Send {
+    /// `true` when positioned on an entry.
+    fn valid(&self) -> bool;
+    /// Position at the first entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns read errors from the underlying source.
+    fn seek_to_first(&mut self) -> Result<()>;
+    /// Position at the first entry with internal key >= `target`.
+    ///
+    /// # Errors
+    ///
+    /// Returns read errors from the underlying source.
+    fn seek(&mut self, target: &[u8]) -> Result<()>;
+    /// Advance one entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns read errors from the underlying source.
+    fn next(&mut self) -> Result<()>;
+    /// Current internal key.
+    fn key(&self) -> &[u8];
+    /// Current value.
+    fn value(&self) -> &[u8];
+}
+
+impl InternalIterator for MemTableIter {
+    fn valid(&self) -> bool {
+        MemTableIter::valid(self)
+    }
+    fn seek_to_first(&mut self) -> Result<()> {
+        MemTableIter::seek_to_first(self);
+        Ok(())
+    }
+    fn seek(&mut self, target: &[u8]) -> Result<()> {
+        MemTableIter::seek(self, target);
+        Ok(())
+    }
+    fn next(&mut self) -> Result<()> {
+        MemTableIter::next(self);
+        Ok(())
+    }
+    fn key(&self) -> &[u8] {
+        MemTableIter::key(self)
+    }
+    fn value(&self) -> &[u8] {
+        MemTableIter::value(self)
+    }
+}
+
+impl InternalIterator for bolt_table::TableIter {
+    fn valid(&self) -> bool {
+        bolt_table::TableIter::valid(self)
+    }
+    fn seek_to_first(&mut self) -> Result<()> {
+        bolt_table::TableIter::seek_to_first(self)
+    }
+    fn seek(&mut self, target: &[u8]) -> Result<()> {
+        bolt_table::TableIter::seek(self, target)
+    }
+    fn next(&mut self) -> Result<()> {
+        bolt_table::TableIter::next(self)
+    }
+    fn key(&self) -> &[u8] {
+        bolt_table::TableIter::key(self)
+    }
+    fn value(&self) -> &[u8] {
+        bolt_table::TableIter::value(self)
+    }
+}
+
+/// Concatenating iterator over one run's (sorted, disjoint) tables, opened
+/// lazily through the TableCache.
+pub struct RunIter {
+    icmp: InternalKeyComparator,
+    cache: Arc<TableCache>,
+    db: String,
+    tables: Vec<Arc<TableMeta>>,
+    index: usize,
+    iter: Option<bolt_table::TableIter>,
+}
+
+impl std::fmt::Debug for RunIter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunIter")
+            .field("tables", &self.tables.len())
+            .field("index", &self.index)
+            .finish()
+    }
+}
+
+impl RunIter {
+    /// Iterate `tables` (sorted, pairwise disjoint) in order.
+    pub fn new(
+        icmp: InternalKeyComparator,
+        cache: Arc<TableCache>,
+        db: String,
+        tables: Vec<Arc<TableMeta>>,
+    ) -> Self {
+        RunIter {
+            icmp,
+            cache,
+            db,
+            tables,
+            index: 0,
+            iter: None,
+        }
+    }
+
+    fn open_current(&mut self) -> Result<()> {
+        self.iter = match self.tables.get(self.index) {
+            Some(meta) => {
+                let table = self.cache.table(&meta.spec(&self.db))?;
+                Some(table.iter())
+            }
+            None => None,
+        };
+        Ok(())
+    }
+
+    fn skip_exhausted(&mut self) -> Result<()> {
+        while self.iter.as_ref().is_some_and(|it| !it.valid()) {
+            self.index += 1;
+            if self.index >= self.tables.len() {
+                self.iter = None;
+                return Ok(());
+            }
+            self.open_current()?;
+            if let Some(it) = self.iter.as_mut() {
+                it.seek_to_first()?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl InternalIterator for RunIter {
+    fn valid(&self) -> bool {
+        self.iter.as_ref().is_some_and(|it| it.valid())
+    }
+
+    fn seek_to_first(&mut self) -> Result<()> {
+        self.index = 0;
+        self.open_current()?;
+        if let Some(it) = self.iter.as_mut() {
+            it.seek_to_first()?;
+        }
+        self.skip_exhausted()
+    }
+
+    fn seek(&mut self, target: &[u8]) -> Result<()> {
+        // First table whose largest >= target.
+        self.index = self
+            .tables
+            .partition_point(|t| self.icmp.compare(&t.largest, target).is_lt());
+        self.open_current()?;
+        if let Some(it) = self.iter.as_mut() {
+            it.seek(target)?;
+        }
+        self.skip_exhausted()
+    }
+
+    fn next(&mut self) -> Result<()> {
+        self.iter.as_mut().expect("positioned").next()?;
+        self.skip_exhausted()
+    }
+
+    fn key(&self) -> &[u8] {
+        self.iter.as_ref().expect("positioned").key()
+    }
+
+    fn value(&self) -> &[u8] {
+        self.iter.as_ref().expect("positioned").value()
+    }
+}
+
+/// N-way merge of internal iterators, smallest internal key first (which,
+/// under the internal-key order, yields newest-version-first within a user
+/// key).
+pub struct MergingIter {
+    icmp: InternalKeyComparator,
+    children: Vec<Box<dyn InternalIterator>>,
+    current: Option<usize>,
+}
+
+impl std::fmt::Debug for MergingIter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MergingIter")
+            .field("children", &self.children.len())
+            .field("current", &self.current)
+            .finish()
+    }
+}
+
+impl MergingIter {
+    /// Merge `children`.
+    pub fn new(icmp: InternalKeyComparator, children: Vec<Box<dyn InternalIterator>>) -> Self {
+        MergingIter {
+            icmp,
+            children,
+            current: None,
+        }
+    }
+
+    fn find_smallest(&mut self) {
+        let mut smallest: Option<usize> = None;
+        for (i, child) in self.children.iter().enumerate() {
+            if !child.valid() {
+                continue;
+            }
+            smallest = match smallest {
+                None => Some(i),
+                Some(s) => {
+                    if self.icmp.compare(child.key(), self.children[s].key()).is_lt() {
+                        Some(i)
+                    } else {
+                        Some(s)
+                    }
+                }
+            };
+        }
+        self.current = smallest;
+    }
+}
+
+impl InternalIterator for MergingIter {
+    fn valid(&self) -> bool {
+        self.current.is_some()
+    }
+
+    fn seek_to_first(&mut self) -> Result<()> {
+        for child in &mut self.children {
+            child.seek_to_first()?;
+        }
+        self.find_smallest();
+        Ok(())
+    }
+
+    fn seek(&mut self, target: &[u8]) -> Result<()> {
+        for child in &mut self.children {
+            child.seek(target)?;
+        }
+        self.find_smallest();
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<()> {
+        let current = self.current.expect("positioned");
+        self.children[current].next()?;
+        self.find_smallest();
+        Ok(())
+    }
+
+    fn key(&self) -> &[u8] {
+        self.children[self.current.expect("positioned")].key()
+    }
+
+    fn value(&self) -> &[u8] {
+        self.children[self.current.expect("positioned")].value()
+    }
+}
+
+/// User-facing iterator: snapshot visibility, newest version per key,
+/// tombstones suppressed.
+pub struct DbIter {
+    icmp: InternalKeyComparator,
+    iter: MergingIter,
+    snapshot: SequenceNumber,
+    valid: bool,
+    key: Vec<u8>,
+    value: Vec<u8>,
+}
+
+impl std::fmt::Debug for DbIter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DbIter")
+            .field("valid", &self.valid)
+            .field("snapshot", &self.snapshot)
+            .finish()
+    }
+}
+
+impl DbIter {
+    /// Wrap a merged internal iterator at `snapshot`.
+    pub fn new(icmp: InternalKeyComparator, iter: MergingIter, snapshot: SequenceNumber) -> Self {
+        DbIter {
+            icmp,
+            iter,
+            snapshot,
+            valid: false,
+            key: Vec::new(),
+            value: Vec::new(),
+        }
+    }
+
+    /// `true` when positioned on a live user entry.
+    pub fn valid(&self) -> bool {
+        self.valid
+    }
+
+    /// Current user key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if not [`valid`](Self::valid).
+    pub fn key(&self) -> &[u8] {
+        assert!(self.valid, "iterator not positioned");
+        &self.key
+    }
+
+    /// Current value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if not [`valid`](Self::valid).
+    pub fn value(&self) -> &[u8] {
+        assert!(self.valid, "iterator not positioned");
+        &self.value
+    }
+
+    /// Position at the first live entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns read errors from the sources.
+    pub fn seek_to_first(&mut self) -> Result<()> {
+        self.iter.seek_to_first()?;
+        self.find_next_user_entry(None)
+    }
+
+    /// Position at the first live entry with user key >= `user_key`.
+    ///
+    /// # Errors
+    ///
+    /// Returns read errors from the sources.
+    pub fn seek(&mut self, user_key: &[u8]) -> Result<()> {
+        self.iter.seek(&lookup_key(user_key, self.snapshot))?;
+        self.find_next_user_entry(None)
+    }
+
+    /// Advance to the next live user key.
+    ///
+    /// # Errors
+    ///
+    /// Returns read errors from the sources.
+    ///
+    /// # Panics
+    ///
+    /// Panics if not [`valid`](Self::valid).
+    pub fn next(&mut self) -> Result<()> {
+        assert!(self.valid, "iterator not positioned");
+        let prev = std::mem::take(&mut self.key);
+        // Skip the remaining (older or invisible) versions of `prev`.
+        while self.iter.valid() {
+            let parsed = parse_internal_key(self.iter.key())?;
+            if self
+                .icmp
+                .user_comparator()
+                .compare(parsed.user_key, &prev)
+                .is_gt()
+            {
+                break;
+            }
+            self.iter.next()?;
+        }
+        self.find_next_user_entry(None)
+    }
+
+    fn find_next_user_entry(&mut self, mut skipping: Option<Vec<u8>>) -> Result<()> {
+        while self.iter.valid() {
+            let parsed = parse_internal_key(self.iter.key())?;
+            if parsed.sequence <= self.snapshot {
+                match parsed.value_type {
+                    ValueType::Deletion => {
+                        skipping = Some(parsed.user_key.to_vec());
+                    }
+                    ValueType::Value => {
+                        let shadowed = skipping
+                            .as_deref()
+                            .is_some_and(|s| {
+                                self.icmp.user_comparator().compare(parsed.user_key, s).is_eq()
+                            });
+                        if !shadowed {
+                            self.key = parsed.user_key.to_vec();
+                            self.value = self.iter.value().to_vec();
+                            self.valid = true;
+                            return Ok(());
+                        }
+                    }
+                }
+            }
+            self.iter.next()?;
+        }
+        self.valid = false;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memtable::MemTable;
+    use bolt_table::ikey::ValueType;
+
+    fn mem_with(entries: &[(u64, ValueType, &[u8], &[u8])]) -> Arc<MemTable> {
+        let mem = Arc::new(MemTable::new());
+        for (seq, vt, k, v) in entries {
+            mem.add(*seq, *vt, k, v);
+        }
+        mem
+    }
+
+    fn merging(children: Vec<Box<dyn InternalIterator>>) -> MergingIter {
+        MergingIter::new(InternalKeyComparator::default(), children)
+    }
+
+    #[test]
+    fn merging_interleaves_sources() {
+        let a = mem_with(&[
+            (1, ValueType::Value, b"a", b"1"),
+            (3, ValueType::Value, b"c", b"3"),
+        ]);
+        let b = mem_with(&[
+            (2, ValueType::Value, b"b", b"2"),
+            (4, ValueType::Value, b"d", b"4"),
+        ]);
+        let mut iter = merging(vec![Box::new(a.iter()), Box::new(b.iter())]);
+        iter.seek_to_first().unwrap();
+        let mut keys = Vec::new();
+        while iter.valid() {
+            keys.push(parse_internal_key(iter.key()).unwrap().user_key.to_vec());
+            iter.next().unwrap();
+        }
+        assert_eq!(
+            keys,
+            vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec(), b"d".to_vec()]
+        );
+    }
+
+    #[test]
+    fn merging_orders_same_key_newest_first() {
+        let old = mem_with(&[(1, ValueType::Value, b"k", b"old")]);
+        let new = mem_with(&[(9, ValueType::Value, b"k", b"new")]);
+        let mut iter = merging(vec![Box::new(old.iter()), Box::new(new.iter())]);
+        iter.seek_to_first().unwrap();
+        assert_eq!(iter.value(), b"new");
+        iter.next().unwrap();
+        assert_eq!(iter.value(), b"old");
+    }
+
+    #[test]
+    fn db_iter_dedups_and_hides_tombstones() {
+        let mem = mem_with(&[
+            (1, ValueType::Value, b"a", b"a1"),
+            (5, ValueType::Value, b"a", b"a5"),
+            (2, ValueType::Value, b"b", b"b2"),
+            (6, ValueType::Deletion, b"b", b""),
+            (3, ValueType::Value, b"c", b"c3"),
+        ]);
+        let iter = merging(vec![Box::new(mem.iter())]);
+        let mut db_iter = DbIter::new(InternalKeyComparator::default(), iter, 100);
+        db_iter.seek_to_first().unwrap();
+        let mut seen = Vec::new();
+        while db_iter.valid() {
+            seen.push((db_iter.key().to_vec(), db_iter.value().to_vec()));
+            db_iter.next().unwrap();
+        }
+        assert_eq!(
+            seen,
+            vec![
+                (b"a".to_vec(), b"a5".to_vec()),
+                (b"c".to_vec(), b"c3".to_vec()),
+            ]
+        );
+    }
+
+    #[test]
+    fn db_iter_respects_snapshot() {
+        let mem = mem_with(&[
+            (1, ValueType::Value, b"a", b"a1"),
+            (5, ValueType::Value, b"a", b"a5"),
+            (4, ValueType::Deletion, b"b", b""),
+            (2, ValueType::Value, b"b", b"b2"),
+        ]);
+        let iter = merging(vec![Box::new(mem.iter())]);
+        let mut db_iter = DbIter::new(InternalKeyComparator::default(), iter, 3);
+        db_iter.seek_to_first().unwrap();
+        let mut seen = Vec::new();
+        while db_iter.valid() {
+            seen.push((db_iter.key().to_vec(), db_iter.value().to_vec()));
+            db_iter.next().unwrap();
+        }
+        // At snapshot 3: a@1 visible (a@5 not), b@2 visible (delete@4 not).
+        assert_eq!(
+            seen,
+            vec![
+                (b"a".to_vec(), b"a1".to_vec()),
+                (b"b".to_vec(), b"b2".to_vec()),
+            ]
+        );
+    }
+
+    #[test]
+    fn db_iter_seek_lands_on_next_live_key() {
+        let mem = mem_with(&[
+            (1, ValueType::Value, b"apple", b"1"),
+            (2, ValueType::Deletion, b"banana", b""),
+            (3, ValueType::Value, b"cherry", b"3"),
+        ]);
+        let iter = merging(vec![Box::new(mem.iter())]);
+        let mut db_iter = DbIter::new(InternalKeyComparator::default(), iter, 100);
+        db_iter.seek(b"banana").unwrap();
+        assert!(db_iter.valid());
+        assert_eq!(db_iter.key(), b"cherry");
+        db_iter.seek(b"zzz").unwrap();
+        assert!(!db_iter.valid());
+    }
+
+    #[test]
+    fn run_iter_concatenates_tables() {
+        use crate::version::TableMeta;
+        use bolt_common::bloom::BloomFilterPolicy;
+        use bolt_table::builder::{FilterKey, TableBuilder, TableFormat};
+        use bolt_table::ikey::make_internal_key;
+        use bolt_table::{TableCache, TableReadOptions};
+        use bolt_env::{Env, MemEnv};
+
+        let env: std::sync::Arc<dyn Env> = Arc::new(MemEnv::new());
+        env.create_dir_all("db").unwrap();
+        // Three disjoint tables in one physical file (a compaction file).
+        let mut file = env.new_writable_file("db/000001.sst").unwrap();
+        let mut metas = Vec::new();
+        for t in 0..3u32 {
+            let mut b = TableBuilder::new(file.as_mut(), TableFormat::default());
+            for i in 0..20u32 {
+                let key = make_internal_key(
+                    format!("{t}k{i:03}").as_bytes(),
+                    5,
+                    ValueType::Value,
+                );
+                b.add(&key, format!("{t}-{i}").as_bytes()).unwrap();
+            }
+            let built = b.finish().unwrap();
+            metas.push(Arc::new(TableMeta::new(
+                t as u64 + 1,
+                1,
+                built.offset,
+                built.size,
+                built.num_entries,
+                built.smallest,
+                built.largest,
+            )));
+        }
+        file.sync().unwrap();
+        drop(file);
+
+        let cache = Arc::new(TableCache::new(
+            Arc::clone(&env),
+            10,
+            None,
+            TableReadOptions {
+                comparator: Arc::new(InternalKeyComparator::default()),
+                filter_policy: Some(BloomFilterPolicy::default()),
+                filter_key: FilterKey::UserKey,
+                block_cache: None,
+            },
+        ));
+        let mut iter = RunIter::new(
+            InternalKeyComparator::default(),
+            cache,
+            "db".to_string(),
+            metas,
+        );
+        iter.seek_to_first().unwrap();
+        let mut count = 0;
+        let mut prev: Option<Vec<u8>> = None;
+        while iter.valid() {
+            let k = iter.key().to_vec();
+            if let Some(p) = &prev {
+                assert!(
+                    InternalKeyComparator::default().compare(p, &k).is_lt(),
+                    "out of order across table boundary"
+                );
+            }
+            prev = Some(k);
+            count += 1;
+            iter.next().unwrap();
+        }
+        assert_eq!(count, 60);
+
+        // Seek into the middle table and across a table boundary.
+        iter.seek(&lookup_key(b"1k010", 100)).unwrap();
+        assert_eq!(
+            parse_internal_key(iter.key()).unwrap().user_key,
+            b"1k010"
+        );
+        iter.seek(&lookup_key(b"0k999", 100)).unwrap();
+        assert_eq!(
+            parse_internal_key(iter.key()).unwrap().user_key,
+            b"1k000",
+            "seek past the end of table 0 lands on table 1"
+        );
+        iter.seek(&lookup_key(b"9", 100)).unwrap();
+        assert!(!iter.valid());
+    }
+
+    #[test]
+    fn empty_merge() {
+        let mut iter = merging(vec![]);
+        iter.seek_to_first().unwrap();
+        assert!(!iter.valid());
+        let mut db_iter = DbIter::new(InternalKeyComparator::default(), iter, 1);
+        db_iter.seek_to_first().unwrap();
+        assert!(!db_iter.valid());
+    }
+}

@@ -1,0 +1,451 @@
+//! Engine configuration and the paper's system profiles.
+//!
+//! Every system the paper evaluates is expressed as an [`Options`] profile
+//! over the *same* engine, so measured differences isolate the algorithms:
+//!
+//! | Profile | Paper system | Key settings |
+//! |---|---|---|
+//! | [`Options::leveldb`] | LevelDB v1.20 | 2 MB SSTables, one file per table, L0 triggers 4/8/12, seek compaction |
+//! | [`Options::leveldb_64mb`] | `LVL64MB` | 64 MB SSTables |
+//! | [`Options::hyperleveldb`] | HyperLevelDB | 32 MB SSTables, governors disabled |
+//! | [`Options::pebblesdb`] | PebblesDB | fragmented (tiered) levels, overlap allowed |
+//! | [`Options::rocksdb`] | RocksDB v6.7.3 | 64 MB SSTables, compact encoding, L1 = 256 MB, triggers 20/36 |
+//! | [`Options::bolt`] | BoLT | compaction files + 1 MB logical SSTables + 64 MB group compaction + settled compaction + fd cache |
+//! | [`Options::hyperbolt`] | HyperBoLT | BoLT mechanisms on the HyperLevelDB profile |
+//!
+//! The BoLT ablations of Fig 12 (`+LS`, `+GC`, `+STL`, `+FC`) are the
+//! [`BoltOptions`] switches.
+
+use bolt_common::bloom::BloomFilterPolicy;
+use bolt_table::TableFormat;
+
+/// The four BoLT mechanisms (§3 of the paper), individually switchable for
+/// the Fig 12 ablation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoltOptions {
+    /// Size of one logical SSTable (the paper: 1 MB).
+    pub logical_sstable_bytes: u64,
+    /// Group-compaction byte budget: victims are gathered until their total
+    /// size reaches this. Setting it equal to `logical_sstable_bytes`
+    /// disables grouping (the `+LS` configuration).
+    pub group_compaction_bytes: u64,
+    /// Settled compaction: promote zero-overlap victims by a MANIFEST-only
+    /// level change instead of rewriting them.
+    pub settled_compaction: bool,
+    /// Cache file descriptors per compaction file (§3.2.1).
+    pub fd_cache: bool,
+}
+
+impl Default for BoltOptions {
+    fn default() -> Self {
+        BoltOptions {
+            logical_sstable_bytes: 1 << 20,
+            group_compaction_bytes: 64 << 20,
+            settled_compaction: true,
+            fd_cache: true,
+        }
+    }
+}
+
+/// How compaction organizes levels and output files.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompactionStyle {
+    /// Classic leveled LSM (LevelDB/RocksDB): levels ≥ 1 hold one sorted
+    /// run; every output table is its own physical file with its own
+    /// `fsync`.
+    Leveled,
+    /// Fragmented levels (PebblesDB-shaped): a level holds several
+    /// overlapping sorted runs; compaction merges a whole level into one
+    /// new run appended to the next level, never rewriting the next level's
+    /// existing data. Fewer rewrites, more tables per lookup.
+    Fragmented,
+    /// BoLT: leveled structure, but each compaction writes all of its
+    /// output tables — fine-grained *logical SSTables* — into a single
+    /// *compaction file* with exactly one data barrier (plus the MANIFEST
+    /// barrier).
+    Bolt(BoltOptions),
+}
+
+/// Full engine configuration.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// MemTable capacity before it becomes immutable (paper: 64 MB).
+    pub memtable_bytes: u64,
+    /// Target size of output SSTables for non-BoLT styles.
+    pub sstable_bytes: u64,
+    /// Number of L0 runs that triggers a compaction.
+    pub level0_compaction_trigger: usize,
+    /// L0 run count at which writers are slowed by 1 ms (`None` = disabled,
+    /// as in HyperLevelDB).
+    pub level0_slowdown_trigger: Option<usize>,
+    /// L0 run count at which writers block (`None` = disabled).
+    pub level0_stop_trigger: Option<usize>,
+    /// Number of levels (LevelDB: 7).
+    pub num_levels: usize,
+    /// Byte limit of level 1; each deeper level multiplies by
+    /// [`Options::level_size_multiplier`].
+    pub level1_max_bytes: u64,
+    /// Growth factor between levels (LevelDB: 10).
+    pub level_size_multiplier: u64,
+    /// TableCache capacity in *tables* (LevelDB's `max_open_files`).
+    pub max_open_files: u64,
+    /// Capacity of the BoLT fd cache when enabled.
+    pub fd_cache_files: u64,
+    /// BlockCache capacity in bytes.
+    pub block_cache_bytes: u64,
+    /// Physical table encoding (`legacy` or `compact`).
+    pub table_format: TableFormat,
+    /// Bloom filter policy (paper: 10 bits/key for every store).
+    pub filter_policy: Option<BloomFilterPolicy>,
+    /// Sync the WAL on every write batch (YCSB default: off).
+    pub sync_wal: bool,
+    /// LevelDB's seek compaction (compact a table after too many wasted
+    /// seeks). Disabled in the HyperLevelDB-family profiles.
+    pub seek_compaction: bool,
+    /// Compaction organization.
+    pub compaction_style: CompactionStyle,
+    /// Use ordering-only barriers where durability is not required (the
+    /// BarrierFS ablation; requires an env with
+    /// [`bolt_env::Env::supports_ordering_barrier`]).
+    pub use_ordering_barriers: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options::leveldb()
+    }
+}
+
+impl Options {
+    /// Stock LevelDB v1.20.
+    pub fn leveldb() -> Self {
+        Options {
+            memtable_bytes: 4 << 20,
+            sstable_bytes: 2 << 20,
+            level0_compaction_trigger: 4,
+            level0_slowdown_trigger: Some(8),
+            level0_stop_trigger: Some(12),
+            num_levels: 7,
+            level1_max_bytes: 10 << 20,
+            level_size_multiplier: 10,
+            max_open_files: 1000,
+            fd_cache_files: 500,
+            block_cache_bytes: 8 << 20,
+            table_format: TableFormat::legacy(),
+            filter_policy: Some(BloomFilterPolicy::new(10)),
+            sync_wal: false,
+            seek_compaction: true,
+            compaction_style: CompactionStyle::Leveled,
+            use_ordering_barriers: false,
+        }
+    }
+
+    /// LevelDB with 64 MB SSTables (the paper's `LVL64MB` baseline).
+    pub fn leveldb_64mb() -> Self {
+        Options {
+            sstable_bytes: 64 << 20,
+            ..Options::leveldb()
+        }
+    }
+
+    /// HyperLevelDB: larger tables, artificial governors removed.
+    pub fn hyperleveldb() -> Self {
+        Options {
+            sstable_bytes: 32 << 20,
+            level0_slowdown_trigger: None,
+            level0_stop_trigger: None,
+            seek_compaction: false,
+            ..Options::leveldb()
+        }
+    }
+
+    /// PebblesDB-shaped fragmented LSM: overlapping runs per level, no
+    /// governor, no rewrite of existing next-level data.
+    pub fn pebblesdb() -> Self {
+        Options {
+            sstable_bytes: 32 << 20,
+            level0_slowdown_trigger: None,
+            level0_stop_trigger: None,
+            seek_compaction: false,
+            compaction_style: CompactionStyle::Fragmented,
+            // PebblesDB's larger tables earn it a proportionally larger
+            // TableCache (sized by count, not bytes) — §4.3.1.
+            ..Options::leveldb()
+        }
+    }
+
+    /// RocksDB v6.7.3-shaped profile: big tables, compact record encoding,
+    /// larger level 1, RocksDB's L0 triggers.
+    pub fn rocksdb() -> Self {
+        Options {
+            sstable_bytes: 64 << 20,
+            level0_compaction_trigger: 4,
+            level0_slowdown_trigger: Some(20),
+            level0_stop_trigger: Some(36),
+            level1_max_bytes: 256 << 20,
+            table_format: TableFormat::compact(),
+            seek_compaction: false,
+            ..Options::leveldb()
+        }
+    }
+
+    /// BoLT on the LevelDB profile with all four mechanisms enabled.
+    pub fn bolt() -> Self {
+        Options {
+            compaction_style: CompactionStyle::Bolt(BoltOptions::default()),
+            ..Options::leveldb()
+        }
+    }
+
+    /// BoLT `+LS` ablation: logical SSTables + compaction files only
+    /// (group size = one logical SSTable, no settled compaction, no fd
+    /// cache).
+    pub fn bolt_ls() -> Self {
+        Options {
+            compaction_style: CompactionStyle::Bolt(BoltOptions {
+                group_compaction_bytes: 1 << 20,
+                settled_compaction: false,
+                fd_cache: false,
+                ..BoltOptions::default()
+            }),
+            ..Options::leveldb()
+        }
+    }
+
+    /// BoLT `+GC` ablation: adds 64 MB group compaction.
+    pub fn bolt_gc() -> Self {
+        Options {
+            compaction_style: CompactionStyle::Bolt(BoltOptions {
+                settled_compaction: false,
+                fd_cache: false,
+                ..BoltOptions::default()
+            }),
+            ..Options::leveldb()
+        }
+    }
+
+    /// BoLT `+STL` ablation: adds settled compaction.
+    pub fn bolt_stl() -> Self {
+        Options {
+            compaction_style: CompactionStyle::Bolt(BoltOptions {
+                fd_cache: false,
+                ..BoltOptions::default()
+            }),
+            ..Options::leveldb()
+        }
+    }
+
+    /// RocksBoLT: BoLT mechanisms on the RocksDB profile — the paper's
+    /// stated future work ("we can replace the LSM-tree implementation of
+    /// RocksDB with BoLT to improve its performance", §4.1). The engine
+    /// profiles make it a one-liner.
+    pub fn rocksbolt() -> Self {
+        Options {
+            compaction_style: CompactionStyle::Bolt(BoltOptions::default()),
+            ..Options::rocksdb()
+        }
+    }
+
+    /// HyperBoLT: BoLT mechanisms on the HyperLevelDB profile.
+    pub fn hyperbolt() -> Self {
+        Options {
+            compaction_style: CompactionStyle::Bolt(BoltOptions::default()),
+            ..Options::hyperleveldb()
+        }
+    }
+
+    /// Byte limit for `level` (level 0 is governed by run count instead).
+    pub fn max_bytes_for_level(&self, level: usize) -> u64 {
+        if level == 0 {
+            return u64::MAX;
+        }
+        let mut bytes = self.level1_max_bytes;
+        for _ in 1..level {
+            bytes = bytes.saturating_mul(self.level_size_multiplier);
+        }
+        bytes
+    }
+
+    /// Target size of one output table under the active compaction style.
+    pub fn output_table_bytes(&self) -> u64 {
+        match &self.compaction_style {
+            CompactionStyle::Bolt(b) => b.logical_sstable_bytes,
+            _ => self.sstable_bytes,
+        }
+    }
+
+    /// The BoLT mechanism switches, if the BoLT style is active.
+    pub fn bolt_options(&self) -> Option<&BoltOptions> {
+        match &self.compaction_style {
+            CompactionStyle::Bolt(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Check the configuration for nonsensical values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`bolt_common::Error::InvalidArgument`] for configurations
+    /// the engine cannot run (too few levels, zero-sized buffers, inverted
+    /// governor thresholds).
+    pub fn validate(&self) -> bolt_common::Result<()> {
+        use bolt_common::Error;
+        if self.num_levels < 2 {
+            return Err(Error::InvalidArgument(
+                "num_levels must be at least 2".into(),
+            ));
+        }
+        if self.memtable_bytes == 0 || self.sstable_bytes == 0 || self.level1_max_bytes == 0 {
+            return Err(Error::InvalidArgument(
+                "memtable, sstable and level-1 sizes must be positive".into(),
+            ));
+        }
+        if self.level_size_multiplier < 2 {
+            return Err(Error::InvalidArgument(
+                "level size multiplier must be at least 2".into(),
+            ));
+        }
+        if let (Some(slow), Some(stop)) = (self.level0_slowdown_trigger, self.level0_stop_trigger)
+        {
+            if stop < slow {
+                return Err(Error::InvalidArgument(
+                    "L0Stop trigger must not be below L0SlowDown".into(),
+                ));
+            }
+        }
+        if let CompactionStyle::Bolt(b) = &self.compaction_style {
+            if b.logical_sstable_bytes == 0 {
+                return Err(Error::InvalidArgument(
+                    "logical SSTable size must be positive".into(),
+                ));
+            }
+            if b.group_compaction_bytes < b.logical_sstable_bytes {
+                return Err(Error::InvalidArgument(
+                    "group compaction budget must cover at least one logical SSTable".into(),
+                ));
+            }
+        }
+        if self.max_open_files == 0 {
+            return Err(Error::InvalidArgument(
+                "max_open_files must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Uniformly scale all capacity knobs by `factor` (e.g. `1/64` to run a
+    /// laptop-scale experiment with the paper's *ratios* intact).
+    pub fn scaled(mut self, factor: f64) -> Self {
+        let scale = |v: u64| ((v as f64 * factor).max(1.0)) as u64;
+        self.memtable_bytes = scale(self.memtable_bytes);
+        self.sstable_bytes = scale(self.sstable_bytes);
+        self.level1_max_bytes = scale(self.level1_max_bytes);
+        self.block_cache_bytes = scale(self.block_cache_bytes);
+        if let CompactionStyle::Bolt(b) = &mut self.compaction_style {
+            b.logical_sstable_bytes = scale(b.logical_sstable_bytes);
+            b.group_compaction_bytes = scale(b.group_compaction_bytes);
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_limits_grow_exponentially() {
+        let opts = Options::leveldb();
+        assert_eq!(opts.max_bytes_for_level(1), 10 << 20);
+        assert_eq!(opts.max_bytes_for_level(2), 100 << 20);
+        assert_eq!(opts.max_bytes_for_level(3), 1000 << 20);
+        assert_eq!(opts.max_bytes_for_level(0), u64::MAX);
+    }
+
+    #[test]
+    fn profiles_match_paper_configurations() {
+        assert_eq!(Options::leveldb().sstable_bytes, 2 << 20);
+        assert_eq!(Options::leveldb_64mb().sstable_bytes, 64 << 20);
+        assert!(Options::hyperleveldb().level0_stop_trigger.is_none());
+        assert_eq!(
+            Options::rocksdb().level0_stop_trigger,
+            Some(36),
+            "RocksDB stop trigger"
+        );
+        assert_eq!(Options::rocksdb().level1_max_bytes, 256 << 20);
+        let rb = Options::rocksbolt();
+        assert!(rb.bolt_options().is_some());
+        assert_eq!(rb.level1_max_bytes, 256 << 20, "keeps RocksDB's L1");
+        let bolt = Options::bolt();
+        let b = bolt.bolt_options().unwrap();
+        assert_eq!(b.logical_sstable_bytes, 1 << 20);
+        assert_eq!(b.group_compaction_bytes, 64 << 20);
+        assert!(b.settled_compaction && b.fd_cache);
+    }
+
+    #[test]
+    fn ablations_stack_mechanisms() {
+        let ls = Options::bolt_ls();
+        let b = ls.bolt_options().unwrap();
+        assert_eq!(b.group_compaction_bytes, b.logical_sstable_bytes);
+        assert!(!b.settled_compaction && !b.fd_cache);
+
+        let gc = Options::bolt_gc();
+        assert!(gc.bolt_options().unwrap().group_compaction_bytes > 1 << 20);
+        assert!(!gc.bolt_options().unwrap().settled_compaction);
+
+        let stl = Options::bolt_stl();
+        assert!(stl.bolt_options().unwrap().settled_compaction);
+        assert!(!stl.bolt_options().unwrap().fd_cache);
+    }
+
+    #[test]
+    fn output_table_bytes_follows_style() {
+        assert_eq!(Options::leveldb().output_table_bytes(), 2 << 20);
+        assert_eq!(Options::bolt().output_table_bytes(), 1 << 20);
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        for opts in [
+            Options::leveldb(),
+            Options::bolt(),
+            Options::pebblesdb(),
+            Options::rocksdb(),
+            Options::bolt().scaled(1.0 / 512.0),
+        ] {
+            opts.validate().unwrap();
+        }
+        let mut bad = Options::leveldb();
+        bad.num_levels = 1;
+        assert!(bad.validate().is_err());
+
+        let mut bad = Options::leveldb();
+        bad.memtable_bytes = 0;
+        assert!(bad.validate().is_err());
+
+        let mut bad = Options::leveldb();
+        bad.level0_slowdown_trigger = Some(12);
+        bad.level0_stop_trigger = Some(8);
+        assert!(bad.validate().is_err());
+
+        let mut bad = Options::bolt();
+        if let CompactionStyle::Bolt(b) = &mut bad.compaction_style {
+            b.group_compaction_bytes = b.logical_sstable_bytes / 2;
+        }
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn scaling_preserves_ratios() {
+        let opts = Options::bolt().scaled(1.0 / 64.0);
+        let b = opts.bolt_options().unwrap();
+        assert_eq!(
+            b.group_compaction_bytes / b.logical_sstable_bytes,
+            64,
+            "group/logical ratio"
+        );
+        assert_eq!(opts.memtable_bytes, 64 << 10);
+    }
+}

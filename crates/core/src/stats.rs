@@ -1,0 +1,146 @@
+//! Engine-level statistics: the write-stall and compaction counters the
+//! paper's evaluation reports alongside the env's I/O counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cumulative engine counters (all monotonically increasing).
+#[derive(Debug, Default)]
+pub struct DbStats {
+    flushes: AtomicU64,
+    compactions: AtomicU64,
+    settled_moves: AtomicU64,
+    trivial_moves: AtomicU64,
+    seek_compactions: AtomicU64,
+    compaction_input_bytes: AtomicU64,
+    compaction_output_bytes: AtomicU64,
+    flush_bytes: AtomicU64,
+    /// Writer slept 1 ms because of the L0SlowDown governor.
+    slowdowns: AtomicU64,
+    /// Writer blocked (memtable full with imm pending, or L0Stop).
+    stalls: AtomicU64,
+    stall_nanos: AtomicU64,
+    user_bytes_written: AtomicU64,
+}
+
+/// Point-in-time copy of [`DbStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DbStatsSnapshot {
+    /// MemTable flushes completed.
+    pub flushes: u64,
+    /// Compactions completed (excluding flushes).
+    pub compactions: u64,
+    /// Logical tables promoted by settled compaction (no rewrite).
+    pub settled_moves: u64,
+    /// Tables promoted by LevelDB-style trivial moves.
+    pub trivial_moves: u64,
+    /// Compactions triggered by wasted seeks.
+    pub seek_compactions: u64,
+    /// Bytes read into compactions.
+    pub compaction_input_bytes: u64,
+    /// Bytes written by compactions.
+    pub compaction_output_bytes: u64,
+    /// Bytes written by flushes.
+    pub flush_bytes: u64,
+    /// L0SlowDown 1 ms sleeps.
+    pub slowdowns: u64,
+    /// Full write stalls.
+    pub stalls: u64,
+    /// Total nanoseconds writers spent stalled.
+    pub stall_nanos: u64,
+    /// Raw user payload bytes accepted by `put`/`delete`.
+    pub user_bytes_written: u64,
+}
+
+impl DbStatsSnapshot {
+    /// Write amplification: device bytes per user byte (caller provides
+    /// total device bytes, typically from the env's `bytes_written`).
+    pub fn write_amplification(&self, device_bytes_written: u64) -> f64 {
+        if self.user_bytes_written == 0 {
+            0.0
+        } else {
+            device_bytes_written as f64 / self.user_bytes_written as f64
+        }
+    }
+}
+
+macro_rules! counters {
+    ($($record:ident / $get:ident => $field:ident),* $(,)?) => {
+        $(
+            /// Increment the counter by `n`.
+            pub fn $record(&self, n: u64) {
+                self.$field.fetch_add(n, Ordering::Relaxed);
+            }
+
+            /// Read the counter.
+            pub fn $get(&self) -> u64 {
+                self.$field.load(Ordering::Relaxed)
+            }
+        )*
+    };
+}
+
+impl DbStats {
+    counters! {
+        record_flush / flushes => flushes,
+        record_compaction / compactions => compactions,
+        record_settled_move / settled_moves => settled_moves,
+        record_trivial_move / trivial_moves => trivial_moves,
+        record_seek_compaction / seek_compactions => seek_compactions,
+        record_compaction_input / compaction_input_bytes => compaction_input_bytes,
+        record_compaction_output / compaction_output_bytes => compaction_output_bytes,
+        record_flush_bytes / flush_bytes => flush_bytes,
+        record_slowdown / slowdowns => slowdowns,
+        record_stall / stalls => stalls,
+        record_stall_nanos / stall_nanos => stall_nanos,
+        record_user_bytes / user_bytes_written => user_bytes_written,
+    }
+
+    /// Copy all counters.
+    pub fn snapshot(&self) -> DbStatsSnapshot {
+        DbStatsSnapshot {
+            flushes: self.flushes(),
+            compactions: self.compactions(),
+            settled_moves: self.settled_moves(),
+            trivial_moves: self.trivial_moves(),
+            seek_compactions: self.seek_compactions(),
+            compaction_input_bytes: self.compaction_input_bytes(),
+            compaction_output_bytes: self.compaction_output_bytes(),
+            flush_bytes: self.flush_bytes(),
+            slowdowns: self.slowdowns(),
+            stalls: self.stalls(),
+            stall_nanos: self.stall_nanos(),
+            user_bytes_written: self.user_bytes_written(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let stats = DbStats::default();
+        stats.record_flush(1);
+        stats.record_compaction(2);
+        stats.record_settled_move(3);
+        stats.record_stall_nanos(500);
+        stats.record_user_bytes(1000);
+        let snap = stats.snapshot();
+        assert_eq!(snap.flushes, 1);
+        assert_eq!(snap.compactions, 2);
+        assert_eq!(snap.settled_moves, 3);
+        assert_eq!(snap.stall_nanos, 500);
+        assert_eq!(snap.user_bytes_written, 1000);
+    }
+
+    #[test]
+    fn write_amplification() {
+        let stats = DbStats::default();
+        stats.record_user_bytes(100);
+        let snap = stats.snapshot();
+        assert!((snap.write_amplification(350) - 3.5).abs() < 1e-9);
+        let empty = DbStatsSnapshot::default();
+        assert_eq!(empty.write_amplification(100), 0.0);
+    }
+}

@@ -1,0 +1,643 @@
+//! Versions: the logical view of the LSM-tree.
+//!
+//! A [`Version`] is an immutable snapshot of which logical SSTables live at
+//! which level. Levels hold *runs* — sorted, internally disjoint sequences
+//! of tables. The three compaction styles map onto this one structure:
+//!
+//! * **Leveled / BoLT** — level 0 has one run per flush (runs may overlap
+//!   each other); levels ≥ 1 have at most one run (tag 0).
+//! * **Fragmented (PebblesDB-shaped)** — every level may hold many runs;
+//!   pushing a level down appends a new run to the next level without
+//!   rewriting it.
+//!
+//! The paper's settled compaction is visible here as a pure metadata move:
+//! a [`TableMeta`] changes level without its `(file, offset, size)`
+//! changing. "The logical view of the LSM-tree is independent of the
+//! physical layout of logical SSTables in compaction files" (§3.4).
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+use bolt_common::coding::{put_fixed64, put_length_prefixed_slice, put_varint32, put_varint64, Decoder};
+use bolt_common::{Error, Result};
+use bolt_table::cache::{TableCache, TableSpec};
+use bolt_table::comparator::{Comparator, InternalKeyComparator};
+use bolt_table::ikey::{extract_user_key, parse_internal_key, SequenceNumber, ValueType};
+
+use crate::filename::table_file;
+use crate::memtable::LookupResult;
+
+/// Metadata of one logical SSTable.
+#[derive(Debug)]
+pub struct TableMeta {
+    /// Unique id of the logical table (never reused).
+    pub table_id: u64,
+    /// Physical file containing the table.
+    pub file_number: u64,
+    /// Byte offset within the file.
+    pub offset: u64,
+    /// Byte size of the table.
+    pub size: u64,
+    /// Number of entries.
+    pub num_entries: u64,
+    /// Smallest internal key.
+    pub smallest: Vec<u8>,
+    /// Largest internal key.
+    pub largest: Vec<u8>,
+    /// Seek-compaction budget (LevelDB: one seek per 16 KB of size).
+    pub allowed_seeks: AtomicI64,
+}
+
+impl Clone for TableMeta {
+    fn clone(&self) -> Self {
+        TableMeta {
+            table_id: self.table_id,
+            file_number: self.file_number,
+            offset: self.offset,
+            size: self.size,
+            num_entries: self.num_entries,
+            smallest: self.smallest.clone(),
+            largest: self.largest.clone(),
+            allowed_seeks: AtomicI64::new(self.allowed_seeks.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl PartialEq for TableMeta {
+    fn eq(&self, other: &Self) -> bool {
+        self.table_id == other.table_id
+            && self.file_number == other.file_number
+            && self.offset == other.offset
+            && self.size == other.size
+            && self.num_entries == other.num_entries
+            && self.smallest == other.smallest
+            && self.largest == other.largest
+    }
+}
+impl Eq for TableMeta {}
+
+impl TableMeta {
+    /// Create metadata with the LevelDB seek budget.
+    pub fn new(
+        table_id: u64,
+        file_number: u64,
+        offset: u64,
+        size: u64,
+        num_entries: u64,
+        smallest: Vec<u8>,
+        largest: Vec<u8>,
+    ) -> Self {
+        let allowed = ((size / 16384) as i64).max(100);
+        TableMeta {
+            table_id,
+            file_number,
+            offset,
+            size,
+            num_entries,
+            smallest,
+            largest,
+            allowed_seeks: AtomicI64::new(allowed),
+        }
+    }
+
+    /// Smallest user key.
+    pub fn smallest_user_key(&self) -> &[u8] {
+        extract_user_key(&self.smallest)
+    }
+
+    /// Largest user key.
+    pub fn largest_user_key(&self) -> &[u8] {
+        extract_user_key(&self.largest)
+    }
+
+    /// Table-cache spec for this table inside database directory `db`.
+    pub fn spec(&self, db: &str) -> TableSpec {
+        TableSpec {
+            table_id: self.table_id,
+            file_number: self.file_number,
+            path: table_file(db, self.file_number),
+            offset: self.offset,
+            size: self.size,
+        }
+    }
+
+    /// `true` if this table's user-key range overlaps `[begin, end]`.
+    pub fn overlaps(&self, icmp: &InternalKeyComparator, begin: &[u8], end: &[u8]) -> bool {
+        let ucmp = icmp.user_comparator();
+        ucmp.compare(self.smallest_user_key(), end) != std::cmp::Ordering::Greater
+            && ucmp.compare(self.largest_user_key(), begin) != std::cmp::Ordering::Less
+    }
+}
+
+/// A sorted, internally disjoint sequence of tables produced by one flush or
+/// compaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Run {
+    /// Recency tag: higher = newer. Leveled levels ≥ 1 use tag 0.
+    pub tag: u64,
+    /// Tables sorted by smallest key, pairwise disjoint.
+    pub tables: Vec<Arc<TableMeta>>,
+}
+
+impl Run {
+    /// Total bytes of the run.
+    pub fn size(&self) -> u64 {
+        self.tables.iter().map(|t| t.size).sum()
+    }
+
+    /// Binary-search for the table that may contain `user_key`.
+    pub fn find(&self, icmp: &InternalKeyComparator, user_key: &[u8]) -> Option<&Arc<TableMeta>> {
+        let ucmp = icmp.user_comparator();
+        // First table whose largest user key >= user_key.
+        let idx = self
+            .tables
+            .partition_point(|t| ucmp.compare(t.largest_user_key(), user_key).is_lt());
+        let table = self.tables.get(idx)?;
+        if ucmp.compare(table.smallest_user_key(), user_key).is_gt() {
+            None
+        } else {
+            Some(table)
+        }
+    }
+}
+
+/// One level of the tree.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LevelState {
+    /// Runs ordered newest-first (descending tag).
+    pub runs: Vec<Run>,
+}
+
+impl LevelState {
+    /// Total bytes in the level.
+    pub fn size(&self) -> u64 {
+        self.runs.iter().map(|r| r.size()).sum()
+    }
+
+    /// Number of runs.
+    pub fn num_runs(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Number of tables.
+    pub fn num_tables(&self) -> usize {
+        self.runs.iter().map(|r| r.tables.len()).sum()
+    }
+
+    /// All tables, newest run first.
+    pub fn tables(&self) -> impl Iterator<Item = &Arc<TableMeta>> {
+        self.runs.iter().flat_map(|r| r.tables.iter())
+    }
+}
+
+/// Outcome of a versioned point lookup, plus seek-compaction feedback.
+#[derive(Debug)]
+pub struct GetResult {
+    /// The lookup outcome.
+    pub result: LookupResult,
+    /// A table that burned a wasted seek (charge `allowed_seeks`).
+    pub seek_charge: Option<(usize, Arc<TableMeta>)>,
+}
+
+/// An immutable snapshot of the tree shape.
+#[derive(Debug, Clone, Default)]
+pub struct Version {
+    /// Levels, index 0 first.
+    pub levels: Vec<LevelState>,
+}
+
+impl Version {
+    /// An empty tree with `num_levels` levels.
+    pub fn empty(num_levels: usize) -> Self {
+        Version {
+            levels: vec![LevelState::default(); num_levels],
+        }
+    }
+
+    /// Total number of live logical tables.
+    pub fn num_tables(&self) -> usize {
+        self.levels.iter().map(|l| l.num_tables()).sum()
+    }
+
+    /// All live tables with their level.
+    pub fn all_tables(&self) -> impl Iterator<Item = (usize, u64, &Arc<TableMeta>)> {
+        self.levels.iter().enumerate().flat_map(|(level, state)| {
+            state
+                .runs
+                .iter()
+                .flat_map(move |run| run.tables.iter().map(move |t| (level, run.tag, t)))
+        })
+    }
+
+    /// Tables in `level` overlapping the user-key range `[begin, end]`.
+    pub fn overlapping_tables(
+        &self,
+        icmp: &InternalKeyComparator,
+        level: usize,
+        begin: &[u8],
+        end: &[u8],
+    ) -> Vec<Arc<TableMeta>> {
+        self.levels[level]
+            .tables()
+            .filter(|t| t.overlaps(icmp, begin, end))
+            .cloned()
+            .collect()
+    }
+
+    /// Point lookup through the levels, newest first.
+    ///
+    /// # Errors
+    ///
+    /// Returns table open/read errors.
+    pub fn get(
+        &self,
+        icmp: &InternalKeyComparator,
+        cache: &TableCache,
+        db: &str,
+        user_key: &[u8],
+        snapshot: SequenceNumber,
+    ) -> Result<GetResult> {
+        let lookup = bolt_table::ikey::lookup_key(user_key, snapshot);
+        let mut first_probe: Option<(usize, Arc<TableMeta>)> = None;
+        let mut probes = 0usize;
+
+        for (level, state) in self.levels.iter().enumerate() {
+            for run in &state.runs {
+                let Some(table) = run.find(icmp, user_key) else {
+                    continue;
+                };
+                probes += 1;
+                if first_probe.is_none() {
+                    first_probe = Some((level, Arc::clone(table)));
+                }
+                let reader = cache.table(&table.spec(db))?;
+                if let Some((ikey, value)) = reader.internal_get(&lookup)? {
+                    let parsed = parse_internal_key(&ikey)?;
+                    if parsed.user_key == user_key && parsed.sequence <= snapshot {
+                        let result = match parsed.value_type {
+                            ValueType::Deletion => LookupResult::Deleted,
+                            ValueType::Value => LookupResult::Value(value),
+                        };
+                        // A lookup that had to probe more than one table
+                        // charges the first table (LevelDB seek compaction).
+                        let seek_charge = if probes > 1 { first_probe } else { None };
+                        return Ok(GetResult { result, seek_charge });
+                    }
+                }
+            }
+        }
+        Ok(GetResult {
+            result: LookupResult::NotFound,
+            seek_charge: if probes > 1 { first_probe } else { None },
+        })
+    }
+}
+
+/// A record of changes from one version to the next — the MANIFEST payload.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VersionEdit {
+    /// WALs numbered below this are obsolete after the edit.
+    pub log_number: Option<u64>,
+    /// High-water mark for physical file numbers.
+    pub next_file_number: Option<u64>,
+    /// High-water mark for logical table ids.
+    pub next_table_id: Option<u64>,
+    /// Last sequence number at edit time.
+    pub last_sequence: Option<u64>,
+    /// Round-robin compaction cursors `(level, largest internal key)`.
+    pub compact_pointers: Vec<(u32, Vec<u8>)>,
+    /// Tables removed: `(level, table_id)`.
+    pub deleted_tables: Vec<(u32, u64)>,
+    /// Tables added: `(level, run_tag, meta)`.
+    pub added_tables: Vec<(u32, u64, TableMeta)>,
+}
+
+mod tag {
+    pub const LOG_NUMBER: u64 = 1;
+    pub const NEXT_FILE: u64 = 2;
+    pub const NEXT_TABLE_ID: u64 = 3;
+    pub const LAST_SEQUENCE: u64 = 4;
+    pub const COMPACT_POINTER: u64 = 5;
+    pub const DELETED_TABLE: u64 = 6;
+    pub const ADDED_TABLE: u64 = 7;
+}
+
+impl VersionEdit {
+    /// Serialize for the MANIFEST.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        if let Some(v) = self.log_number {
+            put_varint64(&mut out, tag::LOG_NUMBER);
+            put_varint64(&mut out, v);
+        }
+        if let Some(v) = self.next_file_number {
+            put_varint64(&mut out, tag::NEXT_FILE);
+            put_varint64(&mut out, v);
+        }
+        if let Some(v) = self.next_table_id {
+            put_varint64(&mut out, tag::NEXT_TABLE_ID);
+            put_varint64(&mut out, v);
+        }
+        if let Some(v) = self.last_sequence {
+            put_varint64(&mut out, tag::LAST_SEQUENCE);
+            put_varint64(&mut out, v);
+        }
+        for (level, key) in &self.compact_pointers {
+            put_varint64(&mut out, tag::COMPACT_POINTER);
+            put_varint32(&mut out, *level);
+            put_length_prefixed_slice(&mut out, key);
+        }
+        for (level, table_id) in &self.deleted_tables {
+            put_varint64(&mut out, tag::DELETED_TABLE);
+            put_varint32(&mut out, *level);
+            put_varint64(&mut out, *table_id);
+        }
+        for (level, run_tag, meta) in &self.added_tables {
+            put_varint64(&mut out, tag::ADDED_TABLE);
+            put_varint32(&mut out, *level);
+            put_varint64(&mut out, *run_tag);
+            put_varint64(&mut out, meta.table_id);
+            put_varint64(&mut out, meta.file_number);
+            // Fixed-width offset: the paper notes BoLT's only MANIFEST
+            // format cost is "an offset of each SSTable, which is only
+            // 8 bytes" (§3.2).
+            put_fixed64(&mut out, meta.offset);
+            put_varint64(&mut out, meta.size);
+            put_varint64(&mut out, meta.num_entries);
+            put_length_prefixed_slice(&mut out, &meta.smallest);
+            put_length_prefixed_slice(&mut out, &meta.largest);
+        }
+        out
+    }
+
+    /// Parse a MANIFEST record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corruption`] on malformed input.
+    pub fn decode(data: &[u8]) -> Result<VersionEdit> {
+        let mut edit = VersionEdit::default();
+        let mut dec = Decoder::new(data);
+        while !dec.is_empty() {
+            match dec.varint64()? {
+                tag::LOG_NUMBER => edit.log_number = Some(dec.varint64()?),
+                tag::NEXT_FILE => edit.next_file_number = Some(dec.varint64()?),
+                tag::NEXT_TABLE_ID => edit.next_table_id = Some(dec.varint64()?),
+                tag::LAST_SEQUENCE => edit.last_sequence = Some(dec.varint64()?),
+                tag::COMPACT_POINTER => {
+                    let level = dec.varint32()?;
+                    let key = dec.length_prefixed_slice()?.to_vec();
+                    edit.compact_pointers.push((level, key));
+                }
+                tag::DELETED_TABLE => {
+                    let level = dec.varint32()?;
+                    let table_id = dec.varint64()?;
+                    edit.deleted_tables.push((level, table_id));
+                }
+                tag::ADDED_TABLE => {
+                    let level = dec.varint32()?;
+                    let run_tag = dec.varint64()?;
+                    let table_id = dec.varint64()?;
+                    let file_number = dec.varint64()?;
+                    let offset = dec.fixed64()?;
+                    let size = dec.varint64()?;
+                    let num_entries = dec.varint64()?;
+                    let smallest = dec.length_prefixed_slice()?.to_vec();
+                    let largest = dec.length_prefixed_slice()?.to_vec();
+                    edit.added_tables.push((
+                        level,
+                        run_tag,
+                        TableMeta::new(
+                            table_id,
+                            file_number,
+                            offset,
+                            size,
+                            num_entries,
+                            smallest,
+                            largest,
+                        ),
+                    ));
+                }
+                other => {
+                    return Err(Error::corruption(format!("unknown edit tag {other}")));
+                }
+            }
+        }
+        Ok(edit)
+    }
+}
+
+/// Applies a sequence of edits to a base version.
+///
+/// A table id lives in exactly one place, so a *move* (settled compaction)
+/// is expressed as delete + re-add of the same id within one edit: the add
+/// always wins over the base placement.
+#[derive(Debug)]
+pub struct VersionBuilder {
+    icmp: InternalKeyComparator,
+    base: Arc<Version>,
+    deleted: std::collections::HashSet<u64>,
+    /// table_id -> (level, run_tag, meta); later edits replace earlier.
+    added: std::collections::BTreeMap<u64, (u32, u64, Arc<TableMeta>)>,
+}
+
+impl VersionBuilder {
+    /// Start from `base`.
+    pub fn new(icmp: InternalKeyComparator, base: Arc<Version>) -> Self {
+        VersionBuilder {
+            icmp,
+            base,
+            deleted: std::collections::HashSet::new(),
+            added: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Apply one edit's table changes (edits must arrive in log order).
+    pub fn apply(&mut self, edit: &VersionEdit) {
+        for (_, table_id) in &edit.deleted_tables {
+            self.deleted.insert(*table_id);
+            self.added.remove(table_id);
+        }
+        for (level, run_tag, meta) in &edit.added_tables {
+            self.added
+                .insert(meta.table_id, (*level, *run_tag, Arc::new(meta.clone())));
+        }
+    }
+
+    /// Produce the resulting version.
+    pub fn build(self) -> Version {
+        let num_levels = self.base.levels.len();
+        let mut version = Version::empty(num_levels);
+        // (level, tag) -> tables
+        let mut runs: std::collections::BTreeMap<(usize, u64), Vec<Arc<TableMeta>>> =
+            std::collections::BTreeMap::new();
+        for (level, state) in self.base.levels.iter().enumerate() {
+            for run in &state.runs {
+                for table in &run.tables {
+                    // Adds override the base placement (moves).
+                    if !self.deleted.contains(&table.table_id)
+                        && !self.added.contains_key(&table.table_id)
+                    {
+                        runs.entry((level, run.tag))
+                            .or_default()
+                            .push(Arc::clone(table));
+                    }
+                }
+            }
+        }
+        for (_, (level, run_tag, meta)) in self.added {
+            runs.entry((level as usize, run_tag)).or_default().push(meta);
+        }
+        let icmp = &self.icmp;
+        for ((level, tag), mut tables) in runs {
+            if tables.is_empty() {
+                continue;
+            }
+            tables.sort_by(|a, b| icmp.compare(&a.smallest, &b.smallest));
+            debug_assert!(
+                tables
+                    .windows(2)
+                    .all(|w| icmp
+                        .user_comparator()
+                        .compare(w[0].largest_user_key(), w[1].smallest_user_key())
+                        .is_lt()),
+                "run {tag} at level {level} has overlapping tables"
+            );
+            version.levels[level].runs.push(Run { tag, tables });
+        }
+        // Newest runs first.
+        for state in &mut version.levels {
+            state.runs.sort_by(|a, b| b.tag.cmp(&a.tag));
+        }
+        version
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolt_table::ikey::make_internal_key;
+
+    fn meta(id: u64, smallest: &[u8], largest: &[u8]) -> TableMeta {
+        TableMeta::new(
+            id,
+            id,
+            0,
+            1 << 20,
+            10,
+            make_internal_key(smallest, 100, ValueType::Value),
+            make_internal_key(largest, 1, ValueType::Value),
+        )
+    }
+
+    fn icmp() -> InternalKeyComparator {
+        InternalKeyComparator::default()
+    }
+
+    #[test]
+    fn edit_roundtrip() {
+        let mut edit = VersionEdit {
+            log_number: Some(9),
+            next_file_number: Some(42),
+            next_table_id: Some(77),
+            last_sequence: Some(123456),
+            ..Default::default()
+        };
+        edit.compact_pointers
+            .push((2, make_internal_key(b"ptr", 5, ValueType::Value)));
+        edit.deleted_tables.push((1, 11));
+        edit.added_tables.push((2, 0, meta(12, b"a", b"m")));
+        edit.added_tables.push((0, 7, meta(13, b"n", b"z")));
+
+        let decoded = VersionEdit::decode(&edit.encode()).unwrap();
+        assert_eq!(decoded, edit);
+    }
+
+    #[test]
+    fn decode_rejects_unknown_tag() {
+        let mut data = Vec::new();
+        put_varint64(&mut data, 99);
+        assert!(VersionEdit::decode(&data).is_err());
+    }
+
+    #[test]
+    fn builder_adds_and_deletes() {
+        let base = Arc::new(Version::empty(7));
+        let mut edit = VersionEdit::default();
+        edit.added_tables.push((0, 1, meta(1, b"a", b"c")));
+        edit.added_tables.push((0, 2, meta(2, b"b", b"d")));
+        edit.added_tables.push((1, 0, meta(3, b"a", b"c")));
+        edit.added_tables.push((1, 0, meta(4, b"d", b"f")));
+        let mut builder = VersionBuilder::new(icmp(), base);
+        builder.apply(&edit);
+        let v1 = Arc::new(builder.build());
+        assert_eq!(v1.levels[0].num_runs(), 2);
+        assert_eq!(v1.levels[0].runs[0].tag, 2, "newest run first");
+        assert_eq!(v1.levels[1].num_runs(), 1);
+        assert_eq!(v1.levels[1].runs[0].tables.len(), 2);
+
+        // Delete one L0 run's table, move an L1 table to L2 (settled move).
+        let mut edit2 = VersionEdit::default();
+        edit2.deleted_tables.push((0, 1));
+        edit2.deleted_tables.push((1, 4));
+        edit2.added_tables.push((2, 0, meta(4, b"d", b"f")));
+        let mut builder = VersionBuilder::new(icmp(), Arc::clone(&v1));
+        builder.apply(&edit2);
+        let v2 = builder.build();
+        assert_eq!(v2.levels[0].num_runs(), 1);
+        assert_eq!(v2.levels[1].num_tables(), 1);
+        assert_eq!(v2.levels[2].num_tables(), 1);
+        assert_eq!(v2.levels[2].runs[0].tables[0].table_id, 4);
+        // The moved table kept its physical location.
+        assert_eq!(v2.levels[2].runs[0].tables[0].file_number, 4);
+    }
+
+    #[test]
+    fn run_find_binary_search() {
+        let run = Run {
+            tag: 0,
+            tables: vec![
+                Arc::new(meta(1, b"a", b"c")),
+                Arc::new(meta(2, b"e", b"g")),
+                Arc::new(meta(3, b"i", b"k")),
+            ],
+        };
+        let ic = icmp();
+        assert_eq!(run.find(&ic, b"b").unwrap().table_id, 1);
+        assert_eq!(run.find(&ic, b"e").unwrap().table_id, 2);
+        assert_eq!(run.find(&ic, b"g").unwrap().table_id, 2);
+        assert!(run.find(&ic, b"d").is_none());
+        assert!(run.find(&ic, b"z").is_none());
+        assert_eq!(run.find(&ic, b"k").unwrap().table_id, 3);
+    }
+
+    #[test]
+    fn overlapping_tables_across_runs() {
+        let base = Arc::new(Version::empty(7));
+        let mut edit = VersionEdit::default();
+        edit.added_tables.push((0, 1, meta(1, b"a", b"f")));
+        edit.added_tables.push((0, 2, meta(2, b"d", b"j")));
+        edit.added_tables.push((0, 3, meta(3, b"p", b"q")));
+        let mut builder = VersionBuilder::new(icmp(), base);
+        builder.apply(&edit);
+        let v = builder.build();
+        let overlapping = v.overlapping_tables(&icmp(), 0, b"e", b"g");
+        let mut ids: Vec<u64> = overlapping.iter().map(|t| t.table_id).collect();
+        ids.sort();
+        assert_eq!(ids, vec![1, 2]);
+        assert!(v.overlapping_tables(&icmp(), 0, b"k", b"o").is_empty());
+    }
+
+    #[test]
+    fn level_sizes() {
+        let base = Arc::new(Version::empty(7));
+        let mut edit = VersionEdit::default();
+        edit.added_tables.push((1, 0, meta(1, b"a", b"c")));
+        edit.added_tables.push((1, 0, meta(2, b"d", b"f")));
+        let mut builder = VersionBuilder::new(icmp(), base);
+        builder.apply(&edit);
+        let v = builder.build();
+        assert_eq!(v.levels[1].size(), 2 << 20);
+        assert_eq!(v.num_tables(), 2);
+    }
+}

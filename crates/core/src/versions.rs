@@ -1,0 +1,641 @@
+//! The VersionSet: MANIFEST logging, version installation, recovery, and
+//! physical-space reclamation.
+//!
+//! The MANIFEST is the **commit barrier** of every flush and compaction
+//! (§2.4): new tables are synced first, then a [`VersionEdit`] is appended
+//! to the MANIFEST and synced, atomically validating the new tables and
+//! invalidating the victims. Only after that commit does
+//! [`VersionSet::collect_garbage`] reclaim space — by deleting files whose
+//! every logical table is dead, or by **punching holes** in compaction
+//! files that still host live logical tables (§3.2, no barrier needed).
+
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Weak};
+
+use bolt_common::{Error, Result};
+use bolt_env::Env;
+use bolt_table::cache::TableCache;
+use bolt_table::comparator::InternalKeyComparator;
+use bolt_wal::{LogReader, LogWriter};
+
+use crate::filename::{current_file, manifest_file, table_file};
+use crate::version::{Version, VersionBuilder, VersionEdit};
+
+#[derive(Debug, Clone)]
+struct FileRegion {
+    offset: u64,
+    size: u64,
+    table_id: u64,
+}
+
+#[derive(Debug, Default)]
+struct FileInfo {
+    regions: Vec<FileRegion>,
+    punched: HashSet<u64>,
+}
+
+/// Owns the current [`Version`], the MANIFEST, and the id counters.
+pub struct VersionSet {
+    env: Arc<dyn Env>,
+    db: String,
+    icmp: InternalKeyComparator,
+    num_levels: usize,
+    current: Arc<Version>,
+    /// Every installed version; readers may still hold old ones.
+    live: Vec<Weak<Version>>,
+    manifest: Option<LogWriter>,
+    manifest_number: u64,
+    /// Next physical file number to hand out.
+    pub next_file_number: u64,
+    /// Next logical table id to hand out.
+    pub next_table_id: u64,
+    /// Recovered last sequence number (authoritative copy lives in the DB).
+    pub last_sequence: u64,
+    /// WALs below this number are obsolete.
+    pub log_number: u64,
+    /// Round-robin victim cursor per level (largest internal key of the
+    /// last victim).
+    pub compact_pointer: Vec<Option<Vec<u8>>>,
+    files: HashMap<u64, FileInfo>,
+    pending_files: HashSet<u64>,
+}
+
+impl std::fmt::Debug for VersionSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VersionSet")
+            .field("next_file_number", &self.next_file_number)
+            .field("next_table_id", &self.next_table_id)
+            .field("log_number", &self.log_number)
+            .field("live_tables", &self.current.num_tables())
+            .finish()
+    }
+}
+
+impl VersionSet {
+    /// Create an empty set for database directory `db`.
+    pub fn new(env: Arc<dyn Env>, db: &str, icmp: InternalKeyComparator, num_levels: usize) -> Self {
+        VersionSet {
+            env,
+            db: db.to_string(),
+            icmp,
+            num_levels,
+            current: Arc::new(Version::empty(num_levels)),
+            live: Vec::new(),
+            manifest: None,
+            manifest_number: 0,
+            next_file_number: 1,
+            next_table_id: 1,
+            last_sequence: 0,
+            log_number: 0,
+            compact_pointer: vec![None; num_levels],
+            files: HashMap::new(),
+            pending_files: HashSet::new(),
+        }
+    }
+
+    /// The current version.
+    pub fn current(&self) -> Arc<Version> {
+        Arc::clone(&self.current)
+    }
+
+    /// The internal-key comparator.
+    pub fn icmp(&self) -> &InternalKeyComparator {
+        &self.icmp
+    }
+
+    /// Database directory.
+    pub fn db_name(&self) -> &str {
+        &self.db
+    }
+
+    /// Allocate a physical file number.
+    pub fn new_file_number(&mut self) -> u64 {
+        let n = self.next_file_number;
+        self.next_file_number += 1;
+        n
+    }
+
+    /// Allocate a logical table id.
+    pub fn new_table_id(&mut self) -> u64 {
+        let n = self.next_table_id;
+        self.next_table_id += 1;
+        n
+    }
+
+    /// Protect `file_number` from garbage collection while being written.
+    pub fn mark_pending(&mut self, file_number: u64) {
+        self.pending_files.insert(file_number);
+    }
+
+    /// Release the pending mark.
+    pub fn clear_pending(&mut self, file_number: u64) {
+        self.pending_files.remove(&file_number);
+    }
+
+    /// Record that `[offset, offset+size)` of `file_number` holds logical
+    /// table `table_id` (enables hole punching when it dies).
+    pub fn register_region(&mut self, file_number: u64, offset: u64, size: u64, table_id: u64) {
+        self.files
+            .entry(file_number)
+            .or_default()
+            .regions
+            .push(FileRegion {
+                offset,
+                size,
+                table_id,
+            });
+    }
+
+    /// Append `edit` to the MANIFEST, sync it (the commit barrier), and
+    /// install the resulting version.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O or corruption errors; on error the in-memory state is
+    /// unchanged.
+    pub fn log_and_apply(&mut self, mut edit: VersionEdit) -> Result<Arc<Version>> {
+        edit.next_file_number = Some(self.next_file_number);
+        edit.next_table_id = Some(self.next_table_id);
+        if edit.last_sequence.is_none() {
+            edit.last_sequence = Some(self.last_sequence);
+        }
+        for (level, key) in &edit.compact_pointers {
+            self.compact_pointer[*level as usize] = Some(key.clone());
+        }
+
+        let manifest = self
+            .manifest
+            .as_mut()
+            .ok_or_else(|| Error::InvalidState("version set not initialized".into()))?;
+        manifest.add_record(&edit.encode())?;
+        manifest.sync()?;
+
+        if let Some(seq) = edit.last_sequence {
+            self.last_sequence = self.last_sequence.max(seq);
+        }
+        if let Some(n) = edit.log_number {
+            self.log_number = self.log_number.max(n);
+        }
+        for (level, run_tag, meta) in &edit.added_tables {
+            let _ = (level, run_tag);
+            self.register_region(meta.file_number, meta.offset, meta.size, meta.table_id);
+        }
+
+        let mut builder = VersionBuilder::new(self.icmp.clone(), Arc::clone(&self.current));
+        builder.apply(&edit);
+        let version = Arc::new(builder.build());
+        self.live.push(Arc::downgrade(&version));
+        self.current = Arc::clone(&version);
+        Ok(version)
+    }
+
+    /// Reclaim space: punch dead logical tables out of shared files, delete
+    /// files with no live tables, and forget dropped versions. Call only
+    /// after the MANIFEST commit that invalidated the victims.
+    pub fn collect_garbage(&mut self, table_cache: &TableCache) {
+        // Gather live table ids across current + still-referenced versions.
+        let mut live_tables: HashSet<u64> = HashSet::new();
+        self.live.retain(|weak| match weak.upgrade() {
+            Some(version) => {
+                for (_, _, table) in version.all_tables() {
+                    live_tables.insert(table.table_id);
+                }
+                true
+            }
+            None => false,
+        });
+        for (_, _, table) in self.current.all_tables() {
+            live_tables.insert(table.table_id);
+        }
+
+        let mut dead_files = Vec::new();
+        for (&file_number, info) in &mut self.files {
+            if self.pending_files.contains(&file_number) {
+                continue;
+            }
+            let any_live = info.regions.iter().any(|r| live_tables.contains(&r.table_id));
+            if !any_live {
+                dead_files.push(file_number);
+                continue;
+            }
+            for region in &info.regions {
+                if !live_tables.contains(&region.table_id)
+                    && info.punched.insert(region.table_id)
+                {
+                    // Lazy metadata update, no barrier (§3.2).
+                    let _ = self.env.punch_hole(
+                        &table_file(&self.db, file_number),
+                        region.offset,
+                        region.size,
+                    );
+                    table_cache.evict(region.table_id);
+                }
+            }
+        }
+        for file_number in dead_files {
+            if let Some(info) = self.files.remove(&file_number) {
+                for region in &info.regions {
+                    table_cache.evict(region.table_id);
+                }
+            }
+            table_cache.evict_file(file_number);
+            let _ = self.env.delete_file(&table_file(&self.db, file_number));
+        }
+    }
+
+    /// Initialize a brand-new database: write MANIFEST-000001 with an empty
+    /// snapshot and point CURRENT at it.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors from the env.
+    pub fn create_new(&mut self) -> Result<()> {
+        self.manifest_number = self.new_file_number();
+        let path = manifest_file(&self.db, self.manifest_number);
+        let mut manifest = LogWriter::new(self.env.new_writable_file(&path)?);
+        let edit = VersionEdit {
+            next_file_number: Some(self.next_file_number),
+            next_table_id: Some(self.next_table_id),
+            last_sequence: Some(0),
+            log_number: Some(0),
+            ..Default::default()
+        };
+        manifest.add_record(&edit.encode())?;
+        manifest.sync()?;
+        self.manifest = Some(manifest);
+        self.install_current(self.manifest_number)?;
+        Ok(())
+    }
+
+    fn install_current(&self, manifest_number: u64) -> Result<()> {
+        // Write CURRENT via a temp file + atomic rename (durable rename
+        // semantics are modeled by the env).
+        let tmp = format!("{}.tmp", current_file(&self.db));
+        let mut f = self.env.new_writable_file(&tmp)?;
+        let name = format!("MANIFEST-{manifest_number:06}\n");
+        f.append(name.as_bytes())?;
+        f.sync()?;
+        drop(f);
+        self.env.rename_file(&tmp, &current_file(&self.db))
+    }
+
+    /// Recover state from CURRENT + MANIFEST; then start a fresh MANIFEST
+    /// containing a full snapshot (bounding manifest growth) and swing
+    /// CURRENT to it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corruption`] for malformed manifests and I/O errors
+    /// from the env.
+    pub fn recover(&mut self) -> Result<()> {
+        let current = self.env.new_random_access_file(&current_file(&self.db))?;
+        let content = current.read(0, current.len() as usize)?;
+        let name = String::from_utf8(content)
+            .map_err(|_| Error::corruption("CURRENT not utf-8"))?;
+        let name = name.trim();
+        let old_manifest_path = bolt_env::join_path(&self.db, name);
+
+        let mut reader = LogReader::new(self.env.new_random_access_file(&old_manifest_path)?);
+        let mut builder = VersionBuilder::new(
+            self.icmp.clone(),
+            Arc::new(Version::empty(self.num_levels)),
+        );
+        let mut found_any = false;
+        while let Some(record) = reader.read_record()? {
+            let edit = VersionEdit::decode(&record)?;
+            if let Some(n) = edit.next_file_number {
+                self.next_file_number = self.next_file_number.max(n);
+            }
+            if let Some(n) = edit.next_table_id {
+                self.next_table_id = self.next_table_id.max(n);
+            }
+            if let Some(n) = edit.last_sequence {
+                self.last_sequence = self.last_sequence.max(n);
+            }
+            if let Some(n) = edit.log_number {
+                self.log_number = self.log_number.max(n);
+            }
+            for (level, key) in &edit.compact_pointers {
+                self.compact_pointer[*level as usize] = Some(key.clone());
+            }
+            builder.apply(&edit);
+            found_any = true;
+        }
+        if !found_any {
+            return Err(Error::corruption("empty MANIFEST"));
+        }
+        self.current = Arc::new(builder.build());
+
+        // Rebuild the region registry from live tables.
+        self.files.clear();
+        let snapshot_tables: Vec<_> = self
+            .current
+            .all_tables()
+            .map(|(level, tag, meta)| (level as u32, tag, meta.as_ref().clone()))
+            .collect();
+        for (_, _, meta) in &snapshot_tables {
+            self.register_region(meta.file_number, meta.offset, meta.size, meta.table_id);
+        }
+
+        // Start a fresh manifest with a complete snapshot.
+        self.manifest_number = self.new_file_number();
+        let path = manifest_file(&self.db, self.manifest_number);
+        let mut manifest = LogWriter::new(self.env.new_writable_file(&path)?);
+        let snapshot = VersionEdit {
+            next_file_number: Some(self.next_file_number),
+            next_table_id: Some(self.next_table_id),
+            last_sequence: Some(self.last_sequence),
+            log_number: Some(self.log_number),
+            compact_pointers: self
+                .compact_pointer
+                .iter()
+                .enumerate()
+                .filter_map(|(level, p)| p.clone().map(|key| (level as u32, key)))
+                .collect(),
+            added_tables: snapshot_tables,
+            ..Default::default()
+        };
+        manifest.add_record(&snapshot.encode())?;
+        manifest.sync()?;
+        self.manifest = Some(manifest);
+        self.install_current(self.manifest_number)?;
+        let _ = self.env.delete_file(&old_manifest_path);
+        Ok(())
+    }
+
+    /// Physical file numbers currently referenced (live regions or pending).
+    pub fn referenced_files(&self) -> HashSet<u64> {
+        let mut refs: HashSet<u64> = self.files.keys().copied().collect();
+        refs.extend(self.pending_files.iter().copied());
+        refs
+    }
+
+    /// The active MANIFEST file number.
+    pub fn manifest_number(&self) -> u64 {
+        self.manifest_number
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::version::TableMeta;
+    use bolt_common::bloom::BloomFilterPolicy;
+    use bolt_env::MemEnv;
+    use bolt_table::builder::FilterKey;
+    use bolt_table::ikey::{make_internal_key, ValueType};
+    use bolt_table::TableReadOptions;
+
+    fn test_cache(env: &Arc<dyn Env>) -> TableCache {
+        TableCache::new(
+            Arc::clone(env),
+            100,
+            None,
+            TableReadOptions {
+                comparator: Arc::new(InternalKeyComparator::default()),
+                filter_policy: Some(BloomFilterPolicy::default()),
+                filter_key: FilterKey::UserKey,
+                block_cache: None,
+            },
+        )
+    }
+
+    fn meta(id: u64, file: u64, offset: u64, size: u64) -> TableMeta {
+        TableMeta::new(
+            id,
+            file,
+            offset,
+            size,
+            1,
+            make_internal_key(format!("k{id:04}a").as_bytes(), 10, ValueType::Value),
+            make_internal_key(format!("k{id:04}z").as_bytes(), 1, ValueType::Value),
+        )
+    }
+
+    fn new_set(env: &Arc<dyn Env>) -> VersionSet {
+        env.create_dir_all("db").unwrap();
+        let mut vs = VersionSet::new(
+            Arc::clone(env),
+            "db",
+            InternalKeyComparator::default(),
+            7,
+        );
+        vs.create_new().unwrap();
+        vs
+    }
+
+    #[test]
+    fn create_and_reopen_empty() {
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+        {
+            let _vs = new_set(&env);
+        }
+        let mut vs = VersionSet::new(
+            Arc::clone(&env),
+            "db",
+            InternalKeyComparator::default(),
+            7,
+        );
+        vs.recover().unwrap();
+        assert_eq!(vs.current().num_tables(), 0);
+    }
+
+    #[test]
+    fn edits_survive_recovery() {
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+        let next_ids;
+        {
+            let mut vs = new_set(&env);
+            let mut edit = VersionEdit::default();
+            let t1 = vs.new_table_id();
+            let f1 = vs.new_file_number();
+            edit.added_tables.push((0, 5, meta(t1, f1, 0, 100)));
+            edit.last_sequence = Some(42);
+            edit.log_number = Some(3);
+            vs.log_and_apply(edit).unwrap();
+
+            let mut edit2 = VersionEdit::default();
+            let t2 = vs.new_table_id();
+            let f2 = vs.new_file_number();
+            edit2.added_tables.push((1, 0, meta(t2, f2, 0, 200)));
+            edit2.compact_pointers.push((
+                1,
+                make_internal_key(b"cp", 1, ValueType::Value),
+            ));
+            vs.log_and_apply(edit2).unwrap();
+            next_ids = (vs.next_file_number, vs.next_table_id);
+        }
+
+        let mut vs = VersionSet::new(
+            Arc::clone(&env),
+            "db",
+            InternalKeyComparator::default(),
+            7,
+        );
+        vs.recover().unwrap();
+        assert_eq!(vs.current().num_tables(), 2);
+        assert_eq!(vs.current().levels[0].runs[0].tag, 5);
+        assert_eq!(vs.last_sequence, 42);
+        assert_eq!(vs.log_number, 3);
+        assert!(vs.compact_pointer[1].is_some());
+        assert!(vs.next_file_number >= next_ids.0);
+        assert!(vs.next_table_id >= next_ids.1);
+    }
+
+    #[test]
+    fn recovery_survives_crash_after_commit() {
+        let mem_env = Arc::new(MemEnv::new());
+        let env: Arc<dyn Env> = Arc::clone(&mem_env) as Arc<dyn Env>;
+        {
+            let mut vs = new_set(&env);
+            let mut edit = VersionEdit::default();
+            let t = vs.new_table_id();
+            let f = vs.new_file_number();
+            edit.added_tables.push((0, 1, meta(t, f, 0, 100)));
+            vs.log_and_apply(edit).unwrap();
+        }
+        // Crash: everything synced by log_and_apply must survive.
+        mem_env.crash(bolt_env::CrashConfig::Clean);
+        let mut vs = VersionSet::new(
+            Arc::clone(&env),
+            "db",
+            InternalKeyComparator::default(),
+            7,
+        );
+        vs.recover().unwrap();
+        assert_eq!(vs.current().num_tables(), 1);
+    }
+
+    #[test]
+    fn uncommitted_edit_is_lost_on_crash() {
+        let mem_env = Arc::new(MemEnv::new());
+        let env: Arc<dyn Env> = Arc::clone(&mem_env) as Arc<dyn Env>;
+        {
+            let mut vs = new_set(&env);
+            let mut edit = VersionEdit::default();
+            let t = vs.new_table_id();
+            let f = vs.new_file_number();
+            edit.added_tables.push((0, 1, meta(t, f, 0, 100)));
+            vs.log_and_apply(edit).unwrap();
+            // Append a record but crash before sync.
+            let mut edit2 = VersionEdit::default();
+            edit2.added_tables.push((0, 2, meta(99, 98, 0, 100)));
+            vs.manifest
+                .as_mut()
+                .unwrap()
+                .add_record(&edit2.encode())
+                .unwrap();
+        }
+        mem_env.crash(bolt_env::CrashConfig::Clean);
+        let mut vs = VersionSet::new(
+            Arc::clone(&env),
+            "db",
+            InternalKeyComparator::default(),
+            7,
+        );
+        vs.recover().unwrap();
+        assert_eq!(vs.current().num_tables(), 1, "torn edit must not apply");
+    }
+
+    #[test]
+    fn gc_deletes_fully_dead_files_and_punches_partial() {
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+        let cache = test_cache(&env);
+        let mut vs = new_set(&env);
+
+        // Two logical tables in one physical "compaction file".
+        let f = vs.new_file_number();
+        let path = table_file("db", f);
+        let mut file = env.new_writable_file(&path).unwrap();
+        file.append(&[0xaa; 2048]).unwrap();
+        file.sync().unwrap();
+        drop(file);
+
+        let (ta, tb) = (vs.new_table_id(), vs.new_table_id());
+        let mut edit = VersionEdit::default();
+        edit.added_tables.push((0, 1, meta(ta, f, 0, 1024)));
+        edit.added_tables.push((0, 2, meta(tb, f, 1024, 1024)));
+        vs.log_and_apply(edit).unwrap();
+
+        // Kill table A only: expect a punched hole, file still present.
+        let mut edit = VersionEdit::default();
+        edit.deleted_tables.push((0, ta));
+        vs.log_and_apply(edit).unwrap();
+        vs.collect_garbage(&cache);
+        assert!(env.file_exists(&path));
+        let r = env.new_random_access_file(&path).unwrap();
+        assert!(r.read(0, 1024).unwrap().iter().all(|&b| b == 0));
+        assert!(r.read(1024, 1024).unwrap().iter().all(|&b| b == 0xaa));
+        assert_eq!(env.stats().snapshot().holes_punched, 1);
+
+        // Kill table B: the file dies.
+        let mut edit = VersionEdit::default();
+        edit.deleted_tables.push((0, tb));
+        vs.log_and_apply(edit).unwrap();
+        vs.collect_garbage(&cache);
+        assert!(!env.file_exists(&path));
+    }
+
+    #[test]
+    fn gc_respects_versions_held_by_readers() {
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+        let cache = test_cache(&env);
+        let mut vs = new_set(&env);
+
+        let f = vs.new_file_number();
+        let path = table_file("db", f);
+        let mut file = env.new_writable_file(&path).unwrap();
+        file.append(&[1u8; 100]).unwrap();
+        file.sync().unwrap();
+        drop(file);
+
+        let t = vs.new_table_id();
+        let mut edit = VersionEdit::default();
+        edit.added_tables.push((0, 1, meta(t, f, 0, 100)));
+        let held = vs.log_and_apply(edit).unwrap(); // reader holds this version
+
+        let mut edit = VersionEdit::default();
+        edit.deleted_tables.push((0, t));
+        vs.log_and_apply(edit).unwrap();
+        vs.collect_garbage(&cache);
+        assert!(
+            env.file_exists(&path),
+            "file kept while an old version references it"
+        );
+        drop(held);
+        vs.collect_garbage(&cache);
+        assert!(!env.file_exists(&path));
+    }
+
+    #[test]
+    fn pending_files_are_protected() {
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+        let cache = test_cache(&env);
+        let mut vs = new_set(&env);
+        let f = vs.new_file_number();
+        let path = table_file("db", f);
+        let mut file = env.new_writable_file(&path).unwrap();
+        file.append(&[1u8; 10]).unwrap();
+        file.sync().unwrap();
+        drop(file);
+        vs.mark_pending(f);
+        vs.register_region(f, 0, 10, 424242); // no live table references it
+        vs.collect_garbage(&cache);
+        assert!(env.file_exists(&path));
+        vs.clear_pending(f);
+        vs.collect_garbage(&cache);
+        assert!(!env.file_exists(&path));
+    }
+
+    #[test]
+    fn manifest_sync_counts_as_barrier() {
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+        let mut vs = new_set(&env);
+        let before = env.stats().fsync_calls();
+        let mut edit = VersionEdit::default();
+        let t = vs.new_table_id();
+        edit.added_tables.push((0, 1, meta(t, 55, 0, 10)));
+        vs.log_and_apply(edit).unwrap();
+        assert_eq!(env.stats().fsync_calls(), before + 1);
+    }
+}

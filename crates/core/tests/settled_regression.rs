@@ -1,0 +1,51 @@
+use bolt_core::{Db, Options};
+use bolt_env::{Env, MemEnv};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Regression: the `+STL` (settled compaction) ablation must stay
+/// equivalent to a reference map across flush/compaction rounds — this
+/// configuration once exposed the L0 seek-compaction inversion.
+#[test]
+fn settled_ablation_matches_reference_model() {
+    let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+    let db = Db::open(Arc::clone(&env), "db", Options::bolt_stl().scaled(1.0/256.0)).unwrap();
+    let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+    let mut rng = bolt_common::rng::Rng64::new(0xfeed);
+    for round in 0..4 {
+        for _ in 0..1500 {
+            let k = format!("key{:05}", rng.next_below(800)).into_bytes();
+            if rng.next_below(5) == 0 {
+                db.delete(&k).unwrap();
+                model.remove(&k);
+            } else {
+                let v = format!("v{}", rng.next_u64()).into_bytes();
+                db.put(&k, &v).unwrap();
+                model.insert(k, v);
+            }
+        }
+        db.flush().unwrap();
+        if round % 2 == 1 { db.compact_until_quiet().unwrap(); }
+        for i in 0..800u32 {
+            let k = format!("key{i:05}").into_bytes();
+            let got = db.get(&k).unwrap();
+            let want = model.get(&k).cloned();
+            if got != want {
+                println!("MISMATCH round {round} key {i}: got {:?} want {:?}",
+                    got.as_ref().map(|v| String::from_utf8_lossy(v).to_string()),
+                    want.as_ref().map(|v| String::from_utf8_lossy(v).to_string()));
+                let v = db.current_version();
+                for (level, tag, t) in v.all_tables() {
+                    let s = String::from_utf8_lossy(t.smallest_user_key()).to_string();
+                    let l = String::from_utf8_lossy(t.largest_user_key()).to_string();
+                    let kk = String::from_utf8_lossy(&k).to_string();
+                    if s <= kk && kk <= l {
+                        println!("  L{level} tag={tag} id={} file={} off={} [{s}..{l}]", t.table_id, t.file_number, t.offset);
+                    }
+                }
+                panic!("mismatch");
+            }
+        }
+    }
+    db.close().unwrap();
+}

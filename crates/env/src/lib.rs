@@ -1,0 +1,314 @@
+//! # bolt-env
+//!
+//! The storage substrate for the BoLT LSM-tree workspace: a LevelDB-style
+//! `Env` abstraction plus three implementations.
+//!
+//! * [`MemEnv`] — an in-memory filesystem with **crash injection** (unsynced
+//!   bytes are lost, optionally with torn tails). Used by the correctness and
+//!   recovery test suites.
+//! * [`SimEnv`] — [`MemEnv`] plus an **SSD cost model**: buffered appends are
+//!   nearly free, the device drains its write queue at a configured
+//!   sequential bandwidth, and a durability barrier (`fsync`) blocks until
+//!   the queue is empty plus a fixed barrier latency. This is the substitute
+//!   for the paper's Samsung 860 EVO testbed; it makes barrier *frequency*
+//!   the dominant write-side cost, exactly the effect the paper studies.
+//! * [`RealEnv`] — `std::fs` with real `fsync`, and real
+//!   `fallocate(FALLOC_FL_PUNCH_HOLE)` on Linux.
+//!
+//! All implementations feed the [`IoStats`] counters (fsync calls, bytes
+//! written/read, holes punched) that the benchmark harness reports.
+
+#![warn(missing_docs)]
+
+mod mem;
+mod real;
+mod sim;
+mod stats;
+
+pub use mem::{CrashConfig, MemEnv};
+pub use real::RealEnv;
+pub use sim::{precise_sleep, DeviceModel, SimEnv};
+pub use stats::{IoSnapshot, IoStats};
+
+use std::sync::Arc;
+
+use bolt_common::Result;
+
+/// A writable, append-only file handle.
+///
+/// Mirrors LevelDB's `WritableFile`: appends buffer in the page cache;
+/// [`WritableFile::sync`] is the expensive durability barrier the paper
+/// optimizes.
+pub trait WritableFile: Send {
+    /// Append `data` at the end of the file (buffered; not yet durable).
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error from the underlying store.
+    fn append(&mut self, data: &[u8]) -> Result<()>;
+
+    /// Push any library-level buffer to the OS page cache (no durability).
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error from the underlying store.
+    fn flush(&mut self) -> Result<()>;
+
+    /// Full durability barrier (`fsync`/`fdatasync`): blocks until every
+    /// buffered byte of this file is on stable storage.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error from the underlying store.
+    fn sync(&mut self) -> Result<()>;
+
+    /// Ordering-only barrier (BarrierFS `fbarrier()`): guarantees that bytes
+    /// appended before the call reach storage before bytes appended after
+    /// it, *without* waiting for durability.
+    ///
+    /// The default falls back to [`WritableFile::sync`], which is what a
+    /// legacy filesystem provides. Only environments with
+    /// [`Env::supports_ordering_barrier`] make this cheaper.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error from the underlying store.
+    fn ordering_barrier(&mut self) -> Result<()> {
+        self.sync()
+    }
+
+    /// Current file length in bytes (all appended data, durable or not).
+    fn len(&self) -> u64;
+
+    /// `true` when no bytes have been appended.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A read-only file handle supporting positional reads from many threads.
+pub trait RandomAccessFile: Send + Sync {
+    /// Read up to `len` bytes starting at `offset`; short reads happen only
+    /// at end-of-file.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if `offset` is beyond the end of the file or the
+    /// underlying store fails.
+    fn read(&self, offset: u64, len: usize) -> Result<Vec<u8>>;
+
+    /// Total file length in bytes.
+    fn len(&self) -> u64;
+
+    /// `true` when the file is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The storage environment: file creation, deletion, renaming, directory
+/// listing, hole punching, and I/O accounting.
+///
+/// Paths are plain UTF-8 strings with `/` separators in every
+/// implementation, so engine code is identical over [`MemEnv`], [`SimEnv`],
+/// and [`RealEnv`].
+pub trait Env: Send + Sync {
+    /// Create (or truncate) a file for appending.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error from the underlying store.
+    fn new_writable_file(&self, path: &str) -> Result<Box<dyn WritableFile>>;
+
+    /// Open an existing file for appending, preserving current contents
+    /// (used to reopen the MANIFEST/WAL).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`bolt_common::Error::NotFound`] if the file does not exist.
+    fn new_appendable_file(&self, path: &str) -> Result<Box<dyn WritableFile>>;
+
+    /// Open a file for positional reads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`bolt_common::Error::NotFound`] if the file does not exist.
+    fn new_random_access_file(&self, path: &str) -> Result<Arc<dyn RandomAccessFile>>;
+
+    /// `true` if `path` exists.
+    fn file_exists(&self, path: &str) -> bool;
+
+    /// Length of `path` in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`bolt_common::Error::NotFound`] if the file does not exist.
+    fn file_size(&self, path: &str) -> Result<u64>;
+
+    /// Delete `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`bolt_common::Error::NotFound`] if the file does not exist.
+    fn delete_file(&self, path: &str) -> Result<()>;
+
+    /// Atomically rename `from` to `to`, replacing `to` if present.
+    ///
+    /// Rename is modeled as durable (journaling-filesystem semantics), which
+    /// matches how LevelDB publishes the `CURRENT` pointer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`bolt_common::Error::NotFound`] if `from` does not exist.
+    fn rename_file(&self, from: &str, to: &str) -> Result<()>;
+
+    /// Create directory `path` and its parents (no-op where meaningless).
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error from the underlying store.
+    fn create_dir_all(&self, path: &str) -> Result<()>;
+
+    /// List the file names (not full paths) directly inside directory `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error from the underlying store.
+    fn list_dir(&self, dir: &str) -> Result<Vec<String>>;
+
+    /// Deallocate `[offset, offset + len)` of `path`, keeping the file size
+    /// unchanged (reads of the hole return zeros). This is how BoLT reclaims
+    /// dead logical SSTables from compaction files without a barrier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`bolt_common::Error::NotFound`] if the file does not exist.
+    fn punch_hole(&self, path: &str, offset: u64, len: u64) -> Result<()>;
+
+    /// The I/O counters of this environment.
+    fn stats(&self) -> &IoStats;
+
+    /// Whether [`WritableFile::ordering_barrier`] is cheaper than a full
+    /// sync here (the BarrierFS extension; `false` for legacy stacks).
+    fn supports_ordering_barrier(&self) -> bool {
+        false
+    }
+}
+
+/// Join a directory and file name with a `/` separator.
+pub fn join_path(dir: &str, name: &str) -> String {
+    if dir.is_empty() {
+        name.to_string()
+    } else if dir.ends_with('/') {
+        format!("{dir}{name}")
+    } else {
+        format!("{dir}/{name}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_path_variants() {
+        assert_eq!(join_path("", "a"), "a");
+        assert_eq!(join_path("d", "a"), "d/a");
+        assert_eq!(join_path("d/", "a"), "d/a");
+        assert_eq!(join_path("d/e", "a"), "d/e/a");
+    }
+
+    /// Generic conformance suite run against every Env implementation.
+    pub(crate) fn env_conformance(env: &dyn Env) {
+        env.create_dir_all("db").unwrap();
+
+        // Writable file lifecycle.
+        let mut f = env.new_writable_file("db/a.txt").unwrap();
+        assert!(f.is_empty());
+        f.append(b"hello ").unwrap();
+        f.append(b"world").unwrap();
+        assert_eq!(f.len(), 11);
+        f.flush().unwrap();
+        f.sync().unwrap();
+        drop(f);
+
+        assert!(env.file_exists("db/a.txt"));
+        assert_eq!(env.file_size("db/a.txt").unwrap(), 11);
+
+        // Random access reads.
+        let r = env.new_random_access_file("db/a.txt").unwrap();
+        assert_eq!(r.len(), 11);
+        assert_eq!(r.read(0, 5).unwrap(), b"hello");
+        assert_eq!(r.read(6, 5).unwrap(), b"world");
+        assert_eq!(r.read(6, 100).unwrap(), b"world"); // short read at EOF
+        assert!(r.read(100, 1).is_err());
+
+        // Append to existing file.
+        let mut f = env.new_appendable_file("db/a.txt").unwrap();
+        f.append(b"!").unwrap();
+        f.sync().unwrap();
+        drop(f);
+        assert_eq!(env.file_size("db/a.txt").unwrap(), 12);
+
+        // Rename.
+        env.rename_file("db/a.txt", "db/b.txt").unwrap();
+        assert!(!env.file_exists("db/a.txt"));
+        assert!(env.file_exists("db/b.txt"));
+        assert!(env.rename_file("db/missing", "db/x").is_err());
+
+        // Listing.
+        let mut f = env.new_writable_file("db/c.txt").unwrap();
+        f.append(b"x").unwrap();
+        f.sync().unwrap();
+        drop(f);
+        let mut names = env.list_dir("db").unwrap();
+        names.sort();
+        assert_eq!(names, vec!["b.txt".to_string(), "c.txt".to_string()]);
+
+        // Punch hole keeps size, zeros content.
+        let mut f = env.new_writable_file("db/holey").unwrap();
+        f.append(&[0xffu8; 8192]).unwrap();
+        f.sync().unwrap();
+        drop(f);
+        env.punch_hole("db/holey", 1024, 4096).unwrap();
+        assert_eq!(env.file_size("db/holey").unwrap(), 8192);
+        let r = env.new_random_access_file("db/holey").unwrap();
+        let data = r.read(0, 8192).unwrap();
+        assert!(data[..1024].iter().all(|&b| b == 0xff));
+        assert!(data[1024..5120].iter().all(|&b| b == 0));
+        assert!(data[5120..].iter().all(|&b| b == 0xff));
+
+        // Deletion.
+        env.delete_file("db/c.txt").unwrap();
+        assert!(!env.file_exists("db/c.txt"));
+        assert!(env.delete_file("db/c.txt").is_err());
+
+        // Stats recorded something.
+        let snap = env.stats().snapshot();
+        assert!(snap.fsync_calls >= 4);
+        assert!(snap.bytes_written >= 12 + 8192);
+    }
+
+    #[test]
+    fn mem_env_conformance() {
+        env_conformance(&MemEnv::new());
+    }
+
+    #[test]
+    fn sim_env_conformance() {
+        env_conformance(&SimEnv::new(DeviceModel::fast_test()));
+    }
+
+    #[test]
+    fn real_env_conformance() {
+        let dir = std::env::temp_dir().join(format!(
+            "bolt-env-conformance-{}",
+            std::process::id(),
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let env = RealEnv::new(dir.to_str().unwrap());
+        env_conformance(&env);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

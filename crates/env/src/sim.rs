@@ -1,0 +1,479 @@
+//! SSD cost-model environment.
+//!
+//! [`SimEnv`] layers a device timing model over [`MemEnv`] so that the
+//! *relative* costs the paper studies hold on any machine:
+//!
+//! * **Buffered appends are cheap** — they queue work on the device and
+//!   return immediately (page-cache semantics).
+//! * **`sync()` is a barrier** — it blocks until the device's write queue is
+//!   drained at the configured sequential bandwidth, plus a fixed barrier
+//!   latency (the paper: barriers "block the system until the queue depth
+//!   becomes 0").
+//! * **Reads are synchronous** — base latency plus size over read bandwidth,
+//!   so a 1 MB index-block miss costs ~20× a 4 KB data-block read (the §2.6
+//!   metadata-caching effect).
+//! * **Ordering barriers are cheap** — the BarrierFS `fbarrier()` extension
+//!   costs no drain, enabling the related-work ablation.
+//!
+//! All durations are multiplied by `time_scale`, letting experiments trade
+//! wall-clock time for fidelity without changing any ratio.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use bolt_common::Result;
+
+use crate::mem::MemEnv;
+use crate::stats::IoStats;
+use crate::{CrashConfig, Env, RandomAccessFile, WritableFile};
+
+/// Sleep for `duration` with sub-millisecond precision (hybrid
+/// sleep-then-spin; plain `thread::sleep` oversleeps short waits by far more
+/// than the barrier latencies being modeled).
+pub fn precise_sleep(duration: Duration) {
+    if duration.is_zero() {
+        return;
+    }
+    let deadline = Instant::now() + duration;
+    const SPIN_WINDOW: Duration = Duration::from_micros(150);
+    if duration > SPIN_WINDOW {
+        std::thread::sleep(duration - SPIN_WINDOW);
+    }
+    while Instant::now() < deadline {
+        std::hint::spin_loop();
+    }
+}
+
+/// Parameters of the simulated SSD.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceModel {
+    /// Sequential write bandwidth in bytes/second.
+    pub write_bandwidth: u64,
+    /// Read bandwidth in bytes/second.
+    pub read_bandwidth: u64,
+    /// Fixed cost of any read operation (seek/queue/issue).
+    pub read_base_latency: Duration,
+    /// Fixed cost of a durability barrier on top of draining the queue.
+    pub barrier_latency: Duration,
+    /// Multiplier applied to every modeled delay (1.0 = full fidelity;
+    /// smaller values speed up experiments while preserving every ratio).
+    pub time_scale: f64,
+}
+
+impl DeviceModel {
+    /// A consumer SATA SSD in the spirit of the paper's Samsung 860 EVO:
+    /// ~500 MB/s sequential write, ~550 MB/s read, 80 µs read issue cost,
+    /// 2 ms cache-flush barrier.
+    pub fn ssd() -> Self {
+        DeviceModel {
+            write_bandwidth: 500 * 1024 * 1024,
+            read_bandwidth: 550 * 1024 * 1024,
+            read_base_latency: Duration::from_micros(80),
+            barrier_latency: Duration::from_millis(2),
+            time_scale: 1.0,
+        }
+    }
+
+    /// The SSD model scaled by `time_scale` (delays multiplied, ratios
+    /// preserved).
+    pub fn ssd_scaled(time_scale: f64) -> Self {
+        DeviceModel {
+            time_scale,
+            ..Self::ssd()
+        }
+    }
+
+    /// A nearly-free device for functional tests that still counts I/O.
+    pub fn fast_test() -> Self {
+        DeviceModel {
+            write_bandwidth: 64 * 1024 * 1024 * 1024,
+            read_bandwidth: 64 * 1024 * 1024 * 1024,
+            read_base_latency: Duration::ZERO,
+            barrier_latency: Duration::ZERO,
+            time_scale: 1.0,
+        }
+    }
+
+    fn scaled(&self, d: Duration) -> Duration {
+        if self.time_scale == 1.0 {
+            d
+        } else {
+            d.mul_f64(self.time_scale)
+        }
+    }
+
+    fn write_cost(&self, bytes: u64) -> Duration {
+        Duration::from_nanos(bytes.saturating_mul(1_000_000_000) / self.write_bandwidth.max(1))
+    }
+
+    fn read_cost(&self, bytes: u64) -> Duration {
+        self.read_base_latency
+            + Duration::from_nanos(bytes.saturating_mul(1_000_000_000) / self.read_bandwidth.max(1))
+    }
+}
+
+/// The device's write-queue timeline.
+#[derive(Debug)]
+struct Device {
+    model: DeviceModel,
+    /// When the last queued write finishes draining.
+    busy_until: Mutex<Instant>,
+}
+
+impl Device {
+    fn new(model: DeviceModel) -> Self {
+        Device {
+            model,
+            busy_until: Mutex::new(Instant::now()),
+        }
+    }
+
+    /// Queue `bytes` of write work; returns immediately.
+    fn queue_write(&self, bytes: u64) {
+        let cost = self.model.scaled(self.model.write_cost(bytes));
+        let mut busy = self.busy_until.lock();
+        let now = Instant::now();
+        *busy = (*busy).max(now) + cost;
+    }
+
+    /// Block until the queue is drained plus the barrier latency; returns
+    /// the time actually waited.
+    fn barrier(&self) -> Duration {
+        let target = {
+            let mut busy = self.busy_until.lock();
+            let now = Instant::now();
+            let target = (*busy).max(now) + self.model.scaled(self.model.barrier_latency);
+            *busy = target;
+            target
+        };
+        let now = Instant::now();
+        let wait = target.saturating_duration_since(now);
+        precise_sleep(wait);
+        wait
+    }
+
+    /// Block for the duration of a read of `bytes`.
+    fn read(&self, bytes: u64) {
+        precise_sleep(self.model.scaled(self.model.read_cost(bytes)));
+    }
+}
+
+/// [`MemEnv`] + [`DeviceModel`]: the substitute for the paper's SSD testbed.
+pub struct SimEnv {
+    inner: MemEnv,
+    device: Arc<Device>,
+    barrierfs: bool,
+}
+
+impl std::fmt::Debug for SimEnv {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimEnv")
+            .field("model", &self.device.model)
+            .field("barrierfs", &self.barrierfs)
+            .finish()
+    }
+}
+
+impl SimEnv {
+    /// Create a simulated-SSD environment.
+    pub fn new(model: DeviceModel) -> Self {
+        SimEnv {
+            inner: MemEnv::new(),
+            device: Arc::new(Device::new(model)),
+            barrierfs: false,
+        }
+    }
+
+    /// Enable the BarrierFS extension: [`WritableFile::ordering_barrier`]
+    /// becomes an ordering-only (nearly free) operation.
+    pub fn with_barrierfs(model: DeviceModel) -> Self {
+        SimEnv {
+            inner: MemEnv::new(),
+            device: Arc::new(Device::new(model)),
+            barrierfs: true,
+        }
+    }
+
+    /// The device model in use.
+    pub fn model(&self) -> DeviceModel {
+        self.device.model
+    }
+
+    /// Inject a crash (delegates to [`MemEnv::crash`]).
+    pub fn crash(&self, config: CrashConfig) {
+        self.inner.crash(config);
+    }
+}
+
+struct SimWritableFile {
+    inner: Box<dyn WritableFile>,
+    device: Arc<Device>,
+    stats: Arc<IoStats>,
+    barrierfs: bool,
+}
+
+impl WritableFile for SimWritableFile {
+    fn append(&mut self, data: &[u8]) -> Result<()> {
+        self.inner.append(data)?;
+        self.device.queue_write(data.len() as u64);
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.inner.flush()
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.inner.sync()?; // counts the fsync, marks bytes durable
+        let waited = self.device.barrier();
+        self.stats.record_sync_wait(waited.as_nanos() as u64);
+        Ok(())
+    }
+
+    fn ordering_barrier(&mut self) -> Result<()> {
+        if self.barrierfs {
+            // Ordering is enforced without draining the queue (BarrierFS):
+            // the inner env marks the data crash-ordered and counts an
+            // ordering barrier instead of an fsync.
+            self.inner.ordering_barrier()
+        } else {
+            self.sync()
+        }
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+}
+
+struct SimRandomAccessFile {
+    inner: Arc<dyn RandomAccessFile>,
+    device: Arc<Device>,
+}
+
+impl RandomAccessFile for SimRandomAccessFile {
+    fn read(&self, offset: u64, len: usize) -> Result<Vec<u8>> {
+        let data = self.inner.read(offset, len)?;
+        self.device.read(data.len() as u64);
+        Ok(data)
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+}
+
+impl Env for SimEnv {
+    fn new_writable_file(&self, path: &str) -> Result<Box<dyn WritableFile>> {
+        let inner = self.inner.new_writable_file(path)?;
+        Ok(Box::new(SimWritableFile {
+            inner,
+            device: Arc::clone(&self.device),
+            stats: self.inner.shared_stats(),
+            barrierfs: self.barrierfs,
+        }))
+    }
+
+    fn new_appendable_file(&self, path: &str) -> Result<Box<dyn WritableFile>> {
+        let inner = self.inner.new_appendable_file(path)?;
+        Ok(Box::new(SimWritableFile {
+            inner,
+            device: Arc::clone(&self.device),
+            stats: self.inner.shared_stats(),
+            barrierfs: self.barrierfs,
+        }))
+    }
+
+    fn new_random_access_file(&self, path: &str) -> Result<Arc<dyn RandomAccessFile>> {
+        let inner = self.inner.new_random_access_file(path)?;
+        // Opening a file fetches filesystem metadata (inode + extents);
+        // charge one small read. BoLT's file-descriptor cache exists to
+        // avoid exactly this cost (§3.2.1).
+        self.device.read(4096);
+        Ok(Arc::new(SimRandomAccessFile {
+            inner,
+            device: Arc::clone(&self.device),
+        }))
+    }
+
+    fn file_exists(&self, path: &str) -> bool {
+        self.inner.file_exists(path)
+    }
+
+    fn file_size(&self, path: &str) -> Result<u64> {
+        self.inner.file_size(path)
+    }
+
+    fn delete_file(&self, path: &str) -> Result<()> {
+        self.inner.delete_file(path)
+    }
+
+    fn rename_file(&self, from: &str, to: &str) -> Result<()> {
+        self.inner.rename_file(from, to)
+    }
+
+    fn create_dir_all(&self, path: &str) -> Result<()> {
+        self.inner.create_dir_all(path)
+    }
+
+    fn list_dir(&self, dir: &str) -> Result<Vec<String>> {
+        self.inner.list_dir(dir)
+    }
+
+    fn punch_hole(&self, path: &str, offset: u64, len: u64) -> Result<()> {
+        // Hole punching is lazy metadata work (no barrier) — no device cost.
+        self.inner.punch_hole(path, offset, len)
+    }
+
+    fn stats(&self) -> &IoStats {
+        self.inner.stats()
+    }
+
+    fn supports_ordering_barrier(&self) -> bool {
+        self.barrierfs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    fn test_model() -> DeviceModel {
+        DeviceModel {
+            write_bandwidth: 100 * 1024 * 1024, // 100 MB/s
+            read_bandwidth: 100 * 1024 * 1024,
+            read_base_latency: Duration::from_micros(200),
+            barrier_latency: ms(2),
+            time_scale: 1.0,
+        }
+    }
+
+    #[test]
+    fn appends_are_fast_syncs_pay_for_drain() {
+        let env = SimEnv::new(test_model());
+        let mut f = env.new_writable_file("f").unwrap();
+
+        let start = Instant::now();
+        f.append(&vec![0u8; 4 * 1024 * 1024]).unwrap(); // 4 MB = 40 ms of drain
+        let append_time = start.elapsed();
+        assert!(append_time < ms(20), "append blocked: {append_time:?}");
+
+        let start = Instant::now();
+        f.sync().unwrap();
+        let sync_time = start.elapsed();
+        // 40 ms drain + 2 ms barrier, minus whatever already drained.
+        assert!(sync_time >= ms(30), "sync too fast: {sync_time:?}");
+        assert!(sync_time < ms(200), "sync too slow: {sync_time:?}");
+    }
+
+    #[test]
+    fn barrier_cost_scales_with_count_not_just_bytes() {
+        // Writing N bytes with many barriers must cost more than with one.
+        let total = 2 * 1024 * 1024;
+        let chunk = total / 16;
+
+        let run = |syncs_per_chunk: bool| {
+            let env = SimEnv::new(test_model());
+            let mut f = env.new_writable_file("f").unwrap();
+            let start = Instant::now();
+            for _ in 0..16 {
+                f.append(&vec![0u8; chunk]).unwrap();
+                if syncs_per_chunk {
+                    f.sync().unwrap();
+                }
+            }
+            if !syncs_per_chunk {
+                f.sync().unwrap();
+            }
+            (start.elapsed(), env.stats().fsync_calls())
+        };
+
+        let (many_time, many_syncs) = run(true);
+        let (one_time, one_syncs) = run(false);
+        assert_eq!(many_syncs, 16);
+        assert_eq!(one_syncs, 1);
+        // 15 extra barriers at 2 ms each ≈ 30 ms difference.
+        assert!(
+            many_time > one_time + ms(20),
+            "barriers not charged: many={many_time:?} one={one_time:?}"
+        );
+    }
+
+    #[test]
+    fn reads_cost_proportionally_to_size() {
+        let env = SimEnv::new(test_model());
+        let mut f = env.new_writable_file("f").unwrap();
+        f.append(&vec![0u8; 2 * 1024 * 1024]).unwrap();
+        f.sync().unwrap();
+        drop(f);
+
+        let r = env.new_random_access_file("f").unwrap();
+        let start = Instant::now();
+        for _ in 0..10 {
+            r.read(0, 4096).unwrap();
+        }
+        let small = start.elapsed();
+
+        let start = Instant::now();
+        for _ in 0..10 {
+            r.read(0, 1024 * 1024).unwrap(); // 1 MB ≈ 10 ms each
+        }
+        let large = start.elapsed();
+        assert!(
+            large > small * 4,
+            "large reads not slower: small={small:?} large={large:?}"
+        );
+    }
+
+    #[test]
+    fn barrierfs_ordering_barrier_is_cheap() {
+        let model = test_model();
+        let env = SimEnv::with_barrierfs(model);
+        assert!(env.supports_ordering_barrier());
+        let mut f = env.new_writable_file("f").unwrap();
+        f.append(&vec![0u8; 4 * 1024 * 1024]).unwrap();
+        let start = Instant::now();
+        f.ordering_barrier().unwrap();
+        assert!(start.elapsed() < ms(10));
+        assert_eq!(env.stats().snapshot().ordering_barriers, 1);
+
+        // Without BarrierFS the same call is a full sync.
+        let env = SimEnv::new(model);
+        assert!(!env.supports_ordering_barrier());
+        let mut f = env.new_writable_file("f").unwrap();
+        f.append(&vec![0u8; 4 * 1024 * 1024]).unwrap();
+        let start = Instant::now();
+        f.ordering_barrier().unwrap();
+        assert!(start.elapsed() >= ms(30));
+    }
+
+    #[test]
+    fn time_scale_shrinks_delays() {
+        let mut model = test_model();
+        model.time_scale = 0.05;
+        let env = SimEnv::new(model);
+        let mut f = env.new_writable_file("f").unwrap();
+        f.append(&vec![0u8; 4 * 1024 * 1024]).unwrap();
+        let start = Instant::now();
+        f.sync().unwrap();
+        // 42 ms worth of work scaled to ~2.1 ms.
+        assert!(start.elapsed() < ms(15));
+    }
+
+    #[test]
+    fn precise_sleep_hits_short_targets() {
+        for target in [Duration::ZERO, Duration::from_micros(50), ms(1)] {
+            let start = Instant::now();
+            precise_sleep(target);
+            let elapsed = start.elapsed();
+            assert!(elapsed >= target);
+            assert!(elapsed < target + ms(5), "overslept: {elapsed:?}");
+        }
+    }
+}

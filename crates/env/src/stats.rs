@@ -1,0 +1,196 @@
+//! Always-on I/O instrumentation.
+//!
+//! The paper's headline metrics are *counts of `fsync()`/`fdatasync()` calls*
+//! (Figs 4a, 11) and *total bytes written* (Fig 12's write-amplification
+//! inserts, Fig 15c). Every [`Env`](crate::Env) implementation feeds these
+//! counters so any experiment can report them without touching engine code.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cumulative I/O counters for one environment instance.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    fsync_calls: AtomicU64,
+    ordering_barriers: AtomicU64,
+    bytes_written: AtomicU64,
+    bytes_read: AtomicU64,
+    write_ops: AtomicU64,
+    read_ops: AtomicU64,
+    files_created: AtomicU64,
+    files_deleted: AtomicU64,
+    holes_punched: AtomicU64,
+    hole_bytes: AtomicU64,
+    /// Nanoseconds spent blocked inside `sync()` (device drain + barrier).
+    sync_wait_nanos: AtomicU64,
+}
+
+/// A point-in-time copy of [`IoStats`], suitable for diffing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoSnapshot {
+    /// Number of full durability barriers (`fsync`/`fdatasync`).
+    pub fsync_calls: u64,
+    /// Number of ordering-only barriers (the BarrierFS `fbarrier()` extension).
+    pub ordering_barriers: u64,
+    /// Total bytes appended to files.
+    pub bytes_written: u64,
+    /// Total bytes read from files.
+    pub bytes_read: u64,
+    /// Number of append operations.
+    pub write_ops: u64,
+    /// Number of read operations.
+    pub read_ops: u64,
+    /// Files created.
+    pub files_created: u64,
+    /// Files deleted.
+    pub files_deleted: u64,
+    /// `punch_hole` calls.
+    pub holes_punched: u64,
+    /// Bytes reclaimed by hole punching.
+    pub hole_bytes: u64,
+    /// Nanoseconds spent blocked in `sync()`.
+    pub sync_wait_nanos: u64,
+}
+
+impl IoSnapshot {
+    /// Counter-wise difference `self - earlier` (saturating).
+    pub fn delta(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            fsync_calls: self.fsync_calls.saturating_sub(earlier.fsync_calls),
+            ordering_barriers: self
+                .ordering_barriers
+                .saturating_sub(earlier.ordering_barriers),
+            bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
+            bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
+            write_ops: self.write_ops.saturating_sub(earlier.write_ops),
+            read_ops: self.read_ops.saturating_sub(earlier.read_ops),
+            files_created: self.files_created.saturating_sub(earlier.files_created),
+            files_deleted: self.files_deleted.saturating_sub(earlier.files_deleted),
+            holes_punched: self.holes_punched.saturating_sub(earlier.holes_punched),
+            hole_bytes: self.hole_bytes.saturating_sub(earlier.hole_bytes),
+            sync_wait_nanos: self.sync_wait_nanos.saturating_sub(earlier.sync_wait_nanos),
+        }
+    }
+}
+
+impl IoStats {
+    /// Record a durability barrier that blocked for `wait_nanos`.
+    pub fn record_fsync(&self, wait_nanos: u64) {
+        self.fsync_calls.fetch_add(1, Ordering::Relaxed);
+        self.sync_wait_nanos.fetch_add(wait_nanos, Ordering::Relaxed);
+    }
+
+    /// Record an ordering-only barrier.
+    pub fn record_ordering_barrier(&self) {
+        self.ordering_barriers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add barrier wait time without counting an extra fsync (used by cost
+    /// models layered over an accounting env).
+    pub fn record_sync_wait(&self, nanos: u64) {
+        self.sync_wait_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Record an append of `n` bytes.
+    pub fn record_write(&self, n: u64) {
+        self.write_ops.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record a read of `n` bytes.
+    pub fn record_read(&self, n: u64) {
+        self.read_ops.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record a file creation.
+    pub fn record_create(&self) {
+        self.files_created.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a file deletion.
+    pub fn record_delete(&self) {
+        self.files_deleted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a hole punch reclaiming `n` bytes.
+    pub fn record_punch_hole(&self, n: u64) {
+        self.holes_punched.fetch_add(1, Ordering::Relaxed);
+        self.hole_bytes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Number of durability barriers so far.
+    pub fn fsync_calls(&self) -> u64 {
+        self.fsync_calls.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes written so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes read so far.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read.load(Ordering::Relaxed)
+    }
+
+    /// Take a snapshot of all counters.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            fsync_calls: self.fsync_calls.load(Ordering::Relaxed),
+            ordering_barriers: self.ordering_barriers.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            write_ops: self.write_ops.load(Ordering::Relaxed),
+            read_ops: self.read_ops.load(Ordering::Relaxed),
+            files_created: self.files_created.load(Ordering::Relaxed),
+            files_deleted: self.files_deleted.load(Ordering::Relaxed),
+            holes_punched: self.holes_punched.load(Ordering::Relaxed),
+            hole_bytes: self.hole_bytes.load(Ordering::Relaxed),
+            sync_wait_nanos: self.sync_wait_nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let stats = IoStats::default();
+        stats.record_fsync(100);
+        stats.record_fsync(50);
+        stats.record_write(10);
+        stats.record_read(20);
+        stats.record_create();
+        stats.record_delete();
+        stats.record_punch_hole(4096);
+        stats.record_ordering_barrier();
+        let snap = stats.snapshot();
+        assert_eq!(snap.fsync_calls, 2);
+        assert_eq!(snap.sync_wait_nanos, 150);
+        assert_eq!(snap.bytes_written, 10);
+        assert_eq!(snap.bytes_read, 20);
+        assert_eq!(snap.write_ops, 1);
+        assert_eq!(snap.read_ops, 1);
+        assert_eq!(snap.files_created, 1);
+        assert_eq!(snap.files_deleted, 1);
+        assert_eq!(snap.holes_punched, 1);
+        assert_eq!(snap.hole_bytes, 4096);
+        assert_eq!(snap.ordering_barriers, 1);
+    }
+
+    #[test]
+    fn snapshot_delta() {
+        let stats = IoStats::default();
+        stats.record_write(5);
+        let a = stats.snapshot();
+        stats.record_write(7);
+        stats.record_fsync(0);
+        let b = stats.snapshot();
+        let d = b.delta(&a);
+        assert_eq!(d.bytes_written, 7);
+        assert_eq!(d.write_ops, 1);
+        assert_eq!(d.fsync_calls, 1);
+    }
+}

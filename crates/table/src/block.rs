@@ -1,0 +1,447 @@
+//! Data/index blocks with restart-point prefix compression.
+//!
+//! A block is a sequence of entries
+//! `varint(shared) varint(non_shared) varint(value_len) key_tail value`
+//! followed by an array of fixed32 restart offsets and a fixed32 restart
+//! count. Every `restart_interval`-th entry stores its full key (shared=0),
+//! letting a reader binary-search the restart array.
+//!
+//! The **Legacy** encoding (`restart_interval = 1`, LevelDB-era overhead for
+//! the paper's Fig 15c comparison) stores every key in full; the **Compact**
+//! encoding (`restart_interval = 16`) shares prefixes.
+
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+use bolt_common::coding::{decode_fixed32, get_varint32, put_fixed32, put_varint32};
+use bolt_common::{Error, Result};
+
+use crate::comparator::Comparator;
+
+/// Builds one block.
+pub struct BlockBuilder {
+    buffer: Vec<u8>,
+    restarts: Vec<u32>,
+    counter: usize,
+    restart_interval: usize,
+    last_key: Vec<u8>,
+    num_entries: usize,
+}
+
+impl std::fmt::Debug for BlockBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlockBuilder")
+            .field("entries", &self.num_entries)
+            .field("bytes", &self.current_size_estimate())
+            .finish()
+    }
+}
+
+impl BlockBuilder {
+    /// Create a builder; `restart_interval` entries share each restart point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `restart_interval` is zero.
+    pub fn new(restart_interval: usize) -> Self {
+        assert!(restart_interval >= 1, "restart interval must be >= 1");
+        BlockBuilder {
+            buffer: Vec::new(),
+            restarts: vec![0],
+            counter: 0,
+            restart_interval,
+            last_key: Vec::new(),
+            num_entries: 0,
+        }
+    }
+
+    /// Append an entry; keys must arrive in strictly increasing order.
+    pub fn add(&mut self, key: &[u8], value: &[u8]) {
+        let mut shared = 0usize;
+        if self.counter < self.restart_interval {
+            let max = self.last_key.len().min(key.len());
+            while shared < max && self.last_key[shared] == key[shared] {
+                shared += 1;
+            }
+        } else {
+            self.restarts.push(self.buffer.len() as u32);
+            self.counter = 0;
+        }
+        put_varint32(&mut self.buffer, shared as u32);
+        put_varint32(&mut self.buffer, (key.len() - shared) as u32);
+        put_varint32(&mut self.buffer, value.len() as u32);
+        self.buffer.extend_from_slice(&key[shared..]);
+        self.buffer.extend_from_slice(value);
+        self.last_key.clear();
+        self.last_key.extend_from_slice(key);
+        self.counter += 1;
+        self.num_entries += 1;
+    }
+
+    /// Bytes the finished block will occupy (without trailer).
+    pub fn current_size_estimate(&self) -> usize {
+        self.buffer.len() + self.restarts.len() * 4 + 4
+    }
+
+    /// Number of entries added.
+    pub fn num_entries(&self) -> usize {
+        self.num_entries
+    }
+
+    /// `true` when no entries have been added.
+    pub fn is_empty(&self) -> bool {
+        self.num_entries == 0
+    }
+
+    /// Serialize and reset the builder, returning the block contents.
+    pub fn finish(&mut self) -> Vec<u8> {
+        for &restart in &self.restarts {
+            put_fixed32(&mut self.buffer, restart);
+        }
+        put_fixed32(&mut self.buffer, self.restarts.len() as u32);
+        let block = std::mem::take(&mut self.buffer);
+        self.restarts.clear();
+        self.restarts.push(0);
+        self.counter = 0;
+        self.last_key.clear();
+        self.num_entries = 0;
+        block
+    }
+}
+
+/// An immutable, parsed block.
+pub struct Block {
+    data: Vec<u8>,
+    restarts_offset: usize,
+    num_restarts: usize,
+}
+
+impl std::fmt::Debug for Block {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Block")
+            .field("bytes", &self.data.len())
+            .field("restarts", &self.num_restarts)
+            .finish()
+    }
+}
+
+impl Block {
+    /// Parse block `data` (as produced by [`BlockBuilder::finish`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corruption`] if the restart array is malformed.
+    pub fn new(data: Vec<u8>) -> Result<Block> {
+        if data.len() < 4 {
+            return Err(Error::corruption("block too small"));
+        }
+        let num_restarts = decode_fixed32(&data[data.len() - 4..]) as usize;
+        let restarts_size = num_restarts
+            .checked_mul(4)
+            .and_then(|s| s.checked_add(4))
+            .ok_or_else(|| Error::corruption("restart count overflow"))?;
+        if restarts_size > data.len() {
+            return Err(Error::corruption("restart array larger than block"));
+        }
+        Ok(Block {
+            restarts_offset: data.len() - restarts_size,
+            num_restarts,
+            data,
+        })
+    }
+
+    /// Size of the raw block contents.
+    pub fn size(&self) -> usize {
+        self.data.len()
+    }
+
+    fn restart_point(&self, index: usize) -> usize {
+        decode_fixed32(&self.data[self.restarts_offset + index * 4..]) as usize
+    }
+
+    /// Iterate this block with `cmp`.
+    pub fn iter(self: &Arc<Self>, cmp: Arc<dyn Comparator>) -> BlockIter {
+        BlockIter {
+            block: Arc::clone(self),
+            cmp,
+            offset: 0,
+            key: Vec::new(),
+            value_range: 0..0,
+            valid: false,
+        }
+    }
+}
+
+/// Cursor over a [`Block`]'s entries.
+pub struct BlockIter {
+    block: Arc<Block>,
+    cmp: Arc<dyn Comparator>,
+    /// Offset of the *next* entry to decode.
+    offset: usize,
+    key: Vec<u8>,
+    value_range: std::ops::Range<usize>,
+    valid: bool,
+}
+
+impl std::fmt::Debug for BlockIter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlockIter")
+            .field("valid", &self.valid)
+            .field("offset", &self.offset)
+            .finish()
+    }
+}
+
+impl BlockIter {
+    /// `true` when positioned on an entry.
+    pub fn valid(&self) -> bool {
+        self.valid
+    }
+
+    /// Current key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if not [`valid`](Self::valid).
+    pub fn key(&self) -> &[u8] {
+        assert!(self.valid, "iterator not positioned");
+        &self.key
+    }
+
+    /// Current value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if not [`valid`](Self::valid).
+    pub fn value(&self) -> &[u8] {
+        assert!(self.valid, "iterator not positioned");
+        &self.block.data[self.value_range.clone()]
+    }
+
+    /// Decode the entry at `self.offset`; returns false at end of data.
+    fn parse_next(&mut self) -> Result<bool> {
+        if self.offset >= self.block.restarts_offset {
+            self.valid = false;
+            return Ok(false);
+        }
+        let data = &self.block.data[..self.block.restarts_offset];
+        let mut pos = self.offset;
+        let (shared, n) = get_varint32(&data[pos..])?;
+        pos += n;
+        let (non_shared, n) = get_varint32(&data[pos..])?;
+        pos += n;
+        let (value_len, n) = get_varint32(&data[pos..])?;
+        pos += n;
+        let shared = shared as usize;
+        let non_shared = non_shared as usize;
+        let value_len = value_len as usize;
+        if pos + non_shared + value_len > data.len() || shared > self.key.len() {
+            return Err(Error::corruption("block entry out of bounds"));
+        }
+        self.key.truncate(shared);
+        self.key.extend_from_slice(&data[pos..pos + non_shared]);
+        self.value_range = pos + non_shared..pos + non_shared + value_len;
+        self.offset = pos + non_shared + value_len;
+        self.valid = true;
+        Ok(true)
+    }
+
+    /// Move to the first entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corruption`] on malformed entries.
+    pub fn seek_to_first(&mut self) -> Result<()> {
+        self.offset = 0;
+        self.key.clear();
+        self.parse_next()?;
+        Ok(())
+    }
+
+    /// Advance; becomes invalid at the end.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corruption`] on malformed entries.
+    pub fn next(&mut self) -> Result<()> {
+        assert!(self.valid, "iterator not positioned");
+        self.parse_next()?;
+        Ok(())
+    }
+
+    /// Position at the first entry with key >= `target`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corruption`] on malformed entries.
+    pub fn seek(&mut self, target: &[u8]) -> Result<()> {
+        // Binary search the restart array for the last restart whose key is
+        // < target.
+        let mut left = 0usize;
+        let mut right = self.block.num_restarts.saturating_sub(1);
+        while left < right {
+            let mid = (left + right + 1) / 2;
+            let restart_offset = self.block.restart_point(mid);
+            self.offset = restart_offset;
+            self.key.clear();
+            if !self.parse_next()? {
+                return Err(Error::corruption("restart points past end"));
+            }
+            if self.cmp.compare(&self.key, target) == Ordering::Less {
+                left = mid;
+            } else {
+                right = mid - 1;
+            }
+        }
+        // Linear scan from that restart.
+        self.offset = self.block.restart_point(left);
+        self.key.clear();
+        loop {
+            if !self.parse_next()? {
+                return Ok(()); // past the end: invalid
+            }
+            if self.cmp.compare(&self.key, target) != Ordering::Less {
+                return Ok(());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comparator::BytewiseComparator;
+
+    fn build(entries: &[(&[u8], &[u8])], restart_interval: usize) -> Arc<Block> {
+        let mut builder = BlockBuilder::new(restart_interval);
+        for (k, v) in entries {
+            builder.add(k, v);
+        }
+        Arc::new(Block::new(builder.finish()).unwrap())
+    }
+
+    fn cmp() -> Arc<dyn Comparator> {
+        Arc::new(BytewiseComparator)
+    }
+
+    #[test]
+    fn empty_block_iterates_nothing() {
+        let block = build(&[], 16);
+        let mut it = block.iter(cmp());
+        it.seek_to_first().unwrap();
+        assert!(!it.valid());
+        it.seek(b"anything").unwrap();
+        assert!(!it.valid());
+    }
+
+    #[test]
+    fn roundtrip_various_restart_intervals() {
+        let entries: Vec<(Vec<u8>, Vec<u8>)> = (0..500u32)
+            .map(|i| {
+                (
+                    format!("key{i:06}").into_bytes(),
+                    format!("value-{i}").into_bytes(),
+                )
+            })
+            .collect();
+        for interval in [1usize, 2, 16, 64] {
+            let refs: Vec<(&[u8], &[u8])> = entries
+                .iter()
+                .map(|(k, v)| (k.as_slice(), v.as_slice()))
+                .collect();
+            let block = build(&refs, interval);
+            let mut it = block.iter(cmp());
+            it.seek_to_first().unwrap();
+            for (k, v) in &entries {
+                assert!(it.valid(), "interval {interval}");
+                assert_eq!(it.key(), &k[..]);
+                assert_eq!(it.value(), &v[..]);
+                it.next().unwrap();
+            }
+            assert!(!it.valid());
+        }
+    }
+
+    #[test]
+    fn prefix_compression_shrinks_block() {
+        let entries: Vec<(Vec<u8>, Vec<u8>)> = (0..200u32)
+            .map(|i| (format!("commonprefix/key{i:06}").into_bytes(), vec![0u8; 8]))
+            .collect();
+        let refs: Vec<(&[u8], &[u8])> = entries
+            .iter()
+            .map(|(k, v)| (k.as_slice(), v.as_slice()))
+            .collect();
+        let legacy = build(&refs, 1);
+        let compact = build(&refs, 16);
+        assert!(
+            (compact.size() as f64) < legacy.size() as f64 * 0.75,
+            "compact {} vs legacy {}",
+            compact.size(),
+            legacy.size()
+        );
+    }
+
+    #[test]
+    fn seek_finds_exact_and_gap_targets() {
+        let entries: Vec<(Vec<u8>, Vec<u8>)> = (0..100u32)
+            .map(|i| (format!("k{:04}", i * 2).into_bytes(), vec![i as u8]))
+            .collect();
+        let refs: Vec<(&[u8], &[u8])> = entries
+            .iter()
+            .map(|(k, v)| (k.as_slice(), v.as_slice()))
+            .collect();
+        for interval in [1usize, 4, 16] {
+            let block = build(&refs, interval);
+            let mut it = block.iter(cmp());
+
+            it.seek(b"k0000").unwrap();
+            assert_eq!(it.key(), b"k0000");
+
+            it.seek(b"k0005").unwrap();
+            assert_eq!(it.key(), b"k0006"); // gap -> next even key
+
+            it.seek(b"k0198").unwrap();
+            assert_eq!(it.key(), b"k0198");
+
+            it.seek(b"k0199").unwrap();
+            assert!(!it.valid()); // past the last key
+
+            it.seek(b"").unwrap();
+            assert_eq!(it.key(), b"k0000");
+        }
+    }
+
+    #[test]
+    fn corrupt_block_is_rejected() {
+        assert!(Block::new(vec![]).is_err());
+        assert!(Block::new(vec![0, 0]).is_err());
+        // Restart count pointing beyond the data.
+        let mut data = Vec::new();
+        put_fixed32(&mut data, 1000);
+        assert!(Block::new(data).is_err());
+    }
+
+    #[test]
+    fn single_entry_block() {
+        let block = build(&[(b"only", b"value")], 16);
+        let mut it = block.iter(cmp());
+        it.seek_to_first().unwrap();
+        assert_eq!(it.key(), b"only");
+        assert_eq!(it.value(), b"value");
+        it.next().unwrap();
+        assert!(!it.valid());
+        it.seek(b"only").unwrap();
+        assert!(it.valid());
+        it.seek(b"onlz").unwrap();
+        assert!(!it.valid());
+    }
+
+    #[test]
+    fn empty_values_roundtrip() {
+        let block = build(&[(b"a", b""), (b"b", b""), (b"c", b"x")], 2);
+        let mut it = block.iter(cmp());
+        it.seek(b"b").unwrap();
+        assert_eq!(it.key(), b"b");
+        assert_eq!(it.value(), b"");
+    }
+}

@@ -1,0 +1,255 @@
+//! TableCache and the BoLT file-descriptor cache.
+//!
+//! LevelDB sizes its TableCache by *entry count* (`max_open_files`), not
+//! bytes — so large SSTables get the same number of slots as small ones
+//! while each miss re-reads a proportionally larger index block (§2.6).
+//! BoLT additionally caches file handles **per compaction file** (§3.2.1):
+//! one physical file hosts many logical SSTables, so a small fd cache
+//! eliminates most filesystem metadata lookups.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bolt_common::cache::LruCache;
+use bolt_common::Result;
+use bolt_env::{Env, RandomAccessFile};
+
+use crate::table::{Table, TableReadOptions};
+
+/// Identity and location of one (logical) SSTable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSpec {
+    /// Unique id of the logical table (MANIFEST-assigned, never reused).
+    pub table_id: u64,
+    /// Number of the physical file containing it.
+    pub file_number: u64,
+    /// Full path of the physical file.
+    pub path: String,
+    /// Byte offset of the table within the file.
+    pub offset: u64,
+    /// Byte size of the table.
+    pub size: u64,
+}
+
+// LruCache stores Arc<V>; for the fd cache V = dyn RandomAccessFile, which
+// is unsized — wrap it in a sized entry.
+struct FdEntry(Arc<dyn RandomAccessFile>);
+
+/// Cache of open [`Table`]s (metadata in memory) plus an optional
+/// per-physical-file descriptor cache.
+pub struct TableCache {
+    env: Arc<dyn Env>,
+    tables: LruCache<u64, Table>,
+    fds: Option<LruCache<u64, FdEntry>>,
+    opts: TableReadOptions,
+    open_count: AtomicU64,
+}
+
+impl std::fmt::Debug for TableCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TableCache")
+            .field("opens", &self.open_count.load(Ordering::Relaxed))
+            .field("fd_cache", &self.fds.is_some())
+            .finish()
+    }
+}
+
+impl TableCache {
+    /// Create a cache holding at most `max_open_tables` tables; when
+    /// `fd_cache_capacity` is `Some(n)`, up to `n` physical-file handles are
+    /// kept open across table opens (BoLT's `+FC`).
+    pub fn new(
+        env: Arc<dyn Env>,
+        max_open_tables: u64,
+        fd_cache_capacity: Option<u64>,
+        opts: TableReadOptions,
+    ) -> Self {
+        TableCache {
+            env,
+            tables: LruCache::new(max_open_tables),
+            fds: fd_cache_capacity.map(LruCache::new),
+            opts,
+            open_count: AtomicU64::new(0),
+        }
+    }
+
+    fn open_file(&self, spec: &TableSpec) -> Result<Arc<dyn RandomAccessFile>> {
+        if let Some(fds) = &self.fds {
+            if let Some(entry) = fds.get(&spec.file_number) {
+                return Ok(Arc::clone(&entry.0));
+            }
+            let file = self.env.new_random_access_file(&spec.path)?;
+            fds.insert(spec.file_number, Arc::new(FdEntry(Arc::clone(&file))), 1);
+            Ok(file)
+        } else {
+            self.env.new_random_access_file(&spec.path)
+        }
+    }
+
+    /// Fetch (or open and cache) the table described by `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns open/corruption errors from [`Table::open`].
+    pub fn table(&self, spec: &TableSpec) -> Result<Arc<Table>> {
+        if let Some(table) = self.tables.get(&spec.table_id) {
+            return Ok(table);
+        }
+        self.open_count.fetch_add(1, Ordering::Relaxed);
+        let file = self.open_file(spec)?;
+        let table = Arc::new(Table::open(
+            file,
+            spec.offset,
+            spec.size,
+            spec.file_number,
+            self.opts.clone(),
+        )?);
+        self.tables.insert(spec.table_id, Arc::clone(&table), 1);
+        Ok(table)
+    }
+
+    /// Drop a table from the cache (after compaction invalidates it).
+    pub fn evict(&self, table_id: u64) {
+        self.tables.erase(&table_id);
+    }
+
+    /// Drop a cached file handle (after the physical file is deleted).
+    pub fn evict_file(&self, file_number: u64) {
+        if let Some(fds) = &self.fds {
+            fds.erase(&file_number);
+        }
+    }
+
+    /// Number of `Table::open` calls (TableCache misses).
+    pub fn open_count(&self) -> u64 {
+        self.open_count.load(Ordering::Relaxed)
+    }
+
+    /// Hit/miss counters of the table slot cache.
+    pub fn stats(&self) -> &bolt_common::cache::CacheStats {
+        self.tables.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{FilterKey, TableBuilder, TableFormat};
+    use crate::comparator::InternalKeyComparator;
+    use crate::ikey::{lookup_key, make_internal_key, ValueType};
+    use bolt_common::bloom::BloomFilterPolicy;
+    use bolt_env::MemEnv;
+
+    fn opts() -> TableReadOptions {
+        TableReadOptions {
+            comparator: Arc::new(InternalKeyComparator::default()),
+            filter_policy: Some(BloomFilterPolicy::default()),
+            filter_key: FilterKey::UserKey,
+            block_cache: None,
+        }
+    }
+
+    fn build(env: &Arc<dyn Env>, path: &str, tag: u32) -> (u64, u64) {
+        let mut file = env.new_writable_file(path).unwrap();
+        let mut b = TableBuilder::new(file.as_mut(), TableFormat::default());
+        for i in 0..50u32 {
+            let key = make_internal_key(format!("{tag}/k{i:04}").as_bytes(), 1, ValueType::Value);
+            b.add(&key, b"v").unwrap();
+        }
+        let built = b.finish().unwrap();
+        file.sync().unwrap();
+        (built.offset, built.size)
+    }
+
+    fn spec(id: u64, file_number: u64, path: &str, offset: u64, size: u64) -> TableSpec {
+        TableSpec {
+            table_id: id,
+            file_number,
+            path: path.to_string(),
+            offset,
+            size,
+        }
+    }
+
+    #[test]
+    fn caches_open_tables() {
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+        let (offset, size) = build(&env, "000001.ldb", 1);
+        let cache = TableCache::new(Arc::clone(&env), 100, None, opts());
+        let s = spec(1, 1, "000001.ldb", offset, size);
+        let t1 = cache.table(&s).unwrap();
+        let t2 = cache.table(&s).unwrap();
+        assert!(Arc::ptr_eq(&t1, &t2));
+        assert_eq!(cache.open_count(), 1);
+    }
+
+    #[test]
+    fn capacity_bounds_open_tables() {
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+        let mut specs = Vec::new();
+        for i in 0..64u64 {
+            let path = format!("{i:06}.ldb");
+            let (offset, size) = build(&env, &path, i as u32);
+            specs.push(spec(i, i, &path, offset, size));
+        }
+        // Tiny cache: repeated round-robin access must keep re-opening.
+        let cache = TableCache::new(Arc::clone(&env), 16, None, opts());
+        for _ in 0..3 {
+            for s in &specs {
+                cache.table(s).unwrap();
+            }
+        }
+        assert!(
+            cache.open_count() > 64,
+            "expected re-opens, got {}",
+            cache.open_count()
+        );
+    }
+
+    #[test]
+    fn evict_forces_reopen() {
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+        let (offset, size) = build(&env, "000001.ldb", 1);
+        let cache = TableCache::new(Arc::clone(&env), 100, None, opts());
+        let s = spec(1, 1, "000001.ldb", offset, size);
+        cache.table(&s).unwrap();
+        cache.evict(1);
+        cache.table(&s).unwrap();
+        assert_eq!(cache.open_count(), 2);
+    }
+
+    #[test]
+    fn fd_cache_shares_handles_across_logical_tables() {
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+        // Two logical tables in one physical file.
+        let mut file = env.new_writable_file("000007.cf").unwrap();
+        let mut builts = Vec::new();
+        for t in 0..2u32 {
+            let mut b = TableBuilder::new(file.as_mut(), TableFormat::default());
+            for i in 0..20u32 {
+                let key =
+                    make_internal_key(format!("{t}/k{i:04}").as_bytes(), 1, ValueType::Value);
+                b.add(&key, b"v").unwrap();
+            }
+            builts.push(b.finish().unwrap());
+        }
+        file.sync().unwrap();
+        drop(file);
+
+        let cache = TableCache::new(Arc::clone(&env), 100, Some(10), opts());
+        let s0 = spec(10, 7, "000007.cf", builts[0].offset, builts[0].size);
+        let s1 = spec(11, 7, "000007.cf", builts[1].offset, builts[1].size);
+        let t0 = cache.table(&s0).unwrap();
+        let t1 = cache.table(&s1).unwrap();
+        // Both tables work.
+        assert!(t0
+            .internal_get(&lookup_key(b"0/k0001", 100))
+            .unwrap()
+            .is_some());
+        assert!(t1
+            .internal_get(&lookup_key(b"1/k0001", 100))
+            .unwrap()
+            .is_some());
+        cache.evict_file(7); // must not panic; handle drops when tables do
+    }
+}

@@ -1,0 +1,125 @@
+//! Key comparators.
+//!
+//! The engine orders *internal keys* — a user key followed by an 8-byte
+//! packed `(sequence, value-type)` tag — so that newer versions of the same
+//! user key sort first. Tables themselves are comparator-agnostic.
+
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+use crate::ikey::{extract_tag, extract_user_key};
+
+/// A total order over keys, shared across the engine.
+pub trait Comparator: Send + Sync {
+    /// Compare two keys.
+    fn compare(&self, a: &[u8], b: &[u8]) -> Ordering;
+
+    /// A short name persisted nowhere but useful in debugging output.
+    fn name(&self) -> &'static str;
+}
+
+/// Plain lexicographic byte order.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BytewiseComparator;
+
+impl Comparator for BytewiseComparator {
+    fn compare(&self, a: &[u8], b: &[u8]) -> Ordering {
+        a.cmp(b)
+    }
+
+    fn name(&self) -> &'static str {
+        "bolt.BytewiseComparator"
+    }
+}
+
+/// Orders internal keys: ascending by user key, then *descending* by
+/// sequence/type so the newest version of a key is seen first.
+#[derive(Clone)]
+pub struct InternalKeyComparator {
+    user: Arc<dyn Comparator>,
+}
+
+impl std::fmt::Debug for InternalKeyComparator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InternalKeyComparator")
+            .field("user", &self.user.name())
+            .finish()
+    }
+}
+
+impl InternalKeyComparator {
+    /// Wrap a user-key comparator.
+    pub fn new(user: Arc<dyn Comparator>) -> Self {
+        InternalKeyComparator { user }
+    }
+
+    /// The wrapped user-key comparator.
+    pub fn user_comparator(&self) -> &Arc<dyn Comparator> {
+        &self.user
+    }
+
+    /// Compare only the user-key prefixes of two internal keys.
+    pub fn compare_user_keys(&self, a: &[u8], b: &[u8]) -> Ordering {
+        self.user.compare(extract_user_key(a), extract_user_key(b))
+    }
+}
+
+impl Default for InternalKeyComparator {
+    fn default() -> Self {
+        InternalKeyComparator::new(Arc::new(BytewiseComparator))
+    }
+}
+
+impl Comparator for InternalKeyComparator {
+    fn compare(&self, a: &[u8], b: &[u8]) -> Ordering {
+        match self.user.compare(extract_user_key(a), extract_user_key(b)) {
+            Ordering::Equal => extract_tag(b).cmp(&extract_tag(a)),
+            ord => ord,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "bolt.InternalKeyComparator"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ikey::{make_internal_key, ValueType};
+
+    #[test]
+    fn bytewise_is_lexicographic() {
+        let c = BytewiseComparator;
+        assert_eq!(c.compare(b"a", b"b"), Ordering::Less);
+        assert_eq!(c.compare(b"b", b"a"), Ordering::Greater);
+        assert_eq!(c.compare(b"ab", b"ab"), Ordering::Equal);
+        assert_eq!(c.compare(b"a", b"ab"), Ordering::Less);
+    }
+
+    #[test]
+    fn internal_orders_user_keys_ascending() {
+        let c = InternalKeyComparator::default();
+        let a = make_internal_key(b"apple", 5, ValueType::Value);
+        let b = make_internal_key(b"banana", 5, ValueType::Value);
+        assert_eq!(c.compare(&a, &b), Ordering::Less);
+    }
+
+    #[test]
+    fn internal_orders_sequences_descending() {
+        let c = InternalKeyComparator::default();
+        let newer = make_internal_key(b"k", 10, ValueType::Value);
+        let older = make_internal_key(b"k", 3, ValueType::Value);
+        assert_eq!(c.compare(&newer, &older), Ordering::Less);
+        assert_eq!(c.compare(&older, &newer), Ordering::Greater);
+    }
+
+    #[test]
+    fn deletion_sorts_before_value_at_same_sequence() {
+        // type Value(1) > Deletion(0), and higher tag sorts first.
+        let c = InternalKeyComparator::default();
+        let del = make_internal_key(b"k", 7, ValueType::Deletion);
+        let val = make_internal_key(b"k", 7, ValueType::Value);
+        assert_eq!(c.compare(&val, &del), Ordering::Less);
+    }
+}

@@ -1,0 +1,185 @@
+//! Internal-key encoding.
+//!
+//! An internal key is `user_key ⊕ tag`, where the 8-byte little-endian tag
+//! packs a 56-bit sequence number and an 8-bit [`ValueType`]:
+//! `tag = (sequence << 8) | type`. This matches LevelDB's `dbformat.h`.
+
+use bolt_common::{Error, Result};
+
+/// Kind of a versioned entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum ValueType {
+    /// A tombstone: the user key was deleted at this sequence.
+    Deletion = 0,
+    /// A regular value.
+    Value = 1,
+}
+
+impl ValueType {
+    /// Decode a type byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corruption`] for unknown type bytes.
+    pub fn from_u8(v: u8) -> Result<ValueType> {
+        match v {
+            0 => Ok(ValueType::Deletion),
+            1 => Ok(ValueType::Value),
+            other => Err(Error::corruption(format!("bad value type {other}"))),
+        }
+    }
+}
+
+/// A monotonically increasing version number (56 bits usable).
+pub type SequenceNumber = u64;
+
+/// Largest representable sequence number.
+pub const MAX_SEQUENCE_NUMBER: SequenceNumber = (1 << 56) - 1;
+
+/// Size of the packed tag appended to every user key.
+pub const TAG_SIZE: usize = 8;
+
+/// Pack a sequence number and type into a tag.
+///
+/// # Panics
+///
+/// Panics if `seq` exceeds [`MAX_SEQUENCE_NUMBER`].
+pub fn pack_tag(seq: SequenceNumber, value_type: ValueType) -> u64 {
+    assert!(seq <= MAX_SEQUENCE_NUMBER, "sequence overflow");
+    (seq << 8) | value_type as u64
+}
+
+/// Split a tag back into `(sequence, type)`.
+///
+/// # Errors
+///
+/// Returns [`Error::Corruption`] for an unknown type byte.
+pub fn unpack_tag(tag: u64) -> Result<(SequenceNumber, ValueType)> {
+    Ok((tag >> 8, ValueType::from_u8(tag as u8)?))
+}
+
+/// Build the internal key `user_key ⊕ tag`.
+pub fn make_internal_key(user_key: &[u8], seq: SequenceNumber, value_type: ValueType) -> Vec<u8> {
+    let mut key = Vec::with_capacity(user_key.len() + TAG_SIZE);
+    key.extend_from_slice(user_key);
+    key.extend_from_slice(&pack_tag(seq, value_type).to_le_bytes());
+    key
+}
+
+/// The user-key prefix of an internal key.
+///
+/// # Panics
+///
+/// Panics if `internal_key` is shorter than the tag.
+pub fn extract_user_key(internal_key: &[u8]) -> &[u8] {
+    assert!(internal_key.len() >= TAG_SIZE, "internal key too short");
+    &internal_key[..internal_key.len() - TAG_SIZE]
+}
+
+/// The packed tag of an internal key.
+///
+/// # Panics
+///
+/// Panics if `internal_key` is shorter than the tag.
+pub fn extract_tag(internal_key: &[u8]) -> u64 {
+    assert!(internal_key.len() >= TAG_SIZE, "internal key too short");
+    u64::from_le_bytes(
+        internal_key[internal_key.len() - TAG_SIZE..]
+            .try_into()
+            .expect("tag slice"),
+    )
+}
+
+/// Parsed view of an internal key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParsedInternalKey<'a> {
+    /// The user key.
+    pub user_key: &'a [u8],
+    /// The sequence number.
+    pub sequence: SequenceNumber,
+    /// The entry kind.
+    pub value_type: ValueType,
+}
+
+/// Parse an internal key.
+///
+/// # Errors
+///
+/// Returns [`Error::Corruption`] when too short or of unknown type.
+pub fn parse_internal_key(internal_key: &[u8]) -> Result<ParsedInternalKey<'_>> {
+    if internal_key.len() < TAG_SIZE {
+        return Err(Error::corruption("internal key too short"));
+    }
+    let (sequence, value_type) = unpack_tag(extract_tag(internal_key))?;
+    Ok(ParsedInternalKey {
+        user_key: extract_user_key(internal_key),
+        sequence,
+        value_type,
+    })
+}
+
+/// The internal key that sorts *before every entry* of `user_key` visible at
+/// `snapshot` — i.e. the seek target for a point lookup.
+pub fn lookup_key(user_key: &[u8], snapshot: SequenceNumber) -> Vec<u8> {
+    make_internal_key(user_key, snapshot, ValueType::Value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_roundtrip() {
+        for seq in [0u64, 1, 255, 256, MAX_SEQUENCE_NUMBER] {
+            for vt in [ValueType::Deletion, ValueType::Value] {
+                let tag = pack_tag(seq, vt);
+                assert_eq!(unpack_tag(tag).unwrap(), (seq, vt));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sequence overflow")]
+    fn sequence_overflow_panics() {
+        pack_tag(MAX_SEQUENCE_NUMBER + 1, ValueType::Value);
+    }
+
+    #[test]
+    fn internal_key_roundtrip() {
+        let ik = make_internal_key(b"user", 42, ValueType::Value);
+        let parsed = parse_internal_key(&ik).unwrap();
+        assert_eq!(parsed.user_key, b"user");
+        assert_eq!(parsed.sequence, 42);
+        assert_eq!(parsed.value_type, ValueType::Value);
+    }
+
+    #[test]
+    fn empty_user_key_is_valid() {
+        let ik = make_internal_key(b"", 1, ValueType::Deletion);
+        assert_eq!(ik.len(), TAG_SIZE);
+        let parsed = parse_internal_key(&ik).unwrap();
+        assert_eq!(parsed.user_key, b"");
+        assert_eq!(parsed.value_type, ValueType::Deletion);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_internal_key(b"short").is_err());
+        let mut bad = make_internal_key(b"k", 1, ValueType::Value);
+        let tag_pos = bad.len() - TAG_SIZE;
+        bad[tag_pos] = 99; // unknown type byte
+        assert!(parse_internal_key(&bad).is_err());
+    }
+
+    #[test]
+    fn lookup_key_sorts_before_older_entries() {
+        use crate::comparator::{Comparator, InternalKeyComparator};
+        let cmp = InternalKeyComparator::default();
+        let lk = lookup_key(b"k", 10);
+        let visible = make_internal_key(b"k", 9, ValueType::Value);
+        let invisible = make_internal_key(b"k", 11, ValueType::Value);
+        assert!(cmp.compare(&lk, &visible) == std::cmp::Ordering::Less);
+        assert!(cmp.compare(&invisible, &lk) == std::cmp::Ordering::Less);
+    }
+}

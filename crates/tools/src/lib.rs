@@ -1,0 +1,516 @@
+//! # bolt-tools
+//!
+//! Offline inspection and maintenance commands for BoLT databases — the
+//! `leveldbutil` of this workspace. Each command is a library function
+//! (testable against any [`Env`]) with a thin CLI binary (`bolt-tool`)
+//! on top.
+//!
+//! | Command | What it does |
+//! |---|---|
+//! | [`stats`] | level shape, engine counters, I/O counters |
+//! | [`dump_manifest`] | decode every version edit in the live MANIFEST |
+//! | [`dump_tables`] | list every logical SSTable with its physical location |
+//! | [`scan`] | print key/value pairs in order |
+//! | [`get`] / [`put`] / [`delete_key`] | point operations |
+//! | [`load`] | bulk-load N synthetic records |
+//! | [`compact`] | flush + compact until quiet |
+//! | [`verify`] | full integrity walk: checksums, run ordering, level invariants |
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use bolt_common::{Error, Result};
+use bolt_core::{CompactionStyle, Db, Options};
+use bolt_env::Env;
+use bolt_table::comparator::Comparator;
+use bolt_table::ikey::parse_internal_key;
+use bolt_wal::LogReader;
+
+/// Parse a profile name into [`Options`].
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidArgument`] for unknown profile names.
+pub fn profile(name: &str) -> Result<Options> {
+    Ok(match name {
+        "leveldb" => Options::leveldb(),
+        "leveldb64" | "lvl64" => Options::leveldb_64mb(),
+        "hyper" | "hyperleveldb" => Options::hyperleveldb(),
+        "pebbles" | "pebblesdb" => Options::pebblesdb(),
+        "rocks" | "rocksdb" => Options::rocksdb(),
+        "bolt" => Options::bolt(),
+        "hyperbolt" => Options::hyperbolt(),
+        "rocksbolt" => Options::rocksbolt(),
+        other => {
+            return Err(Error::InvalidArgument(format!(
+                "unknown profile `{other}` (try: leveldb, lvl64, hyper, pebbles, rocks, bolt, hyperbolt, rocksbolt)"
+            )))
+        }
+    })
+}
+
+fn open(env: &Arc<dyn Env>, db: &str, opts: Options) -> Result<Db> {
+    Db::open(Arc::clone(env), db, opts)
+}
+
+/// Render level shape + engine + I/O statistics.
+///
+/// # Errors
+///
+/// Returns open/recovery errors.
+pub fn stats(env: &Arc<dyn Env>, db: &str, opts: Options) -> Result<String> {
+    let db = open(env, db, opts)?;
+    let mut out = String::new();
+    writeln!(out, "levels (runs / tables / bytes):").expect("write");
+    for (i, level) in db.level_info().iter().enumerate() {
+        if level.tables > 0 {
+            writeln!(
+                out,
+                "  L{i}: {:>3} runs  {:>5} tables  {:>12} bytes",
+                level.runs, level.tables, level.bytes
+            )
+            .expect("write");
+        }
+    }
+    let s = db.stats().snapshot();
+    let io = db.env().stats().snapshot();
+    writeln!(out, "engine:").expect("write");
+    writeln!(
+        out,
+        "  flushes {} | compactions {} | settled moves {} | trivial moves {} | seek compactions {}",
+        s.flushes, s.compactions, s.settled_moves, s.trivial_moves, s.seek_compactions
+    )
+    .expect("write");
+    writeln!(
+        out,
+        "  stalls {} ({} ms) | slowdowns {}",
+        s.stalls,
+        s.stall_nanos / 1_000_000,
+        s.slowdowns
+    )
+    .expect("write");
+    writeln!(out, "io:").expect("write");
+    writeln!(
+        out,
+        "  fsync {} | ordering barriers {} | written {} B | read {} B | holes punched {} ({} B)",
+        io.fsync_calls,
+        io.ordering_barriers,
+        io.bytes_written,
+        io.bytes_read,
+        io.holes_punched,
+        io.hole_bytes
+    )
+    .expect("write");
+    db.close()?;
+    Ok(out)
+}
+
+/// Decode the live MANIFEST into human-readable version edits.
+///
+/// # Errors
+///
+/// Returns I/O or corruption errors.
+pub fn dump_manifest(env: &Arc<dyn Env>, db: &str) -> Result<String> {
+    let current = env.new_random_access_file(&bolt_env::join_path(db, "CURRENT"))?;
+    let name = String::from_utf8(current.read(0, current.len() as usize)?)
+        .map_err(|_| Error::corruption("CURRENT not utf-8"))?;
+    let manifest_path = bolt_env::join_path(db, name.trim());
+    let mut reader = LogReader::new(env.new_random_access_file(&manifest_path)?);
+    let mut out = String::new();
+    writeln!(out, "manifest: {}", name.trim()).expect("write");
+    let mut index = 0usize;
+    while let Some(record) = reader.read_record()? {
+        let edit = bolt_core::version::VersionEdit::decode(&record)?;
+        writeln!(out, "edit #{index}:").expect("write");
+        if let Some(v) = edit.log_number {
+            writeln!(out, "  log_number: {v}").expect("write");
+        }
+        if let Some(v) = edit.next_file_number {
+            writeln!(out, "  next_file: {v}").expect("write");
+        }
+        if let Some(v) = edit.next_table_id {
+            writeln!(out, "  next_table: {v}").expect("write");
+        }
+        if let Some(v) = edit.last_sequence {
+            writeln!(out, "  last_sequence: {v}").expect("write");
+        }
+        for (level, id) in &edit.deleted_tables {
+            writeln!(out, "  delete: L{level} table#{id}").expect("write");
+        }
+        for (level, tag, meta) in &edit.added_tables {
+            writeln!(
+                out,
+                "  add: L{level} run={tag} table#{} file={:06} @{}+{} entries={} [{}..{}]",
+                meta.table_id,
+                meta.file_number,
+                meta.offset,
+                meta.size,
+                meta.num_entries,
+                String::from_utf8_lossy(meta.smallest_user_key()),
+                String::from_utf8_lossy(meta.largest_user_key()),
+            )
+            .expect("write");
+        }
+        index += 1;
+    }
+    Ok(out)
+}
+
+/// List every live logical SSTable grouped by physical file.
+///
+/// # Errors
+///
+/// Returns open/recovery errors.
+pub fn dump_tables(env: &Arc<dyn Env>, db_name: &str, opts: Options) -> Result<String> {
+    let db = open(env, db_name, opts)?;
+    let version = db.current_version();
+    let mut by_file: std::collections::BTreeMap<u64, Vec<String>> = Default::default();
+    let mut logical = 0usize;
+    for (level, tag, table) in version.all_tables() {
+        logical += 1;
+        by_file.entry(table.file_number).or_default().push(format!(
+            "  L{level} run={tag} table#{} @{}+{} entries={} [{}..{}]",
+            table.table_id,
+            table.offset,
+            table.size,
+            table.num_entries,
+            String::from_utf8_lossy(table.smallest_user_key()),
+            String::from_utf8_lossy(table.largest_user_key()),
+        ));
+    }
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{} logical SSTable(s) in {} physical file(s):",
+        logical,
+        by_file.len()
+    )
+    .expect("write");
+    for (file, mut lines) in by_file {
+        let physical = env
+            .file_size(&bolt_env::join_path(db_name, &format!("{file:06}.sst")))
+            .unwrap_or(0);
+        writeln!(out, "{file:06}.sst ({physical} B):").expect("write");
+        lines.sort();
+        for line in lines {
+            writeln!(out, "{line}").expect("write");
+        }
+    }
+    db.close()?;
+    Ok(out)
+}
+
+/// Print up to `limit` live entries starting at `start`.
+///
+/// # Errors
+///
+/// Returns open or read errors.
+pub fn scan(
+    env: &Arc<dyn Env>,
+    db: &str,
+    opts: Options,
+    start: &[u8],
+    limit: usize,
+) -> Result<String> {
+    let db = open(env, db, opts)?;
+    let mut iter = db.iter()?;
+    if start.is_empty() {
+        iter.seek_to_first()?;
+    } else {
+        iter.seek(start)?;
+    }
+    let mut out = String::new();
+    let mut n = 0usize;
+    while iter.valid() && n < limit {
+        writeln!(
+            out,
+            "{} => {}",
+            String::from_utf8_lossy(iter.key()),
+            String::from_utf8_lossy(iter.value())
+        )
+        .expect("write");
+        n += 1;
+        iter.next()?;
+    }
+    writeln!(out, "({n} entries)").expect("write");
+    db.close()?;
+    Ok(out)
+}
+
+/// Point lookup.
+///
+/// # Errors
+///
+/// Returns open or read errors.
+pub fn get(env: &Arc<dyn Env>, db: &str, opts: Options, key: &[u8]) -> Result<Option<Vec<u8>>> {
+    let db = open(env, db, opts)?;
+    let value = db.get(key)?;
+    db.close()?;
+    Ok(value)
+}
+
+/// Insert one key.
+///
+/// # Errors
+///
+/// Returns open or write errors.
+pub fn put(env: &Arc<dyn Env>, db: &str, opts: Options, key: &[u8], value: &[u8]) -> Result<()> {
+    let db = open(env, db, opts)?;
+    db.put(key, value)?;
+    db.close()
+}
+
+/// Delete one key.
+///
+/// # Errors
+///
+/// Returns open or write errors.
+pub fn delete_key(env: &Arc<dyn Env>, db: &str, opts: Options, key: &[u8]) -> Result<()> {
+    let db = open(env, db, opts)?;
+    db.delete(key)?;
+    db.close()
+}
+
+/// Bulk-load `records` YCSB-style records of `value_len` bytes.
+///
+/// # Errors
+///
+/// Returns open or write errors.
+pub fn load(
+    env: &Arc<dyn Env>,
+    db: &str,
+    opts: Options,
+    records: u64,
+    value_len: usize,
+) -> Result<String> {
+    let db = Arc::new(open(env, db, opts)?);
+    let cfg = bolt_ycsb::BenchConfig {
+        record_count: records,
+        op_count: 0,
+        threads: 4,
+        value_len,
+        seed: 1,
+    };
+    let result = bolt_ycsb::load_db(&db, &cfg)?;
+    db.flush()?;
+    db.compact_until_quiet()?;
+    let out = format!(
+        "loaded {} records ({} B values) at {:.0} ops/s\n",
+        records,
+        value_len,
+        result.throughput()
+    );
+    db.close()?;
+    Ok(out)
+}
+
+/// Flush and compact until the tree is quiescent.
+///
+/// # Errors
+///
+/// Returns open or background errors.
+pub fn compact(env: &Arc<dyn Env>, db: &str, opts: Options) -> Result<String> {
+    let db = open(env, db, opts)?;
+    db.flush()?;
+    db.compact_until_quiet()?;
+    let levels = db.level_info();
+    db.close()?;
+    Ok(format!("compacted; levels: {levels:?}\n"))
+}
+
+/// Integrity walk: open every live logical SSTable, iterate every entry
+/// (verifying block checksums along the way), and check the structural
+/// invariants — tables sorted and disjoint within each run, entries sorted
+/// within each table, table metadata matching contents.
+///
+/// # Errors
+///
+/// Returns the first corruption found, or open errors.
+pub fn verify(env: &Arc<dyn Env>, db_name: &str, opts: Options) -> Result<String> {
+    let db = open(env, db_name, opts.clone())?;
+    let version = db.current_version();
+    let icmp = bolt_table::comparator::InternalKeyComparator::default();
+    let ucmp = icmp.user_comparator();
+
+    let mut tables_checked = 0usize;
+    let mut entries_checked = 0u64;
+
+    for (level, state) in version.levels.iter().enumerate() {
+        for run in &state.runs {
+            // Invariant: tables within a run are sorted and disjoint.
+            for pair in run.tables.windows(2) {
+                if !ucmp
+                    .compare(pair[0].largest_user_key(), pair[1].smallest_user_key())
+                    .is_lt()
+                {
+                    return Err(Error::corruption(format!(
+                        "L{level} run {}: tables {} and {} overlap",
+                        run.tag, pair[0].table_id, pair[1].table_id
+                    )));
+                }
+            }
+            for meta in &run.tables {
+                let reader = db.table_cache().table(&meta.spec(db_name))?;
+                let mut iter = reader.iter();
+                iter.seek_to_first()?;
+                let mut count = 0u64;
+                let mut prev: Option<Vec<u8>> = None;
+                while iter.valid() {
+                    let key = iter.key().to_vec();
+                    parse_internal_key(&key)?;
+                    if let Some(p) = &prev {
+                        if !icmp.compare(p, &key).is_lt() {
+                            return Err(Error::corruption(format!(
+                                "table {} entries out of order",
+                                meta.table_id
+                            )));
+                        }
+                    }
+                    if count == 0 && icmp.compare(&key, &meta.smallest).is_ne() {
+                        return Err(Error::corruption(format!(
+                            "table {} smallest key mismatch",
+                            meta.table_id
+                        )));
+                    }
+                    prev = Some(key);
+                    count += 1;
+                    iter.next()?;
+                }
+                if count != meta.num_entries {
+                    return Err(Error::corruption(format!(
+                        "table {} has {count} entries, MANIFEST says {}",
+                        meta.table_id, meta.num_entries
+                    )));
+                }
+                if let Some(last) = prev {
+                    if icmp.compare(&last, &meta.largest).is_ne() {
+                        return Err(Error::corruption(format!(
+                            "table {} largest key mismatch",
+                            meta.table_id
+                        )));
+                    }
+                }
+                tables_checked += 1;
+                entries_checked += count;
+            }
+        }
+    }
+    db.close()?;
+    Ok(format!(
+        "ok: {tables_checked} logical SSTable(s), {entries_checked} entries verified\n"
+    ))
+}
+
+/// Which compaction style a profile uses (for display).
+pub fn style_name(opts: &Options) -> &'static str {
+    match opts.compaction_style {
+        CompactionStyle::Leveled => "leveled",
+        CompactionStyle::Fragmented => "fragmented",
+        CompactionStyle::Bolt(_) => "bolt",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolt_env::MemEnv;
+
+    fn setup() -> (Arc<dyn Env>, Options) {
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+        (env, Options::bolt().scaled(1.0 / 256.0))
+    }
+
+    fn seed_db(env: &Arc<dyn Env>, opts: &Options) {
+        let db = Db::open(Arc::clone(env), "db", opts.clone()).unwrap();
+        for i in 0..2000u32 {
+            db.put(format!("key{i:05}").as_bytes(), format!("value{i}").as_bytes())
+                .unwrap();
+        }
+        db.flush().unwrap();
+        db.compact_until_quiet().unwrap();
+        db.close().unwrap();
+    }
+
+    #[test]
+    fn profile_parsing() {
+        assert!(profile("bolt").is_ok());
+        assert!(profile("rocksbolt").is_ok());
+        assert!(profile("nope").is_err());
+        assert_eq!(style_name(&profile("pebbles").unwrap()), "fragmented");
+        assert_eq!(style_name(&profile("leveldb").unwrap()), "leveled");
+        assert_eq!(style_name(&profile("bolt").unwrap()), "bolt");
+    }
+
+    #[test]
+    fn stats_and_dumps_render() {
+        let (env, opts) = setup();
+        seed_db(&env, &opts);
+        let s = stats(&env, "db", opts.clone()).unwrap();
+        assert!(s.contains("levels"), "{s}");
+        assert!(s.contains("fsync"), "{s}");
+        let m = dump_manifest(&env, "db").unwrap();
+        assert!(m.contains("add: L"), "{m}");
+        let t = dump_tables(&env, "db", opts).unwrap();
+        assert!(t.contains("logical SSTable(s)"), "{t}");
+        assert!(t.contains(".sst"), "{t}");
+    }
+
+    #[test]
+    fn point_ops_and_scan() {
+        let (env, opts) = setup();
+        put(&env, "db", opts.clone(), b"alpha", b"1").unwrap();
+        put(&env, "db", opts.clone(), b"beta", b"2").unwrap();
+        assert_eq!(
+            get(&env, "db", opts.clone(), b"alpha").unwrap(),
+            Some(b"1".to_vec())
+        );
+        delete_key(&env, "db", opts.clone(), b"alpha").unwrap();
+        assert_eq!(get(&env, "db", opts.clone(), b"alpha").unwrap(), None);
+        let out = scan(&env, "db", opts, b"", 10).unwrap();
+        assert!(out.contains("beta => 2"), "{out}");
+        assert!(out.contains("(1 entries)"), "{out}");
+    }
+
+    #[test]
+    fn load_then_verify() {
+        let (env, opts) = setup();
+        let out = load(&env, "db", opts.clone(), 1500, 64).unwrap();
+        assert!(out.contains("loaded 1500 records"), "{out}");
+        let out = verify(&env, "db", opts).unwrap();
+        assert!(out.starts_with("ok:"), "{out}");
+    }
+
+    #[test]
+    fn verify_detects_corruption() {
+        let (env, opts) = setup();
+        seed_db(&env, &opts);
+        // Find a live table file and flip one byte in the middle.
+        let db = Db::open(Arc::clone(&env), "db", opts.clone()).unwrap();
+        let version = db.current_version();
+        let (_, _, table) = version.all_tables().next().expect("a table");
+        let path = format!("db/{:06}.sst", table.file_number);
+        let offset = table.offset + table.size / 2;
+        db.close().unwrap();
+
+        let r = env.new_random_access_file(&path).unwrap();
+        let mut bytes = r.read(0, r.len() as usize).unwrap();
+        bytes[offset as usize] ^= 0xff;
+        let mut f = env.new_writable_file(&path).unwrap();
+        f.append(&bytes).unwrap();
+        f.sync().unwrap();
+        drop(f);
+
+        let err = verify(&env, "db", opts).unwrap_err();
+        assert!(err.is_corruption(), "got {err}");
+    }
+
+    #[test]
+    fn compact_reports_levels() {
+        let (env, opts) = setup();
+        seed_db(&env, &opts);
+        let out = compact(&env, "db", opts).unwrap();
+        assert!(out.contains("compacted"), "{out}");
+    }
+}

@@ -1,0 +1,117 @@
+//! `bolt-tool` — command-line inspection and maintenance for BoLT
+//! databases on a real filesystem.
+//!
+//! ```text
+//! bolt-tool <command> <db-dir> [args...] [--profile <name>]
+//!
+//! commands:
+//!   stats <db>                      level shape + engine + IO counters
+//!   dump-manifest <db>              decode the live MANIFEST
+//!   dump-tables <db>                logical SSTables by physical file
+//!   scan <db> [start] [limit]       print entries in order
+//!   get <db> <key>                  point lookup
+//!   put <db> <key> <value>          insert
+//!   delete <db> <key>               delete
+//!   load <db> <records> [vlen]      bulk-load synthetic records
+//!   compact <db>                    flush + compact until quiet
+//!   verify <db>                     full integrity walk
+//!
+//! --profile: leveldb | lvl64 | hyper | pebbles | rocks | bolt (default)
+//!            | hyperbolt | rocksbolt
+//! ```
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use bolt_env::{Env, RealEnv};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: bolt-tool <stats|dump-manifest|dump-tables|scan|get|put|delete|load|compact|verify> <db-dir> [args...] [--profile <name>]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+
+    // Extract --profile anywhere in the argument list.
+    let mut profile_name = "bolt".to_string();
+    if let Some(pos) = args.iter().position(|a| a == "--profile") {
+        if pos + 1 >= args.len() {
+            return usage();
+        }
+        profile_name = args.remove(pos + 1);
+        args.remove(pos);
+    }
+
+    if args.len() < 2 {
+        return usage();
+    }
+    let command = args[0].clone();
+    let db = args[1].clone();
+
+    let opts = match bolt_tools::profile(&profile_name) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    // The db path's parent is the env root; the db directory name is the
+    // final component.
+    let env: Arc<dyn Env> = Arc::new(RealEnv::new("."));
+
+    let result = match command.as_str() {
+        "stats" => bolt_tools::stats(&env, &db, opts).map(Some),
+        "dump-manifest" => bolt_tools::dump_manifest(&env, &db).map(Some),
+        "dump-tables" => bolt_tools::dump_tables(&env, &db, opts).map(Some),
+        "scan" => {
+            let start = args.get(2).cloned().unwrap_or_default();
+            let limit = args
+                .get(3)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(100usize);
+            bolt_tools::scan(&env, &db, opts, start.as_bytes(), limit).map(Some)
+        }
+        "get" => match args.get(2) {
+            Some(key) => bolt_tools::get(&env, &db, opts, key.as_bytes()).map(|v| {
+                Some(match v {
+                    Some(value) => format!("{}\n", String::from_utf8_lossy(&value)),
+                    None => "(not found)\n".to_string(),
+                })
+            }),
+            None => return usage(),
+        },
+        "put" => match (args.get(2), args.get(3)) {
+            (Some(k), Some(v)) => {
+                bolt_tools::put(&env, &db, opts, k.as_bytes(), v.as_bytes()).map(|()| None)
+            }
+            _ => return usage(),
+        },
+        "delete" => match args.get(2) {
+            Some(k) => bolt_tools::delete_key(&env, &db, opts, k.as_bytes()).map(|()| None),
+            None => return usage(),
+        },
+        "load" => {
+            let records = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(10_000);
+            let vlen = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(256);
+            bolt_tools::load(&env, &db, opts, records, vlen).map(Some)
+        }
+        "compact" => bolt_tools::compact(&env, &db, opts).map(Some),
+        "verify" => bolt_tools::verify(&env, &db, opts).map(Some),
+        _ => return usage(),
+    };
+
+    match result {
+        Ok(Some(output)) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Ok(None) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

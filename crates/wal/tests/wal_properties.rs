@@ -1,0 +1,99 @@
+//! Property-based tests of the WAL format: arbitrary record sequences
+//! round-trip, and *any* truncation of the file yields a strict prefix of
+//! the records (never garbage, never a skipped middle record).
+
+use proptest::prelude::*;
+
+use bolt_env::{Env, MemEnv};
+use bolt_wal::{LogReader, LogWriter, BLOCK_SIZE};
+
+fn records_strategy() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(any::<u8>(), 0..(BLOCK_SIZE * 2)),
+        1..20,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, .. ProptestConfig::default() })]
+
+    #[test]
+    fn roundtrip(records in records_strategy()) {
+        let env = MemEnv::new();
+        let mut writer = LogWriter::new(env.new_writable_file("log").unwrap());
+        for r in &records {
+            writer.add_record(r).unwrap();
+        }
+        writer.sync().unwrap();
+        drop(writer);
+        let mut reader = LogReader::new(env.new_random_access_file("log").unwrap());
+        prop_assert_eq!(reader.read_all().unwrap(), records);
+    }
+
+    #[test]
+    fn any_truncation_yields_a_prefix(records in records_strategy(), cut_frac in 0.0f64..1.0) {
+        let env = MemEnv::new();
+        let mut writer = LogWriter::new(env.new_writable_file("log").unwrap());
+        for r in &records {
+            writer.add_record(r).unwrap();
+        }
+        writer.sync().unwrap();
+        let total = writer.len();
+        drop(writer);
+
+        let cut = (total as f64 * cut_frac) as usize;
+        let full = env.new_random_access_file("log").unwrap();
+        let bytes = full.read(0, cut).unwrap();
+        let mut f = env.new_writable_file("cut").unwrap();
+        f.append(&bytes).unwrap();
+        f.sync().unwrap();
+        drop(f);
+
+        let mut reader = LogReader::new(env.new_random_access_file("cut").unwrap());
+        let recovered = reader.read_all().unwrap();
+        prop_assert!(recovered.len() <= records.len());
+        for (got, want) in recovered.iter().zip(records.iter()) {
+            prop_assert_eq!(got, want, "recovered records must be an exact prefix");
+        }
+    }
+
+    #[test]
+    fn single_bitflip_never_panics_and_keeps_prefix(
+        records in records_strategy(),
+        flip_frac in 0.0f64..1.0,
+    ) {
+        let env = MemEnv::new();
+        let mut writer = LogWriter::new(env.new_writable_file("log").unwrap());
+        for r in &records {
+            writer.add_record(r).unwrap();
+        }
+        writer.sync().unwrap();
+        let total = writer.len() as usize;
+        drop(writer);
+        prop_assume!(total > 0);
+
+        let pos = ((total - 1) as f64 * flip_frac) as usize;
+        let full = env.new_random_access_file("log").unwrap();
+        let mut bytes = full.read(0, total).unwrap();
+        bytes[pos] ^= 0x01;
+        let mut f = env.new_writable_file("flipped").unwrap();
+        f.append(&bytes).unwrap();
+        f.sync().unwrap();
+        drop(f);
+
+        // Reading must terminate without panicking; whatever is returned
+        // before the corruption point must match the originals.
+        let mut reader = LogReader::new(env.new_random_access_file("flipped").unwrap());
+        let recovered = reader.read_all().unwrap();
+        for (got, want) in recovered.iter().zip(records.iter()) {
+            if got != want {
+                // The flipped byte landed inside this record's payload but
+                // the CRC happened to be the flipped byte itself... not
+                // possible: CRC mismatch drops the record. A mismatch here
+                // means the flip hit a *later* fragment of a reassembled
+                // record — still a corruption stop, never silent damage.
+                prop_assert!(false, "corrupted record returned");
+            }
+        }
+    }
+}

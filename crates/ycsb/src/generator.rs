@@ -1,0 +1,270 @@
+//! Request-distribution generators: uniform, (scrambled) zipfian, and
+//! latest — the three distributions YCSB's core workloads use.
+//!
+//! The zipfian generator follows YCSB's `ZipfianGenerator` (Gray et al.'s
+//! algorithm): a closed-form inverse-CDF sample over `n` items with
+//! exponent `theta = 0.99`, plus the *scrambled* variant that FNV-hashes
+//! the rank so popular items spread across the keyspace.
+
+use bolt_common::rng::Rng64;
+
+/// YCSB's default zipfian constant.
+pub const ZIPFIAN_CONSTANT: f64 = 0.99;
+
+/// 64-bit FNV-1a, as used by YCSB's `Utils.FNVhash64`.
+pub fn fnv_hash64(value: u64) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x1000_0000_01b3;
+    let mut hash = OFFSET;
+    for byte in value.to_le_bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// A source of item indexes in `[0, item_count)`.
+pub trait KeyChooser: Send {
+    /// Draw the next index given the current number of items.
+    fn next(&mut self, rng: &mut Rng64, item_count: u64) -> u64;
+}
+
+/// Uniform choice.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Uniform;
+
+impl KeyChooser for Uniform {
+    fn next(&mut self, rng: &mut Rng64, item_count: u64) -> u64 {
+        rng.next_below(item_count.max(1))
+    }
+}
+
+/// Zipfian over ranks `[0, n)`: rank 0 most popular.
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    items: u64,
+    theta: f64,
+    zetan: f64,
+    zeta2: f64,
+    alpha: f64,
+    eta: f64,
+}
+
+fn zeta(n: u64, theta: f64) -> f64 {
+    let mut sum = 0.0;
+    for i in 0..n {
+        sum += 1.0 / ((i + 1) as f64).powf(theta);
+    }
+    sum
+}
+
+impl Zipfian {
+    /// Build for `items` elements with the YCSB constant.
+    pub fn new(items: u64) -> Self {
+        Self::with_theta(items, ZIPFIAN_CONSTANT)
+    }
+
+    /// Build with an explicit `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is zero.
+    pub fn with_theta(items: u64, theta: f64) -> Self {
+        assert!(items > 0, "zipfian needs at least one item");
+        let zetan = zeta(items, theta);
+        let zeta2 = zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / items as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipfian {
+            items,
+            theta,
+            zetan,
+            zeta2,
+            alpha,
+            eta,
+        }
+    }
+
+    /// Sample a rank.
+    pub fn sample(&mut self, rng: &mut Rng64, items: u64) -> u64 {
+        if items != self.items {
+            // Item count changed (inserts): recompute the constants. Zeta
+            // recomputation is incremental from the previous value.
+            if items > self.items {
+                self.zetan += zeta_range(self.items, items, self.theta);
+            } else {
+                self.zetan = zeta(items, self.theta);
+            }
+            self.items = items;
+            self.eta = (1.0 - (2.0 / items as f64).powf(1.0 - self.theta))
+                / (1.0 - self.zeta2 / self.zetan);
+        }
+        let u = rng.next_f64();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.items as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.items - 1)
+    }
+}
+
+fn zeta_range(from: u64, to: u64, theta: f64) -> f64 {
+    let mut sum = 0.0;
+    for i in from..to {
+        sum += 1.0 / ((i + 1) as f64).powf(theta);
+    }
+    sum
+}
+
+impl KeyChooser for Zipfian {
+    fn next(&mut self, rng: &mut Rng64, item_count: u64) -> u64 {
+        self.sample(rng, item_count.max(1))
+    }
+}
+
+/// Scrambled zipfian: zipfian rank hashed over the item space, so the hot
+/// set is scattered (YCSB's default for workloads A/B/C/F).
+#[derive(Debug, Clone)]
+pub struct ScrambledZipfian {
+    inner: Zipfian,
+}
+
+impl ScrambledZipfian {
+    /// Build for `items` elements.
+    pub fn new(items: u64) -> Self {
+        ScrambledZipfian {
+            inner: Zipfian::new(items),
+        }
+    }
+}
+
+impl KeyChooser for ScrambledZipfian {
+    fn next(&mut self, rng: &mut Rng64, item_count: u64) -> u64 {
+        let item_count = item_count.max(1);
+        let rank = self.inner.sample(rng, item_count);
+        fnv_hash64(rank) % item_count
+    }
+}
+
+/// Latest: zipfian over recency — index `count - 1 - zipf_rank` (YCSB
+/// workload D reads mostly the newest records).
+#[derive(Debug, Clone)]
+pub struct Latest {
+    inner: Zipfian,
+}
+
+impl Latest {
+    /// Build for an initial `items` elements.
+    pub fn new(items: u64) -> Self {
+        Latest {
+            inner: Zipfian::new(items),
+        }
+    }
+}
+
+impl KeyChooser for Latest {
+    fn next(&mut self, rng: &mut Rng64, item_count: u64) -> u64 {
+        let item_count = item_count.max(1);
+        let rank = self.inner.sample(rng, item_count);
+        item_count - 1 - rank
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn histogram_of(chooser: &mut dyn KeyChooser, items: u64, samples: usize) -> Vec<u64> {
+        let mut rng = Rng64::new(42);
+        let mut counts = vec![0u64; items as usize];
+        for _ in 0..samples {
+            let v = chooser.next(&mut rng, items);
+            assert!(v < items, "out of range: {v}");
+            counts[v as usize] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn fnv_hash_is_stable_and_spread() {
+        assert_eq!(fnv_hash64(0), fnv_hash64(0));
+        assert_ne!(fnv_hash64(0), fnv_hash64(1));
+        let mut buckets = [0u32; 16];
+        for i in 0..16_000u64 {
+            buckets[(fnv_hash64(i) % 16) as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!((700..1300).contains(&b), "skewed bucket {b}");
+        }
+    }
+
+    #[test]
+    fn uniform_covers_range_evenly() {
+        let counts = histogram_of(&mut Uniform, 100, 100_000);
+        for &c in &counts {
+            assert!((700..1300).contains(&(c as u32)), "bucket {c}");
+        }
+    }
+
+    #[test]
+    fn zipfian_is_head_heavy() {
+        let counts = histogram_of(&mut Zipfian::new(1000), 1000, 100_000);
+        assert!(
+            counts[0] > counts[500] * 20,
+            "rank 0 ({}) should dwarf rank 500 ({})",
+            counts[0],
+            counts[500]
+        );
+        // Head-heaviness: top-10 ranks take a large share.
+        let head: u64 = counts[..10].iter().sum();
+        assert!(head > 20_000, "top-10 share too small: {head}");
+    }
+
+    #[test]
+    fn scrambled_zipfian_spreads_the_head() {
+        let counts = histogram_of(&mut ScrambledZipfian::new(1000), 1000, 100_000);
+        // Still very skewed overall...
+        let max = *counts.iter().max().unwrap();
+        assert!(max > 5_000, "still skewed: {max}");
+        // ...but the hottest item is not rank 0.
+        let argmax = counts.iter().enumerate().max_by_key(|(_, &c)| c).unwrap().0;
+        assert_eq!(argmax as u64, fnv_hash64(0) % 1000);
+    }
+
+    #[test]
+    fn latest_prefers_recent_items() {
+        let counts = histogram_of(&mut Latest::new(1000), 1000, 100_000);
+        let newest: u64 = counts[990..].iter().sum();
+        let oldest: u64 = counts[..10].iter().sum();
+        assert!(
+            newest > oldest * 50,
+            "newest {newest} vs oldest {oldest}"
+        );
+    }
+
+    #[test]
+    fn zipfian_tracks_growing_item_count() {
+        let mut gen = Latest::new(100);
+        let mut rng = Rng64::new(7);
+        for items in [100u64, 150, 400, 1000] {
+            for _ in 0..1000 {
+                assert!(gen.next(&mut rng, items) < items);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = ScrambledZipfian::new(500);
+        let mut b = ScrambledZipfian::new(500);
+        let mut ra = Rng64::new(9);
+        let mut rb = Rng64::new(9);
+        for _ in 0..100 {
+            assert_eq!(a.next(&mut ra, 500), b.next(&mut rb, 500));
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # bolt-ycsb
+//!
+//! A reimplementation of the YCSB core workloads (Cooper et al., SoCC'10)
+//! used by the BoLT paper's evaluation: Load A/E plus workloads A–F with
+//! uniform, scrambled-zipfian, and latest request distributions, driven by
+//! a multi-threaded client that records per-operation latency histograms.
+//!
+//! ```
+//! use bolt_ycsb::{BenchConfig, Workload};
+//! use bolt_ycsb::runner::{load_db, run_workload};
+//! use bolt_core::{Db, Options};
+//! use bolt_env::MemEnv;
+//! use std::sync::{atomic::AtomicU64, Arc};
+//!
+//! # fn main() -> bolt_common::Result<()> {
+//! let env: Arc<dyn bolt_env::Env> = Arc::new(MemEnv::new());
+//! let db = Arc::new(Db::open(env, "db", Options::bolt().scaled(1.0 / 64.0))?);
+//! let cfg = BenchConfig { record_count: 500, op_count: 500, value_len: 64, ..Default::default() };
+//! load_db(&db, &cfg)?;
+//! let cursor = Arc::new(AtomicU64::new(cfg.record_count));
+//! let result = run_workload(&db, &Workload::c(), &cfg, &cursor)?;
+//! assert!(result.throughput() > 0.0);
+//! db.close()?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod runner;
+pub mod workload;
+
+pub use runner::{load_db, run_workload, BenchConfig, RunResult};
+pub use workload::{key_name, value_payload, OpKind, RequestDistribution, Workload};

@@ -1,0 +1,262 @@
+//! YCSB core-workload definitions.
+//!
+//! The paper runs the standard suite "in the order of LA, A, B, C, F, D,
+//! delete database, LE, and E" (§4.1) with 23-byte keys and 1 KB values.
+
+use crate::generator::{KeyChooser, Latest, ScrambledZipfian, Uniform};
+
+/// Operation kinds in a workload mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Point read.
+    Read,
+    /// Overwrite an existing key.
+    Update,
+    /// Insert a new key.
+    Insert,
+    /// Range scan.
+    Scan,
+    /// Read-modify-write.
+    ReadModifyWrite,
+}
+
+/// Request distribution for choosing existing keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestDistribution {
+    /// Uniform over all records.
+    Uniform,
+    /// Scrambled zipfian (hot set scattered).
+    Zipfian,
+    /// Skewed toward the most recent inserts.
+    Latest,
+}
+
+impl RequestDistribution {
+    /// Instantiate a chooser for `records` items.
+    pub fn chooser(self, records: u64) -> Box<dyn KeyChooser> {
+        match self {
+            RequestDistribution::Uniform => Box::new(Uniform),
+            RequestDistribution::Zipfian => Box::new(ScrambledZipfian::new(records.max(1))),
+            RequestDistribution::Latest => Box::new(Latest::new(records.max(1))),
+        }
+    }
+}
+
+/// A YCSB workload: an operation mix plus a request distribution.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Short name ("A", "C", "LoadA", ...).
+    pub name: &'static str,
+    /// Proportion of reads (0–1).
+    pub read: f64,
+    /// Proportion of updates.
+    pub update: f64,
+    /// Proportion of inserts.
+    pub insert: f64,
+    /// Proportion of scans.
+    pub scan: f64,
+    /// Proportion of read-modify-writes.
+    pub read_modify_write: f64,
+    /// Distribution for reads/updates/scans.
+    pub distribution: RequestDistribution,
+    /// Maximum scan length (uniform in `1..=max_scan_len`).
+    pub max_scan_len: u64,
+}
+
+impl Workload {
+    /// Load phase (LA / LE): 100% inserts.
+    pub fn load() -> Self {
+        Workload {
+            name: "Load",
+            read: 0.0,
+            update: 0.0,
+            insert: 1.0,
+            scan: 0.0,
+            read_modify_write: 0.0,
+            distribution: RequestDistribution::Zipfian,
+            max_scan_len: 0,
+        }
+    }
+
+    /// Workload A: 50% read / 50% update, zipfian.
+    pub fn a() -> Self {
+        Workload {
+            name: "A",
+            read: 0.5,
+            update: 0.5,
+            insert: 0.0,
+            scan: 0.0,
+            read_modify_write: 0.0,
+            distribution: RequestDistribution::Zipfian,
+            max_scan_len: 0,
+        }
+    }
+
+    /// Workload B: 95% read / 5% update, zipfian.
+    pub fn b() -> Self {
+        Workload {
+            name: "B",
+            read: 0.95,
+            update: 0.05,
+            ..Self::a()
+        }
+    }
+
+    /// Workload C: 100% read, zipfian.
+    pub fn c() -> Self {
+        Workload {
+            name: "C",
+            read: 1.0,
+            update: 0.0,
+            ..Self::a()
+        }
+    }
+
+    /// Workload D: 95% read of latest / 5% insert.
+    pub fn d() -> Self {
+        Workload {
+            name: "D",
+            read: 0.95,
+            update: 0.0,
+            insert: 0.05,
+            distribution: RequestDistribution::Latest,
+            ..Self::a()
+        }
+    }
+
+    /// Workload E: 95% scan / 5% insert.
+    pub fn e() -> Self {
+        Workload {
+            name: "E",
+            read: 0.0,
+            update: 0.0,
+            insert: 0.05,
+            scan: 0.95,
+            read_modify_write: 0.0,
+            distribution: RequestDistribution::Zipfian,
+            max_scan_len: 100,
+        }
+    }
+
+    /// Workload F: 50% read / 50% read-modify-write.
+    pub fn f() -> Self {
+        Workload {
+            name: "F",
+            read: 0.5,
+            update: 0.0,
+            read_modify_write: 0.5,
+            ..Self::a()
+        }
+    }
+
+    /// Same mix with a different request distribution (the paper's Fig 13
+    /// runs zipfian *and* uniform variants of the whole suite).
+    pub fn with_distribution(mut self, distribution: RequestDistribution) -> Self {
+        self.distribution = distribution;
+        self
+    }
+
+    /// Pick an operation kind given a uniform draw in `[0, 1)`.
+    pub fn pick_op(&self, draw: f64) -> OpKind {
+        let mut acc = self.read;
+        if draw < acc {
+            return OpKind::Read;
+        }
+        acc += self.update;
+        if draw < acc {
+            return OpKind::Update;
+        }
+        acc += self.insert;
+        if draw < acc {
+            return OpKind::Insert;
+        }
+        acc += self.scan;
+        if draw < acc {
+            return OpKind::Scan;
+        }
+        OpKind::ReadModifyWrite
+    }
+}
+
+/// Build the 23-byte YCSB key for record number `num`
+/// (`user` + 19 zero-padded digits of the FNV-scattered record number,
+/// matching YCSB's hashed `buildKeyName`).
+pub fn key_name(num: u64) -> Vec<u8> {
+    let hashed = crate::generator::fnv_hash64(num) % 10_000_000_000_000_000_000;
+    format!("user{hashed:019}").into_bytes()
+}
+
+/// Deterministic value payload of `len` bytes for record `num`.
+pub fn value_payload(num: u64, len: usize) -> Vec<u8> {
+    let mut value = Vec::with_capacity(len);
+    let seed = num.wrapping_mul(0x9e37_79b9_7f4a_7c15).to_le_bytes();
+    while value.len() < len {
+        value.extend_from_slice(&seed);
+    }
+    value.truncate(len);
+    value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_23_bytes_and_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            let key = key_name(i);
+            assert_eq!(key.len(), 23, "key: {:?}", String::from_utf8_lossy(&key));
+            assert!(key.starts_with(b"user"));
+            assert!(seen.insert(key), "duplicate at {i}");
+        }
+    }
+
+    #[test]
+    fn value_payload_is_deterministic_and_sized() {
+        assert_eq!(value_payload(7, 1024).len(), 1024);
+        assert_eq!(value_payload(7, 100), value_payload(7, 100));
+        assert_ne!(value_payload(7, 100), value_payload(8, 100));
+        assert!(value_payload(3, 0).is_empty());
+    }
+
+    #[test]
+    fn mixes_sum_to_one() {
+        for w in [
+            Workload::load(),
+            Workload::a(),
+            Workload::b(),
+            Workload::c(),
+            Workload::d(),
+            Workload::e(),
+            Workload::f(),
+        ] {
+            let total = w.read + w.update + w.insert + w.scan + w.read_modify_write;
+            assert!((total - 1.0).abs() < 1e-9, "workload {} sums to {total}", w.name);
+        }
+    }
+
+    #[test]
+    fn pick_op_matches_proportions() {
+        let w = Workload::a();
+        assert_eq!(w.pick_op(0.0), OpKind::Read);
+        assert_eq!(w.pick_op(0.49), OpKind::Read);
+        assert_eq!(w.pick_op(0.51), OpKind::Update);
+        let e = Workload::e();
+        assert_eq!(e.pick_op(0.01), OpKind::Insert);
+        assert_eq!(e.pick_op(0.5), OpKind::Scan);
+        let f = Workload::f();
+        assert_eq!(f.pick_op(0.9), OpKind::ReadModifyWrite);
+    }
+
+    #[test]
+    fn d_uses_latest_distribution() {
+        assert_eq!(Workload::d().distribution, RequestDistribution::Latest);
+        assert_eq!(
+            Workload::a()
+                .with_distribution(RequestDistribution::Uniform)
+                .distribution,
+            RequestDistribution::Uniform
+        );
+    }
+}

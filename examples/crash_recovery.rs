@@ -1,0 +1,84 @@
+//! Crash-recovery torture demo: repeatedly crash a database mid-write with
+//! torn tails and verify that every acknowledged-and-synced write survives
+//! and the store stays internally consistent.
+//!
+//! This exercises the paper's §2.4 claim that the MANIFEST acts as the
+//! commit mark for each compaction: no crash may ever expose a logical
+//! SSTable that was not validated, or lose one that was.
+//!
+//! Run with `cargo run --release --example crash_recovery`.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use bolt::{Db, Options};
+use bolt_env::{CrashConfig, Env, MemEnv};
+
+fn main() -> bolt::Result<()> {
+    let mem_env = Arc::new(MemEnv::new());
+    let env: Arc<dyn Env> = Arc::clone(&mem_env) as Arc<dyn Env>;
+    let opts = Options::bolt().scaled(1.0 / 128.0);
+
+    // Model of what MUST be durable: everything written before the last
+    // explicit flush() of each epoch.
+    let mut durable: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+    let mut next_key = 0u64;
+
+    for epoch in 0..8u64 {
+        let db = Db::open(Arc::clone(&env), "crash-db", opts.clone())?;
+
+        // Verify everything durable so far is present.
+        for (key, value) in &durable {
+            let got = db.get(key)?;
+            assert_eq!(
+                got.as_ref(),
+                Some(value),
+                "epoch {epoch}: durable key {:?} lost after crash",
+                String::from_utf8_lossy(key)
+            );
+        }
+
+        // Write a batch, flush (making it durable), then write more and
+        // crash without flushing.
+        for _ in 0..2_000 {
+            let key = format!("key{:012}", next_key).into_bytes();
+            let value = format!("epoch{epoch}-value{next_key}").into_bytes();
+            db.put(&key, &value)?;
+            durable.insert(key, value);
+            next_key += 1;
+        }
+        db.flush()?;
+
+        for i in 0..500 {
+            // These may or may not survive — never recorded as durable.
+            db.put(format!("volatile{epoch}-{i}").as_bytes(), b"?")?;
+        }
+
+        // Crash with a torn tail (partial unsynced bytes survive).
+        drop(db);
+        mem_env.crash(CrashConfig::TornTail { seed: epoch * 31 + 7 });
+        println!(
+            "epoch {epoch}: crashed with {} durable keys — recovery verified",
+            durable.len()
+        );
+    }
+
+    // Final full verification including a scan for ordering corruption.
+    let db = Db::open(env, "crash-db", opts)?;
+    let mut iter = db.iter()?;
+    iter.seek(b"key")?;
+    let mut scanned = 0u64;
+    let mut prev: Option<Vec<u8>> = None;
+    while iter.valid() && iter.key().starts_with(b"key") {
+        if let Some(p) = &prev {
+            assert!(p < &iter.key().to_vec(), "scan order corrupted");
+        }
+        prev = Some(iter.key().to_vec());
+        scanned += 1;
+        iter.next()?;
+    }
+    assert_eq!(scanned, durable.len() as u64);
+    println!("final scan saw all {scanned} durable keys in order — OK");
+    db.close()?;
+    Ok(())
+}

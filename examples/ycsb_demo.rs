@@ -1,0 +1,90 @@
+//! Run the YCSB suite in the paper's order (LA, A, B, C, F, D, reset,
+//! LE, E) against a chosen profile and print a throughput table.
+//!
+//! Run with `cargo run --release --example ycsb_demo -- [profile]`, where
+//! `profile` is one of `leveldb`, `lvl64`, `hyper`, `pebbles`, `rocks`,
+//! `bolt` (default), `hyperbolt`.
+
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+use bolt::{Db, Options};
+use bolt_env::{DeviceModel, Env, SimEnv};
+use bolt_ycsb::{load_db, run_workload, BenchConfig, Workload};
+
+fn profile(name: &str) -> Options {
+    match name {
+        "leveldb" => Options::leveldb(),
+        "lvl64" => Options::leveldb_64mb(),
+        "hyper" => Options::hyperleveldb(),
+        "pebbles" => Options::pebblesdb(),
+        "rocks" => Options::rocksdb(),
+        "hyperbolt" => Options::hyperbolt(),
+        _ => Options::bolt(),
+    }
+}
+
+fn main() -> bolt::Result<()> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "bolt".into());
+    let opts = profile(&name).scaled(1.0 / 64.0);
+    println!("YCSB suite on profile `{name}` (simulated SSD, 1/64 scale)\n");
+
+    let env: Arc<dyn Env> = Arc::new(SimEnv::new(DeviceModel::ssd_scaled(0.02)));
+    let db = Arc::new(Db::open(Arc::clone(&env), "ycsb", opts.clone())?);
+    let cfg = BenchConfig {
+        record_count: 20_000,
+        op_count: 8_000,
+        threads: 4,
+        value_len: 256,
+        seed: 2020,
+    };
+
+    // Load A.
+    let load = load_db(&db, &cfg)?;
+    println!("{:<8} {:>10.0} ops/s", "LoadA", load.throughput());
+    let cursor = Arc::new(AtomicU64::new(cfg.record_count));
+
+    // A, B, C, F, D — the paper's run order.
+    for workload in [
+        Workload::a(),
+        Workload::b(),
+        Workload::c(),
+        Workload::f(),
+        Workload::d(),
+    ] {
+        let result = run_workload(&db, &workload, &cfg, &cursor)?;
+        println!(
+            "{:<8} {:>10.0} ops/s   (p95 {:>6} us, p99 {:>6} us)",
+            result.workload,
+            result.throughput(),
+            result.percentile(95.0) / 1000,
+            result.percentile(99.0) / 1000,
+        );
+    }
+    db.close()?;
+
+    // Delete database, Load E, E.
+    let env: Arc<dyn Env> = Arc::new(SimEnv::new(DeviceModel::ssd_scaled(0.02)));
+    let db = Arc::new(Db::open(Arc::clone(&env), "ycsb-e", opts)?);
+    let load = load_db(&db, &cfg)?;
+    println!("{:<8} {:>10.0} ops/s", "LoadE", load.throughput());
+    let cursor = Arc::new(AtomicU64::new(cfg.record_count));
+    let result = run_workload(
+        &db,
+        &Workload::e(),
+        &BenchConfig {
+            op_count: 1_000,
+            ..cfg
+        },
+        &cursor,
+    )?;
+    println!(
+        "{:<8} {:>10.0} ops/s   (p95 {:>6} us, p99 {:>6} us)",
+        result.workload,
+        result.throughput(),
+        result.percentile(95.0) / 1000,
+        result.percentile(99.0) / 1000,
+    );
+    db.close()?;
+    Ok(())
+}

@@ -1,0 +1,330 @@
+//! Cross-crate integration tests: the full engine driven through the
+//! public `bolt` facade, across all system profiles.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use bolt::{Db, Options};
+use bolt_env::{Env, MemEnv};
+
+fn profiles() -> Vec<(&'static str, Options)> {
+    vec![
+        ("leveldb", Options::leveldb()),
+        ("leveldb64", Options::leveldb_64mb()),
+        ("hyper", Options::hyperleveldb()),
+        ("pebbles", Options::pebblesdb()),
+        ("rocks", Options::rocksdb()),
+        ("bolt", Options::bolt()),
+        ("bolt_ls", Options::bolt_ls()),
+        ("bolt_gc", Options::bolt_gc()),
+        ("bolt_stl", Options::bolt_stl()),
+        ("hyperbolt", Options::hyperbolt()),
+    ]
+}
+
+fn tiny(opts: Options) -> Options {
+    // Scale to exercise several levels with a few thousand keys.
+    opts.scaled(1.0 / 256.0)
+}
+
+/// Reference-model check: a workload of puts/deletes/overwrites compared
+/// against a BTreeMap, through flushes and compactions, for every profile.
+#[test]
+fn every_profile_matches_reference_model() {
+    for (name, opts) in profiles() {
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+        let db = Db::open(Arc::clone(&env), "db", tiny(opts)).unwrap();
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        let mut rng = bolt_common::rng::Rng64::new(0xfeed);
+
+        for round in 0..4 {
+            for _ in 0..1500 {
+                let k = format!("key{:05}", rng.next_below(800)).into_bytes();
+                if rng.next_below(5) == 0 {
+                    db.delete(&k).unwrap();
+                    model.remove(&k);
+                } else {
+                    let v = format!("v{}", rng.next_u64()).into_bytes();
+                    db.put(&k, &v).unwrap();
+                    model.insert(k, v);
+                }
+            }
+            db.flush().unwrap();
+            if round % 2 == 1 {
+                db.compact_until_quiet().unwrap();
+            }
+            // Point lookups.
+            for i in 0..800u32 {
+                let k = format!("key{i:05}").into_bytes();
+                assert_eq!(
+                    db.get(&k).unwrap(),
+                    model.get(&k).cloned(),
+                    "profile {name}, round {round}, key {i}"
+                );
+            }
+            // Full scan must equal the model exactly.
+            let mut iter = db.iter().unwrap();
+            iter.seek_to_first().unwrap();
+            let mut scanned = Vec::new();
+            while iter.valid() {
+                scanned.push((iter.key().to_vec(), iter.value().to_vec()));
+                iter.next().unwrap();
+            }
+            let expected: Vec<_> = model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+            assert_eq!(scanned, expected, "profile {name}, round {round} scan");
+        }
+        db.close().unwrap();
+    }
+}
+
+/// Crash the database at arbitrary points and verify durability of synced
+/// data for the BoLT profile (compaction files + hole punching must never
+/// lose committed state).
+#[test]
+fn bolt_crash_recovery_loop() {
+    let mem_env = Arc::new(MemEnv::new());
+    let env: Arc<dyn Env> = Arc::clone(&mem_env) as Arc<dyn Env>;
+    let opts = tiny(Options::bolt());
+    let mut durable: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+
+    for epoch in 0..6u64 {
+        let db = Db::open(Arc::clone(&env), "db", opts.clone()).unwrap();
+        for (k, v) in &durable {
+            assert_eq!(db.get(k).unwrap().as_ref(), Some(v), "epoch {epoch}");
+        }
+        for i in 0..800u64 {
+            let k = format!("e{epoch}-k{i:04}").into_bytes();
+            let v = format!("value-{epoch}-{i}").into_bytes();
+            db.put(&k, &v).unwrap();
+            durable.insert(k, v);
+        }
+        db.flush().unwrap();
+        // Unsynced writes that may be lost.
+        for i in 0..200u64 {
+            db.put(format!("volatile-{epoch}-{i}").as_bytes(), b"x").unwrap();
+        }
+        drop(db);
+        mem_env.crash(bolt_env::CrashConfig::TornTail { seed: epoch });
+    }
+
+    let db = Db::open(env, "db", opts).unwrap();
+    for (k, v) in &durable {
+        assert_eq!(db.get(k).unwrap().as_ref(), Some(v));
+    }
+    db.close().unwrap();
+}
+
+/// The headline barrier claim: a BoLT compaction costs exactly two
+/// barriers (compaction file + MANIFEST) regardless of output count.
+#[test]
+fn bolt_flush_costs_two_barriers() {
+    let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+    let db = Db::open(Arc::clone(&env), "db", Options::bolt().scaled(1.0 / 64.0)).unwrap();
+    for i in 0..1000u32 {
+        db.put(format!("key{i:06}").as_bytes(), &[b'v'; 200]).unwrap();
+    }
+    // Drain any automatic flushes, then stage fresh data below the
+    // memtable limit so the measured flush is the only one.
+    db.flush().unwrap();
+    db.compact_until_quiet().unwrap();
+    for i in 0..150u32 {
+        db.put(format!("fresh{i:06}").as_bytes(), &[b'w'; 200]).unwrap();
+    }
+    let before = env.stats().fsync_calls();
+    db.flush().unwrap();
+    let cost = env.stats().fsync_calls() - before;
+    assert_eq!(cost, 2, "flush must cost compaction-file + MANIFEST barriers");
+    // And it produced multiple logical SSTables inside one physical file.
+    let version = db.current_version();
+    let fresh: Vec<_> = version.levels[0]
+        .tables()
+        .filter(|t| t.smallest_user_key().starts_with(b"fresh"))
+        .collect();
+    assert!(
+        fresh.len() > 1,
+        "expected several logical SSTables, got {}",
+        fresh.len()
+    );
+    let files: std::collections::HashSet<u64> = fresh.iter().map(|t| t.file_number).collect();
+    assert_eq!(files.len(), 1, "all logical SSTables share one compaction file");
+    db.close().unwrap();
+}
+
+/// Stock LevelDB pays one barrier per output SSTable during compaction;
+/// BoLT pays two per compaction. Verify the relative fsync ordering over a
+/// compaction-heavy load.
+#[test]
+fn barrier_counts_order_leveldb_gt_bolt() {
+    let run = |opts: Options| {
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+        let db = Db::open(Arc::clone(&env), "db", opts.scaled(1.0 / 256.0)).unwrap();
+        for i in 0..6000u32 {
+            db.put(format!("key{i:06}").as_bytes(), &[b'v'; 120]).unwrap();
+        }
+        db.flush().unwrap();
+        db.compact_until_quiet().unwrap();
+        let count = env.stats().fsync_calls();
+        db.close().unwrap();
+        count
+    };
+    let leveldb = run(Options::leveldb());
+    let bolt = run(Options::bolt());
+    assert!(
+        bolt * 2 <= leveldb,
+        "expected BoLT ({bolt}) << LevelDB ({leveldb})"
+    );
+}
+
+/// Settled compaction must not change any physical bytes: promoted tables
+/// keep their (file, offset, size).
+#[test]
+fn settled_moves_preserve_physical_location() {
+    let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+    let mut opts = Options::bolt().scaled(1.0 / 256.0);
+    opts.level0_compaction_trigger = 2;
+    let db = Db::open(Arc::clone(&env), "db", opts).unwrap();
+
+    // Disjoint ranges per round force zero-overlap victims.
+    for round in 0..10u32 {
+        for i in 0..400u32 {
+            db.put(
+                format!("r{:02}key{i:05}", round % 5).as_bytes(),
+                &[b'z'; 100],
+            )
+            .unwrap();
+        }
+        db.flush().unwrap();
+    }
+    db.compact_until_quiet().unwrap();
+    assert!(
+        db.stats().settled_moves() > 0,
+        "no settled moves happened: {:?}",
+        db.stats()
+    );
+
+    // Deeper-level tables that settled must point into still-existing
+    // compaction files at valid offsets, and reads must work.
+    let version = db.current_version();
+    for (level, _, table) in version.all_tables() {
+        let path = format!("db/{:06}.sst", table.file_number);
+        let size = env.file_size(&path).unwrap_or_else(|_| {
+            panic!("level {level} table {} file missing", table.table_id)
+        });
+        assert!(
+            table.offset + table.size <= size,
+            "table {} out of bounds",
+            table.table_id
+        );
+    }
+    for round in 0..5u32 {
+        for i in (0..400u32).step_by(97) {
+            assert!(
+                db.get(format!("r{round:02}key{i:05}").as_bytes())
+                    .unwrap()
+                    .is_some(),
+                "round {round} key {i}"
+            );
+        }
+    }
+    db.close().unwrap();
+}
+
+/// Hole punching reclaims dead logical SSTables without breaking live ones
+/// in the same compaction file.
+#[test]
+fn hole_punching_never_corrupts_live_tables() {
+    let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+    let db = Db::open(Arc::clone(&env), "db", Options::bolt().scaled(1.0 / 256.0)).unwrap();
+    let mut rng = bolt_common::rng::Rng64::new(17);
+    // Overwrite-heavy workload: compactions constantly invalidate logical
+    // SSTables, punching holes in shared compaction files.
+    for _ in 0..20_000 {
+        let k = format!("key{:05}", rng.next_below(2_000)).into_bytes();
+        db.put(&k, &[b'h'; 100]).unwrap();
+    }
+    db.flush().unwrap();
+    db.compact_until_quiet().unwrap();
+    let io = env.stats().snapshot();
+    assert!(
+        io.holes_punched > 0 || io.files_deleted > 0,
+        "expected space reclamation (holes punched or dead files deleted): {io:?}"
+    );
+    for i in 0..2_000u32 {
+        let k = format!("key{i:05}");
+        assert_eq!(
+            db.get(k.as_bytes()).unwrap(),
+            Some(vec![b'h'; 100]),
+            "{k}"
+        );
+    }
+    db.close().unwrap();
+}
+
+/// Snapshots must stay consistent across flushes and compactions.
+#[test]
+fn snapshots_survive_compactions() {
+    let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+    let db = Db::open(Arc::clone(&env), "db", Options::bolt().scaled(1.0 / 256.0)).unwrap();
+    for i in 0..500u32 {
+        db.put(format!("key{i:04}").as_bytes(), b"before").unwrap();
+    }
+    let snap = db.snapshot();
+    for round in 0..4u32 {
+        for i in 0..500u32 {
+            db.put(
+                format!("key{i:04}").as_bytes(),
+                format!("after-{round}").as_bytes(),
+            )
+            .unwrap();
+        }
+        db.flush().unwrap();
+    }
+    db.compact_until_quiet().unwrap();
+    for i in (0..500u32).step_by(41) {
+        let k = format!("key{i:04}");
+        assert_eq!(
+            db.get_at(k.as_bytes(), &snap).unwrap(),
+            Some(b"before".to_vec()),
+            "snapshot read {k}"
+        );
+        assert_eq!(
+            db.get(k.as_bytes()).unwrap(),
+            Some(b"after-3".to_vec()),
+            "latest read {k}"
+        );
+    }
+    drop(snap);
+    db.close().unwrap();
+}
+
+/// Reopen a database under a different (compatible) profile: the on-disk
+/// format is shared, so a LevelDB-written store must open under BoLT and
+/// vice versa.
+#[test]
+fn cross_profile_reopen() {
+    let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+    {
+        let db = Db::open(Arc::clone(&env), "db", Options::leveldb().scaled(1.0 / 256.0)).unwrap();
+        for i in 0..2000u32 {
+            db.put(format!("key{i:05}").as_bytes(), format!("v{i}").as_bytes())
+                .unwrap();
+        }
+        db.flush().unwrap();
+        db.close().unwrap();
+    }
+    {
+        let db = Db::open(Arc::clone(&env), "db", Options::bolt().scaled(1.0 / 256.0)).unwrap();
+        assert_eq!(db.get(b"key00042").unwrap(), Some(b"v42".to_vec()));
+        for i in 2000..3000u32 {
+            db.put(format!("key{i:05}").as_bytes(), format!("v{i}").as_bytes())
+                .unwrap();
+        }
+        db.flush().unwrap();
+        db.compact_until_quiet().unwrap();
+        db.close().unwrap();
+    }
+    let db = Db::open(env, "db", Options::pebblesdb().scaled(1.0 / 256.0)).unwrap();
+    assert_eq!(db.get(b"key00042").unwrap(), Some(b"v42".to_vec()));
+    assert_eq!(db.get(b"key02500").unwrap(), Some(b"v2500".to_vec()));
+    db.close().unwrap();
+}

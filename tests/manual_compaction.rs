@@ -1,0 +1,111 @@
+//! Manual compaction (`compact_range`) and size estimation
+//! (`approximate_size`) — LevelDB-compatible maintenance APIs.
+
+use std::sync::Arc;
+
+use bolt::{Db, Options};
+use bolt_env::{Env, MemEnv};
+
+fn tiny(opts: Options) -> Options {
+    opts.scaled(1.0 / 256.0)
+}
+
+fn seed(db: &Db, prefix: &str, n: u32) {
+    for i in 0..n {
+        db.put(
+            format!("{prefix}{i:05}").as_bytes(),
+            &[b'v'; 100],
+        )
+        .unwrap();
+    }
+}
+
+#[test]
+fn compact_range_pushes_data_down() {
+    for opts in [
+        tiny(Options::leveldb()),
+        tiny(Options::bolt()),
+        tiny(Options::pebblesdb()),
+    ] {
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+        let db = Db::open(Arc::clone(&env), "db", opts).unwrap();
+        seed(&db, "key", 3000);
+        db.compact_range(b"key00000", b"key99999").unwrap();
+
+        // Everything readable afterwards.
+        for i in (0..3000u32).step_by(123) {
+            assert_eq!(
+                db.get(format!("key{i:05}").as_bytes()).unwrap(),
+                Some(vec![b'v'; 100]),
+                "key {i}"
+            );
+        }
+        // The upper levels are clear of the range.
+        let info = db.level_info();
+        assert_eq!(info[0].tables, 0, "L0 cleared: {info:?}");
+        assert_eq!(info[1].tables, 0, "L1 cleared: {info:?}");
+        let deepest: usize = info
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.tables > 0)
+            .map(|(i, _)| i)
+            .max()
+            .expect("data somewhere");
+        assert!(deepest >= 2, "data pushed down: {info:?}");
+        db.close().unwrap();
+    }
+}
+
+#[test]
+fn compact_range_scoped_to_range() {
+    let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+    let db = Db::open(Arc::clone(&env), "db", tiny(Options::bolt())).unwrap();
+    seed(&db, "aaa", 1500);
+    seed(&db, "zzz", 1500);
+    db.flush().unwrap();
+    db.compact_until_quiet().unwrap();
+
+    db.compact_range(b"aaa00000", b"aaa99999").unwrap();
+    // Both ranges still fully readable.
+    assert_eq!(db.get(b"aaa00042").unwrap(), Some(vec![b'v'; 100]));
+    assert_eq!(db.get(b"zzz00042").unwrap(), Some(vec![b'v'; 100]));
+    db.close().unwrap();
+}
+
+#[test]
+fn compact_range_is_idempotent_and_repeatable() {
+    let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+    let db = Db::open(Arc::clone(&env), "db", tiny(Options::bolt())).unwrap();
+    seed(&db, "key", 1000);
+    db.compact_range(b"key00000", b"key99999").unwrap();
+    db.compact_range(b"key00000", b"key99999").unwrap(); // no-op second time
+    seed(&db, "key", 1000); // overwrite everything
+    db.compact_range(b"key00000", b"key99999").unwrap();
+    assert_eq!(db.get(b"key00001").unwrap(), Some(vec![b'v'; 100]));
+    db.close().unwrap();
+}
+
+#[test]
+fn approximate_size_tracks_data_volume() {
+    let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+    let db = Db::open(Arc::clone(&env), "db", tiny(Options::bolt())).unwrap();
+    seed(&db, "aaa", 2000);
+    seed(&db, "zzz", 200);
+    db.flush().unwrap();
+    db.compact_until_quiet().unwrap();
+
+    let big = db.approximate_size(b"aaa", b"aab");
+    let small = db.approximate_size(b"zzz", b"zzzz");
+    let gap = db.approximate_size(b"mmm", b"nnn");
+    assert!(big > small * 2, "big={big} small={small}");
+    assert!(small > 0);
+    // The gap holds no keys; at most one boundary-spanning table may give
+    // a small half-credit estimate.
+    assert!(gap < big / 10, "gap={gap} big={big}");
+
+    // The whole-keyspace estimate roughly covers the user data (~220 KB
+    // plus per-table overhead).
+    let all = db.approximate_size(b"a", b"zzzzzzzzzz");
+    assert!(all > 150_000, "all={all}");
+    db.close().unwrap();
+}
