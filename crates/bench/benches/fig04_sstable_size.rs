@@ -60,7 +60,5 @@ fn main() {
         &rows,
     );
     write_csv("fig04_sstable_size", &headers, &rows);
-    println!(
-        "\npaper shape: fsync calls fall ~linearly with SSTable size; tail latency improves."
-    );
+    println!("\npaper shape: fsync calls fall ~linearly with SSTable size; tail latency improves.");
 }

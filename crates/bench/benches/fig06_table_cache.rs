@@ -25,7 +25,12 @@ fn run(label: &str, sstable_mb: u64, rows: &mut Vec<Vec<String>>) {
     let records = scaled_ops(60_000);
     let env = sim_env();
     let db = Arc::new(
-        Db::open(Arc::clone(&env), "bench-db", opts.clone().scaled(CAPACITY_SCALE)).expect("open"),
+        Db::open(
+            Arc::clone(&env),
+            "bench-db",
+            opts.clone().scaled(CAPACITY_SCALE),
+        )
+        .expect("open"),
     );
     let cfg = BenchConfig {
         record_count: records,

@@ -56,7 +56,5 @@ fn main() {
         &rows,
     );
     write_csv("fig11_group_size", &headers, &rows);
-    println!(
-        "\npaper shape: LevelDB ≈ 2× the fsyncs of GC2MB; count falls as the group grows."
-    );
+    println!("\npaper shape: LevelDB ≈ 2× the fsyncs of GC2MB; count falls as the group grows.");
 }

@@ -25,7 +25,16 @@ fn run_part(part: &str, profiles: Vec<(&'static str, bolt_bench::bolt_core::Opti
         rows.push(row);
     }
     let headers = [
-        "system", "LA", "A", "B", "C", "F", "D", "LE", "E", "written_MB",
+        "system",
+        "LA",
+        "A",
+        "B",
+        "C",
+        "F",
+        "D",
+        "LE",
+        "E",
+        "written_MB",
     ];
     print_table(
         &format!("Fig 12({part}) — BoLT ablations, throughput in kops/s"),

@@ -32,7 +32,14 @@ fn main() {
         }
     }
     let headers = [
-        "system", "p50_us", "p90_us", "p95_us", "p99_us", "p99.5_us", "p99.9_us", "p99.99_us",
+        "system",
+        "p50_us",
+        "p90_us",
+        "p95_us",
+        "p99_us",
+        "p99.5_us",
+        "p99.9_us",
+        "p99.99_us",
     ];
     print_table(
         "Fig 14(a) — insertion latency percentiles (Load A, 100% write)",

@@ -42,7 +42,16 @@ fn run_part(part: &str, records: u64, value_len: usize, uniform: bool) {
         rows.push(row);
     }
     let headers = [
-        "system", "LA", "A", "B", "C", "F", "D", "LE", "E", "written_MB",
+        "system",
+        "LA",
+        "A",
+        "B",
+        "C",
+        "F",
+        "D",
+        "LE",
+        "E",
+        "written_MB",
     ];
     let dist = if uniform { "uniform" } else { "zipfian" };
     print_table(

@@ -44,7 +44,15 @@ fn main() {
         }
     }
 
-    let headers = ["system", "p50_us", "p90_us", "p95_us", "p99_us", "p99.9_us", "p99.99_us"];
+    let headers = [
+        "system",
+        "p50_us",
+        "p90_us",
+        "p95_us",
+        "p99_us",
+        "p99.9_us",
+        "p99.99_us",
+    ];
     for (phase, rows) in &per_phase {
         let title = match phase.as_str() {
             "A" => "Fig 16(a) — workload A (50% read, 50% write)",

@@ -26,7 +26,17 @@ fn main() {
         rows.push(row);
     }
     let headers = [
-        "system", "LA", "A", "B", "C", "F", "D", "LE", "E", "fsync", "written_MB",
+        "system",
+        "LA",
+        "A",
+        "B",
+        "C",
+        "F",
+        "D",
+        "LE",
+        "E",
+        "fsync",
+        "written_MB",
     ];
     print_table(
         "Future work — BoLT mechanisms inside the RocksDB profile",

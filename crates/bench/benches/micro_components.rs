@@ -28,7 +28,9 @@ fn bench_crc32c(c: &mut Criterion) {
 
 fn bench_bloom(c: &mut Criterion) {
     let policy = BloomFilterPolicy::default();
-    let keys: Vec<Vec<u8>> = (0..10_000u32).map(|i| format!("user{i:019}").into_bytes()).collect();
+    let keys: Vec<Vec<u8>> = (0..10_000u32)
+        .map(|i| format!("user{i:019}").into_bytes())
+        .collect();
     let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
     let mut filter = Vec::new();
     policy.create_filter(&refs, &mut filter);
@@ -131,6 +133,48 @@ fn bench_zipfian(c: &mut Criterion) {
     group.finish();
 }
 
+/// Writer scaling through the group-commit pipeline: 1/2/4/8 concurrent
+/// writers, synced and unsynced. With sync on, throughput should *rise*
+/// with writers as batches share barriers (batches per group > 1).
+fn bench_write_pipeline(c: &mut Criterion) {
+    use bolt_core::{Db, Options, WriteBatch, WriteOptions};
+
+    let mut group = c.benchmark_group("write_pipeline");
+    for &threads in &[1usize, 2, 4, 8] {
+        for &sync in &[false, true] {
+            let id = format!("{threads}w_{}", if sync { "sync" } else { "nosync" });
+            group.throughput(Throughput::Elements(1));
+            group.bench_function(id, |b| {
+                b.iter_custom(|iters| {
+                    let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+                    let mut opts = Options::leveldb();
+                    opts.memtable_bytes = 256 << 20; // keep flushes out of the timing
+                    let db = Arc::new(Db::open(env, "bench-db", opts).unwrap());
+                    let per_thread = (iters as usize).div_ceil(threads).max(1);
+                    let start = std::time::Instant::now();
+                    std::thread::scope(|scope| {
+                        for t in 0..threads {
+                            let db = Arc::clone(&db);
+                            scope.spawn(move || {
+                                let wopts = WriteOptions::with_sync(sync);
+                                for i in 0..per_thread {
+                                    let mut batch = WriteBatch::new();
+                                    batch.put(format!("w{t}/k{i:08}").as_bytes(), &[b'v'; 100]);
+                                    db.write_opt(batch, &wopts).unwrap();
+                                }
+                            });
+                        }
+                    });
+                    let elapsed = start.elapsed();
+                    db.close().unwrap();
+                    elapsed
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_crc32c,
@@ -138,6 +182,7 @@ criterion_group!(
     bench_skiplist,
     bench_block,
     bench_wal,
-    bench_zipfian
+    bench_zipfian,
+    bench_write_pipeline
 );
 criterion_main!(benches);

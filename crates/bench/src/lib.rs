@@ -76,8 +76,7 @@ pub fn sim_env() -> Arc<dyn Env> {
 /// Open a database on `env` with `opts` scaled to laptop size.
 pub fn open_db(env: &Arc<dyn Env>, opts: Options) -> Arc<Db> {
     Arc::new(
-        Db::open(Arc::clone(env), "bench-db", opts.scaled(CAPACITY_SCALE))
-            .expect("open bench db"),
+        Db::open(Arc::clone(env), "bench-db", opts.scaled(CAPACITY_SCALE)).expect("open bench db"),
     )
 }
 
@@ -252,13 +251,8 @@ pub fn run_suite(system: &str, opts: Options, cfg: &SuiteConfig) -> SuiteResult 
         op_count: (cfg.ops / 8).max(200),
         ..bench_cfg
     };
-    let result = run_workload(
-        &db,
-        &Workload::e().with_distribution(dist),
-        &e_cfg,
-        &cursor,
-    )
-    .expect("E");
+    let result =
+        run_workload(&db, &Workload::e().with_distribution(dist), &e_cfg, &cursor).expect("E");
     phases.push(PhaseResult::from_run(&result));
     op_results.push(("E".into(), result));
     db.close().expect("close");

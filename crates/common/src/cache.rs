@@ -218,7 +218,9 @@ impl<K: Hash + Eq + Clone, V> LruCache<K, V> {
     /// Insert `value` under `key` with the given `charge`, evicting LRU
     /// entries as needed. Replaces any existing entry for `key`.
     pub fn insert(&self, key: K, value: Arc<V>, charge: u64) {
-        self.shard(&key).lock().insert(key, value, charge, &self.stats);
+        self.shard(&key)
+            .lock()
+            .insert(key, value, charge, &self.stats);
     }
 
     /// Look up `key`, promoting it to most-recently-used on a hit.
@@ -283,7 +285,7 @@ mod tests {
         // Single-key-space trick: all keys map to some shard; use a cache with
         // tiny capacity so per-shard capacity is 1 charge unit.
         let c: LruCache<u64, u64> = LruCache::new(16); // 1 per shard
-        // Find two keys in the same shard.
+                                                       // Find two keys in the same shard.
         let base = 0u64;
         let mut same_shard = None;
         for candidate in 1..10_000u64 {
@@ -308,8 +310,8 @@ mod tests {
     #[test]
     fn get_promotes_entry() {
         let c: LruCache<u64, u64> = LruCache::new(32); // 2 per shard
-        // Three keys in one shard: after touching the first, inserting the
-        // third should evict the second.
+                                                       // Three keys in one shard: after touching the first, inserting the
+                                                       // third should evict the second.
         let mut keys = Vec::new();
         let mut target_shard = None;
         for candidate in 0..100_000u64 {

@@ -78,7 +78,10 @@ mod tests {
     #[test]
     fn display_formats_are_lowercase_and_concise() {
         assert_eq!(Error::NotFound.to_string(), "not found");
-        assert_eq!(Error::io("disk on fire").to_string(), "io error: disk on fire");
+        assert_eq!(
+            Error::io("disk on fire").to_string(),
+            "io error: disk on fire"
+        );
         assert_eq!(
             Error::corruption("bad crc").to_string(),
             "corruption: bad crc"
@@ -89,7 +92,7 @@ mod tests {
     fn io_error_conversion_maps_not_found() {
         let err = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
         assert!(Error::from(err).is_not_found());
-        let err = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let err = std::io::Error::other("boom");
         assert!(matches!(Error::from(err), Error::Io(_)));
     }
 

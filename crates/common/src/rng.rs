@@ -17,7 +17,11 @@ impl Rng64 {
     /// value because xorshift cannot leave state zero).
     pub fn new(seed: u64) -> Self {
         Rng64 {
-            state: if seed == 0 { 0x9e37_79b9_7f4a_7c15 } else { seed },
+            state: if seed == 0 {
+                0x9e37_79b9_7f4a_7c15
+            } else {
+                seed
+            },
         }
     }
 

@@ -154,7 +154,7 @@ impl<C: KeyComparator> SkipList<C> {
             x ^= x << 13;
             x ^= x >> 7;
             x ^= x << 17;
-            if height >= MAX_HEIGHT || (x as u32) % BRANCHING != 0 {
+            if height >= MAX_HEIGHT || !(x as u32).is_multiple_of(BRANCHING) {
                 break;
             }
             height += 1;
@@ -241,6 +241,7 @@ impl<C: KeyComparator> SkipList<C> {
             }
 
             let node = Self::alloc_node(&self.arena, key, height);
+            #[allow(clippy::needless_range_loop)] // lockstep over two raw-pointer arrays
             for level in 0..height {
                 (*node).set_next_relaxed(level, (*prev[level]).next_relaxed(level));
                 (*prev[level]).set_next(level, node);

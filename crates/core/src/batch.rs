@@ -92,11 +92,28 @@ impl WriteBatch {
         self.count += other.count;
     }
 
+    /// Grow the backing buffer to hold `additional` more payload bytes —
+    /// the group-commit leader reserves the whole group's size up front so
+    /// merging follower batches never reallocates mid-append.
+    pub fn reserve(&mut self, additional: usize) {
+        self.rep.reserve(additional);
+    }
+
     /// Serialized representation (written verbatim to the WAL).
     pub fn encode(&self) -> Vec<u8> {
         let mut rep = self.rep.clone();
         rep[8..12].copy_from_slice(&self.count.to_le_bytes());
         rep
+    }
+
+    /// Serialized representation without copying: patches the count header
+    /// in place and returns the backing buffer. The write path uses this to
+    /// hand a (possibly megabyte-sized) merged group to the WAL with zero
+    /// allocation.
+    pub fn encoded(&mut self) -> &[u8] {
+        let count = self.count;
+        self.rep[8..12].copy_from_slice(&count.to_le_bytes());
+        &self.rep
     }
 
     /// Parse a WAL record back into a batch.
@@ -237,6 +254,19 @@ mod tests {
         assert!(WriteBatch::decode(&encoded).is_err());
         encoded.truncate(encoded.len() - 1); // torn record
         assert!(WriteBatch::decode(&encoded).is_err());
+    }
+
+    #[test]
+    fn encoded_matches_encode_without_copying() {
+        let mut batch = WriteBatch::new();
+        batch.put(b"a", b"1");
+        batch.delete(b"b");
+        batch.set_sequence(7);
+        let copied = batch.encode();
+        assert_eq!(batch.encoded(), copied.as_slice());
+        let decoded = WriteBatch::decode(batch.encoded()).unwrap();
+        assert_eq!(decoded.count(), 2);
+        assert_eq!(decoded.sequence(), 7);
     }
 
     #[test]

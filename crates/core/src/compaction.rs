@@ -79,9 +79,13 @@ pub fn level_scores(opts: &Options, version: &Version) -> Vec<f64> {
     let mut scores = vec![0.0; version.levels.len()];
     scores[0] = version.levels[0].num_runs() as f64 / opts.level0_compaction_trigger as f64;
     // The deepest level has no target below it.
-    for level in 1..version.levels.len().saturating_sub(1) {
-        scores[level] =
-            version.levels[level].size() as f64 / opts.max_bytes_for_level(level) as f64;
+    for (level, score) in scores
+        .iter_mut()
+        .enumerate()
+        .take(version.levels.len().saturating_sub(1))
+        .skip(1)
+    {
+        *score = version.levels[level].size() as f64 / opts.max_bytes_for_level(level) as f64;
     }
     scores
 }
@@ -116,7 +120,13 @@ pub fn pick_compaction(
         if best_level == 0 {
             return Some(pick_level0(opts, icmp, version));
         }
-        return Some(pick_leveled(opts, icmp, version, compact_pointer, best_level));
+        return Some(pick_leveled(
+            opts,
+            icmp,
+            version,
+            compact_pointer,
+            best_level,
+        ));
     }
 
     // Seek compaction (stock LevelDB only).
@@ -178,11 +188,7 @@ fn pick_fragmented(version: &Version, level: usize) -> CompactionTask {
     }
 }
 
-fn pick_level0(
-    opts: &Options,
-    icmp: &InternalKeyComparator,
-    version: &Version,
-) -> CompactionTask {
+fn pick_level0(opts: &Options, icmp: &InternalKeyComparator, version: &Version) -> CompactionTask {
     let _ = opts; // level 0 is governed by run count, not size knobs
     let input_runs: Vec<Vec<Arc<TableMeta>>> = version.levels[0]
         .runs
@@ -249,9 +255,7 @@ fn pick_leveled(
     debug_assert!(!tables.is_empty());
 
     let bolt = opts.bolt_options();
-    let group_budget = bolt
-        .map(|b| b.group_compaction_bytes)
-        .unwrap_or(0); // non-BoLT: single victim
+    let group_budget = bolt.map(|b| b.group_compaction_bytes).unwrap_or(0); // non-BoLT: single victim
     let settled = bolt.map(|b| b.settled_compaction).unwrap_or(false);
 
     let mut victims: Vec<Arc<TableMeta>> = Vec::new();

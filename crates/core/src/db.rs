@@ -13,6 +13,7 @@
 //! * **Settled compaction** promotes zero-overlap victims with a pure
 //!   MANIFEST edit; their bytes never move.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -35,15 +36,59 @@ use crate::compaction::{
 use crate::filename::{current_file, log_file, parse_file_name, table_file, FileType};
 use crate::iterator::{DbIter, InternalIterator, MergingIter, RunIter};
 use crate::memtable::{LookupResult, MemTable};
-use crate::options::Options;
+use crate::options::{Options, WriteOptions};
 use crate::stats::DbStats;
 use crate::version::{TableMeta, Version, VersionEdit};
 use crate::versions::VersionSet;
+
+/// A writer queued for group commit. All fields except `sync` are mutated
+/// only while holding the main `state` mutex; `done`/`result` are *read* by
+/// the owning writer after it observes `done`, which the completing leader
+/// publishes with release ordering.
+struct WriterSlot {
+    /// Whether this batch asked for a WAL durability barrier.
+    sync: bool,
+    /// The pending batch; taken by the leader when merged into a group.
+    batch: Mutex<Option<WriteBatch>>,
+    /// Encoded size of the pending batch (readable without locking `batch`).
+    batch_bytes: usize,
+    /// Set (with release ordering) once the group containing this batch
+    /// committed or failed.
+    done: AtomicBool,
+    /// The batch's individual outcome, filled in by the leader.
+    result: Mutex<Option<Result<()>>>,
+}
+
+impl WriterSlot {
+    fn new(batch: WriteBatch, sync: bool) -> Self {
+        WriterSlot {
+            sync,
+            batch_bytes: batch.approximate_size(),
+            batch: Mutex::new(Some(batch)),
+            done: AtomicBool::new(false),
+            result: Mutex::new(None),
+        }
+    }
+
+    /// Publish this writer's outcome and mark it done.
+    fn complete(&self, result: Result<()>) {
+        *self.result.lock() = Some(result);
+        self.done.store(true, Ordering::Release);
+    }
+
+    fn take_result(&self) -> Result<()> {
+        self.result.lock().take().unwrap_or(Ok(()))
+    }
+}
 
 /// Mutable engine state guarded by the main mutex.
 struct DbState {
     mem: Arc<MemTable>,
     imm: Option<Arc<MemTable>>,
+    /// The active WAL. `None` *only* while a group-commit leader holds it
+    /// outside the mutex for the append/sync/apply phase; anything that
+    /// would switch or sync the WAL (memtable switch, close) must wait for
+    /// it to return.
     wal: Option<LogWriter>,
     wal_number: u64,
     /// WAL number that made the current `imm` obsolete once flushed.
@@ -56,6 +101,9 @@ struct DbState {
     manual: Option<(usize, Vec<u8>, Vec<u8>)>,
     /// Completion counter for manual compactions.
     manual_done: u64,
+    /// Group-commit queue: the front writer is the leader and commits on
+    /// behalf of as many followers as fit under the group byte cap.
+    writers: VecDeque<Arc<WriterSlot>>,
 }
 
 struct DbInner {
@@ -70,6 +118,9 @@ struct DbInner {
     versions: Mutex<VersionSet>,
     work_cv: Condvar,
     done_cv: Condvar,
+    /// Wakes queued writers when leadership rotates or a group completes,
+    /// and WAL waiters when an in-flight group returns the log.
+    writers_cv: Condvar,
     last_sequence: AtomicU64,
     l0_runs: AtomicUsize,
     has_imm: AtomicBool,
@@ -142,7 +193,9 @@ pub struct Db {
 
 impl std::fmt::Debug for Db {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Db").field("name", &self.inner.name).finish()
+        f.debug_struct("Db")
+            .field("name", &self.inner.name)
+            .finish()
     }
 }
 
@@ -202,10 +255,12 @@ impl Db {
                 snapshots: Vec::new(),
                 manual: None,
                 manual_done: 0,
+                writers: VecDeque::new(),
             }),
             versions: Mutex::new(versions),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
+            writers_cv: Condvar::new(),
             last_sequence: AtomicU64::new(0),
             l0_runs: AtomicUsize::new(0),
             has_imm: AtomicBool::new(false),
@@ -271,33 +326,55 @@ impl Db {
         self.write(batch)
     }
 
-    /// Apply a batch atomically.
+    /// Apply a batch atomically, with durability per [`Options::sync_wal`].
     ///
     /// # Errors
     ///
     /// Returns background errors and WAL I/O errors.
-    pub fn write(&self, mut batch: WriteBatch) -> Result<()> {
+    pub fn write(&self, batch: WriteBatch) -> Result<()> {
+        self.write_opt(batch, &WriteOptions::default())
+    }
+
+    /// Apply a batch atomically with a per-batch durability override.
+    ///
+    /// Writes go through the group-commit pipeline: the first queued writer
+    /// becomes the *leader*, merges the batches of every queued follower (up
+    /// to [`Options::group_commit_bytes`]), writes one WAL record and pays
+    /// at most one durability barrier for the whole group — outside the
+    /// engine mutex — then distributes the per-writer results. A follower's
+    /// batch is durable iff the leader's sync covering it completed.
+    ///
+    /// # Errors
+    ///
+    /// Returns background errors and WAL I/O errors.
+    pub fn write_opt(&self, batch: WriteBatch, wopts: &WriteOptions) -> Result<()> {
         if batch.is_empty() {
             return Ok(());
         }
         let inner = &self.inner;
-        inner.stats.record_user_bytes(batch.approximate_size() as u64);
-        let mut state = inner.state.lock();
-        inner.make_room(&mut state)?;
+        inner
+            .stats
+            .record_user_bytes(batch.approximate_size() as u64);
+        let sync = wopts.sync.unwrap_or(inner.opts.sync_wal);
+        let slot = Arc::new(WriterSlot::new(batch, sync));
+        let enqueued = Instant::now();
 
-        let base = inner.last_sequence.load(Ordering::Relaxed);
-        batch.set_sequence(base + 1);
-        let count = u64::from(batch.count());
+        let mut state = inner.state.lock();
+        state.writers.push_back(Arc::clone(&slot));
+        while !slot.done.load(Ordering::Acquire)
+            && !Arc::ptr_eq(state.writers.front().expect("queue non-empty"), &slot)
         {
-            let wal = state.wal.as_mut().expect("wal open");
-            wal.add_record(&batch.encode())?;
-            if inner.opts.sync_wal {
-                wal.sync()?;
-            }
+            inner.writers_cv.wait(&mut state);
         }
-        batch.apply_to(&state.mem)?;
-        inner.last_sequence.store(base + count, Ordering::Release);
-        Ok(())
+        inner
+            .stats
+            .queue_wait()
+            .record(enqueued.elapsed().as_nanos() as u64);
+        if slot.done.load(Ordering::Acquire) {
+            // A leader committed (or failed) this batch on our behalf.
+            return slot.take_result();
+        }
+        inner.group_commit(&mut state, &slot)
     }
 
     /// Point lookup at the latest sequence.
@@ -356,10 +433,15 @@ impl Db {
         let inner = &self.inner;
         let mut state = inner.state.lock();
         // Wait out any in-flight flush first — switching while an immutable
-        // memtable is pending would clobber it.
-        while state.imm.is_some() && state.bg_error.is_none() {
-            inner.work_cv.notify_one();
-            inner.done_cv.wait(&mut state);
+        // memtable is pending would clobber it — and any in-flight group
+        // commit, which owns the WAL and is still inserting into `mem`.
+        while (state.imm.is_some() || state.wal.is_none()) && state.bg_error.is_none() {
+            if state.imm.is_some() {
+                inner.work_cv.notify_one();
+                inner.done_cv.wait(&mut state);
+            } else {
+                inner.writers_cv.wait(&mut state);
+            }
         }
         if state.bg_error.is_none() && !state.mem.is_empty() {
             inner.switch_memtable(&mut state)?;
@@ -420,7 +502,11 @@ impl Db {
             }
             let fully_inside = ucmp.compare(table.smallest_user_key(), begin).is_ge()
                 && ucmp.compare(table.largest_user_key(), end).is_lt();
-            total += if fully_inside { table.size } else { table.size / 2 };
+            total += if fully_inside {
+                table.size
+            } else {
+                table.size / 2
+            };
         }
         total
     }
@@ -513,7 +599,12 @@ impl Db {
             let _ = handle.join();
         }
         // Make the tail of the WAL durable so close() is a clean shutdown.
+        // An in-flight group commit owns the WAL outside the lock; wait for
+        // it to return the log before syncing.
         let mut state = self.inner.state.lock();
+        while state.wal.is_none() {
+            self.inner.writers_cv.wait(&mut state);
+        }
         if let Some(wal) = state.wal.as_mut() {
             wal.sync()?;
         }
@@ -570,6 +661,7 @@ impl DbIterator {
     /// # Errors
     ///
     /// Returns read errors.
+    #[allow(clippy::should_implement_trait)] // LevelDB-style fallible cursor
     pub fn next(&mut self) -> Result<()> {
         self.inner.next()
     }
@@ -602,8 +694,7 @@ impl DbInner {
             (Arc::clone(&state.mem), state.imm.clone())
         };
         let version = self.versions.lock().current();
-        let snapshot =
-            snapshot.unwrap_or_else(|| self.last_sequence.load(Ordering::Acquire));
+        let snapshot = snapshot.unwrap_or_else(|| self.last_sequence.load(Ordering::Acquire));
         match mem.get(user_key, snapshot) {
             LookupResult::Value(v) => return Ok(Some(v)),
             LookupResult::Deleted => return Ok(None),
@@ -616,7 +707,13 @@ impl DbInner {
                 LookupResult::NotFound => {}
             }
         }
-        let got = version.get(&self.icmp, &self.table_cache, &self.name, user_key, snapshot)?;
+        let got = version.get(
+            &self.icmp,
+            &self.table_cache,
+            &self.name,
+            user_key,
+            snapshot,
+        )?;
         if self.opts.seek_compaction {
             if let Some((level, table)) = got.seek_charge {
                 if table.allowed_seeks.fetch_sub(1, Ordering::Relaxed) <= 1 {
@@ -641,8 +738,7 @@ impl DbInner {
         };
         let version = self.versions.lock().current();
         // See `get_at` for why the sequence is captured after the version.
-        let snapshot =
-            snapshot.unwrap_or_else(|| self.last_sequence.load(Ordering::Acquire));
+        let snapshot = snapshot.unwrap_or_else(|| self.last_sequence.load(Ordering::Acquire));
         let mut children: Vec<Box<dyn InternalIterator>> = Vec::new();
         children.push(Box::new(mem.iter()));
         if let Some(imm) = imm {
@@ -666,8 +762,121 @@ impl DbInner {
     }
 
     // ------------------------------------------------------------------
-    // Write path: governors + memtable switching
+    // Write path: group commit + governors + memtable switching
     // ------------------------------------------------------------------
+
+    /// Commit the group led by `leader` (the front of the writer queue).
+    ///
+    /// Runs with the state mutex held, but releases it for the expensive
+    /// phase: the WAL append, the (single) durability barrier, and the
+    /// memtable insert all happen unlocked. Exclusion is structural — the
+    /// leader stays at the front of the queue until done, so no second
+    /// leader can exist, and `flush`/`close` wait for the WAL's return
+    /// before touching it.
+    fn group_commit(
+        &self,
+        state: &mut parking_lot::MutexGuard<'_, DbState>,
+        leader: &Arc<WriterSlot>,
+    ) -> Result<()> {
+        // Run the governors (slowdown/stall/memtable switch) for the whole
+        // group. Followers keep queueing while the leader waits here, which
+        // is exactly what makes post-stall groups large.
+        if let Err(e) = self.make_room(state) {
+            state.writers.pop_front();
+            self.writers_cv.notify_all();
+            return Err(e);
+        }
+
+        // Merge queued follower batches into the leader's, oldest first,
+        // until the byte cap. A small leading batch caps the group at its
+        // own size + 128 KiB so a tiny write's latency is never hostage to
+        // a megabyte of followers (HyperLevelDB's rule).
+        const SMALL_BATCH_SLACK: usize = 128 << 10;
+        let own = leader.batch_bytes;
+        let mut cap = self.opts.group_commit_bytes as usize;
+        if own <= SMALL_BATCH_SLACK {
+            cap = cap.min(own + SMALL_BATCH_SLACK);
+        }
+        let mut group_len = 1usize;
+        let mut group_bytes = own;
+        let mut sync_requests = u64::from(leader.sync);
+        for slot in state.writers.iter().skip(1) {
+            if slot.sync && !leader.sync {
+                // A sync write must not be absorbed by a non-sync group:
+                // its durability guarantee would silently vanish.
+                break;
+            }
+            if group_bytes + slot.batch_bytes > cap {
+                break;
+            }
+            group_bytes += slot.batch_bytes;
+            sync_requests += u64::from(slot.sync);
+            group_len += 1;
+        }
+        let mut combined = leader.batch.lock().take().expect("leader batch present");
+        if group_len > 1 {
+            combined.reserve(group_bytes - own);
+            for slot in state.writers.iter().skip(1).take(group_len - 1) {
+                let follower = slot.batch.lock().take().expect("follower batch present");
+                combined.append(&follower);
+            }
+        }
+
+        let base = self.last_sequence.load(Ordering::Relaxed);
+        combined.set_sequence(base + 1);
+        let count = u64::from(combined.count());
+        let group_sync = leader.sync;
+        let mem = Arc::clone(&state.mem);
+        let mut wal = state.wal.take().expect("wal open");
+
+        // The expensive phase, outside the state mutex: one WAL record for
+        // the whole group, at most one barrier, then the memtable insert
+        // (safe unlocked: this leader is the only writer, and the memtable
+        // cannot be switched while we hold the WAL).
+        let io = parking_lot::MutexGuard::unlocked(state, || -> Result<()> {
+            wal.add_record(combined.encoded())?;
+            if group_sync {
+                wal.sync()?;
+                self.stats.record_wal_sync(1);
+                if sync_requests > 1 {
+                    self.stats.record_wal_sync_elided(sync_requests - 1);
+                }
+            }
+            combined.apply_to(&mem)
+        });
+        state.wal = Some(wal);
+
+        let result = match io {
+            Ok(()) => {
+                // Publish only after the insert: readers snapshot
+                // `last_sequence` and must find every entry at or below it.
+                self.last_sequence.store(base + count, Ordering::Release);
+                self.stats.record_write_group(1);
+                self.stats.record_group_batches(group_len as u64);
+                Ok(())
+            }
+            Err(e) => {
+                // A failed append may leave a torn record mid-log; records
+                // appended after it would be dropped by recovery's
+                // torn-tail rule. Poison the DB rather than risk silently
+                // losing later acknowledged writes.
+                state.bg_error.get_or_insert_with(|| e.clone());
+                Err(e)
+            }
+        };
+
+        // Deliver results, dequeue the group, and hand leadership to the
+        // next queued writer (it wakes via writers_cv and finds itself at
+        // the front).
+        for _ in 0..group_len {
+            let slot = state.writers.pop_front().expect("group member queued");
+            if !Arc::ptr_eq(&slot, leader) {
+                slot.complete(result.clone());
+            }
+        }
+        self.writers_cv.notify_all();
+        result
+    }
 
     fn make_room(&self, state: &mut parking_lot::MutexGuard<'_, DbState>) -> Result<()> {
         let mut allow_delay = true;
@@ -676,12 +885,7 @@ impl DbInner {
                 return Err(e.clone());
             }
             let l0 = self.l0_runs.load(Ordering::Relaxed);
-            if allow_delay
-                && self
-                    .opts
-                    .level0_slowdown_trigger
-                    .is_some_and(|t| l0 >= t)
-            {
+            if allow_delay && self.opts.level0_slowdown_trigger.is_some_and(|t| l0 >= t) {
                 // L0SlowDown governor: sleep 1 ms, once, outside the lock.
                 allow_delay = false;
                 self.stats.record_slowdown(1);
@@ -699,7 +903,8 @@ impl DbInner {
                 let start = Instant::now();
                 self.work_cv.notify_one();
                 self.done_cv.wait(state);
-                self.stats.record_stall_nanos(start.elapsed().as_nanos() as u64);
+                self.stats
+                    .record_stall_nanos(start.elapsed().as_nanos() as u64);
                 continue;
             }
             if self.opts.level0_stop_trigger.is_some_and(|t| l0 >= t) {
@@ -708,7 +913,8 @@ impl DbInner {
                 let start = Instant::now();
                 self.work_cv.notify_one();
                 self.done_cv.wait(state);
-                self.stats.record_stall_nanos(start.elapsed().as_nanos() as u64);
+                self.stats
+                    .record_stall_nanos(start.elapsed().as_nanos() as u64);
                 continue;
             }
             self.switch_memtable(state)?;
@@ -717,6 +923,10 @@ impl DbInner {
 
     fn switch_memtable(&self, state: &mut parking_lot::MutexGuard<'_, DbState>) -> Result<()> {
         assert!(state.imm.is_none(), "cannot switch with a pending flush");
+        debug_assert!(
+            state.wal.is_some(),
+            "cannot switch while a group commit holds the WAL"
+        );
         let new_log = self.versions.lock().new_file_number();
         let file = self.env.new_writable_file(&log_file(&self.name, new_log))?;
         state.imm = Some(Arc::clone(&state.mem));
@@ -825,7 +1035,12 @@ impl DbInner {
 
     /// Write `mem` to level 0 and commit. `clear_imm` distinguishes the
     /// background flush (true) from recovery-time flushes (false).
-    fn flush_memtable(&self, mem: &Arc<MemTable>, log_boundary: u64, clear_imm: bool) -> Result<()> {
+    fn flush_memtable(
+        &self,
+        mem: &Arc<MemTable>,
+        log_boundary: u64,
+        clear_imm: bool,
+    ) -> Result<()> {
         let mut iter = mem.iter();
         iter.seek_to_first();
         let internal: &mut dyn InternalIterator = &mut iter;
@@ -837,8 +1052,10 @@ impl DbInner {
         };
         let outputs = self.write_sorted_run(internal, target)?;
 
-        let mut edit = VersionEdit::default();
-        edit.log_number = Some(log_boundary);
+        let mut edit = VersionEdit {
+            log_number: Some(log_boundary),
+            ..VersionEdit::default()
+        };
         {
             let mut versions = self.versions.lock();
             let mut run_tag = 0;
@@ -931,7 +1148,8 @@ impl DbInner {
             .bolt_options()
             .is_some_and(|b| b.settled_compaction);
         for table in &task.settled_moves {
-            edit.deleted_tables.push((task.level as u32, table.table_id));
+            edit.deleted_tables
+                .push((task.level as u32, table.table_id));
             edit.added_tables
                 .push((output_level as u32, 0, table.as_ref().clone()));
             if deliberate_settling {
@@ -977,7 +1195,13 @@ impl DbInner {
                     let mut merged = MergingIter::new(self.icmp.clone(), children);
                     merged.seek_to_first()?;
                     let mut filter = DropFilter::new(smallest_snapshot);
-                    sink.write_run(&mut merged, Some(&mut filter), &version, output_level, false)?;
+                    sink.write_run(
+                        &mut merged,
+                        Some(&mut filter),
+                        &version,
+                        output_level,
+                        false,
+                    )?;
                 }
             }
             outputs = sink.finish()?;
@@ -988,9 +1212,10 @@ impl DbInner {
             for table in task.merge_inputs() {
                 // Inputs at `task.level` and `output_level`; level recorded
                 // for bookkeeping only (deletion is by table id).
-                edit.deleted_tables.push((task.level as u32, table.table_id));
+                edit.deleted_tables
+                    .push((task.level as u32, table.table_id));
             }
-            let mut run_tag = if task.fragmented { 0 } else { 0 };
+            let mut run_tag = 0;
             let mut output_bytes = 0u64;
             for (i, (file_number, built)) in outputs.iter().enumerate() {
                 let table_id = versions.new_table_id();
@@ -1042,12 +1267,7 @@ impl DbInner {
 
     /// Build a compaction task pushing the tables of `level` overlapping
     /// `[begin, end]` down one level, or `None` if nothing overlaps.
-    fn build_manual_task(
-        &self,
-        level: usize,
-        begin: &[u8],
-        end: &[u8],
-    ) -> Option<CompactionTask> {
+    fn build_manual_task(&self, level: usize, begin: &[u8], end: &[u8]) -> Option<CompactionTask> {
         let version = self.versions.lock().current();
         let overlapping = version.overlapping_tables(&self.icmp, level, begin, end);
         if overlapping.is_empty() {
@@ -1144,7 +1364,9 @@ impl DbInner {
         let mut max_seq = { self.versions.lock().last_sequence };
         let mut mem = Arc::new(MemTable::new());
         for log in logs {
-            let file = self.env.new_random_access_file(&log_file(&self.name, log))?;
+            let file = self
+                .env
+                .new_random_access_file(&log_file(&self.name, log))?;
             let mut reader = LogReader::new(file);
             while let Some(record) = reader.read_record()? {
                 let batch = WriteBatch::decode(&record)?;
@@ -1295,7 +1517,8 @@ impl<'a> OutputSink<'a> {
             if allow_preemption {
                 self.inner.maybe_flush_pending_imm()?;
             }
-            let mut builder = TableBuilder::new(file.as_mut(), self.inner.opts.table_format.clone());
+            let mut builder =
+                TableBuilder::new(file.as_mut(), self.inner.opts.table_format.clone());
             let mut last_added_user_key: Option<Vec<u8>> = None;
             while iter.valid() {
                 let drop = match filter.as_deref_mut() {
@@ -1440,7 +1663,8 @@ mod tests {
     fn flush_moves_data_to_l0_and_reads_still_work() {
         let (_env, db) = mem_db(small_opts(Options::leveldb()));
         for i in 0..500u32 {
-            db.put(format!("key{i:05}").as_bytes(), &[b'x'; 100]).unwrap();
+            db.put(format!("key{i:05}").as_bytes(), &[b'x'; 100])
+                .unwrap();
         }
         db.flush().unwrap();
         let info = db.level_info();
@@ -1466,7 +1690,11 @@ mod tests {
         db.compact_until_quiet().unwrap();
         // Every key holds its newest value.
         for k in 0..(n / 2) {
-            let newest = if k < n % (n / 2) { n - (n / 2) + k } else { k + (n / 2) - (n % (n/2)) };
+            let newest = if k < n % (n / 2) {
+                n - (n / 2) + k
+            } else {
+                k + (n / 2) - (n % (n / 2))
+            };
             let _ = newest;
             // The newest write of key k is the last i with i % (n/2) == k.
             let last_i = ((n - 1 - k) / (n / 2)) * (n / 2) + k;
@@ -1499,7 +1727,8 @@ mod tests {
         let run = |opts: Options| {
             let (env, db) = mem_db(small_opts(opts));
             for i in 0..4000u32 {
-                db.put(format!("key{i:06}").as_bytes(), &[b'v'; 100]).unwrap();
+                db.put(format!("key{i:06}").as_bytes(), &[b'v'; 100])
+                    .unwrap();
             }
             db.flush().unwrap();
             db.compact_until_quiet().unwrap();
@@ -1563,12 +1792,7 @@ mod tests {
     fn recovery_restores_unflushed_writes() {
         let env = Arc::new(MemEnv::new());
         {
-            let db = Db::open(
-                Arc::clone(&env) as Arc<dyn Env>,
-                "db",
-                Options::leveldb(),
-            )
-            .unwrap();
+            let db = Db::open(Arc::clone(&env) as Arc<dyn Env>, "db", Options::leveldb()).unwrap();
             db.put(b"durable", b"yes").unwrap();
             db.close().unwrap();
         }
@@ -1586,11 +1810,13 @@ mod tests {
         {
             let db = Db::open(Arc::clone(&env) as Arc<dyn Env>, "db", opts.clone()).unwrap();
             for i in 0..500u32 {
-                db.put(format!("key{i:05}").as_bytes(), &[b'a'; 100]).unwrap();
+                db.put(format!("key{i:05}").as_bytes(), &[b'a'; 100])
+                    .unwrap();
             }
             db.flush().unwrap();
             for i in 500..600u32 {
-                db.put(format!("key{i:05}").as_bytes(), &[b'b'; 100]).unwrap();
+                db.put(format!("key{i:05}").as_bytes(), &[b'b'; 100])
+                    .unwrap();
             }
             db.close().unwrap();
         }
@@ -1652,6 +1878,110 @@ mod tests {
         db.compact_until_quiet().unwrap();
         let moves = db.stats().settled_moves();
         assert!(moves > 0, "expected settled moves, stats: {:?}", db.stats());
+        db.close().unwrap();
+    }
+
+    #[test]
+    fn write_opt_overrides_sync_per_batch() {
+        // Default async: Db::write pays no barrier, an explicit sync pays one.
+        let (_env, db) = mem_db(Options::leveldb());
+        db.put(b"a", b"1").unwrap();
+        assert_eq!(db.stats().wal_syncs(), 0);
+        let mut batch = WriteBatch::new();
+        batch.put(b"b", b"2");
+        db.write_opt(batch, &WriteOptions::with_sync(true)).unwrap();
+        assert_eq!(db.stats().wal_syncs(), 1);
+        db.close().unwrap();
+
+        // Default sync: Db::write pays the barrier, an explicit non-sync
+        // write skips it.
+        let mut opts = Options::leveldb();
+        opts.sync_wal = true;
+        let (_env, db) = mem_db(opts);
+        db.put(b"a", b"1").unwrap();
+        assert_eq!(db.stats().wal_syncs(), 1);
+        let mut batch = WriteBatch::new();
+        batch.put(b"b", b"2");
+        db.write_opt(batch, &WriteOptions::with_sync(false))
+            .unwrap();
+        assert_eq!(db.stats().wal_syncs(), 1);
+        db.close().unwrap();
+    }
+
+    #[test]
+    fn every_write_passes_through_a_commit_group() {
+        let (_env, db) = mem_db(Options::leveldb());
+        for i in 0..10u32 {
+            db.put(format!("k{i}").as_bytes(), b"v").unwrap();
+        }
+        let snap = db.stats().snapshot();
+        assert_eq!(snap.group_batches, 10);
+        assert!(snap.write_groups >= 1 && snap.write_groups <= 10);
+        assert_eq!(db.stats().queue_wait().count(), 10);
+        db.close().unwrap();
+    }
+
+    #[test]
+    fn group_commit_publishes_contiguous_sequences() {
+        // Concurrent multi-entry batches: sequences must stay contiguous
+        // (every batch gets `count` numbers, none skipped or reused) and
+        // every batch must be atomic.
+        let (_env, db) = mem_db(Options::leveldb());
+        let db = Arc::new(db);
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let db = Arc::clone(&db);
+                std::thread::spawn(move || {
+                    for i in 0..100u32 {
+                        let mut batch = WriteBatch::new();
+                        batch.put(format!("t{t}-k{i:03}-a").as_bytes(), b"1");
+                        batch.put(format!("t{t}-k{i:03}-b").as_bytes(), b"2");
+                        db.write(batch).unwrap();
+                        let seq = db.snapshot().sequence();
+                        assert!(seq >= 2 * (i as u64 + 1), "t{t} i{i} seq {seq}");
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        // 8 threads x 100 batches x 2 entries each.
+        assert_eq!(db.snapshot().sequence(), 1600);
+        let snap = db.stats().snapshot();
+        assert_eq!(snap.group_batches, 800);
+        for t in 0..8 {
+            for i in 0..100u32 {
+                assert_eq!(
+                    db.get(format!("t{t}-k{i:03}-a").as_bytes()).unwrap(),
+                    Some(b"1".to_vec())
+                );
+                assert_eq!(
+                    db.get(format!("t{t}-k{i:03}-b").as_bytes()).unwrap(),
+                    Some(b"2".to_vec())
+                );
+            }
+        }
+        db.close().unwrap();
+    }
+
+    #[test]
+    fn small_leader_is_not_held_hostage_by_large_followers() {
+        // The merge cap for a tiny leading batch is its size + 128 KiB:
+        // write a tiny batch followed (in the queue) by nothing and verify
+        // the pipeline still commits it alone — then verify a huge batch
+        // larger than the group cap also commits (the cap limits merging,
+        // not batch size).
+        let mut opts = Options::leveldb();
+        opts.memtable_bytes = 16 << 20;
+        let (_env, db) = mem_db(opts);
+        db.put(b"tiny", b"v").unwrap();
+        let mut batch = WriteBatch::new();
+        batch.put(b"huge", &vec![b'x'; 2 << 20]);
+        db.write(batch).unwrap();
+        assert_eq!(db.get(b"tiny").unwrap(), Some(b"v".to_vec()));
+        assert_eq!(db.get(b"huge").unwrap(), Some(vec![b'x'; 2 << 20]));
+        assert_eq!(db.stats().snapshot().group_batches, 2);
         db.close().unwrap();
     }
 }

@@ -232,7 +232,11 @@ impl MergingIter {
             smallest = match smallest {
                 None => Some(i),
                 Some(s) => {
-                    if self.icmp.compare(child.key(), self.children[s].key()).is_lt() {
+                    if self
+                        .icmp
+                        .compare(child.key(), self.children[s].key())
+                        .is_lt()
+                    {
                         Some(i)
                     } else {
                         Some(s)
@@ -368,6 +372,7 @@ impl DbIter {
     /// # Panics
     ///
     /// Panics if not [`valid`](Self::valid).
+    #[allow(clippy::should_implement_trait)] // LevelDB-style fallible cursor
     pub fn next(&mut self) -> Result<()> {
         assert!(self.valid, "iterator not positioned");
         let prev = std::mem::take(&mut self.key);
@@ -396,11 +401,12 @@ impl DbIter {
                         skipping = Some(parsed.user_key.to_vec());
                     }
                     ValueType::Value => {
-                        let shadowed = skipping
-                            .as_deref()
-                            .is_some_and(|s| {
-                                self.icmp.user_comparator().compare(parsed.user_key, s).is_eq()
-                            });
+                        let shadowed = skipping.as_deref().is_some_and(|s| {
+                            self.icmp
+                                .user_comparator()
+                                .compare(parsed.user_key, s)
+                                .is_eq()
+                        });
                         if !shadowed {
                             self.key = parsed.user_key.to_vec();
                             self.value = self.iter.value().to_vec();
@@ -541,10 +547,10 @@ mod tests {
     fn run_iter_concatenates_tables() {
         use crate::version::TableMeta;
         use bolt_common::bloom::BloomFilterPolicy;
+        use bolt_env::{Env, MemEnv};
         use bolt_table::builder::{FilterKey, TableBuilder, TableFormat};
         use bolt_table::ikey::make_internal_key;
         use bolt_table::{TableCache, TableReadOptions};
-        use bolt_env::{Env, MemEnv};
 
         let env: std::sync::Arc<dyn Env> = Arc::new(MemEnv::new());
         env.create_dir_all("db").unwrap();
@@ -554,11 +560,7 @@ mod tests {
         for t in 0..3u32 {
             let mut b = TableBuilder::new(file.as_mut(), TableFormat::default());
             for i in 0..20u32 {
-                let key = make_internal_key(
-                    format!("{t}k{i:03}").as_bytes(),
-                    5,
-                    ValueType::Value,
-                );
+                let key = make_internal_key(format!("{t}k{i:03}").as_bytes(), 5, ValueType::Value);
                 b.add(&key, format!("{t}-{i}").as_bytes()).unwrap();
             }
             let built = b.finish().unwrap();
@@ -611,10 +613,7 @@ mod tests {
 
         // Seek into the middle table and across a table boundary.
         iter.seek(&lookup_key(b"1k010", 100)).unwrap();
-        assert_eq!(
-            parse_internal_key(iter.key()).unwrap().user_key,
-            b"1k010"
-        );
+        assert_eq!(parse_internal_key(iter.key()).unwrap().user_key, b"1k010");
         iter.seek(&lookup_key(b"0k999", 100)).unwrap();
         assert_eq!(
             parse_internal_key(iter.key()).unwrap().user_key,

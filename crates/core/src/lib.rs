@@ -46,5 +46,5 @@ pub mod versions;
 
 pub use batch::WriteBatch;
 pub use db::{Db, DbIterator, LevelInfo, Snapshot};
-pub use options::{BoltOptions, CompactionStyle, Options};
+pub use options::{BoltOptions, CompactionStyle, Options, WriteOptions};
 pub use stats::{DbStats, DbStatsSnapshot};

@@ -96,8 +96,7 @@ impl MemTable {
     /// leader is the only writer at any time).
     pub fn add(&self, seq: SequenceNumber, value_type: ValueType, user_key: &[u8], value: &[u8]) {
         let internal_key = make_internal_key(user_key, seq, value_type);
-        let mut entry =
-            Vec::with_capacity(internal_key.len() + value.len() + 10);
+        let mut entry = Vec::with_capacity(internal_key.len() + value.len() + 10);
         put_varint32(&mut entry, internal_key.len() as u32);
         entry.extend_from_slice(&internal_key);
         put_varint32(&mut entry, value.len() as u32);
@@ -139,9 +138,10 @@ impl MemTable {
                 // SAFETY: `iter` borrows `self.list`, which lives as long as
                 // the Arc held in `mem`; the transmute erases that internal
                 // borrow (self-referential struct pattern).
-                std::mem::transmute::<SkipIter<'_, EntryComparator>, SkipIter<'static, EntryComparator>>(
-                    self.list.iter(),
-                )
+                std::mem::transmute::<
+                    SkipIter<'_, EntryComparator>,
+                    SkipIter<'static, EntryComparator>,
+                >(self.list.iter())
             },
         }
     }
@@ -294,10 +294,7 @@ mod tests {
         let mut iter = mem.iter();
         iter.seek(&lookup_key(b"key050", u64::MAX >> 8));
         assert!(iter.valid());
-        assert_eq!(
-            parse_internal_key(iter.key()).unwrap().user_key,
-            b"key050"
-        );
+        assert_eq!(parse_internal_key(iter.key()).unwrap().user_key, b"key050");
         iter.seek(&lookup_key(b"zzz", u64::MAX >> 8));
         assert!(!iter.valid());
     }

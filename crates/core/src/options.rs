@@ -47,6 +47,32 @@ impl Default for BoltOptions {
     }
 }
 
+/// Per-write durability override for [`crate::Db::write_opt`].
+///
+/// A mixed-durability workload (YCSB with a synced subset, say) runs on one
+/// database: each batch picks its own durability instead of forking two DBs
+/// with different [`Options::sync_wal`] settings. Synced and unsynced
+/// batches still share the group-commit pipeline; a batch that requests a
+/// sync can ride (and elide its barrier on) another batch's sync.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WriteOptions {
+    /// `Some(true)` forces a WAL sync for this batch, `Some(false)`
+    /// suppresses it, `None` follows [`Options::sync_wal`].
+    pub sync: Option<bool>,
+}
+
+impl WriteOptions {
+    /// Follow [`Options::sync_wal`] (the `Db::write` behaviour).
+    pub fn new() -> Self {
+        WriteOptions::default()
+    }
+
+    /// Override the per-batch WAL sync.
+    pub fn with_sync(sync: bool) -> Self {
+        WriteOptions { sync: Some(sync) }
+    }
+}
+
 /// How compaction organizes levels and output files.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CompactionStyle {
@@ -97,8 +123,14 @@ pub struct Options {
     pub table_format: TableFormat,
     /// Bloom filter policy (paper: 10 bits/key for every store).
     pub filter_policy: Option<BloomFilterPolicy>,
-    /// Sync the WAL on every write batch (YCSB default: off).
+    /// Sync the WAL on every write batch (YCSB default: off). Overridable
+    /// per batch with [`WriteOptions`].
     pub sync_wal: bool,
+    /// Group-commit byte cap: the leader merges queued batches until the
+    /// combined batch reaches this size (HyperLevelDB-style group commit).
+    /// A small leading batch additionally caps the group at its own size
+    /// plus 128 KiB so tiny writes keep low latency.
+    pub group_commit_bytes: u64,
     /// LevelDB's seek compaction (compact a table after too many wasted
     /// seeks). Disabled in the HyperLevelDB-family profiles.
     pub seek_compaction: bool,
@@ -134,6 +166,7 @@ impl Options {
             table_format: TableFormat::legacy(),
             filter_policy: Some(BloomFilterPolicy::new(10)),
             sync_wal: false,
+            group_commit_bytes: 1 << 20,
             seek_compaction: true,
             compaction_style: CompactionStyle::Leveled,
             use_ordering_barriers: false,
@@ -306,8 +339,7 @@ impl Options {
                 "level size multiplier must be at least 2".into(),
             ));
         }
-        if let (Some(slow), Some(stop)) = (self.level0_slowdown_trigger, self.level0_stop_trigger)
-        {
+        if let (Some(slow), Some(stop)) = (self.level0_slowdown_trigger, self.level0_stop_trigger) {
             if stop < slow {
                 return Err(Error::InvalidArgument(
                     "L0Stop trigger must not be below L0SlowDown".into(),
@@ -329,6 +361,11 @@ impl Options {
         if self.max_open_files == 0 {
             return Err(Error::InvalidArgument(
                 "max_open_files must be positive".into(),
+            ));
+        }
+        if self.group_commit_bytes == 0 {
+            return Err(Error::InvalidArgument(
+                "group commit byte cap must be positive".into(),
             ));
         }
         Ok(())
@@ -435,6 +472,20 @@ mod tests {
             b.group_compaction_bytes = b.logical_sstable_bytes / 2;
         }
         assert!(bad.validate().is_err());
+
+        let mut bad = Options::leveldb();
+        bad.group_commit_bytes = 0;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn write_options_override_resolution() {
+        assert_eq!(WriteOptions::new().sync, None);
+        assert_eq!(WriteOptions::with_sync(true).sync, Some(true));
+        assert_eq!(WriteOptions::with_sync(false).sync, Some(false));
+        // Every profile ships a sane group-commit cap.
+        assert_eq!(Options::leveldb().group_commit_bytes, 1 << 20);
+        assert_eq!(Options::bolt().group_commit_bytes, 1 << 20);
     }
 
     #[test]

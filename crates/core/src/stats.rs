@@ -3,6 +3,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use bolt_common::histogram::Histogram;
+
 /// Cumulative engine counters (all monotonically increasing).
 #[derive(Debug, Default)]
 pub struct DbStats {
@@ -20,6 +22,18 @@ pub struct DbStats {
     stalls: AtomicU64,
     stall_nanos: AtomicU64,
     user_bytes_written: AtomicU64,
+    /// Commit groups formed by the write pipeline (one WAL record each).
+    write_groups: AtomicU64,
+    /// Writer batches committed through groups (= batches accepted).
+    group_batches: AtomicU64,
+    /// WAL durability barriers actually issued on the write path.
+    wal_syncs: AtomicU64,
+    /// Sync requests answered by another batch's barrier in the same group.
+    wal_syncs_elided: AtomicU64,
+    /// Nanoseconds each writer spent queued before its group committed
+    /// (leaders record their wait for leadership; followers their wait for
+    /// the leader's result).
+    queue_wait: Histogram,
 }
 
 /// Point-in-time copy of [`DbStats`].
@@ -49,6 +63,14 @@ pub struct DbStatsSnapshot {
     pub stall_nanos: u64,
     /// Raw user payload bytes accepted by `put`/`delete`.
     pub user_bytes_written: u64,
+    /// Commit groups formed by the write pipeline.
+    pub write_groups: u64,
+    /// Writer batches committed through groups.
+    pub group_batches: u64,
+    /// WAL durability barriers issued on the write path.
+    pub wal_syncs: u64,
+    /// Sync requests satisfied by another batch's barrier.
+    pub wal_syncs_elided: u64,
 }
 
 impl DbStatsSnapshot {
@@ -59,6 +81,26 @@ impl DbStatsSnapshot {
             0.0
         } else {
             device_bytes_written as f64 / self.user_bytes_written as f64
+        }
+    }
+
+    /// Average batches merged per commit group (1.0 = no grouping).
+    pub fn batches_per_group(&self) -> f64 {
+        if self.write_groups == 0 {
+            0.0
+        } else {
+            self.group_batches as f64 / self.write_groups as f64
+        }
+    }
+
+    /// WAL barriers per committed batch — the foreground analogue of the
+    /// paper's barriers-per-compaction metric. Under group commit with
+    /// concurrent synced writers this drops below 1.0.
+    pub fn wal_syncs_per_batch(&self) -> f64 {
+        if self.group_batches == 0 {
+            0.0
+        } else {
+            self.wal_syncs as f64 / self.group_batches as f64
         }
     }
 }
@@ -93,6 +135,15 @@ impl DbStats {
         record_stall / stalls => stalls,
         record_stall_nanos / stall_nanos => stall_nanos,
         record_user_bytes / user_bytes_written => user_bytes_written,
+        record_write_group / write_groups => write_groups,
+        record_group_batches / group_batches => group_batches,
+        record_wal_sync / wal_syncs => wal_syncs,
+        record_wal_sync_elided / wal_syncs_elided => wal_syncs_elided,
+    }
+
+    /// Per-writer time-in-queue histogram (nanoseconds).
+    pub fn queue_wait(&self) -> &Histogram {
+        &self.queue_wait
     }
 
     /// Copy all counters.
@@ -110,6 +161,10 @@ impl DbStats {
             stalls: self.stalls(),
             stall_nanos: self.stall_nanos(),
             user_bytes_written: self.user_bytes_written(),
+            write_groups: self.write_groups(),
+            group_batches: self.group_batches(),
+            wal_syncs: self.wal_syncs(),
+            wal_syncs_elided: self.wal_syncs_elided(),
         }
     }
 }
@@ -132,6 +187,24 @@ mod tests {
         assert_eq!(snap.settled_moves, 3);
         assert_eq!(snap.stall_nanos, 500);
         assert_eq!(snap.user_bytes_written, 1000);
+    }
+
+    #[test]
+    fn group_commit_ratios() {
+        let stats = DbStats::default();
+        stats.record_write_group(10);
+        stats.record_group_batches(40);
+        stats.record_wal_sync(10);
+        stats.record_wal_sync_elided(30);
+        stats.queue_wait().record(1_000);
+        let snap = stats.snapshot();
+        assert!((snap.batches_per_group() - 4.0).abs() < 1e-9);
+        assert!((snap.wal_syncs_per_batch() - 0.25).abs() < 1e-9);
+        assert_eq!(stats.queue_wait().count(), 1);
+        // Empty snapshots divide safely.
+        let empty = DbStatsSnapshot::default();
+        assert_eq!(empty.batches_per_group(), 0.0);
+        assert_eq!(empty.wal_syncs_per_batch(), 0.0);
     }
 
     #[test]

@@ -18,7 +18,9 @@
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 
-use bolt_common::coding::{put_fixed64, put_length_prefixed_slice, put_varint32, put_varint64, Decoder};
+use bolt_common::coding::{
+    put_fixed64, put_length_prefixed_slice, put_varint32, put_varint64, Decoder,
+};
 use bolt_common::{Error, Result};
 use bolt_table::cache::{TableCache, TableSpec};
 use bolt_table::comparator::{Comparator, InternalKeyComparator};
@@ -281,7 +283,10 @@ impl Version {
                         // A lookup that had to probe more than one table
                         // charges the first table (LevelDB seek compaction).
                         let seek_charge = if probes > 1 { first_probe } else { None };
-                        return Ok(GetResult { result, seek_charge });
+                        return Ok(GetResult {
+                            result,
+                            seek_charge,
+                        });
                     }
                 }
             }
@@ -486,7 +491,9 @@ impl VersionBuilder {
             }
         }
         for (_, (level, run_tag, meta)) in self.added {
-            runs.entry((level as usize, run_tag)).or_default().push(meta);
+            runs.entry((level as usize, run_tag))
+                .or_default()
+                .push(meta);
         }
         let icmp = &self.icmp;
         for ((level, tag), mut tables) in runs {
@@ -495,19 +502,17 @@ impl VersionBuilder {
             }
             tables.sort_by(|a, b| icmp.compare(&a.smallest, &b.smallest));
             debug_assert!(
-                tables
-                    .windows(2)
-                    .all(|w| icmp
-                        .user_comparator()
-                        .compare(w[0].largest_user_key(), w[1].smallest_user_key())
-                        .is_lt()),
+                tables.windows(2).all(|w| icmp
+                    .user_comparator()
+                    .compare(w[0].largest_user_key(), w[1].smallest_user_key())
+                    .is_lt()),
                 "run {tag} at level {level} has overlapping tables"
             );
             version.levels[level].runs.push(Run { tag, tables });
         }
         // Newest runs first.
         for state in &mut version.levels {
-            state.runs.sort_by(|a, b| b.tag.cmp(&a.tag));
+            state.runs.sort_by_key(|run| std::cmp::Reverse(run.tag));
         }
         version
     }

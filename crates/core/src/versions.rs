@@ -73,7 +73,12 @@ impl std::fmt::Debug for VersionSet {
 
 impl VersionSet {
     /// Create an empty set for database directory `db`.
-    pub fn new(env: Arc<dyn Env>, db: &str, icmp: InternalKeyComparator, num_levels: usize) -> Self {
+    pub fn new(
+        env: Arc<dyn Env>,
+        db: &str,
+        icmp: InternalKeyComparator,
+        num_levels: usize,
+    ) -> Self {
         VersionSet {
             env,
             db: db.to_string(),
@@ -213,15 +218,16 @@ impl VersionSet {
             if self.pending_files.contains(&file_number) {
                 continue;
             }
-            let any_live = info.regions.iter().any(|r| live_tables.contains(&r.table_id));
+            let any_live = info
+                .regions
+                .iter()
+                .any(|r| live_tables.contains(&r.table_id));
             if !any_live {
                 dead_files.push(file_number);
                 continue;
             }
             for region in &info.regions {
-                if !live_tables.contains(&region.table_id)
-                    && info.punched.insert(region.table_id)
-                {
+                if !live_tables.contains(&region.table_id) && info.punched.insert(region.table_id) {
                     // Lazy metadata update, no barrier (§3.2).
                     let _ = self.env.punch_hole(
                         &table_file(&self.db, file_number),
@@ -290,16 +296,14 @@ impl VersionSet {
     pub fn recover(&mut self) -> Result<()> {
         let current = self.env.new_random_access_file(&current_file(&self.db))?;
         let content = current.read(0, current.len() as usize)?;
-        let name = String::from_utf8(content)
-            .map_err(|_| Error::corruption("CURRENT not utf-8"))?;
+        let name =
+            String::from_utf8(content).map_err(|_| Error::corruption("CURRENT not utf-8"))?;
         let name = name.trim();
         let old_manifest_path = bolt_env::join_path(&self.db, name);
 
         let mut reader = LogReader::new(self.env.new_random_access_file(&old_manifest_path)?);
-        let mut builder = VersionBuilder::new(
-            self.icmp.clone(),
-            Arc::new(Version::empty(self.num_levels)),
-        );
+        let mut builder =
+            VersionBuilder::new(self.icmp.clone(), Arc::new(Version::empty(self.num_levels)));
         let mut found_any = false;
         while let Some(record) = reader.read_record()? {
             let edit = VersionEdit::decode(&record)?;
@@ -414,12 +418,7 @@ mod tests {
 
     fn new_set(env: &Arc<dyn Env>) -> VersionSet {
         env.create_dir_all("db").unwrap();
-        let mut vs = VersionSet::new(
-            Arc::clone(env),
-            "db",
-            InternalKeyComparator::default(),
-            7,
-        );
+        let mut vs = VersionSet::new(Arc::clone(env), "db", InternalKeyComparator::default(), 7);
         vs.create_new().unwrap();
         vs
     }
@@ -430,12 +429,7 @@ mod tests {
         {
             let _vs = new_set(&env);
         }
-        let mut vs = VersionSet::new(
-            Arc::clone(&env),
-            "db",
-            InternalKeyComparator::default(),
-            7,
-        );
+        let mut vs = VersionSet::new(Arc::clone(&env), "db", InternalKeyComparator::default(), 7);
         vs.recover().unwrap();
         assert_eq!(vs.current().num_tables(), 0);
     }
@@ -458,20 +452,14 @@ mod tests {
             let t2 = vs.new_table_id();
             let f2 = vs.new_file_number();
             edit2.added_tables.push((1, 0, meta(t2, f2, 0, 200)));
-            edit2.compact_pointers.push((
-                1,
-                make_internal_key(b"cp", 1, ValueType::Value),
-            ));
+            edit2
+                .compact_pointers
+                .push((1, make_internal_key(b"cp", 1, ValueType::Value)));
             vs.log_and_apply(edit2).unwrap();
             next_ids = (vs.next_file_number, vs.next_table_id);
         }
 
-        let mut vs = VersionSet::new(
-            Arc::clone(&env),
-            "db",
-            InternalKeyComparator::default(),
-            7,
-        );
+        let mut vs = VersionSet::new(Arc::clone(&env), "db", InternalKeyComparator::default(), 7);
         vs.recover().unwrap();
         assert_eq!(vs.current().num_tables(), 2);
         assert_eq!(vs.current().levels[0].runs[0].tag, 5);
@@ -496,12 +484,7 @@ mod tests {
         }
         // Crash: everything synced by log_and_apply must survive.
         mem_env.crash(bolt_env::CrashConfig::Clean);
-        let mut vs = VersionSet::new(
-            Arc::clone(&env),
-            "db",
-            InternalKeyComparator::default(),
-            7,
-        );
+        let mut vs = VersionSet::new(Arc::clone(&env), "db", InternalKeyComparator::default(), 7);
         vs.recover().unwrap();
         assert_eq!(vs.current().num_tables(), 1);
     }
@@ -527,12 +510,7 @@ mod tests {
                 .unwrap();
         }
         mem_env.crash(bolt_env::CrashConfig::Clean);
-        let mut vs = VersionSet::new(
-            Arc::clone(&env),
-            "db",
-            InternalKeyComparator::default(),
-            7,
-        );
+        let mut vs = VersionSet::new(Arc::clone(&env), "db", InternalKeyComparator::default(), 7);
         vs.recover().unwrap();
         assert_eq!(vs.current().num_tables(), 1, "torn edit must not apply");
     }

@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use bolt_core::{Db, Options};
-use bolt_env::{CrashConfig, Env, MemEnv, WritableFile};
+use bolt_env::{CrashConfig, Env, MemEnv};
 
 fn opts() -> Options {
     Options::bolt().scaled(1.0 / 256.0)

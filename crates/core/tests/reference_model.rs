@@ -1,8 +1,8 @@
+use bolt_common::bloom::BloomFilterPolicy;
 use bolt_core::{Db, Options};
 use bolt_env::{Env, MemEnv};
-use bolt_table::ikey::{parse_internal_key, lookup_key};
-use bolt_table::{Table, TableReadOptions, InternalKeyComparator, FilterKey};
-use bolt_common::bloom::BloomFilterPolicy;
+use bolt_table::ikey::{lookup_key, parse_internal_key};
+use bolt_table::{FilterKey, InternalKeyComparator, Table, TableReadOptions};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -10,7 +10,10 @@ fn dump_key(env: &Arc<dyn Env>, db: &Db, key: &[u8]) {
     let v = db.current_version();
     for (level, tag, t) in v.all_tables() {
         let path = format!("db/{:06}.sst", t.file_number);
-        let Ok(file) = env.new_random_access_file(&path) else { println!("  missing {path}"); continue };
+        let Ok(file) = env.new_random_access_file(&path) else {
+            println!("  missing {path}");
+            continue;
+        };
         let opts = TableReadOptions {
             comparator: Arc::new(InternalKeyComparator::default()),
             filter_policy: Some(BloomFilterPolicy::default()),
@@ -22,10 +25,17 @@ fn dump_key(env: &Arc<dyn Env>, db: &Db, key: &[u8]) {
         iter.seek(&lookup_key(key, u64::MAX >> 8)).unwrap();
         while iter.valid() {
             let p = parse_internal_key(iter.key()).unwrap();
-            if p.user_key != key { break; }
-            println!("  L{level} tag={tag} table#{} file={} -> seq={} {:?} val={}",
-                t.table_id, t.file_number, p.sequence, p.value_type,
-                String::from_utf8_lossy(&iter.value()[..iter.value().len().min(12)]));
+            if p.user_key != key {
+                break;
+            }
+            println!(
+                "  L{level} tag={tag} table#{} file={} -> seq={} {:?} val={}",
+                t.table_id,
+                t.file_number,
+                p.sequence,
+                p.value_type,
+                String::from_utf8_lossy(&iter.value()[..iter.value().len().min(12)])
+            );
             iter.next().unwrap();
         }
     }
@@ -38,39 +48,56 @@ fn dump_key(env: &Arc<dyn Env>, db: &Db, key: &[u8]) {
 fn random_workload_matches_reference_model_under_racing_compactions() {
     for attempt in 0..10 {
         let env: Arc<dyn Env> = Arc::new(MemEnv::new());
-        let db = Db::open(Arc::clone(&env), "db", Options::bolt().scaled(1.0/256.0)).unwrap();
+        let db = Db::open(Arc::clone(&env), "db", Options::bolt().scaled(1.0 / 256.0)).unwrap();
         let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
         let mut rng = bolt_common::rng::Rng64::new(0xfeed + attempt);
         for round in 0..4 {
             for _ in 0..1500 {
                 let k = format!("key{:05}", rng.next_below(800)).into_bytes();
-                if rng.next_below(5) == 0 { db.delete(&k).unwrap(); model.remove(&k); }
-                else {
+                if rng.next_below(5) == 0 {
+                    db.delete(&k).unwrap();
+                    model.remove(&k);
+                } else {
                     let v = format!("v{}", rng.next_u64()).into_bytes();
-                    db.put(&k, &v).unwrap(); model.insert(k, v);
+                    db.put(&k, &v).unwrap();
+                    model.insert(k, v);
                 }
             }
             db.flush().unwrap();
-            if round % 2 == 1 { db.compact_until_quiet().unwrap(); }
+            if round % 2 == 1 {
+                db.compact_until_quiet().unwrap();
+            }
             for i in 0..800u32 {
                 let k = format!("key{i:05}").into_bytes();
                 let got = db.get(&k).unwrap();
                 let want = model.get(&k).cloned();
                 if got != want {
                     println!("attempt {attempt} MISMATCH round {round} key {i}");
-                    println!("  got  {:?}", got.as_ref().map(|v| String::from_utf8_lossy(&v[..v.len().min(12)]).to_string()));
-                    println!("  want {:?}", want.as_ref().map(|v| String::from_utf8_lossy(&v[..v.len().min(12)]).to_string()));
+                    println!(
+                        "  got  {:?}",
+                        got.as_ref()
+                            .map(|v| String::from_utf8_lossy(&v[..v.len().min(12)]).to_string())
+                    );
+                    println!(
+                        "  want {:?}",
+                        want.as_ref()
+                            .map(|v| String::from_utf8_lossy(&v[..v.len().min(12)]).to_string())
+                    );
                     // settle and re-read
                     db.compact_until_quiet().unwrap();
                     let again = db.get(&k).unwrap();
-                    println!("  after settle: {:?} (levels {:?})", again.as_ref().map(|v| String::from_utf8_lossy(&v[..v.len().min(12)]).to_string()), db.level_info());
+                    println!(
+                        "  after settle: {:?} (levels {:?})",
+                        again
+                            .as_ref()
+                            .map(|v| String::from_utf8_lossy(&v[..v.len().min(12)]).to_string()),
+                        db.level_info()
+                    );
                     dump_key(&env, &db, &k);
                     panic!("mismatch found on attempt {attempt}");
                 }
             }
-
         }
         drop(db);
     }
-    
 }

@@ -9,7 +9,12 @@ use std::sync::Arc;
 #[test]
 fn settled_ablation_matches_reference_model() {
     let env: Arc<dyn Env> = Arc::new(MemEnv::new());
-    let db = Db::open(Arc::clone(&env), "db", Options::bolt_stl().scaled(1.0/256.0)).unwrap();
+    let db = Db::open(
+        Arc::clone(&env),
+        "db",
+        Options::bolt_stl().scaled(1.0 / 256.0),
+    )
+    .unwrap();
     let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
     let mut rng = bolt_common::rng::Rng64::new(0xfeed);
     for round in 0..4 {
@@ -25,22 +30,30 @@ fn settled_ablation_matches_reference_model() {
             }
         }
         db.flush().unwrap();
-        if round % 2 == 1 { db.compact_until_quiet().unwrap(); }
+        if round % 2 == 1 {
+            db.compact_until_quiet().unwrap();
+        }
         for i in 0..800u32 {
             let k = format!("key{i:05}").into_bytes();
             let got = db.get(&k).unwrap();
             let want = model.get(&k).cloned();
             if got != want {
-                println!("MISMATCH round {round} key {i}: got {:?} want {:?}",
+                println!(
+                    "MISMATCH round {round} key {i}: got {:?} want {:?}",
                     got.as_ref().map(|v| String::from_utf8_lossy(v).to_string()),
-                    want.as_ref().map(|v| String::from_utf8_lossy(v).to_string()));
+                    want.as_ref()
+                        .map(|v| String::from_utf8_lossy(v).to_string())
+                );
                 let v = db.current_version();
                 for (level, tag, t) in v.all_tables() {
                     let s = String::from_utf8_lossy(t.smallest_user_key()).to_string();
                     let l = String::from_utf8_lossy(t.largest_user_key()).to_string();
                     let kk = String::from_utf8_lossy(&k).to_string();
                     if s <= kk && kk <= l {
-                        println!("  L{level} tag={tag} id={} file={} off={} [{s}..{l}]", t.table_id, t.file_number, t.offset);
+                        println!(
+                            "  L{level} tag={tag} id={} file={} off={} [{s}..{l}]",
+                            t.table_id, t.file_number, t.offset
+                        );
                     }
                 }
                 panic!("mismatch");

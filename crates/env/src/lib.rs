@@ -301,10 +301,8 @@ mod tests {
 
     #[test]
     fn real_env_conformance() {
-        let dir = std::env::temp_dir().join(format!(
-            "bolt-env-conformance-{}",
-            std::process::id(),
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("bolt-env-conformance-{}", std::process::id(),));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         let env = RealEnv::new(dir.to_str().unwrap());

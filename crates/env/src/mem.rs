@@ -119,11 +119,7 @@ impl MemEnv {
     }
 
     fn get(&self, path: &str) -> Result<Arc<MemFile>> {
-        self.files
-            .read()
-            .get(path)
-            .cloned()
-            .ok_or(Error::NotFound)
+        self.files.read().get(path).cloned().ok_or(Error::NotFound)
     }
 }
 
@@ -195,7 +191,9 @@ impl RandomAccessFile for MemRandomAccessFile {
 impl Env for MemEnv {
     fn new_writable_file(&self, path: &str) -> Result<Box<dyn WritableFile>> {
         let file = Arc::new(MemFile::default());
-        self.files.write().insert(path.to_string(), Arc::clone(&file));
+        self.files
+            .write()
+            .insert(path.to_string(), Arc::clone(&file));
         self.stats.record_create();
         Ok(Box::new(MemWritableFile {
             file,

@@ -214,21 +214,30 @@ impl Env for RealEnv {
             self.stats.record_punch_hole(0);
             return Ok(());
         }
+        // Local declaration of the glibc symbol (the build has no `libc`
+        // crate). `off_t` is i64 on every 64-bit Linux target.
+        const FALLOC_FL_KEEP_SIZE: i32 = 0x01;
+        const FALLOC_FL_PUNCH_HOLE: i32 = 0x02;
+        const EOPNOTSUPP: i32 = 95;
+        extern "C" {
+            fn fallocate(fd: i32, mode: i32, offset: i64, len: i64) -> i32;
+        }
+
         let file = OpenOptions::new().write(true).open(self.resolve(path))?;
         // SAFETY: valid fd, flags and range are well-formed.
         let ret = unsafe {
-            libc::fallocate(
+            fallocate(
                 file.as_raw_fd(),
-                libc::FALLOC_FL_PUNCH_HOLE | libc::FALLOC_FL_KEEP_SIZE,
-                start as libc::off_t,
-                effective as libc::off_t,
+                FALLOC_FL_PUNCH_HOLE | FALLOC_FL_KEEP_SIZE,
+                start as i64,
+                effective as i64,
             )
         };
         if ret != 0 {
             let errno = std::io::Error::last_os_error();
             // Filesystems without hole support (e.g. some tmpfs configs):
             // fall back to zeroing.
-            if errno.raw_os_error() == Some(libc::EOPNOTSUPP) {
+            if errno.raw_os_error() == Some(EOPNOTSUPP) {
                 zero_range(&file, start, effective)?;
             } else {
                 return Err(errno.into());

@@ -76,7 +76,8 @@ impl IoStats {
     /// Record a durability barrier that blocked for `wait_nanos`.
     pub fn record_fsync(&self, wait_nanos: u64) {
         self.fsync_calls.fetch_add(1, Ordering::Relaxed);
-        self.sync_wait_nanos.fetch_add(wait_nanos, Ordering::Relaxed);
+        self.sync_wait_nanos
+            .fetch_add(wait_nanos, Ordering::Relaxed);
     }
 
     /// Record an ordering-only barrier.

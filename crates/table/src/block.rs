@@ -263,6 +263,7 @@ impl BlockIter {
     /// # Errors
     ///
     /// Returns [`Error::Corruption`] on malformed entries.
+    #[allow(clippy::should_implement_trait)] // LevelDB-style fallible cursor
     pub fn next(&mut self) -> Result<()> {
         assert!(self.valid, "iterator not positioned");
         self.parse_next()?;
@@ -280,7 +281,7 @@ impl BlockIter {
         let mut left = 0usize;
         let mut right = self.block.num_restarts.saturating_sub(1);
         while left < right {
-            let mid = (left + right + 1) / 2;
+            let mid = (left + right).div_ceil(2);
             let restart_offset = self.block.restart_point(mid);
             self.offset = restart_offset;
             self.key.clear();

@@ -290,11 +290,8 @@ mod tests {
         for t in 0..4u32 {
             let mut builder = TableBuilder::new(file.as_mut(), TableFormat::default());
             for i in 0..50u32 {
-                let key = make_internal_key(
-                    format!("t{t}-key{i:04}").as_bytes(),
-                    1,
-                    ValueType::Value,
-                );
+                let key =
+                    make_internal_key(format!("t{t}-key{i:04}").as_bytes(), 1, ValueType::Value);
                 builder.add(&key, b"v").unwrap();
             }
             builts.push(builder.finish().unwrap());

@@ -227,8 +227,7 @@ mod tests {
         for t in 0..2u32 {
             let mut b = TableBuilder::new(file.as_mut(), TableFormat::default());
             for i in 0..20u32 {
-                let key =
-                    make_internal_key(format!("{t}/k{i:04}").as_bytes(), 1, ValueType::Value);
+                let key = make_internal_key(format!("{t}/k{i:04}").as_bytes(), 1, ValueType::Value);
                 b.add(&key, b"v").unwrap();
             }
             builts.push(b.finish().unwrap());

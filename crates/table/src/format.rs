@@ -118,11 +118,7 @@ pub fn frame_block(contents: &[u8]) -> Vec<u8> {
 ///
 /// Returns [`Error::Corruption`] on a short read, bad checksum, or unknown
 /// compression byte, and I/O errors from the file.
-pub fn read_block(
-    file: &dyn RandomAccessFile,
-    base: u64,
-    handle: BlockHandle,
-) -> Result<Vec<u8>> {
+pub fn read_block(file: &dyn RandomAccessFile, base: u64, handle: BlockHandle) -> Result<Vec<u8>> {
     let framed = file.read(
         base + handle.offset,
         handle.size as usize + BLOCK_TRAILER_SIZE,

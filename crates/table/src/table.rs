@@ -272,6 +272,7 @@ impl TableIter {
     /// # Panics
     ///
     /// Panics if not [`valid`](Self::valid).
+    #[allow(clippy::should_implement_trait)] // LevelDB-style fallible cursor
     pub fn next(&mut self) -> Result<()> {
         self.data_iter.as_mut().expect("positioned").next()?;
         self.skip_empty_blocks_forward()
@@ -321,8 +322,7 @@ mod tests {
         file.sync().unwrap();
         drop(file);
         let file = env.new_random_access_file(path).unwrap();
-        let table =
-            Table::open(file, built.offset, built.size, 1, read_options(None)).unwrap();
+        let table = Table::open(file, built.offset, built.size, 1, read_options(None)).unwrap();
         (Arc::new(table), built.size)
     }
 
@@ -357,9 +357,8 @@ mod tests {
         file.sync().unwrap();
         drop(file);
         let file = env.new_random_access_file("t").unwrap();
-        let table = Arc::new(
-            Table::open(file, built.offset, built.size, 1, read_options(None)).unwrap(),
-        );
+        let table =
+            Arc::new(Table::open(file, built.offset, built.size, 1, read_options(None)).unwrap());
 
         // Snapshot 40 sees the newest version.
         let (_, v) = table.internal_get(&lookup_key(b"k", 40)).unwrap().unwrap();
@@ -413,11 +412,8 @@ mod tests {
         for t in 0..3u32 {
             let mut builder = TableBuilder::new(file.as_mut(), TableFormat::default());
             for i in 0..100u32 {
-                let key = make_internal_key(
-                    format!("t{t}/key{i:05}").as_bytes(),
-                    5,
-                    ValueType::Value,
-                );
+                let key =
+                    make_internal_key(format!("t{t}/key{i:05}").as_bytes(), 5, ValueType::Value);
                 builder.add(&key, format!("{t}-{i}").as_bytes()).unwrap();
             }
             builts.push(builder.finish().unwrap());

@@ -57,8 +57,7 @@ fn build_and_check(
 
     assert_eq!(built.offset, prefix_junk as u64);
     let file = env.new_random_access_file("t").unwrap();
-    let table =
-        Arc::new(Table::open(file, built.offset, built.size, 1, read_options()).unwrap());
+    let table = Arc::new(Table::open(file, built.offset, built.size, 1, read_options()).unwrap());
 
     // Every entry found by point lookup.
     for (key, value) in entries {

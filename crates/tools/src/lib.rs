@@ -425,8 +425,11 @@ mod tests {
     fn seed_db(env: &Arc<dyn Env>, opts: &Options) {
         let db = Db::open(Arc::clone(env), "db", opts.clone()).unwrap();
         for i in 0..2000u32 {
-            db.put(format!("key{i:05}").as_bytes(), format!("value{i}").as_bytes())
-                .unwrap();
+            db.put(
+                format!("key{i:05}").as_bytes(),
+                format!("value{i}").as_bytes(),
+            )
+            .unwrap();
         }
         db.flush().unwrap();
         db.compact_until_quiet().unwrap();

@@ -68,10 +68,7 @@ fn main() -> ExitCode {
         "dump-tables" => bolt_tools::dump_tables(&env, &db, opts).map(Some),
         "scan" => {
             let start = args.get(2).cloned().unwrap_or_default();
-            let limit = args
-                .get(3)
-                .and_then(|s| s.parse().ok())
-                .unwrap_or(100usize);
+            let limit = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(100usize);
             bolt_tools::scan(&env, &db, opts, start.as_bytes(), limit).map(Some)
         }
         "get" => match args.get(2) {

@@ -57,9 +57,18 @@ impl RecordType {
 }
 
 /// Appends framed records to a [`WritableFile`].
+///
+/// The writer tracks how many bytes have been made durable so that
+/// [`LogWriter::sync`] is idempotent: a sync with no bytes appended since
+/// the previous one is elided entirely. This is what lets a group-commit
+/// leader answer several `sync`-requesting writers with a single barrier.
 pub struct LogWriter {
     file: Box<dyn WritableFile>,
     block_offset: usize,
+    /// File length as of the last completed [`LogWriter::sync`]. Starts at 0
+    /// even for reopened files: durability of pre-existing bytes is unknown,
+    /// so the first sync always reaches the device.
+    synced_len: u64,
 }
 
 impl std::fmt::Debug for LogWriter {
@@ -75,7 +84,11 @@ impl LogWriter {
     /// Wrap a (new or reopened) file; resumes mid-block when appending.
     pub fn new(file: Box<dyn WritableFile>) -> Self {
         let block_offset = (file.len() % BLOCK_SIZE as u64) as usize;
-        LogWriter { file, block_offset }
+        LogWriter {
+            file,
+            block_offset,
+            synced_len: 0,
+        }
     }
 
     /// Append one record (any size, including empty).
@@ -127,13 +140,25 @@ impl LogWriter {
         Ok(())
     }
 
-    /// Full durability barrier on the log file.
+    /// Full durability barrier on the log file. Elided (no device barrier)
+    /// when nothing was appended since the last sync.
     ///
     /// # Errors
     ///
     /// Returns an I/O error from the underlying file.
     pub fn sync(&mut self) -> Result<()> {
-        self.file.sync()
+        let len = self.file.len();
+        if len == self.synced_len {
+            return Ok(());
+        }
+        self.file.sync()?;
+        self.synced_len = len;
+        Ok(())
+    }
+
+    /// Bytes appended since the last completed [`LogWriter::sync`].
+    pub fn unsynced_bytes(&self) -> u64 {
+        self.file.len() - self.synced_len
     }
 
     /// Ordering-only barrier (see [`WritableFile::ordering_barrier`]).
@@ -373,7 +398,7 @@ mod tests {
         writer.add_record(b"one").unwrap();
         writer.add_record(b"two").unwrap();
         writer.sync().unwrap();
-        writer.add_record(&vec![5u8; 100]).unwrap(); // never synced
+        writer.add_record(&[5u8; 100]).unwrap(); // never synced
         drop(writer);
 
         env.crash(CrashConfig::TornTail { seed: 7 });
@@ -455,6 +480,39 @@ mod tests {
         assert_eq!(records.len(), 2);
         assert_eq!(records[0], vec![1u8; 1000]);
         assert_eq!(records[1], vec![2u8; BLOCK_SIZE]);
+    }
+
+    #[test]
+    fn redundant_syncs_are_elided() {
+        let env = MemEnv::new();
+        let mut writer = LogWriter::new(env.new_writable_file("log").unwrap());
+        writer.add_record(b"rec").unwrap();
+        assert!(writer.unsynced_bytes() > 0);
+        writer.sync().unwrap();
+        assert_eq!(writer.unsynced_bytes(), 0);
+        let after_first = env.stats().fsync_calls();
+        // No new bytes: these must not reach the device.
+        writer.sync().unwrap();
+        writer.sync().unwrap();
+        assert_eq!(env.stats().fsync_calls(), after_first);
+        // New bytes: the barrier is real again.
+        writer.add_record(b"more").unwrap();
+        writer.sync().unwrap();
+        assert_eq!(env.stats().fsync_calls(), after_first + 1);
+    }
+
+    #[test]
+    fn reopened_log_first_sync_is_never_elided() {
+        let env = MemEnv::new();
+        let mut writer = LogWriter::new(env.new_writable_file("log").unwrap());
+        writer.add_record(b"one").unwrap();
+        writer.sync().unwrap();
+        drop(writer);
+        // Reopened: durability of existing bytes is unknown to the writer.
+        let mut writer = LogWriter::new(env.new_appendable_file("log").unwrap());
+        let before = env.stats().fsync_calls();
+        writer.sync().unwrap();
+        assert_eq!(env.stats().fsync_calls(), before + 1);
     }
 
     #[test]

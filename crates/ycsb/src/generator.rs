@@ -240,10 +240,7 @@ mod tests {
         let counts = histogram_of(&mut Latest::new(1000), 1000, 100_000);
         let newest: u64 = counts[990..].iter().sum();
         let oldest: u64 = counts[..10].iter().sum();
-        assert!(
-            newest > oldest * 50,
-            "newest {newest} vs oldest {oldest}"
-        );
+        assert!(newest > oldest * 50, "newest {newest} vs oldest {oldest}");
     }
 
     #[test]

@@ -232,7 +232,11 @@ mod tests {
             Workload::f(),
         ] {
             let total = w.read + w.update + w.insert + w.scan + w.read_modify_write;
-            assert!((total - 1.0).abs() < 1e-9, "workload {} sums to {total}", w.name);
+            assert!(
+                (total - 1.0).abs() < 1e-9,
+                "workload {} sums to {total}",
+                w.name
+            );
         }
     }
 

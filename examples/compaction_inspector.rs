@@ -14,7 +14,11 @@ use bolt_env::{Env, MemEnv};
 
 fn main() -> bolt::Result<()> {
     let env: Arc<dyn Env> = Arc::new(MemEnv::new());
-    let db = Db::open(Arc::clone(&env), "inspect-db", Options::bolt().scaled(1.0 / 64.0))?;
+    let db = Db::open(
+        Arc::clone(&env),
+        "inspect-db",
+        Options::bolt().scaled(1.0 / 64.0),
+    )?;
 
     // Load a few disjoint key ranges in rounds so settled compaction finds
     // zero-overlap victims.
@@ -45,8 +49,7 @@ fn main() -> bolt::Result<()> {
     let mut multi_level_files = 0;
     for (file, mut tables) in by_file {
         tables.sort_by_key(|t| t.2);
-        let levels: std::collections::BTreeSet<usize> =
-            tables.iter().map(|t| t.0).collect();
+        let levels: std::collections::BTreeSet<usize> = tables.iter().map(|t| t.0).collect();
         if levels.len() > 1 {
             multi_level_files += 1;
         }
@@ -72,9 +75,7 @@ fn main() -> bolt::Result<()> {
         "\nsettled moves: {} (logical SSTables promoted without rewriting)",
         stats.settled_moves
     );
-    println!(
-        "compaction files with logical tables on >1 level: {multi_level_files}"
-    );
+    println!("compaction files with logical tables on >1 level: {multi_level_files}");
     println!(
         "holes punched: {} ({} KB reclaimed lazily, no barrier)",
         io.holes_punched,
@@ -85,6 +86,25 @@ fn main() -> bolt::Result<()> {
         io.fsync_calls,
         io.bytes_written / (1 << 20),
         stats.write_amplification(io.bytes_written)
+    );
+    let queue_wait = db.stats().queue_wait();
+    println!(
+        "write pipeline: {} batches in {} commit groups ({:.2} batches/group)",
+        stats.group_batches,
+        stats.write_groups,
+        stats.batches_per_group()
+    );
+    println!(
+        "WAL barriers: {} issued, {} elided by group commit ({:.3} per batch)",
+        stats.wal_syncs,
+        stats.wal_syncs_elided,
+        stats.wal_syncs_per_batch()
+    );
+    println!(
+        "writer queue wait: p50 {} ns, p99 {} ns, max {} ns",
+        queue_wait.percentile(50.0),
+        queue_wait.percentile(99.0),
+        queue_wait.max()
     );
     db.close()?;
     Ok(())

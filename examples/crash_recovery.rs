@@ -56,7 +56,9 @@ fn main() -> bolt::Result<()> {
 
         // Crash with a torn tail (partial unsynced bytes survive).
         drop(db);
-        mem_env.crash(CrashConfig::TornTail { seed: epoch * 31 + 7 });
+        mem_env.crash(CrashConfig::TornTail {
+            seed: epoch * 31 + 7,
+        });
         println!(
             "epoch {epoch}: crashed with {} durable keys — recovery verified",
             durable.len()

@@ -1,0 +1,265 @@
+//! Offline stand-in for the `criterion` crate. The build environment has no
+//! crates-io access, so the workspace vendors the API subset its benches use
+//! (see `shims/README.md`): `Criterion`, `benchmark_group` with
+//! `throughput` / `sample_size` / `measurement_time` / `bench_function` /
+//! `finish`, `Bencher::iter` / `iter_custom`, `black_box`, `Throughput`,
+//! and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is intentionally simple: calibrate the per-iteration cost,
+//! scale the iteration count to fill the measurement window, and report the
+//! mean. No warm-up discard, outlier rejection, or statistics — numbers are
+//! indicative, which is all an offline smoke harness can promise. Passing
+//! `--test` (as `cargo test --benches` does) runs each benchmark exactly
+//! once as a smoke test.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Units for reporting per-iteration throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// The benchmark driver handed to every `criterion_group!` target.
+pub struct Criterion {
+    measurement_time: Duration,
+    smoke_test: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            // Short by default: this shim reports indicative means, so long
+            // windows only slow the suite down.
+            measurement_time: Duration::from_millis(200),
+            smoke_test: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            measurement_time: None,
+        }
+    }
+
+    /// Run a standalone benchmark (no group).
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let time = self.measurement_time;
+        let smoke = self.smoke_test;
+        run_benchmark(id, None, time, smoke, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing throughput/timing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Report throughput alongside iteration time.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; this shim sizes runs by time alone.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Override how long each benchmark in the group measures.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = Some(time);
+        self
+    }
+
+    /// Measure one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_id = format!("{}/{}", self.name, id.as_ref());
+        let time = self
+            .measurement_time
+            .unwrap_or(self.criterion.measurement_time);
+        run_benchmark(
+            &full_id,
+            self.throughput,
+            time,
+            self.criterion.smoke_test,
+            f,
+        );
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` calls of `f`.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Let the closure time itself: it receives the iteration count and
+    /// returns the duration spent on the measured region only.
+    pub fn iter_custom<F>(&mut self, mut f: F)
+    where
+        F: FnMut(u64) -> Duration,
+    {
+        self.elapsed = f(self.iters);
+    }
+}
+
+fn run_benchmark<F>(
+    id: &str,
+    throughput: Option<Throughput>,
+    measurement_time: Duration,
+    smoke_test: bool,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    if smoke_test {
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        println!("{id}: smoke-tested");
+        return;
+    }
+
+    // Calibrate: grow the iteration count until a sample is long enough to
+    // trust, then scale it to fill the measurement window.
+    let mut iters: u64 = 1;
+    let per_iter = loop {
+        let mut bencher = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        if bencher.elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+            break bencher.elapsed.as_secs_f64() / iters as f64;
+        }
+        iters *= 8;
+    };
+    let target = ((measurement_time.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 1 << 32);
+    let mut bencher = Bencher {
+        iters: target,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+
+    let mean_ns = bencher.elapsed.as_secs_f64() * 1e9 / bencher.iters.max(1) as f64;
+    let rate =
+        |count: u64| count as f64 * bencher.iters as f64 / bencher.elapsed.as_secs_f64().max(1e-12);
+    match throughput {
+        Some(Throughput::Bytes(bytes)) => println!(
+            "{id}: {mean_ns:.1} ns/iter ({:.1} MiB/s)",
+            rate(bytes) / (1024.0 * 1024.0)
+        ),
+        Some(Throughput::Elements(elems)) => {
+            println!("{id}: {mean_ns:.1} ns/iter ({:.0} elem/s)", rate(elems))
+        }
+        None => println!("{id}: {mean_ns:.1} ns/iter"),
+    }
+}
+
+/// Bundle benchmark functions into a group runner, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_and_scales() {
+        let mut bencher = Bencher {
+            iters: 100,
+            elapsed: Duration::ZERO,
+        };
+        let mut count = 0u64;
+        bencher.iter(|| count += 1);
+        assert_eq!(count, 100);
+        assert!(bencher.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn iter_custom_takes_reported_time() {
+        let mut bencher = Bencher {
+            iters: 7,
+            elapsed: Duration::ZERO,
+        };
+        bencher.iter_custom(|iters| Duration::from_nanos(iters * 3));
+        assert_eq!(bencher.elapsed, Duration::from_nanos(21));
+    }
+
+    #[test]
+    fn groups_run_their_benchmarks() {
+        let mut criterion = Criterion {
+            measurement_time: Duration::from_millis(1),
+            smoke_test: false,
+        };
+        let mut group = criterion.benchmark_group("g");
+        group
+            .throughput(Throughput::Bytes(64))
+            .bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+}

@@ -1,0 +1,69 @@
+//! Collection strategies: `vec` and `btree_map`.
+
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+
+/// Strategy for `Vec`s with lengths drawn from `size`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// Vectors of `element` values with a length in `size`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty vec size range");
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.end - self.size.start) as u64;
+        let len = self.size.start + rng.below(span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeMap`s with sizes drawn from `size`.
+pub struct BTreeMapStrategy<K, V> {
+    keys: K,
+    values: V,
+    size: Range<usize>,
+}
+
+/// Maps of `keys` to `values` with a size in `size` (duplicate keys are
+/// re-drawn, so small key spaces may cap out below the requested size).
+pub fn btree_map<K, V>(keys: K, values: V, size: Range<usize>) -> BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    assert!(size.start < size.end, "empty btree_map size range");
+    BTreeMapStrategy { keys, values, size }
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let span = (self.size.end - self.size.start) as u64;
+        let target = self.size.start + rng.below(span) as usize;
+        let mut map = BTreeMap::new();
+        // Collisions only shrink the map below target; bound the retries so
+        // tiny key spaces (e.g. `any::<bool>()`) still terminate.
+        let mut attempts = target * 8 + 32;
+        while map.len() < target && attempts > 0 {
+            map.insert(self.keys.generate(rng), self.values.generate(rng));
+            attempts -= 1;
+        }
+        map
+    }
+}

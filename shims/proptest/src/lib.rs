@@ -1,0 +1,231 @@
+//! Offline stand-in for the `proptest` crate. The build environment has no
+//! crates-io access, so the workspace vendors the API subset its property
+//! tests use (see `shims/README.md`): [`Strategy`] with `prop_map`,
+//! `any::<T>()`, `Just`, range strategies, tuple strategies,
+//! [`collection::vec`] / [`collection::btree_map`], `prop_oneof!`, the
+//! `proptest!` test macro, and the `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports the generated inputs via the
+//!   panic message's case number; re-running is deterministic (below).
+//! * **Deterministic seeding.** Case `i` of test `t` always draws from an
+//!   RNG seeded by `hash(module_path, t, i)`, so failures reproduce exactly
+//!   without a persistence file.
+//! * `prop_assert*` panic (like `assert*`) instead of returning `Err`, and
+//!   `prop_assume!` skips the rest of the case rather than resampling.
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+
+pub use strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+
+/// Deterministic xorshift64* generator driving all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// RNG for case `case` of the named test: same inputs, same stream.
+    pub fn deterministic(test_name: &str, case: u32) -> Self {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        test_name.hash(&mut hasher);
+        let seed = hasher
+            .finish()
+            .wrapping_add((case as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        // xorshift cannot leave the zero state.
+        Self(seed | 1)
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[0, bound)`; 0 when `bound` is 0.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Per-invocation configuration accepted by `proptest!`.
+///
+/// Only `cases` is honoured; `max_shrink_iters` is accepted for source
+/// compatibility (this shim never shrinks).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+    /// Ignored (no shrinking); present so existing configs compile.
+    pub max_shrink_iters: u32,
+    /// Ignored (no process isolation); present so existing configs compile.
+    pub fork: bool,
+    /// Ignored; present so existing configs compile.
+    pub verbose: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 32,
+            max_shrink_iters: 1024,
+            fork: false,
+            verbose: 0,
+        }
+    }
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )+
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let mut rng = $crate::TestRng::deterministic(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                    // A closure so `prop_assume!` can abort just this case.
+                    let case_fn = move || $body;
+                    let _ = case_fn();
+                }
+            }
+        )+
+    };
+}
+
+/// Weighted choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strategy))),+
+        ])
+    };
+}
+
+/// Assert a condition inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Assert equality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Assert inequality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+/// Skip the remainder of the current case when `cond` does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_case() {
+        let mut a = crate::TestRng::deterministic("t", 3);
+        let mut b = crate::TestRng::deterministic("t", 3);
+        let mut c = crate::TestRng::deterministic("t", 4);
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval() {
+        let mut rng = crate::TestRng::deterministic("f", 0);
+        for _ in 0..1000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn generated_vecs_respect_bounds(
+            items in crate::collection::vec(any::<u8>(), 2..10),
+            frac in 0.0f64..1.0,
+        ) {
+            prop_assert!(items.len() >= 2 && items.len() < 10);
+            prop_assert!((0.0..1.0).contains(&frac));
+        }
+
+        #[test]
+        fn oneof_and_map_produce_all_arms(seed in any::<u64>()) {
+            let strategy = prop_oneof![
+                3 => (any::<bool>(), 0u32..7).prop_map(|(b, n)| if b { n } else { n + 100 }),
+                1 => Just(42u32),
+            ];
+            let mut rng = crate::TestRng::deterministic("oneof", seed as u32 % 64);
+            let mut seen_just = false;
+            let mut seen_mapped = false;
+            for _ in 0..256 {
+                match crate::Strategy::generate(&strategy, &mut rng) {
+                    42 => seen_just = true,
+                    v => {
+                        prop_assert!(v < 7 || (100..107).contains(&v));
+                        seen_mapped = true;
+                    }
+                }
+            }
+            prop_assert!(seen_just && seen_mapped);
+        }
+
+        #[test]
+        fn btree_map_hits_requested_size(
+            map in crate::collection::btree_map(any::<u64>(), any::<u8>(), 5..9)
+        ) {
+            prop_assert!(map.len() >= 5 && map.len() < 9);
+        }
+
+        #[test]
+        fn assume_skips_case(n in 0u32..10) {
+            prop_assume!(n != 3);
+            prop_assert_ne!(n, 3);
+        }
+    }
+}

@@ -45,18 +45,16 @@
 pub use bolt_common::{Error, Result};
 pub use bolt_core::{
     BoltOptions, CompactionStyle, Db, DbIterator, DbStats, DbStatsSnapshot, LevelInfo, Options,
-    Snapshot, WriteBatch,
+    Snapshot, WriteBatch, WriteOptions,
 };
-pub use bolt_env::{
-    CrashConfig, DeviceModel, Env, IoSnapshot, IoStats, MemEnv, RealEnv, SimEnv,
-};
+pub use bolt_env::{CrashConfig, DeviceModel, Env, IoSnapshot, IoStats, MemEnv, RealEnv, SimEnv};
 
+/// Re-export of the shared-utilities crate.
+pub use bolt_common;
 /// Re-export of the engine crate.
 pub use bolt_core;
 /// Re-export of the storage substrate crate.
 pub use bolt_env;
-/// Re-export of the shared-utilities crate.
-pub use bolt_common;
 /// Re-export of the SSTable-format crate.
 pub use bolt_table;
 /// Re-export of the WAL crate.

@@ -101,7 +101,8 @@ fn bolt_crash_recovery_loop() {
         db.flush().unwrap();
         // Unsynced writes that may be lost.
         for i in 0..200u64 {
-            db.put(format!("volatile-{epoch}-{i}").as_bytes(), b"x").unwrap();
+            db.put(format!("volatile-{epoch}-{i}").as_bytes(), b"x")
+                .unwrap();
         }
         drop(db);
         mem_env.crash(bolt_env::CrashConfig::TornTail { seed: epoch });
@@ -121,19 +122,24 @@ fn bolt_flush_costs_two_barriers() {
     let env: Arc<dyn Env> = Arc::new(MemEnv::new());
     let db = Db::open(Arc::clone(&env), "db", Options::bolt().scaled(1.0 / 64.0)).unwrap();
     for i in 0..1000u32 {
-        db.put(format!("key{i:06}").as_bytes(), &[b'v'; 200]).unwrap();
+        db.put(format!("key{i:06}").as_bytes(), &[b'v'; 200])
+            .unwrap();
     }
     // Drain any automatic flushes, then stage fresh data below the
     // memtable limit so the measured flush is the only one.
     db.flush().unwrap();
     db.compact_until_quiet().unwrap();
     for i in 0..150u32 {
-        db.put(format!("fresh{i:06}").as_bytes(), &[b'w'; 200]).unwrap();
+        db.put(format!("fresh{i:06}").as_bytes(), &[b'w'; 200])
+            .unwrap();
     }
     let before = env.stats().fsync_calls();
     db.flush().unwrap();
     let cost = env.stats().fsync_calls() - before;
-    assert_eq!(cost, 2, "flush must cost compaction-file + MANIFEST barriers");
+    assert_eq!(
+        cost, 2,
+        "flush must cost compaction-file + MANIFEST barriers"
+    );
     // And it produced multiple logical SSTables inside one physical file.
     let version = db.current_version();
     let fresh: Vec<_> = version.levels[0]
@@ -146,7 +152,11 @@ fn bolt_flush_costs_two_barriers() {
         fresh.len()
     );
     let files: std::collections::HashSet<u64> = fresh.iter().map(|t| t.file_number).collect();
-    assert_eq!(files.len(), 1, "all logical SSTables share one compaction file");
+    assert_eq!(
+        files.len(),
+        1,
+        "all logical SSTables share one compaction file"
+    );
     db.close().unwrap();
 }
 
@@ -159,7 +169,8 @@ fn barrier_counts_order_leveldb_gt_bolt() {
         let env: Arc<dyn Env> = Arc::new(MemEnv::new());
         let db = Db::open(Arc::clone(&env), "db", opts.scaled(1.0 / 256.0)).unwrap();
         for i in 0..6000u32 {
-            db.put(format!("key{i:06}").as_bytes(), &[b'v'; 120]).unwrap();
+            db.put(format!("key{i:06}").as_bytes(), &[b'v'; 120])
+                .unwrap();
         }
         db.flush().unwrap();
         db.compact_until_quiet().unwrap();
@@ -207,9 +218,9 @@ fn settled_moves_preserve_physical_location() {
     let version = db.current_version();
     for (level, _, table) in version.all_tables() {
         let path = format!("db/{:06}.sst", table.file_number);
-        let size = env.file_size(&path).unwrap_or_else(|_| {
-            panic!("level {level} table {} file missing", table.table_id)
-        });
+        let size = env
+            .file_size(&path)
+            .unwrap_or_else(|_| panic!("level {level} table {} file missing", table.table_id));
         assert!(
             table.offset + table.size <= size,
             "table {} out of bounds",
@@ -251,11 +262,7 @@ fn hole_punching_never_corrupts_live_tables() {
     );
     for i in 0..2_000u32 {
         let k = format!("key{i:05}");
-        assert_eq!(
-            db.get(k.as_bytes()).unwrap(),
-            Some(vec![b'h'; 100]),
-            "{k}"
-        );
+        assert_eq!(db.get(k.as_bytes()).unwrap(), Some(vec![b'h'; 100]), "{k}");
     }
     db.close().unwrap();
 }
@@ -304,7 +311,12 @@ fn snapshots_survive_compactions() {
 fn cross_profile_reopen() {
     let env: Arc<dyn Env> = Arc::new(MemEnv::new());
     {
-        let db = Db::open(Arc::clone(&env), "db", Options::leveldb().scaled(1.0 / 256.0)).unwrap();
+        let db = Db::open(
+            Arc::clone(&env),
+            "db",
+            Options::leveldb().scaled(1.0 / 256.0),
+        )
+        .unwrap();
         for i in 0..2000u32 {
             db.put(format!("key{i:05}").as_bytes(), format!("v{i}").as_bytes())
                 .unwrap();
@@ -326,5 +338,116 @@ fn cross_profile_reopen() {
     let db = Db::open(env, "db", Options::pebblesdb().scaled(1.0 / 256.0)).unwrap();
     assert_eq!(db.get(b"key00042").unwrap(), Some(b"v42".to_vec()));
     assert_eq!(db.get(b"key02500").unwrap(), Some(b"v2500".to_vec()));
+    db.close().unwrap();
+}
+
+/// The write pipeline under contention: eight synced writers must share
+/// WAL barriers through group commit (strictly fewer barriers than
+/// batches), keep published sequences monotonic, and never lose or tear an
+/// acknowledged batch — including across a torn crash that cuts an
+/// unsynced group mid-record.
+#[test]
+fn concurrent_writers_group_commit_and_recover() {
+    use bolt::{WriteBatch, WriteOptions};
+    use bolt_env::{CrashConfig, DeviceModel, SimEnv};
+
+    const WRITERS: usize = 8;
+    const BATCHES: u32 = 40;
+
+    // A device where the barrier is the dominant cost, so writers queue
+    // behind the leader's sync and groups actually form.
+    let model = DeviceModel {
+        barrier_latency: std::time::Duration::from_micros(200),
+        ..DeviceModel::fast_test()
+    };
+    let sim_env = Arc::new(SimEnv::new(model));
+    let env: Arc<dyn Env> = Arc::clone(&sim_env) as Arc<dyn Env>;
+    let mut opts = Options::bolt();
+    opts.sync_wal = true;
+    let db = Arc::new(Db::open(Arc::clone(&env), "db", opts.clone()).unwrap());
+
+    let threads: Vec<_> = (0..WRITERS)
+        .map(|t| {
+            let db = Arc::clone(&db);
+            std::thread::spawn(move || {
+                let mut last_seq = 0u64;
+                for i in 0..BATCHES {
+                    let mut batch = WriteBatch::new();
+                    let value = format!("{t}-{i}");
+                    batch.put(format!("t{t}/b{i:03}/a").as_bytes(), value.as_bytes());
+                    batch.put(format!("t{t}/b{i:03}/b").as_bytes(), value.as_bytes());
+                    // sync_wal = true: the batch is durable when this returns.
+                    db.write(batch).unwrap();
+                    let seq = db.snapshot().sequence();
+                    assert!(
+                        seq >= last_seq + 2,
+                        "writer {t}: sequence {seq} after batch {i} did not \
+                         advance past {last_seq} by the batch's two entries"
+                    );
+                    last_seq = seq;
+                }
+            })
+        })
+        .collect();
+    for thread in threads {
+        thread.join().unwrap();
+    }
+
+    let stats = db.stats().snapshot();
+    assert_eq!(stats.group_batches, (WRITERS as u64) * u64::from(BATCHES));
+    assert!(
+        stats.wal_syncs < stats.group_batches,
+        "expected < 1 barrier per committed batch, got {} syncs for {} batches",
+        stats.wal_syncs,
+        stats.group_batches
+    );
+    assert!(
+        stats.wal_syncs_elided > 0,
+        "no batch ever rode another's barrier: {stats:?}"
+    );
+    assert!(stats.batches_per_group() > 1.0, "no grouping: {stats:?}");
+
+    // Unsynced tail the crash below may cut mid-group. A torn WAL record
+    // drops the whole group, so each batch must stay all-or-nothing.
+    for i in 0..20u32 {
+        let mut batch = WriteBatch::new();
+        batch.put(format!("post/b{i:02}/a").as_bytes(), b"pa");
+        batch.put(format!("post/b{i:02}/b").as_bytes(), b"pb");
+        db.write_opt(batch, &WriteOptions::with_sync(false))
+            .unwrap();
+    }
+
+    // Die without close() (which would sync the tail), then tear it.
+    std::mem::forget(db);
+    sim_env.crash(CrashConfig::TornTail { seed: 7 });
+
+    let db = Db::open(env, "db", opts).unwrap();
+    for t in 0..WRITERS {
+        for i in 0..BATCHES {
+            let value = Some(format!("{t}-{i}").into_bytes());
+            assert_eq!(
+                db.get(format!("t{t}/b{i:03}/a").as_bytes()).unwrap(),
+                value,
+                "acknowledged synced batch t{t}/b{i} lost its first key"
+            );
+            assert_eq!(
+                db.get(format!("t{t}/b{i:03}/b").as_bytes()).unwrap(),
+                value,
+                "acknowledged synced batch t{t}/b{i} lost its second key"
+            );
+        }
+    }
+    for i in 0..20u32 {
+        let a = db.get(format!("post/b{i:02}/a").as_bytes()).unwrap();
+        let b = db.get(format!("post/b{i:02}/b").as_bytes()).unwrap();
+        match (&a, &b) {
+            (Some(av), Some(bv)) => {
+                assert_eq!(av, b"pa");
+                assert_eq!(bv, b"pb");
+            }
+            (None, None) => {}
+            _ => panic!("torn batch post/b{i:02}: a={a:?} b={b:?}"),
+        }
+    }
     db.close().unwrap();
 }

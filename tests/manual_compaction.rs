@@ -12,11 +12,8 @@ fn tiny(opts: Options) -> Options {
 
 fn seed(db: &Db, prefix: &str, n: u32) {
     for i in 0..n {
-        db.put(
-            format!("{prefix}{i:05}").as_bytes(),
-            &[b'v'; 100],
-        )
-        .unwrap();
+        db.put(format!("{prefix}{i:05}").as_bytes(), &[b'v'; 100])
+            .unwrap();
     }
 }
 
