@@ -2,7 +2,7 @@
 //!
 //! The paper configures "bloom filters ... with 10 bloom bits, 1% of
 //! false-positive rate, as is commonly used in industry" — the default
-//! [`BloomFilterPolicy::new(10)`] reproduces exactly that.
+//! [`BloomFilterPolicy::new`]`(10)` reproduces exactly that.
 
 /// Double-hashing bloom filter builder/matcher (LevelDB `util/bloom.cc`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

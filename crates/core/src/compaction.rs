@@ -493,7 +493,7 @@ mod tests {
         }
         let mut builder = VersionBuilder::new(icmp(), Arc::new(Version::empty(7)));
         builder.apply(&edit);
-        builder.build()
+        builder.build().unwrap()
     }
 
     #[test]

@@ -577,6 +577,11 @@ impl Db {
         &self.inner.env
     }
 
+    /// The database directory name this instance was opened with.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
     /// TableCache open-count and hit statistics.
     pub fn table_cache(&self) -> &TableCache {
         &self.inner.table_cache
@@ -1168,43 +1173,56 @@ impl DbInner {
             let target = self.opts.output_table_bytes();
             let mut sink = OutputSink::new(self, self.opts.bolt_options().is_some(), target);
 
-            if task.fragmented {
-                let children: Vec<Box<dyn InternalIterator>> = task
-                    .input_runs
-                    .iter()
-                    .filter(|r| !r.is_empty())
-                    .map(|r| self.run_iter(r.clone()))
-                    .collect();
-                let mut merged = MergingIter::new(self.icmp.clone(), children);
-                merged.seek_to_first()?;
-                let mut filter = DropFilter::new(smallest_snapshot);
-                // Fragmented tombstones must survive unless no run at or
-                // below the output level can hold the key.
-                sink.write_run(&mut merged, Some(&mut filter), &version, output_level, true)?;
-            } else {
-                for cluster in clusters(&self.icmp, &task) {
-                    let mut children: Vec<Box<dyn InternalIterator>> = cluster
+            let built = (|| -> Result<Vec<(u64, BuiltTable)>> {
+                if task.fragmented {
+                    let children: Vec<Box<dyn InternalIterator>> = task
                         .input_runs
                         .iter()
                         .filter(|r| !r.is_empty())
                         .map(|r| self.run_iter(r.clone()))
                         .collect();
-                    if !cluster.next_inputs.is_empty() {
-                        children.push(self.run_iter(cluster.next_inputs.clone()));
-                    }
                     let mut merged = MergingIter::new(self.icmp.clone(), children);
                     merged.seek_to_first()?;
                     let mut filter = DropFilter::new(smallest_snapshot);
-                    sink.write_run(
-                        &mut merged,
-                        Some(&mut filter),
-                        &version,
-                        output_level,
-                        false,
-                    )?;
+                    // Fragmented tombstones must survive unless no run at or
+                    // below the output level can hold the key.
+                    sink.write_run(&mut merged, Some(&mut filter), &version, output_level, true)?;
+                } else {
+                    for cluster in clusters(&self.icmp, &task) {
+                        let mut children: Vec<Box<dyn InternalIterator>> = cluster
+                            .input_runs
+                            .iter()
+                            .filter(|r| !r.is_empty())
+                            .map(|r| self.run_iter(r.clone()))
+                            .collect();
+                        if !cluster.next_inputs.is_empty() {
+                            children.push(self.run_iter(cluster.next_inputs.clone()));
+                        }
+                        let mut merged = MergingIter::new(self.icmp.clone(), children);
+                        merged.seek_to_first()?;
+                        let mut filter = DropFilter::new(smallest_snapshot);
+                        sink.write_run(
+                            &mut merged,
+                            Some(&mut filter),
+                            &version,
+                            output_level,
+                            false,
+                        )?;
+                    }
                 }
-            }
-            outputs = sink.finish()?;
+                sink.finish()
+            })();
+            outputs = match built {
+                Ok(outputs) => outputs,
+                Err(e) => {
+                    // Nothing references these outputs yet (no MANIFEST
+                    // append has happened); reclaim them so an I/O error
+                    // mid-compaction cannot leak partial files or pending
+                    // marks that would block garbage collection forever.
+                    sink.abandon();
+                    return Err(e);
+                }
+            };
         }
 
         {
@@ -1337,8 +1355,15 @@ impl DbInner {
     ) -> Result<Vec<(u64, BuiltTable)>> {
         let mut sink = OutputSink::new(self, self.opts.bolt_options().is_some(), target);
         let version = Version::empty(self.opts.num_levels);
-        sink.write_run(iter, None, &version, usize::MAX, false)?;
-        sink.finish()
+        let result = sink
+            .write_run(iter, None, &version, usize::MAX, false)
+            .and_then(|()| sink.finish());
+        if result.is_err() {
+            // Nothing references these outputs yet; reclaim them so an I/O
+            // error mid-flush cannot leak partially written files.
+            sink.abandon();
+        }
+        result
     }
 
     // ------------------------------------------------------------------
@@ -1456,6 +1481,8 @@ struct OutputSink<'a> {
     target: u64,
     file: Option<(u64, Box<dyn bolt_env::WritableFile>)>,
     outputs: Vec<(u64, BuiltTable)>,
+    /// Every file number this sink created, for cleanup on failure.
+    created: Vec<u64>,
 }
 
 impl<'a> OutputSink<'a> {
@@ -1466,6 +1493,7 @@ impl<'a> OutputSink<'a> {
             target,
             file: None,
             outputs: Vec::new(),
+            created: Vec::new(),
         }
     }
 
@@ -1477,6 +1505,7 @@ impl<'a> OutputSink<'a> {
                 versions.mark_pending(n);
                 n
             };
+            self.created.push(number);
             let file = self
                 .inner
                 .env
@@ -1484,6 +1513,26 @@ impl<'a> OutputSink<'a> {
             self.file = Some((number, file));
         }
         Ok(())
+    }
+
+    /// Undo a failed build: delete every file this sink created and release
+    /// its pending marks so garbage collection is not blocked forever.
+    ///
+    /// Safe only because none of these outputs has been named in a MANIFEST
+    /// append yet — once a VersionEdit referencing them is appended, the
+    /// record may commit despite a sync error (a torn-tail crash can retain
+    /// it), so from that point the files must be preserved.
+    fn abandon(&mut self) {
+        self.file = None;
+        let mut versions = self.inner.versions.lock();
+        for number in self.created.drain(..) {
+            let _ = self
+                .inner
+                .env
+                .delete_file(&table_file(&self.inner.name, number));
+            versions.clear_pending(number);
+        }
+        self.outputs.clear();
     }
 
     fn sync_file(inner: &DbInner, file: &mut dyn bolt_env::WritableFile) -> Result<()> {
@@ -1568,7 +1617,7 @@ impl<'a> OutputSink<'a> {
     }
 
     /// Sync any shared compaction file and return the outputs.
-    fn finish(mut self) -> Result<Vec<(u64, BuiltTable)>> {
+    fn finish(&mut self) -> Result<Vec<(u64, BuiltTable)>> {
         if let Some((number, mut file)) = self.file.take() {
             if file.is_empty() {
                 // Never written: drop the empty file.
@@ -1582,7 +1631,7 @@ impl<'a> OutputSink<'a> {
                 Self::sync_file(self.inner, file.as_mut())?;
             }
         }
-        Ok(self.outputs)
+        Ok(std::mem::take(&mut self.outputs))
     }
 }
 

@@ -470,7 +470,14 @@ impl VersionBuilder {
     }
 
     /// Produce the resulting version.
-    pub fn build(self) -> Version {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corruption`] if the resulting shape is invalid
+    /// (overlapping tables within one run) — the edit sequence being applied
+    /// was never a real engine state, e.g. a MANIFEST interleaving
+    /// committed and uncommitted edits.
+    pub fn build(self) -> Result<Version> {
         let num_levels = self.base.levels.len();
         let mut version = Version::empty(num_levels);
         // (level, tag) -> tables
@@ -501,20 +508,22 @@ impl VersionBuilder {
                 continue;
             }
             tables.sort_by(|a, b| icmp.compare(&a.smallest, &b.smallest));
-            debug_assert!(
-                tables.windows(2).all(|w| icmp
-                    .user_comparator()
+            if !tables.windows(2).all(|w| {
+                icmp.user_comparator()
                     .compare(w[0].largest_user_key(), w[1].smallest_user_key())
-                    .is_lt()),
-                "run {tag} at level {level} has overlapping tables"
-            );
+                    .is_lt()
+            }) {
+                return Err(Error::corruption(format!(
+                    "run {tag} at level {level} has overlapping tables"
+                )));
+            }
             version.levels[level].runs.push(Run { tag, tables });
         }
         // Newest runs first.
         for state in &mut version.levels {
             state.runs.sort_by_key(|run| std::cmp::Reverse(run.tag));
         }
-        version
+        Ok(version)
     }
 }
 
@@ -575,7 +584,7 @@ mod tests {
         edit.added_tables.push((1, 0, meta(4, b"d", b"f")));
         let mut builder = VersionBuilder::new(icmp(), base);
         builder.apply(&edit);
-        let v1 = Arc::new(builder.build());
+        let v1 = Arc::new(builder.build().unwrap());
         assert_eq!(v1.levels[0].num_runs(), 2);
         assert_eq!(v1.levels[0].runs[0].tag, 2, "newest run first");
         assert_eq!(v1.levels[1].num_runs(), 1);
@@ -588,7 +597,7 @@ mod tests {
         edit2.added_tables.push((2, 0, meta(4, b"d", b"f")));
         let mut builder = VersionBuilder::new(icmp(), Arc::clone(&v1));
         builder.apply(&edit2);
-        let v2 = builder.build();
+        let v2 = builder.build().unwrap();
         assert_eq!(v2.levels[0].num_runs(), 1);
         assert_eq!(v2.levels[1].num_tables(), 1);
         assert_eq!(v2.levels[2].num_tables(), 1);
@@ -625,7 +634,7 @@ mod tests {
         edit.added_tables.push((0, 3, meta(3, b"p", b"q")));
         let mut builder = VersionBuilder::new(icmp(), base);
         builder.apply(&edit);
-        let v = builder.build();
+        let v = builder.build().unwrap();
         let overlapping = v.overlapping_tables(&icmp(), 0, b"e", b"g");
         let mut ids: Vec<u64> = overlapping.iter().map(|t| t.table_id).collect();
         ids.sort();
@@ -641,7 +650,7 @@ mod tests {
         edit.added_tables.push((1, 0, meta(2, b"d", b"f")));
         let mut builder = VersionBuilder::new(icmp(), base);
         builder.apply(&edit);
-        let v = builder.build();
+        let v = builder.build().unwrap();
         assert_eq!(v.levels[1].size(), 2 << 20);
         assert_eq!(v.num_tables(), 2);
     }

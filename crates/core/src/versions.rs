@@ -168,12 +168,28 @@ impl VersionSet {
             self.compact_pointer[*level as usize] = Some(key.clone());
         }
 
-        let manifest = self
-            .manifest
-            .as_mut()
-            .ok_or_else(|| Error::InvalidState("version set not initialized".into()))?;
-        manifest.add_record(&edit.encode())?;
-        manifest.sync()?;
+        let manifest = self.manifest.as_mut().ok_or_else(|| {
+            Error::InvalidState(
+                "MANIFEST unavailable (not initialized, or poisoned by an earlier I/O error)"
+                    .into(),
+            )
+        })?;
+        if let Err(e) = manifest
+            .add_record(&edit.encode())
+            .and_then(|()| manifest.sync())
+        {
+            // The MANIFEST now holds an appended-but-uncommitted (or torn)
+            // record that this VersionSet never applied. Appending anything
+            // after it would be disastrous on two fronts: a later successful
+            // sync would commit THIS edit alongside edits built as if it
+            // never happened (recovery would rebuild an impossible version),
+            // and a torn record in the middle would make recovery silently
+            // stop short of later acknowledged commits. Drop the writer so
+            // every subsequent commit attempt fails until a fresh recovery
+            // rewrites the MANIFEST from a clean snapshot.
+            self.manifest = None;
+            return Err(e);
+        }
 
         if let Some(seq) = edit.last_sequence {
             self.last_sequence = self.last_sequence.max(seq);
@@ -188,7 +204,7 @@ impl VersionSet {
 
         let mut builder = VersionBuilder::new(self.icmp.clone(), Arc::clone(&self.current));
         builder.apply(&edit);
-        let version = Arc::new(builder.build());
+        let version = Arc::new(builder.build()?);
         self.live.push(Arc::downgrade(&version));
         self.current = Arc::clone(&version);
         Ok(version)
@@ -227,13 +243,23 @@ impl VersionSet {
                 continue;
             }
             for region in &info.regions {
-                if !live_tables.contains(&region.table_id) && info.punched.insert(region.table_id) {
-                    // Lazy metadata update, no barrier (§3.2).
-                    let _ = self.env.punch_hole(
-                        &table_file(&self.db, file_number),
-                        region.offset,
-                        region.size,
-                    );
+                if !live_tables.contains(&region.table_id)
+                    && !info.punched.contains(&region.table_id)
+                {
+                    // Lazy metadata update, no barrier (§3.2). Marked punched
+                    // only on success so a transient punch failure is retried
+                    // on the next pass instead of leaking the space forever.
+                    if self
+                        .env
+                        .punch_hole(
+                            &table_file(&self.db, file_number),
+                            region.offset,
+                            region.size,
+                        )
+                        .is_ok()
+                    {
+                        info.punched.insert(region.table_id);
+                    }
                     table_cache.evict(region.table_id);
                 }
             }
@@ -328,7 +354,7 @@ impl VersionSet {
         if !found_any {
             return Err(Error::corruption("empty MANIFEST"));
         }
-        self.current = Arc::new(builder.build());
+        self.current = Arc::new(builder.build()?);
 
         // Rebuild the region registry from live tables.
         self.files.clear();

@@ -1,0 +1,656 @@
+//! Deterministic fault injection over a crashable environment.
+//!
+//! [`FaultEnv`] wraps any [`CrashEnv`] (in practice [`MemEnv`] or
+//! [`SimEnv`]) and assigns every **durability-relevant operation** — file
+//! create, append, sync, ordering barrier, rename, delete, hole punch — a
+//! global, monotonically increasing *op index*. A scripted [`FaultPlan`]
+//! then turns chosen indices into failures:
+//!
+//! * **crash-at-op-K** — op `K` does not execute; the environment enters a
+//!   *crashed* state in which every subsequent operation (including reads)
+//!   fails, freezing the inner filesystem exactly as a power failure would.
+//!   The harness then drops the engine, applies
+//!   [`FaultEnv::crash_inner`] to discard unsynced bytes, calls
+//!   [`FaultEnv::reset`], and reopens to test recovery.
+//! * **torn append** — like crash-at-op-K on an append, but a prefix of the
+//!   payload reaches the file first (a short write).
+//! * **EIO on the Nth sync** — the Nth durability barrier returns an I/O
+//!   error *once*, without crashing, to test error propagation.
+//! * **EIO on op K** — same, keyed by global op index.
+//!
+//! A harness first *records* a workload (op trace + [`FaultEnv::mark`]
+//! phase markers), then replays it crashing at every interesting index.
+//! See `bolt-tools`' crash-sweep harness and `tests/crash_sweep.rs`.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use bolt_common::{Error, Result};
+
+use crate::stats::IoStats;
+use crate::{CrashConfig, Env, MemEnv, RandomAccessFile, SimEnv, WritableFile};
+
+/// An [`Env`] that can simulate a whole-filesystem power failure.
+///
+/// [`MemEnv`] and [`SimEnv`] implement this; [`RealEnv`](crate::RealEnv)
+/// cannot (we do not power-cycle the host).
+pub trait CrashEnv: Env {
+    /// Discard unsynced state as a power failure would; see
+    /// [`MemEnv::crash`].
+    fn crash(&self, config: CrashConfig);
+}
+
+impl CrashEnv for MemEnv {
+    fn crash(&self, config: CrashConfig) {
+        MemEnv::crash(self, config);
+    }
+}
+
+impl CrashEnv for SimEnv {
+    fn crash(&self, config: CrashConfig) {
+        SimEnv::crash(self, config);
+    }
+}
+
+/// The kind of a counted durability-relevant operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// `new_writable_file` (create or truncate).
+    Create,
+    /// `WritableFile::append`.
+    Append,
+    /// `WritableFile::sync` (full durability barrier).
+    Sync,
+    /// `WritableFile::ordering_barrier`.
+    OrderingBarrier,
+    /// `rename_file`.
+    Rename,
+    /// `delete_file`.
+    Delete,
+    /// `punch_hole`.
+    PunchHole,
+}
+
+impl OpKind {
+    /// Short lowercase label, used in traces and sweep reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            OpKind::Create => "create",
+            OpKind::Append => "append",
+            OpKind::Sync => "sync",
+            OpKind::OrderingBarrier => "barrier",
+            OpKind::Rename => "rename",
+            OpKind::Delete => "delete",
+            OpKind::PunchHole => "punch",
+        }
+    }
+}
+
+/// One counted operation in a recorded trace.
+#[derive(Debug, Clone)]
+pub struct OpRecord {
+    /// Global op index (0-based).
+    pub index: u64,
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Path the operation targeted.
+    pub path: String,
+    /// Payload size in bytes (appends only; 0 otherwise).
+    pub bytes: u64,
+}
+
+/// A scripted set of faults, keyed by global op index or sync ordinal.
+///
+/// Build with the fluent methods and install via [`FaultEnv::set_plan`].
+/// The grammar:
+///
+/// * [`FaultPlan::crash_at_op`] — power failure *instead of* executing op
+///   `K`; everything after fails until [`FaultEnv::reset`].
+/// * [`FaultPlan::torn_crash_at_op`] — same, but if op `K` is an append,
+///   `keep` bytes of its payload reach the file first.
+/// * [`FaultPlan::fail_sync`] — the `n`-th (0-based) sync/ordering barrier
+///   returns `EIO` once; later syncs succeed.
+/// * [`FaultPlan::fail_op`] — op `K` returns `EIO` once; later ops succeed.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    crash_at: Option<u64>,
+    torn_keep: u64,
+    fail_ops: Vec<u64>,
+    fail_syncs: Vec<u64>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Crash instead of executing the op with global index `k`.
+    #[must_use]
+    pub fn crash_at_op(mut self, k: u64) -> Self {
+        self.crash_at = Some(k);
+        self
+    }
+
+    /// Crash at op `k`; if it is an append, keep the first `keep` bytes of
+    /// its payload (a short/torn write).
+    #[must_use]
+    pub fn torn_crash_at_op(mut self, k: u64, keep: u64) -> Self {
+        self.crash_at = Some(k);
+        self.torn_keep = keep;
+        self
+    }
+
+    /// Return `EIO` from the `n`-th (0-based) sync or ordering barrier.
+    #[must_use]
+    pub fn fail_sync(mut self, n: u64) -> Self {
+        self.fail_syncs.push(n);
+        self
+    }
+
+    /// Return `EIO` from the op with global index `k`.
+    #[must_use]
+    pub fn fail_op(mut self, k: u64) -> Self {
+        self.fail_ops.push(k);
+        self
+    }
+}
+
+#[derive(Default)]
+struct Recording {
+    plan: FaultPlan,
+    recording: bool,
+    trace: Vec<OpRecord>,
+    markers: Vec<(u64, String)>,
+}
+
+struct FaultState {
+    op_counter: AtomicU64,
+    sync_counter: AtomicU64,
+    crashed: AtomicBool,
+    faults_injected: AtomicU64,
+    script: Mutex<Recording>,
+}
+
+/// What a counted op should do after consulting the plan.
+enum Decision {
+    Proceed,
+    Fail(Error),
+    /// Append only the first `n` bytes, then fail (torn write).
+    Torn(usize),
+}
+
+impl FaultState {
+    fn new() -> Self {
+        FaultState {
+            op_counter: AtomicU64::new(0),
+            sync_counter: AtomicU64::new(0),
+            crashed: AtomicBool::new(false),
+            faults_injected: AtomicU64::new(0),
+            script: Mutex::new(Recording::default()),
+        }
+    }
+
+    fn crash_error() -> Error {
+        Error::io("fault: environment crashed")
+    }
+
+    fn check_crashed(&self) -> Result<()> {
+        if self.crashed.load(Ordering::SeqCst) {
+            Err(Self::crash_error())
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Count one durability-relevant op and decide its fate.
+    fn before_op(&self, kind: OpKind, path: &str, bytes: u64) -> Decision {
+        if self.crashed.load(Ordering::SeqCst) {
+            return Decision::Fail(Self::crash_error());
+        }
+        let index = self.op_counter.fetch_add(1, Ordering::SeqCst);
+        let sync_index = if matches!(kind, OpKind::Sync | OpKind::OrderingBarrier) {
+            Some(self.sync_counter.fetch_add(1, Ordering::SeqCst))
+        } else {
+            None
+        };
+        let mut script = self.script.lock();
+        if script.recording {
+            script.trace.push(OpRecord {
+                index,
+                kind,
+                path: path.to_string(),
+                bytes,
+            });
+        }
+        if script.plan.crash_at == Some(index) {
+            self.crashed.store(true, Ordering::SeqCst);
+            self.faults_injected.fetch_add(1, Ordering::SeqCst);
+            let keep = script.plan.torn_keep.min(bytes) as usize;
+            if kind == OpKind::Append && keep > 0 {
+                return Decision::Torn(keep);
+            }
+            return Decision::Fail(Self::crash_error());
+        }
+        if script.plan.fail_ops.contains(&index) {
+            self.faults_injected.fetch_add(1, Ordering::SeqCst);
+            return Decision::Fail(Error::io(format!(
+                "fault: injected EIO at op {index} ({} {path})",
+                kind.label()
+            )));
+        }
+        if let Some(s) = sync_index {
+            if script.plan.fail_syncs.contains(&s) {
+                self.faults_injected.fetch_add(1, Ordering::SeqCst);
+                return Decision::Fail(Error::io(format!(
+                    "fault: injected EIO at sync {s} ({path})"
+                )));
+            }
+        }
+        Decision::Proceed
+    }
+}
+
+/// A fault-injecting [`Env`] layered over a [`CrashEnv`].
+///
+/// All file data lives in the wrapped environment; `FaultEnv` only counts
+/// operations, consults the installed [`FaultPlan`], and (optionally)
+/// records an op trace. Cloning is cheap and shares all state.
+#[derive(Clone)]
+pub struct FaultEnv {
+    inner: Arc<dyn CrashEnv>,
+    state: Arc<FaultState>,
+}
+
+impl std::fmt::Debug for FaultEnv {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultEnv")
+            .field("op_count", &self.op_count())
+            .field("crashed", &self.crashed())
+            .finish()
+    }
+}
+
+impl FaultEnv {
+    /// Wrap `inner` with fault injection (no plan installed yet).
+    pub fn new(inner: Arc<dyn CrashEnv>) -> Self {
+        FaultEnv {
+            inner,
+            state: Arc::new(FaultState::new()),
+        }
+    }
+
+    /// Convenience: a `FaultEnv` over a fresh [`MemEnv`].
+    pub fn over_mem() -> Self {
+        Self::new(Arc::new(MemEnv::new()))
+    }
+
+    /// Install `plan`, replacing any previous plan. Counters are *not*
+    /// reset; call [`FaultEnv::reset`] first to re-run a workload.
+    pub fn set_plan(&self, plan: FaultPlan) {
+        self.state.script.lock().plan = plan;
+    }
+
+    /// Start recording an op trace (clears any previous trace).
+    pub fn start_recording(&self) {
+        let mut script = self.state.script.lock();
+        script.recording = true;
+        script.trace.clear();
+        script.markers.clear();
+    }
+
+    /// Stop recording and return the trace.
+    pub fn stop_recording(&self) -> Vec<OpRecord> {
+        let mut script = self.state.script.lock();
+        script.recording = false;
+        script.trace.clone()
+    }
+
+    /// Record a named phase marker at the current op index, e.g.
+    /// `"flush-done"`. Markers let a sweep report which workload phase a
+    /// crash point falls in.
+    pub fn mark(&self, label: &str) {
+        let at = self.state.op_counter.load(Ordering::SeqCst);
+        self.state
+            .script
+            .lock()
+            .markers
+            .push((at, label.to_string()));
+    }
+
+    /// Phase markers recorded so far, as `(op_index, label)` pairs.
+    pub fn markers(&self) -> Vec<(u64, String)> {
+        self.state.script.lock().markers.clone()
+    }
+
+    /// Total counted ops so far.
+    pub fn op_count(&self) -> u64 {
+        self.state.op_counter.load(Ordering::SeqCst)
+    }
+
+    /// Total sync/ordering-barrier ops so far.
+    pub fn sync_count(&self) -> u64 {
+        self.state.sync_counter.load(Ordering::SeqCst)
+    }
+
+    /// Number of faults the plan has injected so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.state.faults_injected.load(Ordering::SeqCst)
+    }
+
+    /// `true` once a crash fault has fired (all ops now fail).
+    pub fn crashed(&self) -> bool {
+        self.state.crashed.load(Ordering::SeqCst)
+    }
+
+    /// Apply a power failure to the wrapped environment (discarding its
+    /// unsynced bytes). Call after the engine using this env is dropped.
+    pub fn crash_inner(&self, config: CrashConfig) {
+        self.inner.crash(config);
+    }
+
+    /// Clear the crashed flag, plan, counters, trace, and markers so the
+    /// surviving files can be reopened for recovery.
+    pub fn reset(&self) {
+        self.state.crashed.store(false, Ordering::SeqCst);
+        self.state.op_counter.store(0, Ordering::SeqCst);
+        self.state.sync_counter.store(0, Ordering::SeqCst);
+        self.state.faults_injected.store(0, Ordering::SeqCst);
+        let mut script = self.state.script.lock();
+        script.plan = FaultPlan::default();
+        script.recording = false;
+        script.trace.clear();
+        script.markers.clear();
+    }
+}
+
+struct FaultWritableFile {
+    inner: Box<dyn WritableFile>,
+    state: Arc<FaultState>,
+    path: String,
+}
+
+impl WritableFile for FaultWritableFile {
+    fn append(&mut self, data: &[u8]) -> Result<()> {
+        match self
+            .state
+            .before_op(OpKind::Append, &self.path, data.len() as u64)
+        {
+            Decision::Proceed => self.inner.append(data),
+            Decision::Fail(e) => Err(e),
+            Decision::Torn(keep) => {
+                // A short write: a prefix reaches the page cache, then the
+                // machine dies. The caller still sees the op fail.
+                let _ = self.inner.append(&data[..keep]);
+                Err(FaultState::crash_error())
+            }
+        }
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.state.check_crashed()?;
+        self.inner.flush()
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        match self.state.before_op(OpKind::Sync, &self.path, 0) {
+            Decision::Proceed => self.inner.sync(),
+            Decision::Fail(e) => Err(e),
+            Decision::Torn(_) => unreachable!("torn decision only applies to appends"),
+        }
+    }
+
+    fn ordering_barrier(&mut self) -> Result<()> {
+        match self.state.before_op(OpKind::OrderingBarrier, &self.path, 0) {
+            Decision::Proceed => self.inner.ordering_barrier(),
+            Decision::Fail(e) => Err(e),
+            Decision::Torn(_) => unreachable!("torn decision only applies to appends"),
+        }
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+}
+
+struct FaultRandomAccessFile {
+    inner: Arc<dyn RandomAccessFile>,
+    state: Arc<FaultState>,
+}
+
+impl RandomAccessFile for FaultRandomAccessFile {
+    fn read(&self, offset: u64, len: usize) -> Result<Vec<u8>> {
+        self.state.check_crashed()?;
+        self.inner.read(offset, len)
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+}
+
+impl Env for FaultEnv {
+    fn new_writable_file(&self, path: &str) -> Result<Box<dyn WritableFile>> {
+        match self.state.before_op(OpKind::Create, path, 0) {
+            Decision::Proceed => {}
+            Decision::Fail(e) => return Err(e),
+            Decision::Torn(_) => unreachable!("torn decision only applies to appends"),
+        }
+        let inner = self.inner.new_writable_file(path)?;
+        Ok(Box::new(FaultWritableFile {
+            inner,
+            state: Arc::clone(&self.state),
+            path: path.to_string(),
+        }))
+    }
+
+    fn new_appendable_file(&self, path: &str) -> Result<Box<dyn WritableFile>> {
+        self.state.check_crashed()?;
+        let inner = self.inner.new_appendable_file(path)?;
+        Ok(Box::new(FaultWritableFile {
+            inner,
+            state: Arc::clone(&self.state),
+            path: path.to_string(),
+        }))
+    }
+
+    fn new_random_access_file(&self, path: &str) -> Result<Arc<dyn RandomAccessFile>> {
+        self.state.check_crashed()?;
+        let inner = self.inner.new_random_access_file(path)?;
+        Ok(Arc::new(FaultRandomAccessFile {
+            inner,
+            state: Arc::clone(&self.state),
+        }))
+    }
+
+    fn file_exists(&self, path: &str) -> bool {
+        self.inner.file_exists(path)
+    }
+
+    fn file_size(&self, path: &str) -> Result<u64> {
+        self.state.check_crashed()?;
+        self.inner.file_size(path)
+    }
+
+    fn delete_file(&self, path: &str) -> Result<()> {
+        match self.state.before_op(OpKind::Delete, path, 0) {
+            Decision::Proceed => self.inner.delete_file(path),
+            Decision::Fail(e) => Err(e),
+            Decision::Torn(_) => unreachable!("torn decision only applies to appends"),
+        }
+    }
+
+    fn rename_file(&self, from: &str, to: &str) -> Result<()> {
+        match self.state.before_op(OpKind::Rename, from, 0) {
+            Decision::Proceed => self.inner.rename_file(from, to),
+            Decision::Fail(e) => Err(e),
+            Decision::Torn(_) => unreachable!("torn decision only applies to appends"),
+        }
+    }
+
+    fn create_dir_all(&self, path: &str) -> Result<()> {
+        self.state.check_crashed()?;
+        self.inner.create_dir_all(path)
+    }
+
+    fn list_dir(&self, dir: &str) -> Result<Vec<String>> {
+        self.state.check_crashed()?;
+        self.inner.list_dir(dir)
+    }
+
+    fn punch_hole(&self, path: &str, offset: u64, len: u64) -> Result<()> {
+        match self.state.before_op(OpKind::PunchHole, path, 0) {
+            Decision::Proceed => self.inner.punch_hole(path, offset, len),
+            Decision::Fail(e) => Err(e),
+            Decision::Torn(_) => unreachable!("torn decision only applies to appends"),
+        }
+    }
+
+    fn stats(&self) -> &IoStats {
+        self.inner.stats()
+    }
+
+    fn supports_ordering_barrier(&self) -> bool {
+        self.inner.supports_ordering_barrier()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem_fault() -> FaultEnv {
+        FaultEnv::over_mem()
+    }
+
+    #[test]
+    fn no_plan_passes_through_and_counts() {
+        let env = mem_fault();
+        env.start_recording();
+        let mut f = env.new_writable_file("a").unwrap(); // op 0: create
+        f.append(b"hello").unwrap(); // op 1: append
+        f.sync().unwrap(); // op 2: sync
+        env.rename_file("a", "b").unwrap(); // op 3: rename
+        env.punch_hole("b", 0, 2).unwrap(); // op 4: punch
+        env.delete_file("b").unwrap(); // op 5: delete
+        let trace = env.stop_recording();
+        assert_eq!(env.op_count(), 6);
+        assert_eq!(env.sync_count(), 1);
+        assert_eq!(env.faults_injected(), 0);
+        let kinds: Vec<OpKind> = trace.iter().map(|r| r.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                OpKind::Create,
+                OpKind::Append,
+                OpKind::Sync,
+                OpKind::Rename,
+                OpKind::PunchHole,
+                OpKind::Delete,
+            ]
+        );
+        assert_eq!(trace[1].bytes, 5);
+        assert_eq!(trace[3].path, "a");
+    }
+
+    #[test]
+    fn crash_at_op_freezes_everything() {
+        let env = mem_fault();
+        env.set_plan(FaultPlan::new().crash_at_op(2));
+        let mut f = env.new_writable_file("a").unwrap(); // op 0
+        f.append(b"one").unwrap(); // op 1
+        assert!(f.append(b"two").is_err()); // op 2: crash fires
+        assert!(env.crashed());
+        // Everything after the crash fails, reads included.
+        assert!(f.sync().is_err());
+        assert!(env.new_writable_file("b").is_err());
+        assert!(env.list_dir("").is_err());
+        assert!(env.file_size("a").is_err());
+        assert_eq!(env.faults_injected(), 1);
+
+        // Crash the inner store, reset, and observe only synced state: "one"
+        // was never synced, so Clean discards it.
+        env.crash_inner(CrashConfig::Clean);
+        env.reset();
+        assert!(!env.crashed());
+        assert_eq!(env.file_size("a").unwrap(), 0);
+    }
+
+    #[test]
+    fn torn_crash_keeps_prefix_of_payload() {
+        let env = mem_fault();
+        let mut f = env.new_writable_file("a").unwrap(); // op 0
+        f.append(b"durable").unwrap(); // op 1
+        f.sync().unwrap(); // op 2
+        env.set_plan(FaultPlan::new().torn_crash_at_op(3, 2));
+        assert!(f.append(b"xyz").is_err()); // op 3: torn, keeps "xy"
+        assert!(env.crashed());
+        env.crash_inner(CrashConfig::Clean);
+        env.reset();
+        // Clean crash keeps only the synced prefix; the torn bytes were
+        // unsynced page-cache content and are discarded.
+        assert_eq!(env.file_size("a").unwrap(), 7);
+
+        // With a TornTail crash config the torn bytes may survive; check
+        // the file never exceeds synced + torn-kept bytes.
+        let env = mem_fault();
+        let mut f = env.new_writable_file("a").unwrap();
+        f.append(b"durable").unwrap();
+        f.sync().unwrap();
+        env.set_plan(FaultPlan::new().torn_crash_at_op(3, 2));
+        assert!(f.append(b"xyz").is_err());
+        env.crash_inner(CrashConfig::TornTail { seed: 7 });
+        env.reset();
+        let size = env.file_size("a").unwrap();
+        assert!((7..=9).contains(&size), "size {size}");
+    }
+
+    #[test]
+    fn fail_sync_injects_eio_once() {
+        let env = mem_fault();
+        env.set_plan(FaultPlan::new().fail_sync(1));
+        let mut f = env.new_writable_file("a").unwrap();
+        f.append(b"x").unwrap();
+        f.sync().unwrap(); // sync 0: fine
+        f.append(b"y").unwrap();
+        assert!(f.sync().is_err()); // sync 1: EIO
+        assert!(!env.crashed(), "EIO is not a crash");
+        f.sync().unwrap(); // sync 2: fine again
+        assert_eq!(env.faults_injected(), 1);
+        assert_eq!(env.sync_count(), 3);
+    }
+
+    #[test]
+    fn fail_op_injects_eio_once() {
+        let env = mem_fault();
+        env.set_plan(FaultPlan::new().fail_op(1));
+        let mut f = env.new_writable_file("a").unwrap(); // op 0
+        assert!(f.append(b"x").is_err()); // op 1: EIO
+        f.append(b"x").unwrap(); // op 2: fine
+        assert!(!env.crashed());
+        assert_eq!(env.faults_injected(), 1);
+    }
+
+    #[test]
+    fn markers_record_op_positions() {
+        let env = mem_fault();
+        env.start_recording();
+        let mut f = env.new_writable_file("a").unwrap();
+        f.append(b"x").unwrap();
+        env.mark("loaded");
+        f.sync().unwrap();
+        env.mark("synced");
+        let markers = env.markers();
+        assert_eq!(
+            markers,
+            vec![(2, "loaded".to_string()), (3, "synced".to_string())]
+        );
+    }
+
+    #[test]
+    fn conformance_with_no_plan() {
+        crate::tests::env_conformance(&mem_fault());
+    }
+}

@@ -1,30 +1,75 @@
 //! # bolt-env
 //!
 //! The storage substrate for the BoLT LSM-tree workspace: a LevelDB-style
-//! `Env` abstraction plus three implementations.
+//! `Env` abstraction plus four implementations.
 //!
 //! * [`MemEnv`] — an in-memory filesystem with **crash injection** (unsynced
 //!   bytes are lost, optionally with torn tails). Used by the correctness and
-//!   recovery test suites.
+//!   recovery test suites. Reach for it whenever a test only cares about
+//!   *what* survives a crash, not how long I/O takes.
 //! * [`SimEnv`] — [`MemEnv`] plus an **SSD cost model**: buffered appends are
 //!   nearly free, the device drains its write queue at a configured
 //!   sequential bandwidth, and a durability barrier (`fsync`) blocks until
 //!   the queue is empty plus a fixed barrier latency. This is the substitute
 //!   for the paper's Samsung 860 EVO testbed; it makes barrier *frequency*
 //!   the dominant write-side cost, exactly the effect the paper studies.
+//!   Use it for benchmarks and any test that depends on barrier timing
+//!   (e.g. group-commit batching under concurrency).
 //! * [`RealEnv`] — `std::fs` with real `fsync`, and real
-//!   `fallocate(FALLOC_FL_PUNCH_HOLE)` on Linux.
+//!   `fallocate(FALLOC_FL_PUNCH_HOLE)` on Linux. Use it to validate the
+//!   engine against an actual kernel and device.
+//! * [`FaultEnv`] — a **deterministic fault-injection** wrapper over any
+//!   [`CrashEnv`] ([`MemEnv`] or [`SimEnv`]). It numbers every
+//!   durability-relevant operation (create, append, sync/barrier, rename,
+//!   delete, hole punch) with a global op counter and executes a scripted
+//!   [`FaultPlan`]. Use it to sweep crash points and error paths; see below.
 //!
 //! All implementations feed the [`IoStats`] counters (fsync calls, bytes
 //! written/read, holes punched) that the benchmark harness reports.
+//!
+//! ## Fault-plan grammar
+//!
+//! A [`FaultPlan`] composes four primitives, each keyed off the global op
+//! counter (or, for syncs, the sync ordinal):
+//!
+//! | primitive | effect |
+//! |---|---|
+//! | [`FaultPlan::crash_at_op`]`(k)` | op `k` does not execute; every later op (reads included) fails until [`FaultEnv::reset`] |
+//! | [`FaultPlan::torn_crash_at_op`]`(k, keep)` | as above, but an append keeps a `keep`-byte prefix (short write) |
+//! | [`FaultPlan::fail_sync`]`(n)` | the `n`-th sync/ordering barrier returns `EIO` once, no crash |
+//! | [`FaultPlan::fail_op`]`(k)` | op `k` returns `EIO` once, no crash |
+//!
+//! The record/replay loop used by the crash-sweep harness:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use bolt_env::{CrashConfig, Env, FaultEnv, FaultPlan};
+//!
+//! let env = FaultEnv::over_mem();
+//! env.start_recording();
+//! // ... run the workload, calling env.mark("phase") between phases ...
+//! let trace = env.stop_recording();
+//!
+//! for k in 0..trace.len() as u64 {
+//!     env.reset();
+//!     // ... wipe/rebuild state, install the plan, re-run the workload ...
+//!     env.set_plan(FaultPlan::new().crash_at_op(k));
+//!     // ... the workload errors out at op k; drop the engine, then:
+//!     env.crash_inner(CrashConfig::TornTail { seed: k });
+//!     env.reset();
+//!     // ... reopen and check recovery invariants ...
+//! }
+//! ```
 
 #![warn(missing_docs)]
 
+mod fault;
 mod mem;
 mod real;
 mod sim;
 mod stats;
 
+pub use fault::{CrashEnv, FaultEnv, FaultPlan, OpKind, OpRecord};
 pub use mem::{CrashConfig, MemEnv};
 pub use real::RealEnv;
 pub use sim::{precise_sleep, DeviceModel, SimEnv};

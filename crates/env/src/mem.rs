@@ -250,7 +250,7 @@ impl Env for MemEnv {
         } else {
             format!("{dir}/")
         };
-        Ok(self
+        let mut names: Vec<String> = self
             .files
             .read()
             .keys()
@@ -262,7 +262,11 @@ impl Env for MemEnv {
                     Some(rest.to_string())
                 }
             })
-            .collect())
+            .collect();
+        // Sorted so directory scans (and everything built on them, like
+        // recovery and the crash-sweep harness) are deterministic.
+        names.sort();
+        Ok(names)
     }
 
     fn punch_hole(&self, path: &str, offset: u64, len: u64) -> Result<()> {

@@ -15,8 +15,13 @@
 //! | [`load`] | bulk-load N synthetic records |
 //! | [`compact`] | flush + compact until quiet |
 //! | [`verify`] | full integrity walk: checksums, run ordering, level invariants |
+//! | [`run_crash_sweep`] | deterministic crash-point + EIO sweep over a [`bolt_env::FaultEnv`] |
 
 #![warn(missing_docs)]
+
+mod sweep;
+
+pub use sweep::{render_report, run_crash_sweep, SweepConfig, SweepCoverage, SweepOutcome};
 
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -330,6 +335,22 @@ pub fn compact(env: &Arc<dyn Env>, db: &str, opts: Options) -> Result<String> {
 /// Returns the first corruption found, or open errors.
 pub fn verify(env: &Arc<dyn Env>, db_name: &str, opts: Options) -> Result<String> {
     let db = open(env, db_name, opts.clone())?;
+    let (tables_checked, entries_checked) = verify_db(&db)?;
+    db.close()?;
+    Ok(format!(
+        "ok: {tables_checked} logical SSTable(s), {entries_checked} entries verified\n"
+    ))
+}
+
+/// The integrity walk behind [`verify`], reusable against an already-open
+/// database (the crash-sweep harness runs it after every recovery). Returns
+/// `(tables_checked, entries_checked)`.
+///
+/// # Errors
+///
+/// Returns the first corruption found, or read errors.
+pub fn verify_db(db: &Db) -> Result<(usize, u64)> {
+    let db_name = db.name().to_string();
     let version = db.current_version();
     let icmp = bolt_table::comparator::InternalKeyComparator::default();
     let ucmp = icmp.user_comparator();
@@ -352,7 +373,7 @@ pub fn verify(env: &Arc<dyn Env>, db_name: &str, opts: Options) -> Result<String
                 }
             }
             for meta in &run.tables {
-                let reader = db.table_cache().table(&meta.spec(db_name))?;
+                let reader = db.table_cache().table(&meta.spec(&db_name))?;
                 let mut iter = reader.iter();
                 iter.seek_to_first()?;
                 let mut count = 0u64;
@@ -397,10 +418,7 @@ pub fn verify(env: &Arc<dyn Env>, db_name: &str, opts: Options) -> Result<String
             }
         }
     }
-    db.close()?;
-    Ok(format!(
-        "ok: {tables_checked} logical SSTable(s), {entries_checked} entries verified\n"
-    ))
+    Ok((tables_checked, entries_checked))
 }
 
 /// Which compaction style a profile uses (for display).

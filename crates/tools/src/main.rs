@@ -15,6 +15,8 @@
 //!   load <db> <records> [vlen]      bulk-load synthetic records
 //!   compact <db>                    flush + compact until quiet
 //!   verify <db>                     full integrity walk
+//!   crash-sweep [points] [seed]     crash-point + EIO sweep (in-memory,
+//!                                   needs no db-dir)
 //!
 //! --profile: leveldb | lvl64 | hyper | pebbles | rocks | bolt (default)
 //!            | hyperbolt | rocksbolt
@@ -27,9 +29,34 @@ use bolt_env::{Env, RealEnv};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: bolt-tool <stats|dump-manifest|dump-tables|scan|get|put|delete|load|compact|verify> <db-dir> [args...] [--profile <name>]"
+        "usage: bolt-tool <stats|dump-manifest|dump-tables|scan|get|put|delete|load|compact|verify> <db-dir> [args...] [--profile <name>]\n       bolt-tool crash-sweep [max-points] [seed]"
     );
     ExitCode::from(2)
+}
+
+/// Run the crash-point sweep on an in-memory filesystem (no db-dir needed).
+fn crash_sweep(args: &[String]) -> ExitCode {
+    let mut cfg = bolt_tools::SweepConfig::default();
+    if let Some(points) = args.get(1).and_then(|s| s.parse().ok()) {
+        cfg.max_crash_points = points;
+    }
+    if let Some(seed) = args.get(2).and_then(|s| s.parse().ok()) {
+        cfg.seed = seed;
+    }
+    match bolt_tools::run_crash_sweep(&cfg) {
+        Ok(outcome) => {
+            print!("{}", bolt_tools::render_report(&outcome));
+            if outcome.violations.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -43,6 +70,10 @@ fn main() -> ExitCode {
         }
         profile_name = args.remove(pos + 1);
         args.remove(pos);
+    }
+
+    if args.first().map(String::as_str) == Some("crash-sweep") {
+        return crash_sweep(&args);
     }
 
     if args.len() < 2 {

@@ -1,0 +1,530 @@
+//! Crash-point sweep harness.
+//!
+//! Runs a write + flush + group-compaction + settled-compaction workload
+//! over a [`FaultEnv`], *records* the op trace, then replays the workload
+//! crashing at every selected op index (plus an `EIO` sweep over sync
+//! ordinals). After each crash the database is reopened and the four
+//! recovery invariants of DESIGN.md §9 are checked:
+//!
+//! * **I1 — acked-sync durability**: every write acknowledged with
+//!   `sync = true` (or acknowledged at all before a completed flush)
+//!   survives recovery.
+//! * **I2 — batch atomicity**: a batch is visible in full or not at all;
+//!   the workload writes each batch as a two-key pair that must never
+//!   diverge.
+//! * **I3 — MANIFEST integrity**: the recovered MANIFEST references only
+//!   logical SSTables whose bytes are present and checksum-clean (never
+//!   unsynced or hole-punched data).
+//! * **I4 — idempotent re-recovery**: closing and reopening the recovered
+//!   database yields the identical key space.
+//!
+//! Invariant violations are *collected*, not thrown, so one sweep reports
+//! every broken crash point at once.
+
+use std::sync::Arc;
+
+use bolt_common::Result;
+use bolt_core::{Db, Options, WriteBatch, WriteOptions};
+use bolt_env::{CrashConfig, Env, FaultEnv, FaultPlan, OpKind, OpRecord};
+
+use crate::verify_db;
+
+/// Number of two-key pairs in the workload key space.
+const PAIRS: usize = 24;
+/// Write rounds; every pair is rewritten each round.
+const ROUNDS: u32 = 6;
+/// Disjoint filler ranges cycled across rounds. Each range is written in
+/// its own round(s), so whole L0 runs have zero overlap at the level below
+/// — the shape settled compaction promotes without rewriting.
+const FILLER_RANGES: u32 = 3;
+/// Filler keys written per round.
+const FILLER_PER_ROUND: u32 = 60;
+
+/// Sweep tuning knobs.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Base seed for torn-tail crash randomness (the sweep itself is
+    /// deterministic given the seed).
+    pub seed: u64,
+    /// Upper bound on enumerated crash points.
+    pub max_crash_points: usize,
+    /// Upper bound on `EIO`-on-sync points.
+    pub max_eio_points: usize,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            seed: 0xB017,
+            max_crash_points: 72,
+            max_eio_points: 16,
+        }
+    }
+}
+
+/// Workload phase coverage observed during the record run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SweepCoverage {
+    /// MemTable flushes completed.
+    pub flushes: u64,
+    /// Compactions completed.
+    pub compactions: u64,
+    /// Settled (MANIFEST-only) promotions.
+    pub settled_moves: u64,
+    /// Holes punched reclaiming dead logical SSTables.
+    pub holes_punched: u64,
+}
+
+/// Everything a sweep learned.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// Ops counted in the record run.
+    pub ops_recorded: u64,
+    /// Sync/ordering barriers counted in the record run.
+    pub syncs_recorded: u64,
+    /// Phase markers from the record run, as `(op_index, label)`.
+    pub phases: Vec<(u64, String)>,
+    /// Crash points actually exercised (op indices).
+    pub crash_points: Vec<u64>,
+    /// Sync ordinals exercised with injected `EIO`.
+    pub eio_points: Vec<u64>,
+    /// Coverage counters from the record run.
+    pub coverage: SweepCoverage,
+    /// Human-readable invariant violations (empty on a clean sweep).
+    pub violations: Vec<String>,
+}
+
+/// Per-pair model of what the workload was told about its own writes.
+#[derive(Debug, Clone, Copy, Default)]
+struct PairState {
+    /// Highest round whose write call was *issued* (acked or not).
+    attempted: Option<u32>,
+    /// Highest round acknowledged (`write_opt` returned `Ok`).
+    acked: Option<u32>,
+    /// Highest round guaranteed durable: acked with `sync = true`, or
+    /// acked before a flush that completed.
+    durable_floor: Option<u32>,
+}
+
+struct WorkloadOutcome {
+    pairs: Vec<PairState>,
+    /// Errors the workload observed (write/flush/compact/close).
+    errors: usize,
+    stats: SweepCoverage,
+}
+
+fn pair_keys(p: usize) -> (String, String) {
+    (format!("k{p:03}a"), format!("k{p:03}b"))
+}
+
+fn pair_value(round: u32, p: usize) -> String {
+    // Round is recoverable from the value; padding forces enough bytes
+    // through the memtable that flushes and compactions actually happen.
+    format!("r{round:04}-p{p:03}-{}", "v".repeat(72))
+}
+
+fn value_round(value: &[u8]) -> Option<u32> {
+    let s = std::str::from_utf8(value).ok()?;
+    s.strip_prefix('r')?.get(..4)?.parse().ok()
+}
+
+/// Run the fixed workload over `env`. Every I/O failure is tolerated and
+/// counted; once the env reports a crash the workload stops early.
+fn run_workload(env: &FaultEnv, opts: &Options, marks: bool) -> WorkloadOutcome {
+    let mut out = WorkloadOutcome {
+        pairs: vec![PairState::default(); PAIRS],
+        errors: 0,
+        stats: SweepCoverage::default(),
+    };
+    let arc_env: Arc<dyn Env> = Arc::new(env.clone());
+    let db = match Db::open(arc_env, "db", opts.clone()) {
+        Ok(db) => db,
+        Err(_) => {
+            out.errors += 1;
+            return out;
+        }
+    };
+    'work: {
+        for round in 0..ROUNDS {
+            for p in 0..PAIRS {
+                let (ka, kb) = pair_keys(p);
+                let value = pair_value(round, p);
+                let mut batch = WriteBatch::new();
+                batch.put(ka.as_bytes(), value.as_bytes());
+                batch.put(kb.as_bytes(), value.as_bytes());
+                let sync = (round as usize + p).is_multiple_of(3);
+                out.pairs[p].attempted = Some(round);
+                match db.write_opt(batch, &WriteOptions { sync: Some(sync) }) {
+                    Ok(()) => {
+                        out.pairs[p].acked = Some(round);
+                        if sync {
+                            out.pairs[p].durable_floor = Some(round);
+                        }
+                    }
+                    Err(_) => {
+                        out.errors += 1;
+                        if env.crashed() {
+                            break 'work;
+                        }
+                    }
+                }
+            }
+            // Filler writes: round r rewrites disjoint range `f{r % 3}`.
+            // The disjointness manufactures settled-compaction victims;
+            // rewriting a range on a later round kills the earlier tables so
+            // garbage collection has holes to punch.
+            for i in 0..FILLER_PER_ROUND {
+                let key = format!("f{:02}key{i:04}", round % FILLER_RANGES);
+                if db.put(key.as_bytes(), &[b'z'; 100]).is_err() {
+                    out.errors += 1;
+                    if env.crashed() {
+                        break 'work;
+                    }
+                }
+            }
+            if marks {
+                env.mark(&format!("round-{round}"));
+            }
+            match db.flush() {
+                Ok(()) => {
+                    // A completed flush commits the memtable: everything
+                    // acknowledged so far is durable even without sync.
+                    for pair in &mut out.pairs {
+                        if pair.acked.is_some() {
+                            pair.durable_floor = pair.durable_floor.max(pair.acked);
+                        }
+                    }
+                }
+                Err(_) => {
+                    out.errors += 1;
+                    if env.crashed() {
+                        break 'work;
+                    }
+                }
+            }
+            if round % 2 == 1 {
+                if db.compact_until_quiet().is_err() {
+                    out.errors += 1;
+                    if env.crashed() {
+                        break 'work;
+                    }
+                } else if marks {
+                    env.mark(&format!("compact-{round}"));
+                }
+            }
+        }
+        if db.compact_until_quiet().is_err() {
+            out.errors += 1;
+        } else if marks {
+            env.mark("final-compact");
+        }
+    }
+    let s = db.stats().snapshot();
+    out.stats = SweepCoverage {
+        flushes: s.flushes,
+        compactions: s.compactions,
+        settled_moves: s.settled_moves,
+        holes_punched: env.stats().snapshot().holes_punched,
+    };
+    if db.close().is_err() {
+        out.errors += 1;
+    }
+    out
+}
+
+/// Pick crash points from a recorded trace: every metadata op (create,
+/// sync, barrier, rename, delete, punch) plus its successor, plus evenly
+/// sampled appends (exercised as *torn* appends). Returns
+/// `(op_index, torn_keep)` pairs, evenly thinned to `max`.
+fn select_crash_points(trace: &[OpRecord], max: usize) -> Vec<(u64, u64)> {
+    let total = trace.len() as u64;
+    let mut points: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+    for record in trace {
+        if record.kind != OpKind::Append {
+            points.entry(record.index).or_insert(0);
+            if record.index + 1 < total {
+                points.entry(record.index + 1).or_insert(0);
+            }
+        }
+    }
+    // Torn-append sampling: every `stride`-th append crashes mid-payload.
+    let appends: Vec<&OpRecord> = trace
+        .iter()
+        .filter(|r| r.kind == OpKind::Append && r.bytes >= 2)
+        .collect();
+    let stride = (appends.len() / (max / 4).max(1)).max(1);
+    for record in appends.iter().step_by(stride) {
+        points.entry(record.index).or_insert(record.bytes / 2);
+    }
+    let points: Vec<(u64, u64)> = points.into_iter().collect();
+    if points.len() > max {
+        // Thin evenly so coverage still spans the whole trace.
+        let len = points.len();
+        (0..max).map(|i| points[i * len / max]).collect()
+    } else {
+        points
+    }
+}
+
+/// Open the recovered database and check invariants I1–I4 against the
+/// replay's `pairs` model, appending any violation to `violations`.
+fn check_invariants(
+    env: &FaultEnv,
+    opts: &Options,
+    pairs: &[PairState],
+    label: &str,
+    violations: &mut Vec<String>,
+) {
+    let arc_env: Arc<dyn Env> = Arc::new(env.clone());
+    let db = match Db::open(Arc::clone(&arc_env), "db", opts.clone()) {
+        Ok(db) => db,
+        Err(e) => {
+            violations.push(format!("{label}: recovery failed to open: {e}"));
+            return;
+        }
+    };
+
+    // I3: MANIFEST references only present, checksum-clean data.
+    if let Err(e) = verify_db(&db) {
+        violations.push(format!("{label}: I3 integrity walk failed: {e}"));
+    }
+
+    // I1 + I2 per pair.
+    for (p, state) in pairs.iter().enumerate() {
+        let (ka, kb) = pair_keys(p);
+        let va = db.get(ka.as_bytes());
+        let vb = db.get(kb.as_bytes());
+        let (va, vb) = match (va, vb) {
+            (Ok(a), Ok(b)) => (a, b),
+            (a, b) => {
+                violations.push(format!("{label}: pair {p} reads failed: {a:?} / {b:?}"));
+                continue;
+            }
+        };
+        if va != vb {
+            violations.push(format!(
+                "{label}: I2 torn batch visible for pair {p}: {:?} vs {:?}",
+                va.as_deref().map(String::from_utf8_lossy),
+                vb.as_deref().map(String::from_utf8_lossy),
+            ));
+            continue;
+        }
+        let recovered = va.as_deref().and_then(value_round);
+        match (state.durable_floor, recovered) {
+            (Some(floor), None) => violations.push(format!(
+                "{label}: I1 pair {p} lost: durable through round {floor}, found nothing"
+            )),
+            (Some(floor), Some(r)) if r < floor => violations.push(format!(
+                "{label}: I1 pair {p} rolled back: durable through round {floor}, found {r}"
+            )),
+            _ => {}
+        }
+        if let Some(r) = recovered {
+            // Sanity: recovery can surface an unacked write (it may have
+            // reached the WAL) but never one that was not even attempted.
+            let attempted = state.attempted.unwrap_or(0);
+            if state.attempted.is_none() || r > attempted {
+                violations.push(format!(
+                    "{label}: pair {p} contains round {r} beyond attempts ({:?})",
+                    state.attempted
+                ));
+            }
+        }
+    }
+
+    // I4: a second recovery must see the identical key space.
+    let scan1 = match full_scan(&db) {
+        Ok(scan) => scan,
+        Err(e) => {
+            violations.push(format!("{label}: scan after recovery failed: {e}"));
+            let _ = db.close();
+            return;
+        }
+    };
+    if let Err(e) = db.close() {
+        violations.push(format!("{label}: close after recovery failed: {e}"));
+        return;
+    }
+    match Db::open(arc_env, "db", opts.clone()) {
+        Ok(db2) => {
+            match full_scan(&db2) {
+                Ok(scan2) if scan2 == scan1 => {}
+                Ok(scan2) => violations.push(format!(
+                    "{label}: I4 re-recovery diverged: {} vs {} entries",
+                    scan1.len(),
+                    scan2.len()
+                )),
+                Err(e) => violations.push(format!("{label}: I4 re-scan failed: {e}")),
+            }
+            let _ = db2.close();
+        }
+        Err(e) => violations.push(format!("{label}: I4 re-open failed: {e}")),
+    }
+}
+
+/// [`check_invariants`], but a panic anywhere in recovery (e.g. a violated
+/// `debug_assert` while rebuilding a version) is itself recorded as an
+/// invariant violation instead of killing the sweep.
+fn checked_invariants(
+    env: &FaultEnv,
+    opts: &Options,
+    pairs: &[PairState],
+    label: &str,
+    violations: &mut Vec<String>,
+) {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut local = Vec::new();
+        check_invariants(env, opts, pairs, label, &mut local);
+        local
+    }));
+    match result {
+        Ok(local) => violations.extend(local),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("opaque panic");
+            violations.push(format!("{label}: recovery panicked: {msg}"));
+        }
+    }
+}
+
+fn full_scan(db: &Db) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+    let mut iter = db.iter()?;
+    iter.seek_to_first()?;
+    let mut out = Vec::new();
+    while iter.valid() {
+        out.push((iter.key().to_vec(), iter.value().to_vec()));
+        iter.next()?;
+    }
+    Ok(out)
+}
+
+/// Record the workload once, then sweep crash points and `EIO` injections.
+///
+/// Deterministic for a given [`SweepConfig`]: the workload is fixed, torn
+/// tails derive from `cfg.seed`, and the invariants hold at *any* op cut,
+/// so background-thread interleaving cannot flip a verdict.
+///
+/// # Errors
+///
+/// Returns an error only if the harness itself cannot run (e.g. the record
+/// run fails outright); invariant violations are reported in
+/// [`SweepOutcome::violations`].
+pub fn run_crash_sweep(cfg: &SweepConfig) -> Result<SweepOutcome> {
+    let mut opts = Options::bolt().scaled(1.0 / 256.0);
+    // Compact eagerly and keep level 1 tiny so the short workload reaches
+    // group compaction, settled promotion (L1 → L2 moves), and
+    // hole-punching — every barrier in the §9 ordering contract shows up
+    // in the recorded trace.
+    opts.level0_compaction_trigger = 2;
+    opts.level1_max_bytes = 12 << 10;
+
+    // Phase 1: record.
+    let env = FaultEnv::over_mem();
+    env.start_recording();
+    let record = run_workload(&env, &opts, true);
+    let trace = env.stop_recording();
+    if record.errors > 0 {
+        return Err(bolt_common::Error::io(format!(
+            "record run saw {} unexpected errors",
+            record.errors
+        )));
+    }
+    let ops_recorded = env.op_count();
+    let syncs_recorded = env.sync_count();
+    let phases = env.markers();
+
+    // Phase 2: crash-point sweep.
+    let points = select_crash_points(&trace, cfg.max_crash_points);
+    let mut violations = Vec::new();
+    let mut crash_points = Vec::new();
+    for &(k, keep) in &points {
+        let env = FaultEnv::over_mem();
+        let plan = if keep > 0 {
+            FaultPlan::new().torn_crash_at_op(k, keep)
+        } else {
+            FaultPlan::new().crash_at_op(k)
+        };
+        env.set_plan(plan);
+        let replay = run_workload(&env, &opts, false);
+        let label = format!("crash@op{k}{}", if keep > 0 { " (torn)" } else { "" });
+        env.crash_inner(CrashConfig::TornTail {
+            seed: cfg.seed ^ k.wrapping_mul(0x9E37_79B9),
+        });
+        env.reset();
+        checked_invariants(&env, &opts, &replay.pairs, &label, &mut violations);
+        crash_points.push(k);
+    }
+
+    // Phase 3: EIO-on-sync sweep — injected errors must never be swallowed.
+    let mut eio_points = Vec::new();
+    let eio_count = (syncs_recorded as usize).min(cfg.max_eio_points.max(1));
+    for i in 0..eio_count {
+        let n = i as u64 * syncs_recorded / eio_count as u64;
+        let env = FaultEnv::over_mem();
+        env.set_plan(FaultPlan::new().fail_sync(n));
+        let replay = run_workload(&env, &opts, false);
+        let label = format!("eio@sync{n}");
+        if env.faults_injected() > 0 && replay.errors == 0 {
+            violations.push(format!(
+                "{label}: injected EIO was swallowed (no caller observed an error)"
+            ));
+        }
+        // The EIO may have poisoned the database; a crash right after must
+        // still recover to a consistent state.
+        env.crash_inner(CrashConfig::Clean);
+        env.reset();
+        checked_invariants(&env, &opts, &replay.pairs, &label, &mut violations);
+        eio_points.push(n);
+    }
+
+    Ok(SweepOutcome {
+        ops_recorded,
+        syncs_recorded,
+        phases,
+        crash_points,
+        eio_points,
+        coverage: record.stats,
+        violations,
+    })
+}
+
+/// Render a sweep outcome for the CLI.
+pub fn render_report(outcome: &SweepOutcome) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "recorded {} ops ({} syncs/barriers) across phases:",
+        outcome.ops_recorded, outcome.syncs_recorded
+    )
+    .expect("write");
+    for (at, label) in &outcome.phases {
+        writeln!(out, "  op {at:>5}  {label}").expect("write");
+    }
+    let c = outcome.coverage;
+    writeln!(
+        out,
+        "coverage: {} flushes, {} compactions, {} settled moves, {} holes punched",
+        c.flushes, c.compactions, c.settled_moves, c.holes_punched
+    )
+    .expect("write");
+    writeln!(
+        out,
+        "swept {} crash points + {} EIO points",
+        outcome.crash_points.len(),
+        outcome.eio_points.len()
+    )
+    .expect("write");
+    if outcome.violations.is_empty() {
+        writeln!(out, "ok: all recovery invariants held").expect("write");
+    } else {
+        writeln!(out, "{} VIOLATION(S):", outcome.violations.len()).expect("write");
+        for v in &outcome.violations {
+            writeln!(out, "  {v}").expect("write");
+        }
+    }
+    out
+}

@@ -6,13 +6,18 @@
 //! commit mark for each compaction: no crash may ever expose a logical
 //! SSTable that was not validated, or lose one that was.
 //!
+//! Part 2 uses [`FaultEnv`] to place a *surgical* crash between the two
+//! barriers of a flush — after the compaction file is synced but before the
+//! MANIFEST sync that commits it — and narrates what recovery does with the
+//! orphaned file.
+//!
 //! Run with `cargo run --release --example crash_recovery`.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use bolt::{Db, Options};
-use bolt_env::{CrashConfig, Env, MemEnv};
+use bolt_env::{CrashConfig, Env, FaultEnv, FaultPlan, MemEnv, OpKind};
 
 fn main() -> bolt::Result<()> {
     let mem_env = Arc::new(MemEnv::new());
@@ -81,6 +86,92 @@ fn main() -> bolt::Result<()> {
     }
     assert_eq!(scanned, durable.len() as u64);
     println!("final scan saw all {scanned} durable keys in order — OK");
+    db.close()?;
+
+    mid_compaction_crash()?;
+    Ok(())
+}
+
+/// Part 2: crash exactly between a flush's compaction-file sync and the
+/// MANIFEST sync that would commit it (DESIGN.md §9 ordering rule O2).
+///
+/// The flush's data file reaches disk, but the MANIFEST record naming it
+/// never commits — so recovery must treat the file as garbage and restore
+/// the writes from the WAL instead.
+fn mid_compaction_crash() -> bolt::Result<()> {
+    let mut opts = Options::bolt().scaled(1.0 / 128.0);
+    // Sync the WAL on every write: these puts are acked-durable, so they
+    // must survive the crash no matter where the flush was interrupted.
+    opts.sync_wal = true;
+    let workload = |db: &Db| -> bolt::Result<()> {
+        for i in 0..300u32 {
+            db.put(
+                format!("fault{i:04}").as_bytes(),
+                format!("v{i}").as_bytes(),
+            )?;
+        }
+        Ok(())
+    };
+
+    // Record run: trace the ops a flush performs.
+    let fault = FaultEnv::over_mem();
+    let db = Db::open(Arc::new(fault.clone()), "fault-db", opts.clone())?;
+    workload(&db)?;
+    fault.start_recording();
+    db.flush()?;
+    let trace = fault.stop_recording();
+    db.close()?;
+
+    // A flush costs two barriers: sync the compaction file, then sync the
+    // MANIFEST that commits its logical SSTables. Crash on the second.
+    let sst_sync = trace
+        .iter()
+        .find(|r| r.kind == OpKind::Sync && r.path.ends_with(".sst"))
+        .expect("flush must sync its compaction file");
+    let manifest_sync = trace
+        .iter()
+        .find(|r| r.kind == OpKind::Sync && r.index > sst_sync.index)
+        .expect("flush must sync the MANIFEST after the compaction file");
+    println!(
+        "flush trace: compaction-file sync at op {} ({}), MANIFEST sync at op {} ({})",
+        sst_sync.index, sst_sync.path, manifest_sync.index, manifest_sync.path
+    );
+
+    // Replay run: same workload, crash scheduled at the MANIFEST sync.
+    let fault = FaultEnv::over_mem();
+    let env: Arc<dyn Env> = Arc::new(fault.clone());
+    let db = Db::open(Arc::clone(&env), "fault-db", opts.clone())?;
+    workload(&db)?;
+    fault.set_plan(FaultPlan::new().crash_at_op(manifest_sync.index));
+    let flush_result = db.flush();
+    println!(
+        "flush with crash between the two barriers: {}",
+        match &flush_result {
+            Ok(()) => "Ok (crash landed elsewhere)".to_string(),
+            Err(e) => format!("failed as expected: {e}"),
+        }
+    );
+    drop(db);
+    fault.crash_inner(CrashConfig::Clean);
+    fault.reset();
+
+    // Recovery: the orphaned compaction file must not be exposed, and the
+    // writes must come back from the WAL.
+    let db = Db::open(Arc::clone(&env), "fault-db", opts)?;
+    for i in 0..300u32 {
+        assert_eq!(
+            db.get(format!("fault{i:04}").as_bytes())?,
+            Some(format!("v{i}").into_bytes()),
+            "write lost across mid-compaction crash"
+        );
+    }
+    println!(
+        "recovered: all 300 writes restored from the WAL. The crash cut the \
+         MANIFEST sync, so the record naming {} never committed — recovery \
+         ignored the orphaned flush output and rebuilt the table from the \
+         WAL instead.",
+        sst_sync.path
+    );
     db.close()?;
     Ok(())
 }

@@ -47,7 +47,10 @@ pub use bolt_core::{
     BoltOptions, CompactionStyle, Db, DbIterator, DbStats, DbStatsSnapshot, LevelInfo, Options,
     Snapshot, WriteBatch, WriteOptions,
 };
-pub use bolt_env::{CrashConfig, DeviceModel, Env, IoSnapshot, IoStats, MemEnv, RealEnv, SimEnv};
+pub use bolt_env::{
+    CrashConfig, CrashEnv, DeviceModel, Env, FaultEnv, FaultPlan, IoSnapshot, IoStats, MemEnv,
+    OpKind, OpRecord, RealEnv, SimEnv,
+};
 
 /// Re-export of the shared-utilities crate.
 pub use bolt_common;

@@ -341,6 +341,89 @@ fn cross_profile_reopen() {
     db.close().unwrap();
 }
 
+/// `EIO` on a WAL sync during group commit: the leader must propagate the
+/// error to every writer riding its barrier (no writer may see `Ok` for a
+/// batch whose sync failed), the database must stay poisoned afterwards,
+/// and recovery must preserve exactly the acknowledged batches.
+#[test]
+fn eio_on_wal_sync_poisons_group_commit() {
+    use bolt::{WriteBatch, WriteOptions};
+    use bolt_env::{CrashConfig, FaultEnv, FaultPlan};
+
+    const WRITERS: usize = 8;
+    const BATCHES: u32 = 30;
+
+    let fault_env = FaultEnv::over_mem();
+    let env: Arc<dyn Env> = Arc::new(fault_env.clone());
+    let mut opts = Options::bolt();
+    opts.sync_wal = true;
+    let db = Arc::new(Db::open(Arc::clone(&env), "db", opts.clone()).unwrap());
+
+    // Fail one WAL sync a few barriers into the concurrent phase. Group
+    // commit makes the exact grouping nondeterministic, but whichever
+    // leader hits the EIO must fail its whole group.
+    fault_env.set_plan(FaultPlan::new().fail_sync(fault_env.sync_count() + 4));
+
+    let threads: Vec<_> = (0..WRITERS)
+        .map(|t| {
+            let db = Arc::clone(&db);
+            std::thread::spawn(move || {
+                let mut acked = Vec::new();
+                let mut errors = 0u32;
+                for i in 0..BATCHES {
+                    let mut batch = WriteBatch::new();
+                    let value = format!("{t}-{i}");
+                    batch.put(format!("w{t}/b{i:03}/a").as_bytes(), value.as_bytes());
+                    batch.put(format!("w{t}/b{i:03}/b").as_bytes(), value.as_bytes());
+                    match db.write(batch) {
+                        Ok(()) => acked.push(i),
+                        Err(_) => errors += 1,
+                    }
+                }
+                (t, acked, errors)
+            })
+        })
+        .collect();
+    let results: Vec<_> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+
+    assert_eq!(fault_env.faults_injected(), 1, "the EIO plan must fire");
+    let total_errors: u32 = results.iter().map(|(_, _, e)| e).sum();
+    assert!(
+        total_errors > 0,
+        "injected WAL-sync EIO was swallowed: every writer saw Ok"
+    );
+
+    // PR-1 contract: a failed WAL sync poisons the database; later writes
+    // must keep failing rather than silently losing durability.
+    let mut probe = WriteBatch::new();
+    probe.put(b"probe", b"x");
+    assert!(
+        db.write_opt(probe, &WriteOptions::with_sync(true)).is_err(),
+        "database accepted writes after a WAL-sync EIO"
+    );
+    drop(Arc::try_unwrap(db).expect("all writers joined"));
+
+    // Crash (dropping unsynced state) and recover: exactly the
+    // acknowledged batches survive, each all-or-nothing.
+    fault_env.crash_inner(CrashConfig::Clean);
+    fault_env.reset();
+    let db = Db::open(env, "db", opts).unwrap();
+    for (t, acked, _) in &results {
+        for i in 0..BATCHES {
+            let a = db.get(format!("w{t}/b{i:03}/a").as_bytes()).unwrap();
+            let b = db.get(format!("w{t}/b{i:03}/b").as_bytes()).unwrap();
+            if acked.contains(&i) {
+                let value = Some(format!("{t}-{i}").into_bytes());
+                assert_eq!(a, value, "acknowledged synced batch w{t}/b{i} lost a key");
+                assert_eq!(b, value, "acknowledged synced batch w{t}/b{i} lost b key");
+            } else {
+                assert_eq!(a, b, "torn unacknowledged batch w{t}/b{i}: {a:?} vs {b:?}");
+            }
+        }
+    }
+    db.close().unwrap();
+}
+
 /// The write pipeline under contention: eight synced writers must share
 /// WAL barriers through group commit (strictly fewer barriers than
 /// batches), keep published sequences monotonic, and never lose or tear an
