@@ -24,6 +24,8 @@ pub mod bloom;
 pub mod cache;
 pub mod coding;
 pub mod crc32c;
+#[cfg(feature = "debug_locks")]
+pub mod debug_locks;
 pub mod error;
 pub mod histogram;
 pub mod rng;

@@ -111,7 +111,7 @@ pub fn pick_compaction(
         .iter()
         .copied()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("scores are finite"))?;
+        .max_by(|a, b| a.1.total_cmp(&b.1))?;
 
     if best_score >= 1.0 {
         if matches!(opts.compaction_style, CompactionStyle::Fragmented) {

@@ -41,6 +41,7 @@ pub mod iterator;
 pub mod memtable;
 pub mod options;
 pub mod stats;
+pub(crate) mod sync;
 pub mod version;
 pub mod versions;
 

@@ -1,0 +1,31 @@
+//! Engine lock primitives, switchable to the `debug_locks` runtime witness.
+//!
+//! Without the feature these are plain `parking_lot` re-exports with zero
+//! overhead. With `--features debug_locks` every engine lock is a
+//! `bolt_common::debug_locks` tracked wrapper: nested acquisitions feed a
+//! process-wide graph and the first lock-order cycle panics (see DESIGN.md
+//! §10). Construct engine locks through [`named_mutex`] so the witness can
+//! report meaningful names; the declared global order lives in
+//! `lint/lock_order.toml`.
+
+#[cfg(feature = "debug_locks")]
+pub use bolt_common::debug_locks::{
+    TrackedCondvar as Condvar, TrackedMutex as Mutex, TrackedMutexGuard as MutexGuard,
+};
+#[cfg(not(feature = "debug_locks"))]
+pub use parking_lot::{Condvar, Mutex, MutexGuard};
+
+/// A mutex named in the lock-order graph when `debug_locks` is enabled; a
+/// plain mutex otherwise. Names must match `lint/lock_order.toml`.
+#[cfg(feature = "debug_locks")]
+pub fn named_mutex<T>(name: &'static str, value: T) -> Mutex<T> {
+    Mutex::named(name, value)
+}
+
+/// A mutex named in the lock-order graph when `debug_locks` is enabled; a
+/// plain mutex otherwise. Names must match `lint/lock_order.toml`.
+#[cfg(not(feature = "debug_locks"))]
+pub fn named_mutex<T>(name: &'static str, value: T) -> Mutex<T> {
+    let _ = name;
+    Mutex::new(value)
+}

@@ -17,6 +17,10 @@
 //! * **EIO on the Nth sync** — the Nth durability barrier returns an I/O
 //!   error *once*, without crashing, to test error propagation.
 //! * **EIO on op K** — same, keyed by global op index.
+//! * **path-scoped clauses** — `eio:sync:glob=MANIFEST-*:nth=2`-style
+//!   rules keyed by `(op kind, path glob, per-rule ordinal)` instead of a
+//!   global index, so a plan survives workload drift; see
+//!   [`FaultPlan::parse`].
 //!
 //! A harness first *records* a workload (op trace + [`FaultEnv::mark`]
 //! phase markers), then replays it crashing at every interesting index.
@@ -101,10 +105,118 @@ pub struct OpRecord {
     pub bytes: u64,
 }
 
-/// A scripted set of faults, keyed by global op index or sync ordinal.
+/// Which op kinds a path-scoped fault clause targets. `Sync` matches both
+/// full syncs and ordering barriers — from the plan's point of view either
+/// is "the durability barrier on this file".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathKind {
+    /// `new_writable_file`.
+    Create,
+    /// `WritableFile::append`.
+    Append,
+    /// `WritableFile::sync` *or* `ordering_barrier`.
+    Sync,
+    /// `rename_file` (keyed by the source path).
+    Rename,
+    /// `delete_file`.
+    Delete,
+    /// `punch_hole`.
+    Punch,
+}
+
+impl PathKind {
+    fn matches(self, op: OpKind) -> bool {
+        match self {
+            PathKind::Create => op == OpKind::Create,
+            PathKind::Append => op == OpKind::Append,
+            PathKind::Sync => matches!(op, OpKind::Sync | OpKind::OrderingBarrier),
+            PathKind::Rename => op == OpKind::Rename,
+            PathKind::Delete => op == OpKind::Delete,
+            PathKind::Punch => op == OpKind::PunchHole,
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            PathKind::Create => "create",
+            PathKind::Append => "append",
+            PathKind::Sync => "sync",
+            PathKind::Rename => "rename",
+            PathKind::Delete => "delete",
+            PathKind::Punch => "punch",
+        }
+    }
+
+    fn parse(s: &str) -> std::result::Result<Self, String> {
+        Ok(match s {
+            "create" => PathKind::Create,
+            "append" => PathKind::Append,
+            "sync" => PathKind::Sync,
+            "rename" => PathKind::Rename,
+            "delete" => PathKind::Delete,
+            "punch" => PathKind::Punch,
+            other => return Err(format!("unknown op kind `{other}`")),
+        })
+    }
+}
+
+#[derive(Debug, Clone)]
+enum PathMode {
+    Eio,
+    Crash { keep: u64 },
+}
+
+/// One path-scoped clause: fire on the `nth` (0-based) op of `kind` whose
+/// path matches `glob`.
+#[derive(Debug, Clone)]
+struct PathRule {
+    kind: PathKind,
+    glob: String,
+    nth: u64,
+    mode: PathMode,
+    /// Matching ops seen so far (the per-rule ordinal counter).
+    seen: u64,
+}
+
+/// `*`/`?` wildcard match. Patterns without `/` match the path's basename;
+/// patterns containing `/` match the full path.
+fn glob_match(pattern: &str, path: &str) -> bool {
+    let target = if pattern.contains('/') {
+        path
+    } else {
+        path.rsplit('/').next().unwrap_or(path)
+    };
+    let (p, s) = (pattern.as_bytes(), target.as_bytes());
+    let (mut pi, mut si) = (0usize, 0usize);
+    let mut star: Option<usize> = None;
+    let mut mark = 0usize;
+    while si < s.len() {
+        if pi < p.len() && (p[pi] == b'?' || p[pi] == s[si]) {
+            pi += 1;
+            si += 1;
+        } else if pi < p.len() && p[pi] == b'*' {
+            star = Some(pi);
+            mark = si;
+            pi += 1;
+        } else if let Some(sp) = star {
+            pi = sp + 1;
+            mark += 1;
+            si = mark;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == b'*' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+/// A scripted set of faults, keyed by global op index, sync ordinal, or a
+/// path-scoped `(kind, glob, nth)` clause.
 ///
-/// Build with the fluent methods and install via [`FaultEnv::set_plan`].
-/// The grammar:
+/// Build with the fluent methods (or [`FaultPlan::parse`]) and install via
+/// [`FaultEnv::set_plan`]. The grammar:
 ///
 /// * [`FaultPlan::crash_at_op`] — power failure *instead of* executing op
 ///   `K`; everything after fails until [`FaultEnv::reset`].
@@ -113,12 +225,19 @@ pub struct OpRecord {
 /// * [`FaultPlan::fail_sync`] — the `n`-th (0-based) sync/ordering barrier
 ///   returns `EIO` once; later syncs succeed.
 /// * [`FaultPlan::fail_op`] — op `K` returns `EIO` once; later ops succeed.
+/// * [`FaultPlan::eio_on_path`] / [`FaultPlan::crash_on_path`] /
+///   [`FaultPlan::torn_crash_on_path`] — path-scoped: the `nth` (0-based)
+///   op of a kind whose path matches a glob. Robust against op-index drift
+///   when the workload changes: `eio:sync:glob=MANIFEST-*:nth=0` targets
+///   "the first MANIFEST barrier" regardless of how many WAL or table ops
+///   precede it.
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
     crash_at: Option<u64>,
     torn_keep: u64,
     fail_ops: Vec<u64>,
     fail_syncs: Vec<u64>,
+    path_rules: Vec<PathRule>,
 }
 
 impl FaultPlan {
@@ -155,6 +274,97 @@ impl FaultPlan {
     pub fn fail_op(mut self, k: u64) -> Self {
         self.fail_ops.push(k);
         self
+    }
+
+    /// Return `EIO` (once) from the `nth` (0-based) op of `kind` whose path
+    /// matches `glob`.
+    #[must_use]
+    pub fn eio_on_path(mut self, kind: PathKind, glob: &str, nth: u64) -> Self {
+        self.path_rules.push(PathRule {
+            kind,
+            glob: glob.to_string(),
+            nth,
+            mode: PathMode::Eio,
+            seen: 0,
+        });
+        self
+    }
+
+    /// Crash instead of executing the `nth` (0-based) op of `kind` whose
+    /// path matches `glob`.
+    #[must_use]
+    pub fn crash_on_path(mut self, kind: PathKind, glob: &str, nth: u64) -> Self {
+        self.path_rules.push(PathRule {
+            kind,
+            glob: glob.to_string(),
+            nth,
+            mode: PathMode::Crash { keep: 0 },
+            seen: 0,
+        });
+        self
+    }
+
+    /// Like [`FaultPlan::crash_on_path`], but if the matched op is an
+    /// append, `keep` bytes of its payload reach the file first.
+    #[must_use]
+    pub fn torn_crash_on_path(mut self, kind: PathKind, glob: &str, nth: u64, keep: u64) -> Self {
+        self.path_rules.push(PathRule {
+            kind,
+            glob: glob.to_string(),
+            nth,
+            mode: PathMode::Crash { keep },
+            seen: 0,
+        });
+        self
+    }
+
+    /// Parse a plan from clause text: whitespace/comma-separated clauses of
+    /// the form `[MODE:]KIND:glob=G:nth=N`, where `MODE` is `eio` (default),
+    /// `crash`, or `torn=K` (crash keeping `K` bytes of a torn append) and
+    /// `KIND` is `create|append|sync|rename|delete|punch` (`sync` also
+    /// matches ordering barriers). Example: `eio:sync:glob=MANIFEST-*:nth=2`.
+    pub fn parse(spec: &str) -> std::result::Result<Self, String> {
+        let mut plan = FaultPlan::new();
+        for clause in spec.split([',', ' ', '\t', '\n']).filter(|c| !c.is_empty()) {
+            plan = plan.parse_clause(clause)?;
+        }
+        Ok(plan)
+    }
+
+    fn parse_clause(self, clause: &str) -> std::result::Result<Self, String> {
+        let fields: Vec<&str> = clause.split(':').collect();
+        let bad = |what: &str| format!("bad clause `{clause}`: {what}");
+        let (mode, rest) = match fields.first().copied() {
+            Some("eio") => (PathMode::Eio, &fields[1..]),
+            Some("crash") => (PathMode::Crash { keep: 0 }, &fields[1..]),
+            Some(f) if f.starts_with("torn=") => {
+                let keep = f["torn=".len()..]
+                    .parse::<u64>()
+                    .map_err(|_| bad("torn= wants a byte count"))?;
+                (PathMode::Crash { keep }, &fields[1..])
+            }
+            _ => (PathMode::Eio, &fields[..]),
+        };
+        let &[kind, glob, nth] = rest else {
+            return Err(bad("expected [MODE:]KIND:glob=G:nth=N"));
+        };
+        let kind = PathKind::parse(kind).map_err(|e| bad(&e))?;
+        let glob = glob
+            .strip_prefix("glob=")
+            .ok_or_else(|| bad("second field must be glob=G"))?;
+        let nth = nth
+            .strip_prefix("nth=")
+            .and_then(|n| n.parse::<u64>().ok())
+            .ok_or_else(|| bad("third field must be nth=N"))?;
+        let mut plan = self;
+        plan.path_rules.push(PathRule {
+            kind,
+            glob: glob.to_string(),
+            nth,
+            mode,
+            seen: 0,
+        });
+        Ok(plan)
     }
 }
 
@@ -247,6 +457,34 @@ impl FaultState {
                 return Decision::Fail(Error::io(format!(
                     "fault: injected EIO at sync {s} ({path})"
                 )));
+            }
+        }
+        for rule in &mut script.plan.path_rules {
+            if !rule.kind.matches(kind) || !glob_match(&rule.glob, path) {
+                continue;
+            }
+            let seen = rule.seen;
+            rule.seen += 1;
+            if seen != rule.nth {
+                continue;
+            }
+            self.faults_injected.fetch_add(1, Ordering::SeqCst);
+            match rule.mode {
+                PathMode::Eio => {
+                    return Decision::Fail(Error::io(format!(
+                        "fault: injected EIO at {} #{seen} matching `{}` ({path})",
+                        rule.kind.label(),
+                        rule.glob
+                    )));
+                }
+                PathMode::Crash { keep } => {
+                    self.crashed.store(true, Ordering::SeqCst);
+                    let keep = keep.min(bytes) as usize;
+                    if kind == OpKind::Append && keep > 0 {
+                        return Decision::Torn(keep);
+                    }
+                    return Decision::Fail(Self::crash_error());
+                }
             }
         }
         Decision::Proceed
@@ -652,5 +890,62 @@ mod tests {
     #[test]
     fn conformance_with_no_plan() {
         crate::tests::env_conformance(&mem_fault());
+    }
+
+    #[test]
+    fn glob_matches_basename_or_full_path() {
+        assert!(glob_match("MANIFEST-*", "db/MANIFEST-000003"));
+        assert!(glob_match("*.log", "db/000007.log"));
+        assert!(!glob_match("*.log", "db/000007.sst"));
+        assert!(glob_match("db/*.sst", "db/000001.sst"));
+        assert!(!glob_match("other/*.sst", "db/000001.sst"));
+        assert!(glob_match("??????.sst", "db/000001.sst"));
+        assert!(!glob_match("?????.sst", "db/000001.sst"));
+    }
+
+    #[test]
+    fn path_rule_eio_on_nth_matching_sync() {
+        let env = mem_fault();
+        env.set_plan(FaultPlan::parse("eio:sync:glob=m-*:nth=1").unwrap());
+        let mut m = env.new_writable_file("db/m-1").unwrap();
+        let mut other = env.new_writable_file("db/data").unwrap();
+        other.sync().unwrap(); // non-matching path: not counted by the rule
+        m.sync().unwrap(); // matching #0
+        other.sync().unwrap();
+        assert!(m.sync().is_err()); // matching #1: EIO
+        assert!(!env.crashed(), "path EIO is not a crash");
+        m.sync().unwrap(); // fires once
+        assert_eq!(env.faults_injected(), 1);
+    }
+
+    #[test]
+    fn path_rule_crash_and_torn_variants() {
+        let env = mem_fault();
+        env.set_plan(FaultPlan::new().crash_on_path(PathKind::Append, "*.log", 2));
+        let mut f = env.new_writable_file("a.log").unwrap();
+        f.append(b"one").unwrap();
+        f.append(b"two").unwrap();
+        assert!(f.append(b"three").is_err()); // matching append #2
+        assert!(env.crashed());
+
+        let env = mem_fault();
+        env.set_plan(FaultPlan::parse("torn=2:append:glob=*.log:nth=0").unwrap());
+        let mut f = env.new_writable_file("a.log").unwrap();
+        assert!(f.append(b"xyz").is_err());
+        assert!(env.crashed());
+        env.crash_inner(CrashConfig::TornTail { seed: 1 });
+        env.reset();
+        let size = env.file_size("a.log").unwrap();
+        assert!(size <= 2, "at most the torn prefix survives, got {size}");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_clauses() {
+        assert!(FaultPlan::parse("sync:glob=M*:nth=0").is_ok());
+        assert!(FaultPlan::parse("crash:delete:glob=*.sst:nth=3").is_ok());
+        assert!(FaultPlan::parse("bogus:glob=M*:nth=0").is_err());
+        assert!(FaultPlan::parse("sync:g=M*:nth=0").is_err());
+        assert!(FaultPlan::parse("sync:glob=M*:nth=x").is_err());
+        assert!(FaultPlan::parse("eio:sync:glob=M*").is_err());
     }
 }

@@ -1,0 +1,668 @@
+//! Per-function fact extraction over the token stream: lock acquisitions and
+//! guard lifetimes, env-layer barrier calls, panic sites, plain calls (for
+//! cross-function lock propagation), `#[cfg(test)]` regions, and
+//! `MutexGuard::unlocked` spans.
+//!
+//! The extractor is lexical, not a parser: it tracks brace scopes, `let`
+//! statements, and bracket matching, which is enough to recover guard
+//! extents for straight-line Rust of the style this workspace uses. Known
+//! approximations are documented in DESIGN.md §10.
+
+use std::collections::HashMap;
+
+use crate::lexer::{lex, Tok, Token};
+
+/// Methods whose zero-argument calls are lock acquisitions.
+const ACQUIRE_METHODS: [&str; 3] = ["lock", "read", "write"];
+/// Env-layer barrier/I-O methods watched by rules L1 and L4.
+const BARRIER_METHODS: [&str; 4] = ["sync", "ordering_barrier", "append", "add_record"];
+/// Panic-family suffix methods and macros watched by rule L3.
+const PANIC_METHODS: [&str; 2] = ["unwrap", "expect"];
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+const CALL_KEYWORDS: [&str; 7] = ["if", "while", "for", "match", "loop", "return", "fn"];
+
+/// A lock guard live at some program point.
+#[derive(Debug, Clone)]
+pub struct Held {
+    /// The `let` binding holding the guard.
+    pub binding: String,
+    /// The acquisition receiver (`state` in `self.state.lock()`).
+    pub receiver: String,
+    /// Line of the acquisition.
+    pub acquired_line: u32,
+}
+
+/// One extracted event, in source order within a function.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A `receiver.lock()` / `.read()` / `.write()` acquisition. `held` is
+    /// the guard set at the moment of acquisition (excluding this one).
+    Acquire {
+        /// Receiver identifier at the call site.
+        receiver: String,
+        /// Source line of the acquisition.
+        line: u32,
+        /// Guards live at this point (excluding this one).
+        held: Vec<Held>,
+    },
+    /// An env-layer barrier call (`.sync(` / `.ordering_barrier(` /
+    /// `.append(` / `.add_record(`).
+    Barrier {
+        /// Barrier method name (`sync`, `append`, ...).
+        method: String,
+        /// Receiver identifier at the call site.
+        receiver: String,
+        /// Source line of the call.
+        line: u32,
+        /// Whether the call sits inside a `MutexGuard::unlocked` closure.
+        in_unlocked: bool,
+        /// Guards live at this point.
+        held: Vec<Held>,
+    },
+    /// Any other call, recorded for cross-function lock propagation.
+    Call {
+        /// Callee identifier.
+        name: String,
+        /// Source line of the call.
+        line: u32,
+        /// Guards live at this point.
+        held: Vec<Held>,
+    },
+    /// `unwrap`/`expect`/`panic!`-family site.
+    Panic {
+        /// What was called (`unwrap`, `expect`, `panic!`, ...).
+        what: String,
+        /// Source line of the call.
+        line: u32,
+    },
+}
+
+/// Facts for one function.
+#[derive(Debug)]
+pub struct FnFacts {
+    /// Bare function name.
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Inside a `#[cfg(test)]` region or under `#[test]`.
+    pub in_test: bool,
+    /// Extracted events in source order.
+    pub events: Vec<Event>,
+}
+
+/// Facts for one file.
+pub struct FileFacts {
+    /// Path as given to [`extract`].
+    pub path: String,
+    /// Per-function facts in source order.
+    pub functions: Vec<FnFacts>,
+    /// Line → rules allowed by `// bolt-lint: allow(rule, ...)` comments.
+    pub allows: HashMap<u32, Vec<String>>,
+}
+
+impl FileFacts {
+    /// Is `rule` allowed at `line` (same line or the line above)?
+    pub fn allowed(&self, rule: &str, line: u32) -> bool {
+        [line, line.saturating_sub(1)].iter().any(|l| {
+            self.allows
+                .get(l)
+                .is_some_and(|rules| rules.iter().any(|r| r == rule))
+        })
+    }
+}
+
+/// Extract facts from one source file.
+pub fn extract(path: &str, src: &str) -> FileFacts {
+    let lexed = lex(src);
+    let toks = &lexed.tokens;
+
+    let allows = parse_allows(&lexed.comments);
+    let (close_of, open_of) = match_brackets(toks);
+    let test_regions = find_test_regions(toks, &close_of);
+    let unlocked_spans = find_unlocked_spans(toks, &close_of);
+    let fns = find_functions(toks, &close_of);
+
+    let mut functions = Vec::new();
+    for f in &fns {
+        // Token ranges of other functions nested strictly inside this body
+        // are theirs, not ours.
+        let nested: Vec<(usize, usize)> = fns
+            .iter()
+            .filter(|g| g.body_start > f.body_start && g.body_end <= f.body_end)
+            .map(|g| (g.body_start, g.body_end))
+            .collect();
+        let in_test = test_regions
+            .iter()
+            .any(|&(s, e)| f.body_start >= s && f.body_end <= e);
+        let events = extract_events(
+            toks,
+            f.body_start,
+            f.body_end,
+            &nested,
+            &unlocked_spans,
+            &open_of,
+        );
+        functions.push(FnFacts {
+            name: f.name.clone(),
+            line: f.line,
+            in_test,
+            events,
+        });
+    }
+
+    FileFacts {
+        path: path.to_string(),
+        functions,
+        allows,
+    }
+}
+
+fn parse_allows(comments: &[(u32, String)]) -> HashMap<u32, Vec<String>> {
+    let mut allows: HashMap<u32, Vec<String>> = HashMap::new();
+    for (line, text) in comments {
+        let Some(pos) = text.find("bolt-lint:") else {
+            continue;
+        };
+        let rest = text[pos + "bolt-lint:".len()..].trim_start();
+        let Some(list) = rest
+            .strip_prefix("allow(")
+            .and_then(|r| r.split(')').next())
+        else {
+            continue;
+        };
+        allows
+            .entry(*line)
+            .or_default()
+            .extend(list.split(',').map(|r| r.trim().to_string()));
+    }
+    allows
+}
+
+/// Match `(`/`)`, `{`/`}` and `[`/`]` pairs. Returns (open→close, close→open).
+fn match_brackets(toks: &[Token]) -> (HashMap<usize, usize>, HashMap<usize, usize>) {
+    let mut close_of = HashMap::new();
+    let mut open_of = HashMap::new();
+    let mut stack: Vec<(char, usize)> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if let Tok::Punct(c) = t.tok {
+            match c {
+                '(' | '{' | '[' => stack.push((c, i)),
+                ')' | '}' | ']' => {
+                    let want = match c {
+                        ')' => '(',
+                        '}' => '{',
+                        _ => '[',
+                    };
+                    // Pop to the matching opener, tolerating imbalance.
+                    while let Some((oc, oi)) = stack.pop() {
+                        if oc == want {
+                            close_of.insert(oi, i);
+                            open_of.insert(i, oi);
+                            break;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    (close_of, open_of)
+}
+
+fn ident_at(toks: &[Token], i: usize) -> Option<&str> {
+    match toks.get(i).map(|t| &t.tok) {
+        Some(Tok::Ident(s)) => Some(s),
+        _ => None,
+    }
+}
+
+fn punct_at(toks: &[Token], i: usize) -> Option<char> {
+    match toks.get(i).map(|t| &t.tok) {
+        Some(Tok::Punct(c)) => Some(*c),
+        _ => None,
+    }
+}
+
+/// Token-index ranges covered by `#[cfg(test)]` / `#[test]` items.
+fn find_test_regions(toks: &[Token], close_of: &HashMap<usize, usize>) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if punct_at(toks, i) == Some('#') && punct_at(toks, i + 1) == Some('[') {
+            let Some(&attr_end) = close_of.get(&(i + 1)) else {
+                i += 1;
+                continue;
+            };
+            let mut has_cfg = false;
+            let mut has_test = false;
+            for j in i + 2..attr_end {
+                match ident_at(toks, j) {
+                    Some("cfg") => has_cfg = true,
+                    Some("test") => has_test = true,
+                    _ => {}
+                }
+            }
+            let only_test = attr_end == i + 3 && ident_at(toks, i + 2) == Some("test");
+            if (has_cfg && has_test) || only_test {
+                // Skip any further attributes, then cover the following item.
+                let mut j = attr_end + 1;
+                while punct_at(toks, j) == Some('#') && punct_at(toks, j + 1) == Some('[') {
+                    match close_of.get(&(j + 1)) {
+                        Some(&e) => j = e + 1,
+                        None => break,
+                    }
+                }
+                // Item extends to its first top-level `{ ... }` or `;`.
+                let mut k = j;
+                while k < toks.len() {
+                    match toks[k].tok {
+                        Tok::Punct('{') => {
+                            let end = close_of.get(&k).copied().unwrap_or(toks.len() - 1);
+                            regions.push((i, end + 1));
+                            i = end;
+                            break;
+                        }
+                        Tok::Punct(';') => {
+                            regions.push((i, k + 1));
+                            i = k;
+                            break;
+                        }
+                        _ => k += 1,
+                    }
+                }
+            }
+            i = i.max(attr_end) + 1;
+            continue;
+        }
+        i += 1;
+    }
+    regions
+}
+
+/// Paren spans of `MutexGuard::unlocked(...)` / `TrackedMutexGuard::unlocked(...)`
+/// calls, inside which rule L1 does not fire (the guard is released).
+fn find_unlocked_spans(toks: &[Token], close_of: &HashMap<usize, usize>) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    for i in 0..toks.len() {
+        let Some(name) = ident_at(toks, i) else {
+            continue;
+        };
+        if (name == "MutexGuard" || name == "TrackedMutexGuard")
+            && punct_at(toks, i + 1) == Some(':')
+            && punct_at(toks, i + 2) == Some(':')
+            && ident_at(toks, i + 3) == Some("unlocked")
+            && punct_at(toks, i + 4) == Some('(')
+        {
+            if let Some(&end) = close_of.get(&(i + 4)) {
+                spans.push((i + 4, end));
+            }
+        }
+    }
+    spans
+}
+
+struct FnSpan {
+    name: String,
+    line: u32,
+    body_start: usize,
+    body_end: usize, // exclusive
+}
+
+/// Locate every `fn name ... { body }` at any nesting depth.
+fn find_functions(toks: &[Token], close_of: &HashMap<usize, usize>) -> Vec<FnSpan> {
+    let mut fns = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if ident_at(toks, i) == Some("fn") {
+            if let Some(name) = ident_at(toks, i + 1) {
+                let name = name.to_string();
+                let line = toks[i].line;
+                // Find the parameter list `(`, skipping generics.
+                let mut j = i + 2;
+                let mut angle = 0i32;
+                let params = loop {
+                    match toks.get(j).map(|t| &t.tok) {
+                        Some(Tok::Punct('<')) => angle += 1,
+                        Some(Tok::Punct('>')) => angle -= 1,
+                        Some(Tok::Punct('(')) if angle <= 0 => break Some(j),
+                        Some(Tok::Punct(';')) | Some(Tok::Punct('{')) | None => break None,
+                        _ => {}
+                    }
+                    j += 1;
+                };
+                if let Some(p) = params {
+                    if let Some(&pend) = close_of.get(&p) {
+                        // Body is the first `{` before any `;` after params.
+                        let mut k = pend + 1;
+                        while k < toks.len() {
+                            match toks[k].tok {
+                                Tok::Punct('{') => {
+                                    let end = close_of.get(&k).copied().unwrap_or(toks.len() - 1);
+                                    fns.push(FnSpan {
+                                        name,
+                                        line,
+                                        body_start: k + 1,
+                                        body_end: end,
+                                    });
+                                    break;
+                                }
+                                Tok::Punct(';') => break, // trait signature
+                                _ => k += 1,
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    fns
+}
+
+/// Receiver identifier of a method call whose `.` is at `dot`.
+fn receiver_of(toks: &[Token], open_of: &HashMap<usize, usize>, dot: usize) -> String {
+    if dot == 0 {
+        return "?".into();
+    }
+    match &toks[dot - 1].tok {
+        Tok::Ident(s) => s.clone(),
+        Tok::Punct(')') => {
+            // `self.shard(key).lock()` — name the call before the parens.
+            match open_of.get(&(dot - 1)) {
+                Some(&open) if open > 0 => match &toks[open - 1].tok {
+                    Tok::Ident(s) => s.clone(),
+                    _ => "?".into(),
+                },
+                _ => "?".into(),
+            }
+        }
+        _ => "?".into(),
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn extract_events(
+    toks: &[Token],
+    start: usize,
+    end: usize,
+    nested: &[(usize, usize)],
+    unlocked_spans: &[(usize, usize)],
+    open_of: &HashMap<usize, usize>,
+) -> Vec<Event> {
+    let mut events = Vec::new();
+    let mut scopes: Vec<Vec<Held>> = vec![Vec::new()];
+    let mut pending_let: Option<String> = None;
+
+    let held_now =
+        |scopes: &Vec<Vec<Held>>| -> Vec<Held> { scopes.iter().flatten().cloned().collect() };
+    let in_unlocked = |i: usize| unlocked_spans.iter().any(|&(s, e)| i > s && i < e);
+
+    let mut i = start;
+    while i < end {
+        // Skip nested function bodies — their events are their own. (An
+        // empty body has start == end; always make progress.)
+        if let Some(&(_, ne)) = nested.iter().find(|&&(ns, _)| ns == i) {
+            i = ne.max(i + 1);
+            continue;
+        }
+        match &toks[i].tok {
+            Tok::Punct('{') => {
+                scopes.push(Vec::new());
+                pending_let = None;
+            }
+            Tok::Punct('}') => {
+                scopes.pop();
+                if scopes.is_empty() {
+                    scopes.push(Vec::new());
+                }
+            }
+            Tok::Punct(';') => pending_let = None,
+            Tok::Ident(id) if id == "let" => {
+                pending_let = match toks.get(i + 1).map(|t| &t.tok) {
+                    Some(Tok::Ident(m)) if m == "mut" => match toks.get(i + 2).map(|t| &t.tok) {
+                        Some(Tok::Ident(b)) if punct_at(toks, i + 3) != Some('(') => {
+                            Some(b.clone())
+                        }
+                        _ => None,
+                    },
+                    Some(Tok::Ident(b)) if punct_at(toks, i + 2) != Some('(') => Some(b.clone()),
+                    _ => None,
+                };
+            }
+            Tok::Punct('.') => {
+                if let Some(method) = ident_at(toks, i + 1) {
+                    let line = toks[i + 1].line;
+                    if punct_at(toks, i + 2) == Some('(') {
+                        let method = method.to_string();
+                        let receiver = receiver_of(toks, open_of, i);
+                        let zero_arg = punct_at(toks, i + 3) == Some(')');
+                        if zero_arg && ACQUIRE_METHODS.contains(&method.as_str()) {
+                            let held = held_now(&scopes);
+                            events.push(Event::Acquire {
+                                receiver: receiver.clone(),
+                                line,
+                                held,
+                            });
+                            // Bound guard only when the statement is exactly
+                            // `let g = <recv>.lock();` — the acquisition's
+                            // `()` immediately followed by `;`.
+                            if let Some(binding) = pending_let.clone() {
+                                if punct_at(toks, i + 4) == Some(';') {
+                                    scopes.last_mut().unwrap().push(Held {
+                                        binding,
+                                        receiver,
+                                        acquired_line: line,
+                                    });
+                                    pending_let = None;
+                                }
+                            }
+                            i += 3;
+                            continue;
+                        }
+                        if BARRIER_METHODS.contains(&method.as_str()) {
+                            events.push(Event::Barrier {
+                                method: method.clone(),
+                                receiver,
+                                line,
+                                in_unlocked: in_unlocked(i),
+                                held: held_now(&scopes),
+                            });
+                            i += 2;
+                            continue;
+                        }
+                        if PANIC_METHODS.contains(&method.as_str()) {
+                            events.push(Event::Panic {
+                                what: format!(".{method}()"),
+                                line,
+                            });
+                            i += 2;
+                            continue;
+                        }
+                        events.push(Event::Call {
+                            name: method,
+                            line,
+                            held: held_now(&scopes),
+                        });
+                        i += 2;
+                        continue;
+                    }
+                }
+            }
+            Tok::Ident(name) => {
+                // Macro invocations: only the panic family matters.
+                if punct_at(toks, i + 1) == Some('!') && PANIC_MACROS.contains(&name.as_str()) {
+                    events.push(Event::Panic {
+                        what: format!("{name}!"),
+                        line: toks[i].line,
+                    });
+                    i += 2;
+                    continue;
+                }
+                // Free / associated calls: `name(...)` not preceded by `.`
+                // (method calls handled above) or `fn`.
+                if punct_at(toks, i + 1) == Some('(')
+                    && !CALL_KEYWORDS.contains(&name.as_str())
+                    && (i == 0 || ident_at(toks, i - 1) != Some("fn"))
+                {
+                    // `drop(guard)` explicitly releases a binding.
+                    if name == "drop" && punct_at(toks, i + 3) == Some(')') {
+                        if let Some(arg) = ident_at(toks, i + 2) {
+                            let arg = arg.to_string();
+                            for scope in scopes.iter_mut() {
+                                scope.retain(|h| h.binding != arg);
+                            }
+                            i += 4;
+                            continue;
+                        }
+                    }
+                    events.push(Event::Call {
+                        name: name.clone(),
+                        line: toks[i].line,
+                        held: held_now(&scopes),
+                    });
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn facts(src: &str) -> FileFacts {
+        extract("test.rs", src)
+    }
+
+    #[test]
+    fn guard_binding_and_extent() {
+        let f = facts(
+            r#"
+fn f(&self) {
+    {
+        let g = self.state.lock();
+        self.file.sync()?;
+    }
+    self.file.sync()?;
+}
+"#,
+        );
+        let ev = &f.functions[0].events;
+        let barriers: Vec<_> = ev
+            .iter()
+            .filter_map(|e| match e {
+                Event::Barrier { held, .. } => Some(held.len()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(barriers, vec![1, 0], "guard dies at block end");
+    }
+
+    #[test]
+    fn temporary_guard_not_bound() {
+        let f = facts("fn f(&self) { let n = self.versions.lock().next(); self.file.sync()?; }");
+        let ev = &f.functions[0].events;
+        assert!(ev.iter().any(|e| matches!(e, Event::Acquire { .. })));
+        let held = ev
+            .iter()
+            .find_map(|e| match e {
+                Event::Barrier { held, .. } => Some(held.len()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(held, 0, "chained call is not a guard binding");
+    }
+
+    #[test]
+    fn drop_releases_binding() {
+        let f = facts("fn f(&self) { let g = self.state.lock(); drop(g); self.file.sync()?; }");
+        let held = f.functions[0]
+            .events
+            .iter()
+            .find_map(|e| match e {
+                Event::Barrier { held, .. } => Some(held.len()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(held, 0);
+    }
+
+    #[test]
+    fn cfg_test_regions_marked() {
+        let f = facts(
+            r#"
+fn live(&self) { self.x.unwrap(); }
+#[cfg(test)]
+mod tests {
+    fn helper() { x.unwrap(); }
+    #[test]
+    fn t() { y.unwrap(); }
+}
+"#,
+        );
+        let by_name: HashMap<_, _> = f
+            .functions
+            .iter()
+            .map(|f| (f.name.as_str(), f.in_test))
+            .collect();
+        assert!(!by_name["live"]);
+        assert!(by_name["helper"]);
+        assert!(by_name["t"]);
+    }
+
+    #[test]
+    fn unlocked_span_suppresses() {
+        let f = facts(
+            r#"
+fn f(&self) {
+    let mut state = self.state.lock();
+    MutexGuard::unlocked(&mut state, || { wal.sync() })?;
+    wal.sync()?;
+}
+"#,
+        );
+        let flags: Vec<bool> = f.functions[0]
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Barrier { in_unlocked, .. } => Some(*in_unlocked),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(flags, vec![true, false]);
+    }
+
+    #[test]
+    fn allow_comments_parsed() {
+        let f = facts("// bolt-lint: allow(lock-order, unsynced-commit)\nfn f() {}\n");
+        assert!(f.allowed("lock-order", 1));
+        assert!(f.allowed("unsynced-commit", 2), "line-above allows apply");
+        assert!(!f.allowed("guard-across-barrier", 1));
+    }
+
+    #[test]
+    fn nested_fn_events_not_double_counted() {
+        let f = facts("fn outer() { fn inner() { x.unwrap(); } }");
+        let outer = f.functions.iter().find(|f| f.name == "outer").unwrap();
+        assert!(outer.events.is_empty());
+        let inner = f.functions.iter().find(|f| f.name == "inner").unwrap();
+        assert_eq!(inner.events.len(), 1);
+    }
+
+    #[test]
+    fn receiver_through_call_parens() {
+        let f = facts("fn f(&self) { let g = self.shard(key).lock(); }");
+        let recv = f.functions[0]
+            .events
+            .iter()
+            .find_map(|e| match e {
+                Event::Acquire { receiver, .. } => Some(receiver.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(recv, "shard");
+    }
+}

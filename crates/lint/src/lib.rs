@@ -1,0 +1,130 @@
+//! # bolt-lint
+//!
+//! Barrier-ordering and lock-discipline static analyzer for the BoLT
+//! workspace. Dependency-free: a hand-rolled tokenizer ([`lexer`]),
+//! per-function fact extraction ([`facts`]), and four rules ([`rules`])
+//! checked against the declared lock order in `lint/lock_order.toml`
+//! ([`config`]).
+//!
+//! Run as `cargo run -p bolt-lint -- check .` (or `bolt-tool lint`); CI
+//! treats any unannotated finding as a failure. Suppress a reviewed finding
+//! with `// bolt-lint: allow(<rule>)` on the same line or the line above.
+//! See DESIGN.md §10 for the rule catalogue.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod facts;
+pub mod lexer;
+pub mod rules;
+
+use std::path::{Path, PathBuf};
+
+pub use config::Config;
+pub use rules::Finding;
+
+/// Directory names never descended into, and path fragments excluded from
+/// analysis. `shims/` contains stand-ins for third-party crates (vendored
+/// dependency code is not ours to lint); `tests/corpus/` holds bolt-lint's
+/// own seeded violations.
+const SKIP_DIRS: [&str; 3] = ["target", ".git", "node_modules"];
+const SKIP_FRAGMENTS: [&str; 2] = ["/tests/corpus/", "/shims/"];
+
+/// Analyze in-memory sources: `(path, contents)` pairs. The entry point the
+/// corpus tests use; [`check_root`] is the filesystem front door.
+pub fn analyze_sources(sources: &[(String, String)], cfg: &Config) -> Vec<Finding> {
+    let files: Vec<facts::FileFacts> = sources
+        .iter()
+        .map(|(path, src)| facts::extract(path, src))
+        .collect();
+    rules::run(&files, cfg)
+}
+
+/// Recursively collect `.rs` files under `root`, honoring the skip lists.
+pub fn collect_rs_files(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries =
+            std::fs::read_dir(&dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+            let path = entry.path();
+            let name = entry.file_name().to_string_lossy().to_string();
+            let ty = entry
+                .file_type()
+                .map_err(|e| format!("stat {}: {e}", path.display()))?;
+            if ty.is_dir() {
+                if SKIP_DIRS.contains(&name.as_str()) || name.starts_with('.') {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                let p = path.to_string_lossy().replace('\\', "/");
+                if SKIP_FRAGMENTS.iter().any(|f| p.contains(f)) {
+                    continue;
+                }
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Analyze every `.rs` file under `root` with the config at
+/// `root/lint/lock_order.toml` (or built-in defaults when absent).
+/// Returns unsuppressed findings sorted by file and line.
+pub fn check_root(root: &Path, config_path: Option<&Path>) -> Result<Vec<Finding>, String> {
+    let cfg_path = config_path
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| root.join("lint/lock_order.toml"));
+    let cfg = if cfg_path.exists() {
+        let text = std::fs::read_to_string(&cfg_path)
+            .map_err(|e| format!("read {}: {e}", cfg_path.display()))?;
+        Config::parse(&text)?
+    } else {
+        Config::default_rules()
+    };
+    let mut sources = Vec::new();
+    for path in collect_rs_files(root)? {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        // Report paths relative to the checked root for stable output.
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        sources.push((rel, text));
+    }
+    Ok(analyze_sources(&sources, &cfg))
+}
+
+/// CLI driver shared by the `bolt-lint` binary and `bolt-tool lint`:
+/// analyze, print findings, return the process exit code (0 clean,
+/// 1 findings, 2 usage/config error).
+pub fn run_check(root: &Path, config_path: Option<&Path>) -> i32 {
+    match check_root(root, config_path) {
+        Ok(findings) => {
+            for f in &findings {
+                println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+            }
+            if findings.is_empty() {
+                println!("bolt-lint: clean ({} ok)", root.display());
+                0
+            } else {
+                println!(
+                    "bolt-lint: {} finding(s); annotate reviewed sites with \
+                     `// bolt-lint: allow(<rule>)`",
+                    findings.len()
+                );
+                1
+            }
+        }
+        Err(e) => {
+            eprintln!("bolt-lint: error: {e}");
+            2
+        }
+    }
+}

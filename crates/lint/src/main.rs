@@ -1,0 +1,39 @@
+//! `bolt-lint` CLI: `bolt-lint check [PATH] [--config FILE]`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: bolt-lint check [PATH] [--config FILE]\n\
+         \n\
+         Static barrier-ordering / lock-discipline analysis over the Rust\n\
+         sources under PATH (default: current directory). The lock order is\n\
+         read from PATH/lint/lock_order.toml unless --config overrides it.\n\
+         Exit code 1 when unannotated findings exist."
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("check") => {}
+        _ => return usage(),
+    }
+    let mut root: Option<PathBuf> = None;
+    let mut config: Option<PathBuf> = None;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--config" => match it.next() {
+                Some(p) => config = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            p if root.is_none() && !p.starts_with('-') => root = Some(PathBuf::from(p)),
+            _ => return usage(),
+        }
+    }
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
+    ExitCode::from(u8::try_from(bolt_lint::run_check(&root, config.as_deref())).unwrap_or(2))
+}

@@ -1,0 +1,461 @@
+//! The four bolt-lint rules (DESIGN.md §10):
+//!
+//! - **L1 `guard-across-barrier`** — a lock guard binding live across an
+//!   env-layer `sync`/`ordering_barrier`/`append`/`add_record` call. WAL and
+//!   compaction I/O must run outside the engine mutex (the PR-1 group-commit
+//!   invariant); `MutexGuard::unlocked(...)` spans are exempt.
+//! - **L2 `lock-order`** — every recorded acquisition edge (lock B taken
+//!   while A held, intra-function or through a uniquely-resolvable call)
+//!   must agree with the global order declared in `lint/lock_order.toml`;
+//!   any cycle in the edge graph is rejected even among undeclared locks.
+//! - **L3 `unwrap-in-crash-path`** — `unwrap`/`expect`/`panic!`-family in
+//!   recovery/compaction/WAL modules outside `#[cfg(test)]`.
+//! - **L4 `unsynced-commit`** — in commit-protocol modules, a MANIFEST
+//!   append must be dominated by a sync of every data file appended earlier
+//!   in the function (O1), and followed by a sync of the MANIFEST writer
+//!   itself (the commit point, O2).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use crate::config::Config;
+use crate::facts::{Event, FileFacts};
+
+/// Rule identifiers, as used in `// bolt-lint: allow(<rule>)`.
+pub const RULE_GUARD_ACROSS_BARRIER: &str = "guard-across-barrier";
+/// See [`RULE_GUARD_ACROSS_BARRIER`].
+pub const RULE_LOCK_ORDER: &str = "lock-order";
+/// See [`RULE_GUARD_ACROSS_BARRIER`].
+pub const RULE_UNWRAP_IN_CRASH_PATH: &str = "unwrap-in-crash-path";
+/// See [`RULE_GUARD_ACROSS_BARRIER`].
+pub const RULE_UNSYNCED_COMMIT: &str = "unsynced-commit";
+
+/// One reported violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Path of the offending file, as analyzed.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Rule slug (one of the `RULE_*` constants).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// Run all rules over the extracted facts. Findings suppressed by allow
+/// comments are dropped here; the remainder come back sorted by file/line.
+pub fn run(files: &[FileFacts], cfg: &Config) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in files {
+        guard_across_barrier(file, cfg, &mut findings);
+        unwrap_in_crash_path(file, cfg, &mut findings);
+        unsynced_commit(file, cfg, &mut findings);
+    }
+    lock_order(files, cfg, &mut findings);
+    findings.retain(|f| {
+        let file = files.iter().find(|ff| ff.path == f.file);
+        !file.is_some_and(|ff| ff.allowed(f.rule, f.line))
+    });
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    findings
+}
+
+fn path_matches(path: &str, suffixes: &[String]) -> bool {
+    let normalized = path.replace('\\', "/");
+    suffixes.iter().any(|s| {
+        if s.ends_with('/') {
+            normalized.contains(s.as_str())
+        } else {
+            normalized.ends_with(s.as_str())
+        }
+    })
+}
+
+/// L1: a live guard binding across an env-layer barrier call.
+fn guard_across_barrier(file: &FileFacts, cfg: &Config, out: &mut Vec<Finding>) {
+    for f in &file.functions {
+        if f.in_test {
+            continue;
+        }
+        for ev in &f.events {
+            let Event::Barrier {
+                method,
+                line,
+                in_unlocked,
+                held,
+                ..
+            } = ev
+            else {
+                continue;
+            };
+            if *in_unlocked || held.is_empty() {
+                continue;
+            }
+            let g = &held[0];
+            out.push(Finding {
+                file: file.path.clone(),
+                line: *line,
+                rule: RULE_GUARD_ACROSS_BARRIER,
+                message: format!(
+                    "`.{method}(..)` while guard `{}` (lock `{}`, acquired line {}) is live in \
+                     `{}` — run barriers/appends outside the lock (MutexGuard::unlocked)",
+                    g.binding,
+                    cfg.canonical(&g.receiver),
+                    g.acquired_line,
+                    f.name,
+                ),
+            });
+        }
+    }
+}
+
+/// L3: panic-family call in a crash-path module outside `#[cfg(test)]`.
+fn unwrap_in_crash_path(file: &FileFacts, cfg: &Config, out: &mut Vec<Finding>) {
+    if !path_matches(&file.path, &cfg.crash_path) {
+        return;
+    }
+    for f in &file.functions {
+        if f.in_test {
+            continue;
+        }
+        for ev in &f.events {
+            if let Event::Panic { what, line } = ev {
+                out.push(Finding {
+                    file: file.path.clone(),
+                    line: *line,
+                    rule: RULE_UNWRAP_IN_CRASH_PATH,
+                    message: format!(
+                        "`{what}` in crash-path function `{}` — recovery/compaction/WAL code \
+                         must return errors, not panic",
+                        f.name
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// L4: MANIFEST append ordering inside commit-protocol modules.
+fn unsynced_commit(file: &FileFacts, cfg: &Config, out: &mut Vec<Finding>) {
+    if !path_matches(&file.path, &cfg.commit_path) {
+        return;
+    }
+    let is_manifest = |recv: &str| recv.to_ascii_lowercase().contains("manifest");
+    let is_sync = |m: &str| m == "sync" || m == "ordering_barrier";
+    let is_append = |m: &str| m == "append" || m == "add_record";
+    for f in &file.functions {
+        if f.in_test {
+            continue;
+        }
+        let barriers: Vec<(usize, &str, &str, u32)> = f
+            .events
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| match e {
+                Event::Barrier {
+                    method,
+                    receiver,
+                    line,
+                    ..
+                } => Some((i, method.as_str(), receiver.as_str(), *line)),
+                _ => None,
+            })
+            .collect();
+        for &(p, method, recv, line) in &barriers {
+            if !(is_append(method) && is_manifest(recv)) {
+                continue;
+            }
+            // (a) The MANIFEST writer itself must be synced afterwards — the
+            // commit point.
+            let committed = barriers
+                .iter()
+                .any(|&(q, m, r, _)| q > p && is_sync(m) && r == recv);
+            if !committed {
+                out.push(Finding {
+                    file: file.path.clone(),
+                    line,
+                    rule: RULE_UNSYNCED_COMMIT,
+                    message: format!(
+                        "MANIFEST append on `{recv}` in `{}` has no following `.sync()` on the \
+                         same writer — the commit point never becomes durable (O2)",
+                        f.name
+                    ),
+                });
+            }
+            // (b) Every data file appended earlier in this function must be
+            // synced before the MANIFEST append (O1).
+            let mut last_append: BTreeMap<&str, usize> = BTreeMap::new();
+            for &(q, m, r, _) in &barriers {
+                if q < p && is_append(m) && !is_manifest(r) {
+                    last_append.insert(r, q);
+                }
+            }
+            for (r, &q) in &last_append {
+                let synced_between = barriers
+                    .iter()
+                    .any(|&(s, m, r2, _)| s > q && s < p && is_sync(m) && r2 == *r);
+                if !synced_between {
+                    out.push(Finding {
+                        file: file.path.clone(),
+                        line,
+                        rule: RULE_UNSYNCED_COMMIT,
+                        message: format!(
+                            "MANIFEST append on `{recv}` in `{}` is not dominated by a sync of \
+                             `{r}` (appended earlier in this function) — data must be durable \
+                             before the commit record (O1)",
+                            f.name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// One acquisition-order edge: lock `to` acquired while `from` was held.
+#[derive(Debug, Clone)]
+struct Edge {
+    from: String,
+    to: String,
+    file: String,
+    line: u32,
+    via: Option<String>,
+}
+
+/// L2: build the global acquisition graph and check it against the declared
+/// order; reject cycles.
+fn lock_order(files: &[FileFacts], cfg: &Config, out: &mut Vec<Finding>) {
+    // Function definitions by bare name; calls resolve only when unique.
+    // `#[cfg(test)]` code may deliberately exercise bad orders (the
+    // debug_locks unit tests do); it neither defines resolution targets nor
+    // contributes edges.
+    let mut defs: HashMap<&str, Vec<(usize, usize)>> = HashMap::new();
+    for (fi, file) in files.iter().enumerate() {
+        for (gi, f) in file.functions.iter().enumerate() {
+            if f.in_test {
+                continue;
+            }
+            defs.entry(&f.name).or_default().push((fi, gi));
+        }
+    }
+    let resolve = |name: &str| -> Option<(usize, usize)> {
+        match defs.get(name).map(Vec::as_slice) {
+            Some([single]) => Some(*single),
+            _ => None,
+        }
+    };
+
+    // Fixpoint: the set of canonical lock names each function may acquire,
+    // directly or through uniquely-resolvable calls.
+    let mut may: HashMap<(usize, usize), BTreeSet<String>> = HashMap::new();
+    for (fi, file) in files.iter().enumerate() {
+        for (gi, f) in file.functions.iter().enumerate() {
+            if f.in_test {
+                may.insert((fi, gi), BTreeSet::new());
+                continue;
+            }
+            let direct: BTreeSet<String> = f
+                .events
+                .iter()
+                .filter_map(|e| match e {
+                    Event::Acquire { receiver, .. } => Some(cfg.canonical(receiver).to_string()),
+                    _ => None,
+                })
+                .collect();
+            may.insert((fi, gi), direct);
+        }
+    }
+    loop {
+        let mut changed = false;
+        for (fi, file) in files.iter().enumerate() {
+            for (gi, f) in file.functions.iter().enumerate() {
+                let mut add = BTreeSet::new();
+                for ev in &f.events {
+                    if let Event::Call { name, .. } = ev {
+                        if let Some(callee) = resolve(name) {
+                            if let Some(locks) = may.get(&callee) {
+                                add.extend(locks.iter().cloned());
+                            }
+                        }
+                    }
+                }
+                let mine = may.get_mut(&(fi, gi)).expect("indexed above");
+                let before = mine.len();
+                mine.extend(add);
+                if mine.len() != before {
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Collect edges.
+    let mut edges: Vec<Edge> = Vec::new();
+    let mut seen: BTreeSet<(String, String)> = BTreeSet::new();
+    let mut push_edge = |edges: &mut Vec<Edge>, e: Edge| {
+        if seen.insert((e.from.clone(), e.to.clone())) {
+            edges.push(e);
+        }
+    };
+    for file in files {
+        for f in &file.functions {
+            if f.in_test {
+                continue;
+            }
+            for ev in &f.events {
+                match ev {
+                    Event::Acquire {
+                        receiver,
+                        line,
+                        held,
+                    } => {
+                        let to = cfg.canonical(receiver).to_string();
+                        for h in held {
+                            push_edge(
+                                &mut edges,
+                                Edge {
+                                    from: cfg.canonical(&h.receiver).to_string(),
+                                    to: to.clone(),
+                                    file: file.path.clone(),
+                                    line: *line,
+                                    via: None,
+                                },
+                            );
+                        }
+                    }
+                    Event::Call { name, line, held } => {
+                        if held.is_empty() {
+                            continue;
+                        }
+                        let Some(callee) = resolve(name) else {
+                            continue;
+                        };
+                        let Some(locks) = may.get(&callee) else {
+                            continue;
+                        };
+                        for h in held {
+                            let from = cfg.canonical(&h.receiver).to_string();
+                            for to in locks {
+                                push_edge(
+                                    &mut edges,
+                                    Edge {
+                                        from: from.clone(),
+                                        to: to.clone(),
+                                        file: file.path.clone(),
+                                        line: *line,
+                                        via: Some(name.clone()),
+                                    },
+                                );
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    // Order violations (and self-edges) against the declared order.
+    let mut in_cycle_reported: BTreeSet<(String, String)> = BTreeSet::new();
+    for e in &edges {
+        let via = e
+            .via
+            .as_ref()
+            .map(|v| format!(" (via call to `{v}`)"))
+            .unwrap_or_default();
+        if e.from == e.to {
+            out.push(Finding {
+                file: e.file.clone(),
+                line: e.line,
+                rule: RULE_LOCK_ORDER,
+                message: format!(
+                    "lock `{}` acquired while already held{via} — self-deadlock",
+                    e.from
+                ),
+            });
+            in_cycle_reported.insert((e.from.clone(), e.to.clone()));
+            continue;
+        }
+        if let (Some(a), Some(b)) = (cfg.order_index(&e.from), cfg.order_index(&e.to)) {
+            if a >= b {
+                out.push(Finding {
+                    file: e.file.clone(),
+                    line: e.line,
+                    rule: RULE_LOCK_ORDER,
+                    message: format!(
+                        "lock `{}` acquired while holding `{}`{via} — contradicts the declared \
+                         order in lint/lock_order.toml (`{}` before `{}`)",
+                        e.to, e.from, e.to, e.from
+                    ),
+                });
+                in_cycle_reported.insert((e.from.clone(), e.to.clone()));
+            }
+        }
+    }
+
+    // Cycles among the remaining edges (covers undeclared locks and
+    // cross-function composition). Edges already reported as order
+    // contradictions are removed from the graph first — every cycle through
+    // one of them is the same defect, already on the report.
+    let cycle_edges: Vec<&Edge> = edges
+        .iter()
+        .filter(|e| !in_cycle_reported.contains(&(e.from.clone(), e.to.clone())))
+        .collect();
+    let mut adj: BTreeMap<&str, Vec<&Edge>> = BTreeMap::new();
+    for e in &cycle_edges {
+        adj.entry(e.from.as_str()).or_default().push(e);
+    }
+    let mut reported_cycles: BTreeSet<Vec<String>> = BTreeSet::new();
+    for e in &cycle_edges {
+        // Path e.to -> ... -> e.from closes a cycle through e.
+        if let Some(path) = find_path(&adj, &e.to, &e.from) {
+            let mut cycle: Vec<String> = path.iter().map(|s| s.to_string()).collect();
+            cycle.push(e.to.clone());
+            // Canonicalize: rotate so the smallest element leads.
+            let n = cycle.len() - 1; // last repeats first conceptually
+            let min_at = (0..n).min_by_key(|&i| &cycle[i]).unwrap_or(0);
+            let canon: Vec<String> = (0..=n).map(|i| cycle[(min_at + i) % n].clone()).collect();
+            if reported_cycles.insert(canon.clone()) {
+                out.push(Finding {
+                    file: e.file.clone(),
+                    line: e.line,
+                    rule: RULE_LOCK_ORDER,
+                    message: format!(
+                        "lock-order cycle: {} — acquiring `{}` while holding `{}` closes it",
+                        canon.join(" -> "),
+                        e.to,
+                        e.from
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn find_path<'a>(
+    adj: &BTreeMap<&'a str, Vec<&'a Edge>>,
+    from: &'a str,
+    to: &str,
+) -> Option<Vec<&'a str>> {
+    let mut stack = vec![(from, vec![from])];
+    let mut seen = BTreeSet::new();
+    while let Some((node, path)) = stack.pop() {
+        if node == to {
+            return Some(path);
+        }
+        if !seen.insert(node) {
+            continue;
+        }
+        if let Some(edges) = adj.get(node) {
+            for e in edges {
+                let mut p = path.clone();
+                p.push(e.to.as_str());
+                stack.push((e.to.as_str(), p));
+            }
+        }
+    }
+    None
+}

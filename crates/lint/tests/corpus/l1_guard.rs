@@ -1,0 +1,34 @@
+//! Seeded L1 (`guard-across-barrier`) cases. Never compiled — this file is
+//! input data for `corpus_test.rs`; seed markers tag each line the analyzer
+//! must flag.
+
+pub fn bad_sync_under_lock(state: &Mutex<u32>, file: &mut dyn WritableFile) {
+    let guard = state.lock();
+    file.sync(); // SEED(guard-across-barrier)
+    drop(guard);
+}
+
+pub fn bad_append_under_lock(state: &Mutex<u32>, wal: &mut LogWriter) {
+    let guard = state.lock();
+    wal.add_record(b"payload"); // SEED(guard-across-barrier)
+    drop(guard);
+}
+
+pub fn ok_sync_outside_lock(state: &Mutex<u32>, file: &mut dyn WritableFile) {
+    let mut guard = state.lock();
+    let r = MutexGuard::unlocked(&mut guard, || file.sync());
+    drop(r);
+}
+
+pub fn ok_sync_after_drop(state: &Mutex<u32>, file: &mut dyn WritableFile) {
+    let guard = state.lock();
+    drop(guard);
+    file.sync();
+}
+
+pub fn allowed_sync_under_lock(state: &Mutex<u32>, file: &mut dyn WritableFile) {
+    let guard = state.lock();
+    // Reviewed: startup-only path, no concurrent writers. bolt-lint: allow(guard-across-barrier)
+    file.sync();
+    drop(guard);
+}

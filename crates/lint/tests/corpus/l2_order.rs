@@ -1,0 +1,54 @@
+//! Seeded L2 (`lock-order`) cases: a declared-order contradiction, a
+//! self-deadlock, a cross-function cycle among undeclared locks, and an
+//! allow-suppressed contradiction. Never compiled.
+
+pub fn ok_declared_order(state: &Mutex<A>, versions: &Mutex<B>) {
+    let s = state.lock();
+    let v = versions.lock();
+    drop(v);
+    drop(s);
+}
+
+pub fn bad_reversed(state: &Mutex<A>, versions: &Mutex<B>) {
+    let v = versions.lock();
+    let s = state.lock(); // SEED(lock-order)
+    drop(s);
+    drop(v);
+}
+
+pub fn bad_self(state: &Mutex<A>) {
+    let a = state.lock();
+    let b = state.lock(); // SEED(lock-order)
+    drop(b);
+    drop(a);
+}
+
+fn helper_takes_beta(beta: &Mutex<B>) {
+    let b = beta.lock();
+    drop(b);
+}
+
+fn helper_takes_alpha(alpha: &Mutex<A>) {
+    let a = alpha.lock();
+    drop(a);
+}
+
+pub fn bad_cycle_half_one(alpha: &Mutex<A>, beta: &Mutex<B>) {
+    let a = alpha.lock();
+    helper_takes_beta(beta); // SEED(lock-order)
+    drop(a);
+}
+
+pub fn bad_cycle_half_two(alpha: &Mutex<A>, beta: &Mutex<B>) {
+    let b = beta.lock();
+    helper_takes_alpha(alpha);
+    drop(b);
+}
+
+pub fn allowed_reversed(batchlock: &Mutex<A>, versions: &Mutex<B>) {
+    let b = batchlock.lock();
+    // Reviewed: slot lock is leaf-private here. bolt-lint: allow(lock-order)
+    let v = versions.lock();
+    drop(v);
+    drop(b);
+}

@@ -1,0 +1,40 @@
+//! Seeded L3 (`unwrap-in-crash-path`) cases. The corpus config routes this
+//! file into `crash_path`. Never compiled.
+
+pub fn bad_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap() // SEED(unwrap-in-crash-path)
+}
+
+pub fn bad_expect(x: Option<u32>) -> u32 {
+    x.expect("present") // SEED(unwrap-in-crash-path)
+}
+
+pub fn bad_panic(flag: bool) {
+    if flag {
+        panic!("boom"); // SEED(unwrap-in-crash-path)
+    }
+}
+
+pub fn bad_unreachable(n: u32) -> u32 {
+    match n {
+        0 => 1,
+        _ => unreachable!(), // SEED(unwrap-in-crash-path)
+    }
+}
+
+pub fn allowed_unwrap(x: Option<u32>) -> u32 {
+    // Invariant: caller checked is_some(). bolt-lint: allow(unwrap-in-crash-path)
+    x.unwrap()
+}
+
+pub fn ok_question_mark(x: Option<u32>) -> Option<u32> {
+    Some(x? + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(Some(1).unwrap(), 1);
+    }
+}

@@ -1,0 +1,125 @@
+//! Corpus self-test: every `SEED(<rule>)` marker in `tests/corpus/*.rs` must
+//! produce a finding of that rule on that exact line, every finding must be
+//! seeded, and the real workspace tree must be clean.
+
+use std::path::Path;
+
+use bolt_lint::{analyze_sources, Config};
+
+const CORPUS_CONFIG: &str = r#"
+[order]
+locks = ["core.state", "core.versions", "core.batchlock"]
+
+[aliases]
+state = "core.state"
+versions = "core.versions"
+batchlock = "core.batchlock"
+
+[modules]
+crash_path = ["l3_unwrap.rs"]
+commit_path = ["l4_commit.rs"]
+"#;
+
+fn corpus_sources() -> Vec<(String, String)> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(&dir).expect("corpus dir readable") {
+        let path = entry.expect("corpus entry").path();
+        if path.extension().is_some_and(|e| e == "rs") {
+            let name = format!(
+                "corpus/{}",
+                path.file_name().expect("file name").to_string_lossy()
+            );
+            out.push((name, std::fs::read_to_string(&path).expect("read corpus")));
+        }
+    }
+    out.sort();
+    assert!(!out.is_empty(), "corpus files present");
+    out
+}
+
+/// Collect `SEED(<rule>)` markers as `(file, line, rule)`.
+fn seeded(sources: &[(String, String)]) -> Vec<(String, u32, String)> {
+    let mut out = Vec::new();
+    for (path, src) in sources {
+        for (i, l) in src.lines().enumerate() {
+            let mut rest = l;
+            while let Some(pos) = rest.find("SEED(") {
+                let tail = &rest[pos + 5..];
+                let end = tail.find(')').expect("closed SEED marker");
+                out.push((path.clone(), (i + 1) as u32, tail[..end].to_string()));
+                rest = &tail[end..];
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn every_seeded_violation_is_flagged_and_nothing_else() {
+    let cfg = Config::parse(CORPUS_CONFIG).expect("corpus config parses");
+    let sources = corpus_sources();
+    let findings = analyze_sources(&sources, &cfg);
+    let seeds = seeded(&sources);
+
+    for rule in [
+        "guard-across-barrier",
+        "lock-order",
+        "unwrap-in-crash-path",
+        "unsynced-commit",
+    ] {
+        assert!(
+            seeds.iter().any(|(_, _, r)| r == rule),
+            "corpus seeds no {rule} case"
+        );
+    }
+
+    for (file, line, rule) in &seeds {
+        assert!(
+            findings
+                .iter()
+                .any(|f| &f.file == file && f.line == *line && f.rule == *rule),
+            "seeded {rule} at {file}:{line} was not flagged; findings: {findings:#?}"
+        );
+    }
+    for f in &findings {
+        assert!(
+            seeds
+                .iter()
+                .any(|(file, line, rule)| file == &f.file && *line == f.line && rule == f.rule),
+            "finding without a SEED marker (false positive or stale corpus): {f:?}"
+        );
+    }
+}
+
+#[test]
+fn allow_comments_suppress_annotated_sites() {
+    // The corpus contains one `allowed_*` function per rule; none of their
+    // lines may appear in the findings.
+    let cfg = Config::parse(CORPUS_CONFIG).expect("corpus config parses");
+    let sources = corpus_sources();
+    let findings = analyze_sources(&sources, &cfg);
+    for (path, src) in &sources {
+        for (i, l) in src.lines().enumerate() {
+            if l.contains("bolt-lint: allow(") {
+                let line = (i + 1) as u32;
+                assert!(
+                    !findings
+                        .iter()
+                        .any(|f| &f.file == path && (f.line == line || f.line == line + 1)),
+                    "allow comment at {path}:{line} did not suppress its finding"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn workspace_tree_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let findings = bolt_lint::check_root(&root, None).expect("check_root on workspace");
+    assert!(
+        findings.is_empty(),
+        "workspace is not lint-clean: {findings:#?}"
+    );
+}

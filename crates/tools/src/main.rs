@@ -17,6 +17,8 @@
 //!   verify <db>                     full integrity walk
 //!   crash-sweep [points] [seed]     crash-point + EIO sweep (in-memory,
 //!                                   needs no db-dir)
+//!   lint [path] [--config FILE]     barrier-ordering/lock-discipline
+//!                                   static analysis (alias of bolt-lint)
 //!
 //! --profile: leveldb | lvl64 | hyper | pebbles | rocks | bolt (default)
 //!            | hyperbolt | rocksbolt
@@ -29,7 +31,7 @@ use bolt_env::{Env, RealEnv};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: bolt-tool <stats|dump-manifest|dump-tables|scan|get|put|delete|load|compact|verify> <db-dir> [args...] [--profile <name>]\n       bolt-tool crash-sweep [max-points] [seed]"
+        "usage: bolt-tool <stats|dump-manifest|dump-tables|scan|get|put|delete|load|compact|verify> <db-dir> [args...] [--profile <name>]\n       bolt-tool crash-sweep [max-points] [seed]\n       bolt-tool lint [path] [--config FILE]"
     );
     ExitCode::from(2)
 }
@@ -59,6 +61,25 @@ fn crash_sweep(args: &[String]) -> ExitCode {
     }
 }
 
+/// `bolt-tool lint [path] [--config FILE]` — alias of `bolt-lint check`.
+fn lint(args: &[String]) -> ExitCode {
+    let mut root: Option<std::path::PathBuf> = None;
+    let mut config: Option<std::path::PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--config" => match it.next() {
+                Some(p) => config = Some(p.into()),
+                None => return usage(),
+            },
+            p if root.is_none() && !p.starts_with('-') => root = Some(p.into()),
+            _ => return usage(),
+        }
+    }
+    let root = root.unwrap_or_else(|| ".".into());
+    ExitCode::from(u8::try_from(bolt_lint::run_check(&root, config.as_deref())).unwrap_or(2))
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
 
@@ -74,6 +95,9 @@ fn main() -> ExitCode {
 
     if args.first().map(String::as_str) == Some("crash-sweep") {
         return crash_sweep(&args);
+    }
+    if args.first().map(String::as_str) == Some("lint") {
+        return lint(&args[1..]);
     }
 
     if args.len() < 2 {

@@ -1,10 +1,12 @@
 //! Crash-point sweep harness.
 //!
-//! Runs a write + flush + group-compaction + settled-compaction workload
-//! over a [`FaultEnv`], *records* the op trace, then replays the workload
-//! crashing at every selected op index (plus an `EIO` sweep over sync
-//! ordinals). After each crash the database is reopened and the four
-//! recovery invariants of DESIGN.md §9 are checked:
+//! Runs a write + flush + group-compaction + settled-compaction +
+//! pinned-hole-punch workload over a [`FaultEnv`], *records* the op trace,
+//! then replays the workload crashing at every selected op index (plus an
+//! `EIO` sweep over sync ordinals, plus a *double-crash* sweep that crashes
+//! again inside the `Db::open` recovery replay). After each crash the
+//! database is reopened and the four recovery invariants of DESIGN.md §9
+//! are checked:
 //!
 //! * **I1 — acked-sync durability**: every write acknowledged with
 //!   `sync = true` (or acknowledged at all before a completed flush)
@@ -39,6 +41,13 @@ const ROUNDS: u32 = 6;
 const FILLER_RANGES: u32 = 3;
 /// Filler keys written per round.
 const FILLER_PER_ROUND: u32 = 60;
+/// Keys in the pinned hole-punch range (`h0000..`); the middle third is
+/// rewritten to kill its logical tables while the flanks stay live.
+const HOLE_KEYS: u32 = 120;
+
+fn hole_key(i: u32) -> String {
+    format!("h{i:04}")
+}
 
 /// Sweep tuning knobs.
 #[derive(Debug, Clone)]
@@ -50,6 +59,12 @@ pub struct SweepConfig {
     pub max_crash_points: usize,
     /// Upper bound on `EIO`-on-sync points.
     pub max_eio_points: usize,
+    /// Workload crash points re-used as the *first* crash of a
+    /// double-crash pair (0 disables the double-crash phase).
+    pub max_double_crash_first: usize,
+    /// Recovery-replay ops crashed per first crash point (the *second*
+    /// crash, landing inside `Db::open`).
+    pub max_double_crash_second: usize,
 }
 
 impl Default for SweepConfig {
@@ -58,6 +73,8 @@ impl Default for SweepConfig {
             seed: 0xB017,
             max_crash_points: 72,
             max_eio_points: 16,
+            max_double_crash_first: 4,
+            max_double_crash_second: 5,
         }
     }
 }
@@ -88,6 +105,10 @@ pub struct SweepOutcome {
     pub crash_points: Vec<u64>,
     /// Sync ordinals exercised with injected `EIO`.
     pub eio_points: Vec<u64>,
+    /// Double-crash pairs exercised, as `(workload op, recovery op)`: the
+    /// first crash interrupts the workload, the second interrupts the
+    /// `Db::open` replay recovering from it.
+    pub double_crash_points: Vec<(u64, u64)>,
     /// Coverage counters from the record run.
     pub coverage: SweepCoverage,
     /// Human-readable invariant violations (empty on a clean sweep).
@@ -217,6 +238,57 @@ fn run_workload(env: &FaultEnv, opts: &Options, marks: bool) -> WorkloadOutcome 
             out.errors += 1;
         } else if marks {
             env.mark("final-compact");
+        }
+        // Pinned hole-punch phase: settle one compaction file full of `h*`
+        // logical tables, then rewrite and compact only the middle of the
+        // range. The flanking tables stay live and pin the file, so GC can
+        // only reclaim the dead middle by punching holes — deterministic
+        // `holes_punched > 0` coverage instead of hoping a partially-live
+        // file falls out of the main workload.
+        'punch: {
+            for i in 0..HOLE_KEYS {
+                if db.put(hole_key(i).as_bytes(), &[b'h'; 160]).is_err() {
+                    out.errors += 1;
+                    if env.crashed() {
+                        break 'work;
+                    }
+                    break 'punch;
+                }
+            }
+            if db.flush().is_err() || db.compact_until_quiet().is_err() {
+                out.errors += 1;
+                if env.crashed() {
+                    break 'work;
+                }
+                break 'punch;
+            }
+            for i in HOLE_KEYS / 3..2 * HOLE_KEYS / 3 {
+                if db.put(hole_key(i).as_bytes(), &[b'H'; 160]).is_err() {
+                    out.errors += 1;
+                    if env.crashed() {
+                        break 'work;
+                    }
+                    break 'punch;
+                }
+            }
+            if db.flush().is_err()
+                || db
+                    .compact_range(
+                        hole_key(HOLE_KEYS / 3).as_bytes(),
+                        hole_key(2 * HOLE_KEYS / 3).as_bytes(),
+                    )
+                    .is_err()
+                || db.compact_until_quiet().is_err()
+            {
+                out.errors += 1;
+                if env.crashed() {
+                    break 'work;
+                }
+                break 'punch;
+            }
+            if marks {
+                env.mark("hole-punch");
+            }
         }
     }
     let s = db.stats().snapshot();
@@ -480,15 +552,91 @@ pub fn run_crash_sweep(cfg: &SweepConfig) -> Result<SweepOutcome> {
         eio_points.push(n);
     }
 
+    // Phase 4: double-crash sweep — crash the workload at op `k`, then
+    // crash *recovery itself* at op `j` of the `Db::open` replay, and
+    // require the third open to restore a consistent state. Each `(k, j)`
+    // pair rebuilds the post-first-crash filesystem from scratch so the
+    // second crash always lands on identical bytes.
+    let mut double_crash_points = Vec::new();
+    if cfg.max_double_crash_first > 0 && cfg.max_double_crash_second > 0 && !points.is_empty() {
+        let stride = (points.len() / cfg.max_double_crash_first).max(1);
+        for &(k, keep) in points
+            .iter()
+            .step_by(stride)
+            .take(cfg.max_double_crash_first)
+        {
+            // Probe: how many ops does recovering from this crash perform?
+            let (env, _) = build_first_crash(cfg, &opts, k, keep);
+            attempt_open(&env, &opts);
+            let recovery_ops = env.op_count();
+            if recovery_ops == 0 {
+                continue;
+            }
+            let seconds = cfg.max_double_crash_second.min(recovery_ops as usize);
+            for i in 0..seconds {
+                let j = i as u64 * recovery_ops / seconds as u64;
+                let (env, pairs) = build_first_crash(cfg, &opts, k, keep);
+                env.set_plan(FaultPlan::new().crash_at_op(j));
+                let label = format!("crash@op{k}+recovery-crash@op{j}");
+                if !attempt_open(&env, &opts) {
+                    violations.push(format!("{label}: interrupted recovery panicked"));
+                }
+                env.crash_inner(CrashConfig::TornTail {
+                    seed: cfg.seed ^ k.wrapping_mul(0x9E37_79B9) ^ j.wrapping_mul(0x517C_C1B7),
+                });
+                env.reset();
+                checked_invariants(&env, &opts, &pairs, &label, &mut violations);
+                double_crash_points.push((k, j));
+            }
+        }
+    }
+
     Ok(SweepOutcome {
         ops_recorded,
         syncs_recorded,
         phases,
         crash_points,
         eio_points,
+        double_crash_points,
         coverage: record.stats,
         violations,
     })
+}
+
+/// Run the workload to its first crash at op `k` (torn-keeping `keep`
+/// append bytes), power-cycle, and return the env holding the surviving
+/// filesystem plus the workload's acked/durable model.
+fn build_first_crash(
+    cfg: &SweepConfig,
+    opts: &Options,
+    k: u64,
+    keep: u64,
+) -> (FaultEnv, Vec<PairState>) {
+    let env = FaultEnv::over_mem();
+    let plan = if keep > 0 {
+        FaultPlan::new().torn_crash_at_op(k, keep)
+    } else {
+        FaultPlan::new().crash_at_op(k)
+    };
+    env.set_plan(plan);
+    let replay = run_workload(&env, opts, false);
+    env.crash_inner(CrashConfig::TornTail {
+        seed: cfg.seed ^ k.wrapping_mul(0x9E37_79B9),
+    });
+    env.reset();
+    (env, replay.pairs)
+}
+
+/// Open (and close) the database, tolerating errors — the plan may crash
+/// the env mid-recovery. Returns `false` if the attempt panicked.
+fn attempt_open(env: &FaultEnv, opts: &Options) -> bool {
+    let arc_env: Arc<dyn Env> = Arc::new(env.clone());
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if let Ok(db) = Db::open(arc_env, "db", opts.clone()) {
+            let _ = db.close();
+        }
+    }))
+    .is_ok()
 }
 
 /// Render a sweep outcome for the CLI.
@@ -513,9 +661,10 @@ pub fn render_report(outcome: &SweepOutcome) -> String {
     .expect("write");
     writeln!(
         out,
-        "swept {} crash points + {} EIO points",
+        "swept {} crash points + {} EIO points + {} double-crash pairs",
         outcome.crash_points.len(),
-        outcome.eio_points.len()
+        outcome.eio_points.len(),
+        outcome.double_crash_points.len()
     )
     .expect("write");
     if outcome.violations.is_empty() {

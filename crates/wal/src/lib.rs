@@ -69,6 +69,10 @@ pub struct LogWriter {
     /// even for reopened files: durability of pre-existing bytes is unknown,
     /// so the first sync always reaches the device.
     synced_len: u64,
+    /// With `debug_locks`: a tracked-lock name that must not be held by the
+    /// thread performing I/O on this writer (lint rule L1 at runtime).
+    #[cfg(feature = "debug_locks")]
+    forbidden_lock: Option<&'static str>,
 }
 
 impl std::fmt::Debug for LogWriter {
@@ -88,8 +92,36 @@ impl LogWriter {
             file,
             block_offset,
             synced_len: 0,
+            #[cfg(feature = "debug_locks")]
+            forbidden_lock: None,
         }
     }
+
+    /// Arm the `debug_locks` runtime analogue of lint rule L1: every
+    /// subsequent append/sync on this writer panics if the calling thread
+    /// holds the tracked lock named `name`. The engine arms its WAL writers
+    /// with the engine-state lock; MANIFEST writers stay unarmed because
+    /// MANIFEST I/O legitimately runs under the version-set lock (the commit
+    /// point must be ordered against version installation).
+    #[cfg(feature = "debug_locks")]
+    pub fn forbid_lock_during_io(&mut self, name: &'static str) {
+        self.forbidden_lock = Some(name);
+    }
+
+    #[cfg(feature = "debug_locks")]
+    fn assert_no_forbidden_lock(&self, op: &str) {
+        if let Some(name) = self.forbidden_lock {
+            assert!(
+                !bolt_common::debug_locks::thread_holds(name),
+                "WAL {op} while holding tracked lock `{name}` — \
+                 log I/O must run outside the engine mutex (lint rule L1)"
+            );
+        }
+    }
+
+    #[cfg(not(feature = "debug_locks"))]
+    #[inline]
+    fn assert_no_forbidden_lock(&self, _op: &str) {}
 
     /// Append one record (any size, including empty).
     ///
@@ -97,6 +129,7 @@ impl LogWriter {
     ///
     /// Returns an I/O error from the underlying file.
     pub fn add_record(&mut self, payload: &[u8]) -> Result<()> {
+        self.assert_no_forbidden_lock("append");
         let mut remaining = payload;
         let mut begin = true;
         loop {
@@ -147,6 +180,7 @@ impl LogWriter {
     ///
     /// Returns an I/O error from the underlying file.
     pub fn sync(&mut self) -> Result<()> {
+        self.assert_no_forbidden_lock("sync");
         let len = self.file.len();
         if len == self.synced_len {
             return Ok(());
@@ -249,8 +283,8 @@ impl LogReader {
                 return Ok(None); // truncated header = torn tail
             }
             let header = self.read_at(self.offset, HEADER_SIZE)?.to_vec();
-            let stored_crc = u32::from_le_bytes(header[..4].try_into().unwrap());
-            let length = u16::from_le_bytes(header[4..6].try_into().unwrap()) as usize;
+            let stored_crc = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+            let length = u16::from_le_bytes([header[4], header[5]]) as usize;
             let type_byte = header[6];
             if stored_crc == 0 && length == 0 && type_byte == 0 {
                 // Zero padding = end of data in this log.

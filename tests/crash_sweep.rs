@@ -45,9 +45,17 @@ fn sweep_holds_all_recovery_invariants() {
         c.settled_moves > 0,
         "workload never performed a settled (MANIFEST-only) promotion"
     );
-    // Hole punching is usually covered too, but whether a dying compaction
-    // file is *punched* (partially live) or *deleted* (fully dead) depends
-    // on how the background thread grouped work, so it is not asserted.
+    // The workload's pinned hole-punch phase keeps flanking logical tables
+    // live in the compaction file whose middle dies, so GC *must* reclaim
+    // by punching rather than deleting.
+    assert!(
+        c.holes_punched > 0,
+        "workload never punched a hole despite the pinned range"
+    );
+    assert!(
+        !outcome.double_crash_points.is_empty(),
+        "expected double-crash (crash-during-recovery) points, got none"
+    );
 
     assert!(
         outcome.violations.is_empty(),
@@ -64,6 +72,8 @@ fn sweep_is_seed_stable() {
         seed: 0xDEAD_BEEF,
         max_crash_points: 36,
         max_eio_points: 8,
+        max_double_crash_first: 2,
+        max_double_crash_second: 3,
     };
     let outcome = run_crash_sweep(&cfg).expect("sweep harness must run");
     assert!(outcome.crash_points.len() >= 30);

@@ -359,10 +359,12 @@ fn eio_on_wal_sync_poisons_group_commit() {
     opts.sync_wal = true;
     let db = Arc::new(Db::open(Arc::clone(&env), "db", opts.clone()).unwrap());
 
-    // Fail one WAL sync a few barriers into the concurrent phase. Group
-    // commit makes the exact grouping nondeterministic, but whichever
-    // leader hits the EIO must fail its whole group.
-    fault_env.set_plan(FaultPlan::new().fail_sync(fault_env.sync_count() + 4));
+    // Fail one WAL sync a few barriers into the concurrent phase, targeted
+    // by path (`*.log`) so the clause is immune to however many MANIFEST or
+    // table barriers open() spent. Group commit makes the exact grouping
+    // nondeterministic, but whichever leader hits the EIO must fail its
+    // whole group.
+    fault_env.set_plan(FaultPlan::parse("eio:sync:glob=*.log:nth=4").unwrap());
 
     let threads: Vec<_> = (0..WRITERS)
         .map(|t| {
@@ -420,6 +422,54 @@ fn eio_on_wal_sync_poisons_group_commit() {
                 assert_eq!(a, b, "torn unacknowledged batch w{t}/b{i}: {a:?} vs {b:?}");
             }
         }
+    }
+    db.close().unwrap();
+}
+
+/// `EIO` on the MANIFEST commit barrier, targeted by path
+/// (`eio:sync:glob=MANIFEST-*:nth=0`) instead of a brittle global sync
+/// ordinal: the flush must surface the error, the version set must stay
+/// poisoned afterwards (DESIGN §9 O4), and recovery after a crash must
+/// still serve every acknowledged write.
+#[test]
+fn eio_on_manifest_barrier_poisons_version_set() {
+    use bolt_env::{CrashConfig, FaultEnv, FaultPlan};
+
+    let fault_env = FaultEnv::over_mem();
+    let env: Arc<dyn Env> = Arc::new(fault_env.clone());
+    let mut opts = Options::bolt();
+    opts.sync_wal = true;
+    let db = Db::open(Arc::clone(&env), "db", opts.clone()).unwrap();
+    for i in 0..100u32 {
+        db.put(format!("key{i:03}").as_bytes(), format!("v{i}").as_bytes())
+            .unwrap();
+    }
+
+    // The next barrier on the MANIFEST itself is the flush's commit point,
+    // regardless of how many WAL or compaction-file ops come first.
+    fault_env.set_plan(FaultPlan::parse("eio:sync:glob=MANIFEST-*:nth=0").unwrap());
+    assert!(
+        db.flush().is_err(),
+        "flush must surface the MANIFEST-barrier EIO"
+    );
+    assert_eq!(fault_env.faults_injected(), 1, "the path clause must fire");
+    assert!(
+        db.flush().is_err(),
+        "version set must stay poisoned after a failed commit barrier"
+    );
+    let _ = db.close();
+
+    // Power-cycle and recover: the commit never became durable, but every
+    // acknowledged (WAL-synced) write must still be there.
+    fault_env.crash_inner(CrashConfig::Clean);
+    fault_env.reset();
+    let db = Db::open(env, "db", opts).unwrap();
+    for i in 0..100u32 {
+        assert_eq!(
+            db.get(format!("key{i:03}").as_bytes()).unwrap(),
+            Some(format!("v{i}").into_bytes()),
+            "key{i:03} lost after MANIFEST-EIO crash recovery"
+        );
     }
     db.close().unwrap();
 }
