@@ -27,7 +27,9 @@ pub mod crc32c;
 #[cfg(feature = "debug_locks")]
 pub mod debug_locks;
 pub mod error;
+pub mod events;
 pub mod histogram;
+pub mod metrics;
 pub mod rng;
 pub mod skiplist;
 

@@ -21,6 +21,7 @@ use std::time::{Duration, Instant};
 use crate::sync::{named_mutex, Condvar, Mutex, MutexGuard};
 
 use bolt_common::cache::LruCache;
+use bolt_common::events::{BarrierCause, BarrierScope, EngineEvent, EventSink, TraceEvent};
 use bolt_common::{Error, Result};
 use bolt_env::Env;
 use bolt_table::cache::TableCache;
@@ -36,7 +37,8 @@ use crate::compaction::{
 use crate::filename::{current_file, log_file, parse_file_name, table_file, FileType};
 use crate::iterator::{DbIter, InternalIterator, MergingIter, RunIter};
 use crate::memtable::{LookupResult, MemTable};
-use crate::options::{Options, WriteOptions};
+use crate::metrics::{MetricsSnapshot, QueueWaitSummary};
+use crate::options::{Options, ReadOptions, WriteOptions};
 use crate::stats::DbStats;
 use crate::version::{TableMeta, Version, VersionEdit};
 use crate::versions::VersionSet;
@@ -81,18 +83,17 @@ impl WriterSlot {
     }
 }
 
-/// Wrap a fresh WAL file. With `debug_locks`, arm the writer's assertion
-/// that log I/O never runs while this thread holds the engine state lock —
-/// the runtime counterpart of lint rule L1 (guard-across-barrier).
+/// Wrap a fresh WAL file: tag its barriers `wal_commit` by default (an
+/// explicit operation scope like `wal_close` still overrides). With
+/// `debug_locks`, additionally arm the writer's assertion that log I/O
+/// never runs while this thread holds the engine state lock — the runtime
+/// counterpart of lint rule L1 (guard-across-barrier).
 fn new_wal_writer(file: Box<dyn bolt_env::WritableFile>) -> LogWriter {
+    let mut wal = LogWriter::new(file);
+    wal.set_barrier_cause(BarrierCause::WalCommit);
     #[cfg(feature = "debug_locks")]
-    {
-        let mut wal = LogWriter::new(file);
-        wal.forbid_lock_during_io("core.state");
-        wal
-    }
-    #[cfg(not(feature = "debug_locks"))]
-    LogWriter::new(file)
+    wal.forbid_lock_during_io("core.state");
+    wal
 }
 
 /// Mutable engine state guarded by the main mutex.
@@ -140,6 +141,13 @@ struct DbInner {
     has_imm: AtomicBool,
     shutdown: AtomicBool,
     stats: DbStats,
+    /// Structured-event destination, shared with the env's `IoStats` (which
+    /// emits every barrier into it) and the version set (MANIFEST commits).
+    sink: Arc<EventSink>,
+    /// Monotonic flush ids pairing `FlushBegin`/`FlushEnd` events.
+    flush_ids: AtomicU64,
+    /// Monotonic compaction ids pairing `CompactionBegin`/`CompactionEnd`.
+    compaction_ids: AtomicU64,
 }
 
 /// A consistent read view. Dropping it releases the sequence for
@@ -242,7 +250,13 @@ impl Db {
             read_opts,
         ));
 
+        // Install the event sink before any recovery I/O so even the
+        // barriers paid while opening are traced and cause-attributed.
+        let sink = Arc::new(EventSink::new());
+        env.stats().set_event_sink(Arc::clone(&sink));
+
         let mut versions = VersionSet::new(Arc::clone(&env), name, icmp.clone(), opts.num_levels);
+        versions.set_event_sink(Arc::clone(&sink));
         let is_new = !env.file_exists(&current_file(name));
         if is_new {
             versions.create_new()?;
@@ -283,6 +297,9 @@ impl Db {
             has_imm: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
             stats: DbStats::default(),
+            sink,
+            flush_ids: AtomicU64::new(0),
+            compaction_ids: AtomicU64::new(0),
         });
 
         inner.recover_wals()?;
@@ -397,13 +414,43 @@ impl Db {
         inner.group_commit(&mut state, &slot)
     }
 
-    /// Point lookup at the latest sequence.
+    /// Point lookup at the latest sequence — shorthand for
+    /// [`Db::get_opt`] with [`ReadOptions::default`].
     ///
     /// # Errors
     ///
     /// Returns read errors from the storage substrate.
     pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
-        self.inner.get_at(key, None)
+        self.get_opt(key, &ReadOptions::new())
+    }
+
+    /// Point lookup honoring `opts` — the one read entry point everything
+    /// else delegates to.
+    ///
+    /// ```
+    /// use bolt_core::{Db, Options, ReadOptions};
+    /// use bolt_env::MemEnv;
+    /// use std::sync::Arc;
+    ///
+    /// # fn main() -> bolt_common::Result<()> {
+    /// let env: Arc<dyn bolt_env::Env> = Arc::new(MemEnv::new());
+    /// let db = Db::open(env, "ro-demo", Options::bolt())?;
+    /// db.put(b"k", b"v1")?;
+    /// let snap = db.snapshot();
+    /// db.put(b"k", b"v2")?;
+    /// let ro = ReadOptions::new().with_snapshot(&snap);
+    /// assert_eq!(db.get_opt(b"k", &ro)?, Some(b"v1".to_vec()));
+    /// assert_eq!(db.get(b"k")?, Some(b"v2".to_vec()));
+    /// db.close()?;
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns read errors from the storage substrate.
+    pub fn get_opt(&self, key: &[u8], opts: &ReadOptions<'_>) -> Result<Option<Vec<u8>>> {
+        self.inner.get_at(key, opts.snapshot.map(|s| s.seq))
     }
 
     /// Point lookup at `snapshot`.
@@ -411,8 +458,10 @@ impl Db {
     /// # Errors
     ///
     /// Returns read errors from the storage substrate.
+    #[doc(hidden)]
+    #[deprecated(note = "use Db::get_opt with ReadOptions::new().with_snapshot(snapshot)")]
     pub fn get_at(&self, key: &[u8], snapshot: &Snapshot) -> Result<Option<Vec<u8>>> {
-        self.inner.get_at(key, Some(snapshot.seq))
+        self.get_opt(key, &ReadOptions::new().with_snapshot(snapshot))
     }
 
     /// Take a consistent read view.
@@ -426,13 +475,23 @@ impl Db {
         }
     }
 
-    /// Iterator over the live keys at the latest sequence.
+    /// Iterator over the live keys at the latest sequence — shorthand for
+    /// [`Db::iter_opt`] with [`ReadOptions::default`].
     ///
     /// # Errors
     ///
     /// Returns read errors from the storage substrate.
     pub fn iter(&self) -> Result<DbIterator> {
-        self.inner.iter_at(None)
+        self.iter_opt(&ReadOptions::new())
+    }
+
+    /// Iterator honoring `opts` (see [`Db::get_opt`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns read errors from the storage substrate.
+    pub fn iter_opt(&self, opts: &ReadOptions<'_>) -> Result<DbIterator> {
+        self.inner.iter_at(opts.snapshot.map(|s| s.seq))
     }
 
     /// Iterator at `snapshot`.
@@ -440,8 +499,10 @@ impl Db {
     /// # Errors
     ///
     /// Returns read errors from the storage substrate.
+    #[doc(hidden)]
+    #[deprecated(note = "use Db::iter_opt with ReadOptions::new().with_snapshot(snapshot)")]
     pub fn iter_at(&self, snapshot: &Snapshot) -> Result<DbIterator> {
-        self.inner.iter_at(Some(snapshot.seq))
+        self.iter_opt(&ReadOptions::new().with_snapshot(snapshot))
     }
 
     /// Force the current memtable to disk and wait for the flush.
@@ -592,6 +653,46 @@ impl Db {
         &self.inner.stats
     }
 
+    /// One merged observability snapshot: engine counters, env I/O
+    /// counters, per-level shape, queue-wait summary, and per-cause
+    /// barrier counts — everything the old hand-stitched
+    /// `stats()` + `env().stats()` + `level_info()` dance produced, plus
+    /// the derived ratios, exportable as JSON or Prometheus text.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let inner = &self.inner;
+        let qw = inner.stats.queue_wait();
+        MetricsSnapshot {
+            db: inner.stats.snapshot(),
+            io: inner.env.stats().snapshot(),
+            levels: self.level_info(),
+            queue_wait: QueueWaitSummary {
+                count: qw.count(),
+                sum: qw.sum(),
+                p50: qw.percentile(50.0),
+                p95: qw.percentile(95.0),
+                p99: qw.percentile(99.0),
+                max: qw.max(),
+            },
+            barriers_by_cause: inner.sink.barrier_counts().to_vec(),
+            events_emitted: inner.sink.emitted(),
+            events_dropped: inner.sink.dropped(),
+        }
+    }
+
+    /// Drain the structured-event ring: every event emitted since the last
+    /// drain, oldest first. If more than the ring capacity accumulated
+    /// between drains, the oldest are dropped (counted in
+    /// [`MetricsSnapshot::events_dropped`]).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner.sink.drain()
+    }
+
+    /// The structured-event sink itself, for callers that want to observe
+    /// per-cause barrier counters without draining the ring.
+    pub fn event_sink(&self) -> &Arc<EventSink> {
+        &self.inner.sink
+    }
+
     /// The environment this database runs on.
     pub fn env(&self) -> &Arc<dyn Env> {
         &self.inner.env
@@ -635,7 +736,10 @@ impl Db {
             .wal
             .take()
             .expect("WAL present: loop above waited for it"); // bolt-lint: allow(unwrap-in-crash-path)
-        let synced = MutexGuard::unlocked(&mut state, || wal.sync());
+        let synced = MutexGuard::unlocked(&mut state, || {
+            let _scope = BarrierScope::new(BarrierCause::WalClose);
+            wal.sync()
+        });
         state.wal = Some(wal);
         self.inner.writers_cv.notify_all();
         synced?;
@@ -889,6 +993,16 @@ impl DbInner {
                 self.last_sequence.store(base + count, Ordering::Release);
                 self.stats.record_write_group(1);
                 self.stats.record_group_batches(group_len as u64);
+                self.sink.emit(EngineEvent::WriteGroup {
+                    batches: group_len as u64,
+                    bytes: group_bytes as u64,
+                    synced: group_sync,
+                    syncs_elided: if group_sync {
+                        sync_requests.saturating_sub(1)
+                    } else {
+                        0
+                    },
+                });
                 Ok(())
             }
             Err(e) => {
@@ -927,6 +1041,7 @@ impl DbInner {
                 // L0SlowDown governor: sleep 1 ms, once, outside the lock.
                 allow_delay = false;
                 self.stats.record_slowdown(1);
+                self.sink.emit(EngineEvent::Slowdown);
                 MutexGuard::unlocked(state, || {
                     std::thread::sleep(Duration::from_millis(1));
                 });
@@ -938,21 +1053,25 @@ impl DbInner {
             if state.imm.is_some() {
                 // Write stall: previous memtable still flushing.
                 self.stats.record_stall(1);
+                self.sink.emit(EngineEvent::StallBegin);
                 let start = Instant::now();
                 self.work_cv.notify_one();
                 self.done_cv.wait(state);
-                self.stats
-                    .record_stall_nanos(start.elapsed().as_nanos() as u64);
+                let waited_nanos = start.elapsed().as_nanos() as u64;
+                self.stats.record_stall_nanos(waited_nanos);
+                self.sink.emit(EngineEvent::StallEnd { waited_nanos });
                 continue;
             }
             if self.opts.level0_stop_trigger.is_some_and(|t| l0 >= t) {
                 // L0Stop governor.
                 self.stats.record_stall(1);
+                self.sink.emit(EngineEvent::StallBegin);
                 let start = Instant::now();
                 self.work_cv.notify_one();
                 self.done_cv.wait(state);
-                self.stats
-                    .record_stall_nanos(start.elapsed().as_nanos() as u64);
+                let waited_nanos = start.elapsed().as_nanos() as u64;
+                self.stats.record_stall_nanos(waited_nanos);
+                self.sink.emit(EngineEvent::StallEnd { waited_nanos });
                 continue;
             }
             self.switch_memtable(state)?;
@@ -973,6 +1092,7 @@ impl DbInner {
         state.wal = Some(new_wal_writer(file));
         state.wal_number = new_log;
         state.mem = Arc::new(MemTable::new());
+        self.sink.emit(EngineEvent::WalRotate { new_log });
         self.work_cv.notify_one();
         Ok(())
     }
@@ -1081,6 +1201,11 @@ impl DbInner {
         log_boundary: u64,
         clear_imm: bool,
     ) -> Result<()> {
+        let flush_id = self.flush_ids.fetch_add(1, Ordering::Relaxed);
+        self.sink.emit(EngineEvent::FlushBegin {
+            id: flush_id,
+            input_bytes: mem.approximate_memory_usage(),
+        });
         let mut iter = mem.iter();
         iter.seek_to_first();
         let internal: &mut dyn InternalIterator = &mut iter;
@@ -1090,16 +1215,20 @@ impl DbInner {
             Some(b) => b.logical_sstable_bytes,
             None => u64::MAX,
         };
-        let outputs = self.write_sorted_run(internal, target)?;
+        let outputs = {
+            let _scope = BarrierScope::new(BarrierCause::FlushData);
+            self.write_sorted_run(internal, target)
+        }?;
 
         let mut edit = VersionEdit {
             log_number: Some(log_boundary),
             ..VersionEdit::default()
         };
+        let mut flush_bytes = 0u64;
         {
+            let _scope = BarrierScope::new(BarrierCause::FlushManifest);
             let mut versions = self.versions.lock();
             let mut run_tag = 0;
-            let mut flush_bytes = 0u64;
             for (i, (file_number, built)) in outputs.iter().enumerate() {
                 let table_id = versions.new_table_id();
                 if i == 0 {
@@ -1129,6 +1258,11 @@ impl DbInner {
             self.stats.record_flush(1);
             self.stats.record_flush_bytes(flush_bytes);
         }
+        self.sink.emit(EngineEvent::FlushEnd {
+            id: flush_id,
+            output_bytes: flush_bytes,
+            level: 0,
+        });
         self.refresh_shape_hints();
 
         if clear_imm {
@@ -1181,6 +1315,14 @@ impl DbInner {
         };
         let version = self.versions.lock().current();
 
+        let compaction_id = self.compaction_ids.fetch_add(1, Ordering::Relaxed);
+        self.sink.emit(EngineEvent::CompactionBegin {
+            id: compaction_id,
+            level: task.level as u32,
+            victims: (task.merge_inputs().count() + task.settled_moves.len()) as u64,
+            input_bytes: task.input_bytes(),
+        });
+
         let mut edit = VersionEdit::default();
         // Settled compaction / trivial move: MANIFEST-only promotion.
         let deliberate_settling = self
@@ -1198,6 +1340,13 @@ impl DbInner {
                 self.stats.record_trivial_move(1);
             }
         }
+        if !task.settled_moves.is_empty() {
+            self.sink.emit(EngineEvent::SettledMove {
+                id: compaction_id,
+                level: task.level as u32,
+                tables: task.settled_moves.len() as u64,
+            });
+        }
 
         let mut outputs: Vec<(u64, BuiltTable)> = Vec::new();
         if !task.is_move_only() {
@@ -1208,6 +1357,9 @@ impl DbInner {
             let target = self.opts.output_table_bytes();
             let mut sink = OutputSink::new(self, self.opts.bolt_options().is_some(), target);
 
+            // Every data barrier the rewrite pays is attributed to this
+            // compaction (a preempted flush re-tags its own barriers).
+            let _scope = BarrierScope::new(BarrierCause::CompactionData);
             let built = (|| -> Result<Vec<(u64, BuiltTable)>> {
                 if task.fragmented {
                     let children: Vec<Box<dyn InternalIterator>> = task
@@ -1260,7 +1412,11 @@ impl DbInner {
             };
         }
 
+        let mut output_bytes = 0u64;
         {
+            // The commit barrier (MANIFEST append + sync) is this
+            // compaction's second — and for settled moves, only — barrier.
+            let _scope = BarrierScope::new(BarrierCause::CompactionManifest);
             let mut versions = self.versions.lock();
             for table in task.merge_inputs() {
                 // Inputs at `task.level` and `output_level`; level recorded
@@ -1269,7 +1425,6 @@ impl DbInner {
                     .push((task.level as u32, table.table_id));
             }
             let mut run_tag = 0;
-            let mut output_bytes = 0u64;
             for (i, (file_number, built)) in outputs.iter().enumerate() {
                 let table_id = versions.new_table_id();
                 if i == 0 && task.fragmented {
@@ -1302,18 +1457,14 @@ impl DbInner {
             versions.collect_garbage(&self.table_cache);
             self.stats.record_compaction(1);
             self.stats.record_compaction_output(output_bytes);
-            if std::env::var_os("BOLT_TRACE_COMPACTION").is_some() {
-                eprintln!(
-                    "CTRACE level={} victims={} next={} moves={} in={} out={}",
-                    task.level,
-                    task.input_runs.iter().map(|r| r.len()).sum::<usize>(),
-                    task.next_inputs.len(),
-                    task.settled_moves.len(),
-                    task.input_bytes(),
-                    output_bytes
-                );
-            }
         }
+        self.sink.emit(EngineEvent::CompactionEnd {
+            id: compaction_id,
+            outputs: outputs.len() as u64,
+            output_bytes,
+            settled: task.settled_moves.len() as u64,
+            rewrote: !outputs.is_empty(),
+        });
         self.refresh_shape_hints();
         Ok(())
     }
@@ -1839,7 +1990,12 @@ mod tests {
         let snap = db.snapshot();
         db.put(b"k", b"new").unwrap();
         db.delete(b"k2").unwrap();
-        assert_eq!(db.get_at(b"k", &snap).unwrap(), Some(b"old".to_vec()));
+        let ro = ReadOptions::new().with_snapshot(&snap);
+        assert_eq!(db.get_opt(b"k", &ro).unwrap(), Some(b"old".to_vec()));
+        // The deprecated wrapper must agree with the ReadOptions path.
+        #[allow(deprecated)]
+        let legacy = db.get_at(b"k", &snap).unwrap();
+        assert_eq!(legacy, Some(b"old".to_vec()));
         assert_eq!(db.get(b"k").unwrap(), Some(b"new".to_vec()));
         drop(snap);
         db.close().unwrap();

@@ -39,6 +39,7 @@ pub mod db;
 pub mod filename;
 pub mod iterator;
 pub mod memtable;
+pub mod metrics;
 pub mod options;
 pub mod stats;
 pub(crate) mod sync;
@@ -46,6 +47,9 @@ pub mod version;
 pub mod versions;
 
 pub use batch::WriteBatch;
+pub use bolt_common::events::{BarrierCause, BarrierKind, EngineEvent, TraceEvent};
+pub use bolt_common::metrics::{Metric, MetricValue, MetricsRegistry};
 pub use db::{Db, DbIterator, LevelInfo, Snapshot};
-pub use options::{BoltOptions, CompactionStyle, Options, WriteOptions};
+pub use metrics::{MetricsSnapshot, QueueWaitSummary};
+pub use options::{BoltOptions, CompactionStyle, Options, ReadOptions, WriteOptions};
 pub use stats::{DbStats, DbStatsSnapshot};

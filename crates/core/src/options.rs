@@ -73,6 +73,64 @@ impl WriteOptions {
     }
 }
 
+/// Per-read options for [`crate::Db::get_opt`] and [`crate::Db::iter_opt`].
+///
+/// This is the one read-path knob surface: plain [`crate::Db::get`] /
+/// [`crate::Db::iter`] are thin wrappers over the default, and reading at a
+/// snapshot is `ReadOptions::new().with_snapshot(&snap)` instead of the
+/// legacy `get_at`/`iter_at` pair.
+///
+/// `verify_checksums` and `fill_cache` are accepted as hints for
+/// forward-compatibility with LevelDB-family callers: the engine currently
+/// *always* verifies block checksums and *always* fills the block cache, so
+/// today they do not change behaviour. They are carried here so the API does
+/// not have to break when the fast paths land.
+#[derive(Debug, Clone, Copy)]
+pub struct ReadOptions<'a> {
+    /// Read at this snapshot instead of the latest committed state.
+    pub snapshot: Option<&'a crate::db::Snapshot>,
+    /// Hint: verify block checksums on read (currently always on).
+    pub verify_checksums: bool,
+    /// Hint: insert blocks read by this operation into the block cache
+    /// (currently always on).
+    pub fill_cache: bool,
+}
+
+impl Default for ReadOptions<'_> {
+    fn default() -> Self {
+        ReadOptions::new()
+    }
+}
+
+impl<'a> ReadOptions<'a> {
+    /// Default read options: latest state, checksums verified, cache filled.
+    pub fn new() -> Self {
+        ReadOptions {
+            snapshot: None,
+            verify_checksums: true,
+            fill_cache: true,
+        }
+    }
+
+    /// Pin the read to `snapshot`.
+    pub fn with_snapshot(mut self, snapshot: &'a crate::db::Snapshot) -> Self {
+        self.snapshot = Some(snapshot);
+        self
+    }
+
+    /// Set the checksum-verification hint.
+    pub fn verify_checksums(mut self, verify: bool) -> Self {
+        self.verify_checksums = verify;
+        self
+    }
+
+    /// Set the cache-fill hint.
+    pub fn fill_cache(mut self, fill: bool) -> Self {
+        self.fill_cache = fill;
+        self
+    }
+}
+
 /// How compaction organizes levels and output files.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CompactionStyle {
@@ -486,6 +544,18 @@ mod tests {
         // Every profile ships a sane group-commit cap.
         assert_eq!(Options::leveldb().group_commit_bytes, 1 << 20);
         assert_eq!(Options::bolt().group_commit_bytes, 1 << 20);
+    }
+
+    #[test]
+    fn read_options_defaults_and_builders() {
+        let ro = ReadOptions::new();
+        assert!(ro.snapshot.is_none());
+        assert!(ro.verify_checksums && ro.fill_cache);
+        let ro = ReadOptions::default()
+            .verify_checksums(false)
+            .fill_cache(false);
+        assert!(!ro.verify_checksums && !ro.fill_cache);
+        assert!(ro.snapshot.is_none());
     }
 
     #[test]

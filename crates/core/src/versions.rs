@@ -12,6 +12,7 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Weak};
 
+use bolt_common::events::{BarrierCause, BarrierScope, EngineEvent, EventSink};
 use bolt_common::{Error, Result};
 use bolt_env::Env;
 use bolt_table::cache::TableCache;
@@ -20,6 +21,15 @@ use bolt_wal::{LogReader, LogWriter};
 
 use crate::filename::{current_file, manifest_file, table_file};
 use crate::version::{Version, VersionBuilder, VersionEdit};
+
+/// Wrap a fresh MANIFEST file: its barriers default to `open_manifest`
+/// (the snapshot written at open); flush/compaction commits override with
+/// their own explicit scopes.
+fn new_manifest_writer(file: Box<dyn bolt_env::WritableFile>) -> LogWriter {
+    let mut manifest = LogWriter::new(file);
+    manifest.set_barrier_cause(BarrierCause::OpenManifest);
+    manifest
+}
 
 #[derive(Debug, Clone)]
 struct FileRegion {
@@ -58,6 +68,8 @@ pub struct VersionSet {
     pub compact_pointer: Vec<Option<Vec<u8>>>,
     files: HashMap<u64, FileInfo>,
     pending_files: HashSet<u64>,
+    /// Structured-event destination; MANIFEST commits are announced here.
+    sink: Option<Arc<EventSink>>,
 }
 
 impl std::fmt::Debug for VersionSet {
@@ -95,7 +107,14 @@ impl VersionSet {
             compact_pointer: vec![None; num_levels],
             files: HashMap::new(),
             pending_files: HashSet::new(),
+            sink: None,
         }
+    }
+
+    /// Install the structured-event sink. Subsequent MANIFEST commits emit
+    /// [`EngineEvent::ManifestCommit`].
+    pub fn set_event_sink(&mut self, sink: Arc<EventSink>) {
+        self.sink = Some(sink);
     }
 
     /// The current version.
@@ -174,10 +193,8 @@ impl VersionSet {
                     .into(),
             )
         })?;
-        if let Err(e) = manifest
-            .add_record(&edit.encode())
-            .and_then(|()| manifest.sync())
-        {
+        let payload = edit.encode();
+        if let Err(e) = manifest.add_record(&payload).and_then(|()| manifest.sync()) {
             // The MANIFEST now holds an appended-but-uncommitted (or torn)
             // record that this VersionSet never applied. Appending anything
             // after it would be disastrous on two fronts: a later successful
@@ -189,6 +206,13 @@ impl VersionSet {
             // rewrites the MANIFEST from a clean snapshot.
             self.manifest = None;
             return Err(e);
+        }
+        if let Some(sink) = &self.sink {
+            sink.emit(EngineEvent::ManifestCommit {
+                edit_bytes: payload.len() as u64,
+                added: edit.added_tables.len() as u64,
+                deleted: edit.deleted_tables.len() as u64,
+            });
         }
 
         if let Some(seq) = edit.last_sequence {
@@ -284,7 +308,7 @@ impl VersionSet {
     pub fn create_new(&mut self) -> Result<()> {
         self.manifest_number = self.new_file_number();
         let path = manifest_file(&self.db, self.manifest_number);
-        let mut manifest = LogWriter::new(self.env.new_writable_file(&path)?);
+        let mut manifest = new_manifest_writer(self.env.new_writable_file(&path)?);
         let edit = VersionEdit {
             next_file_number: Some(self.next_file_number),
             next_table_id: Some(self.next_table_id),
@@ -302,6 +326,7 @@ impl VersionSet {
     fn install_current(&self, manifest_number: u64) -> Result<()> {
         // Write CURRENT via a temp file + atomic rename (durable rename
         // semantics are modeled by the env).
+        let _scope = BarrierScope::new(BarrierCause::CurrentPointer);
         let tmp = format!("{}.tmp", current_file(&self.db));
         let mut f = self.env.new_writable_file(&tmp)?;
         let name = format!("MANIFEST-{manifest_number:06}\n");
@@ -370,7 +395,7 @@ impl VersionSet {
         // Start a fresh manifest with a complete snapshot.
         self.manifest_number = self.new_file_number();
         let path = manifest_file(&self.db, self.manifest_number);
-        let mut manifest = LogWriter::new(self.env.new_writable_file(&path)?);
+        let mut manifest = new_manifest_writer(self.env.new_writable_file(&path)?);
         let snapshot = VersionEdit {
             next_file_number: Some(self.next_file_number),
             next_table_id: Some(self.next_table_id),
@@ -641,5 +666,39 @@ mod tests {
         edit.added_tables.push((0, 1, meta(t, 55, 0, 10)));
         vs.log_and_apply(edit).unwrap();
         assert_eq!(env.stats().fsync_calls(), before + 1);
+    }
+
+    #[test]
+    fn manifest_commits_are_traced_with_causes() {
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+        let sink = Arc::new(EventSink::new());
+        env.stats().set_event_sink(Arc::clone(&sink));
+        env.create_dir_all("db").unwrap();
+        let mut vs = VersionSet::new(Arc::clone(&env), "db", InternalKeyComparator::default(), 7);
+        vs.set_event_sink(Arc::clone(&sink));
+        vs.create_new().unwrap();
+        // The open snapshot pays an OpenManifest barrier (writer default)
+        // and a CurrentPointer barrier (explicit install scope).
+        assert_eq!(sink.barrier_count(BarrierCause::OpenManifest), 1);
+        assert_eq!(sink.barrier_count(BarrierCause::CurrentPointer), 1);
+        sink.drain();
+
+        let mut edit = VersionEdit::default();
+        let t = vs.new_table_id();
+        edit.added_tables.push((0, 1, meta(t, 55, 0, 10)));
+        {
+            let _scope = BarrierScope::new(BarrierCause::CompactionManifest);
+            vs.log_and_apply(edit).unwrap();
+        }
+        assert_eq!(sink.barrier_count(BarrierCause::CompactionManifest), 1);
+        let events = sink.drain();
+        assert!(events.iter().any(|e| matches!(
+            e.event,
+            EngineEvent::ManifestCommit {
+                added: 1,
+                deleted: 0,
+                ..
+            }
+        )));
     }
 }

@@ -6,6 +6,10 @@
 //! counters so any experiment can report them without touching engine code.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bolt_common::events::{BarrierKind, EngineEvent, EventSink};
+use parking_lot::RwLock;
 
 /// Cumulative I/O counters for one environment instance.
 #[derive(Debug, Default)]
@@ -22,6 +26,11 @@ pub struct IoStats {
     hole_bytes: AtomicU64,
     /// Nanoseconds spent blocked inside `sync()` (device drain + barrier).
     sync_wait_nanos: AtomicU64,
+    /// Structured-event destination. Every barrier and hole punch the env
+    /// accounts for is also emitted here (tagged with the calling thread's
+    /// [`bolt_common::events::BarrierCause`] scope), which makes this the
+    /// single choke point guaranteeing *every* barrier appears in the trace.
+    sink: RwLock<Option<Arc<EventSink>>>,
 }
 
 /// A point-in-time copy of [`IoStats`], suitable for diffing.
@@ -73,16 +82,33 @@ impl IoSnapshot {
 }
 
 impl IoStats {
+    /// Install the structured-event sink. Subsequent barriers and hole
+    /// punches are emitted to it in addition to being counted.
+    pub fn set_event_sink(&self, sink: Arc<EventSink>) {
+        *self.sink.write() = Some(sink);
+    }
+
+    /// The installed event sink, if any.
+    pub fn event_sink(&self) -> Option<Arc<EventSink>> {
+        self.sink.read().clone()
+    }
+
     /// Record a durability barrier that blocked for `wait_nanos`.
     pub fn record_fsync(&self, wait_nanos: u64) {
         self.fsync_calls.fetch_add(1, Ordering::Relaxed);
         self.sync_wait_nanos
             .fetch_add(wait_nanos, Ordering::Relaxed);
+        if let Some(sink) = self.sink.read().clone() {
+            sink.emit_barrier(BarrierKind::Fsync);
+        }
     }
 
     /// Record an ordering-only barrier.
     pub fn record_ordering_barrier(&self) {
         self.ordering_barriers.fetch_add(1, Ordering::Relaxed);
+        if let Some(sink) = self.sink.read().clone() {
+            sink.emit_barrier(BarrierKind::Ordering);
+        }
     }
 
     /// Add barrier wait time without counting an extra fsync (used by cost
@@ -117,6 +143,9 @@ impl IoStats {
     pub fn record_punch_hole(&self, n: u64) {
         self.holes_punched.fetch_add(1, Ordering::Relaxed);
         self.hole_bytes.fetch_add(n, Ordering::Relaxed);
+        if let Some(sink) = self.sink.read().clone() {
+            sink.emit(EngineEvent::HolePunch { bytes: n });
+        }
     }
 
     /// Number of durability barriers so far.
@@ -179,6 +208,23 @@ mod tests {
         assert_eq!(snap.holes_punched, 1);
         assert_eq!(snap.hole_bytes, 4096);
         assert_eq!(snap.ordering_barriers, 1);
+    }
+
+    #[test]
+    fn barriers_flow_to_the_event_sink_with_causes() {
+        use bolt_common::events::{BarrierCause, BarrierScope};
+        let stats = IoStats::default();
+        let sink = Arc::new(EventSink::new());
+        stats.set_event_sink(Arc::clone(&sink));
+        {
+            let _scope = BarrierScope::new(BarrierCause::FlushData);
+            stats.record_fsync(10);
+        }
+        stats.record_ordering_barrier();
+        stats.record_punch_hole(4096);
+        assert_eq!(sink.barrier_count(BarrierCause::FlushData), 1);
+        assert_eq!(sink.barrier_count(BarrierCause::Unattributed), 1);
+        assert_eq!(sink.drain().len(), 3, "fsync + ordering + hole punch");
     }
 
     #[test]

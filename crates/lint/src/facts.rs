@@ -90,12 +90,27 @@ pub struct FnFacts {
     pub events: Vec<Event>,
 }
 
+/// A named-lock registration: `named_mutex("core.state", ..)`,
+/// `named_rwlock(..)`, or `Mutex::named("...", ..)` with a literal name.
+#[derive(Debug, Clone)]
+pub struct NamedLock {
+    /// The canonical lock name passed as the first argument.
+    pub name: String,
+    /// Source line of the name literal.
+    pub line: u32,
+    /// Inside a `#[cfg(test)]` region or under `#[test]`.
+    pub in_test: bool,
+}
+
 /// Facts for one file.
 pub struct FileFacts {
     /// Path as given to [`extract`].
     pub path: String,
     /// Per-function facts in source order.
     pub functions: Vec<FnFacts>,
+    /// Named-lock constructor sites (rule L5 cross-checks these against the
+    /// declared `[order].locks`).
+    pub named_locks: Vec<NamedLock>,
     /// Line → rules allowed by `// bolt-lint: allow(rule, ...)` comments.
     pub allows: HashMap<u32, Vec<String>>,
 }
@@ -150,11 +165,45 @@ pub fn extract(path: &str, src: &str) -> FileFacts {
         });
     }
 
+    let named_locks = find_named_locks(toks, &test_regions);
+
     FileFacts {
         path: path.to_string(),
         functions,
+        named_locks,
         allows,
     }
+}
+
+/// Named-lock constructor sites: `named_mutex("...", ..)` /
+/// `named_rwlock("...", ..)` anywhere, or `::named("...", ..)` (the tracked
+/// constructors). Calls whose first argument is not a string literal (e.g.
+/// the forwarding `Mutex::named(name, value)` inside `named_mutex` itself)
+/// register nothing.
+fn find_named_locks(toks: &[Token], test_regions: &[(usize, usize)]) -> Vec<NamedLock> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        let Some(ident) = ident_at(toks, i) else {
+            continue;
+        };
+        let is_ctor = ident == "named_mutex"
+            || ident == "named_rwlock"
+            || (ident == "named"
+                && i >= 2
+                && punct_at(toks, i - 1) == Some(':')
+                && punct_at(toks, i - 2) == Some(':'));
+        if !is_ctor || punct_at(toks, i + 1) != Some('(') {
+            continue;
+        }
+        if let Some(Tok::Lit(name)) = toks.get(i + 2).map(|t| &t.tok) {
+            out.push(NamedLock {
+                name: name.clone(),
+                line: toks[i + 2].line,
+                in_test: test_regions.iter().any(|&(s, e)| i >= s && i < e),
+            });
+        }
+    }
+    out
 }
 
 fn parse_allows(comments: &[(u32, String)]) -> HashMap<u32, Vec<String>> {
@@ -650,6 +699,35 @@ fn f(&self) {
         assert!(outer.events.is_empty());
         let inner = f.functions.iter().find(|f| f.name == "inner").unwrap();
         assert_eq!(inner.events.len(), 1);
+    }
+
+    #[test]
+    fn named_lock_registrations_extracted() {
+        let f = facts(
+            r#"
+fn build() {
+    let a = named_mutex("core.state", State::new());
+    let b = named_rwlock("core.table", ());
+    let c = TrackedMutex::named("core.tracked", ());
+    let d = Mutex::named(name, value); // forwarded ident, not a literal
+}
+#[cfg(test)]
+mod tests {
+    fn t() { let x = named_mutex("test.only", ()); }
+}
+"#,
+        );
+        let live: Vec<&str> = f
+            .named_locks
+            .iter()
+            .filter(|l| !l.in_test)
+            .map(|l| l.name.as_str())
+            .collect();
+        assert_eq!(live, vec!["core.state", "core.table", "core.tracked"]);
+        assert!(f
+            .named_locks
+            .iter()
+            .any(|l| l.in_test && l.name == "test.only"));
     }
 
     #[test]

@@ -15,8 +15,10 @@ pub enum Tok {
     Punct(char),
     /// Numeric literal (value discarded).
     Num,
-    /// String / char / byte literal (contents discarded).
-    Lit,
+    /// String / char / byte literal, carrying its raw contents (escape
+    /// sequences are kept verbatim; rule L5 matches lock names, which never
+    /// contain escapes).
+    Lit(String),
     /// Lifetime such as `'a` (name discarded).
     Lifetime,
 }
@@ -115,6 +117,8 @@ pub fn lex(src: &str) -> Lexed {
                 }
                 if j < b.len() && b[j] == '"' {
                     j += 1;
+                    let content_start = j;
+                    let mut content_end = b.len();
                     // Scan to closing quote + hashes.
                     'scan: while j < b.len() {
                         if b[j] == '\n' {
@@ -128,6 +132,7 @@ pub fn lex(src: &str) -> Lexed {
                                 k += 1;
                             }
                             if k == hashes {
+                                content_end = j;
                                 j += 1 + hashes;
                                 break 'scan;
                             }
@@ -135,7 +140,7 @@ pub fn lex(src: &str) -> Lexed {
                         j += 1;
                     }
                     tokens.push(Token {
-                        tok: Tok::Lit,
+                        tok: Tok::Lit(b[content_start..content_end].iter().collect()),
                         line,
                     });
                     i = j;
@@ -163,6 +168,7 @@ pub fn lex(src: &str) -> Lexed {
                 // fall through to string/char handling with b[i] quote
                 let quote = b[i];
                 let mut j = i + 1;
+                let mut content_end = b.len();
                 while j < b.len() {
                     if b[j] == '\\' {
                         j += 2;
@@ -172,13 +178,14 @@ pub fn lex(src: &str) -> Lexed {
                         line += 1;
                     }
                     if b[j] == quote {
+                        content_end = j;
                         j += 1;
                         break;
                     }
                     j += 1;
                 }
                 tokens.push(Token {
-                    tok: Tok::Lit,
+                    tok: Tok::Lit(b[i + 1..content_end.min(b.len())].iter().collect()),
                     line,
                 });
                 i = j;
@@ -187,6 +194,7 @@ pub fn lex(src: &str) -> Lexed {
         }
         if c == '"' {
             let mut j = i + 1;
+            let mut content_end = b.len();
             while j < b.len() {
                 if b[j] == '\\' {
                     j += 2;
@@ -196,13 +204,14 @@ pub fn lex(src: &str) -> Lexed {
                     line += 1;
                 }
                 if b[j] == '"' {
+                    content_end = j;
                     j += 1;
                     break;
                 }
                 j += 1;
             }
             tokens.push(Token {
-                tok: Tok::Lit,
+                tok: Tok::Lit(b[i + 1..content_end.min(b.len())].iter().collect()),
                 line,
             });
             i = j;
@@ -219,7 +228,7 @@ pub fn lex(src: &str) -> Lexed {
                 if j < b.len() && b[j] == '\'' && j == i + 2 {
                     // 'x' single-char literal.
                     tokens.push(Token {
-                        tok: Tok::Lit,
+                        tok: Tok::Lit(b[i + 1].to_string()),
                         line,
                     });
                     i = j + 1;
@@ -240,7 +249,7 @@ pub fn lex(src: &str) -> Lexed {
                     j += 1;
                 }
                 tokens.push(Token {
-                    tok: Tok::Lit,
+                    tok: Tok::Lit(b[i + 1..j.min(b.len())].iter().collect()),
                     line,
                 });
                 i = j + 1;
@@ -249,7 +258,7 @@ pub fn lex(src: &str) -> Lexed {
             // Something like '(' char literal.
             if j + 1 < b.len() && b[j + 1] == '\'' {
                 tokens.push(Token {
-                    tok: Tok::Lit,
+                    tok: Tok::Lit(b[j].to_string()),
                     line,
                 });
                 i = j + 2;
@@ -342,7 +351,24 @@ mod tests {
     fn lifetimes_vs_char_literals() {
         let toks = lex("fn f<'a>(x: &'a str) { let c = 'y'; }");
         assert!(toks.tokens.iter().any(|t| t.tok == Tok::Lifetime));
-        assert!(toks.tokens.iter().any(|t| t.tok == Tok::Lit));
+        assert!(toks
+            .tokens
+            .iter()
+            .any(|t| t.tok == Tok::Lit("y".to_string())));
+    }
+
+    #[test]
+    fn string_literal_contents_are_kept() {
+        let toks = lex(r###"f("core.state"); g(r#"raw"#); h(b"bytes");"###);
+        let lits: Vec<String> = toks
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Lit(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lits, vec!["core.state", "raw", "bytes"]);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! Barrier-ordering and lock-discipline static analyzer for the BoLT
 //! workspace. Dependency-free: a hand-rolled tokenizer ([`lexer`]),
-//! per-function fact extraction ([`facts`]), and four rules ([`rules`])
+//! per-function fact extraction ([`facts`]), and five rules ([`rules`])
 //! checked against the declared lock order in `lint/lock_order.toml`
 //! ([`config`]).
 //!

@@ -1,4 +1,4 @@
-//! The four bolt-lint rules (DESIGN.md §10):
+//! The five bolt-lint rules (DESIGN.md §10):
 //!
 //! - **L1 `guard-across-barrier`** — a lock guard binding live across an
 //!   env-layer `sync`/`ordering_barrier`/`append`/`add_record` call. WAL and
@@ -14,6 +14,10 @@
 //!   append must be dominated by a sync of every data file appended earlier
 //!   in the function (O1), and followed by a sync of the MANIFEST writer
 //!   itself (the commit point, O2).
+//! - **L5 `lock-registry`** — every `named_mutex`/`named_rwlock`/`::named`
+//!   constructor name must appear in `[order].locks`, and every declared
+//!   lock in a namespace that registers names must actually be constructed
+//!   somewhere — the static order and the runtime witness cannot drift.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
@@ -28,6 +32,8 @@ pub const RULE_LOCK_ORDER: &str = "lock-order";
 pub const RULE_UNWRAP_IN_CRASH_PATH: &str = "unwrap-in-crash-path";
 /// See [`RULE_GUARD_ACROSS_BARRIER`].
 pub const RULE_UNSYNCED_COMMIT: &str = "unsynced-commit";
+/// See [`RULE_GUARD_ACROSS_BARRIER`].
+pub const RULE_LOCK_REGISTRY: &str = "lock-registry";
 
 /// One reported violation.
 #[derive(Debug, Clone)]
@@ -52,6 +58,7 @@ pub fn run(files: &[FileFacts], cfg: &Config) -> Vec<Finding> {
         unsynced_commit(file, cfg, &mut findings);
     }
     lock_order(files, cfg, &mut findings);
+    lock_registry(files, cfg, &mut findings);
     findings.retain(|f| {
         let file = files.iter().find(|ff| ff.path == f.file);
         !file.is_some_and(|ff| ff.allowed(f.rule, f.line))
@@ -209,6 +216,75 @@ fn unsynced_commit(file: &FileFacts, cfg: &Config, out: &mut Vec<Finding>) {
                 }
             }
         }
+    }
+}
+
+/// L5: the named-lock registry and the declared order must agree.
+///
+/// Forward: every non-test `named_mutex`/`named_rwlock`/`::named` constructor
+/// name must appear in `[order].locks` (checked only when an order is
+/// declared). Reverse: every declared lock whose namespace (the prefix
+/// before the first `.`) registers at least one name must itself be
+/// registered somewhere — a declared-but-never-constructed lock in a
+/// registering namespace is stale. Namespaces with no registrations at all
+/// (locks named only via `[aliases]`) are exempt from the reverse check.
+fn lock_registry(files: &[FileFacts], cfg: &Config, out: &mut Vec<Finding>) {
+    let registered: Vec<(&str, &str, u32)> = files
+        .iter()
+        .flat_map(|file| {
+            file.named_locks
+                .iter()
+                .filter(|l| !l.in_test)
+                .map(move |l| (l.name.as_str(), file.path.as_str(), l.line))
+        })
+        .collect();
+    if registered.is_empty() {
+        return;
+    }
+
+    if !cfg.order.is_empty() {
+        for &(name, file, line) in &registered {
+            if cfg.order_index(name).is_none() {
+                out.push(Finding {
+                    file: file.to_string(),
+                    line,
+                    rule: RULE_LOCK_REGISTRY,
+                    message: format!(
+                        "lock `{name}` is constructed with a name that does not appear in \
+                         [order].locks of lint/lock_order.toml — declare it (in order) or \
+                         rename the constructor argument"
+                    ),
+                });
+            }
+        }
+    }
+
+    let namespace = |name: &str| name.split('.').next().unwrap_or(name).to_string();
+    let registering: BTreeSet<String> = registered.iter().map(|&(n, _, _)| namespace(n)).collect();
+    for declared in &cfg.order {
+        let ns = namespace(declared);
+        if !registering.contains(&ns) {
+            continue;
+        }
+        if registered.iter().any(|&(n, _, _)| n == declared) {
+            continue;
+        }
+        // Anchor the finding at the namespace's first registration site —
+        // the place a reader would look for the missing constructor.
+        let &(_, file, line) = registered
+            .iter()
+            .find(|&&(n, _, _)| namespace(n) == ns)
+            .expect("namespace has a registration");
+        out.push(Finding {
+            file: file.to_string(),
+            line,
+            rule: RULE_LOCK_REGISTRY,
+            message: format!(
+                "lock `{declared}` is declared in [order].locks but never constructed via \
+                 named_mutex/named_rwlock in namespace `{ns}` — remove the stale entry or \
+                 register the lock"
+            ),
+        });
     }
 }
 

@@ -1,0 +1,38 @@
+//! L5 lock-registry corpus: named-lock constructor arguments must agree
+//! with `[order].locks` in both directions.
+//!
+//! The corpus config declares `core.state`, `core.versions`, and
+//! `core.batchlock`. This file registers the first two plus a rogue name,
+//! so the analyzer must flag the rogue registration (forward drift) and the
+//! declared-but-never-constructed `core.batchlock` (reverse drift, anchored
+//! at the namespace's first registration site).
+
+struct State;
+
+// Reverse drift for `core.batchlock` is reported at the first `core.*`
+// registration site below: the `core.state` constructor line.
+fn build_engine() -> Mutex<State> {
+    named_mutex("core.state", State) // SEED(lock-registry)
+}
+
+fn build_versions() -> Mutex<u64> {
+    named_mutex("core.versions", 0)
+}
+
+fn build_rogue() -> Mutex<u64> {
+    named_mutex("core.rogue", 0) // SEED(lock-registry)
+}
+
+fn allowed_registry() -> RwLock<u64> {
+    // bolt-lint: allow(lock-registry)
+    named_rwlock("core.unlisted", 0)
+}
+
+#[cfg(test)]
+mod tests {
+    // Test-only registrations are exempt: the debug_locks witness tests
+    // deliberately construct throwaway locks.
+    fn t() {
+        let _ = named_mutex("test.scratch", ());
+    }
+}

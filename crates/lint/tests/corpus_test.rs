@@ -67,6 +67,7 @@ fn every_seeded_violation_is_flagged_and_nothing_else() {
         "lock-order",
         "unwrap-in-crash-path",
         "unsynced-commit",
+        "lock-registry",
     ] {
         assert!(
             seeds.iter().any(|(_, _, r)| r == rule),

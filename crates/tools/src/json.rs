@@ -1,0 +1,441 @@
+//! A dependency-free JSON parser and a subset JSON-Schema validator.
+//!
+//! The workspace is offline (no serde); `bolt-tool trace --validate` needs
+//! just enough JSON machinery to parse its own exporter output and check it
+//! against the checked-in `schemas/trace.schema.json`. Supported schema
+//! keywords: `type`, `properties`, `required`, `additionalProperties`
+//! (boolean form), `items`, `enum`, `minimum`.
+
+use std::collections::BTreeMap;
+
+use bolt_common::{Error, Result};
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (held as f64; integers up to 2^53 are exact).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object (keys sorted for deterministic display).
+    Object(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// The member `key` of an object, if this is an object that has it.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// JSON type name used by schema `type` matching.
+    fn type_name(&self) -> &'static str {
+        match self {
+            JsonValue::Null => "null",
+            JsonValue::Bool(_) => "boolean",
+            JsonValue::Number(_) => "number",
+            JsonValue::String(_) => "string",
+            JsonValue::Array(_) => "array",
+            JsonValue::Object(_) => "object",
+        }
+    }
+}
+
+/// Parse one JSON document (trailing whitespace allowed, nothing else).
+///
+/// # Errors
+///
+/// Returns [`Error::Corruption`] describing the first syntax error.
+pub fn parse(input: &str) -> Result<JsonValue> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::corruption(format!(
+            "trailing data at byte {}",
+            p.pos
+        )));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::corruption(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b't') if self.eat_literal("true") => Ok(JsonValue::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(JsonValue::Bool(false)),
+            Some(b'n') if self.eat_literal("null") => Ok(JsonValue::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(Error::corruption(format!(
+                "unexpected input at byte {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(map));
+                }
+                _ => {
+                    return Err(Error::corruption(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => {
+                    return Err(Error::corruption(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::corruption("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| Error::corruption("bad \\u escape"))?;
+                            // Surrogate pairs are not needed for our own
+                            // exporter output; reject rather than mangle.
+                            let c = char::from_u32(hex)
+                                .ok_or_else(|| Error::corruption("bad \\u escape"))?;
+                            out.push(c);
+                            self.pos += 4;
+                        }
+                        _ => return Err(Error::corruption("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input came from &str, so
+                    // boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| Error::corruption("invalid utf-8"))?;
+                    let c = s
+                        .chars()
+                        .next()
+                        .ok_or_else(|| Error::corruption("unterminated string"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::corruption("invalid number"))?;
+        text.parse::<f64>()
+            .map(JsonValue::Number)
+            .map_err(|_| Error::corruption(format!("invalid number `{text}`")))
+    }
+}
+
+/// Validate `value` against the schema subset, collecting every violation
+/// as a `path: message` line. An empty result means the document conforms.
+pub fn validate(schema: &JsonValue, value: &JsonValue) -> Vec<String> {
+    let mut errors = Vec::new();
+    validate_at(schema, value, "$", &mut errors);
+    errors
+}
+
+fn validate_at(schema: &JsonValue, value: &JsonValue, path: &str, errors: &mut Vec<String>) {
+    // `type`: a string or an array of alternatives. Schema `integer` is a
+    // number with no fractional part.
+    if let Some(ty) = schema.get("type") {
+        let allowed: Vec<&str> = match ty {
+            JsonValue::String(s) => vec![s.as_str()],
+            JsonValue::Array(items) => items.iter().filter_map(JsonValue::as_str).collect(),
+            _ => Vec::new(),
+        };
+        let actual = value.type_name();
+        let matches = allowed.iter().any(|t| {
+            *t == actual
+                || (*t == "integer" && matches!(value, JsonValue::Number(n) if n.fract() == 0.0))
+        });
+        if !allowed.is_empty() && !matches {
+            errors.push(format!("{path}: expected type {allowed:?}, got {actual}"));
+            return; // structural keywords below assume the right type
+        }
+    }
+
+    if let Some(options) = schema.get("enum").and_then(JsonValue::as_array) {
+        if !options.contains(value) {
+            errors.push(format!("{path}: value not in enum"));
+        }
+    }
+
+    if let Some(min) = schema.get("minimum").and_then(JsonValue::as_f64) {
+        if let Some(n) = value.as_f64() {
+            if n < min {
+                errors.push(format!("{path}: {n} below minimum {min}"));
+            }
+        }
+    }
+
+    if let JsonValue::Object(members) = value {
+        if let Some(required) = schema.get("required").and_then(JsonValue::as_array) {
+            for name in required.iter().filter_map(JsonValue::as_str) {
+                if !members.contains_key(name) {
+                    errors.push(format!("{path}: missing required member `{name}`"));
+                }
+            }
+        }
+        let properties = schema.get("properties");
+        for (name, member) in members {
+            let member_path = format!("{path}.{name}");
+            match properties.and_then(|p| p.get(name)) {
+                Some(sub) => validate_at(sub, member, &member_path, errors),
+                None => {
+                    if schema.get("additionalProperties") == Some(&JsonValue::Bool(false)) {
+                        errors.push(format!("{member_path}: unexpected member"));
+                    }
+                }
+            }
+        }
+    }
+
+    if let JsonValue::Array(items) = value {
+        if let Some(item_schema) = schema.get("items") {
+            for (i, item) in items.iter().enumerate() {
+                validate_at(item_schema, item, &format!("{path}[{i}]"), errors);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_documents() {
+        let v =
+            parse(r#"{"a": [1, 2.5, -3e2], "b": {"c": "x\ny"}, "d": null, "e": true}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap()[2].as_f64(),
+            Some(-300.0)
+        );
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_str(), Some("x\ny"));
+        assert_eq!(v.get("d"), Some(&JsonValue::Null));
+        assert_eq!(v.get("e"), Some(&JsonValue::Bool(true)));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse("{").is_err());
+        assert!(parse(r#"{"a": }"#).is_err());
+        assert!(parse("[1, 2,]").is_err());
+        assert!(parse("{} extra").is_err());
+        assert!(parse(r#""unterminated"#).is_err());
+    }
+
+    #[test]
+    fn validates_types_required_and_enums() {
+        let schema = parse(
+            r#"{
+                "type": "object",
+                "required": ["kind", "n"],
+                "properties": {
+                    "kind": {"type": "string", "enum": ["a", "b"]},
+                    "n": {"type": "integer", "minimum": 0},
+                    "tags": {"type": "array", "items": {"type": "string"}}
+                }
+            }"#,
+        )
+        .unwrap();
+        let good = parse(r#"{"kind": "a", "n": 3, "tags": ["x"]}"#).unwrap();
+        assert!(validate(&schema, &good).is_empty());
+
+        let bad = parse(r#"{"kind": "c", "n": -1, "tags": [7]}"#).unwrap();
+        let errors = validate(&schema, &bad);
+        assert_eq!(errors.len(), 3, "{errors:?}");
+        assert!(errors.iter().any(|e| e.contains("enum")));
+        assert!(errors.iter().any(|e| e.contains("minimum")));
+        assert!(errors.iter().any(|e| e.contains("tags[0]")));
+
+        let missing = parse(r#"{"kind": "a"}"#).unwrap();
+        let errors = validate(&schema, &missing);
+        assert!(errors.iter().any(|e| e.contains("missing required")));
+    }
+
+    #[test]
+    fn integer_rejects_fractions_and_additional_properties_close() {
+        let schema = parse(
+            r#"{"type": "object", "additionalProperties": false,
+                "properties": {"n": {"type": "integer"}}}"#,
+        )
+        .unwrap();
+        let frac = parse(r#"{"n": 1.5}"#).unwrap();
+        assert!(!validate(&schema, &frac).is_empty());
+        let extra = parse(r#"{"n": 1, "z": 2}"#).unwrap();
+        assert!(validate(&schema, &extra)
+            .iter()
+            .any(|e| e.contains("unexpected member")));
+    }
+}

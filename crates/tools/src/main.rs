@@ -5,7 +5,14 @@
 //! bolt-tool <command> <db-dir> [args...] [--profile <name>]
 //!
 //! commands:
+//!   stat <db> [--json|--prometheus] one merged metrics snapshot (text,
+//!                                   JSON, or Prometheus exposition)
 //!   stats <db>                      level shape + engine + IO counters
+//!                                   (text alias of `stat`)
+//!   trace [--json] [--validate F]   run the canonical micro workload
+//!                                   (in-memory, needs no db-dir) and dump
+//!                                   its event stream; with --validate,
+//!                                   check every JSON line against schema F
 //!   dump-manifest <db>              decode the live MANIFEST
 //!   dump-tables <db>                logical SSTables by physical file
 //!   scan <db> [start] [limit]       print entries in order
@@ -31,7 +38,7 @@ use bolt_env::{Env, RealEnv};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: bolt-tool <stats|dump-manifest|dump-tables|scan|get|put|delete|load|compact|verify> <db-dir> [args...] [--profile <name>]\n       bolt-tool crash-sweep [max-points] [seed]\n       bolt-tool lint [path] [--config FILE]"
+        "usage: bolt-tool <stat|stats|dump-manifest|dump-tables|scan|get|put|delete|load|compact|verify> <db-dir> [args...] [--profile <name>]\n       bolt-tool stat <db-dir> [--json|--prometheus]\n       bolt-tool trace [--json] [--validate SCHEMA]\n       bolt-tool crash-sweep [max-points] [seed]\n       bolt-tool lint [path] [--config FILE]"
     );
     ExitCode::from(2)
 }
@@ -59,6 +66,53 @@ fn crash_sweep(args: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// `bolt-tool trace [--json] [--validate SCHEMA]` — run the canonical micro
+/// workload on an in-memory filesystem and dump its event stream.
+fn trace(args: &[String]) -> ExitCode {
+    let mut json_lines = false;
+    let mut schema_path: Option<std::path::PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json_lines = true,
+            "--validate" => match it.next() {
+                Some(p) => schema_path = Some(p.into()),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    if schema_path.is_some() && !json_lines {
+        eprintln!("error: --validate requires --json");
+        return ExitCode::from(2);
+    }
+    let output = match bolt_tools::trace(json_lines) {
+        Ok(output) => output,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{output}");
+    if let Some(path) = schema_path {
+        let schema = match std::fs::read_to_string(&path) {
+            Ok(schema) => schema,
+            Err(e) => {
+                eprintln!("error: reading {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        match bolt_tools::validate_trace_lines(&output, &schema) {
+            Ok(n) => eprintln!("trace: {n} events validated against {}", path.display()),
+            Err(e) => {
+                eprintln!("error: schema validation failed:\n{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 /// `bolt-tool lint [path] [--config FILE]` — alias of `bolt-lint check`.
@@ -99,6 +153,9 @@ fn main() -> ExitCode {
     if args.first().map(String::as_str) == Some("lint") {
         return lint(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("trace") {
+        return trace(&args[1..]);
+    }
 
     if args.len() < 2 {
         return usage();
@@ -118,6 +175,15 @@ fn main() -> ExitCode {
     let env: Arc<dyn Env> = Arc::new(RealEnv::new("."));
 
     let result = match command.as_str() {
+        "stat" => {
+            let format = match args.get(2).map(String::as_str) {
+                Some("--json") => bolt_tools::StatFormat::Json,
+                Some("--prometheus") => bolt_tools::StatFormat::Prometheus,
+                None => bolt_tools::StatFormat::Text,
+                Some(_) => return usage(),
+            };
+            bolt_tools::stat(&env, &db, opts, format).map(Some)
+        }
         "stats" => bolt_tools::stats(&env, &db, opts).map(Some),
         "dump-manifest" => bolt_tools::dump_manifest(&env, &db).map(Some),
         "dump-tables" => bolt_tools::dump_tables(&env, &db, opts).map(Some),

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 use bolt_common::crc32c;
+use bolt_common::events::{BarrierCause, BarrierScope};
 use bolt_common::{Error, Result};
 use bolt_env::{RandomAccessFile, WritableFile};
 
@@ -69,6 +70,10 @@ pub struct LogWriter {
     /// even for reopened files: durability of pre-existing bytes is unknown,
     /// so the first sync always reaches the device.
     synced_len: u64,
+    /// Default [`BarrierCause`] for barriers issued by this writer when the
+    /// calling thread has no explicit scope active (see
+    /// [`LogWriter::set_barrier_cause`]).
+    default_cause: Option<BarrierCause>,
     /// With `debug_locks`: a tracked-lock name that must not be held by the
     /// thread performing I/O on this writer (lint rule L1 at runtime).
     #[cfg(feature = "debug_locks")]
@@ -92,9 +97,19 @@ impl LogWriter {
             file,
             block_offset,
             synced_len: 0,
+            default_cause: None,
             #[cfg(feature = "debug_locks")]
             forbidden_lock: None,
         }
+    }
+
+    /// Tag barriers issued through this writer with `cause` whenever the
+    /// calling thread has no explicit [`BarrierScope`] active. The engine
+    /// tags WAL writers [`BarrierCause::WalCommit`] and MANIFEST writers
+    /// [`BarrierCause::OpenManifest`]; operation-level scopes (flush commit,
+    /// compaction commit, close) override this default.
+    pub fn set_barrier_cause(&mut self, cause: BarrierCause) {
+        self.default_cause = Some(cause);
     }
 
     /// Arm the `debug_locks` runtime analogue of lint rule L1: every
@@ -185,6 +200,7 @@ impl LogWriter {
         if len == self.synced_len {
             return Ok(());
         }
+        let _scope = self.default_cause.map(BarrierScope::default_for);
         self.file.sync()?;
         self.synced_len = len;
         Ok(())
@@ -201,6 +217,7 @@ impl LogWriter {
     ///
     /// Returns an I/O error from the underlying file.
     pub fn ordering_barrier(&mut self) -> Result<()> {
+        let _scope = self.default_cause.map(BarrierScope::default_for);
         self.file.ordering_barrier()
     }
 
@@ -533,6 +550,27 @@ mod tests {
         writer.add_record(b"more").unwrap();
         writer.sync().unwrap();
         assert_eq!(env.stats().fsync_calls(), after_first + 1);
+    }
+
+    #[test]
+    fn writer_default_cause_tags_barriers() {
+        use bolt_common::events::{BarrierCause, BarrierScope, EventSink};
+        let env = MemEnv::new();
+        let sink = Arc::new(EventSink::new());
+        env.stats().set_event_sink(Arc::clone(&sink));
+        let mut writer = LogWriter::new(env.new_writable_file("log").unwrap());
+        writer.set_barrier_cause(BarrierCause::WalCommit);
+        writer.add_record(b"rec").unwrap();
+        writer.sync().unwrap();
+        assert_eq!(sink.barrier_count(BarrierCause::WalCommit), 1);
+        // An explicit scope on the calling thread overrides the default.
+        writer.add_record(b"rec2").unwrap();
+        {
+            let _scope = BarrierScope::new(BarrierCause::WalClose);
+            writer.sync().unwrap();
+        }
+        assert_eq!(sink.barrier_count(BarrierCause::WalClose), 1);
+        assert_eq!(sink.barrier_count(BarrierCause::WalCommit), 1);
     }
 
     #[test]

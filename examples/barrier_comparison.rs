@@ -31,15 +31,16 @@ fn run(name: &str, opts: Options) -> bolt::Result<()> {
     db.flush()?;
     db.compact_until_quiet()?;
 
-    let io = env.stats().snapshot();
-    let stats = db.stats().snapshot();
+    // One merged snapshot replaces the old env.stats() + db.stats() dance.
+    let metrics = db.metrics();
     println!(
-        "{name:<10} {:>9.0} ops/s | fsync {:>5} | written {:>7.1} MB | WA {:>4.1} | stalls {:>4} | p99 {:>7} us",
+        "{name:<10} {:>9.0} ops/s | fsync {:>5} | written {:>7.1} MB | WA {:>4.1} | barriers/compaction {:>4.1} | stalls {:>4} | p99 {:>7} us",
         result.throughput(),
-        io.fsync_calls,
-        io.bytes_written as f64 / (1 << 20) as f64,
-        stats.write_amplification(io.bytes_written),
-        stats.stalls,
+        metrics.io.fsync_calls,
+        metrics.io.bytes_written as f64 / (1 << 20) as f64,
+        metrics.write_amplification(),
+        metrics.barriers_per_compaction(),
+        metrics.db.stalls,
         result.percentile(99.0) / 1000,
     );
     db.close()?;

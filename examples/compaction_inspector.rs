@@ -69,42 +69,50 @@ fn main() -> bolt::Result<()> {
         }
     }
 
-    let io = env.stats().snapshot();
-    let stats = db.stats().snapshot();
+    // One merged snapshot carries every counter the old hand-stitched
+    // env.stats()/db.stats()/queue_wait() combination did.
+    let metrics = db.metrics();
     println!(
         "\nsettled moves: {} (logical SSTables promoted without rewriting)",
-        stats.settled_moves
+        metrics.db.settled_moves
     );
     println!("compaction files with logical tables on >1 level: {multi_level_files}");
     println!(
         "holes punched: {} ({} KB reclaimed lazily, no barrier)",
-        io.holes_punched,
-        io.hole_bytes / 1024
+        metrics.io.holes_punched,
+        metrics.io.hole_bytes / 1024
     );
     println!(
         "fsync calls: {} | bytes written: {} MB | write amplification: {:.2}",
-        io.fsync_calls,
-        io.bytes_written / (1 << 20),
-        stats.write_amplification(io.bytes_written)
+        metrics.io.fsync_calls,
+        metrics.io.bytes_written / (1 << 20),
+        metrics.write_amplification()
     );
-    let queue_wait = db.stats().queue_wait();
+    println!(
+        "barriers by cause: {:?} ({:.2} per compaction)",
+        metrics
+            .barriers_by_cause
+            .iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|(c, n)| format!("{}={n}", c.as_str()))
+            .collect::<Vec<_>>(),
+        metrics.barriers_per_compaction()
+    );
     println!(
         "write pipeline: {} batches in {} commit groups ({:.2} batches/group)",
-        stats.group_batches,
-        stats.write_groups,
-        stats.batches_per_group()
+        metrics.db.group_batches,
+        metrics.db.write_groups,
+        metrics.batches_per_group()
     );
     println!(
         "WAL barriers: {} issued, {} elided by group commit ({:.3} per batch)",
-        stats.wal_syncs,
-        stats.wal_syncs_elided,
-        stats.wal_syncs_per_batch()
+        metrics.db.wal_syncs,
+        metrics.db.wal_syncs_elided,
+        metrics.wal_syncs_per_batch()
     );
     println!(
         "writer queue wait: p50 {} ns, p99 {} ns, max {} ns",
-        queue_wait.percentile(50.0),
-        queue_wait.percentile(99.0),
-        queue_wait.max()
+        metrics.queue_wait.p50, metrics.queue_wait.p99, metrics.queue_wait.max
     );
     db.close()?;
     Ok(())

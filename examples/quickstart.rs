@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 
-use bolt::{Db, Options};
+use bolt::{Db, Options, ReadOptions};
 use bolt_env::{CrashConfig, Env, MemEnv};
 
 fn main() -> bolt::Result<()> {
@@ -29,10 +29,14 @@ fn main() -> bolt::Result<()> {
     assert_eq!(db.get(b"language")?, Some(b"Rust".to_vec()));
     assert_eq!(db.get(b"venue")?, None);
 
-    // Snapshots pin a consistent view.
+    // Snapshots pin a consistent view, read through ReadOptions.
     let snapshot = db.snapshot();
     db.put(b"language", b"rust 2021 edition")?;
-    assert_eq!(db.get_at(b"language", &snapshot)?, Some(b"Rust".to_vec()));
+    let at_snapshot = ReadOptions::new().with_snapshot(&snapshot);
+    assert_eq!(
+        db.get_opt(b"language", &at_snapshot)?,
+        Some(b"Rust".to_vec())
+    );
     drop(snapshot);
 
     // Range scans see live keys in order.
@@ -51,14 +55,21 @@ fn main() -> bolt::Result<()> {
 
     // Force a flush: with the BoLT profile this writes one *compaction
     // file* holding all logical SSTables, costing a single data barrier
-    // plus the MANIFEST barrier.
-    let before = env.stats().fsync_calls();
+    // plus the MANIFEST barrier. The merged metrics snapshot carries the
+    // barrier counts (tagged by cause) alongside the level shape.
+    let before = db.metrics().total_barriers();
     db.flush()?;
+    let metrics = db.metrics();
     println!(
         "flush cost {} barrier(s); level shape: {:?}",
-        env.stats().fsync_calls() - before,
-        db.level_info()
+        metrics.total_barriers() - before,
+        metrics.levels
     );
+
+    // The engine also emits a structured event trace (drainable ring).
+    for event in db.events() {
+        println!("trace: {}", event.to_json());
+    }
 
     // Crash-recovery: drop everything unsynced, reopen, data survives.
     db.close()?;

@@ -34,7 +34,11 @@
 //! db.put(b"key", b"value")?;
 //! db.flush()?; // one compaction file + one MANIFEST barrier
 //! assert_eq!(db.get(b"key")?, Some(b"value".to_vec()));
-//! println!("barriers so far: {}", env.stats().fsync_calls());
+//! let metrics = db.metrics(); // merged engine + I/O + event counters
+//! println!("barriers so far: {}", metrics.total_barriers());
+//! for event in db.events() {
+//!     println!("{}", event.to_json()); // structured engine trace
+//! }
 //! db.close()?;
 //! # Ok(())
 //! # }
@@ -44,8 +48,9 @@
 
 pub use bolt_common::{Error, Result};
 pub use bolt_core::{
-    BoltOptions, CompactionStyle, Db, DbIterator, DbStats, DbStatsSnapshot, LevelInfo, Options,
-    Snapshot, WriteBatch, WriteOptions,
+    BarrierCause, BarrierKind, BoltOptions, CompactionStyle, Db, DbIterator, DbStats,
+    DbStatsSnapshot, EngineEvent, LevelInfo, Metric, MetricValue, MetricsRegistry, MetricsSnapshot,
+    Options, QueueWaitSummary, ReadOptions, Snapshot, TraceEvent, WriteBatch, WriteOptions,
 };
 pub use bolt_env::{
     CrashConfig, CrashEnv, DeviceModel, Env, FaultEnv, FaultPlan, IoSnapshot, IoStats, MemEnv,

@@ -287,10 +287,11 @@ fn snapshots_survive_compactions() {
         db.flush().unwrap();
     }
     db.compact_until_quiet().unwrap();
+    let at_snap = bolt::ReadOptions::new().with_snapshot(&snap);
     for i in (0..500u32).step_by(41) {
         let k = format!("key{i:04}");
         assert_eq!(
-            db.get_at(k.as_bytes(), &snap).unwrap(),
+            db.get_opt(k.as_bytes(), &at_snap).unwrap(),
             Some(b"before".to_vec()),
             "snapshot read {k}"
         );

@@ -157,7 +157,7 @@ proptest! {
         let frozen = model.clone();
         apply_ops(&db, &mut model, &more);
 
-        let mut iter = db.iter_at(&snap).unwrap();
+        let mut iter = db.iter_opt(&bolt::ReadOptions::new().with_snapshot(&snap)).unwrap();
         iter.seek_to_first().unwrap();
         let mut scanned = Vec::new();
         while iter.valid() {
