@@ -35,13 +35,16 @@ pub enum BarrierCause {
     OpenManifest,
     /// The CURRENT pointer file swing.
     CurrentPointer,
+    /// Re-cutting a fresh MANIFEST after a failed commit barrier (the
+    /// self-healing path: snapshot write + re-appended edit sync).
+    ManifestRecut,
     /// No scope was active: the barrier could not be attributed.
     Unattributed,
 }
 
 impl BarrierCause {
     /// Every cause, in stable order (used by exporters and counters).
-    pub const ALL: [BarrierCause; 9] = [
+    pub const ALL: [BarrierCause; 10] = [
         BarrierCause::WalCommit,
         BarrierCause::WalClose,
         BarrierCause::FlushData,
@@ -50,6 +53,7 @@ impl BarrierCause {
         BarrierCause::CompactionManifest,
         BarrierCause::OpenManifest,
         BarrierCause::CurrentPointer,
+        BarrierCause::ManifestRecut,
         BarrierCause::Unattributed,
     ];
 
@@ -64,6 +68,7 @@ impl BarrierCause {
             BarrierCause::CompactionManifest => "compaction_manifest",
             BarrierCause::OpenManifest => "open_manifest",
             BarrierCause::CurrentPointer => "current_pointer",
+            BarrierCause::ManifestRecut => "manifest_recut",
             BarrierCause::Unattributed => "unattributed",
         }
     }
@@ -235,6 +240,18 @@ pub enum EngineEvent {
         /// Tables deleted by the edit.
         deleted: u64,
     },
+    /// A failed MANIFEST commit barrier was self-healed: the torn MANIFEST
+    /// was abandoned, a fresh one was cut from a full snapshot of the
+    /// current version, CURRENT was durably swung, and the failed edit was
+    /// re-appended and re-synced against the fresh writer.
+    ManifestRecut {
+        /// File number of the abandoned (torn) MANIFEST.
+        abandoned: u64,
+        /// File number of the freshly cut MANIFEST now named by CURRENT.
+        new_manifest: u64,
+        /// Live tables captured in the fresh MANIFEST's snapshot record.
+        snapshot_tables: u64,
+    },
     /// The device saw a barrier. Emitted from the env's I/O accounting choke
     /// point, so *every* barrier in the process appears here exactly once.
     Barrier {
@@ -265,6 +282,7 @@ impl EngineEvent {
             EngineEvent::Slowdown => "slowdown",
             EngineEvent::WalRotate { .. } => "wal_rotate",
             EngineEvent::ManifestCommit { .. } => "manifest_commit",
+            EngineEvent::ManifestRecut { .. } => "manifest_recut",
             EngineEvent::Barrier { .. } => "barrier",
             EngineEvent::HolePunch { .. } => "hole_punch",
         }
@@ -321,6 +339,13 @@ impl EngineEvent {
                 deleted,
             } => format!(
                 "MANIFEST commit ({edit_bytes} B edit, +{added}/-{deleted} tables)"
+            ),
+            EngineEvent::ManifestRecut {
+                abandoned,
+                new_manifest,
+                snapshot_tables,
+            } => format!(
+                "MANIFEST re-cut ({abandoned:06} -> {new_manifest:06}, {snapshot_tables} tables snapshotted)"
             ),
             EngineEvent::Barrier { cause, kind } => {
                 format!("barrier [{}] cause={}", kind.as_str(), cause.as_str())
@@ -421,6 +446,16 @@ impl TraceEvent {
                 let _ = write!(
                     s,
                     ",\"edit_bytes\":{edit_bytes},\"added\":{added},\"deleted\":{deleted}"
+                );
+            }
+            EngineEvent::ManifestRecut {
+                abandoned,
+                new_manifest,
+                snapshot_tables,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"abandoned\":{abandoned},\"new_manifest\":{new_manifest},\"snapshot_tables\":{snapshot_tables}"
                 );
             }
             EngineEvent::Barrier { cause, kind } => {

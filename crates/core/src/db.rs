@@ -676,6 +676,7 @@ impl Db {
             barriers_by_cause: inner.sink.barrier_counts().to_vec(),
             events_emitted: inner.sink.emitted(),
             events_dropped: inner.sink.dropped(),
+            manifest_recuts: inner.versions.lock().manifest_recuts(),
         }
     }
 
@@ -1175,6 +1176,11 @@ impl DbInner {
             match result {
                 Ok(()) => {}
                 Err(e) => {
+                    // Transient MANIFEST sync failures never reach here:
+                    // log_and_apply self-heals them by re-cutting a fresh
+                    // MANIFEST (O5), so background work keeps flowing. Only
+                    // a double fault (the re-cut itself failed, writer
+                    // poisoned) or a non-MANIFEST error parks the engine.
                     state.bg_error = Some(e);
                 }
             }

@@ -53,6 +53,9 @@ pub struct MetricsSnapshot {
     pub events_emitted: u64,
     /// Events overwritten before being drained.
     pub events_dropped: u64,
+    /// Successful self-healing MANIFEST re-cuts since open (O5): failed
+    /// commit barriers absorbed without poisoning the writer.
+    pub manifest_recuts: u64,
 }
 
 impl MetricsSnapshot {
@@ -147,6 +150,7 @@ impl MetricsSnapshot {
         }
         reg.counter("bolt_events_emitted_total", &[], self.events_emitted);
         reg.counter("bolt_events_dropped_total", &[], self.events_dropped);
+        reg.counter("bolt_manifest_recuts_total", &[], self.manifest_recuts);
 
         for (i, level) in self.levels.iter().enumerate() {
             let label = i.to_string();
@@ -237,6 +241,7 @@ mod tests {
             ],
             events_emitted: 42,
             events_dropped: 0,
+            manifest_recuts: 1,
         }
     }
 
@@ -277,6 +282,10 @@ mod tests {
             reg.find("bolt_queue_wait_nanos", &[]),
             Some(&MetricValue::Summary { count: 10, .. })
         ));
+        assert_eq!(
+            reg.find("bolt_manifest_recuts_total", &[]),
+            Some(&MetricValue::Counter(1))
+        );
     }
 
     #[test]

@@ -68,6 +68,12 @@ pub struct VersionSet {
     pub compact_pointer: Vec<Option<Vec<u8>>>,
     files: HashMap<u64, FileInfo>,
     pending_files: HashSet<u64>,
+    /// Abandoned `MANIFEST-*` file numbers left behind by a re-cut whose
+    /// eager delete failed; retried by [`VersionSet::collect_garbage`]
+    /// (open-time scavenging is the final backstop).
+    stale_manifests: Vec<u64>,
+    /// Successful self-healing re-cuts since open.
+    recuts: u64,
     /// Structured-event destination; MANIFEST commits are announced here.
     sink: Option<Arc<EventSink>>,
 }
@@ -107,6 +113,8 @@ impl VersionSet {
             compact_pointer: vec![None; num_levels],
             files: HashMap::new(),
             pending_files: HashSet::new(),
+            stale_manifests: Vec::new(),
+            recuts: 0,
             sink: None,
         }
     }
@@ -201,11 +209,11 @@ impl VersionSet {
             // sync would commit THIS edit alongside edits built as if it
             // never happened (recovery would rebuild an impossible version),
             // and a torn record in the middle would make recovery silently
-            // stop short of later acknowledged commits. Drop the writer so
-            // every subsequent commit attempt fails until a fresh recovery
-            // rewrites the MANIFEST from a clean snapshot.
+            // stop short of later acknowledged commits. Drop the writer and
+            // self-heal by re-cutting a fresh MANIFEST (O5); only if the
+            // re-cut itself fails does the set stay poisoned until reopen.
             self.manifest = None;
-            return Err(e);
+            self.recut_and_recommit(&mut edit, e)?;
         }
         if let Some(sink) = &self.sink {
             sink.emit(EngineEvent::ManifestCommit {
@@ -238,6 +246,8 @@ impl VersionSet {
     /// files with no live tables, and forget dropped versions. Call only
     /// after the MANIFEST commit that invalidated the victims.
     pub fn collect_garbage(&mut self, table_cache: &TableCache) {
+        // Abandoned MANIFESTs whose eager post-re-cut delete failed.
+        self.scavenge_stale_manifests();
         // Gather live table ids across current + still-referenced versions.
         let mut live_tables: HashSet<u64> = HashSet::new();
         self.live.retain(|weak| match weak.upgrade() {
@@ -323,6 +333,119 @@ impl VersionSet {
         Ok(())
     }
 
+    /// A full-snapshot [`VersionEdit`] of the current in-memory state: the
+    /// single record every fresh MANIFEST starts with, both at open
+    /// ([`VersionSet::recover`]) and when self-healing a failed commit
+    /// barrier ([`VersionSet::log_and_apply`]).
+    fn snapshot_edit(&self) -> VersionEdit {
+        VersionEdit {
+            next_file_number: Some(self.next_file_number),
+            next_table_id: Some(self.next_table_id),
+            last_sequence: Some(self.last_sequence),
+            log_number: Some(self.log_number),
+            compact_pointers: self
+                .compact_pointer
+                .iter()
+                .enumerate()
+                .filter_map(|(level, p)| p.clone().map(|key| (level as u32, key)))
+                .collect(),
+            added_tables: self
+                .current
+                .all_tables()
+                .map(|(level, tag, meta)| (level as u32, tag, meta.as_ref().clone()))
+                .collect(),
+            ..Default::default()
+        }
+    }
+
+    /// Cut a brand-new MANIFEST: write a full snapshot of the current
+    /// in-memory version, sync it, and durably swing CURRENT to it. The
+    /// fresh writer is installed only after the swing succeeds — a writer
+    /// CURRENT does not name would make synced commits invisible to
+    /// recovery, silently violating I1.
+    fn cut_fresh_manifest(&mut self) -> Result<()> {
+        let number = self.new_file_number();
+        let path = manifest_file(&self.db, number);
+        let mut manifest = new_manifest_writer(self.env.new_writable_file(&path)?);
+        manifest.add_record(&self.snapshot_edit().encode())?;
+        manifest.sync()?;
+        self.install_current(number)?;
+        self.manifest = Some(manifest);
+        self.manifest_number = number;
+        Ok(())
+    }
+
+    /// Self-heal a failed MANIFEST commit (O5). The torn writer has already
+    /// been dropped; the in-memory version does not include `edit`. Cut a
+    /// fresh MANIFEST from a snapshot of that state, swing CURRENT past the
+    /// torn file, then re-append and re-sync `edit` against the fresh
+    /// writer so the caller's commit still lands durably. Bounded retry: if
+    /// the re-appended edit's own sync fails, the now-torn fresh MANIFEST
+    /// is abandoned and one more re-cut is attempted; any failure inside a
+    /// re-cut (the double-fault case) leaves the writer poisoned
+    /// (`manifest = None`) and every later commit fails with
+    /// [`Error::InvalidState`] until reopen.
+    fn recut_and_recommit(&mut self, edit: &mut VersionEdit, first_err: Error) -> Result<()> {
+        const MAX_RECUT_ATTEMPTS: u32 = 2;
+        let mut last_err = first_err;
+        for _ in 0..MAX_RECUT_ATTEMPTS {
+            let abandoned = self.manifest_number;
+            let _scope = BarrierScope::new(BarrierCause::ManifestRecut);
+            if let Err(recut_err) = self.cut_fresh_manifest() {
+                return Err(Error::InvalidState(format!(
+                    "MANIFEST poisoned: commit failed ({last_err}), re-cut failed \
+                     ({recut_err}); reopen to recover"
+                )));
+            }
+            // CURRENT now points past the torn MANIFEST; reclaim it eagerly
+            // (collect_garbage retries, open-time scavenging is the backstop).
+            self.stale_manifests.push(abandoned);
+            self.scavenge_stale_manifests();
+            // The re-cut consumed a file number; refresh the counters so the
+            // re-appended record never understates them.
+            edit.next_file_number = Some(self.next_file_number);
+            edit.next_table_id = Some(self.next_table_id);
+            let payload = edit.encode();
+            let Some(manifest) = self.manifest.as_mut() else {
+                return Err(Error::InvalidState(
+                    "MANIFEST writer missing after re-cut; reopen to recover".into(),
+                ));
+            };
+            match manifest.add_record(&payload).and_then(|()| manifest.sync()) {
+                Ok(()) => {
+                    self.recuts += 1;
+                    if let Some(sink) = &self.sink {
+                        sink.emit(EngineEvent::ManifestRecut {
+                            abandoned,
+                            new_manifest: self.manifest_number,
+                            snapshot_tables: self.current.num_tables() as u64,
+                        });
+                    }
+                    return Ok(());
+                }
+                Err(e) => {
+                    // The fresh MANIFEST is torn now too; abandon it and
+                    // (maybe) cut another.
+                    self.manifest = None;
+                    last_err = e;
+                }
+            }
+        }
+        Err(Error::InvalidState(format!(
+            "MANIFEST poisoned: commit kept failing across re-cuts ({last_err}); \
+             reopen to recover"
+        )))
+    }
+
+    /// Best-effort delete of abandoned `MANIFEST-*` files; numbers whose
+    /// delete fails stay queued for the next pass.
+    fn scavenge_stale_manifests(&mut self) {
+        let env = Arc::clone(&self.env);
+        let db = self.db.clone();
+        self.stale_manifests
+            .retain(|&n| env.delete_file(&manifest_file(&db, n)).is_err());
+    }
+
     fn install_current(&self, manifest_number: u64) -> Result<()> {
         // Write CURRENT via a temp file + atomic rename (durable rename
         // semantics are modeled by the env).
@@ -383,38 +506,32 @@ impl VersionSet {
 
         // Rebuild the region registry from live tables.
         self.files.clear();
-        let snapshot_tables: Vec<_> = self
+        let regions: Vec<(u64, u64, u64, u64)> = self
             .current
             .all_tables()
-            .map(|(level, tag, meta)| (level as u32, tag, meta.as_ref().clone()))
+            .map(|(_, _, meta)| (meta.file_number, meta.offset, meta.size, meta.table_id))
             .collect();
-        for (_, _, meta) in &snapshot_tables {
-            self.register_region(meta.file_number, meta.offset, meta.size, meta.table_id);
+        for (file_number, offset, size, table_id) in regions {
+            self.register_region(file_number, offset, size, table_id);
         }
 
-        // Start a fresh manifest with a complete snapshot.
-        self.manifest_number = self.new_file_number();
-        let path = manifest_file(&self.db, self.manifest_number);
-        let mut manifest = new_manifest_writer(self.env.new_writable_file(&path)?);
-        let snapshot = VersionEdit {
-            next_file_number: Some(self.next_file_number),
-            next_table_id: Some(self.next_table_id),
-            last_sequence: Some(self.last_sequence),
-            log_number: Some(self.log_number),
-            compact_pointers: self
-                .compact_pointer
-                .iter()
-                .enumerate()
-                .filter_map(|(level, p)| p.clone().map(|key| (level as u32, key)))
-                .collect(),
-            added_tables: snapshot_tables,
-            ..Default::default()
-        };
-        manifest.add_record(&snapshot.encode())?;
-        manifest.sync()?;
-        self.manifest = Some(manifest);
-        self.install_current(self.manifest_number)?;
-        let _ = self.env.delete_file(&old_manifest_path);
+        // Start a fresh manifest with a complete snapshot — the same cut
+        // path that self-heals a failed commit barrier at runtime.
+        self.cut_fresh_manifest()?;
+        // Scavenge every stale MANIFEST: the one just replayed, plus any
+        // stray a crash mid-re-cut left behind (cut and maybe synced, but
+        // CURRENT was never swung to it, so nothing references it).
+        if let Ok(names) = self.env.list_dir(&self.db) {
+            for name in names {
+                let stale = name
+                    .strip_prefix("MANIFEST-")
+                    .and_then(|n| n.parse::<u64>().ok())
+                    .is_some_and(|n| n != self.manifest_number);
+                if stale {
+                    let _ = self.env.delete_file(&bolt_env::join_path(&self.db, &name));
+                }
+            }
+        }
         Ok(())
     }
 
@@ -428,6 +545,11 @@ impl VersionSet {
     /// The active MANIFEST file number.
     pub fn manifest_number(&self) -> u64 {
         self.manifest_number
+    }
+
+    /// Successful self-healing MANIFEST re-cuts since open (O5).
+    pub fn manifest_recuts(&self) -> u64 {
+        self.recuts
     }
 }
 
@@ -700,5 +822,250 @@ mod tests {
                 ..
             }
         )));
+    }
+
+    fn faulted_set() -> (bolt_env::FaultEnv, Arc<dyn Env>, Arc<EventSink>, VersionSet) {
+        let fault = bolt_env::FaultEnv::over_mem();
+        let env: Arc<dyn Env> = Arc::new(fault.clone());
+        let sink = Arc::new(EventSink::new());
+        env.stats().set_event_sink(Arc::clone(&sink));
+        env.create_dir_all("db").unwrap();
+        let mut vs = VersionSet::new(Arc::clone(&env), "db", InternalKeyComparator::default(), 7);
+        vs.set_event_sink(Arc::clone(&sink));
+        vs.create_new().unwrap();
+        sink.drain();
+        (fault, env, sink, vs)
+    }
+
+    fn manifest_files(env: &Arc<dyn Env>) -> Vec<String> {
+        let mut names: Vec<String> = env
+            .list_dir("db")
+            .unwrap()
+            .into_iter()
+            .filter(|n| n.contains("MANIFEST-"))
+            .collect();
+        names.sort();
+        names
+    }
+
+    #[test]
+    fn recut_heals_failed_manifest_commit() {
+        let (fault, env, sink, mut vs) = faulted_set();
+        fault.set_plan(bolt_env::FaultPlan::parse("eio:sync:glob=MANIFEST-*:nth=0").unwrap());
+
+        let cp_before = sink.barrier_count(BarrierCause::CurrentPointer);
+        let mut edit = VersionEdit::default();
+        let t = vs.new_table_id();
+        edit.added_tables.push((0, 1, meta(t, 55, 0, 10)));
+        vs.log_and_apply(edit)
+            .expect("commit self-heals through a re-cut");
+        assert_eq!(fault.faults_injected(), 1, "the EIO actually fired");
+        assert_eq!(vs.manifest_recuts(), 1);
+
+        // Barrier accounting: the snapshot sync and the re-appended edit's
+        // sync are both tagged with the re-cut cause; the CURRENT swing
+        // keeps its own explicit cause (counters are cumulative, hence the
+        // delta for CurrentPointer, which create_new already paid once).
+        assert_eq!(sink.barrier_count(BarrierCause::ManifestRecut), 2);
+        assert_eq!(
+            sink.barrier_count(BarrierCause::CurrentPointer),
+            cp_before + 1
+        );
+        let events = sink.drain();
+        assert!(
+            events.iter().any(|e| matches!(
+                e.event,
+                EngineEvent::ManifestRecut {
+                    snapshot_tables: 0,
+                    ..
+                }
+            )),
+            "ManifestRecut event emitted (snapshot taken before the edit applied)"
+        );
+
+        // The abandoned MANIFEST is scavenged eagerly and CURRENT names the
+        // survivor.
+        let names = manifest_files(&env);
+        assert_eq!(names.len(), 1, "stale MANIFEST deleted: {names:?}");
+        let current = env.new_random_access_file("db/CURRENT").unwrap();
+        let content = current.read(0, current.len() as usize).unwrap();
+        assert_eq!(
+            String::from_utf8(content).unwrap().trim(),
+            names[0],
+            "CURRENT points at the fresh MANIFEST"
+        );
+
+        // The writer stays healthy: a later commit needs no reopen.
+        let mut edit2 = VersionEdit::default();
+        let t2 = vs.new_table_id();
+        edit2.added_tables.push((0, 2, meta(t2, 56, 0, 10)));
+        vs.log_and_apply(edit2).expect("subsequent commit succeeds");
+        drop(vs);
+
+        // Both commits survive a power failure.
+        fault.crash_inner(bolt_env::CrashConfig::Clean);
+        fault.reset();
+        let mut vs = VersionSet::new(Arc::clone(&env), "db", InternalKeyComparator::default(), 7);
+        vs.recover().unwrap();
+        assert_eq!(vs.current().num_tables(), 2);
+    }
+
+    #[test]
+    fn recut_retries_once_when_recommit_sync_fails() {
+        let (fault, _env, _sink, mut vs) = faulted_set();
+        // Each rule keeps its own ordinal and a fired rule consumes the op:
+        // the first rule kills the original commit's sync; the second then
+        // sees the re-cut snapshot sync as its #0 (passes) and kills the
+        // re-appended edit's sync at its #1. The bounded retry cuts a second
+        // fresh MANIFEST and lands the edit there.
+        fault.set_plan(
+            bolt_env::FaultPlan::parse(
+                "eio:sync:glob=MANIFEST-*:nth=0,eio:sync:glob=MANIFEST-*:nth=1",
+            )
+            .unwrap(),
+        );
+        let mut edit = VersionEdit::default();
+        let t = vs.new_table_id();
+        edit.added_tables.push((0, 1, meta(t, 55, 0, 10)));
+        vs.log_and_apply(edit)
+            .expect("second re-cut lands the edit");
+        assert_eq!(fault.faults_injected(), 2);
+        assert_eq!(vs.manifest_recuts(), 1, "one successful re-cut");
+        assert_eq!(vs.current().num_tables(), 1);
+    }
+
+    #[test]
+    fn double_fault_during_recut_poisons_until_reopen() {
+        let (fault, env, _sink, mut vs) = faulted_set();
+        // First acked commit, then a commit whose sync fails AND whose
+        // re-cut snapshot sync fails too (consecutive global sync ordinals)
+        // — the double-fault case must degrade to poisoning.
+        let mut acked = VersionEdit::default();
+        let t0 = vs.new_table_id();
+        acked.added_tables.push((0, 1, meta(t0, 55, 0, 10)));
+        vs.log_and_apply(acked).unwrap();
+
+        let s = fault.sync_count();
+        fault.set_plan(bolt_env::FaultPlan::new().fail_sync(s).fail_sync(s + 1));
+        let mut edit = VersionEdit::default();
+        let t1 = vs.new_table_id();
+        edit.added_tables.push((0, 2, meta(t1, 56, 0, 10)));
+        let err = vs.log_and_apply(edit).expect_err("double fault poisons");
+        assert!(
+            matches!(&err, Error::InvalidState(msg) if msg.contains("re-cut failed")),
+            "clean InvalidState from the failed re-cut, got: {err:?}"
+        );
+        assert_eq!(fault.faults_injected(), 2);
+        assert_eq!(vs.manifest_recuts(), 0);
+
+        // Poisoned until reopen: later commits fail with InvalidState too.
+        let mut edit2 = VersionEdit::default();
+        edit2.added_tables.push((0, 3, meta(99, 57, 0, 10)));
+        assert!(matches!(
+            vs.log_and_apply(edit2),
+            Err(Error::InvalidState(_))
+        ));
+        drop(vs);
+
+        // Reopen fully recovers: the acked edit survives, the never-acked
+        // edit does not resurface (its record was torn or abandoned).
+        fault.crash_inner(bolt_env::CrashConfig::Clean);
+        fault.reset();
+        let mut vs = VersionSet::new(Arc::clone(&env), "db", InternalKeyComparator::default(), 7);
+        vs.recover().unwrap();
+        assert_eq!(vs.current().num_tables(), 1, "only the acked table");
+        assert_eq!(vs.current().levels[0].runs[0].tag, 1);
+    }
+
+    #[test]
+    fn exhausted_recut_retries_poison_until_reopen() {
+        let (fault, _env, _sink, mut vs) = faulted_set();
+        // Three per-rule ordinals: rule 1 kills the original commit, rule 2
+        // the first re-cut's re-appended sync, rule 3 the second re-cut's —
+        // every snapshot sync passes, so both bounded retries are consumed
+        // by re-commit failures and the writer poisons.
+        fault.set_plan(
+            bolt_env::FaultPlan::parse(
+                "eio:sync:glob=MANIFEST-*:nth=0,eio:sync:glob=MANIFEST-*:nth=1,\
+                 eio:sync:glob=MANIFEST-*:nth=2",
+            )
+            .unwrap(),
+        );
+        let mut edit = VersionEdit::default();
+        let t = vs.new_table_id();
+        edit.added_tables.push((0, 1, meta(t, 55, 0, 10)));
+        let err = vs.log_and_apply(edit).expect_err("retries exhausted");
+        assert!(
+            matches!(&err, Error::InvalidState(msg) if msg.contains("kept failing")),
+            "exhaustion message, got: {err:?}"
+        );
+        assert_eq!(fault.faults_injected(), 3);
+        assert_eq!(vs.manifest_recuts(), 0);
+    }
+
+    #[test]
+    fn gc_rescavenges_stale_manifest_whose_eager_delete_failed() {
+        let (fault, env, _sink, mut vs) = faulted_set();
+        let cache = test_cache(&env);
+        // Kill the original commit's sync (forcing a re-cut) AND the eager
+        // delete of the abandoned MANIFEST, so the stale file lingers.
+        fault.set_plan(
+            bolt_env::FaultPlan::parse(
+                "eio:sync:glob=MANIFEST-*:nth=0,eio:delete:glob=MANIFEST-*:nth=0",
+            )
+            .unwrap(),
+        );
+        let mut edit = VersionEdit::default();
+        let t = vs.new_table_id();
+        edit.added_tables.push((0, 1, meta(t, 55, 0, 10)));
+        vs.log_and_apply(edit).expect("re-cut heals the commit");
+        assert_eq!(vs.manifest_recuts(), 1);
+        assert_eq!(fault.faults_injected(), 2);
+        assert_eq!(
+            manifest_files(&env).len(),
+            2,
+            "abandoned MANIFEST lingers after its delete failed"
+        );
+
+        // collect_garbage retries the scavenge and reclaims it.
+        vs.collect_garbage(&cache);
+        let names = manifest_files(&env);
+        assert_eq!(names.len(), 1, "stale MANIFEST rescavenged: {names:?}");
+        let current = env.new_random_access_file("db/CURRENT").unwrap();
+        let content = current.read(0, current.len() as usize).unwrap();
+        assert_eq!(
+            String::from_utf8(content).unwrap().trim(),
+            names[0],
+            "the survivor is the one CURRENT names"
+        );
+    }
+
+    #[test]
+    fn reopen_scavenges_stray_manifests() {
+        let (fault, env, _sink, mut vs) = faulted_set();
+        let mut edit = VersionEdit::default();
+        let t = vs.new_table_id();
+        edit.added_tables.push((0, 1, meta(t, 55, 0, 10)));
+        vs.log_and_apply(edit).unwrap();
+        // A crash mid-re-cut can leave a fresh-cut MANIFEST that CURRENT
+        // was never swung to; model the stray directly.
+        let mut stray = env.new_writable_file("db/MANIFEST-000099").unwrap();
+        stray.append(b"torn snapshot bytes").unwrap();
+        stray.sync().unwrap();
+        drop(stray);
+        drop(vs);
+        assert!(manifest_files(&env).len() >= 2);
+
+        fault.crash_inner(bolt_env::CrashConfig::Clean);
+        let mut vs = VersionSet::new(Arc::clone(&env), "db", InternalKeyComparator::default(), 7);
+        vs.recover().expect("recover ignores the stray");
+        assert_eq!(vs.current().num_tables(), 1);
+        let names = manifest_files(&env);
+        assert_eq!(
+            names.len(),
+            1,
+            "open-time scavenging removed every non-current MANIFEST: {names:?}"
+        );
+        assert_eq!(names[0], format!("MANIFEST-{:06}", vs.manifest_number()));
     }
 }

@@ -366,6 +366,22 @@ impl FaultPlan {
         });
         Ok(plan)
     }
+
+    /// Merge `other` into this plan: fault clauses accumulate, while
+    /// `other`'s crash point (if any) replaces this plan's. Path-rule `seen`
+    /// counters are preserved on both sides, so a workload can arm extra
+    /// faults mid-run without disturbing an already-ticking harness plan.
+    #[must_use]
+    pub fn merged(mut self, other: FaultPlan) -> Self {
+        if other.crash_at.is_some() {
+            self.crash_at = other.crash_at;
+            self.torn_keep = other.torn_keep;
+        }
+        self.fail_ops.extend(other.fail_ops);
+        self.fail_syncs.extend(other.fail_syncs);
+        self.path_rules.extend(other.path_rules);
+        self
+    }
 }
 
 #[derive(Default)]
@@ -529,6 +545,16 @@ impl FaultEnv {
     /// reset; call [`FaultEnv::reset`] first to re-run a workload.
     pub fn set_plan(&self, plan: FaultPlan) {
         self.state.script.lock().plan = plan;
+    }
+
+    /// Merge `plan` into the installed plan (see [`FaultPlan::merged`])
+    /// without resetting counters or clobbering an armed crash point's
+    /// progress. Path-rule ordinals in `plan` count from this call: with a
+    /// fresh `nth=0` MANIFEST rule, the *next* matching op fails.
+    pub fn extend_plan(&self, plan: FaultPlan) {
+        let mut script = self.state.script.lock();
+        let current = std::mem::take(&mut script.plan);
+        script.plan = current.merged(plan);
     }
 
     /// Start recording an op trace (clears any previous trace).
@@ -814,6 +840,33 @@ mod tests {
         env.reset();
         assert!(!env.crashed());
         assert_eq!(env.file_size("a").unwrap(), 0);
+    }
+
+    #[test]
+    fn extend_plan_merges_without_resetting_rule_progress() {
+        let env = mem_fault();
+        // Harness plan: EIO on the second (nth=1) sync of an m-* file.
+        env.set_plan(FaultPlan::new().eio_on_path(PathKind::Sync, "m-*", 1));
+        let mut f = env.new_writable_file("m-a").unwrap();
+        f.append(b"x").unwrap();
+        f.sync().unwrap(); // m-* sync #0: passes, advances seen to 1
+
+        // Workload arms an extra rule mid-run; ordinals count from here, so
+        // nth=0 means "the next matching sync", and the harness rule's
+        // progress (seen=1) must survive the merge.
+        env.extend_plan(FaultPlan::new().eio_on_path(PathKind::Sync, "w-*", 0));
+        let mut w = env.new_writable_file("w-a").unwrap();
+        w.append(b"y").unwrap();
+        assert!(w.sync().is_err(), "armed w-* rule fires on its next sync");
+        assert!(f.sync().is_err(), "harness m-* rule still fires at nth=1");
+        assert_eq!(env.faults_injected(), 2);
+        assert!(f.sync().is_ok(), "both rules are one-shot");
+
+        // A crash point in the extension replaces (not duplicates) any
+        // armed crash point.
+        env.extend_plan(FaultPlan::new().crash_at_op(env.op_count()));
+        assert!(env.new_writable_file("z").is_err());
+        assert!(env.crashed());
     }
 
     #[test]

@@ -117,6 +117,7 @@ fn render_metrics_text(metrics: &MetricsSnapshot) -> String {
         s.wal_syncs_elided
     )
     .expect("write");
+    writeln!(out, "  manifest re-cuts {}", metrics.manifest_recuts).expect("write");
     writeln!(out, "io:").expect("write");
     writeln!(
         out,
@@ -191,7 +192,8 @@ pub fn stats(env: &Arc<dyn Env>, db: &str, opts: Options) -> Result<String> {
 ///
 /// Returns engine errors from the workload itself.
 pub fn trace_workload() -> Result<(Vec<bolt_core::TraceEvent>, MetricsSnapshot)> {
-    let env: Arc<dyn Env> = Arc::new(bolt_env::MemEnv::new());
+    let fault = bolt_env::FaultEnv::over_mem();
+    let env: Arc<dyn Env> = Arc::new(fault.clone());
     let db = Db::open(
         Arc::clone(&env),
         "trace-db",
@@ -210,6 +212,16 @@ pub fn trace_workload() -> Result<(Vec<bolt_core::TraceEvent>, MetricsSnapshot)>
             } else {
                 db.put(key.as_bytes(), &[b'v'; 64])?;
             }
+        }
+        if round == 5 {
+            // Arm a one-shot MANIFEST-sync EIO: the next commit barrier
+            // (this round's flush, or a concurrent compaction's) absorbs it
+            // by re-cutting a fresh MANIFEST (O5), so the live trace always
+            // carries a `manifest_recut` event with its cause-tagged
+            // barriers — which CI then validates against the schema.
+            fault.extend_plan(
+                bolt_env::FaultPlan::parse("eio:sync:glob=MANIFEST-*:nth=0").expect("static plan"),
+            );
         }
         db.flush()?;
         // Drain incrementally so the ring buffer cannot overflow mid-run.
@@ -688,6 +700,8 @@ mod tests {
             prom.contains("bolt_barriers_total{cause=\"open_manifest\"}"),
             "{prom}"
         );
+        assert!(prom.contains("bolt_manifest_recuts_total"), "{prom}");
+        assert!(text.contains("manifest re-cuts"), "{text}");
     }
 
     #[test]
@@ -696,6 +710,10 @@ mod tests {
         assert!(out.contains("\"type\":\"flush_begin\""), "{out}");
         assert!(out.contains("\"type\":\"compaction_end\""), "{out}");
         assert!(out.contains("\"cause\":\"wal_commit\""), "{out}");
+        // The workload arms a MANIFEST EIO mid-run, so the live stream
+        // always carries the self-healing re-cut and its barrier cause.
+        assert!(out.contains("\"type\":\"manifest_recut\""), "{out}");
+        assert!(out.contains("\"cause\":\"manifest_recut\""), "{out}");
         let schema = std::fs::read_to_string(concat!(
             env!("CARGO_MANIFEST_DIR"),
             "/../../schemas/trace.schema.json"
@@ -711,6 +729,7 @@ mod tests {
         let human = trace(false).unwrap();
         assert!(human.contains("barriers/compaction"), "{human}");
         assert!(human.contains("MANIFEST commit"), "{human}");
+        assert!(human.contains("MANIFEST re-cut"), "{human}");
     }
 
     #[test]

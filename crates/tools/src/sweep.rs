@@ -90,6 +90,8 @@ pub struct SweepCoverage {
     pub settled_moves: u64,
     /// Holes punched reclaiming dead logical SSTables.
     pub holes_punched: u64,
+    /// Self-healing MANIFEST re-cuts (O5) that absorbed an injected fault.
+    pub recuts: u64,
 }
 
 /// Everything a sweep learned.
@@ -290,6 +292,57 @@ fn run_workload(env: &FaultEnv, opts: &Options, marks: bool) -> WorkloadOutcome 
                 env.mark("hole-punch");
             }
         }
+        // Self-healing re-cut phase (O5): write one more round, then arm a
+        // MANIFEST-sync EIO and flush. The failed commit barrier must be
+        // absorbed by a re-cut — the flush still acknowledges durably, with
+        // no reopen. The `recut-arm`/`recut-done` markers bound the window
+        // whose every intermediate state (torn old MANIFEST, unswung
+        // CURRENT, not-yet-re-appended edit) the crash sweep force-covers.
+        'recut: {
+            for p in 0..PAIRS {
+                let (ka, kb) = pair_keys(p);
+                let value = pair_value(ROUNDS, p);
+                let mut batch = WriteBatch::new();
+                batch.put(ka.as_bytes(), value.as_bytes());
+                batch.put(kb.as_bytes(), value.as_bytes());
+                out.pairs[p].attempted = Some(ROUNDS);
+                match db.write_opt(batch, &WriteOptions { sync: Some(false) }) {
+                    Ok(()) => out.pairs[p].acked = Some(ROUNDS),
+                    Err(_) => {
+                        out.errors += 1;
+                        if env.crashed() {
+                            break 'work;
+                        }
+                        break 'recut;
+                    }
+                }
+            }
+            if marks {
+                env.mark("recut-arm");
+            }
+            env.extend_plan(
+                FaultPlan::parse("eio:sync:glob=MANIFEST-*:nth=0").expect("static plan"),
+            );
+            match db.flush() {
+                Ok(()) => {
+                    for pair in &mut out.pairs {
+                        if pair.acked.is_some() {
+                            pair.durable_floor = pair.durable_floor.max(pair.acked);
+                        }
+                    }
+                }
+                Err(_) => {
+                    out.errors += 1;
+                    if env.crashed() {
+                        break 'work;
+                    }
+                    break 'recut;
+                }
+            }
+            if marks {
+                env.mark("recut-done");
+            }
+        }
     }
     let s = db.stats().snapshot();
     out.stats = SweepCoverage {
@@ -297,6 +350,7 @@ fn run_workload(env: &FaultEnv, opts: &Options, marks: bool) -> WorkloadOutcome 
         compactions: s.compactions,
         settled_moves: s.settled_moves,
         holes_punched: env.stats().snapshot().holes_punched,
+        recuts: db.metrics().manifest_recuts,
     };
     if db.close().is_err() {
         out.errors += 1;
@@ -508,8 +562,24 @@ pub fn run_crash_sweep(cfg: &SweepConfig) -> Result<SweepOutcome> {
     let syncs_recorded = env.sync_count();
     let phases = env.markers();
 
-    // Phase 2: crash-point sweep.
-    let points = select_crash_points(&trace, cfg.max_crash_points);
+    // Phase 2: crash-point sweep. Every op inside the re-cut window is
+    // force-included after thinning (appends as torn appends): the torn old
+    // MANIFEST, the fresh-but-unswung CURRENT, and the not-yet-re-appended
+    // edit are exactly the intermediate states O5 must keep I1-I4 through.
+    let mut points = select_crash_points(&trace, cfg.max_crash_points);
+    if let Some((arm, done)) = recut_window(&phases) {
+        let mut merged: std::collections::BTreeMap<u64, u64> = points.iter().copied().collect();
+        for record in &trace {
+            if record.index >= arm && record.index < done {
+                if record.kind == OpKind::Append {
+                    merged.entry(record.index).or_insert(record.bytes / 2);
+                } else {
+                    merged.entry(record.index).or_insert(0);
+                }
+            }
+        }
+        points = merged.into_iter().collect();
+    }
     let mut violations = Vec::new();
     let mut crash_points = Vec::new();
     for &(k, keep) in &points {
@@ -539,9 +609,15 @@ pub fn run_crash_sweep(cfg: &SweepConfig) -> Result<SweepOutcome> {
         env.set_plan(FaultPlan::new().fail_sync(n));
         let replay = run_workload(&env, &opts, false);
         let label = format!("eio@sync{n}");
-        if env.faults_injected() > 0 && replay.errors == 0 {
+        // Every injected fault must be accounted for: either a caller saw
+        // an error, or a self-healing re-cut absorbed it (the workload's
+        // own armed MANIFEST EIO is always absorbed when healthy).
+        let injected = env.faults_injected();
+        if injected > 0 && replay.errors == 0 && replay.stats.recuts < injected {
             violations.push(format!(
-                "{label}: injected EIO was swallowed (no caller observed an error)"
+                "{label}: injected EIO was swallowed ({} re-cut(s) for {injected} fault(s), \
+                 no caller observed an error)",
+                replay.stats.recuts
             ));
         }
         // The EIO may have poisoned the database; a crash right after must
@@ -603,6 +679,14 @@ pub fn run_crash_sweep(cfg: &SweepConfig) -> Result<SweepOutcome> {
     })
 }
 
+/// The `[arm, done)` op-index window of the workload's self-healing
+/// re-cut phase, from its recorded phase markers.
+fn recut_window(phases: &[(u64, String)]) -> Option<(u64, u64)> {
+    let arm = phases.iter().find(|(_, l)| l == "recut-arm")?.0;
+    let done = phases.iter().find(|(_, l)| l == "recut-done")?.0;
+    Some((arm, done))
+}
+
 /// Run the workload to its first crash at op `k` (torn-keeping `keep`
 /// append bytes), power-cycle, and return the env holding the surviving
 /// filesystem plus the workload's acked/durable model.
@@ -655,8 +739,9 @@ pub fn render_report(outcome: &SweepOutcome) -> String {
     let c = outcome.coverage;
     writeln!(
         out,
-        "coverage: {} flushes, {} compactions, {} settled moves, {} holes punched",
-        c.flushes, c.compactions, c.settled_moves, c.holes_punched
+        "coverage: {} flushes, {} compactions, {} settled moves, {} holes punched, \
+         {} manifest re-cuts",
+        c.flushes, c.compactions, c.settled_moves, c.holes_punched, c.recuts
     )
     .expect("write");
     writeln!(

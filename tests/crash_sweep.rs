@@ -57,6 +57,38 @@ fn sweep_holds_all_recovery_invariants() {
         "expected double-crash (crash-during-recovery) points, got none"
     );
 
+    // Self-healing re-cut phase (O5): the workload arms a MANIFEST-sync
+    // EIO and the flush must absorb it via a re-cut without reopening.
+    assert!(
+        c.recuts > 0,
+        "workload's armed MANIFEST EIO was not absorbed by a re-cut"
+    );
+    let arm = outcome
+        .phases
+        .iter()
+        .find(|(_, l)| l == "recut-arm")
+        .map(|&(at, _)| at)
+        .expect("record run marked recut-arm");
+    let done = outcome
+        .phases
+        .iter()
+        .find(|(_, l)| l == "recut-done")
+        .map(|&(at, _)| at)
+        .expect("record run marked recut-done");
+    assert!(arm < done, "re-cut window is non-empty");
+    // Every intermediate state of the re-cut (torn old MANIFEST, unswung
+    // CURRENT, not-yet-re-appended edit) must be crash-tested: the sweep
+    // force-includes the window's ops as crash points.
+    let in_window = outcome
+        .crash_points
+        .iter()
+        .filter(|&&k| k >= arm && k < done)
+        .count();
+    assert!(
+        in_window >= 5,
+        "expected >= 5 crash points inside the re-cut window [{arm}, {done}), got {in_window}"
+    );
+
     assert!(
         outcome.violations.is_empty(),
         "recovery invariant violations:\n  {}",

@@ -207,6 +207,82 @@ fn metrics_snapshot_agrees_with_raw_counters() {
     );
 }
 
+/// A MANIFEST-sync EIO absorbed by a self-healing re-cut (O5) must show up
+/// in the trace: a `ManifestRecut` event, barriers cause-tagged
+/// `manifest_recut` (the snapshot sync and the re-appended edit's sync),
+/// still zero unattributed barriers — and every drained line must validate
+/// against the checked-in trace schema.
+#[test]
+fn manifest_recut_is_traced_and_schema_valid() {
+    use bolt_env::{FaultEnv, FaultPlan};
+
+    let fault = FaultEnv::over_mem();
+    let env: Arc<dyn Env> = Arc::new(fault.clone());
+    let mut opts = Options::bolt().scaled(1.0 / 256.0);
+    opts.level0_compaction_trigger = 2;
+    let db = Db::open(Arc::clone(&env), "recut-db", opts).expect("open");
+
+    for i in 0..400u32 {
+        db.put(format!("key{i:05}").as_bytes(), &[b'z'; 100])
+            .expect("put");
+    }
+    fault.extend_plan(FaultPlan::parse("eio:sync:glob=MANIFEST-*:nth=0").expect("plan"));
+    db.flush().expect("flush self-heals via a re-cut");
+    let events = db.events();
+    let metrics = db.metrics();
+    assert_eq!(metrics.manifest_recuts, 1, "the re-cut reached the metrics");
+    assert!(
+        metrics.barrier_count(BarrierCause::ManifestRecut) >= 2,
+        "snapshot sync + re-appended edit sync both carry the re-cut cause"
+    );
+    assert_eq!(
+        metrics.barrier_count(BarrierCause::Unattributed),
+        0,
+        "the re-cut path leaks no unattributed barrier"
+    );
+
+    let (abandoned, new_manifest) = events
+        .iter()
+        .find_map(|e| match &e.event {
+            EngineEvent::ManifestRecut {
+                abandoned,
+                new_manifest,
+                ..
+            } => Some((*abandoned, *new_manifest)),
+            _ => None,
+        })
+        .expect("ManifestRecut event in the stream");
+    assert!(
+        new_manifest > abandoned,
+        "fresh MANIFEST {new_manifest} must postdate abandoned {abandoned}"
+    );
+    assert!(
+        events.iter().any(|e| matches!(
+            e.event,
+            EngineEvent::Barrier {
+                cause: BarrierCause::ManifestRecut,
+                ..
+            }
+        )),
+        "a manifest_recut-tagged barrier rides in the stream"
+    );
+
+    // Every drained event serializes to a schema-valid trace line.
+    let mut lines = String::new();
+    for e in &events {
+        lines.push_str(&e.to_json());
+        lines.push('\n');
+    }
+    let schema = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/schemas/trace.schema.json"
+    ))
+    .expect("schema");
+    let checked = bolt_tools::validate_trace_lines(&lines, &schema).expect("schema-valid stream");
+    assert!(checked > 0, "validated {checked} lines");
+    db.close().expect("close");
+}
+
 #[test]
 fn event_emission_preserves_crash_invariants() {
     // Tracing is always on, so the sweep exercises every emission site

@@ -428,12 +428,13 @@ fn eio_on_wal_sync_poisons_group_commit() {
 }
 
 /// `EIO` on the MANIFEST commit barrier, targeted by path
-/// (`eio:sync:glob=MANIFEST-*:nth=0`) instead of a brittle global sync
-/// ordinal: the flush must surface the error, the version set must stay
-/// poisoned afterwards (DESIGN §9 O4), and recovery after a crash must
-/// still serve every acknowledged write.
+/// (`eio:sync:glob=MANIFEST-*:nth=0`): the flush must absorb the failed
+/// commit barrier by re-cutting a fresh MANIFEST (DESIGN §9 O5) — it
+/// returns `Ok`, later puts and flushes succeed durably without a reopen,
+/// the abandoned MANIFEST is scavenged with CURRENT pointing at the fresh
+/// one, and recovery after a crash serves every acknowledged write.
 #[test]
-fn eio_on_manifest_barrier_poisons_version_set() {
+fn eio_on_manifest_barrier_self_heals_via_recut() {
     use bolt_env::{CrashConfig, FaultEnv, FaultPlan};
 
     let fault_env = FaultEnv::over_mem();
@@ -449,19 +450,100 @@ fn eio_on_manifest_barrier_poisons_version_set() {
     // The next barrier on the MANIFEST itself is the flush's commit point,
     // regardless of how many WAL or compaction-file ops come first.
     fault_env.set_plan(FaultPlan::parse("eio:sync:glob=MANIFEST-*:nth=0").unwrap());
-    assert!(
-        db.flush().is_err(),
-        "flush must surface the MANIFEST-barrier EIO"
-    );
+    db.flush()
+        .expect("flush self-heals the failed commit barrier via a re-cut");
     assert_eq!(fault_env.faults_injected(), 1, "the path clause must fire");
+    assert_eq!(db.metrics().manifest_recuts, 1, "one re-cut recorded");
+
+    // The writer stays healthy: subsequent puts + flush succeed durably
+    // with no reopen.
+    for i in 100..200u32 {
+        db.put(format!("key{i:03}").as_bytes(), format!("v{i}").as_bytes())
+            .expect("puts keep landing after the re-cut");
+    }
+    db.flush()
+        .expect("subsequent flush succeeds without a reopen");
+
+    // Stale-MANIFEST scavenging: the abandoned file is gone and CURRENT
+    // points at the survivor.
+    let mut manifests: Vec<String> = env
+        .list_dir("db")
+        .unwrap()
+        .into_iter()
+        .filter(|n| n.starts_with("MANIFEST-"))
+        .collect();
+    manifests.sort();
+    assert_eq!(
+        manifests.len(),
+        1,
+        "abandoned MANIFEST must be scavenged: {manifests:?}"
+    );
+    let current = env.new_random_access_file("db/CURRENT").unwrap();
+    let content = current.read(0, current.len() as usize).unwrap();
+    assert_eq!(
+        String::from_utf8(content).unwrap().trim(),
+        manifests[0],
+        "CURRENT names the fresh MANIFEST"
+    );
+    db.close().unwrap();
+
+    // Power-cycle and recover: writes from before and after the re-cut all
+    // survive.
+    fault_env.crash_inner(CrashConfig::Clean);
+    fault_env.reset();
+    let db = Db::open(env, "db", opts).unwrap();
+    for i in 0..200u32 {
+        assert_eq!(
+            db.get(format!("key{i:03}").as_bytes()).unwrap(),
+            Some(format!("v{i}").into_bytes()),
+            "key{i:03} lost after MANIFEST-EIO crash recovery"
+        );
+    }
+    db.close().unwrap();
+}
+
+/// Double fault: the re-cut's own MANIFEST sync fails too (two path
+/// clauses — a fired rule consumes its op, so the second `nth=0` lands on
+/// the re-cut's snapshot sync). The writer degrades to the poisoned state:
+/// the flush surfaces a clean `InvalidState`, later operations keep
+/// failing with it, and a reopen fully recovers every acknowledged write
+/// with no resurrected uncommitted edit.
+#[test]
+fn double_fault_during_recut_poisons_until_reopen() {
+    use bolt::Error;
+    use bolt_env::{CrashConfig, FaultEnv, FaultPlan};
+
+    let fault_env = FaultEnv::over_mem();
+    let env: Arc<dyn Env> = Arc::new(fault_env.clone());
+    let mut opts = Options::bolt();
+    opts.sync_wal = true;
+    let db = Db::open(Arc::clone(&env), "db", opts.clone()).unwrap();
+    for i in 0..100u32 {
+        db.put(format!("key{i:03}").as_bytes(), format!("v{i}").as_bytes())
+            .unwrap();
+    }
+
+    fault_env.set_plan(
+        FaultPlan::parse("eio:sync:glob=MANIFEST-*:nth=0,eio:sync:glob=MANIFEST-*:nth=0").unwrap(),
+    );
+    let err = db.flush().expect_err("double fault must poison the writer");
     assert!(
-        db.flush().is_err(),
-        "version set must stay poisoned after a failed commit barrier"
+        matches!(err, Error::InvalidState(_)),
+        "flush surfaces a clean InvalidState, got: {err:?}"
+    );
+    assert_eq!(fault_env.faults_injected(), 2, "both clauses must fire");
+    assert_eq!(db.metrics().manifest_recuts, 0, "no successful re-cut");
+
+    // Poisoned until reopen: later flushes fail the same way.
+    assert!(
+        matches!(db.flush(), Err(Error::InvalidState(_))),
+        "version set must stay poisoned after the failed re-cut"
     );
     let _ = db.close();
 
     // Power-cycle and recover: the commit never became durable, but every
-    // acknowledged (WAL-synced) write must still be there.
+    // acknowledged (WAL-synced) write must still be there, and nothing
+    // from the torn/abandoned MANIFESTs resurfaces.
     fault_env.crash_inner(CrashConfig::Clean);
     fault_env.reset();
     let db = Db::open(env, "db", opts).unwrap();
@@ -469,7 +551,7 @@ fn eio_on_manifest_barrier_poisons_version_set() {
         assert_eq!(
             db.get(format!("key{i:03}").as_bytes()).unwrap(),
             Some(format!("v{i}").into_bytes()),
-            "key{i:03} lost after MANIFEST-EIO crash recovery"
+            "key{i:03} lost after double-fault crash recovery"
         );
     }
     db.close().unwrap();

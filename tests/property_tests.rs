@@ -142,6 +142,96 @@ proptest! {
         db.close().unwrap();
     }
 
+    /// Random version-edit sequences with randomly injected MANIFEST-sync
+    /// failures, at the `VersionSet` layer. Invariants: with 0 or 1 armed
+    /// faults a commit self-heals (re-cut) and is acked; with 2 armed
+    /// faults (the double-fault case) the writer poisons and never acks
+    /// again; after a power cycle, recovery yields exactly the acked-alive
+    /// table set — every acknowledged `log_and_apply` survives, no
+    /// unacknowledged edit resurfaces, and `VersionBuilder::build` accepts
+    /// the recovered version (disjoint ranges, so any resurfaced or lost
+    /// edit would change the set or break the build).
+    #[test]
+    fn version_commits_survive_random_sync_faults(
+        ops in proptest::collection::vec(
+            (any::<bool>(), any::<u8>(),
+             prop_oneof![6 => Just(0u8), 3 => Just(1u8), 1 => Just(2u8)]),
+            1..40,
+        ),
+    ) {
+        use bolt::bolt_core::version::{TableMeta, VersionEdit};
+        use bolt::bolt_core::versions::VersionSet;
+        use bolt::bolt_table::comparator::InternalKeyComparator;
+        use bolt::bolt_table::ikey::{make_internal_key, ValueType};
+        use bolt_env::{FaultEnv, FaultPlan};
+
+        let fault = FaultEnv::over_mem();
+        let env: Arc<dyn Env> = Arc::new(fault.clone());
+        env.create_dir_all("db").unwrap();
+        let mut vs = VersionSet::new(
+            Arc::clone(&env), "db", InternalKeyComparator::default(), 7);
+        vs.create_new().unwrap();
+
+        let mut alive: Vec<u64> = Vec::new(); // acked model
+        let mut poisoned = false;
+        for (is_add, sel, faults) in ops {
+            for _ in 0..faults {
+                fault.extend_plan(
+                    FaultPlan::parse("eio:sync:glob=MANIFEST-*:nth=0").unwrap());
+            }
+            let mut edit = VersionEdit::default();
+            let action: Result<u64, u64> = if is_add || alive.is_empty() {
+                let t = vs.new_table_id();
+                let f = vs.new_file_number();
+                edit.added_tables.push((0, t, TableMeta::new(
+                    t, f, 0, 100, 1,
+                    make_internal_key(
+                        format!("k{t:06}a").as_bytes(), 10, ValueType::Value),
+                    make_internal_key(
+                        format!("k{t:06}z").as_bytes(), 1, ValueType::Value),
+                )));
+                Ok(t)
+            } else {
+                let victim = alive[sel as usize % alive.len()];
+                edit.deleted_tables.push((0, victim));
+                Err(victim)
+            };
+            let result = vs.log_and_apply(edit);
+            if poisoned || faults >= 2 {
+                prop_assert!(
+                    result.is_err(),
+                    "poisoned/double-faulted commit must not ack");
+                poisoned = true;
+            } else {
+                prop_assert!(
+                    result.is_ok(),
+                    "healthy commit with {} armed fault(s) failed: {:?}",
+                    faults, result.err());
+                match action {
+                    Ok(t) => alive.push(t),
+                    Err(victim) => alive.retain(|&x| x != victim),
+                }
+            }
+        }
+        drop(vs);
+
+        // Power-cycle and recover: exactly the acked-alive set.
+        fault.crash_inner(CrashConfig::Clean);
+        fault.reset();
+        let mut vs = VersionSet::new(
+            Arc::clone(&env), "db", InternalKeyComparator::default(), 7);
+        vs.recover().unwrap();
+        let mut recovered: Vec<u64> = vs
+            .current()
+            .all_tables()
+            .map(|(_, _, m)| m.table_id)
+            .collect();
+        recovered.sort_unstable();
+        let mut expected = alive;
+        expected.sort_unstable();
+        prop_assert_eq!(recovered, expected);
+    }
+
     /// Iterators pinned before mutations must be unaffected by them.
     #[test]
     fn snapshot_iterators_are_immutable(
