@@ -1,0 +1,245 @@
+//! **PR 6 trajectory bench** — sharded vs. single-engine write scaling.
+//!
+//! Runs YCSB Load (insert-only), A (50/50 update/read), and C (read-only)
+//! with 8 client threads against two configurations *in the same
+//! process*:
+//!
+//! * **1 shard**: one `Db` on one simulated SSD, and
+//! * **4 shards**: a [`ShardedDb`] opened with
+//!   [`ShardedDb::open_with_envs`] — four independent simulated SSDs, one
+//!   per shard.
+//!
+//! The device model is deliberately **bandwidth-bound** (low sequential
+//! write bandwidth, small barrier cost, 1 KB values, `sync_wal = true`):
+//! that is the regime where one engine's single WAL device is the
+//! bottleneck and four shards' four devices give ~4× aggregate bandwidth.
+//! Device time is modeled as wall-clock sleeps, so the four shards'
+//! queues drain concurrently even on one CPU — exactly like four real
+//! devices would.
+//!
+//! Results are appended to `BENCH_PR6.json` (stable schema: one row per
+//! `{workload, threads, shards}` with ops/s and latency percentiles).
+//!
+//! Run: `cargo run --release -p bolt-bench --bin bench_trajectory`
+//! CI smoke: `cargo run -p bolt-bench --bin bench_trajectory -- --smoke`
+
+use std::io::Write as _;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bolt_bench::CAPACITY_SCALE;
+use bolt_core::{Db, Options};
+use bolt_env::{DeviceModel, Env, SimEnv};
+use bolt_sharded::{Router, ShardedDb};
+use bolt_ycsb::{load_db, run_workload, BenchConfig, KvTarget, RunResult, Workload};
+
+/// Client threads for every phase (2 per shard in the 4-shard config).
+const THREADS: usize = 8;
+/// Shards in the partitioned configuration.
+const SHARDS: usize = 4;
+
+/// The write-bandwidth-bound device: 2 MB/s sequential writes and a
+/// 0.5 ms barrier mean a synced group is dominated by queue-drain time,
+/// so aggregate throughput tracks aggregate device bandwidth.
+fn trajectory_device() -> DeviceModel {
+    DeviceModel {
+        write_bandwidth: 2 * 1024 * 1024,
+        read_bandwidth: 48 * 1024 * 1024,
+        read_base_latency: Duration::from_micros(30),
+        barrier_latency: Duration::from_micros(500),
+        time_scale: 1.0,
+    }
+}
+
+/// A nearly-free device so `--smoke` exercises every code path in
+/// milliseconds.
+fn smoke_device() -> DeviceModel {
+    DeviceModel {
+        write_bandwidth: 256 * 1024 * 1024,
+        read_bandwidth: 256 * 1024 * 1024,
+        read_base_latency: Duration::ZERO,
+        barrier_latency: Duration::from_micros(10),
+        time_scale: 1.0,
+    }
+}
+
+/// One emitted row of the stable schema.
+struct Row {
+    workload: &'static str,
+    shards: usize,
+    ops: u64,
+    ops_per_sec: f64,
+    p50_us: u64,
+    p99_us: u64,
+    p999_us: u64,
+}
+
+fn row(workload: &'static str, shards: usize, r: &RunResult) -> Row {
+    Row {
+        workload,
+        shards,
+        ops: r.ops,
+        ops_per_sec: r.throughput(),
+        p50_us: r.percentile(50.0) / 1_000,
+        p99_us: r.percentile(99.0) / 1_000,
+        p999_us: r.percentile(99.9) / 1_000,
+    }
+}
+
+/// Run Load, A, C against one target, in YCSB phase order (A mutates keys
+/// the load created; C reads the post-A state).
+fn run_phases<T: KvTarget>(db: &Arc<T>, shards: usize, cfg: &BenchConfig) -> Vec<Row> {
+    let mut rows = Vec::new();
+    let load = load_db(db, cfg).expect("load phase");
+    rows.push(row("Load", shards, &load));
+    let cursor = Arc::new(AtomicU64::new(cfg.record_count));
+    let a = run_workload(db, &Workload::a(), cfg, &cursor).expect("workload A");
+    rows.push(row("A", shards, &a));
+    let c = run_workload(db, &Workload::c(), cfg, &cursor).expect("workload C");
+    rows.push(row("C", shards, &c));
+    rows
+}
+
+fn opts() -> Options {
+    let mut opts = Options::bolt().scaled(CAPACITY_SCALE);
+    // Every acknowledged write is synced — the paper's durable-write
+    // regime, and the one where the WAL device gates throughput.
+    opts.sync_wal = true;
+    opts
+}
+
+fn render_json(device: &DeviceModel, rows: &[Row], speedups: &[(String, f64)]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"bench_trajectory\",\n");
+    out.push_str("  \"schema\": 1,\n");
+    out.push_str(&format!("  \"threads\": {THREADS},\n"));
+    out.push_str("  \"value_len\": 1024,\n");
+    out.push_str(&format!(
+        "  \"device\": {{\"write_bandwidth\": {}, \"barrier_latency_us\": {}}},\n",
+        device.write_bandwidth,
+        device.barrier_latency.as_micros()
+    ));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"threads\": {}, \"shards\": {}, \"ops\": {}, \
+             \"ops_per_sec\": {:.1}, \"p50_us\": {}, \"p99_us\": {}, \"p999_us\": {}}}{}\n",
+            r.workload,
+            THREADS,
+            r.shards,
+            r.ops,
+            r.ops_per_sec,
+            r.p50_us,
+            r.p99_us,
+            r.p999_us,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"speedup_4x_over_1x\": {");
+    for (i, (w, s)) in speedups.iter().enumerate() {
+        out.push_str(&format!(
+            "\"{}\": {:.2}{}",
+            w,
+            s,
+            if i + 1 < speedups.len() { ", " } else { "" }
+        ));
+    }
+    out.push_str("}\n}\n");
+    out
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let device = if smoke {
+        smoke_device()
+    } else {
+        trajectory_device()
+    };
+    let cfg = BenchConfig {
+        record_count: if smoke { 400 } else { 4_000 },
+        op_count: if smoke { 400 } else { 4_000 },
+        threads: THREADS,
+        value_len: 1024,
+        seed: 0x5eed,
+    };
+
+    // 1-shard baseline: one engine on one simulated device.
+    let env: Arc<dyn Env> = Arc::new(SimEnv::new(device));
+    let db = Arc::new(Db::open(Arc::clone(&env), "bench-db", opts()).expect("open single db"));
+    let mut rows = run_phases(&db, 1, &cfg);
+    db.close().expect("close single db");
+
+    // 4-shard configuration: one simulated device per shard.
+    let envs: Vec<Arc<dyn Env>> = (0..SHARDS)
+        .map(|_| Arc::new(SimEnv::new(device)) as Arc<dyn Env>)
+        .collect();
+    let sharded = Arc::new(
+        ShardedDb::open_with_envs(
+            envs,
+            "bench-db",
+            opts(),
+            Router::hash(SHARDS).expect("router"),
+        )
+        .expect("open sharded db"),
+    );
+    rows.extend(run_phases(&sharded, SHARDS, &cfg));
+    sharded.close().expect("close sharded db");
+
+    // Per-workload speedup of the 4-shard config over the baseline.
+    let mut speedups = Vec::new();
+    for workload in ["Load", "A", "C"] {
+        let single = rows
+            .iter()
+            .find(|r| r.workload == workload && r.shards == 1)
+            .expect("single row");
+        let sharded = rows
+            .iter()
+            .find(|r| r.workload == workload && r.shards == SHARDS)
+            .expect("sharded row");
+        speedups.push((
+            workload.to_string(),
+            sharded.ops_per_sec / single.ops_per_sec.max(1e-9),
+        ));
+    }
+
+    println!(
+        "{:<9} {:>7} {:>12} {:>9} {:>9} {:>9}",
+        "workload", "shards", "ops/s", "p50(us)", "p99(us)", "p999(us)"
+    );
+    for r in &rows {
+        println!(
+            "{:<9} {:>7} {:>12.1} {:>9} {:>9} {:>9}",
+            r.workload, r.shards, r.ops_per_sec, r.p50_us, r.p99_us, r.p999_us
+        );
+    }
+    for (w, s) in &speedups {
+        println!("speedup {w}: {s:.2}x");
+    }
+
+    if smoke {
+        // CI smoke: correctness of the harness, not the perf claim — the
+        // nearly-free device leaves nothing for shards to parallelize.
+        assert!(
+            rows.iter().all(|r| r.ops > 0 && r.ops_per_sec > 0.0),
+            "smoke run produced empty phases"
+        );
+        println!("smoke ok (results not recorded)");
+        return;
+    }
+
+    let json = render_json(&device, &rows, &speedups);
+    let path = "BENCH_PR6.json";
+    let mut file = std::fs::File::create(path).expect("create BENCH_PR6.json");
+    file.write_all(json.as_bytes())
+        .expect("write BENCH_PR6.json");
+    println!("(results written to {path})");
+
+    let load_speedup = speedups[0].1;
+    assert!(
+        load_speedup >= 2.5,
+        "write-heavy speedup regressed below the PR-6 floor: {load_speedup:.2}x < 2.5x"
+    );
+}

@@ -13,7 +13,7 @@
 //! * **Settled compaction** promotes zero-overlap victims with a pure
 //!   MANIFEST edit; their bytes never move.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -40,6 +40,7 @@ use crate::memtable::{LookupResult, MemTable};
 use crate::metrics::{MetricsSnapshot, QueueWaitSummary};
 use crate::options::{Options, ReadOptions, WriteOptions};
 use crate::stats::DbStats;
+use crate::txn::{self, ShardTxnMarker, TxnWalRecord};
 use crate::version::{TableMeta, Version, VersionEdit};
 use crate::versions::VersionSet;
 
@@ -50,6 +51,9 @@ use crate::versions::VersionSet;
 struct WriterSlot {
     /// Whether this batch asked for a WAL durability barrier.
     sync: bool,
+    /// What the slot commits. Normal batches merge into groups; the two
+    /// transaction phases are WAL-exclusive and always commit alone.
+    op: SlotOp,
     /// The pending batch; taken by the leader when merged into a group.
     batch: Mutex<Option<WriteBatch>>,
     /// Encoded size of the pending batch (readable without locking `batch`).
@@ -61,14 +65,43 @@ struct WriterSlot {
     result: Mutex<Option<Result<()>>>,
 }
 
+/// The operation a queued [`WriterSlot`] performs when it leads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotOp {
+    /// An ordinary batch, mergeable into a commit group.
+    Write,
+    /// Stage a cross-shard slice: synced WAL record, no memtable effect.
+    TxnPrepare(ShardTxnMarker),
+    /// Apply a staged slice: memtable insert plus an unsynced position
+    /// marker, no new payload bytes in the WAL.
+    TxnApply { txn_id: u64 },
+}
+
 impl WriterSlot {
     fn new(batch: WriteBatch, sync: bool) -> Self {
         WriterSlot {
             sync,
+            op: SlotOp::Write,
             batch_bytes: batch.approximate_size(),
             batch: named_mutex("core.writer_batch", Some(batch)),
             done: AtomicBool::new(false),
             result: named_mutex("core.writer_result", None),
+        }
+    }
+
+    /// A prepare slot. Always syncs: a prepare that is not durable when
+    /// the coordinator decides would let a crash half-apply the batch.
+    fn new_txn_prepare(marker: ShardTxnMarker, payload: WriteBatch) -> Self {
+        WriterSlot {
+            op: SlotOp::TxnPrepare(marker),
+            ..WriterSlot::new(payload, true)
+        }
+    }
+
+    fn new_txn_apply(txn_id: u64) -> Self {
+        WriterSlot {
+            op: SlotOp::TxnApply { txn_id },
+            ..WriterSlot::new(WriteBatch::new(), false)
         }
     }
 
@@ -119,6 +152,39 @@ struct DbState {
     /// Group-commit queue: the front writer is the leader and commits on
     /// behalf of as many followers as fit under the group byte cap.
     writers: VecDeque<Arc<WriterSlot>>,
+    /// Prepared-but-unapplied cross-shard slices, keyed by transaction id.
+    /// Each entry pins its WAL file (see [`DbState::min_pending_txn_log`]):
+    /// the prepare record is the slice's only durable copy until the apply
+    /// lands in a flushed memtable.
+    pending_txns: HashMap<u64, PendingTxn>,
+}
+
+/// A staged cross-shard slice awaiting the coordinator's decision.
+struct PendingTxn {
+    /// The operations, exactly as carried by the WAL prepare record.
+    payload: WriteBatch,
+    /// WAL file holding the prepare record; obsolete-log deletion must not
+    /// advance past it while the prepare is the slice's only durable copy.
+    log_number: u64,
+    /// WAL era the apply landed in, once it has. The pin holds until the
+    /// log floor passes this era — the `Applied` marker carries only the
+    /// sequence, so until the memtable the slice went into is flushed, the
+    /// prepare record is still the only place the bytes live.
+    applied_in: Option<u64>,
+}
+
+impl DbState {
+    /// Oldest WAL file still referenced by a pending transaction.
+    fn min_pending_txn_log(&self) -> Option<u64> {
+        self.pending_txns.values().map(|t| t.log_number).min()
+    }
+
+    /// Drop applied entries whose slice is now durable in SSTables (the
+    /// log floor passed their apply era), releasing their WAL pins.
+    fn prune_applied_txns(&mut self, log_floor: u64) {
+        self.pending_txns
+            .retain(|_, t| t.applied_in.is_none_or(|era| era >= log_floor));
+    }
 }
 
 struct DbInner {
@@ -148,6 +214,13 @@ struct DbInner {
     flush_ids: AtomicU64,
     /// Monotonic compaction ids pairing `CompactionBegin`/`CompactionEnd`.
     compaction_ids: AtomicU64,
+    /// Transactions the coordinator decided to commit, as known at open
+    /// (read from the sharding layer's coordinator log). Consulted only
+    /// during WAL recovery.
+    committed_txns: HashSet<u64>,
+    /// Highest transaction id seen in this shard's WALs during recovery;
+    /// the sharding layer seeds its id allocator above it.
+    recovered_max_txn: AtomicU64,
 }
 
 /// A consistent read view. Dropping it releases the sequence for
@@ -229,6 +302,24 @@ impl Db {
     /// Returns I/O errors from the env and corruption errors from
     /// recovery.
     pub fn open(env: Arc<dyn Env>, name: &str, opts: Options) -> Result<Db> {
+        Db::open_with_committed_txns(env, name, opts, HashSet::new())
+    }
+
+    /// Open with the set of cross-shard transactions the coordinator
+    /// committed (from the sharding layer's decide log). WAL recovery
+    /// applies prepared slices of committed transactions and drops
+    /// undecided ones; a plain [`Db::open`] passes the empty set.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors from the env and corruption errors from
+    /// recovery.
+    pub fn open_with_committed_txns(
+        env: Arc<dyn Env>,
+        name: &str,
+        opts: Options,
+        committed_txns: HashSet<u64>,
+    ) -> Result<Db> {
         opts.validate()?;
         env.create_dir_all(name)?;
         let icmp = InternalKeyComparator::default();
@@ -286,6 +377,7 @@ impl Db {
                     manual: None,
                     manual_done: 0,
                     writers: VecDeque::new(),
+                    pending_txns: HashMap::new(),
                 },
             ),
             versions: named_mutex("core.versions", versions),
@@ -300,6 +392,8 @@ impl Db {
             sink,
             flush_ids: AtomicU64::new(0),
             compaction_ids: AtomicU64::new(0),
+            committed_txns,
+            recovered_max_txn: AtomicU64::new(0),
         });
 
         inner.recover_wals()?;
@@ -390,28 +484,64 @@ impl Db {
             .stats
             .record_user_bytes(batch.approximate_size() as u64);
         let sync = wopts.sync.unwrap_or(inner.opts.sync_wal);
-        let slot = Arc::new(WriterSlot::new(batch, sync));
-        let enqueued = Instant::now();
+        inner.enqueue_and_commit(Arc::new(WriterSlot::new(batch, sync)))
+    }
 
-        let mut state = inner.state.lock();
-        state.writers.push_back(Arc::clone(&slot));
-        while !slot.done.load(Ordering::Acquire)
-            // Our slot was pushed above and only the leader dequeues, so the
-            // queue cannot be empty here.
-            // bolt-lint: allow(unwrap-in-crash-path)
-            && !Arc::ptr_eq(state.writers.front().expect("queue non-empty"), &slot)
-        {
-            inner.writers_cv.wait(&mut state);
+    /// Stage one shard's slice of a cross-shard batch (2PC phase 1): a
+    /// synced WAL record, no memtable effect. The slice stays pending until
+    /// [`Db::txn_apply`] (commit) or [`Db::txn_forget`] (abort); recovery
+    /// resolves a pending slice against the committed set given to
+    /// [`Db::open_with_committed_txns`].
+    ///
+    /// # Errors
+    ///
+    /// Returns background errors and WAL I/O errors. On error nothing is
+    /// staged.
+    pub fn txn_prepare(&self, marker: ShardTxnMarker, slice: WriteBatch) -> Result<()> {
+        if slice.is_empty() {
+            return Err(Error::InvalidArgument(
+                "cannot prepare an empty transaction slice".into(),
+            ));
         }
-        inner
+        self.inner
             .stats
-            .queue_wait()
-            .record(enqueued.elapsed().as_nanos() as u64);
-        if slot.done.load(Ordering::Acquire) {
-            // A leader committed (or failed) this batch on our behalf.
-            return slot.take_result();
+            .record_user_bytes(slice.approximate_size() as u64);
+        self.inner
+            .enqueue_and_commit(Arc::new(WriterSlot::new_txn_prepare(marker, slice)))
+    }
+
+    /// Apply a staged slice (2PC phase 2), making it visible to readers.
+    /// Call only after the coordinator's decide record is durable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidArgument`] if `txn_id` has no staged slice,
+    /// plus background and WAL I/O errors.
+    pub fn txn_apply(&self, txn_id: u64) -> Result<()> {
+        self.inner
+            .enqueue_and_commit(Arc::new(WriterSlot::new_txn_apply(txn_id)))
+    }
+
+    /// Drop a staged slice without applying it (2PC abort). A no-op if
+    /// `txn_id` has no staged slice or was already applied (an applied
+    /// entry still pins its WAL and is released by the flush that covers
+    /// it, never by forget).
+    pub fn txn_forget(&self, txn_id: u64) {
+        let mut state = self.inner.state.lock();
+        if state
+            .pending_txns
+            .get(&txn_id)
+            .is_some_and(|t| t.applied_in.is_none())
+        {
+            state.pending_txns.remove(&txn_id);
         }
-        inner.group_commit(&mut state, &slot)
+    }
+
+    /// Highest cross-shard transaction id seen in this shard's WALs during
+    /// recovery (0 if none). The sharding layer seeds its allocator above
+    /// the maximum across shards and the coordinator log.
+    pub fn recovered_max_txn_id(&self) -> u64 {
+        self.inner.recovered_max_txn.load(Ordering::Acquire)
     }
 
     /// Point lookup at the latest sequence — shorthand for
@@ -453,17 +583,6 @@ impl Db {
         self.inner.get_at(key, opts.snapshot.map(|s| s.seq))
     }
 
-    /// Point lookup at `snapshot`.
-    ///
-    /// # Errors
-    ///
-    /// Returns read errors from the storage substrate.
-    #[doc(hidden)]
-    #[deprecated(note = "use Db::get_opt with ReadOptions::new().with_snapshot(snapshot)")]
-    pub fn get_at(&self, key: &[u8], snapshot: &Snapshot) -> Result<Option<Vec<u8>>> {
-        self.get_opt(key, &ReadOptions::new().with_snapshot(snapshot))
-    }
-
     /// Take a consistent read view.
     pub fn snapshot(&self) -> Snapshot {
         let seq = self.inner.last_sequence.load(Ordering::Acquire);
@@ -492,17 +611,6 @@ impl Db {
     /// Returns read errors from the storage substrate.
     pub fn iter_opt(&self, opts: &ReadOptions<'_>) -> Result<DbIterator> {
         self.inner.iter_at(opts.snapshot.map(|s| s.seq))
-    }
-
-    /// Iterator at `snapshot`.
-    ///
-    /// # Errors
-    ///
-    /// Returns read errors from the storage substrate.
-    #[doc(hidden)]
-    #[deprecated(note = "use Db::iter_opt with ReadOptions::new().with_snapshot(snapshot)")]
-    pub fn iter_at(&self, snapshot: &Snapshot) -> Result<DbIterator> {
-        self.iter_opt(&ReadOptions::new().with_snapshot(snapshot))
     }
 
     /// Force the current memtable to disk and wait for the flush.
@@ -901,6 +1009,145 @@ impl DbInner {
     // Write path: group commit + governors + memtable switching
     // ------------------------------------------------------------------
 
+    /// Queue `slot` and wait until it is committed by a leader or becomes
+    /// the leader itself — the single entry point for everything that
+    /// needs the WAL exclusively (batches and both transaction phases),
+    /// since leaders take the log without waiting and exclusion is purely
+    /// structural via queue position.
+    fn enqueue_and_commit(&self, slot: Arc<WriterSlot>) -> Result<()> {
+        let enqueued = Instant::now();
+        let mut state = self.state.lock();
+        state.writers.push_back(Arc::clone(&slot));
+        while !slot.done.load(Ordering::Acquire)
+            // Our slot was pushed above and only the leader dequeues, so the
+            // queue cannot be empty here.
+            // bolt-lint: allow(unwrap-in-crash-path)
+            && !Arc::ptr_eq(state.writers.front().expect("queue non-empty"), &slot)
+        {
+            self.writers_cv.wait(&mut state);
+        }
+        self.stats
+            .queue_wait()
+            .record(enqueued.elapsed().as_nanos() as u64);
+        if slot.done.load(Ordering::Acquire) {
+            // A leader committed (or failed) this batch on our behalf.
+            return slot.take_result();
+        }
+        match slot.op {
+            SlotOp::Write => self.group_commit(&mut state, &slot),
+            SlotOp::TxnPrepare(..) | SlotOp::TxnApply { .. } => {
+                let result = self.txn_commit(&mut state, &slot);
+                state.writers.pop_front();
+                self.writers_cv.notify_all();
+                result
+            }
+        }
+    }
+
+    /// Run a transaction phase as a group of one. The leader protocol is
+    /// the same as [`DbInner::group_commit`]: take the WAL, do the I/O
+    /// outside the state mutex, restore the WAL.
+    fn txn_commit(
+        &self,
+        state: &mut MutexGuard<'_, DbState>,
+        leader: &Arc<WriterSlot>,
+    ) -> Result<()> {
+        if let Some(e) = &state.bg_error {
+            return Err(e.clone());
+        }
+        match leader.op {
+            SlotOp::TxnPrepare(marker) => {
+                // A slot's batch is taken exactly once, by its leader.
+                // bolt-lint: allow(unwrap-in-crash-path)
+                let payload = leader.batch.lock().take().expect("prepare slice present");
+                let record = txn::encode_prepare(&marker, &payload);
+                let log_number = state.wal_number;
+                // Leaders run only while the DB is open; close() waits for the
+                // slot to be restored. bolt-lint: allow(unwrap-in-crash-path)
+                let mut wal = state.wal.take().expect("wal open");
+                let io = MutexGuard::unlocked(state, || -> Result<()> {
+                    wal.add_record(&record)?;
+                    wal.sync()
+                });
+                state.wal = Some(wal);
+                self.writers_cv.notify_all();
+                match io {
+                    Ok(()) => {
+                        self.stats.record_wal_sync(1);
+                        state.pending_txns.insert(
+                            marker.txn_id,
+                            PendingTxn {
+                                payload,
+                                log_number,
+                                applied_in: None,
+                            },
+                        );
+                        Ok(())
+                    }
+                    Err(e) => {
+                        // Same rule as a failed group append: the record may
+                        // be torn mid-log, so later appends would be dropped
+                        // by recovery's torn-tail rule. Poison the DB.
+                        state.bg_error.get_or_insert_with(|| e.clone());
+                        Err(e)
+                    }
+                }
+            }
+            SlotOp::TxnApply { txn_id } => {
+                // The apply inserts into the memtable, so the governors run
+                // exactly as for a batch commit.
+                self.make_room(state)?;
+                let apply_era = state.wal_number;
+                let mut payload = match state.pending_txns.get(&txn_id) {
+                    Some(staged) if staged.applied_in.is_none() => staged.payload.clone(),
+                    _ => {
+                        return Err(Error::InvalidArgument(format!(
+                            "transaction {txn_id} has no staged slice"
+                        )));
+                    }
+                };
+                let base = self.last_sequence.load(Ordering::Relaxed);
+                payload.set_sequence(base + 1);
+                let count = u64::from(payload.count());
+                // The marker is appended *unsynced*: the payload is already
+                // durable (synced prepare + synced decide), and if a crash
+                // tears the marker off the log tail it also tears every
+                // later record, so end-of-log recovery replay lands the
+                // slice in the same relative order.
+                let marker_record = txn::encode_applied(txn_id, base + 1);
+                let mem = Arc::clone(&state.mem);
+                // bolt-lint: allow(unwrap-in-crash-path) -- see prepare arm.
+                let mut wal = state.wal.take().expect("wal open");
+                let io = MutexGuard::unlocked(state, || -> Result<()> {
+                    wal.add_record(&marker_record)?;
+                    payload.apply_to(&mem)
+                });
+                state.wal = Some(wal);
+                self.writers_cv.notify_all();
+                match io {
+                    Ok(()) => {
+                        self.last_sequence.store(base + count, Ordering::Release);
+                        self.stats.record_write_group(1);
+                        self.stats.record_group_batches(1);
+                        // Keep the entry (and its WAL pin) until the flush
+                        // that covers this era; see `prune_applied_txns`.
+                        if let Some(staged) = state.pending_txns.get_mut(&txn_id) {
+                            staged.applied_in = Some(apply_era);
+                        }
+                        Ok(())
+                    }
+                    Err(e) => {
+                        state.bg_error.get_or_insert_with(|| e.clone());
+                        Err(e)
+                    }
+                }
+            }
+            SlotOp::Write => Err(Error::InvalidState(
+                "txn_commit dispatched on a non-txn writer slot".into(),
+            )),
+        }
+    }
+
     /// Commit the group led by `leader` (the front of the writer queue).
     ///
     /// Runs with the state mutex held, but releases it for the expensive
@@ -937,6 +1184,10 @@ impl DbInner {
         let mut group_bytes = own;
         let mut sync_requests = u64::from(leader.sync);
         for slot in state.writers.iter().skip(1) {
+            if slot.op != SlotOp::Write {
+                // Transaction phases are WAL-exclusive and never merge.
+                break;
+            }
             if slot.sync && !leader.sync {
                 // A sync write must not be absorbed by a non-sync group:
                 // its durability guarantee would silently vanish.
@@ -1562,33 +1813,76 @@ impl DbInner {
     // Recovery & housekeeping
     // ------------------------------------------------------------------
 
+    /// Replay the WALs. Logs at or above the version set's log floor are
+    /// replayed in full; *older* logs — retained only because a pending
+    /// cross-shard transaction pins them (see
+    /// [`DbState::min_pending_txn_log`]) — are scanned for transaction
+    /// records alone, since their batch records are already in SSTables.
+    ///
+    /// Transaction resolution: a prepare stages its slice; an `Applied`
+    /// marker in the replayed region commits the staged slice at the
+    /// marker's recorded sequence (in a flushed-away region it just
+    /// discards the stage — the data is in SSTables); a staged slice with
+    /// no marker commits at the end of the log iff the coordinator decided
+    /// it (`committed_txns`), and is dropped otherwise — on every shard
+    /// alike, which is what makes a crash inside the 2PC window
+    /// all-or-nothing.
     fn recover_wals(&self) -> Result<()> {
-        let (log_floor, mut logs) = {
-            let versions = self.versions.lock();
+        let log_floor = self.versions.lock().log_number;
+        let mut logs: Vec<u64> = {
             let names = self.env.list_dir(&self.name)?;
-            let logs: Vec<u64> = names
+            names
                 .iter()
                 .filter_map(|n| match parse_file_name(n) {
-                    Some(FileType::Log(num)) if num >= versions.log_number => Some(num),
+                    Some(FileType::Log(num)) => Some(num),
                     _ => None,
                 })
-                .collect();
-            (versions.log_number, logs)
+                .collect()
         };
-        let _ = log_floor;
         logs.sort_unstable();
 
         let mut max_seq = { self.versions.lock().last_sequence };
+        let mut max_txn = 0u64;
+        let mut staged: HashMap<u64, WriteBatch> = HashMap::new();
         let mut mem = Arc::new(MemTable::new());
         for log in logs {
+            let replay = log >= log_floor;
             let file = self
                 .env
                 .new_random_access_file(&log_file(&self.name, log))?;
             let mut reader = LogReader::new(file);
             while let Some(record) = reader.read_record()? {
-                let batch = WriteBatch::decode(&record)?;
-                batch.apply_to(&mem)?;
-                max_seq = max_seq.max(batch.sequence() + u64::from(batch.count()) - 1);
+                if let Some(txn_record) = txn::decode(&record) {
+                    match txn_record? {
+                        TxnWalRecord::Prepare { marker, payload } => {
+                            max_txn = max_txn.max(marker.txn_id);
+                            staged.insert(marker.txn_id, payload);
+                        }
+                        TxnWalRecord::Applied { txn_id, base_seq } => {
+                            max_txn = max_txn.max(txn_id);
+                            let Some(mut payload) = staged.remove(&txn_id) else {
+                                return Err(Error::Corruption(format!(
+                                    "applied marker for transaction {txn_id} \
+                                     without a prepare record"
+                                )));
+                            };
+                            if replay {
+                                payload.set_sequence(base_seq);
+                                payload.apply_to(&mem)?;
+                                max_seq = max_seq.max(base_seq + u64::from(payload.count()) - 1);
+                            }
+                        }
+                        TxnWalRecord::Decide { .. } => {
+                            return Err(Error::Corruption(
+                                "coordinator decide record in a shard WAL".into(),
+                            ));
+                        }
+                    }
+                } else if replay {
+                    let batch = WriteBatch::decode(&record)?;
+                    batch.apply_to(&mem)?;
+                    max_seq = max_seq.max(batch.sequence() + u64::from(batch.count()) - 1);
+                }
                 if mem.approximate_memory_usage() >= self.opts.memtable_bytes {
                     self.last_sequence.store(max_seq, Ordering::Release);
                     self.flush_memtable(&mem, 0, false)?;
@@ -1596,6 +1890,26 @@ impl DbInner {
                 }
             }
         }
+
+        // Staged slices whose applied marker never made it to the log:
+        // commit the decided ones at the end (losing the unsynced marker
+        // also loses every record after it, so the end of the surviving
+        // log *is* the slice's position), drop the undecided ones.
+        let mut decided: Vec<u64> = staged
+            .keys()
+            .copied()
+            .filter(|id| self.committed_txns.contains(id))
+            .collect();
+        decided.sort_unstable();
+        for txn_id in decided {
+            // bolt-lint: allow(unwrap-in-crash-path) -- key drawn from `staged` above.
+            let mut payload = staged.remove(&txn_id).expect("staged slice present");
+            payload.set_sequence(max_seq + 1);
+            max_seq += u64::from(payload.count());
+            payload.apply_to(&mem)?;
+        }
+
+        self.recovered_max_txn.store(max_txn, Ordering::Release);
         self.last_sequence.store(max_seq, Ordering::Release);
         {
             let mut versions = self.versions.lock();
@@ -1626,7 +1940,20 @@ impl DbInner {
         Ok(())
     }
 
+    /// Clamp a log-deletion boundary by the pending-transaction pins:
+    /// first release pins whose applied slice the floor now covers, then
+    /// hold the boundary at the oldest WAL a live pin still references.
+    fn clamp_log_boundary(&self, boundary: u64) -> u64 {
+        let mut state = self.state.lock();
+        state.prune_applied_txns(boundary);
+        match state.min_pending_txn_log() {
+            Some(pinned) => boundary.min(pinned),
+            None => boundary,
+        }
+    }
+
     fn delete_obsolete_logs(&self, boundary: u64) {
+        let boundary = self.clamp_log_boundary(boundary);
         if let Ok(names) = self.env.list_dir(&self.name) {
             for name in names {
                 if let Some(FileType::Log(num)) = parse_file_name(&name) {
@@ -1644,6 +1971,7 @@ impl DbInner {
         let log_floor = versions.log_number;
         let manifest = versions.manifest_number();
         drop(versions);
+        let log_floor = self.clamp_log_boundary(log_floor);
         let Ok(names) = self.env.list_dir(&self.name) else {
             return;
         };
@@ -1998,10 +2326,6 @@ mod tests {
         db.delete(b"k2").unwrap();
         let ro = ReadOptions::new().with_snapshot(&snap);
         assert_eq!(db.get_opt(b"k", &ro).unwrap(), Some(b"old".to_vec()));
-        // The deprecated wrapper must agree with the ReadOptions path.
-        #[allow(deprecated)]
-        let legacy = db.get_at(b"k", &snap).unwrap();
-        assert_eq!(legacy, Some(b"old".to_vec()));
         assert_eq!(db.get(b"k").unwrap(), Some(b"new".to_vec()));
         drop(snap);
         db.close().unwrap();
@@ -2232,6 +2556,162 @@ mod tests {
         assert_eq!(db.get(b"tiny").unwrap(), Some(b"v".to_vec()));
         assert_eq!(db.get(b"huge").unwrap(), Some(vec![b'x'; 2 << 20]));
         assert_eq!(db.stats().snapshot().group_batches, 2);
+        db.close().unwrap();
+    }
+
+    fn txn_slice(pairs: &[(&[u8], &[u8])]) -> WriteBatch {
+        let mut b = WriteBatch::new();
+        for (k, v) in pairs {
+            b.put(k, v);
+        }
+        b
+    }
+
+    #[test]
+    fn txn_prepare_is_invisible_until_apply() {
+        let (_env, db) = mem_db(Options::leveldb());
+        let marker = ShardTxnMarker {
+            txn_id: 1,
+            shard_bitmap: 0b1,
+        };
+        db.txn_prepare(marker, txn_slice(&[(b"tk", b"tv")]))
+            .unwrap();
+        assert_eq!(db.get(b"tk").unwrap(), None);
+        db.txn_apply(1).unwrap();
+        assert_eq!(db.get(b"tk").unwrap(), Some(b"tv".to_vec()));
+        // Interleaved writes still sequence correctly around the apply.
+        db.put(b"tk", b"after").unwrap();
+        assert_eq!(db.get(b"tk").unwrap(), Some(b"after".to_vec()));
+        db.close().unwrap();
+    }
+
+    #[test]
+    fn txn_forget_aborts_and_apply_rejects_unknown() {
+        let (_env, db) = mem_db(Options::leveldb());
+        let marker = ShardTxnMarker {
+            txn_id: 5,
+            shard_bitmap: 0b1,
+        };
+        db.txn_prepare(marker, txn_slice(&[(b"gone", b"x")]))
+            .unwrap();
+        db.txn_forget(5);
+        assert!(matches!(db.txn_apply(5), Err(Error::InvalidArgument(_))));
+        assert_eq!(db.get(b"gone").unwrap(), None);
+        // Double-apply is rejected too.
+        db.txn_prepare(marker, txn_slice(&[(b"once", b"x")]))
+            .unwrap();
+        db.txn_apply(5).unwrap();
+        assert!(matches!(db.txn_apply(5), Err(Error::InvalidArgument(_))));
+        db.close().unwrap();
+    }
+
+    #[test]
+    fn recovery_commits_decided_prepare_and_drops_undecided() {
+        let env = Arc::new(MemEnv::new());
+        let open = |committed: &[u64]| {
+            Db::open_with_committed_txns(
+                Arc::clone(&env) as Arc<dyn Env>,
+                "db",
+                Options::leveldb(),
+                committed.iter().copied().collect(),
+            )
+            .unwrap()
+        };
+        {
+            let db = open(&[]);
+            db.put(b"base", b"1").unwrap();
+            db.txn_prepare(
+                ShardTxnMarker {
+                    txn_id: 7,
+                    shard_bitmap: 0b11,
+                },
+                txn_slice(&[(b"committed", b"yes")]),
+            )
+            .unwrap();
+            db.txn_prepare(
+                ShardTxnMarker {
+                    txn_id: 8,
+                    shard_bitmap: 0b11,
+                },
+                txn_slice(&[(b"undecided", b"no")]),
+            )
+            .unwrap();
+            db.close().unwrap();
+        }
+        // Reopen knowing only txn 7 committed: its slice must appear, txn
+        // 8's must not, and the allocator seed must cover both ids.
+        let db = open(&[7]);
+        assert_eq!(db.get(b"base").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(db.get(b"committed").unwrap(), Some(b"yes".to_vec()));
+        assert_eq!(db.get(b"undecided").unwrap(), None);
+        assert_eq!(db.recovered_max_txn_id(), 8);
+        db.close().unwrap();
+        // A second recovery must be stable: txn 7 was flushed by the first
+        // recovery (I4 idempotency), txn 8 stays gone.
+        let db = open(&[7]);
+        assert_eq!(db.get(b"committed").unwrap(), Some(b"yes".to_vec()));
+        assert_eq!(db.get(b"undecided").unwrap(), None);
+        db.close().unwrap();
+    }
+
+    #[test]
+    fn recovery_replays_applied_txn_at_its_marker_sequence() {
+        let env = Arc::new(MemEnv::new());
+        {
+            let db = Db::open(Arc::clone(&env) as Arc<dyn Env>, "db", Options::leveldb()).unwrap();
+            db.put(b"k", b"before").unwrap();
+            db.txn_prepare(
+                ShardTxnMarker {
+                    txn_id: 3,
+                    shard_bitmap: 0b1,
+                },
+                txn_slice(&[(b"k", b"txn")]),
+            )
+            .unwrap();
+            db.txn_apply(3).unwrap();
+            // A later write at a higher sequence must win after recovery —
+            // this is exactly what the marker's recorded base_seq protects.
+            db.put(b"k", b"after").unwrap();
+            db.close().unwrap();
+        }
+        let db = Db::open(Arc::clone(&env) as Arc<dyn Env>, "db", Options::leveldb()).unwrap();
+        assert_eq!(db.get(b"k").unwrap(), Some(b"after".to_vec()));
+        db.close().unwrap();
+    }
+
+    #[test]
+    fn pending_txn_pins_wal_across_rotation() {
+        // Force memtable rotations while a prepare is pending: the prepare's
+        // WAL file must survive obsolete-log deletion, so a reopen that
+        // commits the transaction can still find the payload.
+        let env = Arc::new(MemEnv::new());
+        let mut opts = Options::leveldb();
+        opts.memtable_bytes = 16 << 10;
+        {
+            let db = Db::open(Arc::clone(&env) as Arc<dyn Env>, "db", opts.clone()).unwrap();
+            db.txn_prepare(
+                ShardTxnMarker {
+                    txn_id: 11,
+                    shard_bitmap: 0b1,
+                },
+                txn_slice(&[(b"pinned", b"alive")]),
+            )
+            .unwrap();
+            for i in 0..200u32 {
+                db.put(format!("fill{i:04}").as_bytes(), &[0u8; 512])
+                    .unwrap();
+            }
+            db.flush().unwrap();
+            db.close().unwrap();
+        }
+        let db = Db::open_with_committed_txns(
+            Arc::clone(&env) as Arc<dyn Env>,
+            "db",
+            opts,
+            [11u64].into_iter().collect(),
+        )
+        .unwrap();
+        assert_eq!(db.get(b"pinned").unwrap(), Some(b"alive".to_vec()));
         db.close().unwrap();
     }
 }

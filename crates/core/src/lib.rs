@@ -43,6 +43,7 @@ pub mod metrics;
 pub mod options;
 pub mod stats;
 pub(crate) mod sync;
+pub mod txn;
 pub mod version;
 pub mod versions;
 
@@ -53,3 +54,4 @@ pub use db::{Db, DbIterator, LevelInfo, Snapshot};
 pub use metrics::{MetricsSnapshot, QueueWaitSummary};
 pub use options::{BoltOptions, CompactionStyle, Options, ReadOptions, WriteOptions};
 pub use stats::{DbStats, DbStatsSnapshot};
+pub use txn::{ShardTxnMarker, TxnWalRecord};

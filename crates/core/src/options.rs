@@ -77,8 +77,7 @@ impl WriteOptions {
 ///
 /// This is the one read-path knob surface: plain [`crate::Db::get`] /
 /// [`crate::Db::iter`] are thin wrappers over the default, and reading at a
-/// snapshot is `ReadOptions::new().with_snapshot(&snap)` instead of the
-/// legacy `get_at`/`iter_at` pair.
+/// snapshot is `ReadOptions::new().with_snapshot(&snap)`.
 ///
 /// `verify_checksums` and `fill_cache` are accepted as hints for
 /// forward-compatibility with LevelDB-family callers: the engine currently

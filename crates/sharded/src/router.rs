@@ -1,0 +1,217 @@
+//! Key → shard routing, persisted so a database reopens with the exact
+//! partitioning it was created with.
+//!
+//! Two strategies ship: [`Router::hash`] (FNV-1a over the user key,
+//! uniform and order-oblivious — the default) and [`Router::range`]
+//! (explicit split points, keeping each shard a contiguous keyspace so
+//! range scans touch few shards). The chosen router is written to the
+//! `SHARDS` file at creation and validated on every reopen: a key must
+//! route to the same shard for the lifetime of the database, or
+//! single-key reads would silently miss data written before a restart.
+
+use bolt_common::{Error, Result};
+
+/// Magic first line of the `SHARDS` file.
+const SHARDS_HEADER: &str = "bolt-shards v1";
+
+/// A deterministic, persistent key → shard map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Router {
+    /// FNV-1a hash of the user key modulo the shard count.
+    Hash {
+        /// Number of shards (≥ 1).
+        shards: usize,
+    },
+    /// Range partitioning: shard `i` owns keys in
+    /// `[split[i-1], split[i])`, with the first shard owning everything
+    /// below `split[0]` and the last everything at or above the final
+    /// split point. `splits` must be strictly ascending.
+    Range {
+        /// The `shards - 1` split points, strictly ascending.
+        splits: Vec<Vec<u8>>,
+    },
+}
+
+/// FNV-1a, 64-bit. Stable across platforms and releases by construction —
+/// this value is part of the on-disk contract.
+fn fnv1a(key: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in key {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl Router {
+    /// Hash routing over `shards` shards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidArgument`] if `shards` is 0 or above 64
+    /// (the 2PC shard bitmap is a `u64`).
+    pub fn hash(shards: usize) -> Result<Router> {
+        Router::Hash { shards }.validated()
+    }
+
+    /// Range routing with the given ascending split points
+    /// (`splits.len() + 1` shards).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidArgument`] if the splits are not strictly
+    /// ascending or imply more than 64 shards.
+    pub fn range(splits: Vec<Vec<u8>>) -> Result<Router> {
+        Router::Range { splits }.validated()
+    }
+
+    fn validated(self) -> Result<Router> {
+        let shards = self.shards();
+        if shards == 0 {
+            return Err(Error::InvalidArgument(
+                "a ShardedDb needs at least one shard".into(),
+            ));
+        }
+        if shards > 64 {
+            return Err(Error::InvalidArgument(format!(
+                "at most 64 shards are supported (the transaction shard \
+                 bitmap is a u64), got {shards}"
+            )));
+        }
+        if let Router::Range { splits } = &self {
+            if !splits.windows(2).all(|w| w[0] < w[1]) {
+                return Err(Error::InvalidArgument(
+                    "range split points must be strictly ascending".into(),
+                ));
+            }
+        }
+        Ok(self)
+    }
+
+    /// Number of shards this router spreads keys over.
+    pub fn shards(&self) -> usize {
+        match self {
+            Router::Hash { shards } => *shards,
+            Router::Range { splits } => splits.len() + 1,
+        }
+    }
+
+    /// The shard owning `key`. Total and deterministic: every key routes
+    /// to exactly one shard, stably across process restarts.
+    pub fn route(&self, key: &[u8]) -> usize {
+        match self {
+            Router::Hash { shards } => (fnv1a(key) % *shards as u64) as usize,
+            Router::Range { splits } => splits.partition_point(|s| s.as_slice() <= key),
+        }
+    }
+
+    /// Serialize for the `SHARDS` file.
+    pub fn encode(&self) -> String {
+        match self {
+            Router::Hash { shards } => format!("{SHARDS_HEADER}\nhash {shards}\n"),
+            Router::Range { splits } => {
+                let mut out = format!("{SHARDS_HEADER}\nrange {}\n", splits.len());
+                for s in splits {
+                    for b in s {
+                        out.push_str(&format!("{b:02x}"));
+                    }
+                    out.push('\n');
+                }
+                out
+            }
+        }
+    }
+
+    /// Parse a `SHARDS` file body.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corruption`] on any malformed content.
+    pub fn decode(text: &str) -> Result<Router> {
+        let bad = |what: &str| Error::Corruption(format!("SHARDS file: {what}"));
+        let mut lines = text.lines();
+        if lines.next() != Some(SHARDS_HEADER) {
+            return Err(bad("missing header"));
+        }
+        let spec = lines.next().ok_or_else(|| bad("missing router line"))?;
+        let router = match spec.split_once(' ') {
+            Some(("hash", n)) => Router::Hash {
+                shards: n.parse().map_err(|_| bad("bad shard count"))?,
+            },
+            Some(("range", n)) => {
+                let n: usize = n.parse().map_err(|_| bad("bad split count"))?;
+                let mut splits = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let hex = lines.next().ok_or_else(|| bad("missing split point"))?;
+                    if hex.len() % 2 != 0 {
+                        return Err(bad("odd-length split point"));
+                    }
+                    let bytes: Result<Vec<u8>> = (0..hex.len())
+                        .step_by(2)
+                        .map(|i| {
+                            u8::from_str_radix(&hex[i..i + 2], 16)
+                                .map_err(|_| bad("non-hex split point"))
+                        })
+                        .collect();
+                    splits.push(bytes?);
+                }
+                Router::Range { splits }
+            }
+            _ => return Err(bad("unknown router kind")),
+        };
+        router
+            .validated()
+            .map_err(|e| Error::Corruption(format!("SHARDS file: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_routing_is_total_and_stable() {
+        let r = Router::hash(4).unwrap();
+        assert_eq!(r.shards(), 4);
+        for i in 0..1000u32 {
+            let key = format!("user{i:08}");
+            let s = r.route(key.as_bytes());
+            assert!(s < 4);
+            assert_eq!(s, r.route(key.as_bytes()));
+        }
+        // The known FNV-1a constant pins the on-disk contract.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn range_routing_respects_split_points() {
+        let r = Router::range(vec![b"g".to_vec(), b"p".to_vec()]).unwrap();
+        assert_eq!(r.shards(), 3);
+        assert_eq!(r.route(b"apple"), 0);
+        assert_eq!(r.route(b"g"), 1); // split point belongs to the right shard
+        assert_eq!(r.route(b"melon"), 1);
+        assert_eq!(r.route(b"p"), 2);
+        assert_eq!(r.route(b"zebra"), 2);
+    }
+
+    #[test]
+    fn invalid_routers_are_rejected() {
+        assert!(Router::hash(0).is_err());
+        assert!(Router::hash(65).is_err());
+        assert!(Router::range(vec![b"b".to_vec(), b"a".to_vec()]).is_err());
+        assert!(Router::range(vec![b"a".to_vec(), b"a".to_vec()]).is_err());
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for r in [
+            Router::hash(1).unwrap(),
+            Router::hash(8).unwrap(),
+            Router::range(vec![b"key5".to_vec(), vec![0xFF, 0x00]]).unwrap(),
+        ] {
+            assert_eq!(Router::decode(&r.encode()).unwrap(), r);
+        }
+        assert!(Router::decode("garbage").is_err());
+        assert!(Router::decode("bolt-shards v1\nhash 0\n").is_err());
+    }
+}

@@ -1,0 +1,38 @@
+//! Sharding-layer lock primitives, switchable to the `debug_locks`
+//! runtime witness — the same arrangement as `bolt-core`'s internal
+//! `sync` module. Names must match `lint/lock_order.toml`.
+
+#[cfg(feature = "debug_locks")]
+pub use bolt_common::debug_locks::{TrackedMutex as Mutex, TrackedRwLock as RwLock};
+#[cfg(not(feature = "debug_locks"))]
+pub use parking_lot::{Mutex, RwLock};
+
+/// A mutex named in the lock-order graph when `debug_locks` is enabled; a
+/// plain mutex otherwise.
+#[cfg(feature = "debug_locks")]
+pub fn named_mutex<T>(name: &'static str, value: T) -> Mutex<T> {
+    Mutex::named(name, value)
+}
+
+/// A mutex named in the lock-order graph when `debug_locks` is enabled; a
+/// plain mutex otherwise.
+#[cfg(not(feature = "debug_locks"))]
+pub fn named_mutex<T>(name: &'static str, value: T) -> Mutex<T> {
+    let _ = name;
+    Mutex::new(value)
+}
+
+/// An RwLock named in the lock-order graph when `debug_locks` is enabled;
+/// a plain RwLock otherwise.
+#[cfg(feature = "debug_locks")]
+pub fn named_rwlock<T>(name: &'static str, value: T) -> RwLock<T> {
+    RwLock::named(name, value)
+}
+
+/// An RwLock named in the lock-order graph when `debug_locks` is enabled;
+/// a plain RwLock otherwise.
+#[cfg(not(feature = "debug_locks"))]
+pub fn named_rwlock<T>(name: &'static str, value: T) -> RwLock<T> {
+    let _ = name;
+    RwLock::new(value)
+}

@@ -1,0 +1,132 @@
+//! The coordinator's decide log (`TXNLOG`).
+//!
+//! One append-only log in the `ShardedDb` root directory holds a
+//! [`TxnWalRecord::Decide`] record for every cross-shard transaction that
+//! reached its commit point. The synced append of that record *is* the
+//! commit point: before it, a crash aborts the transaction on every shard
+//! (prepares with no decision are dropped); after it, recovery commits the
+//! staged slices on every shard. The log is read once at open and re-cut
+//! to empty after all shards have recovered — every decided transaction is
+//! then durable inside the shards themselves, so old decisions carry no
+//! information (a shard that already flushed a slice simply finds no
+//! matching prepare and skips it).
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use bolt_common::events::{BarrierCause, BarrierScope};
+use bolt_common::{Error, Result};
+use bolt_core::txn::{self, TxnWalRecord};
+use bolt_core::ShardTxnMarker;
+use bolt_env::Env;
+use bolt_wal::{LogReader, LogWriter};
+
+/// Append handle over the coordinator log.
+pub struct TxnLog {
+    writer: LogWriter,
+}
+
+impl std::fmt::Debug for TxnLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TxnLog").finish()
+    }
+}
+
+impl TxnLog {
+    /// Read the committed transaction ids (and the highest id seen) from
+    /// `path`. A missing file is an empty log; a torn tail is a clean end
+    /// (the transaction whose decide tore never committed).
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors and [`Error::Corruption`] for records that are
+    /// not decide records.
+    pub fn read(env: &Arc<dyn Env>, path: &str) -> Result<(HashSet<u64>, u64)> {
+        let mut committed = HashSet::new();
+        let mut max_id = 0u64;
+        if !env.file_exists(path) {
+            return Ok((committed, max_id));
+        }
+        let mut reader = LogReader::new(env.new_random_access_file(path)?);
+        while let Some(record) = reader.read_record()? {
+            match txn::decode(&record) {
+                Some(Ok(TxnWalRecord::Decide { marker })) => {
+                    max_id = max_id.max(marker.txn_id);
+                    committed.insert(marker.txn_id);
+                }
+                Some(Err(e)) => return Err(e),
+                _ => {
+                    return Err(Error::Corruption(
+                        "non-decide record in the coordinator log".into(),
+                    ))
+                }
+            }
+        }
+        Ok((committed, max_id))
+    }
+
+    /// Re-cut `path` to an empty log (temp file + atomic rename) and open
+    /// it for appending. Call only after every shard has recovered: the
+    /// old decisions are then redundant with the shards' own state.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors from the environment.
+    pub fn create(env: &Arc<dyn Env>, path: &str) -> Result<TxnLog> {
+        let tmp = format!("{path}.tmp");
+        let mut file = env.new_writable_file(&tmp)?;
+        file.sync()?;
+        drop(file);
+        env.rename_file(&tmp, path)?;
+        let file = env.new_appendable_file(path)?;
+        Ok(TxnLog {
+            writer: LogWriter::new(file),
+        })
+    }
+
+    /// Append and sync the decide record for `marker` — the transaction's
+    /// commit point.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors. On error the decision is *ambiguous* (the
+    /// record may or may not have reached storage); the caller must
+    /// surface the error and leave resolution to recovery, which reads
+    /// whatever the log actually holds.
+    pub fn decide(&mut self, marker: &ShardTxnMarker) -> Result<()> {
+        let record = txn::encode_decide(marker);
+        self.writer.add_record(&record)?;
+        let _scope = BarrierScope::new(BarrierCause::WalCommit);
+        self.writer.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolt_env::MemEnv;
+
+    #[test]
+    fn decide_read_recut_roundtrip() {
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+        // Missing file reads as empty.
+        assert_eq!(TxnLog::read(&env, "TXNLOG").unwrap(), (HashSet::new(), 0));
+
+        let mut log = TxnLog::create(&env, "TXNLOG").unwrap();
+        for id in [3u64, 9, 5] {
+            log.decide(&ShardTxnMarker {
+                txn_id: id,
+                shard_bitmap: 0b11,
+            })
+            .unwrap();
+        }
+        drop(log);
+        let (committed, max_id) = TxnLog::read(&env, "TXNLOG").unwrap();
+        assert_eq!(committed, [3u64, 9, 5].into_iter().collect());
+        assert_eq!(max_id, 9);
+
+        // Re-cut empties the log.
+        let _log = TxnLog::create(&env, "TXNLOG").unwrap();
+        assert_eq!(TxnLog::read(&env, "TXNLOG").unwrap(), (HashSet::new(), 0));
+    }
+}

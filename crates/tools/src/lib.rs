@@ -18,13 +18,19 @@
 //! | [`compact`] | flush + compact until quiet |
 //! | [`verify`] | full integrity walk: checksums, run ordering, level invariants |
 //! | [`run_crash_sweep`] | deterministic crash-point + EIO sweep over a [`bolt_env::FaultEnv`] |
+//! | [`run_sharded_crash_sweep`] | the same, crashing inside cross-shard 2PC commit windows |
+//! | [`stat_per_shard`] | [`stat`] for a [`bolt_sharded::ShardedDb`]: aggregate + per-shard series |
 
 #![warn(missing_docs)]
 
 pub mod json;
 mod sweep;
+mod sweep2pc;
 
 pub use sweep::{render_report, run_crash_sweep, SweepConfig, SweepCoverage, SweepOutcome};
+pub use sweep2pc::{
+    render_sharded_report, run_sharded_crash_sweep, Sharded2pcConfig, Sharded2pcOutcome,
+};
 
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -181,6 +187,55 @@ pub fn stat(env: &Arc<dyn Env>, db: &str, opts: Options, format: StatFormat) -> 
 /// Returns open/recovery errors.
 pub fn stats(env: &Arc<dyn Env>, db: &str, opts: Options) -> Result<String> {
     stat(env, db, opts, StatFormat::Text)
+}
+
+/// `stat --per-shard`: open a sharded database (its `SHARDS` file pins the
+/// router, so none needs to be supplied) and render the aggregate followed
+/// by every shard's own snapshot. JSON and Prometheus output carry the
+/// per-shard series under a `shard="i"` label.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidArgument`] when `db` holds no `SHARDS` file,
+/// plus open/recovery errors.
+pub fn stat_per_shard(
+    env: &Arc<dyn Env>,
+    db: &str,
+    opts: Options,
+    format: StatFormat,
+) -> Result<String> {
+    let shards_path = bolt_env::join_path(db, "SHARDS");
+    if !env.file_exists(&shards_path) {
+        return Err(Error::InvalidArgument(format!(
+            "{db}: not a sharded database (no SHARDS file); use plain `stat`"
+        )));
+    }
+    let file = env.new_random_access_file(&shards_path)?;
+    let raw = file.read(0, file.len() as usize)?;
+    let text =
+        String::from_utf8(raw).map_err(|_| Error::Corruption("SHARDS file: not UTF-8".into()))?;
+    let router = bolt_sharded::Router::decode(&text)?;
+    let db = bolt_sharded::ShardedDb::open(Arc::clone(env), db, opts, router)?;
+    let metrics = db.metrics();
+    db.close()?;
+    Ok(match format {
+        StatFormat::Text => {
+            let mut out = String::new();
+            writeln!(out, "aggregate over {} shards:", metrics.per_shard.len()).expect("write");
+            out.push_str(&render_metrics_text(&metrics.aggregate));
+            for (i, shard) in metrics.per_shard.iter().enumerate() {
+                writeln!(out, "\nshard {i}:").expect("write");
+                out.push_str(&render_metrics_text(shard));
+            }
+            out
+        }
+        StatFormat::Json => {
+            let mut s = metrics.to_json();
+            s.push('\n');
+            s
+        }
+        StatFormat::Prometheus => metrics.to_prometheus_text(),
+    })
 }
 
 /// Run the canonical trace micro workload on an in-memory filesystem and

@@ -6,7 +6,9 @@
 //!
 //! commands:
 //!   stat <db> [--json|--prometheus] one merged metrics snapshot (text,
-//!                                   JSON, or Prometheus exposition)
+//!        [--per-shard]              JSON, or Prometheus exposition); with
+//!                                   --per-shard, open a ShardedDb and show
+//!                                   the aggregate plus every shard
 //!   stats <db>                      level shape + engine + IO counters
 //!                                   (text alias of `stat`)
 //!   trace [--json] [--validate F]   run the canonical micro workload
@@ -23,7 +25,8 @@
 //!   compact <db>                    flush + compact until quiet
 //!   verify <db>                     full integrity walk
 //!   crash-sweep [points] [seed]     crash-point + EIO sweep (in-memory,
-//!                                   needs no db-dir)
+//!               [--sharded]         needs no db-dir); with --sharded,
+//!                                   sweep cross-shard 2PC commit windows
 //!   lint [path] [--config FILE]     barrier-ordering/lock-discipline
 //!                                   static analysis (alias of bolt-lint)
 //!
@@ -38,18 +41,52 @@ use bolt_env::{Env, RealEnv};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: bolt-tool <stat|stats|dump-manifest|dump-tables|scan|get|put|delete|load|compact|verify> <db-dir> [args...] [--profile <name>]\n       bolt-tool stat <db-dir> [--json|--prometheus]\n       bolt-tool trace [--json] [--validate SCHEMA]\n       bolt-tool crash-sweep [max-points] [seed]\n       bolt-tool lint [path] [--config FILE]"
+        "usage: bolt-tool <stat|stats|dump-manifest|dump-tables|scan|get|put|delete|load|compact|verify> <db-dir> [args...] [--profile <name>]\n       bolt-tool stat <db-dir> [--json|--prometheus] [--per-shard]\n       bolt-tool trace [--json] [--validate SCHEMA]\n       bolt-tool crash-sweep [max-points] [seed] [--sharded]\n       bolt-tool lint [path] [--config FILE]"
     );
     ExitCode::from(2)
 }
 
 /// Run the crash-point sweep on an in-memory filesystem (no db-dir needed).
+/// With `--sharded`, sweep the cross-shard 2PC windows of a [`bolt_sharded::ShardedDb`]
+/// instead of the single-engine workload.
 fn crash_sweep(args: &[String]) -> ExitCode {
+    let mut positional: Vec<&String> = Vec::new();
+    let mut sharded = false;
+    for arg in &args[1..] {
+        if arg == "--sharded" {
+            sharded = true;
+        } else {
+            positional.push(arg);
+        }
+    }
+    if sharded {
+        let mut cfg = bolt_tools::Sharded2pcConfig::default();
+        if let Some(points) = positional.first().and_then(|s| s.parse().ok()) {
+            cfg.max_crash_points = points;
+        }
+        if let Some(seed) = positional.get(1).and_then(|s| s.parse().ok()) {
+            cfg.seed = seed;
+        }
+        return match bolt_tools::run_sharded_crash_sweep(&cfg) {
+            Ok(outcome) => {
+                print!("{}", bolt_tools::render_sharded_report(&outcome));
+                if outcome.violations.is_empty() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let mut cfg = bolt_tools::SweepConfig::default();
-    if let Some(points) = args.get(1).and_then(|s| s.parse().ok()) {
+    if let Some(points) = positional.first().and_then(|s| s.parse().ok()) {
         cfg.max_crash_points = points;
     }
-    if let Some(seed) = args.get(2).and_then(|s| s.parse().ok()) {
+    if let Some(seed) = positional.get(1).and_then(|s| s.parse().ok()) {
         cfg.seed = seed;
     }
     match bolt_tools::run_crash_sweep(&cfg) {
@@ -176,13 +213,21 @@ fn main() -> ExitCode {
 
     let result = match command.as_str() {
         "stat" => {
-            let format = match args.get(2).map(String::as_str) {
-                Some("--json") => bolt_tools::StatFormat::Json,
-                Some("--prometheus") => bolt_tools::StatFormat::Prometheus,
-                None => bolt_tools::StatFormat::Text,
-                Some(_) => return usage(),
-            };
-            bolt_tools::stat(&env, &db, opts, format).map(Some)
+            let mut format = bolt_tools::StatFormat::Text;
+            let mut per_shard = false;
+            for arg in &args[2..] {
+                match arg.as_str() {
+                    "--json" => format = bolt_tools::StatFormat::Json,
+                    "--prometheus" => format = bolt_tools::StatFormat::Prometheus,
+                    "--per-shard" => per_shard = true,
+                    _ => return usage(),
+                }
+            }
+            if per_shard {
+                bolt_tools::stat_per_shard(&env, &db, opts, format).map(Some)
+            } else {
+                bolt_tools::stat(&env, &db, opts, format).map(Some)
+            }
         }
         "stats" => bolt_tools::stats(&env, &db, opts).map(Some),
         "dump-manifest" => bolt_tools::dump_manifest(&env, &db).map(Some),

@@ -362,7 +362,7 @@ fn run_workload(env: &FaultEnv, opts: &Options, marks: bool) -> WorkloadOutcome 
 /// sync, barrier, rename, delete, punch) plus its successor, plus evenly
 /// sampled appends (exercised as *torn* appends). Returns
 /// `(op_index, torn_keep)` pairs, evenly thinned to `max`.
-fn select_crash_points(trace: &[OpRecord], max: usize) -> Vec<(u64, u64)> {
+pub(crate) fn select_crash_points(trace: &[OpRecord], max: usize) -> Vec<(u64, u64)> {
     let total = trace.len() as u64;
     let mut points: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
     for record in trace {

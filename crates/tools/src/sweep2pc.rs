@@ -1,0 +1,493 @@
+//! Cross-shard two-phase-commit crash-point sweep.
+//!
+//! The single-engine sweep ([`crate::run_crash_sweep`]) proves I1–I4 for
+//! one `Db`. This sweep proves the *cross-shard* half of the story: a
+//! [`ShardedDb`] batch spanning shards must recover **all-or-nothing** no
+//! matter where a crash lands inside the 2PC window — after the first
+//! shard's synced prepare, between prepares, around the coordinator's
+//! `TXNLOG` decide record (the commit point), or mid-apply.
+//!
+//! The workload issues rounds of cross-shard `write_batch` calls, each
+//! rewriting one *group* of keys that provably spans at least two shards
+//! (the key set is derived from the router so every batch takes the 2PC
+//! path). The record run brackets every 2PC window with [`FaultEnv`]
+//! markers; the sweep then force-includes **every op inside every window**
+//! as a crash point (appends as torn appends) on top of the usual sampled
+//! points. After each crash the sharded database is reopened and checked:
+//!
+//! * **A1 — atomicity**: all keys of a group carry the same round value
+//!   (a half-applied cross-shard batch is the one outcome 2PC exists to
+//!   prevent).
+//! * **A2 — acked durability**: an acknowledged cross-shard batch (synced
+//!   prepares + synced decide) survives recovery.
+//! * **A3 — shard integrity**: every shard passes the full [`verify_db`]
+//!   walk.
+//! * **A4 — idempotent re-recovery**: a second reopen yields the identical
+//!   merged key space.
+
+use std::sync::Arc;
+
+use bolt_common::Result;
+use bolt_core::{Options, WriteBatch};
+use bolt_env::{CrashConfig, Env, FaultEnv, FaultPlan, OpKind};
+use bolt_sharded::{Router, ShardedDb};
+
+use crate::sweep::select_crash_points;
+use crate::verify_db;
+
+/// Key groups rewritten as one cross-shard batch each round.
+const GROUPS: usize = 4;
+/// Keys per group (spread across at least two shards by construction).
+const KEYS_PER_GROUP: usize = 5;
+/// Rounds; every group is rewritten each round.
+const ROUNDS: u32 = 3;
+/// Single-key filler writes per round, advancing WALs and memtables so
+/// the prepare-pinning logic sees log rotation underneath staged slices.
+const FILLER_PER_ROUND: u32 = 40;
+
+/// Sweep tuning knobs.
+#[derive(Debug, Clone)]
+pub struct Sharded2pcConfig {
+    /// Base seed for torn-tail crash randomness.
+    pub seed: u64,
+    /// Shard count for the swept database.
+    pub shards: usize,
+    /// Upper bound on *sampled* crash points outside the 2PC windows.
+    pub max_crash_points: usize,
+    /// Upper bound on force-included points inside the 2PC windows (the
+    /// windows are small; the default covers them exhaustively).
+    pub max_window_points: usize,
+}
+
+impl Default for Sharded2pcConfig {
+    fn default() -> Self {
+        Sharded2pcConfig {
+            seed: 0x2B0C,
+            shards: 3,
+            max_crash_points: 36,
+            max_window_points: 144,
+        }
+    }
+}
+
+/// Everything a sharded sweep learned.
+#[derive(Debug, Clone)]
+pub struct Sharded2pcOutcome {
+    /// Ops counted in the record run.
+    pub ops_recorded: u64,
+    /// Sync/ordering barriers counted in the record run.
+    pub syncs_recorded: u64,
+    /// `[arm, done)` op-index windows of every recorded 2PC commit.
+    pub txn_windows: Vec<(u64, u64)>,
+    /// Crash points actually exercised (op indices).
+    pub crash_points: Vec<u64>,
+    /// How many exercised points fell inside a 2PC window.
+    pub window_points: usize,
+    /// Cross-shard transactions issued by the record run.
+    pub cross_shard_txns: u64,
+    /// Human-readable invariant violations (empty on a clean sweep).
+    pub violations: Vec<String>,
+}
+
+/// What the workload was told about one group's batches.
+#[derive(Debug, Clone, Copy, Default)]
+struct GroupState {
+    /// Highest round whose `write_batch` was issued (acked or not).
+    attempted: Option<u32>,
+    /// Highest round acknowledged. Acked cross-shard batches are durable:
+    /// every prepare and the decide record were synced before the ack.
+    acked: Option<u32>,
+}
+
+struct WorkloadOutcome {
+    groups: Vec<GroupState>,
+    errors: usize,
+}
+
+/// The keys of group `g`, chosen so they provably span at least two
+/// shards under `router` — every batch must take the 2PC path, never the
+/// single-shard fast path.
+fn group_keys(router: &Router, g: usize) -> Vec<String> {
+    let mut keys: Vec<String> = (0..KEYS_PER_GROUP)
+        .map(|t| format!("g{g:02}x{t:03}"))
+        .collect();
+    let first = router.route(keys[0].as_bytes());
+    if keys.iter().all(|k| router.route(k.as_bytes()) == first) {
+        for t in KEYS_PER_GROUP..1000 {
+            let candidate = format!("g{g:02}x{t:03}");
+            if router.route(candidate.as_bytes()) != first {
+                let last = keys.len() - 1;
+                keys[last] = candidate;
+                break;
+            }
+        }
+    }
+    keys
+}
+
+fn group_value(round: u32, g: usize) -> String {
+    // Round is recoverable from the value; padding pushes enough bytes
+    // through the memtables that flushes actually happen.
+    format!("r{round:04}-g{g:02}-{}", "v".repeat(64))
+}
+
+fn value_round(value: &[u8]) -> Option<u32> {
+    let s = std::str::from_utf8(value).ok()?;
+    s.strip_prefix('r')?.get(..4)?.parse().ok()
+}
+
+/// Run the fixed sharded workload over `env`. I/O failures are tolerated
+/// and counted; once the env reports a crash the workload stops early.
+fn run_workload(env: &FaultEnv, opts: &Options, router: &Router, marks: bool) -> WorkloadOutcome {
+    let mut out = WorkloadOutcome {
+        groups: vec![GroupState::default(); GROUPS],
+        errors: 0,
+    };
+    let arc_env: Arc<dyn Env> = Arc::new(env.clone());
+    let db = match ShardedDb::open(arc_env, "db", opts.clone(), router.clone()) {
+        Ok(db) => db,
+        Err(_) => {
+            out.errors += 1;
+            return out;
+        }
+    };
+    'work: {
+        for round in 0..ROUNDS {
+            for g in 0..GROUPS {
+                let mut batch = WriteBatch::new();
+                let value = group_value(round, g);
+                for key in group_keys(router, g) {
+                    batch.put(key.as_bytes(), value.as_bytes());
+                }
+                if marks {
+                    env.mark(&format!("txn-r{round}g{g}-arm"));
+                }
+                out.groups[g].attempted = Some(round);
+                match db.write_batch(batch) {
+                    Ok(()) => {
+                        out.groups[g].acked = Some(round);
+                        if marks {
+                            env.mark(&format!("txn-r{round}g{g}-done"));
+                        }
+                    }
+                    Err(_) => {
+                        out.errors += 1;
+                        if env.crashed() {
+                            break 'work;
+                        }
+                    }
+                }
+            }
+            for i in 0..FILLER_PER_ROUND {
+                let key = format!("f{:02}key{i:04}", round);
+                if db.put(key.as_bytes(), &[b'z'; 100]).is_err() {
+                    out.errors += 1;
+                    if env.crashed() {
+                        break 'work;
+                    }
+                }
+            }
+            if db.flush().is_err() {
+                out.errors += 1;
+                if env.crashed() {
+                    break 'work;
+                }
+            }
+        }
+    }
+    if db.close().is_err() {
+        out.errors += 1;
+    }
+    out
+}
+
+/// Every `[arm, done)` 2PC window from the recorded phase markers.
+fn txn_windows(phases: &[(u64, String)]) -> Vec<(u64, u64)> {
+    let mut windows = Vec::new();
+    for (at, label) in phases {
+        if let Some(stem) = label.strip_suffix("-arm") {
+            let done = format!("{stem}-done");
+            if let Some((end, _)) = phases.iter().find(|(_, l)| *l == done) {
+                windows.push((*at, *end));
+            }
+        }
+    }
+    windows
+}
+
+/// Reopen the sharded database after a crash and check A1–A4 against the
+/// replay's `groups` model, appending any violation to `violations`.
+fn check_invariants(
+    env: &FaultEnv,
+    opts: &Options,
+    router: &Router,
+    groups: &[GroupState],
+    label: &str,
+    violations: &mut Vec<String>,
+) {
+    let arc_env: Arc<dyn Env> = Arc::new(env.clone());
+    let db = match ShardedDb::open(Arc::clone(&arc_env), "db", opts.clone(), router.clone()) {
+        Ok(db) => db,
+        Err(e) => {
+            violations.push(format!("{label}: recovery failed to open: {e}"));
+            return;
+        }
+    };
+
+    // A3: every shard passes the integrity walk.
+    for i in 0..db.shard_count() {
+        if let Err(e) = verify_db(db.shard(i)) {
+            violations.push(format!("{label}: A3 shard {i} integrity walk failed: {e}"));
+        }
+    }
+
+    // A1 + A2 per group.
+    'groups: for (g, state) in groups.iter().enumerate() {
+        let mut rounds: Vec<Option<u32>> = Vec::with_capacity(KEYS_PER_GROUP);
+        for key in group_keys(router, g) {
+            match db.get(key.as_bytes()) {
+                Ok(v) => rounds.push(v.as_deref().and_then(value_round)),
+                Err(e) => {
+                    violations.push(format!("{label}: group {g} read failed: {e}"));
+                    continue 'groups;
+                }
+            }
+        }
+        if rounds.windows(2).any(|w| w[0] != w[1]) {
+            violations.push(format!(
+                "{label}: A1 half-applied cross-shard batch in group {g}: {rounds:?}"
+            ));
+            continue;
+        }
+        let recovered = rounds[0];
+        match (state.acked, recovered) {
+            (Some(acked), None) => violations.push(format!(
+                "{label}: A2 group {g} lost: acked through round {acked}, found nothing"
+            )),
+            (Some(acked), Some(r)) if r < acked => violations.push(format!(
+                "{label}: A2 group {g} rolled back: acked through round {acked}, found {r}"
+            )),
+            _ => {}
+        }
+        if let Some(r) = recovered {
+            // Recovery may surface an unacked batch (the decide record may
+            // have hit the log) but never one that was not even attempted.
+            if state.attempted.is_none() || r > state.attempted.unwrap_or(0) {
+                violations.push(format!(
+                    "{label}: group {g} contains round {r} beyond attempts ({:?})",
+                    state.attempted
+                ));
+            }
+        }
+    }
+
+    // A4: a second recovery must see the identical merged key space.
+    let scan1 = match full_scan(&db) {
+        Ok(scan) => scan,
+        Err(e) => {
+            violations.push(format!("{label}: scan after recovery failed: {e}"));
+            let _ = db.close();
+            return;
+        }
+    };
+    if let Err(e) = db.close() {
+        violations.push(format!("{label}: close after recovery failed: {e}"));
+        return;
+    }
+    match ShardedDb::open(arc_env, "db", opts.clone(), router.clone()) {
+        Ok(db2) => {
+            match full_scan(&db2) {
+                Ok(scan2) if scan2 == scan1 => {}
+                Ok(scan2) => violations.push(format!(
+                    "{label}: A4 re-recovery diverged: {} vs {} entries",
+                    scan1.len(),
+                    scan2.len()
+                )),
+                Err(e) => violations.push(format!("{label}: A4 re-scan failed: {e}")),
+            }
+            let _ = db2.close();
+        }
+        Err(e) => violations.push(format!("{label}: A4 re-open failed: {e}")),
+    }
+}
+
+/// [`check_invariants`], with a panic anywhere in recovery recorded as a
+/// violation instead of killing the sweep.
+fn checked_invariants(
+    env: &FaultEnv,
+    opts: &Options,
+    router: &Router,
+    groups: &[GroupState],
+    label: &str,
+    violations: &mut Vec<String>,
+) {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut local = Vec::new();
+        check_invariants(env, opts, router, groups, label, &mut local);
+        local
+    }));
+    match result {
+        Ok(local) => violations.extend(local),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("opaque panic");
+            violations.push(format!("{label}: recovery panicked: {msg}"));
+        }
+    }
+}
+
+fn full_scan(db: &ShardedDb) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+    let mut iter = db.iter()?;
+    iter.seek_to_first()?;
+    let mut out = Vec::new();
+    while iter.valid() {
+        out.push((iter.key().to_vec(), iter.value().to_vec()));
+        iter.next()?;
+    }
+    Ok(out)
+}
+
+/// Record the sharded workload once, then crash at every op inside every
+/// 2PC window (force-included, appends torn) plus sampled points across
+/// the rest of the trace. Deterministic for a given [`Sharded2pcConfig`].
+///
+/// # Errors
+///
+/// Returns an error only if the harness itself cannot run; invariant
+/// violations are reported in [`Sharded2pcOutcome::violations`].
+pub fn run_sharded_crash_sweep(cfg: &Sharded2pcConfig) -> Result<Sharded2pcOutcome> {
+    let opts = Options::bolt().scaled(1.0 / 256.0);
+    let router = Router::hash(cfg.shards)?;
+
+    // Phase 1: record.
+    let env = FaultEnv::over_mem();
+    env.start_recording();
+    let record = run_workload(&env, &opts, &router, true);
+    let trace = env.stop_recording();
+    if record.errors > 0 {
+        return Err(bolt_common::Error::io(format!(
+            "record run saw {} unexpected errors",
+            record.errors
+        )));
+    }
+    let ops_recorded = env.op_count();
+    let syncs_recorded = env.sync_count();
+    let windows = txn_windows(&env.markers());
+    if windows.is_empty() {
+        return Err(bolt_common::Error::io(
+            "record run produced no 2PC windows".to_string(),
+        ));
+    }
+
+    // Phase 2: pick points — sampled baseline, then every op inside every
+    // 2PC window force-included (up to `max_window_points`, thinned evenly
+    // if the windows are larger).
+    let mut merged: std::collections::BTreeMap<u64, u64> =
+        select_crash_points(&trace, cfg.max_crash_points)
+            .into_iter()
+            .collect();
+    let in_window = |i: u64| windows.iter().any(|&(arm, done)| i >= arm && i < done);
+    let window_ops: Vec<(u64, u64)> = trace
+        .iter()
+        .filter(|r| in_window(r.index))
+        .map(|r| {
+            let keep = if r.kind == OpKind::Append && r.bytes >= 2 {
+                r.bytes / 2
+            } else {
+                0
+            };
+            (r.index, keep)
+        })
+        .collect();
+    let forced: Vec<(u64, u64)> = if window_ops.len() > cfg.max_window_points {
+        let len = window_ops.len();
+        (0..cfg.max_window_points)
+            .map(|i| window_ops[i * len / cfg.max_window_points])
+            .collect()
+    } else {
+        window_ops
+    };
+    for &(k, keep) in &forced {
+        merged.insert(k, keep);
+    }
+
+    // Phase 3: sweep.
+    let mut violations = Vec::new();
+    let mut crash_points = Vec::new();
+    let mut window_points = 0;
+    for (&k, &keep) in &merged {
+        let env = FaultEnv::over_mem();
+        let plan = if keep > 0 {
+            FaultPlan::new().torn_crash_at_op(k, keep)
+        } else {
+            FaultPlan::new().crash_at_op(k)
+        };
+        env.set_plan(plan);
+        let replay = run_workload(&env, &opts, &router, false);
+        let label = format!(
+            "2pc-crash@op{k}{}{}",
+            if keep > 0 { " (torn)" } else { "" },
+            if in_window(k) { " [window]" } else { "" }
+        );
+        env.crash_inner(CrashConfig::TornTail {
+            seed: cfg.seed ^ k.wrapping_mul(0x9E37_79B9),
+        });
+        env.reset();
+        checked_invariants(
+            &env,
+            &opts,
+            &router,
+            &replay.groups,
+            &label,
+            &mut violations,
+        );
+        crash_points.push(k);
+        if in_window(k) {
+            window_points += 1;
+        }
+    }
+
+    Ok(Sharded2pcOutcome {
+        ops_recorded,
+        syncs_recorded,
+        txn_windows: windows,
+        crash_points,
+        window_points,
+        cross_shard_txns: (GROUPS as u64) * u64::from(ROUNDS),
+        violations,
+    })
+}
+
+/// Render a sharded sweep outcome for the CLI.
+pub fn render_sharded_report(outcome: &Sharded2pcOutcome) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "recorded {} ops ({} syncs/barriers), {} cross-shard 2PC commits",
+        outcome.ops_recorded, outcome.syncs_recorded, outcome.cross_shard_txns
+    )
+    .expect("write");
+    for (arm, done) in &outcome.txn_windows {
+        writeln!(out, "  2PC window: ops [{arm}, {done})").expect("write");
+    }
+    writeln!(
+        out,
+        "swept {} crash points ({} inside 2PC windows)",
+        outcome.crash_points.len(),
+        outcome.window_points
+    )
+    .expect("write");
+    if outcome.violations.is_empty() {
+        writeln!(out, "ok: every cross-shard batch recovered all-or-nothing").expect("write");
+    } else {
+        writeln!(out, "{} VIOLATION(S):", outcome.violations.len()).expect("write");
+        for v in &outcome.violations {
+            writeln!(out, "  {v}").expect("write");
+        }
+    }
+    out
+}

@@ -31,5 +31,5 @@ pub mod generator;
 pub mod runner;
 pub mod workload;
 
-pub use runner::{load_db, run_workload, BenchConfig, RunResult};
+pub use runner::{load_db, run_workload, BenchConfig, KvTarget, RunResult};
 pub use workload::{key_name, value_payload, OpKind, RequestDistribution, Workload};

@@ -17,6 +17,56 @@ use bolt_core::Db;
 
 use crate::workload::{key_name, value_payload, OpKind, Workload};
 
+/// The key-value surface the client drives. [`Db`] implements it
+/// directly; layered engines (e.g. `bolt-sharded`'s `ShardedDb`)
+/// implement it so the same workloads compare single-engine and sharded
+/// configurations in one run.
+pub trait KvTarget: Send + Sync {
+    /// Insert or overwrite `key`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates database errors.
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<()>;
+
+    /// Point lookup.
+    ///
+    /// # Errors
+    ///
+    /// Propagates database errors.
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>>;
+
+    /// Read up to `limit` entries in key order starting at `start`,
+    /// returning how many were read.
+    ///
+    /// # Errors
+    ///
+    /// Propagates database errors.
+    fn scan(&self, start: &[u8], limit: usize) -> Result<usize>;
+}
+
+impl KvTarget for Db {
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        Db::put(self, key, value)
+    }
+
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        Db::get(self, key)
+    }
+
+    fn scan(&self, start: &[u8], limit: usize) -> Result<usize> {
+        let mut iter = self.iter()?;
+        iter.seek(start)?;
+        let mut taken = 0;
+        while iter.valid() && taken < limit {
+            let _ = iter.value();
+            taken += 1;
+            iter.next()?;
+        }
+        Ok(taken)
+    }
+}
+
 /// Sizing and concurrency parameters of one benchmark phase.
 #[derive(Debug, Clone)]
 pub struct BenchConfig {
@@ -104,7 +154,7 @@ fn new_histograms() -> HashMap<OpKind, Arc<Histogram>> {
 /// # Errors
 ///
 /// Propagates database errors.
-pub fn load_db(db: &Arc<Db>, cfg: &BenchConfig) -> Result<RunResult> {
+pub fn load_db<T: KvTarget>(db: &Arc<T>, cfg: &BenchConfig) -> Result<RunResult> {
     let overall = Arc::new(Histogram::new());
     let per_op = new_histograms();
     let insert_hist = Arc::clone(&per_op[&OpKind::Insert]);
@@ -155,8 +205,8 @@ pub fn load_db(db: &Arc<Db>, cfg: &BenchConfig) -> Result<RunResult> {
 /// # Errors
 ///
 /// Propagates database errors.
-pub fn run_workload(
-    db: &Arc<Db>,
+pub fn run_workload<T: KvTarget>(
+    db: &Arc<T>,
     workload: &Workload,
     cfg: &BenchConfig,
     insert_cursor: &Arc<AtomicU64>,
@@ -205,14 +255,7 @@ pub fn run_workload(
                         OpKind::Scan => {
                             let num = chooser.next(&mut rng, items);
                             let len = 1 + rng.next_below(workload.max_scan_len.max(1));
-                            let mut iter = db.iter()?;
-                            iter.seek(&key_name(num))?;
-                            let mut taken = 0;
-                            while iter.valid() && taken < len {
-                                let _ = iter.value();
-                                taken += 1;
-                                iter.next()?;
-                            }
+                            db.scan(&key_name(num), len as usize)?;
                         }
                         OpKind::ReadModifyWrite => {
                             let num = chooser.next(&mut rng, items);

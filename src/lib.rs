@@ -56,6 +56,7 @@ pub use bolt_env::{
     CrashConfig, CrashEnv, DeviceModel, Env, FaultEnv, FaultPlan, IoSnapshot, IoStats, MemEnv,
     OpKind, OpRecord, RealEnv, SimEnv,
 };
+pub use bolt_sharded::{Router, ShardedDb, ShardedIterator, ShardedMetrics, ShardedSnapshot};
 
 /// Re-export of the shared-utilities crate.
 pub use bolt_common;
@@ -63,6 +64,8 @@ pub use bolt_common;
 pub use bolt_core;
 /// Re-export of the storage substrate crate.
 pub use bolt_env;
+/// Re-export of the sharding layer crate.
+pub use bolt_sharded;
 /// Re-export of the SSTable-format crate.
 pub use bolt_table;
 /// Re-export of the WAL crate.

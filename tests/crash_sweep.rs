@@ -12,7 +12,7 @@
 //! happened to complete) can wobble by a few, which is why the assertions
 //! below are lower bounds rather than exact values.
 
-use bolt_tools::{run_crash_sweep, SweepConfig};
+use bolt_tools::{run_crash_sweep, run_sharded_crash_sweep, Sharded2pcConfig, SweepConfig};
 
 #[test]
 fn sweep_holds_all_recovery_invariants() {
@@ -92,6 +92,41 @@ fn sweep_holds_all_recovery_invariants() {
     assert!(
         outcome.violations.is_empty(),
         "recovery invariant violations:\n  {}",
+        outcome.violations.join("\n  ")
+    );
+}
+
+#[test]
+fn sharded_2pc_sweep_recovers_all_or_nothing() {
+    // Cross-shard `write_batch` crash sweep (DESIGN.md §12): crashes are
+    // force-included at every op inside every recorded 2PC window — after
+    // the first shard's synced prepare, around the TXNLOG decide record,
+    // and mid-apply — and each one must recover all-or-nothing on every
+    // shard.
+    let cfg = Sharded2pcConfig::default();
+    let outcome = run_sharded_crash_sweep(&cfg).expect("sharded sweep harness must run");
+
+    assert!(
+        outcome.cross_shard_txns >= 10,
+        "workload issued too few cross-shard transactions: {}",
+        outcome.cross_shard_txns
+    );
+    assert!(
+        outcome.txn_windows.len() as u64 == outcome.cross_shard_txns,
+        "every cross-shard commit must record its 2PC window: {} windows for {} txns",
+        outcome.txn_windows.len(),
+        outcome.cross_shard_txns
+    );
+    // The 2PC windows are the point of this sweep: the bulk of the crash
+    // points must land inside them, not just around them.
+    assert!(
+        outcome.window_points >= 50,
+        "expected >= 50 crash points inside 2PC windows, got {}",
+        outcome.window_points
+    );
+    assert!(
+        outcome.violations.is_empty(),
+        "cross-shard atomicity violations:\n  {}",
         outcome.violations.join("\n  ")
     );
 }

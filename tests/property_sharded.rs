@@ -1,0 +1,203 @@
+//! Property-based tests for the sharding layer (DESIGN.md §12).
+//!
+//! Two families:
+//!
+//! * **Routing**: every key routes to exactly one shard, the assignment is
+//!   a pure function of the key, and it survives `encode`/`decode` (the
+//!   `SHARDS` file) and a full database reopen — a key written before a
+//!   restart is found on the same shard after it.
+//! * **Equivalence**: a [`ShardedDb`] driven by random puts, deletes,
+//!   cross-shard batches, and flushes is byte-for-byte indistinguishable
+//!   (point gets *and* merged scans) from one reference [`Db`] fed the
+//!   same operations.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use bolt::{Db, Options, Router, ShardedDb, WriteBatch};
+use bolt_env::{Env, MemEnv};
+
+fn key_of(k: u16) -> Vec<u8> {
+    format!("key{k:05}").into_bytes()
+}
+
+/// A router drawn from both families: hash over 1–8 shards, or a range
+/// partition with 1–4 random split points.
+fn router_strategy() -> impl Strategy<Value = Router> {
+    prop_oneof![
+        1 => (1usize..9).prop_map(|n| Router::hash(n).unwrap()),
+        1 => proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..6), 1..5)
+            .prop_map(|mut splits| {
+                // Range routers need strictly ascending split points.
+                splits.sort();
+                splits.dedup();
+                Router::range(splits).unwrap()
+            }),
+    ]
+}
+
+/// An operation in a generated workload.
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u16, Vec<u8>),
+    Delete(u16),
+    /// One atomic batch; with hash routing its keys land on many shards,
+    /// exercising the 2PC path.
+    Batch(Vec<(bool, u16, Vec<u8>)>),
+    Flush,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (any::<u16>(), proptest::collection::vec(any::<u8>(), 0..48))
+            .prop_map(|(k, v)| Op::Put(k % 256, v)),
+        2 => any::<u16>().prop_map(|k| Op::Delete(k % 256)),
+        2 => proptest::collection::vec(
+            (any::<bool>(), any::<u16>(), proptest::collection::vec(any::<u8>(), 0..32)),
+            1..12,
+        ).prop_map(Op::Batch),
+        1 => Just(Op::Flush),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        max_shrink_iters: 200,
+        .. ProptestConfig::default()
+    })]
+
+    /// Routing is total, deterministic, stable under the `SHARDS`
+    /// encode/decode roundtrip, and stable across a reopen: every written
+    /// key is found on the shard the router names — and on no other.
+    #[test]
+    fn routing_is_stable_across_reopen(
+        router in router_strategy(),
+        keys in proptest::collection::vec(any::<u16>(), 1..40),
+    ) {
+        let keys: std::collections::BTreeSet<u16> = keys.into_iter().collect();
+        let n = router.shards();
+        // The SHARDS file roundtrip preserves the route of every key.
+        let decoded = Router::decode(&router.encode()).unwrap();
+        prop_assert_eq!(&decoded, &router);
+        for &k in &keys {
+            let key = key_of(k);
+            let shard = router.route(&key);
+            prop_assert!(shard < n, "route out of range");
+            prop_assert_eq!(decoded.route(&key), shard);
+        }
+
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+        let opts = Options::bolt().scaled(1.0 / 256.0);
+        {
+            let db = ShardedDb::open(
+                Arc::clone(&env), "db", opts.clone(), router.clone()).unwrap();
+            for &k in &keys {
+                db.put(&key_of(k), format!("v{k}").as_bytes()).unwrap();
+            }
+            db.close().unwrap();
+        }
+        let db = ShardedDb::open(Arc::clone(&env), "db", opts, router.clone()).unwrap();
+        for &k in &keys {
+            let key = key_of(k);
+            let home = router.route(&key);
+            // Exactly one shard holds the key, and it is the routed one.
+            for shard in 0..n {
+                let found = db.shard(shard).get(&key).unwrap();
+                if shard == home {
+                    prop_assert_eq!(found, Some(format!("v{k}").into_bytes()));
+                } else {
+                    prop_assert_eq!(found, None, "key on foreign shard {}", shard);
+                }
+            }
+            prop_assert_eq!(db.get(&key).unwrap(), Some(format!("v{k}").into_bytes()));
+        }
+        db.close().unwrap();
+    }
+
+    /// A sharded database and a single reference engine fed the same
+    /// operations agree byte-for-byte on every point get and on the full
+    /// merged scan.
+    #[test]
+    fn sharded_matches_single_db(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+        shards in 2usize..6,
+    ) {
+        let sharded_env: Arc<dyn Env> = Arc::new(MemEnv::new());
+        let single_env: Arc<dyn Env> = Arc::new(MemEnv::new());
+        let opts = Options::bolt().scaled(1.0 / 256.0);
+        let sharded = ShardedDb::open(
+            Arc::clone(&sharded_env), "db", opts.clone(), Router::hash(shards).unwrap()).unwrap();
+        let single = Db::open(Arc::clone(&single_env), "db", opts).unwrap();
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+
+        for op in &ops {
+            match op {
+                Op::Put(k, v) => {
+                    sharded.put(&key_of(*k), v).unwrap();
+                    single.put(&key_of(*k), v).unwrap();
+                    model.insert(key_of(*k), v.clone());
+                }
+                Op::Delete(k) => {
+                    sharded.delete(&key_of(*k)).unwrap();
+                    single.delete(&key_of(*k)).unwrap();
+                    model.remove(&key_of(*k));
+                }
+                Op::Batch(entries) => {
+                    let mut a = WriteBatch::new();
+                    let mut b = WriteBatch::new();
+                    for (is_put, k, v) in entries {
+                        let key = key_of(*k % 256);
+                        if *is_put {
+                            a.put(&key, v);
+                            b.put(&key, v);
+                            model.insert(key, v.clone());
+                        } else {
+                            a.delete(&key);
+                            b.delete(&key);
+                            model.remove(&key);
+                        }
+                    }
+                    sharded.write_batch(a).unwrap();
+                    single.write(b).unwrap();
+                }
+                Op::Flush => {
+                    sharded.flush().unwrap();
+                    single.flush().unwrap();
+                }
+            }
+        }
+
+        // Point equivalence over the whole key universe.
+        for k in 0..256u16 {
+            let key = key_of(k);
+            let expect = model.get(&key).cloned();
+            prop_assert_eq!(single.get(&key).unwrap(), expect.clone(), "single {}", k);
+            prop_assert_eq!(sharded.get(&key).unwrap(), expect, "sharded {}", k);
+        }
+
+        // Merged scan equivalence, byte for byte.
+        let mut iter = sharded.iter().unwrap();
+        iter.seek_to_first().unwrap();
+        let mut merged = Vec::new();
+        while iter.valid() {
+            merged.push((iter.key().to_vec(), iter.value().to_vec()));
+            iter.next().unwrap();
+        }
+        let mut reference = Vec::new();
+        let mut iter = single.iter().unwrap();
+        iter.seek_to_first().unwrap();
+        while iter.valid() {
+            reference.push((iter.key().to_vec(), iter.value().to_vec()));
+            iter.next().unwrap();
+        }
+        prop_assert_eq!(&merged, &reference, "merged scan diverged from reference");
+        let expected: Vec<_> = model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        prop_assert_eq!(merged, expected, "scan diverged from model");
+
+        sharded.close().unwrap();
+        single.close().unwrap();
+    }
+}
