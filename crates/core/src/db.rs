@@ -13,7 +13,7 @@
 //! * **Settled compaction** promotes zero-overlap victims with a pure
 //!   MANIFEST edit; their bytes never move.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -215,9 +215,10 @@ struct DbInner {
     /// Monotonic compaction ids pairing `CompactionBegin`/`CompactionEnd`.
     compaction_ids: AtomicU64,
     /// Transactions the coordinator decided to commit, as known at open
-    /// (read from the sharding layer's coordinator log). Consulted only
-    /// during WAL recovery.
-    committed_txns: HashSet<u64>,
+    /// (read from the sharding layer's coordinator log), mapped to their
+    /// decide order. Consulted only during WAL recovery, which replays
+    /// markerless decided slices in that order.
+    committed_txns: HashMap<u64, u64>,
     /// Highest transaction id seen in this shard's WALs during recovery;
     /// the sharding layer seeds its id allocator above it.
     recovered_max_txn: AtomicU64,
@@ -302,13 +303,14 @@ impl Db {
     /// Returns I/O errors from the env and corruption errors from
     /// recovery.
     pub fn open(env: Arc<dyn Env>, name: &str, opts: Options) -> Result<Db> {
-        Db::open_with_committed_txns(env, name, opts, HashSet::new())
+        Db::open_with_committed_txns(env, name, opts, Vec::new())
     }
 
-    /// Open with the set of cross-shard transactions the coordinator
-    /// committed (from the sharding layer's decide log). WAL recovery
-    /// applies prepared slices of committed transactions and drops
-    /// undecided ones; a plain [`Db::open`] passes the empty set.
+    /// Open with the cross-shard transactions the coordinator committed
+    /// (from the sharding layer's decide log), **in decide order**. WAL
+    /// recovery applies prepared slices of committed transactions — using
+    /// the decide order when their position markers were lost — and drops
+    /// undecided ones; a plain [`Db::open`] passes the empty list.
     ///
     /// # Errors
     ///
@@ -318,8 +320,13 @@ impl Db {
         env: Arc<dyn Env>,
         name: &str,
         opts: Options,
-        committed_txns: HashSet<u64>,
+        committed_txns: Vec<u64>,
     ) -> Result<Db> {
+        let committed_txns: HashMap<u64, u64> = committed_txns
+            .into_iter()
+            .enumerate()
+            .map(|(ord, id)| (id, ord as u64))
+            .collect();
         opts.validate()?;
         env.create_dir_all(name)?;
         let icmp = InternalKeyComparator::default();
@@ -1860,16 +1867,30 @@ impl DbInner {
                         }
                         TxnWalRecord::Applied { txn_id, base_seq } => {
                             max_txn = max_txn.max(txn_id);
-                            let Some(mut payload) = staged.remove(&txn_id) else {
-                                return Err(Error::Corruption(format!(
-                                    "applied marker for transaction {txn_id} \
-                                     without a prepare record"
-                                )));
-                            };
-                            if replay {
-                                payload.set_sequence(base_seq);
-                                payload.apply_to(&mem)?;
-                                max_seq = max_seq.max(base_seq + u64::from(payload.count()) - 1);
+                            match staged.remove(&txn_id) {
+                                Some(mut payload) => {
+                                    if replay {
+                                        payload.set_sequence(base_seq);
+                                        payload.apply_to(&mem)?;
+                                        max_seq = max_seq
+                                            .max(base_seq + u64::from(payload.count()) - 1);
+                                    }
+                                }
+                                // Below the log floor a missing stash is
+                                // benign: the slice is already durable in
+                                // SSTables, and a crash (or ignored EIO)
+                                // mid log-deletion can remove the prepare's
+                                // older WAL while this marker's survives.
+                                // Inside the replay region it means the
+                                // slice's only copy is gone.
+                                None if !replay => {}
+                                None => {
+                                    return Err(Error::Corruption(format!(
+                                        "applied marker for transaction {txn_id} \
+                                         without a prepare record in the \
+                                         replayed region"
+                                    )));
+                                }
                             }
                         }
                         TxnWalRecord::Decide { .. } => {
@@ -1894,14 +1915,16 @@ impl DbInner {
         // Staged slices whose applied marker never made it to the log:
         // commit the decided ones at the end (losing the unsynced marker
         // also loses every record after it, so the end of the surviving
-        // log *is* the slice's position), drop the undecided ones.
-        let mut decided: Vec<u64> = staged
+        // log *is* the slice's position), drop the undecided ones. They
+        // replay in the coordinator's decide order — ids are allocated
+        // before the decide mutex serializes commit points, so txn-id
+        // order can disagree with the order writers actually committed.
+        let mut decided: Vec<(u64, u64)> = staged
             .keys()
-            .copied()
-            .filter(|id| self.committed_txns.contains(id))
+            .filter_map(|id| self.committed_txns.get(id).map(|&ord| (ord, *id)))
             .collect();
         decided.sort_unstable();
-        for txn_id in decided {
+        for (_, txn_id) in decided {
             // bolt-lint: allow(unwrap-in-crash-path) -- key drawn from `staged` above.
             let mut payload = staged.remove(&txn_id).expect("staged slice present");
             payload.set_sequence(max_seq + 1);
@@ -1952,16 +1975,33 @@ impl DbInner {
         }
     }
 
+    /// Delete the WAL files in `dead`, oldest first, stopping at the first
+    /// failure — the surviving logs then always form a suffix of the log
+    /// sequence. Recovery's transaction resolution depends on that: if a
+    /// newer log (holding a transaction's `Applied` marker) could be
+    /// deleted while an older one (holding its prepare) survived, the next
+    /// open would find a decided, markerless prepare and re-apply it at
+    /// end-of-log, resurrecting stale values over later committed writes.
+    fn delete_logs_oldest_first(&self, mut dead: Vec<u64>) {
+        dead.sort_unstable();
+        for num in dead {
+            if self.env.delete_file(&log_file(&self.name, num)).is_err() {
+                return;
+            }
+        }
+    }
+
     fn delete_obsolete_logs(&self, boundary: u64) {
         let boundary = self.clamp_log_boundary(boundary);
         if let Ok(names) = self.env.list_dir(&self.name) {
-            for name in names {
-                if let Some(FileType::Log(num)) = parse_file_name(&name) {
-                    if num < boundary {
-                        let _ = self.env.delete_file(&log_file(&self.name, num));
-                    }
-                }
-            }
+            let dead = names
+                .iter()
+                .filter_map(|n| match parse_file_name(n) {
+                    Some(FileType::Log(num)) if num < boundary => Some(num),
+                    _ => None,
+                })
+                .collect();
+            self.delete_logs_oldest_first(dead);
         }
     }
 
@@ -1975,10 +2015,16 @@ impl DbInner {
         let Ok(names) = self.env.list_dir(&self.name) else {
             return;
         };
+        let mut dead_logs = Vec::new();
         for name in names {
             let keep = match parse_file_name(&name) {
                 Some(FileType::Table(num)) => referenced.contains(&num),
-                Some(FileType::Log(num)) => num >= log_floor,
+                Some(FileType::Log(num)) => {
+                    if num < log_floor {
+                        dead_logs.push(num);
+                    }
+                    true // deleted below, in the order recovery depends on
+                }
                 Some(FileType::Manifest(num)) => num == manifest,
                 Some(FileType::Current) => true,
                 Some(FileType::Temp(_)) => false,
@@ -1990,6 +2036,7 @@ impl DbInner {
                     .delete_file(&bolt_env::join_path(&self.name, &name));
             }
         }
+        self.delete_logs_oldest_first(dead_logs);
     }
 }
 
@@ -2613,7 +2660,7 @@ mod tests {
                 Arc::clone(&env) as Arc<dyn Env>,
                 "db",
                 Options::leveldb(),
-                committed.iter().copied().collect(),
+                committed.to_vec(),
             )
             .unwrap()
         };
@@ -2708,10 +2755,103 @@ mod tests {
             Arc::clone(&env) as Arc<dyn Env>,
             "db",
             opts,
-            [11u64].into_iter().collect(),
+            vec![11u64],
         )
         .unwrap();
         assert_eq!(db.get(b"pinned").unwrap(), Some(b"alive".to_vec()));
+        db.close().unwrap();
+    }
+
+    #[test]
+    fn markerless_decided_slices_replay_in_decide_order() {
+        let env = Arc::new(MemEnv::new());
+        {
+            let db = Db::open(Arc::clone(&env) as Arc<dyn Env>, "db", Options::leveldb()).unwrap();
+            db.txn_prepare(
+                ShardTxnMarker {
+                    txn_id: 9,
+                    shard_bitmap: 0b11,
+                },
+                txn_slice(&[(b"k", b"decided-first")]),
+            )
+            .unwrap();
+            db.txn_prepare(
+                ShardTxnMarker {
+                    txn_id: 4,
+                    shard_bitmap: 0b11,
+                },
+                txn_slice(&[(b"k", b"decided-second")]),
+            )
+            .unwrap();
+            db.close().unwrap();
+        }
+        // The coordinator decided 9 *before* 4 and both applied markers
+        // were lost with the crash. Recovery must replay in decide order:
+        // the later decide wins even though its txn id is smaller.
+        let db = Db::open_with_committed_txns(
+            Arc::clone(&env) as Arc<dyn Env>,
+            "db",
+            Options::leveldb(),
+            vec![9, 4],
+        )
+        .unwrap();
+        assert_eq!(db.get(b"k").unwrap(), Some(b"decided-second".to_vec()));
+        db.close().unwrap();
+    }
+
+    #[test]
+    fn orphan_applied_marker_below_the_floor_is_tolerated() {
+        let env = Arc::new(MemEnv::new());
+        {
+            let db = Db::open(Arc::clone(&env) as Arc<dyn Env>, "db", Options::leveldb()).unwrap();
+            db.put(b"k", b"v").unwrap();
+            db.close().unwrap();
+        }
+        // Forge the aftermath of a crash mid log-deletion: a WAL below the
+        // log floor holding an applied marker whose (older) prepare log is
+        // already gone. The slice is durable in SSTables, so this must
+        // open cleanly, not fail as corruption.
+        {
+            let file = env.new_writable_file(&log_file("db", 0)).unwrap();
+            let mut w = LogWriter::new(file);
+            w.add_record(&txn::encode_applied(7, 5)).unwrap();
+            w.sync().unwrap();
+        }
+        let db = Db::open(Arc::clone(&env) as Arc<dyn Env>, "db", Options::leveldb()).unwrap();
+        assert_eq!(db.get(b"k").unwrap(), Some(b"v".to_vec()));
+        // The orphan marker still seeds the id allocator.
+        assert_eq!(db.recovered_max_txn_id(), 7);
+        db.close().unwrap();
+    }
+
+    #[test]
+    fn log_deletion_stops_at_the_first_failure() {
+        use bolt_env::{FaultEnv, FaultPlan};
+        let fault = Arc::new(FaultEnv::over_mem());
+        let env: Arc<dyn Env> = Arc::clone(&fault) as Arc<dyn Env>;
+        let db = Db::open(Arc::clone(&env), "db", Options::leveldb()).unwrap();
+        // Forge two dead WALs older than the live one.
+        for num in [0u64, 1] {
+            let mut file = env.new_writable_file(&log_file("db", num)).unwrap();
+            file.sync().unwrap();
+        }
+        // Fail the first (oldest) delete: the deleter must stop rather
+        // than skip ahead — deleting a newer log while an older one
+        // survives is exactly the ordering recovery cannot tolerate.
+        fault.set_plan(FaultPlan::parse("eio:delete:glob=*.log:nth=0").unwrap());
+        let boundary = db.inner.state.lock().wal_number;
+        db.inner.delete_obsolete_logs(boundary);
+        assert_eq!(fault.faults_injected(), 1, "delete EIO never fired");
+        assert!(env.file_exists(&log_file("db", 0)));
+        assert!(
+            env.file_exists(&log_file("db", 1)),
+            "newer log deleted after an older delete failed"
+        );
+        // With the fault cleared the next sweep finishes the job.
+        fault.set_plan(FaultPlan::new());
+        db.inner.delete_obsolete_logs(boundary);
+        assert!(!env.file_exists(&log_file("db", 0)));
+        assert!(!env.file_exists(&log_file("db", 1)));
         db.close().unwrap();
     }
 }

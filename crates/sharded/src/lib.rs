@@ -65,9 +65,11 @@ pub struct ShardedDb {
     name: String,
     router: Router,
     shards: Vec<Arc<Db>>,
-    /// `true` when every shard runs on the same [`Env`] (then the env's
-    /// I/O counters are global and must be aggregated once, not summed).
-    shared_env: bool,
+    /// `env_owner[i]` is `true` when shard `i` is the first shard running
+    /// on its [`Env`]. Shards sharing an environment see the *same* global
+    /// I/O counters, so aggregation counts each distinct env exactly once
+    /// — whatever mix of shared and private envs was supplied.
+    env_owner: Vec<bool>,
     /// Router epoch: cross-shard applies hold it shared, consistent
     /// cut capture (snapshots, merged iterators) holds it exclusive — so
     /// no cut ever observes half an atomic batch.
@@ -186,12 +188,16 @@ impl ShardedDb {
         // flushed a slice find no matching prepare and skip it (I4).
         let txnlog = TxnLog::create(&meta_env, &txnlog_path)?;
 
-        let shared_env = envs.iter().all(|e| Arc::ptr_eq(e, &envs[0]));
+        let env_owner: Vec<bool> = envs
+            .iter()
+            .enumerate()
+            .map(|(i, e)| !envs[..i].iter().any(|earlier| Arc::ptr_eq(earlier, e)))
+            .collect();
         Ok(ShardedDb {
             name: name.to_string(),
             router,
             shards,
-            shared_env,
+            env_owner,
             epoch: named_rwlock("sharded.epoch", ()),
             txnlog: named_mutex("sharded.txnlog", txnlog),
             next_txn_id: AtomicU64::new(max_logged.max(max_recovered) + 1),
@@ -252,9 +258,13 @@ impl ShardedDb {
     /// group-commit path. A batch spanning shards runs the 2PC protocol:
     /// synced prepares on every participant, one synced decide record in
     /// `TXNLOG` (the commit point), then applies under the shared router
-    /// epoch. After an error from the decide sync the outcome is
-    /// *ambiguous* until the next open, which resolves it from whatever
-    /// the log actually holds; prepare errors abort cleanly.
+    /// epoch. Prepare errors abort cleanly. After an error from the decide
+    /// sync the outcome is *ambiguous* until the next open, which resolves
+    /// it from whatever the log actually holds. An apply error is reported
+    /// but the batch is nonetheless *committed*: every other participant
+    /// is still applied, and a shard whose apply failed keeps the slice
+    /// staged (invisible to its readers) until the next open commits it
+    /// from the durable decide.
     ///
     /// # Errors
     ///
@@ -312,12 +322,31 @@ impl ShardedDb {
 
         // Phase 2: apply everywhere. Holding the epoch shared keeps any
         // consistent-cut capture (which takes it exclusive) from observing
-        // a half-applied batch.
+        // a half-applied batch. The decide is durable, so the transaction
+        // is committed no matter what happens here: an apply error on one
+        // shard must not abandon the rest — that would leave readers
+        // seeing half the batch for the remainder of this incarnation and
+        // pin the unapplied shards' WALs behind staged slices that nothing
+        // would ever resolve. Every participant is attempted; the first
+        // failure is reported after, and the failed shard's slice stays
+        // staged for the next open to commit from the durable decide.
         let _epoch = self.epoch.read();
+        let mut first_err: Option<Error> = None;
         for &i in participants {
-            self.shards[i].txn_apply(txn_id)?;
+            if let Err(e) = self.shards[i].txn_apply(txn_id) {
+                if first_err.is_none() {
+                    first_err = Some(Error::InvalidState(format!(
+                        "cross-shard transaction {txn_id} is committed but \
+                         its apply failed on shard {i}: {e}; the shard's \
+                         slice stays staged and the next open will apply it"
+                    )));
+                }
+            }
         }
-        Ok(())
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
     }
 
     /// Capture a consistent cross-shard read view. Taken under the router
@@ -387,7 +416,7 @@ impl ShardedDb {
     /// Per-shard metrics snapshots plus their aggregate.
     pub fn metrics(&self) -> ShardedMetrics {
         let per_shard: Vec<_> = self.shards.iter().map(|s| s.metrics()).collect();
-        let aggregate = metrics::aggregate(&per_shard, self.shared_env);
+        let aggregate = metrics::aggregate(&per_shard, &self.env_owner);
         ShardedMetrics {
             per_shard,
             aggregate,
@@ -665,6 +694,38 @@ mod tests {
         assert!(text.contains("shard=\"1\""));
         let events = db.events();
         assert!(events.iter().any(|(s, _)| *s == 0));
+        db.close().unwrap();
+    }
+
+    #[test]
+    fn metrics_count_io_once_per_distinct_env() {
+        // Shards 0 and 1 share one env (and thus one set of global I/O
+        // counters); shard 2 owns its own. The aggregate must count each
+        // distinct env exactly once — not sum the shared counters twice,
+        // and not drop the private env's.
+        let shared: Arc<dyn Env> = Arc::new(MemEnv::new());
+        let private: Arc<dyn Env> = Arc::new(MemEnv::new());
+        let envs = vec![Arc::clone(&shared), Arc::clone(&shared), private];
+        let db = ShardedDb::open_with_envs(
+            envs,
+            "mixed",
+            small_opts(),
+            Router::hash(3).unwrap(),
+        )
+        .unwrap();
+        for i in 0..200u32 {
+            db.put(format!("m{i:04}").as_bytes(), &[0u8; 64]).unwrap();
+        }
+        db.flush().unwrap();
+        let m = db.metrics();
+        assert_eq!(
+            m.aggregate.io.fsync_calls,
+            m.per_shard[0].io.fsync_calls + m.per_shard[2].io.fsync_calls
+        );
+        assert_eq!(
+            m.aggregate.io.bytes_written,
+            m.per_shard[0].io.bytes_written + m.per_shard[2].io.bytes_written
+        );
         db.close().unwrap();
     }
 }

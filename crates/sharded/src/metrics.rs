@@ -4,9 +4,10 @@
 //! aggregate: counters are summed, per-level shapes added elementwise, and
 //! the queue-wait summary merged by summing counts and taking the maximum
 //! of each reported percentile (a conservative bound — exact cross-shard
-//! percentiles would need the raw histograms). When all shards share one
-//! environment, its I/O counters are global and are taken once instead of
-//! summed `N` times.
+//! percentiles would need the raw histograms). Shards sharing an
+//! environment see that environment's global I/O counters, so I/O is
+//! aggregated once per *distinct* environment — correct for all-shared,
+//! all-private, and mixed env layouts alike.
 //!
 //! The exporters emit the aggregate under the usual metric names and every
 //! per-shard series again with a `shard="i"` label, so dashboards can show
@@ -25,7 +26,9 @@ pub struct ShardedMetrics {
     pub aggregate: MetricsSnapshot,
 }
 
-pub(crate) fn aggregate(per_shard: &[MetricsSnapshot], shared_env: bool) -> MetricsSnapshot {
+/// `env_owner[i]` is `true` iff shard `i` is the first shard on its env
+/// (see `ShardedDb::env_owner`); only owners contribute I/O counters.
+pub(crate) fn aggregate(per_shard: &[MetricsSnapshot], env_owner: &[bool]) -> MetricsSnapshot {
     let mut agg = MetricsSnapshot::default();
     for (i, m) in per_shard.iter().enumerate() {
         let d = &mut agg.db;
@@ -47,7 +50,7 @@ pub(crate) fn aggregate(per_shard: &[MetricsSnapshot], shared_env: bool) -> Metr
         d.wal_syncs += s.wal_syncs;
         d.wal_syncs_elided += s.wal_syncs_elided;
 
-        if !shared_env || i == 0 {
+        if env_owner.get(i).copied().unwrap_or(true) {
             let io = &mut agg.io;
             let j = &m.io;
             io.fsync_calls += j.fsync_calls;

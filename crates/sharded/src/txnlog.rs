@@ -11,7 +11,6 @@
 //! information (a shard that already flushed a slice simply finds no
 //! matching prepare and skips it).
 
-use std::collections::HashSet;
 use std::sync::Arc;
 
 use bolt_common::events::{BarrierCause, BarrierScope};
@@ -33,16 +32,21 @@ impl std::fmt::Debug for TxnLog {
 }
 
 impl TxnLog {
-    /// Read the committed transaction ids (and the highest id seen) from
-    /// `path`. A missing file is an empty log; a torn tail is a clean end
-    /// (the transaction whose decide tore never committed).
+    /// Read the committed transaction ids — **in decide order** — and the
+    /// highest id seen from `path`. Record order *is* decide order: the
+    /// coordinator mutex serializes appends, so the file preserves the
+    /// order commit points were reached in, which shard recovery needs to
+    /// replay markerless decided slices correctly (ids are allocated
+    /// before decides serialize, so id order can disagree). A missing
+    /// file is an empty log; a torn tail is a clean end (the transaction
+    /// whose decide tore never committed).
     ///
     /// # Errors
     ///
     /// Returns I/O errors and [`Error::Corruption`] for records that are
     /// not decide records.
-    pub fn read(env: &Arc<dyn Env>, path: &str) -> Result<(HashSet<u64>, u64)> {
-        let mut committed = HashSet::new();
+    pub fn read(env: &Arc<dyn Env>, path: &str) -> Result<(Vec<u64>, u64)> {
+        let mut committed = Vec::new();
         let mut max_id = 0u64;
         if !env.file_exists(path) {
             return Ok((committed, max_id));
@@ -52,7 +56,7 @@ impl TxnLog {
             match txn::decode(&record) {
                 Some(Ok(TxnWalRecord::Decide { marker })) => {
                     max_id = max_id.max(marker.txn_id);
-                    committed.insert(marker.txn_id);
+                    committed.push(marker.txn_id);
                 }
                 Some(Err(e)) => return Err(e),
                 _ => {
@@ -110,7 +114,7 @@ mod tests {
     fn decide_read_recut_roundtrip() {
         let env: Arc<dyn Env> = Arc::new(MemEnv::new());
         // Missing file reads as empty.
-        assert_eq!(TxnLog::read(&env, "TXNLOG").unwrap(), (HashSet::new(), 0));
+        assert_eq!(TxnLog::read(&env, "TXNLOG").unwrap(), (Vec::new(), 0));
 
         let mut log = TxnLog::create(&env, "TXNLOG").unwrap();
         for id in [3u64, 9, 5] {
@@ -122,11 +126,12 @@ mod tests {
         }
         drop(log);
         let (committed, max_id) = TxnLog::read(&env, "TXNLOG").unwrap();
-        assert_eq!(committed, [3u64, 9, 5].into_iter().collect());
+        // Decide order, not id order.
+        assert_eq!(committed, vec![3u64, 9, 5]);
         assert_eq!(max_id, 9);
 
         // Re-cut empties the log.
         let _log = TxnLog::create(&env, "TXNLOG").unwrap();
-        assert_eq!(TxnLog::read(&env, "TXNLOG").unwrap(), (HashSet::new(), 0));
+        assert_eq!(TxnLog::read(&env, "TXNLOG").unwrap(), (Vec::new(), 0));
     }
 }
