@@ -1,0 +1,301 @@
+//! **PR 7 policy bench** — write/read/space amplification per compaction
+//! policy.
+//!
+//! Runs the full YCSB suite (Load, then A–F in presentation order, sharing
+//! one key space) against the BoLT profile under each of the three
+//! compaction policies — **leveled**, **size-tiered**, **lazy-leveled** —
+//! on identical simulated SSDs, and reports per-leg throughput/latency
+//! plus the amplification triple the compaction design-space trade-off is
+//! about:
+//!
+//! * **write amp**: device bytes written per user byte accepted
+//!   (cumulative; per-leg deltas are attributed to the leg that was
+//!   running, so background compaction finishing during a read leg counts
+//!   there — exactly like on real hardware),
+//! * **read amp**: device bytes read per requested value byte on the
+//!   read-only C leg,
+//! * **space amp**: live table bytes per loaded user byte at the end of
+//!   the suite.
+//!
+//! Results are written to `BENCH_PR7.json` (stable schema: one row per
+//! `{policy, workload}` plus one summary per policy). The run asserts the
+//! PR-7 acceptance floor: the lazy-leveled hybrid's cumulative write amp
+//! stays below leveled's.
+//!
+//! Run: `cargo run --release -p bolt-bench --bin bench_policies`
+//! CI smoke: `cargo run -p bolt-bench --bin bench_policies -- --smoke`
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bolt_bench::{bench_device, CAPACITY_SCALE};
+use bolt_core::{CompactionPolicyKind, Db, Options};
+use bolt_env::{DeviceModel, Env, SimEnv};
+use bolt_ycsb::{load_db, run_workload, BenchConfig, RunResult, Workload};
+
+/// Client threads (the paper: 4).
+const THREADS: usize = 4;
+
+/// A nearly-free device so `--smoke` exercises every code path in
+/// milliseconds.
+fn smoke_device() -> DeviceModel {
+    DeviceModel {
+        write_bandwidth: 256 * 1024 * 1024,
+        read_bandwidth: 256 * 1024 * 1024,
+        read_base_latency: Duration::ZERO,
+        barrier_latency: Duration::from_micros(10),
+        time_scale: 1.0,
+    }
+}
+
+/// One emitted row of the stable schema.
+struct Row {
+    policy: &'static str,
+    workload: &'static str,
+    ops: u64,
+    ops_per_sec: f64,
+    p50_us: u64,
+    p99_us: u64,
+    /// Device bytes written during this leg per user byte accepted during
+    /// it (0 when the leg accepted no user bytes).
+    write_amp: f64,
+    /// Device bytes read during this leg per requested value byte.
+    read_amp: f64,
+}
+
+/// Per-policy end-of-suite summary.
+struct Summary {
+    policy: &'static str,
+    /// Cumulative device-bytes-written / user-bytes-accepted over the
+    /// whole suite (user bytes only flow in the write-carrying legs).
+    write_amp: f64,
+    /// Read amp of the read-only C leg.
+    read_amp_c: f64,
+    /// Live table bytes per loaded user byte after the suite settles.
+    space_amp: f64,
+    /// Barriers per compaction (BoLT's 2-barrier contract is
+    /// policy-independent).
+    barriers_per_compaction: f64,
+}
+
+fn policy_opts(policy: CompactionPolicyKind) -> Options {
+    let mut opts = Options::bolt().scaled(CAPACITY_SCALE);
+    opts.compaction_policy = policy;
+    opts
+}
+
+/// Run one leg and compute its amplification from metrics deltas.
+fn leg(
+    db: &Arc<Db>,
+    policy: &'static str,
+    workload: &'static str,
+    result: &RunResult,
+    before: &bolt_core::MetricsSnapshot,
+    value_len: usize,
+) -> Row {
+    let after = db.metrics();
+    let wrote = after.io.bytes_written - before.io.bytes_written;
+    let accepted = after.db.user_bytes_written - before.db.user_bytes_written;
+    let read = after.io.bytes_read - before.io.bytes_read;
+    let requested = result.ops * value_len as u64;
+    Row {
+        policy,
+        workload,
+        ops: result.ops,
+        ops_per_sec: result.throughput(),
+        p50_us: result.percentile(50.0) / 1_000,
+        p99_us: result.percentile(99.0) / 1_000,
+        write_amp: if accepted == 0 {
+            0.0
+        } else {
+            wrote as f64 / accepted as f64
+        },
+        read_amp: if requested == 0 {
+            0.0
+        } else {
+            read as f64 / requested as f64
+        },
+    }
+}
+
+/// Run Load then A–F under one policy on a fresh device; returns the
+/// per-leg rows and the policy summary.
+fn run_policy(
+    policy: CompactionPolicyKind,
+    device: DeviceModel,
+    cfg: &BenchConfig,
+) -> (Vec<Row>, Summary) {
+    let name = policy.as_str();
+    let env: Arc<dyn Env> = Arc::new(SimEnv::new(device));
+    let db = Arc::new(
+        Db::open(Arc::clone(&env), "bench-db", policy_opts(policy)).expect("open policy db"),
+    );
+
+    let mut rows = Vec::new();
+    let before = db.metrics();
+    let load = load_db(&db, cfg).expect("load phase");
+    rows.push(leg(&db, name, "Load", &load, &before, cfg.value_len));
+
+    let cursor = Arc::new(AtomicU64::new(cfg.record_count));
+    let mut read_amp_c = 0.0;
+    for workload in [
+        Workload::a(),
+        Workload::b(),
+        Workload::c(),
+        Workload::d(),
+        Workload::e(),
+        Workload::f(),
+    ] {
+        let before = db.metrics();
+        let result = run_workload(&db, &workload, cfg, &cursor).expect("workload leg");
+        let row = leg(&db, name, workload.name, &result, &before, cfg.value_len);
+        if workload.name == "C" {
+            read_amp_c = row.read_amp;
+        }
+        rows.push(row);
+    }
+
+    // Settle so the space measurement sees committed tables, not an
+    // in-flight memtable.
+    db.flush().expect("final flush");
+    let metrics = db.metrics();
+    let live_bytes: u64 = metrics.levels.iter().map(|l| l.bytes).sum();
+    let loaded = cursor.load(Ordering::Relaxed) * cfg.value_len as u64;
+    let summary = Summary {
+        policy: name,
+        write_amp: metrics.write_amplification(),
+        read_amp_c,
+        space_amp: if loaded == 0 {
+            0.0
+        } else {
+            live_bytes as f64 / loaded as f64
+        },
+        barriers_per_compaction: metrics.barriers_per_compaction(),
+    };
+    db.close().expect("close policy db");
+    (rows, summary)
+}
+
+fn render_json(device: &DeviceModel, cfg: &BenchConfig, rows: &[Row], sums: &[Summary]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"bench_policies\",\n");
+    out.push_str("  \"schema\": 1,\n");
+    out.push_str(&format!("  \"threads\": {THREADS},\n"));
+    out.push_str(&format!("  \"value_len\": {},\n", cfg.value_len));
+    out.push_str(&format!("  \"record_count\": {},\n", cfg.record_count));
+    out.push_str(&format!("  \"ops_per_leg\": {},\n", cfg.op_count));
+    out.push_str(&format!(
+        "  \"device\": {{\"write_bandwidth\": {}, \"barrier_latency_us\": {}}},\n",
+        device.write_bandwidth,
+        device.barrier_latency.as_micros()
+    ));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"policy\": \"{}\", \"workload\": \"{}\", \"ops\": {}, \
+             \"ops_per_sec\": {:.1}, \"p50_us\": {}, \"p99_us\": {}, \
+             \"write_amp\": {:.2}, \"read_amp\": {:.2}}}{}\n",
+            r.policy,
+            r.workload,
+            r.ops,
+            r.ops_per_sec,
+            r.p50_us,
+            r.p99_us,
+            r.write_amp,
+            r.read_amp,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"summary\": [\n");
+    for (i, s) in sums.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"policy\": \"{}\", \"write_amp\": {:.2}, \"read_amp_c\": {:.2}, \
+             \"space_amp\": {:.2}, \"barriers_per_compaction\": {:.2}}}{}\n",
+            s.policy,
+            s.write_amp,
+            s.read_amp_c,
+            s.space_amp,
+            s.barriers_per_compaction,
+            if i + 1 < sums.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let device = if smoke {
+        smoke_device()
+    } else {
+        bench_device()
+    };
+    let cfg = BenchConfig {
+        record_count: if smoke { 400 } else { 8_000 },
+        op_count: if smoke { 400 } else { 4_000 },
+        threads: THREADS,
+        value_len: 1024,
+        seed: 0x5eed,
+    };
+
+    let mut rows = Vec::new();
+    let mut sums = Vec::new();
+    for policy in [
+        CompactionPolicyKind::Leveled,
+        CompactionPolicyKind::SizeTiered,
+        CompactionPolicyKind::LazyLeveled,
+    ] {
+        let (r, s) = run_policy(policy, device, &cfg);
+        rows.extend(r);
+        sums.push(s);
+    }
+
+    println!(
+        "{:<13} {:<9} {:>10} {:>9} {:>9} {:>10} {:>9}",
+        "policy", "workload", "ops/s", "p50(us)", "p99(us)", "write-amp", "read-amp"
+    );
+    for r in &rows {
+        println!(
+            "{:<13} {:<9} {:>10.1} {:>9} {:>9} {:>10.2} {:>9.2}",
+            r.policy, r.workload, r.ops_per_sec, r.p50_us, r.p99_us, r.write_amp, r.read_amp
+        );
+    }
+    for s in &sums {
+        println!(
+            "{}: write amp {:.2} | read amp (C) {:.2} | space amp {:.2} | barriers/compaction {:.2}",
+            s.policy, s.write_amp, s.read_amp_c, s.space_amp, s.barriers_per_compaction
+        );
+    }
+
+    if smoke {
+        // CI smoke: harness correctness only — the tiny key space says
+        // nothing about amplification.
+        assert!(
+            rows.iter().all(|r| r.ops > 0 && r.ops_per_sec > 0.0),
+            "smoke run produced empty legs"
+        );
+        println!("smoke ok (results not recorded)");
+        return;
+    }
+
+    let json = render_json(&device, &cfg, &rows, &sums);
+    let path = "BENCH_PR7.json";
+    let mut file = std::fs::File::create(path).expect("create BENCH_PR7.json");
+    file.write_all(json.as_bytes())
+        .expect("write BENCH_PR7.json");
+    println!("(results written to {path})");
+
+    let leveled = &sums[0];
+    let lazy = &sums[2];
+    assert!(
+        lazy.write_amp < leveled.write_amp,
+        "lazy-leveled write amp must beat leveled on the write-heavy suite: \
+         {:.2} >= {:.2}",
+        lazy.write_amp,
+        leveled.write_amp
+    );
+}

@@ -182,6 +182,9 @@ pub enum EngineEvent {
         victims: u64,
         /// Bytes of input selected for the compaction.
         input_bytes: u64,
+        /// Stable name of the compaction policy that picked the victims
+        /// (`leveled`, `size_tiered`, or `lazy_leveled`).
+        policy: &'static str,
     },
     /// A background compaction committed.
     CompactionEnd {
@@ -195,6 +198,9 @@ pub enum EngineEvent {
         settled: u64,
         /// Whether any data was rewritten (false = settled moves only).
         rewrote: bool,
+        /// Stable name of the compaction policy that picked the victims
+        /// (`leveled`, `size_tiered`, or `lazy_leveled`).
+        policy: &'static str,
     },
     /// Victim tables were promoted in place by settled compaction.
     SettledMove {
@@ -304,8 +310,9 @@ impl EngineEvent {
                 level,
                 victims,
                 input_bytes,
+                policy,
             } => format!(
-                "compaction #{id} begin L{level} ({victims} victims, {input_bytes} B)"
+                "compaction #{id} begin L{level} [{policy}] ({victims} victims, {input_bytes} B)"
             ),
             EngineEvent::CompactionEnd {
                 id,
@@ -313,8 +320,9 @@ impl EngineEvent {
                 output_bytes,
                 settled,
                 rewrote,
+                policy,
             } => format!(
-                "compaction #{id} end ({outputs} outputs, {output_bytes} B, {settled} settled, rewrote={rewrote})"
+                "compaction #{id} end [{policy}] ({outputs} outputs, {output_bytes} B, {settled} settled, rewrote={rewrote})"
             ),
             EngineEvent::SettledMove { id, level, tables } => {
                 format!("compaction #{id} settled {tables} table(s) from L{level}")
@@ -399,10 +407,11 @@ impl TraceEvent {
                 level,
                 victims,
                 input_bytes,
+                policy,
             } => {
                 let _ = write!(
                     s,
-                    ",\"id\":{id},\"level\":{level},\"victims\":{victims},\"input_bytes\":{input_bytes}"
+                    ",\"id\":{id},\"level\":{level},\"victims\":{victims},\"input_bytes\":{input_bytes},\"policy\":\"{policy}\""
                 );
             }
             EngineEvent::CompactionEnd {
@@ -411,10 +420,11 @@ impl TraceEvent {
                 output_bytes,
                 settled,
                 rewrote,
+                policy,
             } => {
                 let _ = write!(
                     s,
-                    ",\"id\":{id},\"outputs\":{outputs},\"output_bytes\":{output_bytes},\"settled\":{settled},\"rewrote\":{rewrote}"
+                    ",\"id\":{id},\"outputs\":{outputs},\"output_bytes\":{output_bytes},\"settled\":{settled},\"rewrote\":{rewrote},\"policy\":\"{policy}\""
                 );
             }
             EngineEvent::SettledMove { id, level, tables } => {
@@ -699,6 +709,7 @@ mod tests {
             level: 1,
             victims: 4,
             input_bytes: 4096,
+            policy: "leveled",
         });
         sink.emit(EngineEvent::Barrier {
             cause: BarrierCause::CompactionManifest,
@@ -707,6 +718,7 @@ mod tests {
         let lines: Vec<String> = sink.drain().iter().map(TraceEvent::to_json).collect();
         assert!(lines[0].contains("\"type\":\"compaction_begin\""));
         assert!(lines[0].contains("\"victims\":4"));
+        assert!(lines[0].contains("\"policy\":\"leveled\""));
         assert!(lines[1].contains("\"cause\":\"compaction_manifest\""));
         assert!(lines[1].contains("\"kind\":\"fsync\""));
         for line in &lines {

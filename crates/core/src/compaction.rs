@@ -1,5 +1,16 @@
-//! Compaction picking: victims, group selection, settled-compaction
-//! candidates, clusters, and the entry-drop rule.
+//! Compaction picking behind the pluggable [`CompactionPolicy`] trait:
+//! victims, group selection, settled-compaction candidates, clusters, and
+//! the entry-drop rule.
+//!
+//! Three policies ship (see `DESIGN.md` §13 for the design-space mapping
+//! and `docs/compaction-tuning.md` for when to pick which):
+//!
+//! * [`CompactionPolicyKind::Leveled`] — the classic picker, behavior-
+//!   identical to the engine before policies were pluggable;
+//! * [`CompactionPolicyKind::SizeTiered`] — STCS size-band bucketing,
+//!   every level holds overlapping runs;
+//! * [`CompactionPolicyKind::LazyLeveled`] — tiered above, leveled at the
+//!   largest level.
 //!
 //! This module is pure metadata logic (no I/O) so it can be unit-tested
 //! exhaustively; execution lives in `db.rs`.
@@ -9,8 +20,8 @@ use std::sync::Arc;
 use bolt_table::comparator::{Comparator, InternalKeyComparator};
 use bolt_table::ikey::{ParsedInternalKey, SequenceNumber, ValueType};
 
-use crate::options::{CompactionStyle, Options};
-use crate::version::{TableMeta, Version};
+use crate::options::{CompactionPolicyKind, CompactionStyle, Options};
+use crate::version::{Run, RunLayout, TableMeta, Version};
 
 /// Why a compaction was scheduled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,25 +34,55 @@ pub enum CompactionReason {
     Seek,
 }
 
-/// A picked compaction, ready for execution.
+/// How a compaction's merged output lands at [`CompactionTask::output_level`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputShape {
+    /// Output joins the level's single sorted run (tag 0). Inputs include
+    /// the overlapping tables already there (`next_inputs`), the merge is
+    /// split into independent [`Cluster`]s, and compact pointers advance.
+    Leveled,
+    /// Output becomes a *fresh* run appended at the output level, newer
+    /// than every run already there. Existing runs are untouched, so
+    /// `next_inputs` is empty and the whole input set merges as one unit.
+    AppendRun,
+    /// Output *replaces* the merged runs in place at the source level
+    /// (deepest-level tiered merge: there is nowhere further down). The
+    /// output run reuses `tag` — the tag of the newest input run — so it
+    /// stays correctly ordered against any runs left behind.
+    ReplaceRun {
+        /// Run tag the merged output is committed under.
+        tag: u64,
+    },
+}
+
+/// A picked compaction, ready for execution by `db.rs`.
+///
+/// Produced by a [`CompactionPolicy`] (via [`pick_compaction`]) or by the
+/// manual-compaction path. `input_runs` holds the victims at `level`
+/// grouped by source run; `output_level` and `output` describe where and
+/// in what shape the merged result lands.
 #[derive(Debug)]
 pub struct CompactionTask {
     /// Source level.
     pub level: usize,
+    /// Level the merged output (and any settled moves) lands at. Equal to
+    /// `level + 1` except for in-place deepest-level tiered merges
+    /// ([`OutputShape::ReplaceRun`]), where it equals `level`.
+    pub output_level: usize,
     /// Why it was picked.
     pub reason: CompactionReason,
     /// Victims at `level` to merge, grouped by run (each group sorted and
     /// internally disjoint).
     pub input_runs: Vec<Vec<Arc<TableMeta>>>,
-    /// Overlapping tables at `level + 1` (sorted, disjoint; empty for
-    /// fragmented compactions).
+    /// Overlapping tables at `output_level` that must be rewritten with the
+    /// victims (sorted, disjoint; non-empty only for
+    /// [`OutputShape::Leveled`]).
     pub next_inputs: Vec<Arc<TableMeta>>,
     /// Zero-overlap victims promoted without rewriting (settled compaction
     /// or LevelDB trivial move).
     pub settled_moves: Vec<Arc<TableMeta>>,
-    /// Fragmented style: append the merged output as a new run at
-    /// `level + 1` without touching existing runs there.
-    pub fragmented: bool,
+    /// Shape of the merged output at `output_level`.
+    pub output: OutputShape,
 }
 
 impl CompactionTask {
@@ -74,31 +115,105 @@ impl CompactionTask {
     }
 }
 
-/// Compute the compaction score of every level; > 1.0 means "needs work".
-pub fn level_scores(opts: &Options, version: &Version) -> Vec<f64> {
-    let mut scores = vec![0.0; version.levels.len()];
-    scores[0] = version.levels[0].num_runs() as f64 / opts.level0_compaction_trigger as f64;
-    // The deepest level has no target below it.
-    for (level, score) in scores
-        .iter_mut()
-        .enumerate()
-        .take(version.levels.len().saturating_sub(1))
-        .skip(1)
-    {
-        *score = version.levels[level].size() as f64 / opts.max_bytes_for_level(level) as f64;
-    }
-    scores
-}
-
-/// `true` if any level needs compaction (ignoring seek candidates).
-pub fn needs_compaction(opts: &Options, version: &Version) -> bool {
-    level_scores(opts, version).iter().any(|&s| s >= 1.0)
-}
-
-/// Pick the next compaction, if any.
+/// Pluggable victim-selection strategy: the "victim choice" and "data
+/// layout" knobs of the compaction design space (`DESIGN.md` §13).
 ///
+/// Policies are stateless unit structs that read their tuning knobs from
+/// [`Options`]; obtain the instance matching an option set with
+/// [`policy_for`]. A policy decides *which* tables merge and *where* the
+/// output lands ([`OutputShape`]); execution, barriers, and MANIFEST
+/// commits in `db.rs` are policy-agnostic.
+///
+/// The two hooks must agree: whenever [`CompactionPolicy::needs_compaction`]
+/// is `true`, [`CompactionPolicy::pick`] must return a task, or the
+/// background scheduler would spin without making progress.
+///
+/// ```
+/// use bolt_core::{policy_for, CompactionPolicyKind, Options};
+///
+/// let opts = Options::bolt();
+/// let policy = policy_for(opts.compaction_policy);
+/// assert_eq!(policy.kind(), CompactionPolicyKind::Leveled);
+/// ```
+pub trait CompactionPolicy: Send + Sync + std::fmt::Debug {
+    /// Which layout family this policy implements (also what gets pinned
+    /// in the MANIFEST).
+    fn kind(&self) -> CompactionPolicyKind;
+
+    /// Per-level compaction scores; `>= 1.0` means the level needs work.
+    /// The flush scheduler and `compact_until_quiet` consult these.
+    fn level_scores(&self, opts: &Options, version: &Version) -> Vec<f64>;
+
+    /// `true` if any level scores `>= 1.0` (ignoring seek candidates).
+    fn needs_compaction(&self, opts: &Options, version: &Version) -> bool {
+        self.level_scores(opts, version).iter().any(|&s| s >= 1.0)
+    }
+
+    /// Pick the next compaction, if any. `compact_pointer` carries the
+    /// per-level round-robin cursors (used by the leveled policy only);
+    /// `seek_candidate` is a `(level, table)` pair charged out of its seek
+    /// budget, consulted only when no size-based compaction is due.
+    fn pick(
+        &self,
+        opts: &Options,
+        icmp: &InternalKeyComparator,
+        version: &Version,
+        compact_pointer: &[Option<Vec<u8>>],
+        seek_candidate: Option<(usize, Arc<TableMeta>)>,
+    ) -> Option<CompactionTask>;
+}
+
+/// The static [`CompactionPolicy`] instance for `kind`.
+///
+/// Policies are stateless (all tuning lives on [`Options`]), so a static
+/// reference suffices — no allocation, no registry.
+pub fn policy_for(kind: CompactionPolicyKind) -> &'static dyn CompactionPolicy {
+    match kind {
+        CompactionPolicyKind::Leveled => &LeveledPolicy,
+        CompactionPolicyKind::SizeTiered => &SizeTieredPolicy,
+        CompactionPolicyKind::LazyLeveled => &LazyLeveledPolicy,
+    }
+}
+
+/// The run-layout invariant `VersionBuilder::build` must enforce for this
+/// option set (which levels may hold more than one sorted run).
+pub fn run_layout_for(opts: &Options) -> RunLayout {
+    if matches!(opts.compaction_style, CompactionStyle::Fragmented) {
+        // The fragmented (guard-based) style predates pluggable policies
+        // and allows overlapping runs everywhere.
+        return RunLayout::Unrestricted;
+    }
+    match opts.compaction_policy {
+        CompactionPolicyKind::Leveled => RunLayout::SingleRunBeyond(1),
+        CompactionPolicyKind::SizeTiered => RunLayout::Unrestricted,
+        CompactionPolicyKind::LazyLeveled => {
+            RunLayout::SingleRunBeyond(opts.num_levels.saturating_sub(1))
+        }
+    }
+}
+
+/// Compute the compaction score of every level under the configured
+/// policy; a score `>= 1.0` means "needs work".
+///
+/// Convenience wrapper over [`CompactionPolicy::level_scores`] for
+/// `opts.compaction_policy`.
+pub fn level_scores(opts: &Options, version: &Version) -> Vec<f64> {
+    policy_for(opts.compaction_policy).level_scores(opts, version)
+}
+
+/// `true` if any level needs compaction under the configured policy
+/// (ignoring seek candidates).
+pub fn needs_compaction(opts: &Options, version: &Version) -> bool {
+    policy_for(opts.compaction_policy).needs_compaction(opts, version)
+}
+
+/// Pick the next compaction, if any, under `opts.compaction_policy`.
+///
+/// `compact_pointer` carries the per-level round-robin cursors;
 /// `seek_candidate` is a `(level, table)` pair charged out of its seek
-/// budget; it is used only when no size-based compaction is due.
+/// budget. Both are consulted only by policies that use them (the leveled
+/// policy; tiered policies ignore them). Convenience wrapper over
+/// [`CompactionPolicy::pick`].
 pub fn pick_compaction(
     opts: &Options,
     icmp: &InternalKeyComparator,
@@ -106,64 +221,104 @@ pub fn pick_compaction(
     compact_pointer: &[Option<Vec<u8>>],
     seek_candidate: Option<(usize, Arc<TableMeta>)>,
 ) -> Option<CompactionTask> {
-    let scores = level_scores(opts, version);
-    let (best_level, best_score) = scores
-        .iter()
-        .copied()
-        .enumerate()
-        .max_by(|a, b| a.1.total_cmp(&b.1))?;
+    policy_for(opts.compaction_policy).pick(opts, icmp, version, compact_pointer, seek_candidate)
+}
 
-    if best_score >= 1.0 {
-        if matches!(opts.compaction_style, CompactionStyle::Fragmented) {
-            return Some(pick_fragmented(version, best_level));
-        }
-        if best_level == 0 {
-            return Some(pick_level0(opts, icmp, version));
-        }
-        return Some(pick_leveled(
-            opts,
-            icmp,
-            version,
-            compact_pointer,
-            best_level,
-        ));
+/// The classic leveled picker: single sorted run per level beyond L0,
+/// size-ratio triggers, round-robin (or settled least-overlap) victim
+/// choice. Behavior-identical to the engine before policies were
+/// pluggable; also hosts the fragmented-style and seek-compaction paths.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LeveledPolicy;
+
+impl CompactionPolicy for LeveledPolicy {
+    fn kind(&self) -> CompactionPolicyKind {
+        CompactionPolicyKind::Leveled
     }
 
-    // Seek compaction (stock LevelDB only).
-    if opts.seek_compaction {
-        if let Some((level, table)) = seek_candidate {
-            if level + 1 < version.levels.len()
-                && version.levels[level]
-                    .tables()
-                    .any(|t| t.table_id == table.table_id)
-            {
-                if level == 0 {
-                    // L0 runs overlap each other: compacting one table in
-                    // isolation would sink a newer version below an older
-                    // one. Take the whole of level 0 (LevelDB expands L0
-                    // inputs to all overlapping files for the same reason).
-                    let mut task = pick_level0(opts, icmp, version);
-                    task.reason = CompactionReason::Seek;
-                    return Some(task);
+    fn level_scores(&self, opts: &Options, version: &Version) -> Vec<f64> {
+        let mut scores = vec![0.0; version.levels.len()];
+        scores[0] = version.levels[0].num_runs() as f64 / opts.level0_compaction_trigger as f64;
+        // The deepest level has no target below it.
+        for (level, score) in scores
+            .iter_mut()
+            .enumerate()
+            .take(version.levels.len().saturating_sub(1))
+            .skip(1)
+        {
+            *score = version.levels[level].size() as f64 / opts.max_bytes_for_level(level) as f64;
+        }
+        scores
+    }
+
+    fn pick(
+        &self,
+        opts: &Options,
+        icmp: &InternalKeyComparator,
+        version: &Version,
+        compact_pointer: &[Option<Vec<u8>>],
+        seek_candidate: Option<(usize, Arc<TableMeta>)>,
+    ) -> Option<CompactionTask> {
+        let scores = self.level_scores(opts, version);
+        let (best_level, best_score) = scores
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(&b.1))?;
+
+        if best_score >= 1.0 {
+            if matches!(opts.compaction_style, CompactionStyle::Fragmented) {
+                return Some(pick_fragmented(version, best_level));
+            }
+            if best_level == 0 {
+                return Some(pick_level0(opts, icmp, version));
+            }
+            return Some(pick_leveled(
+                opts,
+                icmp,
+                version,
+                compact_pointer,
+                best_level,
+            ));
+        }
+
+        // Seek compaction (stock LevelDB only).
+        if opts.seek_compaction {
+            if let Some((level, table)) = seek_candidate {
+                if level + 1 < version.levels.len()
+                    && version.levels[level]
+                        .tables()
+                        .any(|t| t.table_id == table.table_id)
+                {
+                    if level == 0 {
+                        // L0 runs overlap each other: compacting one table in
+                        // isolation would sink a newer version below an older
+                        // one. Take the whole of level 0 (LevelDB expands L0
+                        // inputs to all overlapping files for the same reason).
+                        let mut task = pick_level0(opts, icmp, version);
+                        task.reason = CompactionReason::Seek;
+                        return Some(task);
+                    }
+                    let next_inputs = version.overlapping_tables(
+                        icmp,
+                        level + 1,
+                        table.smallest_user_key(),
+                        table.largest_user_key(),
+                    );
+                    return Some(CompactionTask {
+                        level,
+                        output_level: level + 1,
+                        reason: CompactionReason::Seek,
+                        input_runs: vec![vec![table]],
+                        next_inputs,
+                        settled_moves: Vec::new(),
+                        output: OutputShape::Leveled,
+                    });
                 }
-                let next_inputs = version.overlapping_tables(
-                    icmp,
-                    level + 1,
-                    table.smallest_user_key(),
-                    table.largest_user_key(),
-                );
-                return Some(CompactionTask {
-                    level,
-                    reason: CompactionReason::Seek,
-                    input_runs: vec![vec![table]],
-                    next_inputs,
-                    settled_moves: Vec::new(),
-                    fragmented: false,
-                });
             }
         }
+        None
     }
-    None
 }
 
 fn pick_fragmented(version: &Version, level: usize) -> CompactionTask {
@@ -176,6 +331,7 @@ fn pick_fragmented(version: &Version, level: usize) -> CompactionTask {
         .collect();
     CompactionTask {
         level,
+        output_level: level + 1,
         reason: if level == 0 {
             CompactionReason::Level0
         } else {
@@ -184,7 +340,7 @@ fn pick_fragmented(version: &Version, level: usize) -> CompactionTask {
         input_runs,
         next_inputs: Vec::new(),
         settled_moves: Vec::new(),
-        fragmented: true,
+        output: OutputShape::AppendRun,
     }
 }
 
@@ -217,11 +373,12 @@ fn pick_level0(opts: &Options, icmp: &InternalKeyComparator, version: &Version) 
     };
     CompactionTask {
         level: 0,
+        output_level: 1,
         reason: CompactionReason::Level0,
         input_runs,
         next_inputs,
         settled_moves: Vec::new(),
-        fragmented: false,
+        output: OutputShape::Leveled,
     }
 }
 
@@ -333,11 +490,277 @@ fn pick_leveled(
 
     CompactionTask {
         level,
+        output_level: level + 1,
         reason: CompactionReason::Size,
         input_runs: vec![merge_victims],
         next_inputs,
         settled_moves,
-        fragmented: false,
+        output: OutputShape::Leveled,
+    }
+}
+
+/// STCS bucketing over a level's runs, oldest first.
+///
+/// Runs in a [`crate::version::LevelState`] are stored newest-first, so
+/// this walks them in reverse, growing a bucket while each next run's size
+/// stays inside the running-average band `[avg / ratio, avg * ratio]`
+/// (aeternusdb-style STCS). Returns the number of *oldest* runs to merge
+/// once the bucket reaches `size_tiered_min_threshold`. Only a contiguous
+/// oldest suffix is ever eligible: merging a subset that skips an older
+/// run would sink newer entries below it.
+///
+/// Fallback: when the size band is starved (runs too dissimilar) but the
+/// level holds at least `2 * min_threshold` runs, the oldest
+/// `min_threshold` runs merge anyway so the run count stays bounded.
+fn tier_bucket(opts: &Options, runs: &[Run]) -> Option<usize> {
+    let threshold = opts.size_tiered_min_threshold.max(2);
+    if runs.len() < 2 {
+        return None;
+    }
+    let ratio = opts.size_tiered_size_ratio;
+    let mut avg = 0.0_f64;
+    let mut len = 0usize;
+    for run in runs.iter().rev() {
+        let size = run.size() as f64;
+        if len > 0 && (size < avg / ratio || size > avg * ratio) {
+            break;
+        }
+        avg = (avg * len as f64 + size) / (len as f64 + 1.0);
+        len += 1;
+    }
+    if len >= threshold {
+        Some(len)
+    } else if runs.len() >= threshold * 2 {
+        Some(threshold)
+    } else {
+        None
+    }
+}
+
+/// Score a tiered level: `bucket_len / min_threshold` when a mergeable
+/// bucket exists (always `>= 1.0`, so scoring and picking agree), else a
+/// sub-1.0 fill fraction for observability.
+fn tier_score(opts: &Options, runs: &[Run]) -> f64 {
+    let threshold = opts.size_tiered_min_threshold.max(2) as f64;
+    match tier_bucket(opts, runs) {
+        Some(len) => len as f64 / threshold,
+        None => (runs.len() as f64 / threshold).min(0.99),
+    }
+}
+
+/// Shallowest level with the highest score (ties go to the shallower
+/// level so upstream debt is paid first).
+fn best_scored_level(scores: &[f64]) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64)> = None;
+    for (level, &score) in scores.iter().enumerate() {
+        if best.is_none_or(|(_, s)| score > s) {
+            best = Some((level, score));
+        }
+    }
+    best
+}
+
+/// Build the tiered merge task for `level`: the oldest size bucket merges
+/// into a fresh run appended one level down, or — at the deepest level —
+/// replaces itself in place under the newest input run's tag.
+fn pick_tiered(opts: &Options, version: &Version, level: usize) -> Option<CompactionTask> {
+    let runs = &version.levels[level].runs;
+    let len = tier_bucket(opts, runs)?;
+    let oldest = runs.len() - len;
+    let input_runs: Vec<Vec<Arc<TableMeta>>> =
+        runs[oldest..].iter().map(|r| r.tables.clone()).collect();
+    let (output_level, output) = if level + 1 < version.levels.len() {
+        // The bucket is strictly older than everything already at
+        // `level + 1` (data only ever flows down), so the output is
+        // committed as the *newest* run there.
+        (level + 1, OutputShape::AppendRun)
+    } else {
+        // Deepest level: merge in place. Reusing the newest input tag
+        // keeps the output ordered after (older than) the runs left
+        // behind, which all carry higher tags.
+        (
+            level,
+            OutputShape::ReplaceRun {
+                tag: runs[oldest].tag,
+            },
+        )
+    };
+    Some(CompactionTask {
+        level,
+        output_level,
+        reason: if level == 0 {
+            CompactionReason::Level0
+        } else {
+            CompactionReason::Size
+        },
+        input_runs,
+        next_inputs: Vec::new(),
+        settled_moves: Vec::new(),
+        output,
+    })
+}
+
+/// Pure size-tiered compaction (STCS): every level holds overlapping
+/// runs ordered by recency, and a level compacts when its oldest
+/// same-size-band bucket reaches `size_tiered_min_threshold` runs.
+///
+/// Minimizes write amplification (each entry is rewritten only when its
+/// whole bucket merges) at the cost of read and space amplification
+/// (point reads may consult every run on every level). Compact pointers
+/// and seek candidates are ignored — recency ordering leaves no freedom
+/// in victim choice.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SizeTieredPolicy;
+
+impl CompactionPolicy for SizeTieredPolicy {
+    fn kind(&self) -> CompactionPolicyKind {
+        CompactionPolicyKind::SizeTiered
+    }
+
+    fn level_scores(&self, opts: &Options, version: &Version) -> Vec<f64> {
+        version
+            .levels
+            .iter()
+            .map(|l| tier_score(opts, &l.runs))
+            .collect()
+    }
+
+    fn pick(
+        &self,
+        opts: &Options,
+        _icmp: &InternalKeyComparator,
+        version: &Version,
+        _compact_pointer: &[Option<Vec<u8>>],
+        _seek_candidate: Option<(usize, Arc<TableMeta>)>,
+    ) -> Option<CompactionTask> {
+        let scores = self.level_scores(opts, version);
+        let (level, score) = best_scored_level(&scores)?;
+        if score < 1.0 {
+            return None;
+        }
+        pick_tiered(opts, version, level)
+    }
+}
+
+/// Lazy-leveled hybrid: tiered (overlapping runs, bucket merges) on every
+/// level above the largest, leveled (single sorted run) at the largest
+/// level.
+///
+/// Upper levels accumulate runs cheaply like STCS; when the level feeding
+/// the largest one fills, the *whole* level merges leveled-style into the
+/// bottom run in one group compaction — bigger merges at the same
+/// 2-barrier cost, with bottom-level reads and space as good as leveled.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LazyLeveledPolicy;
+
+impl CompactionPolicy for LazyLeveledPolicy {
+    fn kind(&self) -> CompactionPolicyKind {
+        CompactionPolicyKind::LazyLeveled
+    }
+
+    fn level_scores(&self, opts: &Options, version: &Version) -> Vec<f64> {
+        let n = version.levels.len();
+        let mut scores = vec![0.0; n];
+        // All levels above the last are tiered; the last level itself is
+        // the leveled sink and never compacts further down.
+        for (level, score) in scores.iter_mut().enumerate().take(n - 1) {
+            *score = tier_score(opts, &version.levels[level].runs);
+        }
+        scores
+    }
+
+    fn pick(
+        &self,
+        opts: &Options,
+        icmp: &InternalKeyComparator,
+        version: &Version,
+        _compact_pointer: &[Option<Vec<u8>>],
+        _seek_candidate: Option<(usize, Arc<TableMeta>)>,
+    ) -> Option<CompactionTask> {
+        let scores = self.level_scores(opts, version);
+        let (level, score) = best_scored_level(&scores)?;
+        if score < 1.0 {
+            return None;
+        }
+        let last = version.levels.len() - 1;
+        if level + 1 < last {
+            // Tiered region: oldest bucket becomes a fresh run one down.
+            return pick_tiered(opts, version, level);
+        }
+        Some(pick_into_last(icmp, version, level))
+    }
+}
+
+/// Leveled merge of the whole of `level` (the last tiered level) into the
+/// single sorted run at the largest level.
+///
+/// Every run at `level` is taken — merging a subset would sink newer
+/// entries below the remaining runs. Victims that overlap neither the
+/// last level nor any other victim settle (move without rewriting),
+/// preserving BoLT's settled-compaction payoff inside the hybrid.
+fn pick_into_last(icmp: &InternalKeyComparator, version: &Version, level: usize) -> CompactionTask {
+    let last = version.levels.len() - 1;
+    let mut input_runs: Vec<Vec<Arc<TableMeta>>> = version.levels[level]
+        .runs
+        .iter()
+        .map(|r| r.tables.clone())
+        .collect();
+
+    // A victim may settle only if it overlaps nothing at the last level
+    // AND no other victim: everything else lands in the last level's
+    // single run, which must stay internally disjoint.
+    let all: Vec<Arc<TableMeta>> = input_runs.iter().flatten().map(Arc::clone).collect();
+    let ucmp = icmp.user_comparator();
+    let overlaps_other_victim = |t: &Arc<TableMeta>| {
+        all.iter().any(|o| {
+            o.table_id != t.table_id
+                && ucmp
+                    .compare(o.smallest_user_key(), t.largest_user_key())
+                    .is_le()
+                && ucmp
+                    .compare(o.largest_user_key(), t.smallest_user_key())
+                    .is_ge()
+        })
+    };
+    let mut settled_moves = Vec::new();
+    for run in &mut input_runs {
+        run.retain(|t| {
+            if overlap_bytes(icmp, version, last, t) == 0 && !overlaps_other_victim(t) {
+                settled_moves.push(Arc::clone(t));
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    let mut next_inputs: Vec<Arc<TableMeta>> = Vec::new();
+    for victim in input_runs.iter().flatten() {
+        for table in version.overlapping_tables(
+            icmp,
+            last,
+            victim.smallest_user_key(),
+            victim.largest_user_key(),
+        ) {
+            if !next_inputs.iter().any(|t| t.table_id == table.table_id) {
+                next_inputs.push(table);
+            }
+        }
+    }
+    next_inputs.sort_by(|a, b| icmp.compare(&a.smallest, &b.smallest));
+
+    CompactionTask {
+        level,
+        output_level: last,
+        reason: if level == 0 {
+            CompactionReason::Level0
+        } else {
+            CompactionReason::Size
+        },
+        input_runs,
+        next_inputs,
+        settled_moves,
+        output: OutputShape::Leveled,
     }
 }
 
@@ -652,7 +1075,8 @@ mod tests {
             (1, 6, meta(2, "b", "d", 100)), // overlapping runs allowed
         ]);
         let task = pick_compaction(&opts, &icmp(), &v, &vec![None; 7], None).unwrap();
-        assert!(task.fragmented);
+        assert_eq!(task.output, OutputShape::AppendRun);
+        assert_eq!(task.output_level, 2);
         assert_eq!(task.input_runs.len(), 2);
         assert!(task.next_inputs.is_empty());
     }
@@ -681,6 +1105,7 @@ mod tests {
     fn clusters_split_disconnected_ranges() {
         let task = CompactionTask {
             level: 1,
+            output_level: 2,
             reason: CompactionReason::Size,
             input_runs: vec![vec![
                 Arc::new(meta(1, "a", "c", 1)),
@@ -692,7 +1117,7 @@ mod tests {
                 Arc::new(meta(5, "c", "e", 1)),
             ],
             settled_moves: Vec::new(),
-            fragmented: false,
+            output: OutputShape::Leveled,
         };
         let cs = clusters(&icmp(), &task);
         assert_eq!(cs.len(), 2);
@@ -706,11 +1131,12 @@ mod tests {
     fn clusters_empty_task() {
         let task = CompactionTask {
             level: 1,
+            output_level: 2,
             reason: CompactionReason::Size,
             input_runs: vec![Vec::new()],
             next_inputs: Vec::new(),
             settled_moves: Vec::new(),
-            fragmented: false,
+            output: OutputShape::Leveled,
         };
         assert!(clusters(&icmp(), &task).is_empty());
     }
@@ -756,5 +1182,236 @@ mod tests {
         let del_new = make_internal_key(b"k", 200, ValueType::Deletion);
         let mut filter = DropFilter::new(100);
         assert!(!filter.should_drop(&parse_internal_key(&del_new).unwrap(), true));
+    }
+
+    fn tiered_opts(kind: CompactionPolicyKind) -> Options {
+        let mut opts = Options::bolt();
+        opts.compaction_policy = kind;
+        opts
+    }
+
+    #[test]
+    fn policy_for_dispatches_by_kind() {
+        for kind in [
+            CompactionPolicyKind::Leveled,
+            CompactionPolicyKind::SizeTiered,
+            CompactionPolicyKind::LazyLeveled,
+        ] {
+            assert_eq!(policy_for(kind).kind(), kind);
+        }
+    }
+
+    #[test]
+    fn run_layout_for_matches_policy() {
+        assert_eq!(
+            run_layout_for(&Options::bolt()),
+            RunLayout::SingleRunBeyond(1)
+        );
+        assert_eq!(
+            run_layout_for(&Options::leveldb()),
+            RunLayout::SingleRunBeyond(1)
+        );
+        assert_eq!(
+            run_layout_for(&tiered_opts(CompactionPolicyKind::SizeTiered)),
+            RunLayout::Unrestricted
+        );
+        assert_eq!(
+            run_layout_for(&tiered_opts(CompactionPolicyKind::LazyLeveled)),
+            RunLayout::SingleRunBeyond(6)
+        );
+        // The fragmented style keeps its own everything-overlaps layout.
+        assert_eq!(
+            run_layout_for(&Options::pebblesdb()),
+            RunLayout::Unrestricted
+        );
+    }
+
+    #[test]
+    fn size_tiered_merges_full_bucket_as_fresh_run() {
+        let opts = tiered_opts(CompactionPolicyKind::SizeTiered);
+        let v = version_with(&[
+            (1, 1, meta(1, "a", "c", 100)),
+            (1, 2, meta(2, "b", "d", 100)),
+            (1, 3, meta(3, "a", "d", 100)),
+            (1, 4, meta(4, "c", "e", 100)),
+            (1, 5, meta(5, "a", "e", 100)),
+        ]);
+        assert!(needs_compaction(&opts, &v));
+        let scores = level_scores(&opts, &v);
+        assert!(scores[1] >= 1.0, "five similar runs over threshold 4");
+        assert!(scores[0] < 1.0, "empty L0 stays quiet");
+
+        let task = pick_compaction(&opts, &icmp(), &v, &vec![None; 7], None).unwrap();
+        assert_eq!(task.level, 1);
+        assert_eq!(task.output_level, 2);
+        assert_eq!(task.output, OutputShape::AppendRun);
+        assert_eq!(task.input_runs.len(), 5, "whole bucket merges");
+        assert!(task.next_inputs.is_empty(), "existing L2 runs untouched");
+        assert!(task.settled_moves.is_empty());
+    }
+
+    #[test]
+    fn size_tiered_bucket_is_oldest_suffix_within_size_band() {
+        let mut opts = tiered_opts(CompactionPolicyKind::SizeTiered);
+        opts.size_tiered_min_threshold = 3;
+        // Oldest-first sizes 100,100,100,10_000: the newest run falls out
+        // of the size band and must be left behind.
+        let v = version_with(&[
+            (1, 1, meta(1, "a", "c", 100)),
+            (1, 2, meta(2, "b", "d", 100)),
+            (1, 3, meta(3, "a", "d", 100)),
+            (1, 4, meta(4, "c", "e", 10_000)),
+        ]);
+        let task = pick_compaction(&opts, &icmp(), &v, &vec![None; 7], None).unwrap();
+        let mut ids: Vec<u64> = task
+            .input_runs
+            .iter()
+            .flatten()
+            .map(|t| t.table_id)
+            .collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2, 3], "oldest three merge, newest stays");
+    }
+
+    #[test]
+    fn size_tiered_deepest_level_replaces_in_place() {
+        let mut opts = tiered_opts(CompactionPolicyKind::SizeTiered);
+        opts.size_tiered_min_threshold = 4;
+        // Six runs at the deepest level; the newest two are out of band.
+        let v = version_with(&[
+            (6, 1, meta(1, "a", "c", 100)),
+            (6, 2, meta(2, "b", "d", 100)),
+            (6, 3, meta(3, "a", "d", 100)),
+            (6, 4, meta(4, "c", "e", 100)),
+            (6, 5, meta(5, "a", "e", 10_000)),
+            (6, 6, meta(6, "b", "e", 10_000)),
+        ]);
+        let task = pick_compaction(&opts, &icmp(), &v, &vec![None; 7], None).unwrap();
+        assert_eq!(task.level, 6);
+        assert_eq!(task.output_level, 6, "nowhere further down");
+        assert_eq!(
+            task.output,
+            OutputShape::ReplaceRun { tag: 4 },
+            "output reuses the newest input run's tag"
+        );
+        assert_eq!(task.input_runs.len(), 4);
+    }
+
+    #[test]
+    fn size_tiered_fallback_bounds_run_count_when_band_starved() {
+        let mut opts = tiered_opts(CompactionPolicyKind::SizeTiered);
+        opts.size_tiered_min_threshold = 2;
+        // Wildly dissimilar sizes: no band forms, but 4 >= 2 * threshold
+        // forces the oldest `threshold` runs to merge anyway.
+        let v = version_with(&[
+            (1, 1, meta(1, "a", "c", 1)),
+            (1, 2, meta(2, "b", "d", 100)),
+            (1, 3, meta(3, "a", "d", 10_000)),
+            (1, 4, meta(4, "c", "e", 1_000_000)),
+        ]);
+        let task = pick_compaction(&opts, &icmp(), &v, &vec![None; 7], None).unwrap();
+        let mut ids: Vec<u64> = task
+            .input_runs
+            .iter()
+            .flatten()
+            .map(|t| t.table_id)
+            .collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2], "oldest two force-merge");
+    }
+
+    #[test]
+    fn lazy_leveled_merges_feeder_level_into_last_with_settling() {
+        let opts = tiered_opts(CompactionPolicyKind::LazyLeveled);
+        // Level 5 feeds the leveled last level (6). Victim 1 overlaps the
+        // bottom run and must rewrite; victims 2..4 overlap nothing and
+        // settle.
+        let v = version_with(&[
+            (5, 1, meta(1, "a", "c", 100)),
+            (5, 2, meta(2, "e", "g", 100)),
+            (5, 3, meta(3, "i", "k", 100)),
+            (5, 4, meta(4, "m", "o", 100)),
+            (6, 0, meta(5, "a", "d", 100)),
+        ]);
+        let task = pick_compaction(&opts, &icmp(), &v, &vec![None; 7], None).unwrap();
+        assert_eq!(task.level, 5);
+        assert_eq!(task.output_level, 6);
+        assert_eq!(task.output, OutputShape::Leveled);
+        let merge_ids: Vec<u64> = task
+            .input_runs
+            .iter()
+            .flatten()
+            .map(|t| t.table_id)
+            .collect();
+        assert_eq!(merge_ids, vec![1], "only the overlapping victim rewrites");
+        assert_eq!(task.next_inputs.len(), 1);
+        assert_eq!(task.next_inputs[0].table_id, 5);
+        let mut settled: Vec<u64> = task.settled_moves.iter().map(|t| t.table_id).collect();
+        settled.sort_unstable();
+        assert_eq!(settled, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn lazy_leveled_keeps_mutually_overlapping_victims_in_the_merge() {
+        let opts = tiered_opts(CompactionPolicyKind::LazyLeveled);
+        // No last-level overlap at all, but victims 1 and 2 overlap each
+        // other: both must rewrite into the single bottom run.
+        let v = version_with(&[
+            (5, 1, meta(1, "a", "d", 100)),
+            (5, 2, meta(2, "c", "f", 100)),
+            (5, 3, meta(3, "x", "z", 100)),
+            (5, 4, meta(4, "p", "q", 100)),
+        ]);
+        let task = pick_compaction(&opts, &icmp(), &v, &vec![None; 7], None).unwrap();
+        let mut merge_ids: Vec<u64> = task
+            .input_runs
+            .iter()
+            .flatten()
+            .map(|t| t.table_id)
+            .collect();
+        merge_ids.sort_unstable();
+        assert_eq!(merge_ids, vec![1, 2]);
+        let mut settled: Vec<u64> = task.settled_moves.iter().map(|t| t.table_id).collect();
+        settled.sort_unstable();
+        assert_eq!(settled, vec![3, 4]);
+    }
+
+    #[test]
+    fn lazy_leveled_tiers_shallow_levels_first() {
+        let opts = tiered_opts(CompactionPolicyKind::LazyLeveled);
+        let mut tables = Vec::new();
+        for i in 0..4u64 {
+            tables.push((2u32, i + 1, meta(i + 1, "a", "e", 100)));
+            tables.push((5u32, i + 10, meta(i + 10, "a", "e", 100)));
+        }
+        let v = version_with(&tables);
+        let task = pick_compaction(&opts, &icmp(), &v, &vec![None; 7], None).unwrap();
+        assert_eq!(task.level, 2, "shallower debt paid first");
+        assert_eq!(task.output, OutputShape::AppendRun);
+        assert_eq!(task.output_level, 3);
+    }
+
+    #[test]
+    fn tiered_policies_agree_between_needs_and_pick() {
+        // Whenever needs_compaction says yes, pick must produce a task —
+        // otherwise the background scheduler would spin.
+        for kind in [
+            CompactionPolicyKind::SizeTiered,
+            CompactionPolicyKind::LazyLeveled,
+        ] {
+            let opts = tiered_opts(kind);
+            for runs in 0..6u64 {
+                let tables: Vec<(u32, u64, TableMeta)> = (0..runs)
+                    .map(|i| (1u32, i + 1, meta(i + 1, "a", "e", 100)))
+                    .collect();
+                let v = version_with(&tables);
+                let picked = pick_compaction(&opts, &icmp(), &v, &vec![None; 7], None).is_some();
+                assert_eq!(
+                    needs_compaction(&opts, &v),
+                    picked,
+                    "{kind:?} with {runs} runs: needs_compaction and pick disagree"
+                );
+            }
+        }
     }
 }

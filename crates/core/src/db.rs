@@ -32,7 +32,8 @@ use bolt_wal::{LogReader, LogWriter};
 
 use crate::batch::WriteBatch;
 use crate::compaction::{
-    clusters, needs_compaction, pick_compaction, CompactionReason, CompactionTask, DropFilter,
+    clusters, needs_compaction, pick_compaction, run_layout_for, CompactionReason, CompactionTask,
+    DropFilter, OutputShape,
 };
 use crate::filename::{current_file, log_file, parse_file_name, table_file, FileType};
 use crate::iterator::{DbIter, InternalIterator, MergingIter, RunIter};
@@ -41,7 +42,7 @@ use crate::metrics::{MetricsSnapshot, QueueWaitSummary};
 use crate::options::{Options, ReadOptions, WriteOptions};
 use crate::stats::DbStats;
 use crate::txn::{self, ShardTxnMarker, TxnWalRecord};
-use crate::version::{TableMeta, Version, VersionEdit};
+use crate::version::{RunLayout, TableMeta, Version, VersionEdit};
 use crate::versions::VersionSet;
 
 /// A writer queued for group commit. All fields except `sync` are mutated
@@ -355,6 +356,13 @@ impl Db {
 
         let mut versions = VersionSet::new(Arc::clone(&env), name, icmp.clone(), opts.num_levels);
         versions.set_event_sink(Arc::clone(&sink));
+        // Pin the policy before the MANIFEST exists (create) or is replayed
+        // (recover): a fresh database records it, an existing one refuses a
+        // mismatch.
+        versions.set_compaction_policy(
+            opts.compaction_policy,
+            crate::compaction::run_layout_for(&opts),
+        );
         let is_new = !env.file_exists(&current_file(name));
         if is_new {
             versions.create_new()?;
@@ -780,6 +788,7 @@ impl Db {
             db: inner.stats.snapshot(),
             io: inner.env.stats().snapshot(),
             levels: self.level_info(),
+            policy: inner.opts.compaction_policy.as_str(),
             queue_wait: QueueWaitSummary {
                 count: qw.count(),
                 sum: qw.sum(),
@@ -1567,7 +1576,7 @@ impl DbInner {
     // ------------------------------------------------------------------
 
     fn run_compaction(&self, task: CompactionTask) -> Result<()> {
-        let output_level = task.level + 1;
+        let output_level = task.output_level;
         let smallest_snapshot = {
             let state = self.state.lock();
             state
@@ -1585,6 +1594,7 @@ impl DbInner {
             level: task.level as u32,
             victims: (task.merge_inputs().count() + task.settled_moves.len()) as u64,
             input_bytes: task.input_bytes(),
+            policy: self.opts.compaction_policy.as_str(),
         });
 
         let mut edit = VersionEdit::default();
@@ -1625,40 +1635,55 @@ impl DbInner {
             // compaction (a preempted flush re-tags its own barriers).
             let _scope = BarrierScope::new(BarrierCause::CompactionData);
             let built = (|| -> Result<Vec<(u64, BuiltTable)>> {
-                if task.fragmented {
-                    let children: Vec<Box<dyn InternalIterator>> = task
-                        .input_runs
-                        .iter()
-                        .filter(|r| !r.is_empty())
-                        .map(|r| self.run_iter(r.clone()))
-                        .collect();
-                    let mut merged = MergingIter::new(self.icmp.clone(), children);
-                    merged.seek_to_first()?;
-                    let mut filter = DropFilter::new(smallest_snapshot);
-                    // Fragmented tombstones must survive unless no run at or
-                    // below the output level can hold the key.
-                    sink.write_run(&mut merged, Some(&mut filter), &version, output_level, true)?;
-                } else {
-                    for cluster in clusters(&self.icmp, &task) {
-                        let mut children: Vec<Box<dyn InternalIterator>> = cluster
+                match task.output {
+                    OutputShape::AppendRun | OutputShape::ReplaceRun { .. } => {
+                        let children: Vec<Box<dyn InternalIterator>> = task
                             .input_runs
                             .iter()
                             .filter(|r| !r.is_empty())
                             .map(|r| self.run_iter(r.clone()))
                             .collect();
-                        if !cluster.next_inputs.is_empty() {
-                            children.push(self.run_iter(cluster.next_inputs.clone()));
-                        }
                         let mut merged = MergingIter::new(self.icmp.clone(), children);
                         merged.seek_to_first()?;
                         let mut filter = DropFilter::new(smallest_snapshot);
+                        // AppendRun outputs land above still-live runs, so a
+                        // tombstone must survive unless no run at or below
+                        // the output level can hold the key. A ReplaceRun
+                        // merges the oldest suffix of the deepest level —
+                        // nothing older exists anywhere, so tombstones are
+                        // droppable (and scanning from the output level would
+                        // find the inputs themselves, retaining them forever).
+                        let include_output_level = matches!(task.output, OutputShape::AppendRun);
                         sink.write_run(
                             &mut merged,
                             Some(&mut filter),
                             &version,
                             output_level,
-                            false,
+                            include_output_level,
                         )?;
+                    }
+                    OutputShape::Leveled => {
+                        for cluster in clusters(&self.icmp, &task) {
+                            let mut children: Vec<Box<dyn InternalIterator>> = cluster
+                                .input_runs
+                                .iter()
+                                .filter(|r| !r.is_empty())
+                                .map(|r| self.run_iter(r.clone()))
+                                .collect();
+                            if !cluster.next_inputs.is_empty() {
+                                children.push(self.run_iter(cluster.next_inputs.clone()));
+                            }
+                            let mut merged = MergingIter::new(self.icmp.clone(), children);
+                            merged.seek_to_first()?;
+                            let mut filter = DropFilter::new(smallest_snapshot);
+                            sink.write_run(
+                                &mut merged,
+                                Some(&mut filter),
+                                &version,
+                                output_level,
+                                false,
+                            )?;
+                        }
                     }
                 }
                 sink.finish()
@@ -1688,10 +1713,14 @@ impl DbInner {
                 edit.deleted_tables
                     .push((task.level as u32, table.table_id));
             }
-            let mut run_tag = 0;
+            let mut run_tag = match task.output {
+                OutputShape::Leveled => 0,
+                OutputShape::AppendRun => 0, // set from the first table id below
+                OutputShape::ReplaceRun { tag } => tag,
+            };
             for (i, (file_number, built)) in outputs.iter().enumerate() {
                 let table_id = versions.new_table_id();
-                if i == 0 && task.fragmented {
+                if i == 0 && task.output == OutputShape::AppendRun {
                     run_tag = table_id;
                 }
                 output_bytes += built.size;
@@ -1709,7 +1738,7 @@ impl DbInner {
                     ),
                 ));
             }
-            if task.reason == CompactionReason::Size && !task.fragmented {
+            if task.reason == CompactionReason::Size && task.output == OutputShape::Leveled {
                 if let Some(key) = task.max_victim_key(&self.icmp) {
                     edit.compact_pointers.push((task.level as u32, key));
                 }
@@ -1728,6 +1757,7 @@ impl DbInner {
             output_bytes,
             settled: task.settled_moves.len() as u64,
             rewrote: !outputs.is_empty(),
+            policy: self.opts.compaction_policy.as_str(),
         });
         self.refresh_shape_hints();
         Ok(())
@@ -1741,13 +1771,17 @@ impl DbInner {
         if overlapping.is_empty() {
             return None;
         }
-        let fragmented = matches!(
-            self.opts.compaction_style,
-            crate::options::CompactionStyle::Fragmented
-        );
-        // L0 runs (and fragmented levels) overlap each other: take whole
-        // runs to preserve recency ordering.
-        let take_whole_level = level == 0 || fragmented;
+        let layout = run_layout_for(&self.opts);
+        let multi_run_at = |l: usize| match layout {
+            RunLayout::Unrestricted => true,
+            RunLayout::SingleRunBeyond(threshold) => l < threshold,
+        };
+        // Levels that may hold overlapping runs must move as whole runs to
+        // preserve recency ordering; L0 runs always overlap each other.
+        let take_whole_level = level == 0 || multi_run_at(level);
+        // When the output level may itself hold sibling runs, the merge
+        // appends a fresh run there instead of folding into a sorted level.
+        let append = multi_run_at(level + 1);
         let input_runs: Vec<Vec<Arc<TableMeta>>> = if take_whole_level {
             version.levels[level]
                 .runs
@@ -1757,7 +1791,7 @@ impl DbInner {
         } else {
             vec![overlapping]
         };
-        let next_inputs = if fragmented {
+        let next_inputs = if append {
             Vec::new()
         } else {
             let mut next: Vec<Arc<TableMeta>> = Vec::new();
@@ -1778,11 +1812,16 @@ impl DbInner {
         };
         Some(CompactionTask {
             level,
+            output_level: level + 1,
             reason: CompactionReason::Size,
             input_runs,
             next_inputs,
             settled_moves: Vec::new(),
-            fragmented,
+            output: if append {
+                OutputShape::AppendRun
+            } else {
+                OutputShape::Leveled
+            },
         })
     }
 
@@ -1872,8 +1911,8 @@ impl DbInner {
                                     if replay {
                                         payload.set_sequence(base_seq);
                                         payload.apply_to(&mem)?;
-                                        max_seq = max_seq
-                                            .max(base_seq + u64::from(payload.count()) - 1);
+                                        max_seq =
+                                            max_seq.max(base_seq + u64::from(payload.count()) - 1);
                                     }
                                 }
                                 // Below the log floor a missing stash is
@@ -2751,13 +2790,9 @@ mod tests {
             db.flush().unwrap();
             db.close().unwrap();
         }
-        let db = Db::open_with_committed_txns(
-            Arc::clone(&env) as Arc<dyn Env>,
-            "db",
-            opts,
-            vec![11u64],
-        )
-        .unwrap();
+        let db =
+            Db::open_with_committed_txns(Arc::clone(&env) as Arc<dyn Env>, "db", opts, vec![11u64])
+                .unwrap();
         assert_eq!(db.get(b"pinned").unwrap(), Some(b"alive".to_vec()));
         db.close().unwrap();
     }

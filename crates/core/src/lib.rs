@@ -50,8 +50,11 @@ pub mod versions;
 pub use batch::WriteBatch;
 pub use bolt_common::events::{BarrierCause, BarrierKind, EngineEvent, TraceEvent};
 pub use bolt_common::metrics::{Metric, MetricValue, MetricsRegistry};
+pub use compaction::{policy_for, CompactionPolicy, CompactionTask, OutputShape};
 pub use db::{Db, DbIterator, LevelInfo, Snapshot};
 pub use metrics::{MetricsSnapshot, QueueWaitSummary};
-pub use options::{BoltOptions, CompactionStyle, Options, ReadOptions, WriteOptions};
+pub use options::{
+    BoltOptions, CompactionPolicyKind, CompactionStyle, Options, ReadOptions, WriteOptions,
+};
 pub use stats::{DbStats, DbStatsSnapshot};
 pub use txn::{ShardTxnMarker, TxnWalRecord};

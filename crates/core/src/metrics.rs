@@ -44,6 +44,10 @@ pub struct MetricsSnapshot {
     pub io: IoSnapshot,
     /// Per-level shape (runs, tables, bytes).
     pub levels: Vec<LevelInfo>,
+    /// Stable name of the compaction policy this database runs
+    /// (`leveled`, `size_tiered`, or `lazy_leveled`; empty in a default
+    /// snapshot, rendered as `leveled`).
+    pub policy: &'static str,
     /// Writer time-in-queue summary.
     pub queue_wait: QueueWaitSummary,
     /// Cumulative barriers attributed to each cause, in
@@ -152,6 +156,34 @@ impl MetricsSnapshot {
         reg.counter("bolt_events_dropped_total", &[], self.events_dropped);
         reg.counter("bolt_manifest_recuts_total", &[], self.manifest_recuts);
 
+        // Per-policy breakdown: a database runs one policy for life (the
+        // MANIFEST pins it), so the label tags this database's series and
+        // aggregation across databases sums per policy.
+        let policy = [(
+            "policy",
+            if self.policy.is_empty() {
+                "leveled"
+            } else {
+                self.policy
+            },
+        )];
+        reg.counter("bolt_policy_compactions_total", &policy, d.compactions);
+        reg.counter(
+            "bolt_policy_compaction_input_bytes_total",
+            &policy,
+            d.compaction_input_bytes,
+        );
+        reg.counter(
+            "bolt_policy_compaction_output_bytes_total",
+            &policy,
+            d.compaction_output_bytes,
+        );
+        reg.gauge(
+            "bolt_policy_write_amplification",
+            &policy,
+            self.write_amplification(),
+        );
+
         for (i, level) in self.levels.iter().enumerate() {
             let label = i.to_string();
             let labels = [("level", label.as_str())];
@@ -226,6 +258,7 @@ mod tests {
                     bytes: 3000,
                 },
             ],
+            policy: "leveled",
             queue_wait: QueueWaitSummary {
                 count: 10,
                 sum: 5000,
@@ -285,6 +318,14 @@ mod tests {
         assert_eq!(
             reg.find("bolt_manifest_recuts_total", &[]),
             Some(&MetricValue::Counter(1))
+        );
+        assert_eq!(
+            reg.find("bolt_policy_compactions_total", &[("policy", "leveled")]),
+            Some(&MetricValue::Counter(4))
+        );
+        assert_eq!(
+            reg.find("bolt_policy_write_amplification", &[("policy", "leveled")]),
+            Some(&MetricValue::Gauge(4.0))
         );
     }
 

@@ -130,6 +130,89 @@ impl<'a> ReadOptions<'a> {
     }
 }
 
+/// Which victim-selection policy drives background compaction.
+///
+/// The policy decides *what* to merge (trigger + victim choice + data
+/// layout, in the taxonomy of the compaction design-space paper,
+/// arXiv 2202.04522); the [`CompactionStyle`] decides *how* outputs are
+/// written (one file per table vs one compaction file per compaction).
+/// The two compose: every policy works under the BoLT style and pays the
+/// same 2 barriers per compaction.
+///
+/// The choice is **pinned in the MANIFEST** when the database is created:
+/// reopening with a different policy fails with
+/// [`bolt_common::Error::InvalidArgument`] instead of silently mis-reading
+/// a layout whose overlap invariants differ (see `DESIGN.md` §13).
+///
+/// ```
+/// use bolt_core::{CompactionPolicyKind, Options};
+///
+/// let mut opts = Options::bolt();
+/// opts.compaction_policy = CompactionPolicyKind::LazyLeveled;
+/// assert_eq!(opts.compaction_policy.as_str(), "lazy_leveled");
+/// assert_eq!(CompactionPolicyKind::parse("size-tiered"),
+///            Some(CompactionPolicyKind::SizeTiered));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum CompactionPolicyKind {
+    /// Classic leveled picking (LevelDB-shaped): levels ≥ 1 hold one sorted
+    /// run; a level over its byte limit merges victims into the next level.
+    /// Behavior-identical to the engine before policies were pluggable.
+    #[default]
+    Leveled,
+    /// Size-tiered (STCS): every level holds overlapping sorted runs;
+    /// runs of similar size are bucketed and a bucket of
+    /// [`Options::size_tiered_min_threshold`] runs is merged into one new
+    /// run at the next level. Lowest write amplification, highest read
+    /// amplification.
+    SizeTiered,
+    /// Lazy-leveled hybrid (Dostoevsky-shaped): tiered at every level above
+    /// the largest, leveled (single run) at the largest level. Most of
+    /// tiering's write-amp saving with leveled's bounded read amp on the
+    /// bulk of the data.
+    LazyLeveled,
+}
+
+impl CompactionPolicyKind {
+    /// Stable snake_case name (used in events, metrics labels, and traces).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CompactionPolicyKind::Leveled => "leveled",
+            CompactionPolicyKind::SizeTiered => "size_tiered",
+            CompactionPolicyKind::LazyLeveled => "lazy_leveled",
+        }
+    }
+
+    /// Parse a user-facing name (CLI flags accept `_` or `-` separators).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.replace('-', "_").as_str() {
+            "leveled" => Some(CompactionPolicyKind::Leveled),
+            "size_tiered" | "tiered" | "stcs" => Some(CompactionPolicyKind::SizeTiered),
+            "lazy_leveled" | "lazy" => Some(CompactionPolicyKind::LazyLeveled),
+            _ => None,
+        }
+    }
+
+    /// Stable numeric encoding written to the MANIFEST (never reorder).
+    pub fn manifest_tag(self) -> u64 {
+        match self {
+            CompactionPolicyKind::Leveled => 0,
+            CompactionPolicyKind::SizeTiered => 1,
+            CompactionPolicyKind::LazyLeveled => 2,
+        }
+    }
+
+    /// Decode a MANIFEST tag written by [`CompactionPolicyKind::manifest_tag`].
+    pub fn from_manifest_tag(tag: u64) -> Option<Self> {
+        match tag {
+            0 => Some(CompactionPolicyKind::Leveled),
+            1 => Some(CompactionPolicyKind::SizeTiered),
+            2 => Some(CompactionPolicyKind::LazyLeveled),
+            _ => None,
+        }
+    }
+}
+
 /// How compaction organizes levels and output files.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CompactionStyle {
@@ -193,6 +276,17 @@ pub struct Options {
     pub seek_compaction: bool,
     /// Compaction organization.
     pub compaction_style: CompactionStyle,
+    /// Victim-selection policy (pinned in the MANIFEST at creation; see
+    /// [`CompactionPolicyKind`]).
+    pub compaction_policy: CompactionPolicyKind,
+    /// Size-tiered / lazy-leveled: a size bucket merges once it holds this
+    /// many runs (STCS `min_threshold`; must be ≥ 2). Smaller = earlier
+    /// merges, lower read amp, higher write amp.
+    pub size_tiered_min_threshold: usize,
+    /// Size-tiered / lazy-leveled: a run joins the current bucket while its
+    /// size stays within `[avg / ratio, avg × ratio]` of the bucket's
+    /// running average (STCS bucketing band; must be > 1.0).
+    pub size_tiered_size_ratio: f64,
     /// Use ordering-only barriers where durability is not required (the
     /// BarrierFS ablation; requires an env with
     /// [`bolt_env::Env::supports_ordering_barrier`]).
@@ -226,6 +320,9 @@ impl Options {
             group_commit_bytes: 1 << 20,
             seek_compaction: true,
             compaction_style: CompactionStyle::Leveled,
+            compaction_policy: CompactionPolicyKind::Leveled,
+            size_tiered_min_threshold: 4,
+            size_tiered_size_ratio: 1.5,
             use_ordering_barriers: false,
         }
     }
@@ -415,6 +512,26 @@ impl Options {
                 ));
             }
         }
+        if self.compaction_policy != CompactionPolicyKind::Leveled
+            && matches!(self.compaction_style, CompactionStyle::Fragmented)
+        {
+            return Err(Error::InvalidArgument(
+                "the fragmented (guard-based) style has its own tiering; \
+                 combine size-tiered / lazy-leveled policies with the \
+                 leveled or BoLT styles instead"
+                    .into(),
+            ));
+        }
+        if self.size_tiered_min_threshold < 2 {
+            return Err(Error::InvalidArgument(
+                "size_tiered_min_threshold must be at least 2".into(),
+            ));
+        }
+        if self.size_tiered_size_ratio <= 1.0 || !self.size_tiered_size_ratio.is_finite() {
+            return Err(Error::InvalidArgument(
+                "size_tiered_size_ratio must be a finite value above 1.0".into(),
+            ));
+        }
         if self.max_open_files == 0 {
             return Err(Error::InvalidArgument(
                 "max_open_files must be positive".into(),
@@ -533,6 +650,63 @@ mod tests {
         let mut bad = Options::leveldb();
         bad.group_commit_bytes = 0;
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn compaction_policy_round_trips_and_defaults() {
+        for profile in [
+            Options::leveldb(),
+            Options::bolt(),
+            Options::hyperbolt(),
+            Options::rocksdb(),
+        ] {
+            assert_eq!(profile.compaction_policy, CompactionPolicyKind::Leveled);
+            assert_eq!(profile.size_tiered_min_threshold, 4);
+        }
+        for kind in [
+            CompactionPolicyKind::Leveled,
+            CompactionPolicyKind::SizeTiered,
+            CompactionPolicyKind::LazyLeveled,
+        ] {
+            assert_eq!(CompactionPolicyKind::parse(kind.as_str()), Some(kind));
+            assert_eq!(
+                CompactionPolicyKind::from_manifest_tag(kind.manifest_tag()),
+                Some(kind)
+            );
+        }
+        assert_eq!(
+            CompactionPolicyKind::parse("size-tiered"),
+            Some(CompactionPolicyKind::SizeTiered)
+        );
+        assert_eq!(
+            CompactionPolicyKind::parse("lazy-leveled"),
+            Some(CompactionPolicyKind::LazyLeveled)
+        );
+        assert_eq!(CompactionPolicyKind::parse("mystery"), None);
+        assert_eq!(CompactionPolicyKind::from_manifest_tag(99), None);
+    }
+
+    #[test]
+    fn policy_validation_rules() {
+        let mut opts = Options::bolt();
+        opts.compaction_policy = CompactionPolicyKind::SizeTiered;
+        opts.validate().unwrap();
+        opts.compaction_policy = CompactionPolicyKind::LazyLeveled;
+        opts.validate().unwrap();
+
+        let mut bad = Options::bolt();
+        bad.size_tiered_min_threshold = 1;
+        assert!(bad.validate().is_err());
+
+        let mut bad = Options::bolt();
+        bad.size_tiered_size_ratio = 1.0;
+        assert!(bad.validate().is_err());
+        bad.size_tiered_size_ratio = f64::NAN;
+        assert!(bad.validate().is_err());
+
+        let mut bad = Options::pebblesdb();
+        bad.compaction_policy = CompactionPolicyKind::SizeTiered;
+        assert!(bad.validate().is_err(), "fragmented style is leveled-only");
     }
 
     #[test]

@@ -2,13 +2,19 @@
 //!
 //! A [`Version`] is an immutable snapshot of which logical SSTables live at
 //! which level. Levels hold *runs* — sorted, internally disjoint sequences
-//! of tables. The three compaction styles map onto this one structure:
+//! of tables. Every compaction style and policy maps onto this one
+//! structure; they differ only in which levels may stack runs
+//! ([`RunLayout`]):
 //!
 //! * **Leveled / BoLT** — level 0 has one run per flush (runs may overlap
 //!   each other); levels ≥ 1 have at most one run (tag 0).
 //! * **Fragmented (PebblesDB-shaped)** — every level may hold many runs;
 //!   pushing a level down appends a new run to the next level without
 //!   rewriting it.
+//! * **Size-tiered** — like fragmented, every level stacks runs; merges
+//!   take the oldest same-size bucket of runs.
+//! * **Lazy-leveled** — tiered stacking everywhere except the last level,
+//!   which keeps the single-sorted-run leveled shape.
 //!
 //! The paper's settled compaction is visible here as a pure metadata move:
 //! a [`TableMeta`] changes level without its `(file, offset, size)`
@@ -28,6 +34,7 @@ use bolt_table::ikey::{extract_user_key, parse_internal_key, SequenceNumber, Val
 
 use crate::filename::table_file;
 use crate::memtable::LookupResult;
+use crate::options::CompactionPolicyKind;
 
 /// Metadata of one logical SSTable.
 #[derive(Debug)]
@@ -315,6 +322,10 @@ pub struct VersionEdit {
     pub deleted_tables: Vec<(u32, u64)>,
     /// Tables added: `(level, run_tag, meta)`.
     pub added_tables: Vec<(u32, u64, TableMeta)>,
+    /// Compaction policy the tree layout was built under. Written by the
+    /// first edit of every MANIFEST; reopen refuses a mismatch, because a
+    /// layout shaped by one policy silently violates another's invariants.
+    pub compaction_policy: Option<CompactionPolicyKind>,
 }
 
 mod tag {
@@ -325,6 +336,7 @@ mod tag {
     pub const COMPACT_POINTER: u64 = 5;
     pub const DELETED_TABLE: u64 = 6;
     pub const ADDED_TABLE: u64 = 7;
+    pub const COMPACTION_POLICY: u64 = 8;
 }
 
 impl VersionEdit {
@@ -356,6 +368,10 @@ impl VersionEdit {
             put_varint64(&mut out, tag::DELETED_TABLE);
             put_varint32(&mut out, *level);
             put_varint64(&mut out, *table_id);
+        }
+        if let Some(policy) = self.compaction_policy {
+            put_varint64(&mut out, tag::COMPACTION_POLICY);
+            put_varint64(&mut out, policy.manifest_tag());
         }
         for (level, run_tag, meta) in &self.added_tables {
             put_varint64(&mut out, tag::ADDED_TABLE);
@@ -423,6 +439,13 @@ impl VersionEdit {
                         ),
                     ));
                 }
+                tag::COMPACTION_POLICY => {
+                    let raw = dec.varint64()?;
+                    let policy = CompactionPolicyKind::from_manifest_tag(raw).ok_or_else(|| {
+                        Error::corruption(format!("unknown compaction policy tag {raw}"))
+                    })?;
+                    edit.compaction_policy = Some(policy);
+                }
                 other => {
                     return Err(Error::corruption(format!("unknown edit tag {other}")));
                 }
@@ -430,6 +453,25 @@ impl VersionEdit {
         }
         Ok(edit)
     }
+}
+
+/// Per-policy run-count invariant enforced by [`VersionBuilder::build`]:
+/// which levels may hold more than one sorted run.
+///
+/// Intra-run disjointness is always enforced; this only governs how many
+/// runs a level may stack. Use `compaction::run_layout_for` to derive the
+/// layout matching an option set.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum RunLayout {
+    /// Any level may hold any number of overlapping runs (the fragmented
+    /// style and the pure size-tiered policy).
+    #[default]
+    Unrestricted,
+    /// Levels at or beyond the threshold must hold at most one run:
+    /// `SingleRunBeyond(1)` is classic leveled (only L0 stacks runs);
+    /// `SingleRunBeyond(num_levels - 1)` is lazy-leveled (only the last
+    /// level is a single sorted run).
+    SingleRunBeyond(usize),
 }
 
 /// Applies a sequence of edits to a base version.
@@ -441,20 +483,27 @@ impl VersionEdit {
 pub struct VersionBuilder {
     icmp: InternalKeyComparator,
     base: Arc<Version>,
+    layout: RunLayout,
     deleted: std::collections::HashSet<u64>,
     /// table_id -> (level, run_tag, meta); later edits replace earlier.
     added: std::collections::BTreeMap<u64, (u32, u64, Arc<TableMeta>)>,
 }
 
 impl VersionBuilder {
-    /// Start from `base`.
+    /// Start from `base` with the permissive [`RunLayout::Unrestricted`].
     pub fn new(icmp: InternalKeyComparator, base: Arc<Version>) -> Self {
         VersionBuilder {
             icmp,
             base,
+            layout: RunLayout::default(),
             deleted: std::collections::HashSet::new(),
             added: std::collections::BTreeMap::new(),
         }
+    }
+
+    /// Set the run-count invariant [`build`](Self::build) enforces.
+    pub fn set_layout(&mut self, layout: RunLayout) {
+        self.layout = layout;
     }
 
     /// Apply one edit's table changes (edits must arrive in log order).
@@ -473,9 +522,10 @@ impl VersionBuilder {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Corruption`] if the resulting shape is invalid
-    /// (overlapping tables within one run) — the edit sequence being applied
-    /// was never a real engine state, e.g. a MANIFEST interleaving
+    /// Returns [`Error::Corruption`] if the resulting shape is invalid —
+    /// overlapping tables within one run, or more runs on a level than the
+    /// configured [`RunLayout`] allows. Either way the edit sequence being
+    /// applied was never a real engine state, e.g. a MANIFEST interleaving
     /// committed and uncommitted edits.
     pub fn build(self) -> Result<Version> {
         let num_levels = self.base.levels.len();
@@ -523,6 +573,17 @@ impl VersionBuilder {
         for state in &mut version.levels {
             state.runs.sort_by_key(|run| std::cmp::Reverse(run.tag));
         }
+        if let RunLayout::SingleRunBeyond(threshold) = self.layout {
+            for (level, state) in version.levels.iter().enumerate().skip(threshold) {
+                if state.num_runs() > 1 {
+                    return Err(Error::corruption(format!(
+                        "level {level} holds {} runs but the layout allows one beyond level {}",
+                        state.num_runs(),
+                        threshold.saturating_sub(1),
+                    )));
+                }
+            }
+        }
         Ok(version)
     }
 }
@@ -555,6 +616,7 @@ mod tests {
             next_file_number: Some(42),
             next_table_id: Some(77),
             last_sequence: Some(123456),
+            compaction_policy: Some(CompactionPolicyKind::LazyLeveled),
             ..Default::default()
         };
         edit.compact_pointers
@@ -572,6 +634,55 @@ mod tests {
         let mut data = Vec::new();
         put_varint64(&mut data, 99);
         assert!(VersionEdit::decode(&data).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_unknown_policy_tag() {
+        let mut data = Vec::new();
+        put_varint64(&mut data, 8); // tag::COMPACTION_POLICY
+        put_varint64(&mut data, 42);
+        assert!(VersionEdit::decode(&data).is_err());
+    }
+
+    #[test]
+    fn run_layout_bounds_runs_per_level() {
+        // Two overlapping runs at level 1: fine unrestricted, corrupt under
+        // the leveled layout.
+        let mut edit = VersionEdit::default();
+        edit.added_tables.push((1, 1, meta(1, b"a", b"c")));
+        edit.added_tables.push((1, 2, meta(2, b"b", b"d")));
+
+        let mut builder = VersionBuilder::new(icmp(), Arc::new(Version::empty(7)));
+        builder.apply(&edit);
+        assert!(builder.build().is_ok());
+
+        let mut builder = VersionBuilder::new(icmp(), Arc::new(Version::empty(7)));
+        builder.set_layout(RunLayout::SingleRunBeyond(1));
+        builder.apply(&edit);
+        assert!(builder.build().is_err());
+
+        // Lazy-leveled: stacking at level 1 is allowed, at the last is not.
+        let mut builder = VersionBuilder::new(icmp(), Arc::new(Version::empty(7)));
+        builder.set_layout(RunLayout::SingleRunBeyond(6));
+        builder.apply(&edit);
+        assert!(builder.build().is_ok());
+
+        let mut edit_last = VersionEdit::default();
+        edit_last.added_tables.push((6, 1, meta(1, b"a", b"c")));
+        edit_last.added_tables.push((6, 2, meta(2, b"b", b"d")));
+        let mut builder = VersionBuilder::new(icmp(), Arc::new(Version::empty(7)));
+        builder.set_layout(RunLayout::SingleRunBeyond(6));
+        builder.apply(&edit_last);
+        assert!(builder.build().is_err());
+
+        // L0 always stacks.
+        let mut edit_l0 = VersionEdit::default();
+        edit_l0.added_tables.push((0, 1, meta(1, b"a", b"c")));
+        edit_l0.added_tables.push((0, 2, meta(2, b"b", b"d")));
+        let mut builder = VersionBuilder::new(icmp(), Arc::new(Version::empty(7)));
+        builder.set_layout(RunLayout::SingleRunBeyond(1));
+        builder.apply(&edit_l0);
+        assert!(builder.build().is_ok());
     }
 
     #[test]

@@ -20,7 +20,8 @@ use bolt_table::comparator::InternalKeyComparator;
 use bolt_wal::{LogReader, LogWriter};
 
 use crate::filename::{current_file, manifest_file, table_file};
-use crate::version::{Version, VersionBuilder, VersionEdit};
+use crate::options::CompactionPolicyKind;
+use crate::version::{RunLayout, Version, VersionBuilder, VersionEdit};
 
 /// Wrap a fresh MANIFEST file: its barriers default to `open_manifest`
 /// (the snapshot written at open); flush/compaction commits override with
@@ -66,6 +67,11 @@ pub struct VersionSet {
     /// Round-robin victim cursor per level (largest internal key of the
     /// last victim).
     pub compact_pointer: Vec<Option<Vec<u8>>>,
+    /// Compaction policy pinned in the MANIFEST (first edit of every
+    /// manifest file); reopen under a different policy is refused.
+    policy: CompactionPolicyKind,
+    /// Run-count invariant enforced when building versions.
+    layout: RunLayout,
     files: HashMap<u64, FileInfo>,
     pending_files: HashSet<u64>,
     /// Abandoned `MANIFEST-*` file numbers left behind by a re-cut whose
@@ -111,6 +117,8 @@ impl VersionSet {
             last_sequence: 0,
             log_number: 0,
             compact_pointer: vec![None; num_levels],
+            policy: CompactionPolicyKind::default(),
+            layout: RunLayout::default(),
             files: HashMap::new(),
             pending_files: HashSet::new(),
             stale_manifests: Vec::new(),
@@ -123,6 +131,21 @@ impl VersionSet {
     /// [`EngineEvent::ManifestCommit`].
     pub fn set_event_sink(&mut self, sink: Arc<EventSink>) {
         self.sink = Some(sink);
+    }
+
+    /// Declare the compaction policy this set operates under, plus the
+    /// run-count invariant to enforce on every built version. Must be
+    /// called before [`VersionSet::create_new`] or [`VersionSet::recover`]:
+    /// the policy is pinned in the MANIFEST and recovery refuses a
+    /// mismatch.
+    pub fn set_compaction_policy(&mut self, policy: CompactionPolicyKind, layout: RunLayout) {
+        self.policy = policy;
+        self.layout = layout;
+    }
+
+    /// The compaction policy this set was created or recovered under.
+    pub fn compaction_policy(&self) -> CompactionPolicyKind {
+        self.policy
     }
 
     /// The current version.
@@ -235,6 +258,7 @@ impl VersionSet {
         }
 
         let mut builder = VersionBuilder::new(self.icmp.clone(), Arc::clone(&self.current));
+        builder.set_layout(self.layout);
         builder.apply(&edit);
         let version = Arc::new(builder.build()?);
         self.live.push(Arc::downgrade(&version));
@@ -324,6 +348,7 @@ impl VersionSet {
             next_table_id: Some(self.next_table_id),
             last_sequence: Some(0),
             log_number: Some(0),
+            compaction_policy: Some(self.policy),
             ..Default::default()
         };
         manifest.add_record(&edit.encode())?;
@@ -354,6 +379,7 @@ impl VersionSet {
                 .all_tables()
                 .map(|(level, tag, meta)| (level as u32, tag, meta.as_ref().clone()))
                 .collect(),
+            compaction_policy: Some(self.policy),
             ..Default::default()
         }
     }
@@ -478,7 +504,9 @@ impl VersionSet {
         let mut reader = LogReader::new(self.env.new_random_access_file(&old_manifest_path)?);
         let mut builder =
             VersionBuilder::new(self.icmp.clone(), Arc::new(Version::empty(self.num_levels)));
+        builder.set_layout(self.layout);
         let mut found_any = false;
+        let mut pinned_policy: Option<CompactionPolicyKind> = None;
         while let Some(record) = reader.read_record()? {
             let edit = VersionEdit::decode(&record)?;
             if let Some(n) = edit.next_file_number {
@@ -493,6 +521,9 @@ impl VersionSet {
             if let Some(n) = edit.log_number {
                 self.log_number = self.log_number.max(n);
             }
+            if let Some(p) = edit.compaction_policy {
+                pinned_policy = Some(p);
+            }
             for (level, key) in &edit.compact_pointers {
                 self.compact_pointer[*level as usize] = Some(key.clone());
             }
@@ -501,6 +532,19 @@ impl VersionSet {
         }
         if !found_any {
             return Err(Error::corruption("empty MANIFEST"));
+        }
+        // Refuse a silently mismatched layout: the on-disk tree was shaped
+        // by the pinned policy, and another policy's invariants (or its
+        // recency assumptions) need not hold for it. MANIFESTs from before
+        // policies existed are implicitly leveled.
+        let pinned = pinned_policy.unwrap_or(CompactionPolicyKind::Leveled);
+        if pinned != self.policy {
+            return Err(Error::InvalidArgument(format!(
+                "database was created with compaction_policy={} but opened with \
+                 compaction_policy={}; reopen with the pinned policy",
+                pinned.as_str(),
+                self.policy.as_str(),
+            )));
         }
         self.current = Arc::new(builder.build()?);
 
@@ -1038,6 +1082,82 @@ mod tests {
             names[0],
             "the survivor is the one CURRENT names"
         );
+    }
+
+    #[test]
+    fn pinned_policy_round_trips_and_mismatch_is_refused() {
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+        env.create_dir_all("db").unwrap();
+        {
+            let mut vs =
+                VersionSet::new(Arc::clone(&env), "db", InternalKeyComparator::default(), 7);
+            vs.set_compaction_policy(CompactionPolicyKind::SizeTiered, RunLayout::Unrestricted);
+            vs.create_new().unwrap();
+            // Overlapping runs at level 1 are legal under the tiered layout.
+            let mut edit = VersionEdit::default();
+            let (t1, t2) = (vs.new_table_id(), vs.new_table_id());
+            edit.added_tables.push((1, 1, meta(t1, 55, 0, 10)));
+            edit.added_tables.push((1, 2, meta(t2, 56, 0, 10)));
+            vs.log_and_apply(edit).unwrap();
+        }
+
+        // Reopen under the default (leveled) policy: refused, state intact.
+        let mut vs = VersionSet::new(Arc::clone(&env), "db", InternalKeyComparator::default(), 7);
+        let err = vs.recover().expect_err("policy mismatch must be refused");
+        assert!(
+            matches!(&err, Error::InvalidArgument(msg)
+                if msg.contains("size_tiered") && msg.contains("leveled")),
+            "mismatch names both policies, got: {err:?}"
+        );
+
+        // Reopen under the pinned policy succeeds and stays pinned.
+        let mut vs = VersionSet::new(Arc::clone(&env), "db", InternalKeyComparator::default(), 7);
+        vs.set_compaction_policy(CompactionPolicyKind::SizeTiered, RunLayout::Unrestricted);
+        vs.recover().unwrap();
+        assert_eq!(vs.compaction_policy(), CompactionPolicyKind::SizeTiered);
+        assert_eq!(vs.current().levels[1].num_runs(), 2);
+
+        // The fresh MANIFEST cut at recover re-pinned the policy.
+        let mut vs2 = VersionSet::new(Arc::clone(&env), "db", InternalKeyComparator::default(), 7);
+        vs2.set_compaction_policy(CompactionPolicyKind::LazyLeveled, RunLayout::Unrestricted);
+        let err = vs2.recover().expect_err("still pinned after re-cut");
+        assert!(matches!(err, Error::InvalidArgument(_)));
+    }
+
+    #[test]
+    fn manifests_before_policies_are_implicitly_leveled() {
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+        env.create_dir_all("db").unwrap();
+        // Hand-write a pre-policy MANIFEST (no policy record) + CURRENT.
+        let mut manifest = LogWriter::new(env.new_writable_file("db/MANIFEST-000001").unwrap());
+        let edit = VersionEdit {
+            next_file_number: Some(2),
+            next_table_id: Some(1),
+            last_sequence: Some(0),
+            log_number: Some(0),
+            ..Default::default()
+        };
+        manifest.add_record(&edit.encode()).unwrap();
+        manifest.sync().unwrap();
+        drop(manifest);
+        let mut cur = env.new_writable_file("db/CURRENT").unwrap();
+        cur.append(b"MANIFEST-000001\n").unwrap();
+        cur.sync().unwrap();
+        drop(cur);
+
+        // A tiered reopen is refused: the absent tag means leveled.
+        let mut vs = VersionSet::new(Arc::clone(&env), "db", InternalKeyComparator::default(), 7);
+        vs.set_compaction_policy(CompactionPolicyKind::SizeTiered, RunLayout::Unrestricted);
+        let err = vs.recover().expect_err("absent tag means leveled");
+        assert!(
+            matches!(&err, Error::InvalidArgument(msg) if msg.contains("leveled")),
+            "got: {err:?}"
+        );
+
+        // The default (leveled) reopen succeeds and re-pins explicitly.
+        let mut vs = VersionSet::new(Arc::clone(&env), "db", InternalKeyComparator::default(), 7);
+        vs.recover().unwrap();
+        assert_eq!(vs.compaction_policy(), CompactionPolicyKind::Leveled);
     }
 
     #[test]

@@ -706,13 +706,8 @@ mod tests {
         let shared: Arc<dyn Env> = Arc::new(MemEnv::new());
         let private: Arc<dyn Env> = Arc::new(MemEnv::new());
         let envs = vec![Arc::clone(&shared), Arc::clone(&shared), private];
-        let db = ShardedDb::open_with_envs(
-            envs,
-            "mixed",
-            small_opts(),
-            Router::hash(3).unwrap(),
-        )
-        .unwrap();
+        let db = ShardedDb::open_with_envs(envs, "mixed", small_opts(), Router::hash(3).unwrap())
+            .unwrap();
         for i in 0..200u32 {
             db.put(format!("m{i:04}").as_bytes(), &[0u8; 64]).unwrap();
         }

@@ -95,6 +95,8 @@ pub(crate) fn aggregate(per_shard: &[MetricsSnapshot], env_owner: &[bool]) -> Me
         agg.events_emitted += m.events_emitted;
         agg.events_dropped += m.events_dropped;
         agg.manifest_recuts += m.manifest_recuts;
+        // Every shard shares one Options, hence one compaction policy.
+        agg.policy = m.policy;
     }
     agg
 }

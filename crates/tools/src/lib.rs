@@ -85,6 +85,16 @@ pub enum StatFormat {
 /// serialize, so the three formats can never disagree.
 fn render_metrics_text(metrics: &MetricsSnapshot) -> String {
     let mut out = String::new();
+    writeln!(
+        out,
+        "compaction policy: {}",
+        if metrics.policy.is_empty() {
+            "leveled"
+        } else {
+            metrics.policy
+        }
+    )
+    .expect("write");
     writeln!(out, "levels (runs / tables / bytes):").expect("write");
     for (i, level) in metrics.levels.iter().enumerate() {
         if level.tables > 0 {
@@ -385,6 +395,9 @@ pub fn dump_manifest(env: &Arc<dyn Env>, db: &str) -> Result<String> {
         }
         if let Some(v) = edit.last_sequence {
             writeln!(out, "  last_sequence: {v}").expect("write");
+        }
+        if let Some(v) = edit.compaction_policy {
+            writeln!(out, "  compaction_policy: {}", v.as_str()).expect("write");
         }
         for (level, id) in &edit.deleted_tables {
             writeln!(out, "  delete: L{level} table#{id}").expect("write");

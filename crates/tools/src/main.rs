@@ -2,7 +2,7 @@
 //! databases on a real filesystem.
 //!
 //! ```text
-//! bolt-tool <command> <db-dir> [args...] [--profile <name>]
+//! bolt-tool <command> <db-dir> [args...] [--profile <name>] [--policy=<p>]
 //!
 //! commands:
 //!   stat <db> [--json|--prometheus] one merged metrics snapshot (text,
@@ -25,13 +25,18 @@
 //!   compact <db>                    flush + compact until quiet
 //!   verify <db>                     full integrity walk
 //!   crash-sweep [points] [seed]     crash-point + EIO sweep (in-memory,
-//!               [--sharded]         needs no db-dir); with --sharded,
-//!                                   sweep cross-shard 2PC commit windows
+//!               [--policy=<p>]      needs no db-dir); --policy runs the
+//!               [--sharded]         sweep under leveled (default),
+//!                                   size-tiered, or lazy-leveled victim
+//!                                   selection; with --sharded, sweep
+//!                                   cross-shard 2PC commit windows
 //!   lint [path] [--config FILE]     barrier-ordering/lock-discipline
 //!                                   static analysis (alias of bolt-lint)
 //!
 //! --profile: leveldb | lvl64 | hyper | pebbles | rocks | bolt (default)
 //!            | hyperbolt | rocksbolt
+//! --policy:  leveled (default) | size-tiered | lazy-leveled — required to
+//!            open a database whose MANIFEST pins a non-leveled policy
 //! ```
 
 use std::process::ExitCode;
@@ -41,7 +46,7 @@ use bolt_env::{Env, RealEnv};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: bolt-tool <stat|stats|dump-manifest|dump-tables|scan|get|put|delete|load|compact|verify> <db-dir> [args...] [--profile <name>]\n       bolt-tool stat <db-dir> [--json|--prometheus] [--per-shard]\n       bolt-tool trace [--json] [--validate SCHEMA]\n       bolt-tool crash-sweep [max-points] [seed] [--sharded]\n       bolt-tool lint [path] [--config FILE]"
+        "usage: bolt-tool <stat|stats|dump-manifest|dump-tables|scan|get|put|delete|load|compact|verify> <db-dir> [args...] [--profile <name>] [--policy=<p>]\n       bolt-tool stat <db-dir> [--json|--prometheus] [--per-shard]\n       bolt-tool trace [--json] [--validate SCHEMA]\n       bolt-tool crash-sweep [max-points] [seed] [--policy=<p>] [--sharded]\n       bolt-tool lint [path] [--config FILE]"
     );
     ExitCode::from(2)
 }
@@ -52,14 +57,29 @@ fn usage() -> ExitCode {
 fn crash_sweep(args: &[String]) -> ExitCode {
     let mut positional: Vec<&String> = Vec::new();
     let mut sharded = false;
+    let mut policy = bolt_core::CompactionPolicyKind::Leveled;
     for arg in &args[1..] {
         if arg == "--sharded" {
             sharded = true;
+        } else if let Some(name) = arg.strip_prefix("--policy=") {
+            policy = match bolt_core::CompactionPolicyKind::parse(name) {
+                Some(policy) => policy,
+                None => {
+                    eprintln!(
+                        "error: unknown policy `{name}` (try: leveled, size-tiered, lazy-leveled)"
+                    );
+                    return ExitCode::from(2);
+                }
+            };
         } else {
             positional.push(arg);
         }
     }
     if sharded {
+        if policy != bolt_core::CompactionPolicyKind::Leveled {
+            eprintln!("error: --policy is not supported with --sharded");
+            return ExitCode::from(2);
+        }
         let mut cfg = bolt_tools::Sharded2pcConfig::default();
         if let Some(points) = positional.first().and_then(|s| s.parse().ok()) {
             cfg.max_crash_points = points;
@@ -82,7 +102,10 @@ fn crash_sweep(args: &[String]) -> ExitCode {
             }
         };
     }
-    let mut cfg = bolt_tools::SweepConfig::default();
+    let mut cfg = bolt_tools::SweepConfig {
+        policy,
+        ..bolt_tools::SweepConfig::default()
+    };
     if let Some(points) = positional.first().and_then(|s| s.parse().ok()) {
         cfg.max_crash_points = points;
     }
@@ -194,19 +217,38 @@ fn main() -> ExitCode {
         return trace(&args[1..]);
     }
 
+    // Databases pin their compaction policy in the MANIFEST, so opening
+    // one built under a tiered policy needs the matching flag
+    // (crash-sweep above parses its own copy).
+    let mut policy = None;
+    if let Some(pos) = args.iter().position(|a| a.starts_with("--policy=")) {
+        let name = args[pos]["--policy=".len()..].to_string();
+        match bolt_core::CompactionPolicyKind::parse(&name) {
+            Some(p) => policy = Some(p),
+            None => {
+                eprintln!("error: unknown compaction policy '{name}'");
+                return ExitCode::from(2);
+            }
+        }
+        args.remove(pos);
+    }
+
     if args.len() < 2 {
         return usage();
     }
     let command = args[0].clone();
     let db = args[1].clone();
 
-    let opts = match bolt_tools::profile(&profile_name) {
+    let mut opts = match bolt_tools::profile(&profile_name) {
         Ok(opts) => opts,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::from(2);
         }
     };
+    if let Some(p) = policy {
+        opts.compaction_policy = p;
+    }
     // The db path's parent is the env root; the db directory name is the
     // final component.
     let env: Arc<dyn Env> = Arc::new(RealEnv::new("."));

@@ -26,7 +26,7 @@
 use std::sync::Arc;
 
 use bolt_common::Result;
-use bolt_core::{Db, Options, WriteBatch, WriteOptions};
+use bolt_core::{CompactionPolicyKind, Db, Options, WriteBatch, WriteOptions};
 use bolt_env::{CrashConfig, Env, FaultEnv, FaultPlan, OpKind, OpRecord};
 
 use crate::verify_db;
@@ -65,6 +65,9 @@ pub struct SweepConfig {
     /// Recovery-replay ops crashed per first crash point (the *second*
     /// crash, landing inside `Db::open`).
     pub max_double_crash_second: usize,
+    /// Compaction policy the swept database runs. The recovery invariants
+    /// I1–I4 must hold regardless of how victims are picked.
+    pub policy: CompactionPolicyKind,
 }
 
 impl Default for SweepConfig {
@@ -75,6 +78,7 @@ impl Default for SweepConfig {
             max_eio_points: 16,
             max_double_crash_first: 4,
             max_double_crash_second: 5,
+            policy: CompactionPolicyKind::Leveled,
         }
     }
 }
@@ -97,6 +101,8 @@ pub struct SweepCoverage {
 /// Everything a sweep learned.
 #[derive(Debug, Clone)]
 pub struct SweepOutcome {
+    /// Compaction policy the sweep ran under.
+    pub policy: CompactionPolicyKind,
     /// Ops counted in the record run.
     pub ops_recorded: u64,
     /// Sync/ordering barriers counted in the record run.
@@ -546,6 +552,11 @@ pub fn run_crash_sweep(cfg: &SweepConfig) -> Result<SweepOutcome> {
     // in the recorded trace.
     opts.level0_compaction_trigger = 2;
     opts.level1_max_bytes = 12 << 10;
+    opts.compaction_policy = cfg.policy;
+    if cfg.policy != CompactionPolicyKind::Leveled {
+        // Tiered buckets must fire on this short workload's few runs.
+        opts.size_tiered_min_threshold = 2;
+    }
 
     // Phase 1: record.
     let env = FaultEnv::over_mem();
@@ -668,6 +679,7 @@ pub fn run_crash_sweep(cfg: &SweepConfig) -> Result<SweepOutcome> {
     }
 
     Ok(SweepOutcome {
+        policy: cfg.policy,
         ops_recorded,
         syncs_recorded,
         phases,
@@ -729,8 +741,10 @@ pub fn render_report(outcome: &SweepOutcome) -> String {
     let mut out = String::new();
     writeln!(
         out,
-        "recorded {} ops ({} syncs/barriers) across phases:",
-        outcome.ops_recorded, outcome.syncs_recorded
+        "recorded {} ops ({} syncs/barriers) under policy {} across phases:",
+        outcome.ops_recorded,
+        outcome.syncs_recorded,
+        outcome.policy.as_str()
     )
     .expect("write");
     for (at, label) in &outcome.phases {

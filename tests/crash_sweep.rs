@@ -132,6 +132,46 @@ fn sharded_2pc_sweep_recovers_all_or_nothing() {
 }
 
 #[test]
+fn sweep_holds_invariants_under_tiered_policies() {
+    // I1–I4 are properties of the barrier ordering contract, not of victim
+    // selection: they must hold under every shipped compaction policy. The
+    // hole-punch coverage assertion stays leveled-only (tiered merges whole
+    // levels, so the pinned flanking tables are usually rewritten rather
+    // than left to pin the file).
+    use bolt::CompactionPolicyKind;
+    for policy in [
+        CompactionPolicyKind::SizeTiered,
+        CompactionPolicyKind::LazyLeveled,
+    ] {
+        let cfg = SweepConfig {
+            max_crash_points: 36,
+            max_eio_points: 8,
+            max_double_crash_first: 2,
+            max_double_crash_second: 3,
+            policy,
+            ..SweepConfig::default()
+        };
+        let outcome = run_crash_sweep(&cfg).expect("sweep harness must run");
+        assert!(
+            outcome.coverage.flushes > 0,
+            "{}: workload never flushed",
+            policy.as_str()
+        );
+        assert!(
+            outcome.coverage.compactions > 0,
+            "{}: workload never ran a compaction",
+            policy.as_str()
+        );
+        assert!(
+            outcome.violations.is_empty(),
+            "{} recovery invariant violations:\n  {}",
+            policy.as_str(),
+            outcome.violations.join("\n  ")
+        );
+    }
+}
+
+#[test]
 fn sweep_is_seed_stable() {
     // A different seed changes torn-tail randomness but must not change
     // the verdict: the invariants hold at any cut.
@@ -141,6 +181,7 @@ fn sweep_is_seed_stable() {
         max_eio_points: 8,
         max_double_crash_first: 2,
         max_double_crash_second: 3,
+        ..SweepConfig::default()
     };
     let outcome = run_crash_sweep(&cfg).expect("sweep harness must run");
     assert!(outcome.crash_points.len() >= 30);

@@ -342,6 +342,46 @@ fn cross_profile_reopen() {
     db.close().unwrap();
 }
 
+/// The MANIFEST pins the compaction policy: reopening with a different
+/// `Options::compaction_policy` must fail with a clear error naming both
+/// policies, and reopening with the pinned one must succeed.
+#[test]
+fn reopen_with_mismatched_compaction_policy_is_refused() {
+    use bolt::CompactionPolicyKind;
+
+    let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+    let mut opts = Options::bolt().scaled(1.0 / 256.0);
+    opts.compaction_policy = CompactionPolicyKind::SizeTiered;
+    opts.size_tiered_min_threshold = 2;
+    {
+        let db = Db::open(Arc::clone(&env), "db", opts.clone()).unwrap();
+        for i in 0..3000u32 {
+            db.put(format!("key{i:05}").as_bytes(), format!("v{i}").as_bytes())
+                .unwrap();
+        }
+        db.flush().unwrap();
+        db.compact_until_quiet().unwrap();
+        db.close().unwrap();
+    }
+    // A silently re-leveled open would trip over the overlapping tiered
+    // runs (or quietly rewrite them); it must be refused instead.
+    let err = Db::open(Arc::clone(&env), "db", Options::bolt().scaled(1.0 / 256.0))
+        .expect_err("leveled open of a size-tiered database must fail");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("size_tiered") && msg.contains("leveled"),
+        "error must name both policies: {msg}"
+    );
+    let mut lazy = opts.clone();
+    lazy.compaction_policy = CompactionPolicyKind::LazyLeveled;
+    Db::open(Arc::clone(&env), "db", lazy)
+        .expect_err("lazy-leveled open of a size-tiered database must fail");
+    // The pinned policy still opens and reads everything back.
+    let db = Db::open(env, "db", opts).unwrap();
+    assert_eq!(db.get(b"key00042").unwrap(), Some(b"v42".to_vec()));
+    db.close().unwrap();
+}
+
 /// `EIO` on a WAL sync during group commit: the leader must propagate the
 /// error to every writer riding its barrier (no writer may see `Ok` for a
 /// batch whose sync failed), the database must stay poisoned afterwards,
