@@ -1224,6 +1224,8 @@ impl DbInner {
             for slot in state.writers.iter().skip(1).take(group_len - 1) {
                 // bolt-lint: allow(unwrap-in-crash-path) -- same single-take invariant.
                 let follower = slot.batch.lock().take().expect("follower batch present");
+                // WriteBatch::append is an in-memory merge returning `()`,
+                // not fallible file I/O. bolt-lint: allow(swallowed-io-error)
                 combined.append(&follower);
             }
         }

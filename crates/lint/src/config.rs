@@ -21,6 +21,11 @@ pub struct Config {
     /// (MANIFEST append must be dominated by data-file syncs and followed by
     /// its own sync).
     pub commit_path: Vec<String>,
+    /// Path suffixes of two-phase-commit modules checked by rule L7
+    /// (staged-slice application dominated by a TXNLOG decide) and, along
+    /// with the crash/commit lists, by rule L6 (no discarded fallible I/O
+    /// results).
+    pub twopc_path: Vec<String>,
 }
 
 impl Config {
@@ -40,6 +45,7 @@ impl Config {
                 "crates/core/src/versions.rs".into(),
                 "crates/core/src/compaction.rs".into(),
             ],
+            twopc_path: vec!["crates/sharded/src/".into()],
         }
     }
 
@@ -82,6 +88,7 @@ impl Config {
                 }
                 ("modules", "crash_path") => cfg.crash_path = parse_array(&value)?,
                 ("modules", "commit_path") => cfg.commit_path = parse_array(&value)?,
+                ("modules", "twopc_path") => cfg.twopc_path = parse_array(&value)?,
                 _ => {
                     return Err(format!(
                         "lock_order.toml:{}: unknown key `{key}` in section `[{section}]`",
@@ -162,6 +169,7 @@ versions = "core.versions"
 
 [modules]
 crash_path = ["a.rs", "b/"]
+twopc_path = ["c/"]
 "#,
         )
         .unwrap();
@@ -169,6 +177,7 @@ crash_path = ["a.rs", "b/"]
         assert_eq!(cfg.canonical("state"), "core.state");
         assert_eq!(cfg.canonical("unmapped"), "unmapped");
         assert_eq!(cfg.crash_path, vec!["a.rs", "b/"]);
+        assert_eq!(cfg.twopc_path, vec!["c/"]);
         assert!(cfg.order_index("core.state") < cfg.order_index("core.versions"));
     }
 

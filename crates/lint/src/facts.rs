@@ -1,14 +1,22 @@
 //! Per-function fact extraction over the token stream: lock acquisitions and
-//! guard lifetimes, env-layer barrier calls, panic sites, plain calls (for
-//! cross-function lock propagation), `#[cfg(test)]` regions, and
+//! guard lifetimes, env-layer barrier calls, panic sites, calls with receiver
+//! identifiers and closure arguments (for type-aware cross-function lock
+//! propagation), discarded fallible I/O results, `#[cfg(test)]` regions, and
 //! `MutexGuard::unlocked` spans.
+//!
+//! Beyond events, the extractor indexes the *type structure* the resolver in
+//! [`crate::rules`] needs: `impl`/`impl Trait for Type` blocks (so methods
+//! are keyed by their `Self` type), `trait` declarations (method name →
+//! trait), struct field types, and parameter/local variable types — enough
+//! to resolve `receiver.method(..)` through the receiver's type instead of
+//! relying on globally unique method names.
 //!
 //! The extractor is lexical, not a parser: it tracks brace scopes, `let`
 //! statements, and bracket matching, which is enough to recover guard
-//! extents for straight-line Rust of the style this workspace uses. Known
-//! approximations are documented in DESIGN.md §10.
+//! extents and type heads for straight-line Rust of the style this
+//! workspace uses. Known approximations are documented in DESIGN.md §10.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 use crate::lexer::{lex, Tok, Token};
 
@@ -16,10 +24,23 @@ use crate::lexer::{lex, Tok, Token};
 const ACQUIRE_METHODS: [&str; 3] = ["lock", "read", "write"];
 /// Env-layer barrier/I-O methods watched by rules L1 and L4.
 const BARRIER_METHODS: [&str; 4] = ["sync", "ordering_barrier", "append", "add_record"];
+/// Fallible env/WAL/MANIFEST methods whose discarded `Result` rule L6
+/// flags in crash-path and commit-protocol modules.
+const FALLIBLE_IO_METHODS: [&str; 6] = [
+    "sync",
+    "ordering_barrier",
+    "append",
+    "add_record",
+    "rename_file",
+    "remove_file",
+];
 /// Panic-family suffix methods and macros watched by rule L3.
 const PANIC_METHODS: [&str; 2] = ["unwrap", "expect"];
 const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
 const CALL_KEYWORDS: [&str; 7] = ["if", "while", "for", "match", "loop", "return", "fn"];
+/// Smart-pointer types unwrapped when extracting a receiver type head:
+/// `Arc<Mutex<T>>` types its receiver as `Mutex`, `Box<dyn Env>` as `Env`.
+const WRAPPER_TYPES: [&str; 3] = ["Arc", "Rc", "Box"];
 
 /// A lock guard live at some program point.
 #[derive(Debug, Clone)]
@@ -61,8 +82,14 @@ pub enum Event {
     },
     /// Any other call, recorded for cross-function lock propagation.
     Call {
-        /// Callee identifier.
+        /// Callee identifier (method or free-function name).
         name: String,
+        /// Receiver identifier for method calls (`None` for free calls and
+        /// receivers the lexical pass cannot name, e.g. `shards[i]`).
+        recv: Option<String>,
+        /// Synthetic names of closure literals passed as arguments to this
+        /// call (resolved to pseudo-functions in [`FileFacts::functions`]).
+        closure_args: Vec<String>,
         /// Source line of the call.
         line: u32,
         /// Guards live at this point.
@@ -75,17 +102,46 @@ pub enum Event {
         /// Source line of the call.
         line: u32,
     },
+    /// A fallible env/WAL/MANIFEST call whose `Result` is discarded:
+    /// `let _ = w.sync();`, `w.sync().ok();`, or a bare `w.sync();`
+    /// statement that binds nothing. Rule L6 flags these in crash-path and
+    /// commit-protocol modules.
+    Discard {
+        /// The fallible method whose result was dropped.
+        method: String,
+        /// How it was dropped (`let _ =`, `.ok()`, `unused return`).
+        how: &'static str,
+        /// Source line of the call.
+        line: u32,
+    },
 }
 
-/// Facts for one function.
+/// Facts for one function (or closure pseudo-function).
 #[derive(Debug)]
 pub struct FnFacts {
-    /// Bare function name.
+    /// Bare function name, or a synthetic `{closure:<file>:<n>}` name.
     pub name: String,
-    /// Line of the `fn` keyword.
+    /// Line of the `fn` keyword (or of the closure's opening `|`).
     pub line: u32,
     /// Inside a `#[cfg(test)]` region or under `#[test]`.
     pub in_test: bool,
+    /// `true` for closure pseudo-functions. Closure bodies are *also*
+    /// extracted inline into their enclosing function (so guard context is
+    /// never lost); the pseudo-function exists so the resolver can model a
+    /// callee invoking the closure while holding its own locks. Rules that
+    /// report per-event findings skip closures to avoid double-reporting.
+    pub is_closure: bool,
+    /// `Self` type when the function sits inside an `impl` block.
+    pub self_ty: Option<String>,
+    /// Trait name when inside `impl Trait for Type` or a `trait` body.
+    pub trait_name: Option<String>,
+    /// Parameter `(name, type-head)` pairs; `"?"` when no type head could
+    /// be extracted (tuples, slices, fn pointers). Generic parameters carry
+    /// their first bound (`fn f<F: Fn()>(f: F)` records `("f", "Fn")`).
+    pub params: Vec<(String, String)>,
+    /// Local variable type heads from `let x: T = ..`, `let x = T::ctor(..)`
+    /// and `let x = T { .. }`.
+    pub locals: HashMap<String, String>,
     /// Extracted events in source order.
     pub events: Vec<Event>,
 }
@@ -102,28 +158,80 @@ pub struct NamedLock {
     pub in_test: bool,
 }
 
+/// A `trait` declaration: its name and every method named in its body
+/// (declared or defaulted). The resolver uses this to route calls on
+/// `dyn Trait` / `impl Trait` receivers to every implementor.
+#[derive(Debug, Clone)]
+pub struct TraitDecl {
+    /// Trait name.
+    pub name: String,
+    /// Method names declared in the trait body.
+    pub methods: BTreeSet<String>,
+}
+
 /// Facts for one file.
 pub struct FileFacts {
     /// Path as given to [`extract`].
     pub path: String,
-    /// Per-function facts in source order.
+    /// Per-function facts in source order; closure pseudo-functions follow
+    /// the real functions.
     pub functions: Vec<FnFacts>,
     /// Named-lock constructor sites (rule L5 cross-checks these against the
     /// declared `[order].locks`).
     pub named_locks: Vec<NamedLock>,
     /// Line → rules allowed by `// bolt-lint: allow(rule, ...)` comments.
+    /// Only plain `//` comments count; doc comments (`///`, `//!`) that
+    /// mention the syntax do not register suppressions.
     pub allows: HashMap<u32, Vec<String>>,
+    /// Trait declarations in this file.
+    pub traits: Vec<TraitDecl>,
+    /// Struct name → field name → field type head.
+    pub structs: HashMap<String, HashMap<String, String>>,
+    /// `true` for integration-test and example files (a `tests` or
+    /// `examples` path component): their `#[test]` functions are linted
+    /// like live code instead of being exempt.
+    pub integration: bool,
 }
 
 impl FileFacts {
     /// Is `rule` allowed at `line` (same line or the line above)?
     pub fn allowed(&self, rule: &str, line: u32) -> bool {
-        [line, line.saturating_sub(1)].iter().any(|l| {
+        self.allowed_at(rule, line).is_some()
+    }
+
+    /// The comment line whose allow suppresses `rule` at `line`, if any.
+    /// Used by the dead-suppression pass to mark which allows earned their
+    /// keep.
+    pub fn allowed_at(&self, rule: &str, line: u32) -> Option<u32> {
+        [line, line.saturating_sub(1)].into_iter().find(|l| {
             self.allows
                 .get(l)
                 .is_some_and(|rules| rules.iter().any(|r| r == rule))
         })
     }
+}
+
+/// An `impl` block or `trait` body: functions inside inherit its `Self`
+/// type / trait name.
+struct Container {
+    self_ty: Option<String>,
+    trait_name: Option<String>,
+    body_start: usize,
+    body_end: usize,
+}
+
+/// A closure literal: `|args| body`, recorded as a pseudo-function.
+struct Closure {
+    name: String,
+    line: u32,
+    /// Token index of the opening `|`.
+    start: usize,
+    /// Token index of the closing `|` of the parameter list.
+    params_end: usize,
+    body_start: usize,
+    body_end: usize, // exclusive
+    /// Innermost call paren token index this closure is an argument of.
+    enclosing_call_paren: Option<usize>,
 }
 
 /// Extract facts from one source file.
@@ -135,7 +243,22 @@ pub fn extract(path: &str, src: &str) -> FileFacts {
     let (close_of, open_of) = match_brackets(toks);
     let test_regions = find_test_regions(toks, &close_of);
     let unlocked_spans = find_unlocked_spans(toks, &close_of);
+    let containers = find_containers(toks, &close_of);
+    let traits = find_trait_decls(toks, &close_of);
+    let structs = find_structs(toks, &close_of);
     let fns = find_functions(toks, &close_of);
+    let closures = find_closures(toks, path, &close_of);
+
+    let fn_bodies: Vec<(usize, usize)> = fns.iter().map(|f| (f.body_start, f.body_end)).collect();
+    let container_of = |start: usize, end: usize| -> (Option<String>, Option<String>) {
+        // Innermost container strictly enclosing the body.
+        containers
+            .iter()
+            .filter(|c| c.body_start <= start && end <= c.body_end)
+            .max_by_key(|c| c.body_start)
+            .map(|c| (c.self_ty.clone(), c.trait_name.clone()))
+            .unwrap_or((None, None))
+    };
 
     let mut functions = Vec::new();
     for f in &fns {
@@ -149,18 +272,61 @@ pub fn extract(path: &str, src: &str) -> FileFacts {
         let in_test = test_regions
             .iter()
             .any(|&(s, e)| f.body_start >= s && f.body_end <= e);
-        let events = extract_events(
+        let (self_ty, trait_name) = container_of(f.body_start, f.body_end);
+        let (events, locals) = extract_events(
             toks,
             f.body_start,
             f.body_end,
             &nested,
             &unlocked_spans,
             &open_of,
+            &close_of,
+            &closures,
         );
         functions.push(FnFacts {
             name: f.name.clone(),
             line: f.line,
             in_test,
+            is_closure: false,
+            self_ty,
+            trait_name,
+            params: parse_params(toks, f.params_open, f.params_close, &f.bounds),
+            locals,
+            events,
+        });
+    }
+
+    // Closure pseudo-functions: bodies re-extracted standalone so the
+    // resolver can see what a callback may acquire when a callee invokes it.
+    for c in &closures {
+        let nested: Vec<(usize, usize)> = fn_bodies
+            .iter()
+            .filter(|&&(s, e)| s > c.body_start && e <= c.body_end)
+            .copied()
+            .collect();
+        let in_test = test_regions
+            .iter()
+            .any(|&(s, e)| c.start >= s && c.start < e);
+        let (self_ty, trait_name) = container_of(c.body_start, c.body_end.max(c.body_start));
+        let (events, locals) = extract_events(
+            toks,
+            c.body_start,
+            c.body_end,
+            &nested,
+            &unlocked_spans,
+            &open_of,
+            &close_of,
+            &closures,
+        );
+        functions.push(FnFacts {
+            name: c.name.clone(),
+            line: c.line,
+            in_test,
+            is_closure: true,
+            self_ty,
+            trait_name,
+            params: parse_param_segments(toks, c.start + 1, c.params_end, &HashMap::new()),
+            locals,
             events,
         });
     }
@@ -172,7 +338,19 @@ pub fn extract(path: &str, src: &str) -> FileFacts {
         functions,
         named_locks,
         allows,
+        traits,
+        structs,
+        integration: is_integration_path(path),
     }
+}
+
+/// Integration-test / example files: any `tests` or `examples` path
+/// component (the corpus under `tests/corpus/` is excluded from the walk
+/// before extraction ever sees it).
+fn is_integration_path(path: &str) -> bool {
+    path.replace('\\', "/")
+        .split('/')
+        .any(|c| c == "tests" || c == "examples")
 }
 
 /// Named-lock constructor sites: `named_mutex("...", ..)` /
@@ -209,6 +387,13 @@ fn find_named_locks(toks: &[Token], test_regions: &[(usize, usize)]) -> Vec<Name
 fn parse_allows(comments: &[(u32, String)]) -> HashMap<u32, Vec<String>> {
     let mut allows: HashMap<u32, Vec<String>> = HashMap::new();
     for (line, text) in comments {
+        // Only plain `//` comments register suppressions. The lexer stores
+        // comment text starting after the `//`, so doc comments arrive with
+        // a leading `/` (`///`) or `!` (`//!`) — those merely *describe* the
+        // allow syntax and must not count as (dead) allows themselves.
+        if text.starts_with('/') || text.starts_with('!') {
+            continue;
+        }
         let Some(pos) = text.find("bolt-lint:") else {
             continue;
         };
@@ -270,6 +455,47 @@ fn punct_at(toks: &[Token], i: usize) -> Option<char> {
         Some(Tok::Punct(c)) => Some(*c),
         _ => None,
     }
+}
+
+/// Index just past a balanced `<...>` group starting at the `<` at `i`.
+/// A `>` preceded by `-` (the `->` arrow inside `Fn(..) -> T` bounds) does
+/// not close the group.
+fn skip_angles(toks: &[Token], i: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < toks.len() {
+        match punct_at(toks, j) {
+            Some('<') => depth += 1,
+            Some('>') if punct_at(toks, j.wrapping_sub(1)) != Some('-') => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            Some(';') | Some('{') => return j, // malformed; bail
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// If `i` is an identifier followed by `(` — optionally with a turbofish
+/// `::<..>` between — return the index of that call paren.
+fn call_paren_after(toks: &[Token], i: usize) -> Option<usize> {
+    if punct_at(toks, i + 1) == Some('(') {
+        return Some(i + 1);
+    }
+    if punct_at(toks, i + 1) == Some(':')
+        && punct_at(toks, i + 2) == Some(':')
+        && punct_at(toks, i + 3) == Some('<')
+    {
+        let after = skip_angles(toks, i + 3);
+        if punct_at(toks, after) == Some('(') {
+            return Some(after);
+        }
+    }
+    None
 }
 
 /// Token-index ranges covered by `#[cfg(test)]` / `#[test]` items.
@@ -350,9 +576,231 @@ fn find_unlocked_spans(toks: &[Token], close_of: &HashMap<usize, usize>) -> Vec<
     spans
 }
 
+/// Read a type head starting at `i`: skip references, lifetimes, `mut`,
+/// `dyn` and `impl`; unwrap `Arc`/`Rc`/`Box`; return the last path segment
+/// (`bolt_core::CompactionPolicyKind` → `CompactionPolicyKind`,
+/// `Arc<Mutex<T>>` → `Mutex`, `&dyn Env` → `Env`). `None` for tuples,
+/// slices and fn pointers.
+fn type_head(toks: &[Token], mut i: usize, end: usize) -> Option<String> {
+    loop {
+        match toks.get(i).map(|t| &t.tok) {
+            Some(Tok::Punct('&')) | Some(Tok::Lifetime) => i += 1,
+            Some(Tok::Ident(s)) if s == "mut" || s == "dyn" || s == "impl" => i += 1,
+            _ => break,
+        }
+        if i >= end {
+            return None;
+        }
+    }
+    let mut last: Option<String> = None;
+    while i < end {
+        let Some(name) = ident_at(toks, i) else { break };
+        last = Some(name.to_string());
+        i += 1;
+        if punct_at(toks, i) == Some('<') {
+            if WRAPPER_TYPES.contains(&name) {
+                // The wrapped type is the interesting one.
+                return type_head(toks, i + 1, end);
+            }
+            i = skip_angles(toks, i);
+        }
+        if punct_at(toks, i) == Some(':') && punct_at(toks, i + 1) == Some(':') {
+            i += 2;
+            continue;
+        }
+        break;
+    }
+    last
+}
+
+/// `impl` blocks and `trait` bodies, as containers assigning `Self` /
+/// trait context to the functions inside them.
+fn find_containers(toks: &[Token], close_of: &HashMap<usize, usize>) -> Vec<Container> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        match ident_at(toks, i) {
+            Some("impl") => {
+                let mut j = i + 1;
+                if punct_at(toks, j) == Some('<') {
+                    j = skip_angles(toks, j);
+                }
+                let first = type_head(toks, j, toks.len());
+                // Advance past the first path (type_head does not report
+                // how far it read); scan for `for`, `where` or `{`.
+                let mut k = j;
+                let mut second: Option<String> = None;
+                while k < toks.len() {
+                    match &toks[k].tok {
+                        Tok::Ident(s) if s == "for" => {
+                            second = type_head(toks, k + 1, toks.len());
+                        }
+                        Tok::Punct('{') => break,
+                        Tok::Punct(';') => break,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                if punct_at(toks, k) == Some('{') {
+                    if let Some(&end) = close_of.get(&k) {
+                        let (self_ty, trait_name) = match second {
+                            Some(ty) => (Some(ty), first),
+                            None => (first, None),
+                        };
+                        out.push(Container {
+                            self_ty,
+                            trait_name,
+                            body_start: k + 1,
+                            body_end: end,
+                        });
+                    }
+                }
+                i = k + 1;
+                continue;
+            }
+            Some("trait") => {
+                if let Some(name) = ident_at(toks, i + 1) {
+                    let name = name.to_string();
+                    let mut k = i + 2;
+                    while k < toks.len() && punct_at(toks, k) != Some('{') {
+                        if punct_at(toks, k) == Some(';') {
+                            break;
+                        }
+                        k += 1;
+                    }
+                    if punct_at(toks, k) == Some('{') {
+                        if let Some(&end) = close_of.get(&k) {
+                            out.push(Container {
+                                self_ty: None,
+                                trait_name: Some(name),
+                                body_start: k + 1,
+                                body_end: end,
+                            });
+                        }
+                    }
+                    i = k + 1;
+                    continue;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Trait declarations with their method names.
+fn find_trait_decls(toks: &[Token], close_of: &HashMap<usize, usize>) -> Vec<TraitDecl> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if ident_at(toks, i) == Some("trait") {
+            if let Some(name) = ident_at(toks, i + 1) {
+                let mut k = i + 2;
+                while k < toks.len()
+                    && punct_at(toks, k) != Some('{')
+                    && punct_at(toks, k) != Some(';')
+                {
+                    k += 1;
+                }
+                if punct_at(toks, k) == Some('{') {
+                    if let Some(&end) = close_of.get(&k) {
+                        let mut methods = BTreeSet::new();
+                        let mut j = k + 1;
+                        while j < end {
+                            if ident_at(toks, j) == Some("fn") {
+                                if let Some(m) = ident_at(toks, j + 1) {
+                                    methods.insert(m.to_string());
+                                }
+                            }
+                            j += 1;
+                        }
+                        out.push(TraitDecl {
+                            name: name.to_string(),
+                            methods,
+                        });
+                        i = end;
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Struct definitions with named fields: struct name → field → type head.
+fn find_structs(
+    toks: &[Token],
+    close_of: &HashMap<usize, usize>,
+) -> HashMap<String, HashMap<String, String>> {
+    let mut out = HashMap::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if ident_at(toks, i) == Some("struct") {
+            if let Some(name) = ident_at(toks, i + 1) {
+                let mut j = i + 2;
+                if punct_at(toks, j) == Some('<') {
+                    j = skip_angles(toks, j);
+                }
+                // Skip a where clause; tuple/unit structs have `(` or `;`.
+                while j < toks.len()
+                    && punct_at(toks, j) != Some('{')
+                    && punct_at(toks, j) != Some('(')
+                    && punct_at(toks, j) != Some(';')
+                {
+                    j += 1;
+                }
+                if punct_at(toks, j) == Some('{') {
+                    if let Some(&end) = close_of.get(&j) {
+                        let fields = parse_fields(toks, j + 1, end);
+                        out.insert(name.to_string(), fields);
+                        i = end;
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// `field: Type` pairs at depth 0 of a struct body.
+fn parse_fields(toks: &[Token], start: usize, end: usize) -> HashMap<String, String> {
+    let mut fields = HashMap::new();
+    let mut depth = 0i32;
+    let mut i = start;
+    while i < end {
+        match punct_at(toks, i) {
+            Some('(') | Some('[') | Some('{') => depth += 1,
+            Some(')') | Some(']') | Some('}') => depth -= 1,
+            Some('<') => depth += 1,
+            Some('>') if punct_at(toks, i.wrapping_sub(1)) != Some('-') => depth -= 1,
+            Some(':')
+                if depth == 0
+                    && punct_at(toks, i + 1) != Some(':')
+                    && punct_at(toks, i.wrapping_sub(1)) != Some(':') =>
+            {
+                if let Some(fname) = ident_at(toks, i - 1) {
+                    if let Some(ty) = type_head(toks, i + 1, end) {
+                        fields.insert(fname.to_string(), ty);
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    fields
+}
+
 struct FnSpan {
     name: String,
     line: u32,
+    params_open: usize,
+    params_close: usize,
+    /// Generic-parameter bounds: `F` → `Fn` for `fn f<F: Fn()>(..)`.
+    bounds: HashMap<String, String>,
     body_start: usize,
     body_end: usize, // exclusive
 }
@@ -366,18 +814,18 @@ fn find_functions(toks: &[Token], close_of: &HashMap<usize, usize>) -> Vec<FnSpa
             if let Some(name) = ident_at(toks, i + 1) {
                 let name = name.to_string();
                 let line = toks[i].line;
-                // Find the parameter list `(`, skipping generics.
+                // Generic parameter bounds, then the parameter list `(`.
+                let mut bounds = HashMap::new();
                 let mut j = i + 2;
-                let mut angle = 0i32;
-                let params = loop {
-                    match toks.get(j).map(|t| &t.tok) {
-                        Some(Tok::Punct('<')) => angle += 1,
-                        Some(Tok::Punct('>')) => angle -= 1,
-                        Some(Tok::Punct('(')) if angle <= 0 => break Some(j),
-                        Some(Tok::Punct(';')) | Some(Tok::Punct('{')) | None => break None,
-                        _ => {}
-                    }
-                    j += 1;
+                if punct_at(toks, j) == Some('<') {
+                    let end = skip_angles(toks, j);
+                    parse_bounds(toks, j + 1, end.saturating_sub(1), &mut bounds);
+                    j = end;
+                }
+                let params = if punct_at(toks, j) == Some('(') {
+                    Some(j)
+                } else {
+                    None
                 };
                 if let Some(p) = params {
                     if let Some(&pend) = close_of.get(&p) {
@@ -385,11 +833,15 @@ fn find_functions(toks: &[Token], close_of: &HashMap<usize, usize>) -> Vec<FnSpa
                         let mut k = pend + 1;
                         while k < toks.len() {
                             match toks[k].tok {
+                                Tok::Punct('<') => k = skip_angles(toks, k),
                                 Tok::Punct('{') => {
                                     let end = close_of.get(&k).copied().unwrap_or(toks.len() - 1);
                                     fns.push(FnSpan {
                                         name,
                                         line,
+                                        params_open: p,
+                                        params_close: pend,
+                                        bounds,
                                         body_start: k + 1,
                                         body_end: end,
                                     });
@@ -406,6 +858,233 @@ fn find_functions(toks: &[Token], close_of: &HashMap<usize, usize>) -> Vec<FnSpa
         i += 1;
     }
     fns
+}
+
+/// `T: Bound` pairs inside a generic parameter list (first bound only).
+fn parse_bounds(toks: &[Token], start: usize, end: usize, out: &mut HashMap<String, String>) {
+    let mut i = start;
+    while i < end {
+        if punct_at(toks, i) == Some(':') && punct_at(toks, i + 1) != Some(':') {
+            if let Some(param) = ident_at(toks, i.wrapping_sub(1)) {
+                if let Some(bound) = type_head(toks, i + 1, end) {
+                    out.insert(param.to_string(), bound);
+                }
+            }
+            // Skip to the next top-level comma.
+            let mut depth = 0i32;
+            while i < end {
+                match punct_at(toks, i) {
+                    Some('(') | Some('[') => depth += 1,
+                    Some(')') | Some(']') => depth -= 1,
+                    Some(',') if depth == 0 => break,
+                    _ => {}
+                }
+                i += 1;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Parameters of a `fn`, from its paren span.
+fn parse_params(
+    toks: &[Token],
+    open: usize,
+    close: usize,
+    bounds: &HashMap<String, String>,
+) -> Vec<(String, String)> {
+    parse_param_segments(toks, open + 1, close, bounds)
+}
+
+/// `name: Type` segments separated by top-level commas in `[start, end)`.
+/// Also used for closure parameter lists (`|a, b: &T|`), where untyped
+/// parameters record `"?"`.
+fn parse_param_segments(
+    toks: &[Token],
+    start: usize,
+    end: usize,
+    bounds: &HashMap<String, String>,
+) -> Vec<(String, String)> {
+    let mut params = Vec::new();
+    let mut seg_start = start;
+    let mut depth = 0i32;
+    let mut i = start;
+    while i <= end {
+        let at_end = i == end;
+        let split = at_end || (depth == 0 && punct_at(toks, i) == Some(','));
+        if !split {
+            match punct_at(toks, i) {
+                Some('(') | Some('[') | Some('{') | Some('<') => depth += 1,
+                Some(')') | Some(']') | Some('}') => depth -= 1,
+                Some('>') if punct_at(toks, i.wrapping_sub(1)) != Some('-') => depth -= 1,
+                _ => {}
+            }
+            i += 1;
+            continue;
+        }
+        if i > seg_start {
+            if let Some(p) = parse_one_param(toks, seg_start, i, bounds) {
+                params.push(p);
+            }
+        }
+        seg_start = i + 1;
+        if at_end {
+            break;
+        }
+        i += 1;
+    }
+    params
+}
+
+fn parse_one_param(
+    toks: &[Token],
+    start: usize,
+    end: usize,
+    bounds: &HashMap<String, String>,
+) -> Option<(String, String)> {
+    // Find the pattern/type colon (single `:` at depth 0).
+    let mut depth = 0i32;
+    let mut colon = None;
+    let mut i = start;
+    while i < end {
+        match punct_at(toks, i) {
+            Some('(') | Some('[') | Some('<') => depth += 1,
+            Some(')') | Some(']') => depth -= 1,
+            Some('>') if punct_at(toks, i.wrapping_sub(1)) != Some('-') => depth -= 1,
+            Some(':')
+                if depth == 0
+                    && punct_at(toks, i + 1) != Some(':')
+                    && punct_at(toks, i.wrapping_sub(1)) != Some(':') =>
+            {
+                colon = Some(i);
+                break;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    match colon {
+        Some(c) => {
+            // Name: last identifier before the colon (`mut x: T`).
+            let name = (start..c)
+                .rev()
+                .find_map(|j| ident_at(toks, j))?
+                .to_string();
+            if name == "self" {
+                return None;
+            }
+            let ty = type_head(toks, c + 1, end)
+                .map(|t| bounds.get(&t).cloned().unwrap_or(t))
+                .unwrap_or_else(|| "?".into());
+            Some((name, ty))
+        }
+        None => {
+            // Untyped (closure param) or a bare `self`.
+            let name = (start..end).find_map(|j| ident_at(toks, j))?.to_string();
+            if name == "self" || name == "mut" {
+                return None;
+            }
+            Some((name, "?".into()))
+        }
+    }
+}
+
+/// Closure literals, recorded as pseudo-functions. A `|` starts a closure
+/// when the previous token cannot end an expression: `(`, `,`, `=`, `{`,
+/// `move`, `return`, or start-of-file.
+fn find_closures(toks: &[Token], path: &str, close_of: &HashMap<usize, usize>) -> Vec<Closure> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    let starts_closure = |i: usize| -> bool {
+        if i == 0 {
+            return true;
+        }
+        match &toks[i - 1].tok {
+            Tok::Punct('(') | Tok::Punct(',') | Tok::Punct('=') | Tok::Punct('{') => true,
+            Tok::Ident(s) => s == "move" || s == "return" || s == "else",
+            _ => false,
+        }
+    };
+    while i < toks.len() {
+        if punct_at(toks, i) == Some('|') && starts_closure(i) {
+            // Parameter list ends at the next `|` (parameters never nest
+            // pipes); `||` is an empty list.
+            let mut pe = i + 1;
+            while pe < toks.len() && punct_at(toks, pe) != Some('|') {
+                if matches!(punct_at(toks, pe), Some(';') | Some('{')) {
+                    break; // not a closure after all
+                }
+                pe += 1;
+            }
+            if punct_at(toks, pe) != Some('|') {
+                i += 1;
+                continue;
+            }
+            let mut body_start = pe + 1;
+            // Explicit return type: `|x| -> T { .. }` — skip to the block.
+            if punct_at(toks, body_start) == Some('-')
+                && punct_at(toks, body_start + 1) == Some('>')
+            {
+                while body_start < toks.len() && punct_at(toks, body_start) != Some('{') {
+                    body_start += 1;
+                }
+            }
+            let (bs, be) = if punct_at(toks, body_start) == Some('{') {
+                match close_of.get(&body_start) {
+                    Some(&end) => (body_start + 1, end),
+                    None => (body_start + 1, toks.len()),
+                }
+            } else {
+                // Expression body: up to the first `,`/`)`/`;`/`}` at depth 0.
+                let mut depth = 0i32;
+                let mut j = body_start;
+                while j < toks.len() {
+                    match punct_at(toks, j) {
+                        Some('(') | Some('[') | Some('{') => depth += 1,
+                        Some(')') | Some(']') | Some('}') if depth > 0 => depth -= 1,
+                        Some(')') | Some('}') | Some(',') | Some(';') => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                (body_start, j)
+            };
+            let enclosing_call_paren = innermost_call_paren(toks, close_of, i);
+            out.push(Closure {
+                name: format!("{{closure:{}:{}}}", path, out.len() + 1),
+                line: toks[i].line,
+                start: i,
+                params_end: pe,
+                body_start: bs,
+                body_end: be,
+                enclosing_call_paren,
+            });
+            i = pe + 1;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// The innermost call paren (a `(` directly preceded by an identifier)
+/// strictly containing token `at`.
+fn innermost_call_paren(
+    toks: &[Token],
+    close_of: &HashMap<usize, usize>,
+    at: usize,
+) -> Option<usize> {
+    close_of
+        .iter()
+        .filter(|&(&open, &close)| {
+            open < at
+                && at < close
+                && punct_at(toks, open) == Some('(')
+                && open > 0
+                && ident_at(toks, open - 1).is_some()
+        })
+        .map(|(&open, _)| open)
+        .max()
 }
 
 /// Receiver identifier of a method call whose `.` is at `dot`.
@@ -429,7 +1108,76 @@ fn receiver_of(toks: &[Token], open_of: &HashMap<usize, usize>, dot: usize) -> S
     }
 }
 
-#[allow(clippy::too_many_lines)]
+/// Record a local's type from `let x: T = ..`, `let x = T::ctor(..)` or
+/// `let x = T { .. }` (uppercase path segment heuristics keep module paths
+/// like `txn::decode(..)` out).
+fn record_local_type(
+    toks: &[Token],
+    let_idx: usize,
+    binding: &str,
+    end: usize,
+    locals: &mut HashMap<String, String>,
+) {
+    // Find the binding ident, then look at what follows.
+    let mut i = let_idx + 1;
+    if ident_at(toks, i) == Some("mut") {
+        i += 1;
+    }
+    if ident_at(toks, i) != Some(binding) {
+        return;
+    }
+    i += 1;
+    if punct_at(toks, i) == Some(':') && punct_at(toks, i + 1) != Some(':') {
+        if let Some(ty) = type_head(toks, i + 1, end) {
+            locals.insert(binding.to_string(), ty);
+        }
+        return;
+    }
+    if punct_at(toks, i) != Some('=') {
+        return;
+    }
+    i += 1;
+    // `= Type { .. }` struct literal, or `= path::Type::ctor(..)`.
+    let mut segments: Vec<String> = Vec::new();
+    let mut j = i;
+    while j < end {
+        let Some(name) = ident_at(toks, j) else { break };
+        segments.push(name.to_string());
+        j += 1;
+        if punct_at(toks, j) == Some('<')
+            || (punct_at(toks, j) == Some(':')
+                && punct_at(toks, j + 1) == Some(':')
+                && punct_at(toks, j + 2) == Some('<'))
+        {
+            // Generic args (plain or turbofish) before the next segment.
+            let at = if punct_at(toks, j) == Some('<') {
+                j
+            } else {
+                j + 2
+            };
+            j = skip_angles(toks, at);
+        }
+        if punct_at(toks, j) == Some(':') && punct_at(toks, j + 1) == Some(':') {
+            j += 2;
+            continue;
+        }
+        break;
+    }
+    let uppercase = |s: &String| s.chars().next().is_some_and(char::is_uppercase);
+    match (punct_at(toks, j), segments.len()) {
+        // `= Type { .. }`
+        (Some('{'), 1) if uppercase(&segments[0]) => {
+            locals.insert(binding.to_string(), segments[0].clone());
+        }
+        // `= Type::ctor(..)` — the segment before the call is the type.
+        (Some('('), n) if n >= 2 && uppercase(&segments[n - 2]) => {
+            locals.insert(binding.to_string(), segments[n - 2].clone());
+        }
+        _ => {}
+    }
+}
+
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
 fn extract_events(
     toks: &[Token],
     start: usize,
@@ -437,14 +1185,48 @@ fn extract_events(
     nested: &[(usize, usize)],
     unlocked_spans: &[(usize, usize)],
     open_of: &HashMap<usize, usize>,
-) -> Vec<Event> {
+    close_of: &HashMap<usize, usize>,
+    closures: &[Closure],
+) -> (Vec<Event>, HashMap<String, String>) {
     let mut events = Vec::new();
+    let mut locals: HashMap<String, String> = HashMap::new();
     let mut scopes: Vec<Vec<Held>> = vec![Vec::new()];
     let mut pending_let: Option<String> = None;
+    // L6 statement state: does the current statement bind/consume a value,
+    // and is it a `let _ = ..` discard?
+    let mut stmt_bound = false;
+    let mut discard_let = false;
 
     let held_now =
         |scopes: &Vec<Vec<Held>>| -> Vec<Held> { scopes.iter().flatten().cloned().collect() };
     let in_unlocked = |i: usize| unlocked_spans.iter().any(|&(s, e)| i > s && i < e);
+    let closure_args_of = |paren: usize| -> Vec<String> {
+        closures
+            .iter()
+            .filter(|c| c.enclosing_call_paren == Some(paren))
+            .map(|c| c.name.clone())
+            .collect()
+    };
+    // How a fallible call's result is consumed, judged from the token after
+    // its closing paren. Returns the discard mode, if any.
+    let discarded = |paren: usize, discard_let: bool, stmt_bound: bool| -> Option<&'static str> {
+        let after = close_of.get(&paren).copied()? + 1;
+        match punct_at(toks, after) {
+            Some('?') => None, // propagated
+            Some('.')
+                if ident_at(toks, after + 1) == Some("ok")
+                    && punct_at(toks, after + 2) == Some('(')
+                    && punct_at(toks, after + 3) == Some(')')
+                    && !matches!(punct_at(toks, after + 4), Some('.') | Some('?'))
+                    && (discard_let || !stmt_bound) =>
+            {
+                Some(".ok()")
+            }
+            Some(';') if discard_let => Some("let _ ="),
+            Some(';') if !stmt_bound => Some("unused return"),
+            _ => None,
+        }
+    };
 
     let mut i = start;
     while i < end {
@@ -458,14 +1240,23 @@ fn extract_events(
             Tok::Punct('{') => {
                 scopes.push(Vec::new());
                 pending_let = None;
+                stmt_bound = false;
+                discard_let = false;
             }
             Tok::Punct('}') => {
                 scopes.pop();
                 if scopes.is_empty() {
                     scopes.push(Vec::new());
                 }
+                stmt_bound = false;
+                discard_let = false;
             }
-            Tok::Punct(';') => pending_let = None,
+            Tok::Punct(';') => {
+                pending_let = None;
+                stmt_bound = false;
+                discard_let = false;
+            }
+            Tok::Punct('=') => stmt_bound = true,
             Tok::Ident(id) if id == "let" => {
                 pending_let = match toks.get(i + 1).map(|t| &t.tok) {
                     Some(Tok::Ident(m)) if m == "mut" => match toks.get(i + 2).map(|t| &t.tok) {
@@ -477,14 +1268,24 @@ fn extract_events(
                     Some(Tok::Ident(b)) if punct_at(toks, i + 2) != Some('(') => Some(b.clone()),
                     _ => None,
                 };
+                if let Some(b) = &pending_let {
+                    if b == "_" {
+                        discard_let = true;
+                    } else {
+                        record_local_type(toks, i, b, end.min(i + 64), &mut locals);
+                    }
+                }
+            }
+            Tok::Ident(id) if id == "return" || id == "if" || id == "while" || id == "match" => {
+                stmt_bound = true;
             }
             Tok::Punct('.') => {
                 if let Some(method) = ident_at(toks, i + 1) {
                     let line = toks[i + 1].line;
-                    if punct_at(toks, i + 2) == Some('(') {
+                    if let Some(paren) = call_paren_after(toks, i + 1) {
                         let method = method.to_string();
                         let receiver = receiver_of(toks, open_of, i);
-                        let zero_arg = punct_at(toks, i + 3) == Some(')');
+                        let zero_arg = punct_at(toks, paren + 1) == Some(')');
                         if zero_arg && ACQUIRE_METHODS.contains(&method.as_str()) {
                             let held = held_now(&scopes);
                             events.push(Event::Acquire {
@@ -496,7 +1297,7 @@ fn extract_events(
                             // `let g = <recv>.lock();` — the acquisition's
                             // `()` immediately followed by `;`.
                             if let Some(binding) = pending_let.clone() {
-                                if punct_at(toks, i + 4) == Some(';') {
+                                if punct_at(toks, paren + 2) == Some(';') {
                                     scopes.last_mut().unwrap().push(Held {
                                         binding,
                                         receiver,
@@ -505,8 +1306,17 @@ fn extract_events(
                                     pending_let = None;
                                 }
                             }
-                            i += 3;
+                            i = paren + 1;
                             continue;
+                        }
+                        if FALLIBLE_IO_METHODS.contains(&method.as_str()) {
+                            if let Some(how) = discarded(paren, discard_let, stmt_bound) {
+                                events.push(Event::Discard {
+                                    method: method.clone(),
+                                    how,
+                                    line,
+                                });
+                            }
                         }
                         if BARRIER_METHODS.contains(&method.as_str()) {
                             events.push(Event::Barrier {
@@ -516,7 +1326,7 @@ fn extract_events(
                                 in_unlocked: in_unlocked(i),
                                 held: held_now(&scopes),
                             });
-                            i += 2;
+                            i = paren;
                             continue;
                         }
                         if PANIC_METHODS.contains(&method.as_str()) {
@@ -524,15 +1334,17 @@ fn extract_events(
                                 what: format!(".{method}()"),
                                 line,
                             });
-                            i += 2;
+                            i = paren;
                             continue;
                         }
                         events.push(Event::Call {
                             name: method,
+                            recv: (receiver != "?").then_some(receiver),
+                            closure_args: closure_args_of(paren),
                             line,
                             held: held_now(&scopes),
                         });
-                        i += 2;
+                        i = paren;
                         continue;
                     }
                 }
@@ -549,33 +1361,37 @@ fn extract_events(
                 }
                 // Free / associated calls: `name(...)` not preceded by `.`
                 // (method calls handled above) or `fn`.
-                if punct_at(toks, i + 1) == Some('(')
-                    && !CALL_KEYWORDS.contains(&name.as_str())
-                    && (i == 0 || ident_at(toks, i - 1) != Some("fn"))
-                {
-                    // `drop(guard)` explicitly releases a binding.
-                    if name == "drop" && punct_at(toks, i + 3) == Some(')') {
-                        if let Some(arg) = ident_at(toks, i + 2) {
-                            let arg = arg.to_string();
-                            for scope in scopes.iter_mut() {
-                                scope.retain(|h| h.binding != arg);
+                if let Some(paren) = call_paren_after(toks, i) {
+                    if !CALL_KEYWORDS.contains(&name.as_str())
+                        && (i == 0 || ident_at(toks, i - 1) != Some("fn"))
+                        && punct_at(toks, i.wrapping_sub(1)) != Some('.')
+                    {
+                        // `drop(guard)` explicitly releases a binding.
+                        if name == "drop" && punct_at(toks, paren + 2) == Some(')') {
+                            if let Some(arg) = ident_at(toks, paren + 1) {
+                                let arg = arg.to_string();
+                                for scope in scopes.iter_mut() {
+                                    scope.retain(|h| h.binding != arg);
+                                }
+                                i = paren + 3;
+                                continue;
                             }
-                            i += 4;
-                            continue;
                         }
+                        events.push(Event::Call {
+                            name: name.clone(),
+                            recv: None,
+                            closure_args: closure_args_of(paren),
+                            line: toks[i].line,
+                            held: held_now(&scopes),
+                        });
                     }
-                    events.push(Event::Call {
-                        name: name.clone(),
-                        line: toks[i].line,
-                        held: held_now(&scopes),
-                    });
                 }
             }
             _ => {}
         }
         i += 1;
     }
-    events
+    (events, locals)
 }
 
 #[cfg(test)]
@@ -690,6 +1506,17 @@ fn f(&self) {
         assert!(f.allowed("lock-order", 1));
         assert!(f.allowed("unsynced-commit", 2), "line-above allows apply");
         assert!(!f.allowed("guard-across-barrier", 1));
+        assert_eq!(f.allowed_at("lock-order", 2), Some(1));
+    }
+
+    #[test]
+    fn doc_comments_do_not_register_allows() {
+        let f = facts(
+            "/// Suppress with `// bolt-lint: allow(lock-order)`.\n\
+             //! Module docs: bolt-lint: allow(unsynced-commit) syntax.\n\
+             fn f() {}\n",
+        );
+        assert!(f.allows.is_empty(), "doc comments must not create allows");
     }
 
     #[test]
@@ -742,5 +1569,240 @@ mod tests {
             })
             .unwrap();
         assert_eq!(recv, "shard");
+    }
+
+    #[test]
+    fn impl_blocks_assign_self_and_trait() {
+        let f = facts(
+            r#"
+impl Db {
+    fn close(&self) {}
+}
+impl CompactionPolicy for TieredPolicy {
+    fn pick(&self) {}
+}
+impl std::fmt::Debug for ShardedDb {
+    fn fmt(&self, f: &mut Formatter) {}
+}
+trait Env {
+    fn sync(&self) -> Result<()>;
+    fn default_helper(&self) { x.unwrap(); }
+}
+"#,
+        );
+        let by_name: HashMap<&str, &FnFacts> =
+            f.functions.iter().map(|g| (g.name.as_str(), g)).collect();
+        assert_eq!(by_name["close"].self_ty.as_deref(), Some("Db"));
+        assert_eq!(by_name["close"].trait_name, None);
+        assert_eq!(by_name["pick"].self_ty.as_deref(), Some("TieredPolicy"));
+        assert_eq!(
+            by_name["pick"].trait_name.as_deref(),
+            Some("CompactionPolicy")
+        );
+        assert_eq!(by_name["fmt"].self_ty.as_deref(), Some("ShardedDb"));
+        assert_eq!(by_name["fmt"].trait_name.as_deref(), Some("Debug"));
+        assert_eq!(by_name["default_helper"].trait_name.as_deref(), Some("Env"));
+        assert_eq!(by_name["default_helper"].self_ty, None);
+        let env = f.traits.iter().find(|t| t.name == "Env").unwrap();
+        assert!(env.methods.contains("sync") && env.methods.contains("default_helper"));
+    }
+
+    #[test]
+    fn param_and_local_types_with_nested_generics() {
+        let f = facts(
+            r#"
+fn f(a: &Mutex<State>, b: Arc<Mutex<TxnLog>>, c: &dyn Env, d: impl CompactionPolicy, e: &[u8]) {
+    let log = TxnLog::create(&env, path);
+    let marker = ShardTxnMarker { txn_id, shard_bitmap };
+    let opts: Options = defaults();
+    let lower = txn::decode(&rec);
+}
+"#,
+        );
+        let g = &f.functions[0];
+        let params: HashMap<_, _> = g.params.iter().cloned().collect();
+        assert_eq!(params["a"], "Mutex");
+        assert_eq!(params["b"], "Mutex", "Arc wrapper unwrapped");
+        assert_eq!(params["c"], "Env", "dyn stripped");
+        assert_eq!(params["d"], "CompactionPolicy", "impl Trait arg");
+        assert_eq!(params["e"], "?", "slices have no type head");
+        assert_eq!(g.locals["log"], "TxnLog", "Type::ctor call");
+        assert_eq!(g.locals["marker"], "ShardTxnMarker", "struct literal");
+        assert_eq!(g.locals["opts"], "Options", "let ascription");
+        assert!(!g.locals.contains_key("lower"), "module path is not a type");
+    }
+
+    #[test]
+    fn generic_bounds_map_params() {
+        let f = facts("fn helper<F: Fn()>(state: &Mutex<S>, callback: F) { callback(); }");
+        let params: HashMap<_, _> = f.functions[0].params.iter().cloned().collect();
+        assert_eq!(params["callback"], "Fn");
+    }
+
+    #[test]
+    fn struct_fields_indexed() {
+        let f = facts(
+            r#"
+pub struct ShardedDb {
+    name: String,
+    shards: Vec<Arc<Db>>,
+    epoch: RwLock<()>,
+    txnlog: Mutex<TxnLog>,
+    policy: Arc<dyn CompactionPolicy>,
+}
+struct Unit;
+struct Tuple(u32, u32);
+"#,
+        );
+        let fields = &f.structs["ShardedDb"];
+        assert_eq!(fields["txnlog"], "Mutex");
+        assert_eq!(fields["policy"], "CompactionPolicy");
+        assert_eq!(fields["shards"], "Vec");
+        assert!(!f.structs.contains_key("Tuple"));
+    }
+
+    #[test]
+    fn turbofish_calls_detected() {
+        let f =
+            facts("fn f(&self) { let v = xs.collect::<Vec<_>>(); parse::<u32>(text); s.lock(); }");
+        let names: Vec<String> = f.functions[0]
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Call { name, .. } => Some(name.clone()),
+                _ => None,
+            })
+            .collect();
+        assert!(names.contains(&"collect".to_string()), "method turbofish");
+        assert!(names.contains(&"parse".to_string()), "free-fn turbofish");
+        assert!(
+            f.functions[0]
+                .events
+                .iter()
+                .any(|e| matches!(e, Event::Acquire { .. })),
+            "acquire after turbofish still seen"
+        );
+    }
+
+    #[test]
+    fn raw_strings_do_not_derail_extraction() {
+        let f = facts(
+            r###"
+fn f(&self) {
+    let re = r#"a "lock()" b"#;
+    let g = self.state.lock();
+    self.file.sync()?;
+}
+"###,
+        );
+        let held = f.functions[0]
+            .events
+            .iter()
+            .find_map(|e| match e {
+                Event::Barrier { held, .. } => Some(held.len()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(held, 1, "raw string is opaque; guard still tracked");
+    }
+
+    #[test]
+    fn closure_args_recorded_on_calls_and_pseudo_fns_extracted() {
+        let f = facts(
+            r#"
+fn caller(&self) {
+    helper(state, || {
+        let v = versions.lock();
+        drop(v);
+    });
+}
+"#,
+        );
+        let caller = f.functions.iter().find(|g| g.name == "caller").unwrap();
+        let call = caller
+            .events
+            .iter()
+            .find_map(|e| match e {
+                Event::Call {
+                    name, closure_args, ..
+                } if name == "helper" => Some(closure_args.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(call.len(), 1, "closure literal recorded as an argument");
+        let pseudo = f.functions.iter().find(|g| g.is_closure).unwrap();
+        assert_eq!(pseudo.name, call[0]);
+        assert!(
+            pseudo
+                .events
+                .iter()
+                .any(|e| matches!(e, Event::Acquire { receiver, .. } if receiver == "versions")),
+            "closure body extracted standalone"
+        );
+        assert!(
+            caller
+                .events
+                .iter()
+                .any(|e| matches!(e, Event::Acquire { receiver, .. } if receiver == "versions")),
+            "closure body also stays inline in the enclosing function"
+        );
+    }
+
+    #[test]
+    fn method_chain_ending_in_closure_arg() {
+        let f = facts("fn f(&self) { items.iter().map(|x| x.lock()).count(); }");
+        let main = &f.functions[0];
+        let map_call = main.events.iter().find_map(|e| match e {
+            Event::Call {
+                name, closure_args, ..
+            } if name == "map" => Some(closure_args.clone()),
+            _ => None,
+        });
+        assert_eq!(map_call.unwrap().len(), 1);
+        let pseudo = f.functions.iter().find(|g| g.is_closure).unwrap();
+        assert!(pseudo
+            .events
+            .iter()
+            .any(|e| matches!(e, Event::Acquire { .. })));
+    }
+
+    #[test]
+    fn closure_pipe_is_not_binary_or() {
+        let f = facts("fn f() { let x = a | b; let y = flags.fold(0, |acc, v| acc | v); }");
+        let closures: Vec<_> = f.functions.iter().filter(|g| g.is_closure).collect();
+        assert_eq!(closures.len(), 1, "only the fold callback is a closure");
+    }
+
+    #[test]
+    fn discarded_fallible_results_detected() {
+        let f = facts(
+            r#"
+fn f(&self) {
+    let _ = self.file.sync();
+    self.wal.append(rec).ok();
+    self.manifest.add_record(rec);
+    self.file.sync()?;
+    let r = self.file.sync();
+    let _ = self.file.sync()?;
+}
+"#,
+        );
+        let discards: Vec<(String, &str)> = f.functions[0]
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Discard { method, how, .. } => Some((method.clone(), *how)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            discards,
+            vec![
+                ("sync".to_string(), "let _ ="),
+                ("append".to_string(), ".ok()"),
+                ("add_record".to_string(), "unused return"),
+            ],
+            "`?`-propagated and bound results are not discards"
+        );
     }
 }

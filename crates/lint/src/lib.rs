@@ -2,14 +2,17 @@
 //!
 //! Barrier-ordering and lock-discipline static analyzer for the BoLT
 //! workspace. Dependency-free: a hand-rolled tokenizer ([`lexer`]),
-//! per-function fact extraction ([`facts`]), and five rules ([`rules`])
-//! checked against the declared lock order in `lint/lock_order.toml`
-//! ([`config`]).
+//! per-function fact extraction with a type-aware call-graph resolver
+//! ([`facts`]), and seven rules plus dead-suppression detection
+//! ([`rules`]) checked against the declared lock order in
+//! `lint/lock_order.toml` ([`config`]).
 //!
 //! Run as `cargo run -p bolt-lint -- check .` (or `bolt-tool lint`); CI
-//! treats any unannotated finding as a failure. Suppress a reviewed finding
-//! with `// bolt-lint: allow(<rule>)` on the same line or the line above.
-//! See DESIGN.md §10 for the rule catalogue.
+//! treats any unannotated error finding as a failure and validates the
+//! `--json` stream against `schemas/lint.schema.json`. Suppress a reviewed
+//! finding with `// bolt-lint: allow(<rule>)` on the same line or the line
+//! above — allows that suppress nothing are themselves reported (warn).
+//! See DESIGN.md §10 for the rule catalogue and resolution strategy.
 
 #![warn(missing_docs)]
 
@@ -21,7 +24,7 @@ pub mod rules;
 use std::path::{Path, PathBuf};
 
 pub use config::Config;
-pub use rules::Finding;
+pub use rules::{Finding, Severity};
 
 /// Directory names never descended into, and path fragments excluded from
 /// analysis. `shims/` contains stand-ins for third-party crates (vendored
@@ -101,26 +104,73 @@ pub fn check_root(root: &Path, config_path: Option<&Path>) -> Result<Vec<Finding
     Ok(analyze_sources(&sources, &cfg))
 }
 
+/// Render findings as JSON Lines, one object per finding, matching
+/// `schemas/lint.schema.json`. Hand-rolled emission (no serde in this
+/// workspace); paths and messages are escaped per RFC 8259.
+pub fn findings_json_lines(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&format!(
+            "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\"}}\n",
+            json_escape(&f.file),
+            f.line,
+            f.rule,
+            f.severity.as_str(),
+            json_escape(&f.message),
+        ));
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// CLI driver shared by the `bolt-lint` binary and `bolt-tool lint`:
-/// analyze, print findings, return the process exit code (0 clean,
-/// 1 findings, 2 usage/config error).
-pub fn run_check(root: &Path, config_path: Option<&Path>) -> i32 {
+/// analyze, print findings (human text, or JSON Lines with `json`), return
+/// the process exit code (0 clean or warnings only, 1 error findings,
+/// 2 usage/config error).
+pub fn run_check(root: &Path, config_path: Option<&Path>, json: bool) -> i32 {
     match check_root(root, config_path) {
         Ok(findings) => {
+            let errors = findings
+                .iter()
+                .filter(|f| f.severity == Severity::Error)
+                .count();
+            if json {
+                print!("{}", findings_json_lines(&findings));
+                return i32::from(errors > 0);
+            }
             for f in &findings {
-                println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+                let tag = match f.severity {
+                    Severity::Error => "",
+                    Severity::Warn => "warning ",
+                };
+                println!("{}:{}: {tag}[{}] {}", f.file, f.line, f.rule, f.message);
             }
             if findings.is_empty() {
                 println!("bolt-lint: clean ({} ok)", root.display());
-                0
             } else {
                 println!(
-                    "bolt-lint: {} finding(s); annotate reviewed sites with \
+                    "bolt-lint: {} error(s), {} warning(s); annotate reviewed sites with \
                      `// bolt-lint: allow(<rule>)`",
-                    findings.len()
+                    errors,
+                    findings.len() - errors
                 );
-                1
             }
+            i32::from(errors > 0)
         }
         Err(e) => {
             eprintln!("bolt-lint: error: {e}");

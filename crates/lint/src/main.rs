@@ -1,16 +1,18 @@
-//! `bolt-lint` CLI: `bolt-lint check [PATH] [--config FILE]`.
+//! `bolt-lint` CLI: `bolt-lint check [PATH] [--config FILE] [--json]`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: bolt-lint check [PATH] [--config FILE]\n\
+        "usage: bolt-lint check [PATH] [--config FILE] [--json]\n\
          \n\
          Static barrier-ordering / lock-discipline analysis over the Rust\n\
          sources under PATH (default: current directory). The lock order is\n\
          read from PATH/lint/lock_order.toml unless --config overrides it.\n\
-         Exit code 1 when unannotated findings exist."
+         With --json, findings are emitted as JSON Lines matching\n\
+         schemas/lint.schema.json. Exit code 1 when unannotated error\n\
+         findings exist (warnings alone stay 0)."
     );
     ExitCode::from(2)
 }
@@ -24,16 +26,18 @@ fn main() -> ExitCode {
     }
     let mut root: Option<PathBuf> = None;
     let mut config: Option<PathBuf> = None;
+    let mut json = false;
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--config" => match it.next() {
                 Some(p) => config = Some(PathBuf::from(p)),
                 None => return usage(),
             },
+            "--json" => json = true,
             p if root.is_none() && !p.starts_with('-') => root = Some(PathBuf::from(p)),
             _ => return usage(),
         }
     }
     let root = root.unwrap_or_else(|| PathBuf::from("."));
-    ExitCode::from(u8::try_from(bolt_lint::run_check(&root, config.as_deref())).unwrap_or(2))
+    ExitCode::from(u8::try_from(bolt_lint::run_check(&root, config.as_deref(), json)).unwrap_or(2))
 }

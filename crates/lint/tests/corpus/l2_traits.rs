@@ -1,0 +1,58 @@
+//! Seeded L2 (`lock-order`) cases that name-based call resolution provably
+//! missed: `select` is defined on two trait implementors (never uniquely
+//! named, so the old resolver dropped the call on the floor), and a closure
+//! callback whose body contradicts the lock its callee holds. Never
+//! compiled.
+
+trait Victim {
+    fn select(&self) -> usize;
+}
+
+struct Tiered {
+    state: Mutex<S>,
+}
+
+impl Victim for Tiered {
+    fn select(&self) -> usize {
+        let s = self.state.lock();
+        drop(s);
+        0
+    }
+}
+
+struct Leveled {
+    state: Mutex<S>,
+}
+
+impl Victim for Leveled {
+    fn select(&self) -> usize {
+        let s = self.state.lock();
+        drop(s);
+        1
+    }
+}
+
+pub fn ok_select_unlocked(policy: &dyn Victim, bg: &Mutex<B>) {
+    policy.select();
+    let g = bg.lock();
+    drop(g);
+}
+
+pub fn bad_select_under_bg(policy: &dyn Victim, bg: &Mutex<B>) {
+    let g = bg.lock();
+    policy.select(); // SEED(lock-order)
+    drop(g);
+}
+
+fn run_under_wal<F: Fn()>(wal: &Mutex<W>, callback: F) {
+    let w = wal.lock();
+    callback();
+    drop(w);
+}
+
+pub fn bad_closure_under_wal(wal: &Mutex<W>, versions: &Mutex<V>) {
+    run_under_wal(wal, || { // SEED(lock-order)
+        let v = versions.lock();
+        drop(v);
+    });
+}

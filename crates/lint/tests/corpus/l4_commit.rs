@@ -2,32 +2,32 @@
 //! into `commit_path`. Never compiled.
 
 pub fn bad_no_commit_sync(manifest: &mut W, data: &mut W) {
-    data.append(b"table bytes");
-    data.sync();
-    manifest.append(b"edit record"); // SEED(unsynced-commit)
+    data.append(b"table bytes")?;
+    data.sync()?;
+    manifest.append(b"edit record")?; // SEED(unsynced-commit)
 }
 
 pub fn bad_unsynced_data(manifest: &mut W, data: &mut W) {
-    data.append(b"table bytes");
-    manifest.append(b"edit record"); // SEED(unsynced-commit)
-    manifest.sync();
+    data.append(b"table bytes")?;
+    manifest.append(b"edit record")?; // SEED(unsynced-commit)
+    manifest.sync()?;
 }
 
 pub fn ok_full_commit(manifest: &mut W, data: &mut W) {
-    data.append(b"table bytes");
-    data.sync();
-    manifest.append(b"edit record");
-    manifest.sync();
+    data.append(b"table bytes")?;
+    data.sync()?;
+    manifest.append(b"edit record")?;
+    manifest.sync()?;
 }
 
 pub fn ok_barrier_commit(manifest: &mut W, data: &mut W) {
-    data.append(b"table bytes");
-    data.ordering_barrier();
-    manifest.append(b"edit record");
-    manifest.ordering_barrier();
+    data.append(b"table bytes")?;
+    data.ordering_barrier()?;
+    manifest.append(b"edit record")?;
+    manifest.ordering_barrier()?;
 }
 
 pub fn allowed_no_sync(manifest: &mut W) {
     // Reviewed: sync happens in the caller via log_and_apply. bolt-lint: allow(unsynced-commit)
-    manifest.append(b"edit record");
+    manifest.append(b"edit record")?;
 }

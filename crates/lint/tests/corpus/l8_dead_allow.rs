@@ -1,0 +1,9 @@
+//! Seeded dead-suppression case: an allow comment whose rule never fires
+//! on the annotated site is itself reported (warn-level) so stale
+//! suppressions cannot accumulate. Never compiled.
+
+pub fn stale_suppression(state: &Mutex<u32>) {
+    // bolt-lint: allow(guard-across-barrier) SEED(dead-allow)
+    let g = state.lock();
+    drop(g);
+}

@@ -8,16 +8,19 @@ use bolt_lint::{analyze_sources, Config};
 
 const CORPUS_CONFIG: &str = r#"
 [order]
-locks = ["core.state", "core.versions", "core.batchlock"]
+locks = ["core.state", "core.versions", "core.batchlock", "aux.bg", "aux.wal"]
 
 [aliases]
 state = "core.state"
 versions = "core.versions"
 batchlock = "core.batchlock"
+bg = "aux.bg"
+wal = "aux.wal"
 
 [modules]
-crash_path = ["l3_unwrap.rs"]
+crash_path = ["l3_unwrap.rs", "l6_swallow.rs"]
 commit_path = ["l4_commit.rs"]
+twopc_path = ["l7_decide.rs"]
 "#;
 
 fn corpus_sources() -> Vec<(String, String)> {
@@ -68,6 +71,9 @@ fn every_seeded_violation_is_flagged_and_nothing_else() {
         "unwrap-in-crash-path",
         "unsynced-commit",
         "lock-registry",
+        "swallowed-io-error",
+        "decide-before-apply",
+        "dead-allow",
     ] {
         assert!(
             seeds.iter().any(|(_, _, r)| r == rule),
@@ -104,15 +110,49 @@ fn allow_comments_suppress_annotated_sites() {
         for (i, l) in src.lines().enumerate() {
             if l.contains("bolt-lint: allow(") {
                 let line = (i + 1) as u32;
+                // The seeded dead-allow case legitimately reports ON its
+                // allow comment line; every other rule must be suppressed.
                 assert!(
-                    !findings
-                        .iter()
-                        .any(|f| &f.file == path && (f.line == line || f.line == line + 1)),
+                    !findings.iter().any(|f| &f.file == path
+                        && (f.line == line || f.line == line + 1)
+                        && f.rule != "dead-allow"),
                     "allow comment at {path}:{line} did not suppress its finding"
                 );
             }
         }
     }
+}
+
+/// Regression for the pre-resolver blind spot: `select` is deliberately
+/// defined on two implementors (never a unique name, so the old name-based
+/// resolver could not follow the call) and the closure case has no name at
+/// all. Both seeded edges must be found from this file alone.
+#[test]
+fn trait_and_closure_edges_once_invisible_are_reported() {
+    let cfg = Config::parse(CORPUS_CONFIG).expect("corpus config parses");
+    let sources: Vec<(String, String)> = corpus_sources()
+        .into_iter()
+        .filter(|(p, _)| p.ends_with("l2_traits.rs"))
+        .collect();
+    assert_eq!(sources.len(), 1);
+    let n_select_defs = sources[0].1.matches("fn select").count();
+    assert!(
+        n_select_defs >= 2,
+        "the corpus case must keep `select` non-unique, or it stops \
+         exercising typed resolution"
+    );
+    let findings = analyze_sources(&sources, &cfg);
+    let lock_order_lines: Vec<u32> = findings
+        .iter()
+        .filter(|f| f.rule == "lock-order")
+        .map(|f| f.line)
+        .collect();
+    let seeds: Vec<u32> = seeded(&sources).iter().map(|&(_, l, _)| l).collect();
+    assert_eq!(
+        lock_order_lines, seeds,
+        "trait-routed and closure-callback edges must be exactly the seeded \
+         ones: {findings:#?}"
+    );
 }
 
 #[test]

@@ -345,6 +345,19 @@ pub fn trace(json_lines: bool) -> Result<String> {
 /// Returns [`Error::Corruption`] if the schema or any line fails to parse,
 /// or [`Error::InvalidArgument`] listing every schema violation found.
 pub fn validate_trace_lines(output: &str, schema_text: &str) -> Result<usize> {
+    validate_json_lines(output, schema_text)
+}
+
+/// Validate any JSON Lines stream (one object per line, blank lines
+/// skipped) against a JSON schema document — used for both the trace event
+/// stream and `bolt-lint --json` findings. Returns the number of validated
+/// lines.
+///
+/// # Errors
+///
+/// Returns [`Error::Corruption`] if the schema or any line fails to parse,
+/// or [`Error::InvalidArgument`] listing every schema violation found.
+pub fn validate_json_lines(output: &str, schema_text: &str) -> Result<usize> {
     let schema = json::parse(schema_text)?;
     let mut checked = 0usize;
     let mut violations = Vec::new();
@@ -710,6 +723,57 @@ mod tests {
         db.flush().unwrap();
         db.compact_until_quiet().unwrap();
         db.close().unwrap();
+    }
+
+    #[test]
+    fn lint_json_findings_match_checked_in_schema() {
+        // Non-vacuous: analyze a crafted bad source so the JSON stream
+        // actually contains error and warn findings, then validate every
+        // line against the schema CI uses.
+        let cfg = bolt_lint::Config::parse(
+            "[order]\nlocks = [\"a.first\", \"a.second\"]\n\
+             [aliases]\nfirst = \"a.first\"\nsecond = \"a.second\"\n",
+        )
+        .unwrap();
+        let src = r#"
+fn bad(first: &Mutex<S>, second: &Mutex<T>, w: &mut W) {
+    let s = second.lock();
+    let f = first.lock();
+    w.sync();
+    drop(f);
+    drop(s);
+}
+fn stale() {
+    // bolt-lint: allow(unsynced-commit)
+    let x = 1;
+}
+"#;
+        let findings =
+            bolt_lint::analyze_sources(&[("bad \"path\".rs".to_string(), src.to_string())], &cfg);
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.severity == bolt_lint::Severity::Error),
+            "crafted source must produce error findings: {findings:#?}"
+        );
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.severity == bolt_lint::Severity::Warn),
+            "crafted source must produce a dead-allow warning: {findings:#?}"
+        );
+        let out = bolt_lint::findings_json_lines(&findings);
+        let schema = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../schemas/lint.schema.json"
+        ))
+        .unwrap();
+        let checked = validate_json_lines(&out, &schema).unwrap();
+        assert_eq!(checked, findings.len());
+
+        // A line violating the schema must be rejected.
+        let bad = "{\"file\":\"x.rs\",\"line\":0,\"rule\":\"no-such-rule\",\"severity\":\"error\",\"message\":\"m\"}";
+        assert!(validate_json_lines(bad, &schema).is_err());
     }
 
     #[test]

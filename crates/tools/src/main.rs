@@ -31,7 +31,9 @@
 //!                                   selection; with --sharded, sweep
 //!                                   cross-shard 2PC commit windows
 //!   lint [path] [--config FILE]     barrier-ordering/lock-discipline
-//!                                   static analysis (alias of bolt-lint)
+//!        [--json] [--validate F]    static analysis (alias of bolt-lint);
+//!                                   with --json, findings are JSON Lines,
+//!                                   optionally validated against schema F
 //!
 //! --profile: leveldb | lvl64 | hyper | pebbles | rocks | bolt (default)
 //!            | hyperbolt | rocksbolt
@@ -46,7 +48,7 @@ use bolt_env::{Env, RealEnv};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: bolt-tool <stat|stats|dump-manifest|dump-tables|scan|get|put|delete|load|compact|verify> <db-dir> [args...] [--profile <name>] [--policy=<p>]\n       bolt-tool stat <db-dir> [--json|--prometheus] [--per-shard]\n       bolt-tool trace [--json] [--validate SCHEMA]\n       bolt-tool crash-sweep [max-points] [seed] [--policy=<p>] [--sharded]\n       bolt-tool lint [path] [--config FILE]"
+        "usage: bolt-tool <stat|stats|dump-manifest|dump-tables|scan|get|put|delete|load|compact|verify> <db-dir> [args...] [--profile <name>] [--policy=<p>]\n       bolt-tool stat <db-dir> [--json|--prometheus] [--per-shard]\n       bolt-tool trace [--json] [--validate SCHEMA]\n       bolt-tool crash-sweep [max-points] [seed] [--policy=<p>] [--sharded]\n       bolt-tool lint [path] [--config FILE] [--json] [--validate SCHEMA]"
     );
     ExitCode::from(2)
 }
@@ -175,10 +177,15 @@ fn trace(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// `bolt-tool lint [path] [--config FILE]` — alias of `bolt-lint check`.
+/// `bolt-tool lint [path] [--config FILE] [--json] [--validate SCHEMA]` —
+/// alias of `bolt-lint check`; with `--validate`, the JSON findings stream
+/// is additionally checked against the given schema (as `trace` does for
+/// its event stream).
 fn lint(args: &[String]) -> ExitCode {
     let mut root: Option<std::path::PathBuf> = None;
     let mut config: Option<std::path::PathBuf> = None;
+    let mut json = false;
+    let mut schema_path: Option<std::path::PathBuf> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -186,12 +193,59 @@ fn lint(args: &[String]) -> ExitCode {
                 Some(p) => config = Some(p.into()),
                 None => return usage(),
             },
+            "--json" => json = true,
+            "--validate" => match it.next() {
+                Some(p) => schema_path = Some(p.into()),
+                None => return usage(),
+            },
             p if root.is_none() && !p.starts_with('-') => root = Some(p.into()),
             _ => return usage(),
         }
     }
+    if schema_path.is_some() && !json {
+        eprintln!("error: --validate requires --json");
+        return ExitCode::from(2);
+    }
     let root = root.unwrap_or_else(|| ".".into());
-    ExitCode::from(u8::try_from(bolt_lint::run_check(&root, config.as_deref())).unwrap_or(2))
+    let Some(schema_path) = schema_path else {
+        return ExitCode::from(
+            u8::try_from(bolt_lint::run_check(&root, config.as_deref(), json)).unwrap_or(2),
+        );
+    };
+    let findings = match bolt_lint::check_root(&root, config.as_deref()) {
+        Ok(findings) => findings,
+        Err(e) => {
+            eprintln!("bolt-lint: error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let output = bolt_lint::findings_json_lines(&findings);
+    print!("{output}");
+    let schema = match std::fs::read_to_string(&schema_path) {
+        Ok(schema) => schema,
+        Err(e) => {
+            eprintln!("error: reading {}: {e}", schema_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    match bolt_tools::validate_json_lines(&output, &schema) {
+        Ok(n) => eprintln!(
+            "lint: {n} finding(s) validated against {}",
+            schema_path.display()
+        ),
+        Err(e) => {
+            eprintln!("error: schema validation failed:\n{e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let errors = findings
+        .iter()
+        .any(|f| f.severity == bolt_lint::Severity::Error);
+    if errors {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn main() -> ExitCode {
