@@ -38,13 +38,16 @@ pub enum BarrierCause {
     /// Re-cutting a fresh MANIFEST after a failed commit barrier (the
     /// self-healing path: snapshot write + re-appended edit sync).
     ManifestRecut,
+    /// Value-log segment barrier paid before the WAL record carrying its
+    /// pointers (WAL-time key-value separation).
+    VlogData,
     /// No scope was active: the barrier could not be attributed.
     Unattributed,
 }
 
 impl BarrierCause {
     /// Every cause, in stable order (used by exporters and counters).
-    pub const ALL: [BarrierCause; 10] = [
+    pub const ALL: [BarrierCause; 11] = [
         BarrierCause::WalCommit,
         BarrierCause::WalClose,
         BarrierCause::FlushData,
@@ -54,6 +57,7 @@ impl BarrierCause {
         BarrierCause::OpenManifest,
         BarrierCause::CurrentPointer,
         BarrierCause::ManifestRecut,
+        BarrierCause::VlogData,
         BarrierCause::Unattributed,
     ];
 
@@ -69,6 +73,7 @@ impl BarrierCause {
             BarrierCause::OpenManifest => "open_manifest",
             BarrierCause::CurrentPointer => "current_pointer",
             BarrierCause::ManifestRecut => "manifest_recut",
+            BarrierCause::VlogData => "vlog_data",
             BarrierCause::Unattributed => "unattributed",
         }
     }
@@ -271,6 +276,28 @@ pub enum EngineEvent {
         /// Bytes reclaimed.
         bytes: u64,
     },
+    /// The value log rotated to a fresh segment (WAL-time separation).
+    VlogRotate {
+        /// File number of the new segment.
+        new_segment: u64,
+    },
+    /// Dead value bytes were reclaimed from a value-log segment by
+    /// punching holes over the ranges compaction reported dead.
+    VlogGc {
+        /// Segment the holes were punched in.
+        segment: u64,
+        /// Cumulative dead bytes in the segment after this pass.
+        dead_bytes: u64,
+        /// Bytes reclaimed by this pass's punches.
+        punched_bytes: u64,
+    },
+    /// A fully dead value-log segment's file was deleted.
+    VlogRetire {
+        /// The retired segment.
+        segment: u64,
+        /// Bytes the deleted file occupied.
+        reclaimed_bytes: u64,
+    },
 }
 
 impl EngineEvent {
@@ -291,6 +318,9 @@ impl EngineEvent {
             EngineEvent::ManifestRecut { .. } => "manifest_recut",
             EngineEvent::Barrier { .. } => "barrier",
             EngineEvent::HolePunch { .. } => "hole_punch",
+            EngineEvent::VlogRotate { .. } => "vlog_rotate",
+            EngineEvent::VlogGc { .. } => "vlog_gc",
+            EngineEvent::VlogRetire { .. } => "vlog_retire",
         }
     }
 
@@ -359,6 +389,20 @@ impl EngineEvent {
                 format!("barrier [{}] cause={}", kind.as_str(), cause.as_str())
             }
             EngineEvent::HolePunch { bytes } => format!("hole punched ({bytes} B reclaimed)"),
+            EngineEvent::VlogRotate { new_segment } => {
+                format!("value log rotated to segment {new_segment:06}")
+            }
+            EngineEvent::VlogGc {
+                segment,
+                dead_bytes,
+                punched_bytes,
+            } => format!(
+                "vlog GC segment {segment:06} ({punched_bytes} B punched, {dead_bytes} B dead total)"
+            ),
+            EngineEvent::VlogRetire {
+                segment,
+                reclaimed_bytes,
+            } => format!("vlog segment {segment:06} retired ({reclaimed_bytes} B reclaimed)"),
         }
     }
 }
@@ -478,6 +522,28 @@ impl TraceEvent {
             }
             EngineEvent::HolePunch { bytes } => {
                 let _ = write!(s, ",\"bytes\":{bytes}");
+            }
+            EngineEvent::VlogRotate { new_segment } => {
+                let _ = write!(s, ",\"new_segment\":{new_segment}");
+            }
+            EngineEvent::VlogGc {
+                segment,
+                dead_bytes,
+                punched_bytes,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"segment\":{segment},\"dead_bytes\":{dead_bytes},\"punched_bytes\":{punched_bytes}"
+                );
+            }
+            EngineEvent::VlogRetire {
+                segment,
+                reclaimed_bytes,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"segment\":{segment},\"reclaimed_bytes\":{reclaimed_bytes}"
+                );
             }
         }
         s.push('}');

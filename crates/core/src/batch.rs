@@ -54,6 +54,16 @@ impl WriteBatch {
         self.count += 1;
     }
 
+    /// Queue a put whose payload is an encoded value-log pointer, not the
+    /// value itself. The pointer flows through WAL/memtable/SSTable exactly
+    /// like a small value; only the read path treats it specially.
+    pub fn put_pointer(&mut self, key: &[u8], pointer: &[u8]) {
+        self.rep.push(ValueType::ValuePointer as u8);
+        put_length_prefixed_slice(&mut self.rep, key);
+        put_length_prefixed_slice(&mut self.rep, pointer);
+        self.count += 1;
+    }
+
     /// Number of queued operations.
     pub fn count(&self) -> u32 {
         self.count
@@ -159,6 +169,11 @@ impl WriteBatch {
                     let key = dec.length_prefixed_slice()?;
                     f(ValueType::Deletion, key, &[]);
                 }
+                ValueType::ValuePointer => {
+                    let key = dec.length_prefixed_slice()?;
+                    let pointer = dec.length_prefixed_slice()?;
+                    f(ValueType::ValuePointer, key, pointer);
+                }
             }
         }
         Ok(())
@@ -242,6 +257,31 @@ mod tests {
         batch.apply_to(&mem).unwrap();
         assert_eq!(mem.get(b"k", 10), LookupResult::Value(b"first".to_vec()));
         assert_eq!(mem.get(b"k", 11), LookupResult::Value(b"second".to_vec()));
+    }
+
+    #[test]
+    fn pointer_ops_roundtrip() {
+        let mut batch = WriteBatch::new();
+        batch.put(b"small", b"inline");
+        batch.put_pointer(b"big", b"fake-pointer-bytes");
+        batch.set_sequence(5);
+        let decoded = WriteBatch::decode(&batch.encode()).unwrap();
+        assert_eq!(decoded.count(), 2);
+        let mut ops = Vec::new();
+        decoded
+            .for_each(|vt, k, v| ops.push((vt, k.to_vec(), v.to_vec())))
+            .unwrap();
+        assert_eq!(
+            ops,
+            vec![
+                (ValueType::Value, b"small".to_vec(), b"inline".to_vec()),
+                (
+                    ValueType::ValuePointer,
+                    b"big".to_vec(),
+                    b"fake-pointer-bytes".to_vec()
+                ),
+            ]
+        );
     }
 
     #[test]

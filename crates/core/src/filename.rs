@@ -19,6 +19,8 @@ pub enum FileType {
     Current,
     /// Temporary file (`NNNNNN.tmp`).
     Temp(u64),
+    /// Value-log segment (`NNNNNN.vlog`) — holds separated large values.
+    ValueLog(u64),
 }
 
 /// Path of WAL number `n` inside `db`.
@@ -46,6 +48,11 @@ pub fn temp_file(db: &str, n: u64) -> String {
     join_path(db, &format!("{n:06}.tmp"))
 }
 
+/// Path of value-log segment number `n` inside `db`.
+pub fn vlog_file(db: &str, n: u64) -> String {
+    join_path(db, &format!("{n:06}.vlog"))
+}
+
 /// Classify a directory entry name.
 pub fn parse_file_name(name: &str) -> Option<FileType> {
     if name == "CURRENT" {
@@ -62,6 +69,9 @@ pub fn parse_file_name(name: &str) -> Option<FileType> {
     }
     if let Some(stem) = name.strip_suffix(".tmp") {
         return stem.parse().ok().map(FileType::Temp);
+    }
+    if let Some(stem) = name.strip_suffix(".vlog") {
+        return stem.parse().ok().map(FileType::ValueLog);
     }
     None
 }
@@ -80,6 +90,7 @@ mod tests {
         );
         assert_eq!(parse_file_name("CURRENT"), Some(FileType::Current));
         assert_eq!(parse_file_name("000009.tmp"), Some(FileType::Temp(9)));
+        assert_eq!(parse_file_name("000011.vlog"), Some(FileType::ValueLog(11)));
         assert_eq!(parse_file_name("garbage"), None);
         assert_eq!(parse_file_name("xx.sst"), None);
     }

@@ -7,7 +7,7 @@
 
 use std::sync::Arc;
 
-use bolt_common::Result;
+use bolt_common::{Error, Result};
 use bolt_table::cache::TableCache;
 #[allow(unused_imports)]
 use bolt_table::comparator::Comparator;
@@ -285,12 +285,27 @@ impl InternalIterator for MergingIter {
     }
 }
 
+/// Resolves encoded value-log pointers to value bytes for iterators.
+///
+/// Implemented by the engine (which knows the env and db directory); kept
+/// as a trait so iterator machinery stays decoupled from the value log.
+pub trait ValueResolver: Send + Sync {
+    /// Fetch and verify the value an encoded pointer refers to.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corruption`] for malformed or dangling pointers and
+    /// read errors from the segment file.
+    fn resolve(&self, pointer: &[u8]) -> Result<Vec<u8>>;
+}
+
 /// User-facing iterator: snapshot visibility, newest version per key,
-/// tombstones suppressed.
+/// tombstones suppressed, value-log pointers resolved.
 pub struct DbIter {
     icmp: InternalKeyComparator,
     iter: MergingIter,
     snapshot: SequenceNumber,
+    resolver: Option<Arc<dyn ValueResolver>>,
     valid: bool,
     key: Vec<u8>,
     value: Vec<u8>,
@@ -312,10 +327,17 @@ impl DbIter {
             icmp,
             iter,
             snapshot,
+            resolver: None,
             valid: false,
             key: Vec::new(),
             value: Vec::new(),
         }
+    }
+
+    /// Attach a value-log pointer resolver (engine-created iterators).
+    pub fn with_resolver(mut self, resolver: Arc<dyn ValueResolver>) -> Self {
+        self.resolver = Some(resolver);
+        self
     }
 
     /// `true` when positioned on a live user entry.
@@ -400,7 +422,7 @@ impl DbIter {
                     ValueType::Deletion => {
                         skipping = Some(parsed.user_key.to_vec());
                     }
-                    ValueType::Value => {
+                    ValueType::Value | ValueType::ValuePointer => {
                         let shadowed = skipping.as_deref().is_some_and(|s| {
                             self.icmp
                                 .user_comparator()
@@ -409,7 +431,18 @@ impl DbIter {
                         });
                         if !shadowed {
                             self.key = parsed.user_key.to_vec();
-                            self.value = self.iter.value().to_vec();
+                            self.value = if parsed.value_type == ValueType::ValuePointer {
+                                match &self.resolver {
+                                    Some(resolver) => resolver.resolve(self.iter.value())?,
+                                    None => {
+                                        return Err(Error::corruption(
+                                            "value pointer entry but no value-log resolver",
+                                        ))
+                                    }
+                                }
+                            } else {
+                                self.iter.value().to_vec()
+                            };
                             self.valid = true;
                             return Ok(());
                         }
@@ -525,6 +558,33 @@ mod tests {
                 (b"b".to_vec(), b"b2".to_vec()),
             ]
         );
+    }
+
+    #[test]
+    fn db_iter_resolves_pointer_entries() {
+        struct Fake;
+        impl ValueResolver for Fake {
+            fn resolve(&self, pointer: &[u8]) -> Result<Vec<u8>> {
+                Ok([b"resolved:".as_slice(), pointer].concat())
+            }
+        }
+        let mem = mem_with(&[
+            (1, ValueType::ValuePointer, b"big", b"ptr"),
+            (2, ValueType::Value, b"small", b"inline"),
+        ]);
+        let iter = merging(vec![Box::new(mem.iter())]);
+        let mut db_iter =
+            DbIter::new(InternalKeyComparator::default(), iter, 100).with_resolver(Arc::new(Fake));
+        db_iter.seek_to_first().unwrap();
+        assert_eq!(db_iter.key(), b"big");
+        assert_eq!(db_iter.value(), b"resolved:ptr");
+        db_iter.next().unwrap();
+        assert_eq!(db_iter.value(), b"inline");
+
+        // Without a resolver a pointer entry is an error, not silent junk.
+        let iter = merging(vec![Box::new(mem.iter())]);
+        let mut bare = DbIter::new(InternalKeyComparator::default(), iter, 100);
+        assert!(bare.seek_to_first().is_err());
     }
 
     #[test]

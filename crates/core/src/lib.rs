@@ -46,6 +46,7 @@ pub(crate) mod sync;
 pub mod txn;
 pub mod version;
 pub mod versions;
+pub mod vlog;
 
 pub use batch::WriteBatch;
 pub use bolt_common::events::{BarrierCause, BarrierKind, EngineEvent, TraceEvent};
@@ -54,7 +55,9 @@ pub use compaction::{policy_for, CompactionPolicy, CompactionTask, OutputShape};
 pub use db::{Db, DbIterator, LevelInfo, Snapshot};
 pub use metrics::{MetricsSnapshot, QueueWaitSummary};
 pub use options::{
-    BoltOptions, CompactionPolicyKind, CompactionStyle, Options, ReadOptions, WriteOptions,
+    BoltOptions, CompactionPolicyKind, CompactionStyle, Options, OptionsBuilder, ReadOptions,
+    WriteOptions,
 };
 pub use stats::{DbStats, DbStatsSnapshot};
 pub use txn::{ShardTxnMarker, TxnWalRecord};
+pub use vlog::ValuePointer;

@@ -44,6 +44,9 @@ pub enum LookupResult {
     Deleted,
     /// The key has this value.
     Value(Vec<u8>),
+    /// The key's value lives in the value log; the payload is an encoded
+    /// [`crate::vlog::ValuePointer`] the caller must resolve.
+    Pointer(Vec<u8>),
 }
 
 /// In-memory write buffer.
@@ -127,6 +130,7 @@ impl MemTable {
         match parsed.value_type {
             ValueType::Deletion => LookupResult::Deleted,
             ValueType::Value => LookupResult::Value(value.to_vec()),
+            ValueType::ValuePointer => LookupResult::Pointer(value.to_vec()),
         }
     }
 
@@ -243,6 +247,23 @@ mod tests {
         mem.add(2, ValueType::Deletion, b"k", b"");
         assert_eq!(mem.get(b"k", 100), LookupResult::Deleted);
         assert_eq!(mem.get(b"k", 1), LookupResult::Value(b"v".to_vec()));
+    }
+
+    #[test]
+    fn pointer_entries_surface_as_pointer() {
+        let mem = MemTable::new();
+        mem.add(1, ValueType::ValuePointer, b"k", b"encoded-pointer");
+        assert_eq!(
+            mem.get(b"k", 100),
+            LookupResult::Pointer(b"encoded-pointer".to_vec())
+        );
+        // A later inline overwrite shadows the pointer entry.
+        mem.add(2, ValueType::Value, b"k", b"inline");
+        assert_eq!(mem.get(b"k", 100), LookupResult::Value(b"inline".to_vec()));
+        assert_eq!(
+            mem.get(b"k", 1),
+            LookupResult::Pointer(b"encoded-pointer".to_vec())
+        );
     }
 
     #[test]

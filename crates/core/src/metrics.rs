@@ -135,6 +135,19 @@ impl MetricsSnapshot {
         reg.counter("bolt_group_batches_total", &[], d.group_batches);
         reg.counter("bolt_wal_syncs_total", &[], d.wal_syncs);
         reg.counter("bolt_wal_syncs_elided_total", &[], d.wal_syncs_elided);
+        reg.counter(
+            "bolt_vlog_values_separated_total",
+            &[],
+            d.vlog_values_separated,
+        );
+        reg.counter("bolt_vlog_bytes_written_total", &[], d.vlog_bytes_written);
+        reg.counter("bolt_vlog_resolves_total", &[], d.vlog_resolves);
+        reg.counter("bolt_vlog_dead_bytes_total", &[], d.vlog_dead_bytes);
+        reg.counter(
+            "bolt_vlog_segments_retired_total",
+            &[],
+            d.vlog_segments_retired,
+        );
 
         let io = &self.io;
         reg.counter("bolt_io_fsyncs_total", &[], io.fsync_calls);

@@ -291,6 +291,15 @@ pub struct Options {
     /// BarrierFS ablation; requires an env with
     /// [`bolt_env::Env::supports_ordering_barrier`]).
     pub use_ordering_barriers: bool,
+    /// WAL-time key-value separation (BVLSM-style): values strictly larger
+    /// than this many bytes are appended to the value log and replaced by a
+    /// fixed-size pointer throughout the WAL/memtable/SSTable path.
+    /// `None` disables separation (the default for every profile).
+    pub value_separation_threshold: Option<u64>,
+    /// Target size of one value-log segment before the writer rotates to a
+    /// new file. Larger segments amortize file creation; smaller segments
+    /// retire (and free) sooner once their values die.
+    pub vlog_segment_bytes: u64,
 }
 
 impl Default for Options {
@@ -324,6 +333,8 @@ impl Options {
             size_tiered_min_threshold: 4,
             size_tiered_size_ratio: 1.5,
             use_ordering_barriers: false,
+            value_separation_threshold: None,
+            vlog_segment_bytes: 64 << 20,
         }
     }
 
@@ -469,7 +480,9 @@ impl Options {
         }
     }
 
-    /// Check the configuration for nonsensical values.
+    /// Check the configuration for nonsensical values, stopping at the
+    /// first problem. [`Options::validate_all`] reports every problem at
+    /// once ([`OptionsBuilder::build`] uses it).
     ///
     /// # Errors
     ///
@@ -477,72 +490,78 @@ impl Options {
     /// the engine cannot run (too few levels, zero-sized buffers, inverted
     /// governor thresholds).
     pub fn validate(&self) -> bolt_common::Result<()> {
-        use bolt_common::Error;
+        match self.validate_all().into_iter().next() {
+            Some(problem) => Err(bolt_common::Error::InvalidArgument(problem)),
+            None => Ok(()),
+        }
+    }
+
+    /// Every validation problem in this configuration, in a stable order
+    /// (empty = valid). The builder surfaces all of them in one error so a
+    /// misconfigured profile is fixed in one round-trip.
+    pub fn validate_all(&self) -> Vec<String> {
+        let mut problems = Vec::new();
         if self.num_levels < 2 {
-            return Err(Error::InvalidArgument(
-                "num_levels must be at least 2".into(),
-            ));
+            problems.push("num_levels must be at least 2".to_string());
         }
         if self.memtable_bytes == 0 || self.sstable_bytes == 0 || self.level1_max_bytes == 0 {
-            return Err(Error::InvalidArgument(
-                "memtable, sstable and level-1 sizes must be positive".into(),
-            ));
+            problems.push("memtable, sstable and level-1 sizes must be positive".to_string());
         }
         if self.level_size_multiplier < 2 {
-            return Err(Error::InvalidArgument(
-                "level size multiplier must be at least 2".into(),
-            ));
+            problems.push("level size multiplier must be at least 2".to_string());
         }
         if let (Some(slow), Some(stop)) = (self.level0_slowdown_trigger, self.level0_stop_trigger) {
             if stop < slow {
-                return Err(Error::InvalidArgument(
-                    "L0Stop trigger must not be below L0SlowDown".into(),
-                ));
+                problems.push("L0Stop trigger must not be below L0SlowDown".to_string());
             }
         }
         if let CompactionStyle::Bolt(b) = &self.compaction_style {
             if b.logical_sstable_bytes == 0 {
-                return Err(Error::InvalidArgument(
-                    "logical SSTable size must be positive".into(),
-                ));
+                problems.push("logical SSTable size must be positive".to_string());
             }
             if b.group_compaction_bytes < b.logical_sstable_bytes {
-                return Err(Error::InvalidArgument(
-                    "group compaction budget must cover at least one logical SSTable".into(),
-                ));
+                problems.push(
+                    "group compaction budget must cover at least one logical SSTable".to_string(),
+                );
             }
         }
         if self.compaction_policy != CompactionPolicyKind::Leveled
             && matches!(self.compaction_style, CompactionStyle::Fragmented)
         {
-            return Err(Error::InvalidArgument(
+            problems.push(
                 "the fragmented (guard-based) style has its own tiering; \
                  combine size-tiered / lazy-leveled policies with the \
                  leveled or BoLT styles instead"
-                    .into(),
-            ));
+                    .to_string(),
+            );
         }
         if self.size_tiered_min_threshold < 2 {
-            return Err(Error::InvalidArgument(
-                "size_tiered_min_threshold must be at least 2".into(),
-            ));
+            problems.push("size_tiered_min_threshold must be at least 2".to_string());
         }
         if self.size_tiered_size_ratio <= 1.0 || !self.size_tiered_size_ratio.is_finite() {
-            return Err(Error::InvalidArgument(
-                "size_tiered_size_ratio must be a finite value above 1.0".into(),
-            ));
+            problems.push("size_tiered_size_ratio must be a finite value above 1.0".to_string());
         }
         if self.max_open_files == 0 {
-            return Err(Error::InvalidArgument(
-                "max_open_files must be positive".into(),
-            ));
+            problems.push("max_open_files must be positive".to_string());
         }
         if self.group_commit_bytes == 0 {
-            return Err(Error::InvalidArgument(
-                "group commit byte cap must be positive".into(),
-            ));
+            problems.push("group commit byte cap must be positive".to_string());
         }
-        Ok(())
+        if self.value_separation_threshold == Some(0) {
+            problems.push(
+                "value_separation_threshold must be positive (use None to disable)".to_string(),
+            );
+        }
+        if self.vlog_segment_bytes == 0 {
+            problems.push("vlog_segment_bytes must be positive".to_string());
+        }
+        problems
+    }
+
+    /// Start a grouped-validation builder from stock LevelDB defaults.
+    /// See [`OptionsBuilder`].
+    pub fn builder() -> OptionsBuilder {
+        OptionsBuilder::from_profile(Options::default())
     }
 
     /// Uniformly scale all capacity knobs by `factor` (e.g. `1/64` to run a
@@ -557,7 +576,180 @@ impl Options {
             b.logical_sstable_bytes = scale(b.logical_sstable_bytes);
             b.group_compaction_bytes = scale(b.group_compaction_bytes);
         }
+        self.vlog_segment_bytes = scale(self.vlog_segment_bytes);
         self
+    }
+}
+
+/// Grouped, all-errors-at-once construction of [`Options`].
+///
+/// Struct-literal construction (`Options { ..Options::bolt() }`) keeps
+/// working; the builder adds grouped setters and a [`build`] that runs
+/// [`Options::validate_all`] and reports *every* problem in one
+/// [`bolt_common::Error::InvalidArgument`] instead of the first.
+///
+/// ```
+/// use bolt_core::Options;
+///
+/// let opts = Options::builder()
+///     .profile(Options::bolt())
+///     .memtable_bytes(8 << 20)
+///     .compaction(|c| c.policy(bolt_core::CompactionPolicyKind::LazyLeveled))
+///     .value_separation(|v| v.threshold(4096).segment_bytes(16 << 20))
+///     .build()
+///     .unwrap();
+/// assert_eq!(opts.value_separation_threshold, Some(4096));
+/// ```
+///
+/// [`build`]: OptionsBuilder::build
+#[derive(Debug, Clone)]
+pub struct OptionsBuilder {
+    opts: Options,
+}
+
+/// The compaction knob group of [`OptionsBuilder`]: style, victim policy,
+/// and the size-tiered tuning pair.
+#[derive(Debug)]
+pub struct CompactionConfig<'a> {
+    opts: &'a mut Options,
+}
+
+impl CompactionConfig<'_> {
+    /// Set the output organization ([`CompactionStyle`]).
+    pub fn style(self, style: CompactionStyle) -> Self {
+        self.opts.compaction_style = style;
+        self
+    }
+
+    /// Set the victim-selection policy.
+    pub fn policy(self, policy: CompactionPolicyKind) -> Self {
+        self.opts.compaction_policy = policy;
+        self
+    }
+
+    /// STCS `min_threshold`: runs per bucket before a merge fires.
+    pub fn size_tiered_min_threshold(self, threshold: usize) -> Self {
+        self.opts.size_tiered_min_threshold = threshold;
+        self
+    }
+
+    /// STCS bucketing band ratio.
+    pub fn size_tiered_size_ratio(self, ratio: f64) -> Self {
+        self.opts.size_tiered_size_ratio = ratio;
+        self
+    }
+
+    /// Enable or disable LevelDB-style seek compaction.
+    pub fn seek_compaction(self, enabled: bool) -> Self {
+        self.opts.seek_compaction = enabled;
+        self
+    }
+}
+
+/// The value-separation knob group of [`OptionsBuilder`]: WAL-time
+/// key-value separation threshold and segment sizing.
+#[derive(Debug)]
+pub struct ValueSeparationConfig<'a> {
+    opts: &'a mut Options,
+}
+
+impl ValueSeparationConfig<'_> {
+    /// Separate values strictly larger than `bytes` into the value log.
+    pub fn threshold(self, bytes: u64) -> Self {
+        self.opts.value_separation_threshold = Some(bytes);
+        self
+    }
+
+    /// Disable separation (the default).
+    pub fn disabled(self) -> Self {
+        self.opts.value_separation_threshold = None;
+        self
+    }
+
+    /// Target size of one value-log segment before rotation.
+    pub fn segment_bytes(self, bytes: u64) -> Self {
+        self.opts.vlog_segment_bytes = bytes;
+        self
+    }
+}
+
+impl OptionsBuilder {
+    /// Start from an existing profile (e.g. [`Options::bolt`]).
+    pub fn from_profile(opts: Options) -> Self {
+        OptionsBuilder { opts }
+    }
+
+    /// Replace the base profile, keeping later setters applied on top.
+    pub fn profile(mut self, opts: Options) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// MemTable capacity in bytes.
+    pub fn memtable_bytes(mut self, bytes: u64) -> Self {
+        self.opts.memtable_bytes = bytes;
+        self
+    }
+
+    /// Sync the WAL on every write batch.
+    pub fn sync_wal(mut self, sync: bool) -> Self {
+        self.opts.sync_wal = sync;
+        self
+    }
+
+    /// Group-commit byte cap.
+    pub fn group_commit_bytes(mut self, bytes: u64) -> Self {
+        self.opts.group_commit_bytes = bytes;
+        self
+    }
+
+    /// Use ordering-only barriers where durability is not required.
+    pub fn use_ordering_barriers(mut self, enabled: bool) -> Self {
+        self.opts.use_ordering_barriers = enabled;
+        self
+    }
+
+    /// Configure the compaction knob group.
+    pub fn compaction(
+        mut self,
+        configure: impl FnOnce(CompactionConfig<'_>) -> CompactionConfig<'_>,
+    ) -> Self {
+        configure(CompactionConfig {
+            opts: &mut self.opts,
+        });
+        self
+    }
+
+    /// Configure the value-separation knob group.
+    pub fn value_separation(
+        mut self,
+        configure: impl FnOnce(ValueSeparationConfig<'_>) -> ValueSeparationConfig<'_>,
+    ) -> Self {
+        configure(ValueSeparationConfig {
+            opts: &mut self.opts,
+        });
+        self
+    }
+
+    /// Apply an arbitrary mutation for knobs without a dedicated setter.
+    pub fn tune(mut self, mutate: impl FnOnce(&mut Options)) -> Self {
+        mutate(&mut self.opts);
+        self
+    }
+
+    /// Validate and produce the final [`Options`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`bolt_common::Error::InvalidArgument`] listing **every**
+    /// validation problem, `; `-separated.
+    pub fn build(self) -> bolt_common::Result<Options> {
+        let problems = self.opts.validate_all();
+        if problems.is_empty() {
+            Ok(self.opts)
+        } else {
+            Err(bolt_common::Error::InvalidArgument(problems.join("; ")))
+        }
     }
 }
 
@@ -741,5 +933,71 @@ mod tests {
             "group/logical ratio"
         );
         assert_eq!(opts.memtable_bytes, 64 << 10);
+        assert_eq!(opts.vlog_segment_bytes, 1 << 20, "segment size scales too");
+    }
+
+    #[test]
+    fn builder_groups_and_validates() {
+        let opts = Options::builder()
+            .profile(Options::bolt())
+            .memtable_bytes(8 << 20)
+            .sync_wal(true)
+            .compaction(|c| {
+                c.policy(CompactionPolicyKind::LazyLeveled)
+                    .size_tiered_min_threshold(3)
+            })
+            .value_separation(|v| v.threshold(4096).segment_bytes(16 << 20))
+            .build()
+            .unwrap();
+        assert_eq!(opts.memtable_bytes, 8 << 20);
+        assert!(opts.sync_wal);
+        assert_eq!(opts.compaction_policy, CompactionPolicyKind::LazyLeveled);
+        assert_eq!(opts.size_tiered_min_threshold, 3);
+        assert_eq!(opts.value_separation_threshold, Some(4096));
+        assert_eq!(opts.vlog_segment_bytes, 16 << 20);
+        assert!(opts.bolt_options().is_some(), "profile carried through");
+
+        // Disabling separation round-trips.
+        let opts = Options::builder()
+            .value_separation(|v| v.disabled())
+            .build()
+            .unwrap();
+        assert_eq!(opts.value_separation_threshold, None);
+    }
+
+    #[test]
+    fn builder_reports_all_errors_at_once() {
+        let err = Options::builder()
+            .memtable_bytes(0)
+            .group_commit_bytes(0)
+            .compaction(|c| c.size_tiered_min_threshold(1))
+            .value_separation(|v| v.threshold(0).segment_bytes(0))
+            .build()
+            .unwrap_err();
+        let bolt_common::Error::InvalidArgument(msg) = err else {
+            panic!("wrong error kind");
+        };
+        for expected in [
+            "memtable, sstable and level-1 sizes must be positive",
+            "size_tiered_min_threshold must be at least 2",
+            "group commit byte cap must be positive",
+            "value_separation_threshold must be positive",
+            "vlog_segment_bytes must be positive",
+        ] {
+            assert!(msg.contains(expected), "missing {expected:?} in {msg:?}");
+        }
+    }
+
+    #[test]
+    fn validate_matches_first_of_validate_all() {
+        let mut bad = Options::leveldb();
+        bad.num_levels = 1;
+        bad.group_commit_bytes = 0;
+        let all = bad.validate_all();
+        assert_eq!(all.len(), 2);
+        let bolt_common::Error::InvalidArgument(first) = bad.validate().unwrap_err() else {
+            panic!("wrong error kind");
+        };
+        assert_eq!(first, all[0]);
     }
 }

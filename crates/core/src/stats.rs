@@ -30,6 +30,16 @@ pub struct DbStats {
     wal_syncs: AtomicU64,
     /// Sync requests answered by another batch's barrier in the same group.
     wal_syncs_elided: AtomicU64,
+    /// Values routed to the value log instead of the memtable.
+    vlog_values_separated: AtomicU64,
+    /// Value payload bytes appended to value-log segments.
+    vlog_bytes_written: AtomicU64,
+    /// Point reads and iterator steps that resolved a value pointer.
+    vlog_resolves: AtomicU64,
+    /// Dead value bytes reported to the liveness ledger by compactions.
+    vlog_dead_bytes: AtomicU64,
+    /// Fully dead value-log segments whose files were retired.
+    vlog_segments_retired: AtomicU64,
     /// Nanoseconds each writer spent queued before its group committed
     /// (leaders record their wait for leadership; followers their wait for
     /// the leader's result).
@@ -71,6 +81,16 @@ pub struct DbStatsSnapshot {
     pub wal_syncs: u64,
     /// Sync requests satisfied by another batch's barrier.
     pub wal_syncs_elided: u64,
+    /// Values routed to the value log instead of the memtable.
+    pub vlog_values_separated: u64,
+    /// Value payload bytes appended to value-log segments.
+    pub vlog_bytes_written: u64,
+    /// Reads that resolved a value pointer through the value log.
+    pub vlog_resolves: u64,
+    /// Dead value bytes reported by compactions.
+    pub vlog_dead_bytes: u64,
+    /// Fully dead value-log segments retired.
+    pub vlog_segments_retired: u64,
 }
 
 impl DbStatsSnapshot {
@@ -139,6 +159,11 @@ impl DbStats {
         record_group_batches / group_batches => group_batches,
         record_wal_sync / wal_syncs => wal_syncs,
         record_wal_sync_elided / wal_syncs_elided => wal_syncs_elided,
+        record_vlog_separated / vlog_values_separated => vlog_values_separated,
+        record_vlog_bytes / vlog_bytes_written => vlog_bytes_written,
+        record_vlog_resolve / vlog_resolves => vlog_resolves,
+        record_vlog_dead_bytes / vlog_dead_bytes => vlog_dead_bytes,
+        record_vlog_segment_retired / vlog_segments_retired => vlog_segments_retired,
     }
 
     /// Per-writer time-in-queue histogram (nanoseconds).
@@ -165,6 +190,11 @@ impl DbStats {
             group_batches: self.group_batches(),
             wal_syncs: self.wal_syncs(),
             wal_syncs_elided: self.wal_syncs_elided(),
+            vlog_values_separated: self.vlog_values_separated(),
+            vlog_bytes_written: self.vlog_bytes_written(),
+            vlog_resolves: self.vlog_resolves(),
+            vlog_dead_bytes: self.vlog_dead_bytes(),
+            vlog_segments_retired: self.vlog_segments_retired(),
         }
     }
 }

@@ -286,6 +286,7 @@ impl Version {
                         let result = match parsed.value_type {
                             ValueType::Deletion => LookupResult::Deleted,
                             ValueType::Value => LookupResult::Value(value),
+                            ValueType::ValuePointer => LookupResult::Pointer(value),
                         };
                         // A lookup that had to probe more than one table
                         // charges the first table (LevelDB seek compaction).
@@ -326,6 +327,15 @@ pub struct VersionEdit {
     /// first edit of every MANIFEST; reopen refuses a mismatch, because a
     /// layout shaped by one policy silently violates another's invariants.
     pub compaction_policy: Option<CompactionPolicyKind>,
+    /// Value-log dead ranges: `(segment file number, offset, len)`.
+    /// Compaction reports the byte range of every pointer it dropped;
+    /// recovery unions the ranges into the per-segment liveness ledger.
+    /// Ranges, not byte counts: WAL replay after a crash can duplicate an
+    /// entry into two SSTables, and dropping the duplicate must not count
+    /// its still-live bytes dead twice.
+    pub vlog_dead: Vec<(u64, u64, u64)>,
+    /// Value-log segments retired (file deleted) by this edit.
+    pub vlog_deleted: Vec<u64>,
 }
 
 mod tag {
@@ -337,6 +347,8 @@ mod tag {
     pub const DELETED_TABLE: u64 = 6;
     pub const ADDED_TABLE: u64 = 7;
     pub const COMPACTION_POLICY: u64 = 8;
+    pub const VLOG_DEAD: u64 = 9;
+    pub const VLOG_DELETED: u64 = 10;
 }
 
 impl VersionEdit {
@@ -372,6 +384,16 @@ impl VersionEdit {
         if let Some(policy) = self.compaction_policy {
             put_varint64(&mut out, tag::COMPACTION_POLICY);
             put_varint64(&mut out, policy.manifest_tag());
+        }
+        for (file_number, offset, len) in &self.vlog_dead {
+            put_varint64(&mut out, tag::VLOG_DEAD);
+            put_varint64(&mut out, *file_number);
+            put_varint64(&mut out, *offset);
+            put_varint64(&mut out, *len);
+        }
+        for file_number in &self.vlog_deleted {
+            put_varint64(&mut out, tag::VLOG_DELETED);
+            put_varint64(&mut out, *file_number);
         }
         for (level, run_tag, meta) in &self.added_tables {
             put_varint64(&mut out, tag::ADDED_TABLE);
@@ -438,6 +460,15 @@ impl VersionEdit {
                             largest,
                         ),
                     ));
+                }
+                tag::VLOG_DEAD => {
+                    let file_number = dec.varint64()?;
+                    let offset = dec.varint64()?;
+                    let len = dec.varint64()?;
+                    edit.vlog_dead.push((file_number, offset, len));
+                }
+                tag::VLOG_DELETED => {
+                    edit.vlog_deleted.push(dec.varint64()?);
                 }
                 tag::COMPACTION_POLICY => {
                     let raw = dec.varint64()?;
@@ -624,6 +655,9 @@ mod tests {
         edit.deleted_tables.push((1, 11));
         edit.added_tables.push((2, 0, meta(12, b"a", b"m")));
         edit.added_tables.push((0, 7, meta(13, b"n", b"z")));
+        edit.vlog_dead.push((21, 0, 65536));
+        edit.vlog_dead.push((22, 4096, 128));
+        edit.vlog_deleted.push(20);
 
         let decoded = VersionEdit::decode(&edit.encode()).unwrap();
         assert_eq!(decoded, edit);

@@ -9,7 +9,7 @@
 //! every logical table is dead, or by **punching holes** in compaction
 //! files that still host live logical tables (§3.2, no barrier needed).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::{Arc, Weak};
 
 use bolt_common::events::{BarrierCause, BarrierScope, EngineEvent, EventSink};
@@ -19,7 +19,7 @@ use bolt_table::cache::TableCache;
 use bolt_table::comparator::InternalKeyComparator;
 use bolt_wal::{LogReader, LogWriter};
 
-use crate::filename::{current_file, manifest_file, table_file};
+use crate::filename::{current_file, manifest_file, table_file, vlog_file};
 use crate::options::CompactionPolicyKind;
 use crate::version::{RunLayout, Version, VersionBuilder, VersionEdit};
 
@@ -43,6 +43,86 @@ struct FileRegion {
 struct FileInfo {
     regions: Vec<FileRegion>,
     punched: HashSet<u64>,
+}
+
+/// A set of disjoint byte ranges, merged on insert.
+///
+/// The value-log dead ledger is kept as *ranges*, not byte counts, because
+/// range insertion is idempotent: WAL replay after a crash can legitimately
+/// put the same `(key, sequence, pointer)` entry into two SSTables (a flush
+/// need not advance the WAL floor), and compaction then drops the duplicate
+/// copy. Summing per-drop byte counts would double-count that value and
+/// retire its segment while the surviving copy still resolves through it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RangeSet {
+    /// `start → end` (exclusive); entries never overlap or touch.
+    ranges: BTreeMap<u64, u64>,
+    total: u64,
+}
+
+impl RangeSet {
+    /// Insert `[offset, offset + len)`, merging with any overlapping or
+    /// adjacent ranges. Re-inserting covered bytes is a no-op.
+    pub fn insert(&mut self, offset: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let mut start = offset;
+        let mut end = offset.saturating_add(len);
+        if let Some((&s, &e)) = self.ranges.range(..=start).next_back() {
+            if e >= start {
+                start = s;
+                end = end.max(e);
+                self.ranges.remove(&s);
+                self.total -= e - s;
+            }
+        }
+        while let Some((&s, &e)) = self.ranges.range(start..=end).next() {
+            end = end.max(e);
+            self.ranges.remove(&s);
+            self.total -= e - s;
+        }
+        self.ranges.insert(start, end);
+        self.total += end - start;
+    }
+
+    /// Total bytes covered.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Iterate `(offset, len)` over the merged ranges.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.ranges.iter().map(|(&s, &e)| (s, e - s))
+    }
+
+    /// `true` when no bytes are covered.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+}
+
+/// Liveness ledger entry for one value-log segment.
+///
+/// `written` is `None` while the segment is the active appender target
+/// (its final size is unknown, so it is never retired); sealing — at
+/// rotation or at recovery from the on-disk size — makes it eligible.
+/// `dead` is persisted in the MANIFEST as ranges (see
+/// [`VersionEdit::vlog_dead`]); `written` is recomputed at recovery from
+/// `Env::file_size`, so it is never encoded.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VlogSegInfo {
+    /// Final byte size once sealed; `None` while actively appended.
+    pub written: Option<u64>,
+    /// Byte ranges whose pointers compaction has dropped.
+    pub dead: RangeSet,
+}
+
+impl VlogSegInfo {
+    /// `true` when every written byte is dead and the file can be deleted.
+    pub fn fully_dead(&self) -> bool {
+        self.written.is_some_and(|w| self.dead.total() >= w)
+    }
 }
 
 /// Owns the current [`Version`], the MANIFEST, and the id counters.
@@ -74,6 +154,18 @@ pub struct VersionSet {
     layout: RunLayout,
     files: HashMap<u64, FileInfo>,
     pending_files: HashSet<u64>,
+    /// Per-segment value-log liveness ledger (see [`VlogSegInfo`]).
+    vlog_segments: HashMap<u64, VlogSegInfo>,
+    /// Segments committed as retired whose file delete has not succeeded
+    /// yet; retried by [`VersionSet::collect_garbage`] and re-persisted in
+    /// snapshot edits so a lingering file stays condemned across reopens.
+    vlog_retired_pending: Vec<u64>,
+    /// Dead value ranges `(segment, offset, len)` committed by a MANIFEST
+    /// edit but not yet punched. Punches wait for old pinned versions to
+    /// drop: unlike table regions, pointer liveness is not tracked per
+    /// version, so an iterator holding an older version may still resolve
+    /// a pointer whose drop this queue records.
+    vlog_punch_queue: Vec<(u64, u64, u64)>,
     /// Abandoned `MANIFEST-*` file numbers left behind by a re-cut whose
     /// eager delete failed; retried by [`VersionSet::collect_garbage`]
     /// (open-time scavenging is the final backstop).
@@ -121,6 +213,9 @@ impl VersionSet {
             layout: RunLayout::default(),
             files: HashMap::new(),
             pending_files: HashSet::new(),
+            vlog_segments: HashMap::new(),
+            vlog_retired_pending: Vec::new(),
+            vlog_punch_queue: Vec::new(),
             stale_manifests: Vec::new(),
             recuts: 0,
             sink: None,
@@ -256,6 +351,19 @@ impl VersionSet {
             let _ = (level, run_tag);
             self.register_region(meta.file_number, meta.offset, meta.size, meta.table_id);
         }
+        for &(segment, offset, len) in &edit.vlog_dead {
+            self.vlog_segments
+                .entry(segment)
+                .or_default()
+                .dead
+                .insert(offset, len);
+        }
+        for &segment in &edit.vlog_deleted {
+            self.vlog_segments.remove(&segment);
+            // The MANIFEST has durably condemned the segment; the file itself
+            // is deleted by collect_garbage (retried until it succeeds).
+            self.vlog_retired_pending.push(segment);
+        }
 
         let mut builder = VersionBuilder::new(self.icmp.clone(), Arc::clone(&self.current));
         builder.set_layout(self.layout);
@@ -331,6 +439,80 @@ impl VersionSet {
             table_cache.evict_file(file_number);
             let _ = self.env.delete_file(&table_file(&self.db, file_number));
         }
+        self.collect_vlog_garbage();
+    }
+
+    /// Reclaim committed-dead value-log space: punch queued dead ranges
+    /// and delete retired segment files. Pointer liveness is not tracked
+    /// per version, so both actions wait until no reader pins a version
+    /// older than current — an old iterator may still resolve a pointer
+    /// that a committed compaction already dropped.
+    fn collect_vlog_garbage(&mut self) {
+        let old_readers = self
+            .live
+            .iter()
+            .filter_map(Weak::upgrade)
+            .any(|v| !Arc::ptr_eq(&v, &self.current));
+        if old_readers || (self.vlog_punch_queue.is_empty() && self.vlog_retired_pending.is_empty())
+        {
+            return;
+        }
+        let mut punched: HashMap<u64, u64> = HashMap::new();
+        let punch_queue = std::mem::take(&mut self.vlog_punch_queue);
+        for (segment, offset, len) in punch_queue {
+            // Ranges in retired segments are skipped: the whole file goes.
+            if !self.vlog_segments.contains_key(&segment) {
+                continue;
+            }
+            // Lazy metadata update, no barrier (§3.2); a failed punch is
+            // re-queued so the space is retried rather than leaked.
+            if self
+                .env
+                .punch_hole(&vlog_file(&self.db, segment), offset, len)
+                .is_ok()
+            {
+                *punched.entry(segment).or_default() += len;
+            } else {
+                self.vlog_punch_queue.push((segment, offset, len));
+            }
+        }
+        for (segment, bytes) in punched {
+            if let Some(sink) = &self.sink {
+                sink.emit(EngineEvent::VlogGc {
+                    segment,
+                    dead_bytes: self
+                        .vlog_segments
+                        .get(&segment)
+                        .map_or(0, |i| i.dead.total()),
+                    punched_bytes: bytes,
+                });
+            }
+        }
+        let env = Arc::clone(&self.env);
+        let db = self.db.clone();
+        let sink = self.sink.clone();
+        self.vlog_retired_pending.retain(|&segment| {
+            let path = vlog_file(&db, segment);
+            let reclaimed_bytes = env.file_size(&path).unwrap_or(0);
+            if env.delete_file(&path).is_ok() || !env.file_exists(&path) {
+                if let Some(sink) = &sink {
+                    sink.emit(EngineEvent::VlogRetire {
+                        segment,
+                        reclaimed_bytes,
+                    });
+                }
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    /// Queue a committed-dead value range for hole punching by the next
+    /// [`VersionSet::collect_garbage`] pass. Call only after the MANIFEST
+    /// commit that recorded the range's pointers as dropped.
+    pub fn queue_vlog_punch(&mut self, segment: u64, offset: u64, len: u64) {
+        self.vlog_punch_queue.push((segment, offset, len));
     }
 
     /// Initialize a brand-new database: write MANIFEST-000001 with an empty
@@ -380,6 +562,20 @@ impl VersionSet {
                 .map(|(level, tag, meta)| (level as u32, tag, meta.as_ref().clone()))
                 .collect(),
             compaction_policy: Some(self.policy),
+            // A fresh MANIFEST starts from zero, so the cumulative dead
+            // ledger is re-expressed as the merged ranges per segment;
+            // segments with a pending (failed) file delete stay condemned
+            // across the cut.
+            vlog_dead: self
+                .vlog_segments
+                .iter()
+                .flat_map(|(&segment, info)| {
+                    info.dead
+                        .iter()
+                        .map(move |(offset, len)| (segment, offset, len))
+                })
+                .collect(),
+            vlog_deleted: self.vlog_retired_pending.clone(),
             ..Default::default()
         }
     }
@@ -507,8 +703,17 @@ impl VersionSet {
         builder.set_layout(self.layout);
         let mut found_any = false;
         let mut pinned_policy: Option<CompactionPolicyKind> = None;
+        let mut vlog_dead: HashMap<u64, RangeSet> = HashMap::new();
+        let mut vlog_deleted: HashSet<u64> = HashSet::new();
         while let Some(record) = reader.read_record()? {
             let edit = VersionEdit::decode(&record)?;
+            for &(segment, offset, len) in &edit.vlog_dead {
+                vlog_dead.entry(segment).or_default().insert(offset, len);
+            }
+            for &segment in &edit.vlog_deleted {
+                vlog_dead.remove(&segment);
+                vlog_deleted.insert(segment);
+            }
             if let Some(n) = edit.next_file_number {
                 self.next_file_number = self.next_file_number.max(n);
             }
@@ -559,6 +764,43 @@ impl VersionSet {
             self.register_region(file_number, offset, size, table_id);
         }
 
+        // Rebuild the value-log ledger: every `NNNNNN.vlog` on disk is a
+        // segment; its size comes from the env (never from the MANIFEST,
+        // which only persists dead-byte deltas), and all recovered segments
+        // are sealed — the writer starts a fresh segment after recovery.
+        // Segments durably condemned (`vlog_deleted`) but still on disk go
+        // back on the retired-pending list so their delete is retried.
+        self.vlog_segments.clear();
+        self.vlog_retired_pending.clear();
+        if let Ok(names) = self.env.list_dir(&self.db) {
+            for name in &names {
+                let Some(segment) = name
+                    .strip_suffix(".vlog")
+                    .and_then(|n| n.parse::<u64>().ok())
+                else {
+                    continue;
+                };
+                if vlog_deleted.contains(&segment) {
+                    self.vlog_retired_pending.push(segment);
+                    continue;
+                }
+                let written = self.env.file_size(&vlog_file(&self.db, segment))?;
+                self.vlog_segments.insert(
+                    segment,
+                    VlogSegInfo {
+                        written: Some(written),
+                        dead: vlog_dead.get(&segment).cloned().unwrap_or_default(),
+                    },
+                );
+            }
+        }
+        // Segments are created between MANIFEST commits, so the replayed
+        // `next_file_number` may not cover them; reusing such a number for
+        // a new file would truncate a segment that live pointers reference.
+        for &segment in self.vlog_segments.keys() {
+            self.next_file_number = self.next_file_number.max(segment + 1);
+        }
+
         // Start a fresh manifest with a complete snapshot — the same cut
         // path that self-heals a failed commit barrier at runtime.
         self.cut_fresh_manifest()?;
@@ -577,6 +819,28 @@ impl VersionSet {
             }
         }
         Ok(())
+    }
+
+    /// Track a freshly created value-log segment as the active appender
+    /// target (unsealed: never retired, survives obsolete-file deletion).
+    pub fn register_vlog_segment(&mut self, segment: u64) {
+        self.vlog_segments.insert(segment, VlogSegInfo::default());
+    }
+
+    /// Seal a value-log segment at its final size, making it eligible for
+    /// retirement once compaction reports all of its bytes dead.
+    pub fn seal_vlog_segment(&mut self, segment: u64, written: u64) {
+        self.vlog_segments.entry(segment).or_default().written = Some(written);
+    }
+
+    /// The value-log liveness ledger (segment number → written/dead bytes).
+    pub fn vlog_segments(&self) -> &HashMap<u64, VlogSegInfo> {
+        &self.vlog_segments
+    }
+
+    /// `true` iff `segment` is a live (not retired) value-log segment.
+    pub fn has_vlog_segment(&self, segment: u64) -> bool {
+        self.vlog_segments.contains_key(&segment)
     }
 
     /// Physical file numbers currently referenced (live regions or pending).
@@ -820,6 +1084,100 @@ mod tests {
         vs.clear_pending(f);
         vs.collect_garbage(&cache);
         assert!(!env.file_exists(&path));
+    }
+
+    #[test]
+    fn vlog_ledger_survives_recovery_and_prunes_deleted_segments() {
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+        {
+            let mut vs = new_set(&env);
+            // Two sealed segments on disk plus one condemned one.
+            for (seg, size) in [(11u64, 4096usize), (12, 2048), (13, 512)] {
+                let mut f = env.new_writable_file(&vlog_file("db", seg)).unwrap();
+                f.append(&vec![0xbb; size]).unwrap();
+                f.sync().unwrap();
+            }
+            vs.register_vlog_segment(11);
+            vs.seal_vlog_segment(11, 4096);
+            vs.register_vlog_segment(12);
+
+            let mut edit = VersionEdit::default();
+            edit.vlog_dead.push((11, 0, 1000));
+            vs.log_and_apply(edit).unwrap();
+            let mut edit = VersionEdit::default();
+            // Overlaps the first range by 500 bytes: the union, not the
+            // sum, is what the ledger must track.
+            edit.vlog_dead.push((11, 500, 1000));
+            edit.vlog_deleted.push(13);
+            vs.log_and_apply(edit).unwrap();
+
+            assert_eq!(vs.vlog_segments()[&11].dead.total(), 1500);
+            assert!(!vs.has_vlog_segment(13));
+        }
+
+        let mut vs = VersionSet::new(Arc::clone(&env), "db", InternalKeyComparator::default(), 7);
+        vs.recover().unwrap();
+        // Dead ranges re-unioned from deltas; written recomputed from disk;
+        // every recovered segment is sealed.
+        let seg11 = &vs.vlog_segments()[&11];
+        assert_eq!(seg11.written, Some(4096));
+        assert_eq!(seg11.dead.total(), 1500);
+        assert_eq!(seg11.dead.iter().collect::<Vec<_>>(), vec![(0, 1500)]);
+        let seg12 = &vs.vlog_segments()[&12];
+        assert_eq!(seg12.written, Some(2048));
+        assert!(seg12.dead.is_empty());
+        // The condemned segment stays out of the ledger and its lingering
+        // file is reclaimed by the next GC pass.
+        assert!(!vs.has_vlog_segment(13));
+        let cache = test_cache(&env);
+        vs.collect_garbage(&cache);
+        assert!(!env.file_exists(&vlog_file("db", 13)));
+        assert!(env.file_exists(&vlog_file("db", 11)));
+    }
+
+    #[test]
+    fn vlog_fully_dead_sealed_segment_detection() {
+        let dead_range = |offset, len| {
+            let mut set = RangeSet::default();
+            set.insert(offset, len);
+            set
+        };
+        let info = VlogSegInfo {
+            written: Some(100),
+            dead: dead_range(0, 100),
+        };
+        assert!(info.fully_dead());
+        let active = VlogSegInfo {
+            written: None,
+            dead: dead_range(0, 1 << 40),
+        };
+        assert!(!active.fully_dead(), "active segment is never retired");
+        let partial = VlogSegInfo {
+            written: Some(100),
+            dead: dead_range(0, 99),
+        };
+        assert!(!partial.fully_dead());
+    }
+
+    #[test]
+    fn range_set_unions_overlaps_and_is_idempotent() {
+        let mut set = RangeSet::default();
+        set.insert(0, 100);
+        set.insert(200, 100);
+        assert_eq!(set.total(), 200);
+        // Re-inserting an already-dead range changes nothing.
+        set.insert(0, 100);
+        assert_eq!(set.total(), 200);
+        // Partial overlap only adds the uncovered bytes.
+        set.insert(50, 100);
+        assert_eq!(set.total(), 250);
+        // Bridging range merges everything into one.
+        set.insert(150, 50);
+        assert_eq!(set.total(), 300);
+        assert_eq!(set.iter().collect::<Vec<_>>(), vec![(0, 300)]);
+        // Zero-length inserts are ignored.
+        set.insert(999, 0);
+        assert_eq!(set.total(), 300);
     }
 
     #[test]

@@ -277,6 +277,10 @@ impl ShardedDb {
             match vt {
                 ValueType::Value => slices[s].put(key, value),
                 ValueType::Deletion => slices[s].delete(key),
+                // User batches never carry pointers (separation happens
+                // inside each shard's write path), but preserve them if a
+                // pre-encoded batch is replayed through here.
+                ValueType::ValuePointer => slices[s].put_pointer(key, value),
             }
         })?;
         let participants: Vec<usize> = (0..n).filter(|&i| !slices[i].is_empty()).collect();
@@ -468,6 +472,14 @@ impl KvTarget for ShardedDb {
             iter.next()?;
         }
         Ok(taken)
+    }
+
+    fn flush(&self) -> Result<()> {
+        ShardedDb::flush(self)
+    }
+
+    fn metrics(&self) -> bolt_core::MetricsSnapshot {
+        ShardedDb::metrics(self).aggregate
     }
 }
 

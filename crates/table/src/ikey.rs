@@ -14,7 +14,16 @@ pub enum ValueType {
     Deletion = 0,
     /// A regular value.
     Value = 1,
+    /// An indirect value: the entry's payload is a fixed-size pointer into
+    /// the value log, not the value itself (WAL-time key-value separation).
+    ValuePointer = 2,
 }
+
+/// The type a point-lookup seek key carries. Must be the **numerically
+/// largest** type: within one user key the comparator orders tags
+/// descending, so a seek tag of `(snapshot << 8) | max_type` sorts at or
+/// before every entry with `sequence <= snapshot` regardless of its type.
+pub const VALUE_TYPE_FOR_SEEK: ValueType = ValueType::ValuePointer;
 
 impl ValueType {
     /// Decode a type byte.
@@ -26,6 +35,7 @@ impl ValueType {
         match v {
             0 => Ok(ValueType::Deletion),
             1 => Ok(ValueType::Value),
+            2 => Ok(ValueType::ValuePointer),
             other => Err(Error::corruption(format!("bad value type {other}"))),
         }
     }
@@ -122,7 +132,7 @@ pub fn parse_internal_key(internal_key: &[u8]) -> Result<ParsedInternalKey<'_>> 
 /// The internal key that sorts *before every entry* of `user_key` visible at
 /// `snapshot` — i.e. the seek target for a point lookup.
 pub fn lookup_key(user_key: &[u8], snapshot: SequenceNumber) -> Vec<u8> {
-    make_internal_key(user_key, snapshot, ValueType::Value)
+    make_internal_key(user_key, snapshot, VALUE_TYPE_FOR_SEEK)
 }
 
 #[cfg(test)]
@@ -132,7 +142,11 @@ mod tests {
     #[test]
     fn tag_roundtrip() {
         for seq in [0u64, 1, 255, 256, MAX_SEQUENCE_NUMBER] {
-            for vt in [ValueType::Deletion, ValueType::Value] {
+            for vt in [
+                ValueType::Deletion,
+                ValueType::Value,
+                ValueType::ValuePointer,
+            ] {
                 let tag = pack_tag(seq, vt);
                 assert_eq!(unpack_tag(tag).unwrap(), (seq, vt));
             }
@@ -181,5 +195,25 @@ mod tests {
         let invisible = make_internal_key(b"k", 11, ValueType::Value);
         assert!(cmp.compare(&lk, &visible) == std::cmp::Ordering::Less);
         assert!(cmp.compare(&invisible, &lk) == std::cmp::Ordering::Less);
+    }
+
+    #[test]
+    fn lookup_key_sees_same_sequence_entries_of_every_type() {
+        use crate::comparator::{Comparator, InternalKeyComparator};
+        let cmp = InternalKeyComparator::default();
+        let lk = lookup_key(b"k", 10);
+        // A snapshot-exact read must not skip an entry written at exactly the
+        // snapshot sequence, whatever its type — the seek type is the max.
+        for vt in [
+            ValueType::Deletion,
+            ValueType::Value,
+            ValueType::ValuePointer,
+        ] {
+            let exact = make_internal_key(b"k", 10, vt);
+            assert!(
+                cmp.compare(&lk, &exact) != std::cmp::Ordering::Greater,
+                "lookup key must sort at-or-before same-seq {vt:?} entry"
+            );
+        }
     }
 }

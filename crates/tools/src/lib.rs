@@ -17,16 +17,19 @@
 //! | [`load`] | bulk-load N synthetic records |
 //! | [`compact`] | flush + compact until quiet |
 //! | [`verify`] | full integrity walk: checksums, run ordering, level invariants |
+//! | [`run_bench`] | the standing benchmark suites (sharding, policies, value separation) |
 //! | [`run_crash_sweep`] | deterministic crash-point + EIO sweep over a [`bolt_env::FaultEnv`] |
 //! | [`run_sharded_crash_sweep`] | the same, crashing inside cross-shard 2PC commit windows |
 //! | [`stat_per_shard`] | [`stat`] for a [`bolt_sharded::ShardedDb`]: aggregate + per-shard series |
 
 #![warn(missing_docs)]
 
+mod bench;
 pub mod json;
 mod sweep;
 mod sweep2pc;
 
+pub use bench::{run_bench, BenchArgs, BENCH_SCHEMA};
 pub use sweep::{render_report, run_crash_sweep, SweepConfig, SweepCoverage, SweepOutcome};
 pub use sweep2pc::{
     render_sharded_report, run_sharded_crash_sweep, Sharded2pcConfig, Sharded2pcOutcome,
@@ -134,6 +137,18 @@ fn render_metrics_text(metrics: &MetricsSnapshot) -> String {
     )
     .expect("write");
     writeln!(out, "  manifest re-cuts {}", metrics.manifest_recuts).expect("write");
+    if s.vlog_values_separated > 0 {
+        writeln!(
+            out,
+            "  vlog: {} values separated ({} B) | {} resolves | {} B dead | {} segments retired",
+            s.vlog_values_separated,
+            s.vlog_bytes_written,
+            s.vlog_resolves,
+            s.vlog_dead_bytes,
+            s.vlog_segments_retired
+        )
+        .expect("write");
+    }
     writeln!(out, "io:").expect("write");
     writeln!(
         out,
@@ -259,11 +274,14 @@ pub fn stat_per_shard(
 pub fn trace_workload() -> Result<(Vec<bolt_core::TraceEvent>, MetricsSnapshot)> {
     let fault = bolt_env::FaultEnv::over_mem();
     let env: Arc<dyn Env> = Arc::new(fault.clone());
-    let db = Db::open(
-        Arc::clone(&env),
-        "trace-db",
-        Options::bolt().scaled(1.0 / 256.0),
-    )?;
+    let mut opts = Options::bolt().scaled(1.0 / 256.0);
+    // Separate the 64-byte values into tiny value-log segments so the trace
+    // also carries vlog_rotate/vlog_gc/vlog_retire events and vlog_data
+    // barriers (schema v3) — the overwritten rounds leave early segments
+    // fully dead for compaction-driven GC to retire.
+    opts.value_separation_threshold = Some(48);
+    opts.vlog_segment_bytes = 16 << 10;
+    let db = Db::open(Arc::clone(&env), "trace-db", opts)?;
     let mut events = Vec::new();
     for round in 0..8u32 {
         for i in 0..400u32 {
@@ -414,6 +432,12 @@ pub fn dump_manifest(env: &Arc<dyn Env>, db: &str) -> Result<String> {
         }
         for (level, id) in &edit.deleted_tables {
             writeln!(out, "  delete: L{level} table#{id}").expect("write");
+        }
+        for (segment, offset, len) in &edit.vlog_dead {
+            writeln!(out, "  vlog_dead: segment {segment:06} @{offset}+{len}").expect("write");
+        }
+        for segment in &edit.vlog_deleted {
+            writeln!(out, "  vlog_retire: segment {segment:06}").expect("write");
         }
         for (level, tag, meta) in &edit.added_tables {
             writeln!(

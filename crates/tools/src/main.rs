@@ -24,12 +24,23 @@
 //!   load <db> <records> [vlen]      bulk-load synthetic records
 //!   compact <db>                    flush + compact until quiet
 //!   verify <db>                     full integrity walk
+//!   bench [--smoke] [--out FILE]    standing benchmark suites on a
+//!         [--suite NAME]*           simulated device (needs no db-dir):
+//!                                   trajectory (sharded scaling), policies
+//!                                   (compaction write/read/space amp),
+//!                                   value-separation (vlog write amp);
+//!                                   full runs write BENCH_PR9.json and
+//!                                   enforce the accumulated perf floors,
+//!                                   --smoke checks the harness only
 //!   crash-sweep [points] [seed]     crash-point + EIO sweep (in-memory,
 //!               [--policy=<p>]      needs no db-dir); --policy runs the
 //!               [--sharded]         sweep under leveled (default),
-//!                                   size-tiered, or lazy-leveled victim
+//!               [--vlog]            size-tiered, or lazy-leveled victim
 //!                                   selection; with --sharded, sweep
-//!                                   cross-shard 2PC commit windows
+//!                                   cross-shard 2PC commit windows; with
+//!                                   --vlog, run under WAL-time value
+//!                                   separation and force-cover every
+//!                                   value-log op as a crash point
 //!   lint [path] [--config FILE]     barrier-ordering/lock-discipline
 //!        [--json] [--validate F]    static analysis (alias of bolt-lint);
 //!                                   with --json, findings are JSON Lines,
@@ -48,9 +59,37 @@ use bolt_env::{Env, RealEnv};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: bolt-tool <stat|stats|dump-manifest|dump-tables|scan|get|put|delete|load|compact|verify> <db-dir> [args...] [--profile <name>] [--policy=<p>]\n       bolt-tool stat <db-dir> [--json|--prometheus] [--per-shard]\n       bolt-tool trace [--json] [--validate SCHEMA]\n       bolt-tool crash-sweep [max-points] [seed] [--policy=<p>] [--sharded]\n       bolt-tool lint [path] [--config FILE] [--json] [--validate SCHEMA]"
+        "usage: bolt-tool <stat|stats|dump-manifest|dump-tables|scan|get|put|delete|load|compact|verify> <db-dir> [args...] [--profile <name>] [--policy=<p>]\n       bolt-tool stat <db-dir> [--json|--prometheus] [--per-shard]\n       bolt-tool bench [--smoke] [--out FILE] [--suite trajectory|policies|value-separation]*\n       bolt-tool trace [--json] [--validate SCHEMA]\n       bolt-tool crash-sweep [max-points] [seed] [--policy=<p>] [--sharded] [--vlog]\n       bolt-tool lint [path] [--config FILE] [--json] [--validate SCHEMA]"
     );
     ExitCode::from(2)
+}
+
+/// `bolt-tool bench [--smoke] [--out FILE] [--suite NAME]*` — run the
+/// standing benchmark suites on a simulated device (no db-dir needed).
+fn bench(args: &[String]) -> ExitCode {
+    let mut cfg = bolt_tools::BenchArgs::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => cfg.smoke = true,
+            "--out" => match it.next() {
+                Some(p) => cfg.out = p.clone(),
+                None => return usage(),
+            },
+            "--suite" => match it.next() {
+                Some(s) => cfg.suites.push(s.clone()),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    match bolt_tools::run_bench(&cfg) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// Run the crash-point sweep on an in-memory filesystem (no db-dir needed).
@@ -59,10 +98,13 @@ fn usage() -> ExitCode {
 fn crash_sweep(args: &[String]) -> ExitCode {
     let mut positional: Vec<&String> = Vec::new();
     let mut sharded = false;
+    let mut vlog = false;
     let mut policy = bolt_core::CompactionPolicyKind::Leveled;
     for arg in &args[1..] {
         if arg == "--sharded" {
             sharded = true;
+        } else if arg == "--vlog" {
+            vlog = true;
         } else if let Some(name) = arg.strip_prefix("--policy=") {
             policy = match bolt_core::CompactionPolicyKind::parse(name) {
                 Some(policy) => policy,
@@ -80,6 +122,10 @@ fn crash_sweep(args: &[String]) -> ExitCode {
     if sharded {
         if policy != bolt_core::CompactionPolicyKind::Leveled {
             eprintln!("error: --policy is not supported with --sharded");
+            return ExitCode::from(2);
+        }
+        if vlog {
+            eprintln!("error: --vlog is not supported with --sharded");
             return ExitCode::from(2);
         }
         let mut cfg = bolt_tools::Sharded2pcConfig::default();
@@ -106,6 +152,7 @@ fn crash_sweep(args: &[String]) -> ExitCode {
     }
     let mut cfg = bolt_tools::SweepConfig {
         policy,
+        vlog,
         ..bolt_tools::SweepConfig::default()
     };
     if let Some(points) = positional.first().and_then(|s| s.parse().ok()) {
@@ -261,6 +308,9 @@ fn main() -> ExitCode {
         args.remove(pos);
     }
 
+    if args.first().map(String::as_str) == Some("bench") {
+        return bench(&args[1..]);
+    }
     if args.first().map(String::as_str) == Some("crash-sweep") {
         return crash_sweep(&args);
     }

@@ -20,6 +20,17 @@
 //! * **I4 — idempotent re-recovery**: closing and reopening the recovered
 //!   database yields the identical key space.
 //!
+//! With [`SweepConfig::vlog`] the same workload runs under WAL-time value
+//! separation (a tiny threshold routes every pair value through the value
+//! log, and tiny segments force rotations), every `.vlog` op in the trace
+//! becomes a forced crash point, and the invariants above subsume the
+//! value-log contract of DESIGN.md §14:
+//!
+//! * **V1 — no dangling pointers**: every key readable after recovery
+//!   resolves to its full value (`get` and the full scan of I4 resolve
+//!   every stored pointer; a pointer into missing, truncated, or punched
+//!   value-log bytes surfaces as a `Corruption` error and is reported).
+//!
 //! Invariant violations are *collected*, not thrown, so one sweep reports
 //! every broken crash point at once.
 
@@ -68,6 +79,9 @@ pub struct SweepConfig {
     /// Compaction policy the swept database runs. The recovery invariants
     /// I1–I4 must hold regardless of how victims are picked.
     pub policy: CompactionPolicyKind,
+    /// Run the workload under WAL-time value separation and force-cover
+    /// every `.vlog` op (appends torn) as a crash point.
+    pub vlog: bool,
 }
 
 impl Default for SweepConfig {
@@ -79,6 +93,7 @@ impl Default for SweepConfig {
             max_double_crash_first: 4,
             max_double_crash_second: 5,
             policy: CompactionPolicyKind::Leveled,
+            vlog: false,
         }
     }
 }
@@ -96,6 +111,10 @@ pub struct SweepCoverage {
     pub holes_punched: u64,
     /// Self-healing MANIFEST re-cuts (O5) that absorbed an injected fault.
     pub recuts: u64,
+    /// Values routed to the value log (vlog mode only).
+    pub vlog_separated: u64,
+    /// Value-log segments retired whole by compaction (vlog mode only).
+    pub vlog_retired: u64,
 }
 
 /// Everything a sweep learned.
@@ -357,6 +376,8 @@ fn run_workload(env: &FaultEnv, opts: &Options, marks: bool) -> WorkloadOutcome 
         settled_moves: s.settled_moves,
         holes_punched: env.stats().snapshot().holes_punched,
         recuts: db.metrics().manifest_recuts,
+        vlog_separated: s.vlog_values_separated,
+        vlog_retired: s.vlog_segments_retired,
     };
     if db.close().is_err() {
         out.errors += 1;
@@ -557,6 +578,14 @@ pub fn run_crash_sweep(cfg: &SweepConfig) -> Result<SweepOutcome> {
         // Tiered buckets must fire on this short workload's few runs.
         opts.size_tiered_min_threshold = 2;
     }
+    if cfg.vlog {
+        // Every pair value (~90 B) and hole value (160 B) crosses this
+        // threshold, so the existing invariants read through value-log
+        // pointers everywhere; tiny segments force rotations so the
+        // rotate/seal windows are crash-covered too.
+        opts.value_separation_threshold = Some(64);
+        opts.vlog_segment_bytes = 4 << 10;
+    }
 
     // Phase 1: record.
     let env = FaultEnv::over_mem();
@@ -567,6 +596,13 @@ pub fn run_crash_sweep(cfg: &SweepConfig) -> Result<SweepOutcome> {
         return Err(bolt_common::Error::io(format!(
             "record run saw {} unexpected errors",
             record.errors
+        )));
+    }
+    if cfg.vlog && (record.stats.vlog_separated == 0 || record.stats.vlog_retired == 0) {
+        return Err(bolt_common::Error::io(format!(
+            "vlog sweep did not exercise value separation \
+             ({} separated, {} segments retired)",
+            record.stats.vlog_separated, record.stats.vlog_retired
         )));
     }
     let ops_recorded = env.op_count();
@@ -586,6 +622,31 @@ pub fn run_crash_sweep(cfg: &SweepConfig) -> Result<SweepOutcome> {
                     merged.entry(record.index).or_insert(record.bytes / 2);
                 } else {
                     merged.entry(record.index).or_insert(0);
+                }
+            }
+        }
+        points = merged.into_iter().collect();
+    }
+    // Vlog mode: force every value-log metadata op (create, sync/barrier,
+    // punch, delete) plus its successor into the point set — these bound
+    // the append-barrier-ack and punch windows of the §14 crash contract —
+    // and tear a sample of the (far more numerous) value appends.
+    if cfg.vlog {
+        let mut merged: std::collections::BTreeMap<u64, u64> = points.iter().copied().collect();
+        let total = trace.len() as u64;
+        let vlog_appends: Vec<&OpRecord> = trace
+            .iter()
+            .filter(|r| r.path.ends_with(".vlog") && r.kind == OpKind::Append && r.bytes >= 2)
+            .collect();
+        let stride = (vlog_appends.len() / 16).max(1);
+        for record in vlog_appends.iter().step_by(stride) {
+            merged.entry(record.index).or_insert(record.bytes / 2);
+        }
+        for record in &trace {
+            if record.path.ends_with(".vlog") && record.kind != OpKind::Append {
+                merged.entry(record.index).or_insert(0);
+                if record.index + 1 < total {
+                    merged.entry(record.index + 1).or_insert(0);
                 }
             }
         }
@@ -758,6 +819,14 @@ pub fn render_report(outcome: &SweepOutcome) -> String {
         c.flushes, c.compactions, c.settled_moves, c.holes_punched, c.recuts
     )
     .expect("write");
+    if c.vlog_separated > 0 {
+        writeln!(
+            out,
+            "vlog coverage: {} values separated, {} segments retired",
+            c.vlog_separated, c.vlog_retired
+        )
+        .expect("write");
+    }
     writeln!(
         out,
         "swept {} crash points + {} EIO points + {} double-crash pairs",

@@ -43,6 +43,18 @@ pub trait KvTarget: Send + Sync {
     ///
     /// Propagates database errors.
     fn scan(&self, start: &[u8], limit: usize) -> Result<usize>;
+
+    /// Persist the current memtable(s), so post-phase measurements (write
+    /// amplification in particular) account for every accepted write.
+    ///
+    /// # Errors
+    ///
+    /// Propagates database errors.
+    fn flush(&self) -> Result<()>;
+
+    /// One merged observability snapshot (for sharded engines, the
+    /// aggregate across shards).
+    fn metrics(&self) -> bolt_core::MetricsSnapshot;
 }
 
 impl KvTarget for Db {
@@ -64,6 +76,14 @@ impl KvTarget for Db {
             iter.next()?;
         }
         Ok(taken)
+    }
+
+    fn flush(&self) -> Result<()> {
+        Db::flush(self)
+    }
+
+    fn metrics(&self) -> bolt_core::MetricsSnapshot {
+        Db::metrics(self)
     }
 }
 
@@ -297,8 +317,11 @@ mod tests {
 
     fn small_db() -> Arc<Db> {
         let env: Arc<dyn Env> = Arc::new(MemEnv::new());
-        let mut opts = Options::bolt().scaled(1.0 / 64.0);
-        opts.block_cache_bytes = 1 << 20;
+        let opts = Options::builder()
+            .profile(Options::bolt().scaled(1.0 / 64.0))
+            .tune(|o| o.block_cache_bytes = 1 << 20)
+            .build()
+            .unwrap();
         Arc::new(Db::open(env, "ycsb-db", opts).unwrap())
     }
 

@@ -99,10 +99,12 @@ fn main() -> bolt::Result<()> {
 /// never commits — so recovery must treat the file as garbage and restore
 /// the writes from the WAL instead.
 fn mid_compaction_crash() -> bolt::Result<()> {
-    let mut opts = Options::bolt().scaled(1.0 / 128.0);
     // Sync the WAL on every write: these puts are acked-durable, so they
     // must survive the crash no matter where the flush was interrupted.
-    opts.sync_wal = true;
+    let opts = Options::builder()
+        .profile(Options::bolt().scaled(1.0 / 128.0))
+        .sync_wal(true)
+        .build()?;
     let workload = |db: &Db| -> bolt::Result<()> {
         for i in 0..300u32 {
             db.put(

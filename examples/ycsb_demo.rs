@@ -3,7 +3,9 @@
 //!
 //! Run with `cargo run --release --example ycsb_demo -- [profile]`, where
 //! `profile` is one of `leveldb`, `lvl64`, `hyper`, `pebbles`, `rocks`,
-//! `bolt` (default), `hyperbolt`.
+//! `bolt` (default), `hyperbolt`. Append `--big-values` to run a 4 KiB
+//! value variant with WAL-time key-value separation enabled
+//! (DESIGN.md §14) — the same `KvTarget` driver, larger records.
 
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
@@ -25,17 +27,39 @@ fn profile(name: &str) -> Options {
 }
 
 fn main() -> bolt::Result<()> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "bolt".into());
-    let opts = profile(&name).scaled(1.0 / 64.0);
-    println!("YCSB suite on profile `{name}` (simulated SSD, 1/64 scale)\n");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let big_values = args.iter().any(|a| a == "--big-values");
+    let name = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "bolt".into());
+    let opts = if big_values {
+        // Big-value variant: 4 KiB records with WAL-time separation, so
+        // compaction moves pointers instead of payloads.
+        Options::builder()
+            .profile(profile(&name).scaled(1.0 / 64.0))
+            .value_separation(|v| v.threshold(1024))
+            .build()?
+    } else {
+        profile(&name).scaled(1.0 / 64.0)
+    };
+    println!(
+        "YCSB suite on profile `{name}` (simulated SSD, 1/64 scale{})\n",
+        if big_values {
+            ", 4 KiB values, separation on"
+        } else {
+            ""
+        }
+    );
 
     let env: Arc<dyn Env> = Arc::new(SimEnv::new(DeviceModel::ssd_scaled(0.02)));
     let db = Arc::new(Db::open(Arc::clone(&env), "ycsb", opts.clone())?);
     let cfg = BenchConfig {
-        record_count: 20_000,
-        op_count: 8_000,
+        record_count: if big_values { 4_000 } else { 20_000 },
+        op_count: if big_values { 2_000 } else { 8_000 },
         threads: 4,
-        value_len: 256,
+        value_len: if big_values { 4096 } else { 256 },
         seed: 2020,
     };
 

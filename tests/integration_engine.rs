@@ -350,9 +350,14 @@ fn reopen_with_mismatched_compaction_policy_is_refused() {
     use bolt::CompactionPolicyKind;
 
     let env: Arc<dyn Env> = Arc::new(MemEnv::new());
-    let mut opts = Options::bolt().scaled(1.0 / 256.0);
-    opts.compaction_policy = CompactionPolicyKind::SizeTiered;
-    opts.size_tiered_min_threshold = 2;
+    let opts = Options::builder()
+        .profile(Options::bolt().scaled(1.0 / 256.0))
+        .compaction(|c| {
+            c.policy(CompactionPolicyKind::SizeTiered)
+                .size_tiered_min_threshold(2)
+        })
+        .build()
+        .unwrap();
     {
         let db = Db::open(Arc::clone(&env), "db", opts.clone()).unwrap();
         for i in 0..3000u32 {
@@ -396,8 +401,11 @@ fn eio_on_wal_sync_poisons_group_commit() {
 
     let fault_env = FaultEnv::over_mem();
     let env: Arc<dyn Env> = Arc::new(fault_env.clone());
-    let mut opts = Options::bolt();
-    opts.sync_wal = true;
+    let opts = Options::builder()
+        .profile(Options::bolt())
+        .sync_wal(true)
+        .build()
+        .unwrap();
     let db = Arc::new(Db::open(Arc::clone(&env), "db", opts.clone()).unwrap());
 
     // Fail one WAL sync a few barriers into the concurrent phase, targeted
@@ -479,8 +487,11 @@ fn eio_on_manifest_barrier_self_heals_via_recut() {
 
     let fault_env = FaultEnv::over_mem();
     let env: Arc<dyn Env> = Arc::new(fault_env.clone());
-    let mut opts = Options::bolt();
-    opts.sync_wal = true;
+    let opts = Options::builder()
+        .profile(Options::bolt())
+        .sync_wal(true)
+        .build()
+        .unwrap();
     let db = Db::open(Arc::clone(&env), "db", opts.clone()).unwrap();
     for i in 0..100u32 {
         db.put(format!("key{i:03}").as_bytes(), format!("v{i}").as_bytes())
@@ -555,8 +566,11 @@ fn double_fault_during_recut_poisons_until_reopen() {
 
     let fault_env = FaultEnv::over_mem();
     let env: Arc<dyn Env> = Arc::new(fault_env.clone());
-    let mut opts = Options::bolt();
-    opts.sync_wal = true;
+    let opts = Options::builder()
+        .profile(Options::bolt())
+        .sync_wal(true)
+        .build()
+        .unwrap();
     let db = Db::open(Arc::clone(&env), "db", opts.clone()).unwrap();
     for i in 0..100u32 {
         db.put(format!("key{i:03}").as_bytes(), format!("v{i}").as_bytes())
@@ -618,8 +632,11 @@ fn concurrent_writers_group_commit_and_recover() {
     };
     let sim_env = Arc::new(SimEnv::new(model));
     let env: Arc<dyn Env> = Arc::clone(&sim_env) as Arc<dyn Env>;
-    let mut opts = Options::bolt();
-    opts.sync_wal = true;
+    let opts = Options::builder()
+        .profile(Options::bolt())
+        .sync_wal(true)
+        .build()
+        .unwrap();
     let db = Arc::new(Db::open(Arc::clone(&env), "db", opts.clone()).unwrap());
 
     let threads: Vec<_> = (0..WRITERS)

@@ -27,6 +27,19 @@ fn op_strategy() -> impl Strategy<Value = Op> {
     ]
 }
 
+/// Like [`op_strategy`] but with values up to 200 bytes so a 48-byte
+/// separation threshold splits the workload between inline values and
+/// value-log pointers.
+fn large_value_op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        8 => (any::<u16>(), proptest::collection::vec(any::<u8>(), 0..200))
+            .prop_map(|(k, v)| Op::Put(k % 512, v)),
+        2 => any::<u16>().prop_map(|k| Op::Delete(k % 512)),
+        1 => Just(Op::Flush),
+        1 => Just(Op::Compact),
+    ]
+}
+
 fn key_of(k: u16) -> Vec<u8> {
     format!("key{k:05}").into_bytes()
 }
@@ -133,6 +146,37 @@ proptest! {
         }
         prop_assert_eq!(&scans[0], &scans[1], "size-tiered diverged from leveled");
         prop_assert_eq!(&scans[0], &scans[2], "lazy-leveled diverged from leveled");
+    }
+
+    /// Value separation is invisible to reads: a database with WAL-time
+    /// key-value separation enabled and one without, fed the same op
+    /// sequence, match the model and produce byte-identical full scans.
+    /// Tiny segments force rotation and compaction-driven GC mid-run.
+    #[test]
+    fn value_separation_is_read_transparent(
+        ops in proptest::collection::vec(large_value_op_strategy(), 1..300),
+    ) {
+        let mut scans: Vec<Vec<(Vec<u8>, Vec<u8>)>> = Vec::new();
+        for threshold in [None, Some(48)] {
+            let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+            let mut opts = Options::bolt().scaled(1.0 / 512.0);
+            opts.value_separation_threshold = threshold;
+            opts.vlog_segment_bytes = 4 << 10;
+            let db = Db::open(Arc::clone(&env), "db", opts).unwrap();
+            let mut model = BTreeMap::new();
+            apply_ops(&db, &mut model, &ops);
+            assert_matches_model(&db, &model);
+            let mut iter = db.iter().unwrap();
+            iter.seek_to_first().unwrap();
+            let mut scanned = Vec::new();
+            while iter.valid() {
+                scanned.push((iter.key().to_vec(), iter.value().to_vec()));
+                iter.next().unwrap();
+            }
+            db.close().unwrap();
+            scans.push(scanned);
+        }
+        prop_assert_eq!(&scans[0], &scans[1], "separated database diverged from unseparated");
     }
 
     /// Crash anywhere (torn tail) after a flush: everything up to the last
