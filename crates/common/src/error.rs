@@ -42,6 +42,11 @@ impl Error {
     pub fn is_corruption(&self) -> bool {
         matches!(self, Error::Corruption(_))
     }
+
+    /// Returns `true` if this is [`Error::InvalidArgument`].
+    pub fn is_invalid_argument(&self) -> bool {
+        matches!(self, Error::InvalidArgument(_))
+    }
 }
 
 impl fmt::Display for Error {

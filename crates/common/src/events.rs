@@ -41,13 +41,16 @@ pub enum BarrierCause {
     /// Value-log segment barrier paid before the WAL record carrying its
     /// pointers (WAL-time key-value separation).
     VlogData,
+    /// Checkpoint publication: the linked file set and the checkpoint's
+    /// MANIFEST/CURRENT must be durable before `checkpoint()` acks.
+    Checkpoint,
     /// No scope was active: the barrier could not be attributed.
     Unattributed,
 }
 
 impl BarrierCause {
     /// Every cause, in stable order (used by exporters and counters).
-    pub const ALL: [BarrierCause; 11] = [
+    pub const ALL: [BarrierCause; 12] = [
         BarrierCause::WalCommit,
         BarrierCause::WalClose,
         BarrierCause::FlushData,
@@ -58,6 +61,7 @@ impl BarrierCause {
         BarrierCause::CurrentPointer,
         BarrierCause::ManifestRecut,
         BarrierCause::VlogData,
+        BarrierCause::Checkpoint,
         BarrierCause::Unattributed,
     ];
 
@@ -74,6 +78,7 @@ impl BarrierCause {
             BarrierCause::CurrentPointer => "current_pointer",
             BarrierCause::ManifestRecut => "manifest_recut",
             BarrierCause::VlogData => "vlog_data",
+            BarrierCause::Checkpoint => "checkpoint",
             BarrierCause::Unattributed => "unattributed",
         }
     }
@@ -298,6 +303,25 @@ pub enum EngineEvent {
         /// Bytes the deleted file occupied.
         reclaimed_bytes: u64,
     },
+    /// A ranged tombstone was accepted by `delete_range`.
+    RangeDelete {
+        /// Combined length of the begin and end user keys.
+        bytes: u64,
+    },
+    /// An online consistent checkpoint started (version pinned).
+    CheckpointBegin {
+        /// Monotonic checkpoint id.
+        id: u64,
+    },
+    /// A checkpoint was durably published and acked.
+    CheckpointEnd {
+        /// Monotonic checkpoint id (matches the begin event).
+        id: u64,
+        /// Logical tables captured in the checkpoint.
+        tables: u64,
+        /// Files hard-linked (or copied) into the checkpoint directory.
+        files: u64,
+    },
 }
 
 impl EngineEvent {
@@ -321,6 +345,9 @@ impl EngineEvent {
             EngineEvent::VlogRotate { .. } => "vlog_rotate",
             EngineEvent::VlogGc { .. } => "vlog_gc",
             EngineEvent::VlogRetire { .. } => "vlog_retire",
+            EngineEvent::RangeDelete { .. } => "range_delete",
+            EngineEvent::CheckpointBegin { .. } => "checkpoint_begin",
+            EngineEvent::CheckpointEnd { .. } => "checkpoint_end",
         }
     }
 
@@ -403,6 +430,13 @@ impl EngineEvent {
                 segment,
                 reclaimed_bytes,
             } => format!("vlog segment {segment:06} retired ({reclaimed_bytes} B reclaimed)"),
+            EngineEvent::RangeDelete { bytes } => {
+                format!("range delete accepted ({bytes} B of bounds)")
+            }
+            EngineEvent::CheckpointBegin { id } => format!("checkpoint #{id} begin"),
+            EngineEvent::CheckpointEnd { id, tables, files } => {
+                format!("checkpoint #{id} end ({tables} tables, {files} files linked)")
+            }
         }
     }
 }
@@ -544,6 +578,15 @@ impl TraceEvent {
                     s,
                     ",\"segment\":{segment},\"reclaimed_bytes\":{reclaimed_bytes}"
                 );
+            }
+            EngineEvent::RangeDelete { bytes } => {
+                let _ = write!(s, ",\"bytes\":{bytes}");
+            }
+            EngineEvent::CheckpointBegin { id } => {
+                let _ = write!(s, ",\"id\":{id}");
+            }
+            EngineEvent::CheckpointEnd { id, tables, files } => {
+                let _ = write!(s, ",\"id\":{id},\"tables\":{tables},\"files\":{files}");
             }
         }
         s.push('}');

@@ -861,6 +861,23 @@ impl DropFilter {
         }
     }
 
+    /// The oldest sequence any live snapshot can observe. Range-tombstone
+    /// coverage is evaluated at this horizon: only tombstones visible to
+    /// *every* snapshot may erase entries during compaction.
+    pub fn smallest_snapshot(&self) -> SequenceNumber {
+        self.smallest_snapshot
+    }
+
+    /// Whether a range tombstone written at `sequence` is old enough that
+    /// every live snapshot already sees it. Combined with a span-wide
+    /// base-level check this decides tombstone retention. Deliberately
+    /// does not touch the per-key shadow state: a tombstone shares its
+    /// begin key with ordinary entries but never shadows them (coverage is
+    /// applied through the fragmented overlay instead).
+    pub fn tombstone_obsolete(&self, sequence: SequenceNumber) -> bool {
+        sequence <= self.smallest_snapshot
+    }
+
     /// Decide whether the entry (arriving in internal-key order) can be
     /// dropped. `is_base_level` must be `true` only if no deeper level can
     /// contain this user key.

@@ -27,6 +27,7 @@ use bolt_env::Env;
 use bolt_table::cache::TableCache;
 use bolt_table::comparator::{Comparator, InternalKeyComparator};
 use bolt_table::ikey::{parse_internal_key, SequenceNumber, ValueType};
+use bolt_table::rangedel::RangeTombstoneSet;
 use bolt_table::{BlockCache, BuiltTable, TableBuilder, TableReadOptions};
 use bolt_wal::{LogReader, LogWriter};
 
@@ -35,7 +36,7 @@ use crate::compaction::{
     clusters, needs_compaction, pick_compaction, run_layout_for, CompactionReason, CompactionTask,
     DropFilter, OutputShape,
 };
-use crate::filename::{current_file, log_file, parse_file_name, table_file, FileType};
+use crate::filename::{current_file, log_file, parse_file_name, table_file, vlog_file, FileType};
 use crate::iterator::{DbIter, InternalIterator, MergingIter, RunIter, ValueResolver};
 use crate::memtable::{LookupResult, MemTable};
 use crate::metrics::{MetricsSnapshot, QueueWaitSummary};
@@ -148,6 +149,14 @@ struct DbState {
     vlog: Option<VlogWriter>,
     /// WAL number that made the current `imm` obsolete once flushed.
     imm_log_boundary: u64,
+    /// Sequence number captured at the switch that produced the current
+    /// `imm`: every write at or below it is in `imm` or older tables, and
+    /// every write above it is in `mem`.
+    imm_seq_boundary: SequenceNumber,
+    /// Sequence boundary of the newest *completed* flush: the installed
+    /// version is exactly the write prefix at this sequence (plus nothing
+    /// newer). Checkpoints pin this together with the version.
+    flushed_seq_boundary: SequenceNumber,
     bg_error: Option<Error>,
     bg_busy: bool,
     seek_candidate: Option<(usize, Arc<TableMeta>)>,
@@ -392,6 +401,8 @@ impl Db {
                     wal_number: 0,
                     vlog: None,
                     imm_log_boundary: 0,
+                    imm_seq_boundary: 0,
+                    flushed_seq_boundary: 0,
                     bg_error: None,
                     bg_busy: false,
                     seek_candidate: None,
@@ -474,6 +485,32 @@ impl Db {
         let mut batch = WriteBatch::new();
         batch.delete(key);
         self.write(batch)
+    }
+
+    /// Delete every key in `[begin, end)` with one ranged tombstone. The
+    /// tombstone rides the group-commit pipeline like any write, costs one
+    /// entry regardless of how many keys it covers, and hides only entries
+    /// with smaller sequence numbers — snapshots taken before the delete
+    /// still see the range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidArgument`] when `begin >= end` (empty and
+    /// inverted ranges are rejected), plus background and WAL I/O errors.
+    pub fn delete_range(&self, begin: &[u8], end: &[u8]) -> Result<()> {
+        if begin >= end {
+            return Err(Error::InvalidArgument(
+                "delete_range requires begin < end".into(),
+            ));
+        }
+        let mut batch = WriteBatch::new();
+        batch.delete_range(begin, end);
+        self.write(batch)?;
+        self.inner.stats.record_range_delete(1);
+        self.inner.sink.emit(EngineEvent::RangeDelete {
+            bytes: (begin.len() + end.len()) as u64,
+        });
+        Ok(())
     }
 
     /// Apply a batch atomically, with durability per [`Options::sync_wal`].
@@ -693,6 +730,83 @@ impl Db {
         }
     }
 
+    /// Write a consistent, openable copy of the database into `dir` while
+    /// reads and writes continue, and return the sequence number the copy
+    /// is exact at: the checkpoint's full scan equals this database's scan
+    /// at that snapshot.
+    ///
+    /// The memtable is flushed first, then a `(version, sequence)` pair is
+    /// pinned and every SSTable and value-log file the version references
+    /// is **hard-linked** (copy fallback for envs without link support)
+    /// into `dir` — no data bytes move on a link-capable filesystem. A
+    /// snapshot-seeded MANIFEST is written, and CURRENT lands last via
+    /// temp-file + atomic rename under a `checkpoint` barrier: a crash at
+    /// any earlier point leaves a directory without CURRENT, which is
+    /// ignorable garbage (invariant C1).
+    ///
+    /// While the checkpoint is in progress its pinned version gates
+    /// garbage collection; afterwards the linked files are never
+    /// hole-punched (the shared inode would corrupt the copy) — they are
+    /// reclaimed by whole-file deletion only.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidArgument` for an empty target or the database's own
+    /// directory, and I/O errors from the env; on error the partial
+    /// directory is left for the caller (it has no CURRENT and cannot be
+    /// mistaken for a database).
+    pub fn checkpoint(&self, dir: &str) -> Result<SequenceNumber> {
+        let inner = &self.inner;
+        if dir.is_empty() || dir == inner.name {
+            return Err(Error::InvalidArgument(format!(
+                "checkpoint target `{dir}` must be a directory other than the database's own"
+            )));
+        }
+        // Everything acknowledged before this call reaches SSTables here, so
+        // the checkpoint needs no WAL.
+        self.flush()?;
+
+        // Pin a consistent (version, sequence) pair. With `imm == None`
+        // under the state lock, the installed version is exactly the write
+        // prefix at the flushed boundary (an empty memtable tightens it to
+        // `last_sequence`: everything acknowledged is flushed).
+        let (version, seq, pin, vlog_segments) = {
+            let mut state = inner.state.lock();
+            loop {
+                if let Some(e) = &state.bg_error {
+                    return Err(e.clone());
+                }
+                if state.imm.is_none() {
+                    break;
+                }
+                inner.work_cv.notify_one();
+                inner.done_cv.wait(&mut state);
+            }
+            let seq = if state.mem.is_empty() {
+                inner.last_sequence.load(Ordering::Acquire)
+            } else {
+                state.flushed_seq_boundary
+            };
+            let mut versions = inner.versions.lock();
+            let version = versions.current();
+            let pin = versions.pin_checkpoint(&version);
+            let vlog_segments: Vec<u64> = versions.vlog_segments().keys().copied().collect();
+            (version, seq, pin, vlog_segments)
+        };
+
+        inner.sink.emit(EngineEvent::CheckpointBegin { id: pin });
+        let result = inner.do_checkpoint(dir, &version, seq, &vlog_segments);
+        inner.versions.lock().unpin_checkpoint(pin);
+        let (tables, files) = result?;
+        inner.stats.record_checkpoint(1);
+        inner.sink.emit(EngineEvent::CheckpointEnd {
+            id: pin,
+            tables,
+            files,
+        });
+        Ok(seq)
+    }
+
     /// The current [`Version`] — the logical view of the tree. Useful for
     /// inspection tools and tests; the version is immutable.
     pub fn current_version(&self) -> Arc<Version> {
@@ -791,6 +905,13 @@ impl Db {
     pub fn metrics(&self) -> MetricsSnapshot {
         let inner = &self.inner;
         let qw = inner.stats.queue_wait();
+        let (manifest_recuts, range_tombstones_live) = {
+            let versions = inner.versions.lock();
+            (
+                versions.manifest_recuts(),
+                versions.current().live_range_tombstones(),
+            )
+        };
         MetricsSnapshot {
             db: inner.stats.snapshot(),
             io: inner.env.stats().snapshot(),
@@ -807,7 +928,8 @@ impl Db {
             barriers_by_cause: inner.sink.barrier_counts().to_vec(),
             events_emitted: inner.sink.emitted(),
             events_dropped: inner.sink.dropped(),
-            manifest_recuts: inner.versions.lock().manifest_recuts(),
+            manifest_recuts,
+            range_tombstones_live,
         }
     }
 
@@ -968,16 +1090,47 @@ impl DbInner {
         };
         let version = self.versions.lock().current();
         let snapshot = snapshot.unwrap_or_else(|| self.last_sequence.load(Ordering::Acquire));
-        match mem.get(user_key, snapshot) {
-            LookupResult::Value(v) => return Ok(Some(v)),
-            LookupResult::Pointer(p) => return self.resolve_pointer(&p).map(Some),
+        // Newest range tombstone covering this key, across every source.
+        // The first point hit below is the *newest* point entry visible at
+        // the snapshot (sources are probed newest-first and each source
+        // yields descending sequences), so comparing only that hit against
+        // the covering sequence applies every tombstone correctly.
+        let mut covering = mem.max_range_del_seq(user_key, snapshot);
+        if let Some(imm) = &imm {
+            covering = covering.max(imm.max_range_del_seq(user_key, snapshot));
+        }
+        if version.has_range_tombstones() {
+            covering = covering.max(
+                version
+                    .range_tombstones(&self.table_cache, &self.name)?
+                    .max_covering_seq(user_key, snapshot),
+            );
+        }
+        let hide = |seq: SequenceNumber| seq < covering;
+        let (found, seq) = mem.get_with_seq(user_key, snapshot);
+        match found {
+            LookupResult::Value(v) => return Ok((!hide(seq)).then_some(v)),
+            LookupResult::Pointer(p) => {
+                return if hide(seq) {
+                    Ok(None)
+                } else {
+                    self.resolve_pointer(&p).map(Some)
+                };
+            }
             LookupResult::Deleted => return Ok(None),
             LookupResult::NotFound => {}
         }
         if let Some(imm) = imm {
-            match imm.get(user_key, snapshot) {
-                LookupResult::Value(v) => return Ok(Some(v)),
-                LookupResult::Pointer(p) => return self.resolve_pointer(&p).map(Some),
+            let (found, seq) = imm.get_with_seq(user_key, snapshot);
+            match found {
+                LookupResult::Value(v) => return Ok((!hide(seq)).then_some(v)),
+                LookupResult::Pointer(p) => {
+                    return if hide(seq) {
+                        Ok(None)
+                    } else {
+                        self.resolve_pointer(&p).map(Some)
+                    };
+                }
                 LookupResult::Deleted => return Ok(None),
                 LookupResult::NotFound => {}
             }
@@ -999,6 +1152,9 @@ impl DbInner {
                     }
                 }
             }
+        }
+        if hide(got.sequence) {
+            return Ok(None);
         }
         Ok(match got.result {
             LookupResult::Value(v) => Some(v),
@@ -1072,6 +1228,9 @@ impl DbInner {
                 // Already-separated entries (e.g. forwarded by a router)
                 // carry their pointer through unchanged.
                 ValueType::ValuePointer => out.put_pointer(key, value),
+                // A tombstone's "value" is its exclusive end key, never a
+                // user payload — separation must not touch it.
+                ValueType::RangeTombstone => out.delete_range(key, value),
             }
         })?;
         if let Some(e) = failed {
@@ -1132,7 +1291,7 @@ impl DbInner {
         let snapshot = snapshot.unwrap_or_else(|| inner.last_sequence.load(Ordering::Acquire));
         let mut children: Vec<Box<dyn InternalIterator>> = Vec::new();
         children.push(Box::new(mem.iter()));
-        if let Some(imm) = imm {
+        if let Some(imm) = &imm {
             children.push(Box::new(imm.iter()));
         }
         for level in &version.levels {
@@ -1146,11 +1305,27 @@ impl DbInner {
             }
         }
         let merged = MergingIter::new(inner.icmp.clone(), children);
+        // The overlay aggregates every source the iterator reads: table
+        // tombstones (via the version's cached set) plus both memtables'.
+        let mut tombstones = if version.has_range_tombstones() {
+            version
+                .range_tombstones(&inner.table_cache, &inner.name)?
+                .raw()
+                .to_vec()
+        } else {
+            Vec::new()
+        };
+        tombstones.extend(mem.range_tombstones());
+        if let Some(imm) = &imm {
+            tombstones.extend(imm.range_tombstones());
+        }
         // Always attach the resolver: the store may hold pointers written
         // under an earlier configuration even if separation is off now.
         let resolver = Arc::clone(inner) as Arc<dyn ValueResolver>;
         Ok(DbIterator {
-            inner: DbIter::new(inner.icmp.clone(), merged, snapshot).with_resolver(resolver),
+            inner: DbIter::new(inner.icmp.clone(), merged, snapshot)
+                .with_resolver(resolver)
+                .with_tombstones(Arc::new(RangeTombstoneSet::build(tombstones))),
             _version: version,
         })
     }
@@ -1528,6 +1703,10 @@ impl DbInner {
         state.imm = Some(Arc::clone(&state.mem));
         self.has_imm.store(true, Ordering::Release);
         state.imm_log_boundary = new_log;
+        // The WAL is in hand (asserted above), so no commit is in flight:
+        // `last_sequence` is exactly the boundary between `imm` and the
+        // fresh memtable.
+        state.imm_seq_boundary = self.last_sequence.load(Ordering::Acquire);
         state.wal = Some(new_wal_writer(file));
         state.wal_number = new_log;
         state.mem = Arc::new(MemTable::new());
@@ -1690,7 +1869,8 @@ impl DbInner {
                         built.num_entries,
                         built.smallest.clone(),
                         built.largest.clone(),
-                    ),
+                    )
+                    .with_range_tombstones(built.range_tombstones),
                 ));
             }
             edit.last_sequence = Some(self.last_sequence.load(Ordering::Acquire));
@@ -1713,6 +1893,10 @@ impl DbInner {
             let mut state = self.state.lock();
             state.imm = None;
             self.has_imm.store(false, Ordering::Release);
+            // Publish in the same critical section that clears `imm`: a
+            // checkpoint that sees `imm == None` must also see the boundary
+            // this flush established.
+            state.flushed_seq_boundary = state.imm_seq_boundary;
             // Wake writers stalled on the full memtable immediately — this
             // may run mid-compaction (flush preemption).
             self.done_cv.notify_all();
@@ -1803,6 +1987,19 @@ impl DbInner {
             let target = self.opts.output_table_bytes();
             let mut sink = OutputSink::new(self, self.opts.bolt_options().is_some(), target);
 
+            // Compaction-wide range-tombstone overlay, built from the
+            // pinned version (which still contains the input tables).
+            let overlay = if version.has_range_tombstones() {
+                version.range_tombstones(&self.table_cache, &self.name)?
+            } else {
+                Arc::new(RangeTombstoneSet::default())
+            };
+
+            // Tables this compaction merges away: their covered keys die
+            // in this very rewrite, so they never block tombstone drops.
+            let input_ids: std::collections::HashSet<u64> =
+                task.merge_inputs().map(|t| t.table_id).collect();
+
             // Every data barrier the rewrite pays is attributed to this
             // compaction (a preempted flush re-tags its own barriers).
             let _scope = BarrierScope::new(BarrierCause::CompactionData);
@@ -1818,20 +2015,24 @@ impl DbInner {
                         let mut merged = MergingIter::new(self.icmp.clone(), children);
                         merged.seek_to_first()?;
                         let mut filter = DropFilter::new(smallest_snapshot);
-                        // AppendRun outputs land above still-live runs, so a
-                        // tombstone must survive unless no run at or below
-                        // the output level can hold the key. A ReplaceRun
-                        // merges the oldest suffix of the deepest level —
-                        // nothing older exists anywhere, so tombstones are
-                        // droppable (and scanning from the output level would
-                        // find the inputs themselves, retaining them forever).
+                        // Point keys: AppendRun outputs land above still-live
+                        // runs, so a point tombstone survives unless no run
+                        // at or below the output level can hold its key; a
+                        // ReplaceRun merges the oldest suffix of the deepest
+                        // level, so deeper levels alone decide. (Range
+                        // tombstones use the span-wide all-level check — see
+                        // `is_base_level_span`.)
                         let include_output_level = matches!(task.output, OutputShape::AppendRun);
                         sink.write_run(
                             &mut merged,
                             Some(&mut filter),
-                            &version,
-                            output_level,
-                            include_output_level,
+                            &overlay,
+                            &DropScope {
+                                version: &version,
+                                inputs: &input_ids,
+                                output_level,
+                                include_output_level,
+                            },
                         )?;
                     }
                     OutputShape::Leveled => {
@@ -1851,9 +2052,13 @@ impl DbInner {
                             sink.write_run(
                                 &mut merged,
                                 Some(&mut filter),
-                                &version,
-                                output_level,
-                                false,
+                                &overlay,
+                                &DropScope {
+                                    version: &version,
+                                    inputs: &input_ids,
+                                    output_level,
+                                    include_output_level: false,
+                                },
                             )?;
                         }
                     }
@@ -1910,7 +2115,8 @@ impl DbInner {
                         built.num_entries,
                         built.smallest.clone(),
                         built.largest.clone(),
-                    ),
+                    )
+                    .with_range_tombstones(built.range_tombstones),
                 ));
             }
             if task.reason == CompactionReason::Size && task.output == OutputShape::Leveled {
@@ -2067,8 +2273,16 @@ impl DbInner {
     ) -> Result<Vec<(u64, BuiltTable)>> {
         let mut sink = OutputSink::new(self, self.opts.bolt_options().is_some(), target);
         let version = Version::empty(self.opts.num_levels);
+        let overlay = RangeTombstoneSet::default();
+        let inputs = std::collections::HashSet::new();
+        let scope = DropScope {
+            version: &version,
+            inputs: &inputs,
+            output_level: usize::MAX,
+            include_output_level: false,
+        };
         let result = sink
-            .write_run(iter, None, &version, usize::MAX, false)
+            .write_run(iter, None, &overlay, &scope)
             .and_then(|()| sink.finish());
         if result.is_err() {
             // Nothing references these outputs yet; reclaim them so an I/O
@@ -2253,6 +2467,64 @@ impl DbInner {
         }
     }
 
+    /// Materialize a pinned `(version, sequence)` pair into `dir`: link
+    /// every referenced table and value-log file, then write the MANIFEST
+    /// and CURRENT. Returns `(tables, files)` — logical tables in the
+    /// snapshot and physical files placed in the directory.
+    ///
+    /// The caller holds a checkpoint pin for `version`, so none of the
+    /// files named here can be deleted or hole-punched underneath us.
+    fn do_checkpoint(
+        &self,
+        dir: &str,
+        version: &Arc<Version>,
+        seq: SequenceNumber,
+        vlog_segments: &[u64],
+    ) -> Result<(u64, u64)> {
+        let _scope = BarrierScope::new(BarrierCause::Checkpoint);
+        self.env.create_dir_all(dir)?;
+
+        // Tables: several logical tables may share one physical file (BoLT
+        // shared compaction outputs), so link by unique file number.
+        let mut tables = 0u64;
+        let mut file_numbers: Vec<u64> = Vec::new();
+        for (_, _, table) in version.all_tables() {
+            tables += 1;
+            file_numbers.push(table.file_number);
+        }
+        file_numbers.sort_unstable();
+        file_numbers.dedup();
+        for &file_number in &file_numbers {
+            self.env.link_file(
+                &table_file(&self.name, file_number),
+                &table_file(dir, file_number),
+            )?;
+        }
+        let mut files = file_numbers.len() as u64;
+
+        // Value-log segments. The active segment may be mid-append: that is
+        // fine, because pointers reachable from the pinned version only
+        // reference bytes below its last synced barrier, and a hard link
+        // shares exactly that durability state. A segment the ledger knows
+        // but that was never written to yet has no file — skip it.
+        for &segment in vlog_segments {
+            let src = vlog_file(&self.name, segment);
+            if !self.env.file_exists(&src) {
+                continue;
+            }
+            self.env.link_file(&src, &vlog_file(dir, segment))?;
+            files += 1;
+        }
+
+        // MANIFEST + CURRENT last: until CURRENT lands, the directory is
+        // not a database and a crash leaves ignorable garbage.
+        self.versions
+            .lock()
+            .write_checkpoint_manifest(dir, version, seq)?;
+        files += 2;
+        Ok((tables, files))
+    }
+
     fn delete_obsolete_logs(&self, boundary: u64) {
         let boundary = self.clamp_log_boundary(boundary);
         if let Ok(names) = self.env.list_dir(&self.name) {
@@ -2390,15 +2662,21 @@ impl<'a> OutputSink<'a> {
 
     /// Merge one cluster into output tables, applying the drop rule when a
     /// filter is supplied (compaction) and keeping everything otherwise
-    /// (flush).
+    /// (flush). `overlay` is the compaction-wide range-tombstone set,
+    /// queried at the snapshot horizon to erase covered entries.
     fn write_run(
         &mut self,
         iter: &mut dyn InternalIterator,
         mut filter: Option<&mut DropFilter>,
-        version: &Version,
-        output_level: usize,
-        include_output_level: bool,
+        overlay: &RangeTombstoneSet,
+        scope: &DropScope<'_>,
     ) -> Result<()> {
+        let DropScope {
+            version,
+            inputs,
+            output_level,
+            include_output_level,
+        } = *scope;
         // Only compactions preempt for flushes; a flush must not recurse.
         let allow_preemption = filter.is_some();
         // Local because `builder` below holds a &mut borrow through
@@ -2433,6 +2711,31 @@ impl<'a> OutputSink<'a> {
                     None => false,
                     Some(filter) => {
                         let parsed = parse_internal_key(iter.key())?;
+                        if parsed.value_type == ValueType::RangeTombstone {
+                            // Tombstones bypass the per-key shadow state
+                            // entirely (a newer put at the begin key must
+                            // never shadow-drop the span). Retention: old
+                            // enough that every snapshot sees it, and no
+                            // table outside this compaction's inputs can
+                            // still hold a key in its span.
+                            let drop = filter.tombstone_obsolete(parsed.sequence)
+                                && is_base_level_span(
+                                    &self.inner.icmp,
+                                    version,
+                                    inputs,
+                                    parsed.user_key,
+                                    iter.value(),
+                                );
+                            if !drop {
+                                builder.add(iter.key(), iter.value())?;
+                                let user_key = bolt_table::ikey::extract_user_key(iter.key());
+                                if last_added_user_key.as_deref() != Some(user_key) {
+                                    last_added_user_key = Some(user_key.to_vec());
+                                }
+                            }
+                            iter.next()?;
+                            continue;
+                        }
                         let base = is_base_level(
                             &self.inner.icmp,
                             version,
@@ -2440,7 +2743,15 @@ impl<'a> OutputSink<'a> {
                             include_output_level,
                             parsed.user_key,
                         );
-                        let drop = filter.should_drop(&parsed, base);
+                        // `should_drop` must always run (it maintains the
+                        // per-key shadow state); coverage by a universally
+                        // visible range tombstone is an extra drop reason.
+                        let drop = filter.should_drop(&parsed, base)
+                            || overlay.covers(
+                                parsed.user_key,
+                                parsed.sequence,
+                                filter.smallest_snapshot(),
+                            );
                         if parsed.value_type == ValueType::ValuePointer {
                             if guard_key != parsed.user_key {
                                 guard_key.clear();
@@ -2518,6 +2829,17 @@ impl<'a> OutputSink<'a> {
     }
 }
 
+/// Compaction context the drop rules in [`OutputSink::write_run`] consult:
+/// the pinned input version, the ids of the compaction's own input tables
+/// (exempt from the span check — this merge erases their covered keys),
+/// and the output placement for the point-key base check.
+struct DropScope<'a> {
+    version: &'a Version,
+    inputs: &'a std::collections::HashSet<u64>,
+    output_level: usize,
+    include_output_level: bool,
+}
+
 /// `true` if no table at a deeper level (or, for fragmented compactions,
 /// at the output level itself) can contain `user_key` — the condition for
 /// dropping a tombstone.
@@ -2540,6 +2862,42 @@ fn is_base_level(
         for run in &version.levels[level].runs {
             if run.find(icmp, user_key).is_some() {
                 return false;
+            }
+        }
+    }
+    true
+}
+
+/// Span-wide variant of [`is_base_level`] for range tombstones: `true` if
+/// no table *outside this compaction's own inputs* can contain any user
+/// key in `[begin, end)` — the condition for dropping the tombstone
+/// outright. Unlike the point-key check this must not stop at the output
+/// level or restrict itself to deeper levels: a tombstone's span routinely
+/// extends past the compaction's input key range, so covered keys can sit
+/// in same-level (or even shallower-run) tables the compaction never
+/// touches. Input tables are exempt because this very merge erases their
+/// covered keys via the overlay.
+fn is_base_level_span(
+    icmp: &InternalKeyComparator,
+    version: &Version,
+    inputs: &std::collections::HashSet<u64>,
+    begin: &[u8],
+    end: &[u8],
+) -> bool {
+    let ucmp = icmp.user_comparator();
+    for level in &version.levels {
+        for run in &level.runs {
+            for table in &run.tables {
+                if inputs.contains(&table.table_id) {
+                    continue;
+                }
+                // Overlap with the half-open span: the table reaches at
+                // least `begin` and starts strictly before `end`.
+                if ucmp.compare(table.largest_user_key(), begin) != std::cmp::Ordering::Less
+                    && ucmp.compare(table.smallest_user_key(), end) == std::cmp::Ordering::Less
+                {
+                    return false;
+                }
             }
         }
     }

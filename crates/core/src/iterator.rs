@@ -13,6 +13,7 @@ use bolt_table::cache::TableCache;
 use bolt_table::comparator::Comparator;
 use bolt_table::comparator::InternalKeyComparator;
 use bolt_table::ikey::{lookup_key, parse_internal_key, SequenceNumber, ValueType};
+use bolt_table::rangedel::RangeTombstoneSet;
 
 use crate::memtable::MemTableIter;
 use crate::version::TableMeta;
@@ -306,6 +307,7 @@ pub struct DbIter {
     iter: MergingIter,
     snapshot: SequenceNumber,
     resolver: Option<Arc<dyn ValueResolver>>,
+    tombstones: Option<Arc<RangeTombstoneSet>>,
     valid: bool,
     key: Vec<u8>,
     value: Vec<u8>,
@@ -328,6 +330,7 @@ impl DbIter {
             iter,
             snapshot,
             resolver: None,
+            tombstones: None,
             valid: false,
             key: Vec::new(),
             value: Vec::new(),
@@ -337,6 +340,13 @@ impl DbIter {
     /// Attach a value-log pointer resolver (engine-created iterators).
     pub fn with_resolver(mut self, resolver: Arc<dyn ValueResolver>) -> Self {
         self.resolver = Some(resolver);
+        self
+    }
+
+    /// Attach a range-tombstone overlay; entries it covers are treated as
+    /// deleted. An empty set is dropped so the per-entry check stays free.
+    pub fn with_tombstones(mut self, tombstones: Arc<RangeTombstoneSet>) -> Self {
+        self.tombstones = (!tombstones.is_empty()).then_some(tombstones);
         self
     }
 
@@ -422,12 +432,18 @@ impl DbIter {
                     ValueType::Deletion => {
                         skipping = Some(parsed.user_key.to_vec());
                     }
+                    // A range tombstone entry is never user-visible and
+                    // must NOT shadow a point key equal to its begin key —
+                    // the overlay below applies its span.
+                    ValueType::RangeTombstone => {}
                     ValueType::Value | ValueType::ValuePointer => {
                         let shadowed = skipping.as_deref().is_some_and(|s| {
                             self.icmp
                                 .user_comparator()
                                 .compare(parsed.user_key, s)
                                 .is_eq()
+                        }) || self.tombstones.as_deref().is_some_and(|t| {
+                            t.covers(parsed.user_key, parsed.sequence, self.snapshot)
                         });
                         if !shadowed {
                             self.key = parsed.user_key.to_vec();
@@ -556,6 +572,62 @@ mod tests {
             vec![
                 (b"a".to_vec(), b"a1".to_vec()),
                 (b"b".to_vec(), b"b2".to_vec()),
+            ]
+        );
+    }
+
+    #[test]
+    fn db_iter_applies_range_tombstone_overlay() {
+        use bolt_table::rangedel::{RangeTombstone, RangeTombstoneSet};
+        let mem = mem_with(&[
+            (1, ValueType::Value, b"a", b"a1"),
+            (2, ValueType::Value, b"b", b"b2"),
+            (5, ValueType::RangeTombstone, b"b", b"d"),
+            (3, ValueType::Value, b"c", b"c3"),
+            (7, ValueType::Value, b"c", b"c7"),
+            (4, ValueType::Value, b"d", b"d4"),
+        ]);
+        let overlay = Arc::new(RangeTombstoneSet::build(vec![RangeTombstone {
+            begin: b"b".to_vec(),
+            end: b"d".to_vec(),
+            sequence: 5,
+        }]));
+        let iter = merging(vec![Box::new(mem.iter())]);
+        let mut db_iter = DbIter::new(InternalKeyComparator::default(), iter, 100)
+            .with_tombstones(Arc::clone(&overlay));
+        db_iter.seek_to_first().unwrap();
+        let mut seen = Vec::new();
+        while db_iter.valid() {
+            seen.push((db_iter.key().to_vec(), db_iter.value().to_vec()));
+            db_iter.next().unwrap();
+        }
+        // b@2 hidden by the tombstone; c@7 written after it survives; the
+        // end key d is exclusive.
+        assert_eq!(
+            seen,
+            vec![
+                (b"a".to_vec(), b"a1".to_vec()),
+                (b"c".to_vec(), b"c7".to_vec()),
+                (b"d".to_vec(), b"d4".to_vec()),
+            ]
+        );
+        // At a snapshot older than the tombstone, everything is visible.
+        let iter = merging(vec![Box::new(mem.iter())]);
+        let mut old_iter =
+            DbIter::new(InternalKeyComparator::default(), iter, 4).with_tombstones(overlay);
+        old_iter.seek_to_first().unwrap();
+        let mut seen = Vec::new();
+        while old_iter.valid() {
+            seen.push((old_iter.key().to_vec(), old_iter.value().to_vec()));
+            old_iter.next().unwrap();
+        }
+        assert_eq!(
+            seen,
+            vec![
+                (b"a".to_vec(), b"a1".to_vec()),
+                (b"b".to_vec(), b"b2".to_vec()),
+                (b"c".to_vec(), b"c3".to_vec()),
+                (b"d".to_vec(), b"d4".to_vec()),
             ]
         );
     }

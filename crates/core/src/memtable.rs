@@ -9,12 +9,15 @@
 use std::cmp::Ordering;
 use std::sync::Arc;
 
+use std::sync::RwLock;
+
 use bolt_common::coding::{get_varint32, put_varint32};
 use bolt_common::skiplist::{Iter as SkipIter, SkipList};
 use bolt_table::comparator::{Comparator, InternalKeyComparator};
 use bolt_table::ikey::{
     lookup_key, make_internal_key, parse_internal_key, SequenceNumber, ValueType,
 };
+use bolt_table::rangedel::RangeTombstone;
 
 fn decode_entry(entry: &[u8]) -> (&[u8], &[u8]) {
     let (klen, n) = get_varint32(entry).expect("memtable entry klen");
@@ -53,6 +56,11 @@ pub enum LookupResult {
 pub struct MemTable {
     list: SkipList<EntryComparator>,
     cmp: InternalKeyComparator,
+    /// Side index of range tombstones inserted into the skiplist, so point
+    /// lookups and overlay construction need not scan for them. Guarded by
+    /// a lock because `add` runs on the (single) write path while readers
+    /// query concurrently.
+    range_dels: RwLock<Vec<RangeTombstone>>,
 }
 
 impl std::fmt::Debug for MemTable {
@@ -77,6 +85,7 @@ impl MemTable {
         MemTable {
             list: SkipList::new(EntryComparator(cmp.clone())),
             cmp,
+            range_dels: RwLock::new(Vec::new()),
         }
     }
 
@@ -105,10 +114,55 @@ impl MemTable {
         put_varint32(&mut entry, value.len() as u32);
         entry.extend_from_slice(value);
         self.list.insert(&entry);
+        if value_type == ValueType::RangeTombstone {
+            self.range_dels
+                .write()
+                .expect("range_dels lock")
+                .push(RangeTombstone {
+                    begin: user_key.to_vec(),
+                    end: value.to_vec(),
+                    sequence: seq,
+                });
+        }
+    }
+
+    /// Snapshot of the range tombstones inserted so far.
+    pub fn range_tombstones(&self) -> Vec<RangeTombstone> {
+        self.range_dels.read().expect("range_dels lock").clone()
+    }
+
+    /// Number of range tombstones inserted so far.
+    pub fn num_range_tombstones(&self) -> usize {
+        self.range_dels.read().expect("range_dels lock").len()
+    }
+
+    /// Sequence of the newest range tombstone covering `user_key` visible
+    /// at `snapshot`, or 0 when none covers it.
+    pub fn max_range_del_seq(&self, user_key: &[u8], snapshot: SequenceNumber) -> SequenceNumber {
+        let dels = self.range_dels.read().expect("range_dels lock");
+        dels.iter()
+            .filter(|t| t.sequence <= snapshot && t.covers_key(user_key))
+            .map(|t| t.sequence)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Point lookup visible at `snapshot`.
     pub fn get(&self, user_key: &[u8], snapshot: SequenceNumber) -> LookupResult {
+        self.get_with_seq(user_key, snapshot).0
+    }
+
+    /// Point lookup visible at `snapshot`, also returning the sequence
+    /// number of the found entry (0 for [`LookupResult::NotFound`]) so the
+    /// caller can weigh it against the range-tombstone overlay. Range
+    /// tombstone entries themselves are never returned: a tombstone whose
+    /// begin key equals `user_key` is skipped in favor of the next older
+    /// point entry.
+    pub fn get_with_seq(
+        &self,
+        user_key: &[u8],
+        snapshot: SequenceNumber,
+    ) -> (LookupResult, SequenceNumber) {
         let lk = lookup_key(user_key, snapshot);
         let mut seek_entry = Vec::with_capacity(lk.len() + 5);
         put_varint32(&mut seek_entry, lk.len() as u32);
@@ -119,19 +173,24 @@ impl MemTable {
 
         let mut iter = self.list.iter();
         iter.seek(&seek_entry);
-        if !iter.valid() {
-            return LookupResult::NotFound;
+        while iter.valid() {
+            let (ikey, value) = decode_entry(iter.key());
+            let parsed = parse_internal_key(ikey).expect("valid internal key in memtable");
+            if parsed.user_key != user_key {
+                return (LookupResult::NotFound, 0);
+            }
+            let result = match parsed.value_type {
+                ValueType::RangeTombstone => {
+                    iter.next();
+                    continue;
+                }
+                ValueType::Deletion => LookupResult::Deleted,
+                ValueType::Value => LookupResult::Value(value.to_vec()),
+                ValueType::ValuePointer => LookupResult::Pointer(value.to_vec()),
+            };
+            return (result, parsed.sequence);
         }
-        let (ikey, value) = decode_entry(iter.key());
-        let parsed = parse_internal_key(ikey).expect("valid internal key in memtable");
-        if parsed.user_key != user_key {
-            return LookupResult::NotFound;
-        }
-        match parsed.value_type {
-            ValueType::Deletion => LookupResult::Deleted,
-            ValueType::Value => LookupResult::Value(value.to_vec()),
-            ValueType::ValuePointer => LookupResult::Pointer(value.to_vec()),
-        }
+        (LookupResult::NotFound, 0)
     }
 
     /// Iterator over `(internal_key, value)` entries in order.
@@ -264,6 +323,33 @@ mod tests {
             mem.get(b"k", 1),
             LookupResult::Pointer(b"encoded-pointer".to_vec())
         );
+    }
+
+    #[test]
+    fn range_tombstone_entries_skipped_and_indexed() {
+        let mem = MemTable::new();
+        mem.add(1, ValueType::Value, b"b", b"v1");
+        mem.add(2, ValueType::RangeTombstone, b"b", b"f");
+        mem.add(3, ValueType::Value, b"c", b"v3");
+        // The tombstone entry is never surfaced directly: a get of its begin
+        // key falls through to the older point entry (the overlay decides
+        // deletion at the Db layer).
+        assert_eq!(mem.get(b"b", 100), LookupResult::Value(b"v1".to_vec()));
+        assert_eq!(
+            mem.get_with_seq(b"b", 100),
+            (LookupResult::Value(b"v1".to_vec()), 1)
+        );
+        assert_eq!(
+            mem.get_with_seq(b"c", 100),
+            (LookupResult::Value(b"v3".to_vec()), 3)
+        );
+        // Side index: covering and snapshot-aware.
+        assert_eq!(mem.max_range_del_seq(b"b", 100), 2);
+        assert_eq!(mem.max_range_del_seq(b"e", 100), 2);
+        assert_eq!(mem.max_range_del_seq(b"f", 100), 0, "end exclusive");
+        assert_eq!(mem.max_range_del_seq(b"c", 1), 0, "older snapshot");
+        assert_eq!(mem.range_tombstones().len(), 1);
+        assert_eq!(mem.num_range_tombstones(), 1);
     }
 
     #[test]

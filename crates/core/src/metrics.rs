@@ -60,6 +60,10 @@ pub struct MetricsSnapshot {
     /// Successful self-healing MANIFEST re-cuts since open (O5): failed
     /// commit barriers absorbed without poisoning the writer.
     pub manifest_recuts: u64,
+    /// Range tombstones recorded across live tables in the current version
+    /// (sum of the MANIFEST per-table counts; drops to 0 once compaction
+    /// has rewritten every covered span).
+    pub range_tombstones_live: u64,
 }
 
 impl MetricsSnapshot {
@@ -147,6 +151,13 @@ impl MetricsSnapshot {
             "bolt_vlog_segments_retired_total",
             &[],
             d.vlog_segments_retired,
+        );
+        reg.counter("bolt_range_deletes_total", &[], d.range_deletes);
+        reg.counter("bolt_checkpoints_total", &[], d.checkpoints);
+        reg.gauge(
+            "bolt_range_tombstones_live",
+            &[],
+            self.range_tombstones_live as f64,
         );
 
         let io = &self.io;
@@ -251,6 +262,8 @@ mod tests {
                 write_groups: 5,
                 group_batches: 10,
                 wal_syncs: 2,
+                range_deletes: 2,
+                checkpoints: 1,
                 ..Default::default()
             },
             io: IoSnapshot {
@@ -288,6 +301,7 @@ mod tests {
             events_emitted: 42,
             events_dropped: 0,
             manifest_recuts: 1,
+            range_tombstones_live: 3,
         }
     }
 
@@ -331,6 +345,18 @@ mod tests {
         assert_eq!(
             reg.find("bolt_manifest_recuts_total", &[]),
             Some(&MetricValue::Counter(1))
+        );
+        assert_eq!(
+            reg.find("bolt_range_deletes_total", &[]),
+            Some(&MetricValue::Counter(2))
+        );
+        assert_eq!(
+            reg.find("bolt_checkpoints_total", &[]),
+            Some(&MetricValue::Counter(1))
+        );
+        assert_eq!(
+            reg.find("bolt_range_tombstones_live", &[]),
+            Some(&MetricValue::Gauge(3.0))
         );
         assert_eq!(
             reg.find("bolt_policy_compactions_total", &[("policy", "leveled")]),

@@ -40,6 +40,10 @@ pub struct DbStats {
     vlog_dead_bytes: AtomicU64,
     /// Fully dead value-log segments whose files were retired.
     vlog_segments_retired: AtomicU64,
+    /// Ranged tombstones accepted by `delete_range`.
+    range_deletes: AtomicU64,
+    /// Consistent checkpoints successfully acked.
+    checkpoints: AtomicU64,
     /// Nanoseconds each writer spent queued before its group committed
     /// (leaders record their wait for leadership; followers their wait for
     /// the leader's result).
@@ -91,6 +95,10 @@ pub struct DbStatsSnapshot {
     pub vlog_dead_bytes: u64,
     /// Fully dead value-log segments retired.
     pub vlog_segments_retired: u64,
+    /// Ranged tombstones accepted by `delete_range`.
+    pub range_deletes: u64,
+    /// Consistent checkpoints successfully acked.
+    pub checkpoints: u64,
 }
 
 impl DbStatsSnapshot {
@@ -164,6 +172,8 @@ impl DbStats {
         record_vlog_resolve / vlog_resolves => vlog_resolves,
         record_vlog_dead_bytes / vlog_dead_bytes => vlog_dead_bytes,
         record_vlog_segment_retired / vlog_segments_retired => vlog_segments_retired,
+        record_range_delete / range_deletes => range_deletes,
+        record_checkpoint / checkpoints => checkpoints,
     }
 
     /// Per-writer time-in-queue histogram (nanoseconds).
@@ -195,6 +205,8 @@ impl DbStats {
             vlog_resolves: self.vlog_resolves(),
             vlog_dead_bytes: self.vlog_dead_bytes(),
             vlog_segments_retired: self.vlog_segments_retired(),
+            range_deletes: self.range_deletes(),
+            checkpoints: self.checkpoints(),
         }
     }
 }

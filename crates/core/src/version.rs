@@ -22,7 +22,7 @@
 //! physical layout of logical SSTables in compaction files" (§3.4).
 
 use std::sync::atomic::{AtomicI64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use bolt_common::coding::{
     put_fixed64, put_length_prefixed_slice, put_varint32, put_varint64, Decoder,
@@ -30,7 +30,10 @@ use bolt_common::coding::{
 use bolt_common::{Error, Result};
 use bolt_table::cache::{TableCache, TableSpec};
 use bolt_table::comparator::{Comparator, InternalKeyComparator};
-use bolt_table::ikey::{extract_user_key, parse_internal_key, SequenceNumber, ValueType};
+use bolt_table::ikey::{
+    extract_user_key, lookup_key, parse_internal_key, SequenceNumber, ValueType,
+};
+use bolt_table::rangedel::RangeTombstoneSet;
 
 use crate::filename::table_file;
 use crate::memtable::LookupResult;
@@ -53,6 +56,10 @@ pub struct TableMeta {
     pub smallest: Vec<u8>,
     /// Largest internal key.
     pub largest: Vec<u8>,
+    /// Number of range-tombstone entries in the table. Persisted in the
+    /// MANIFEST so versions know without any I/O whether a tombstone
+    /// overlay must be built.
+    pub range_tombstones: u64,
     /// Seek-compaction budget (LevelDB: one seek per 16 KB of size).
     pub allowed_seeks: AtomicI64,
 }
@@ -67,6 +74,7 @@ impl Clone for TableMeta {
             num_entries: self.num_entries,
             smallest: self.smallest.clone(),
             largest: self.largest.clone(),
+            range_tombstones: self.range_tombstones,
             allowed_seeks: AtomicI64::new(self.allowed_seeks.load(Ordering::Relaxed)),
         }
     }
@@ -81,6 +89,7 @@ impl PartialEq for TableMeta {
             && self.num_entries == other.num_entries
             && self.smallest == other.smallest
             && self.largest == other.largest
+            && self.range_tombstones == other.range_tombstones
     }
 }
 impl Eq for TableMeta {}
@@ -105,8 +114,16 @@ impl TableMeta {
             num_entries,
             smallest,
             largest,
+            range_tombstones: 0,
             allowed_seeks: AtomicI64::new(allowed),
         }
+    }
+
+    /// Record how many range-tombstone entries the table holds.
+    #[must_use]
+    pub fn with_range_tombstones(mut self, n: u64) -> Self {
+        self.range_tombstones = n;
+        self
     }
 
     /// Smallest user key.
@@ -204,6 +221,9 @@ impl LevelState {
 pub struct GetResult {
     /// The lookup outcome.
     pub result: LookupResult,
+    /// Sequence number of the found entry (0 when not found), so the
+    /// caller can weigh the hit against the range-tombstone overlay.
+    pub sequence: SequenceNumber,
     /// A table that burned a wasted seek (charge `allowed_seeks`).
     pub seek_charge: Option<(usize, Arc<TableMeta>)>,
 }
@@ -213,6 +233,12 @@ pub struct GetResult {
 pub struct Version {
     /// Levels, index 0 first.
     pub levels: Vec<LevelState>,
+    /// Lazily built overlay of every range tombstone stored in the
+    /// version's tables. A tombstone's span can extend past its table's
+    /// largest point key, so the overlay must aggregate *all* tables —
+    /// the per-table scans are memoized in the readers, and this cache
+    /// makes the aggregate a one-time cost per version.
+    tombstones: OnceLock<Arc<RangeTombstoneSet>>,
 }
 
 impl Version {
@@ -220,6 +246,7 @@ impl Version {
     pub fn empty(num_levels: usize) -> Self {
         Version {
             levels: vec![LevelState::default(); num_levels],
+            tombstones: OnceLock::new(),
         }
     }
 
@@ -266,7 +293,7 @@ impl Version {
         user_key: &[u8],
         snapshot: SequenceNumber,
     ) -> Result<GetResult> {
-        let lookup = bolt_table::ikey::lookup_key(user_key, snapshot);
+        let lookup = lookup_key(user_key, snapshot);
         let mut first_probe: Option<(usize, Arc<TableMeta>)> = None;
         let mut probes = 0usize;
 
@@ -280,29 +307,82 @@ impl Version {
                     first_probe = Some((level, Arc::clone(table)));
                 }
                 let reader = cache.table(&table.spec(db))?;
-                if let Some((ikey, value)) = reader.internal_get(&lookup)? {
+                // A range tombstone whose begin key equals `user_key` sits
+                // in front of the point entries; re-probe just below its
+                // sequence to reach them (the overlay, not this lookup,
+                // applies the tombstone).
+                let mut probe = lookup.clone();
+                while let Some((ikey, value)) = reader.internal_get(&probe)? {
                     let parsed = parse_internal_key(&ikey)?;
-                    if parsed.user_key == user_key && parsed.sequence <= snapshot {
-                        let result = match parsed.value_type {
-                            ValueType::Deletion => LookupResult::Deleted,
-                            ValueType::Value => LookupResult::Value(value),
-                            ValueType::ValuePointer => LookupResult::Pointer(value),
-                        };
-                        // A lookup that had to probe more than one table
-                        // charges the first table (LevelDB seek compaction).
-                        let seek_charge = if probes > 1 { first_probe } else { None };
-                        return Ok(GetResult {
-                            result,
-                            seek_charge,
-                        });
+                    if parsed.user_key != user_key || parsed.sequence > snapshot {
+                        break;
                     }
+                    if parsed.value_type == ValueType::RangeTombstone {
+                        if parsed.sequence == 0 {
+                            break;
+                        }
+                        probe = lookup_key(user_key, parsed.sequence - 1);
+                        continue;
+                    }
+                    let result = match parsed.value_type {
+                        ValueType::Deletion => LookupResult::Deleted,
+                        ValueType::Value => LookupResult::Value(value),
+                        ValueType::ValuePointer => LookupResult::Pointer(value),
+                        ValueType::RangeTombstone => unreachable!("skipped above"),
+                    };
+                    // A lookup that had to probe more than one table
+                    // charges the first table (LevelDB seek compaction).
+                    let seek_charge = if probes > 1 { first_probe } else { None };
+                    return Ok(GetResult {
+                        result,
+                        sequence: parsed.sequence,
+                        seek_charge,
+                    });
                 }
             }
         }
         Ok(GetResult {
             result: LookupResult::NotFound,
+            sequence: 0,
             seek_charge: if probes > 1 { first_probe } else { None },
         })
+    }
+
+    /// `true` when any live table holds a range tombstone (a metadata
+    /// check; no I/O). When false, reads can skip the overlay entirely.
+    pub fn has_range_tombstones(&self) -> bool {
+        self.all_tables().any(|(_, _, t)| t.range_tombstones > 0)
+    }
+
+    /// Total range tombstones recorded across live tables (the MANIFEST
+    /// per-table counts summed; no I/O). Exported as the
+    /// `bolt_range_tombstones_live` gauge.
+    pub fn live_range_tombstones(&self) -> u64 {
+        self.all_tables().map(|(_, _, t)| t.range_tombstones).sum()
+    }
+
+    /// The aggregated range-tombstone overlay for this version, built once
+    /// and cached. See the field doc for why this scans every table
+    /// carrying tombstones; tombstone-free tables are skipped via their
+    /// MANIFEST-recorded count.
+    ///
+    /// # Errors
+    ///
+    /// Returns table open/read errors from the first build.
+    pub fn range_tombstones(&self, cache: &TableCache, db: &str) -> Result<Arc<RangeTombstoneSet>> {
+        if let Some(set) = self.tombstones.get() {
+            return Ok(Arc::clone(set));
+        }
+        let mut raw = Vec::new();
+        for (_, _, table) in self.all_tables() {
+            if table.range_tombstones == 0 {
+                continue;
+            }
+            let reader = cache.table(&table.spec(db))?;
+            raw.extend(reader.range_tombstones()?.iter().cloned());
+        }
+        let set = Arc::new(RangeTombstoneSet::build(raw));
+        Ok(Arc::clone(self.tombstones.get_or_init(|| set)))
     }
 }
 
@@ -407,6 +487,7 @@ impl VersionEdit {
             put_fixed64(&mut out, meta.offset);
             put_varint64(&mut out, meta.size);
             put_varint64(&mut out, meta.num_entries);
+            put_varint64(&mut out, meta.range_tombstones);
             put_length_prefixed_slice(&mut out, &meta.smallest);
             put_length_prefixed_slice(&mut out, &meta.largest);
         }
@@ -445,6 +526,7 @@ impl VersionEdit {
                     let offset = dec.fixed64()?;
                     let size = dec.varint64()?;
                     let num_entries = dec.varint64()?;
+                    let range_tombstones = dec.varint64()?;
                     let smallest = dec.length_prefixed_slice()?.to_vec();
                     let largest = dec.length_prefixed_slice()?.to_vec();
                     edit.added_tables.push((
@@ -458,7 +540,8 @@ impl VersionEdit {
                             num_entries,
                             smallest,
                             largest,
-                        ),
+                        )
+                        .with_range_tombstones(range_tombstones),
                     ));
                 }
                 tag::VLOG_DEAD => {

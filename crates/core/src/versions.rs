@@ -170,6 +170,20 @@ pub struct VersionSet {
     /// eager delete failed; retried by [`VersionSet::collect_garbage`]
     /// (open-time scavenging is the final backstop).
     stale_manifests: Vec<u64>,
+    /// Versions pinned by in-progress checkpoints, keyed by pin id. Holding
+    /// the `Arc` keeps every table the checkpoint will link alive in the
+    /// `live` scan, and any pin defers value-log punches/retirements.
+    checkpoint_pins: HashMap<u64, Arc<Version>>,
+    next_checkpoint_pin: u64,
+    /// Physical table files ever hard-linked into a checkpoint this
+    /// process lifetime. A hole punch goes through the shared inode and
+    /// would corrupt the (completed, self-contained) checkpoint, so these
+    /// files are only ever reclaimed by whole-file deletion — which merely
+    /// unlinks the database's name.
+    checkpoint_linked_files: HashSet<u64>,
+    /// Value-log segments ever hard-linked into a checkpoint; same
+    /// punch-suppression rule as `checkpoint_linked_files`.
+    checkpoint_linked_vlogs: HashSet<u64>,
     /// Successful self-healing re-cuts since open.
     recuts: u64,
     /// Structured-event destination; MANIFEST commits are announced here.
@@ -217,6 +231,10 @@ impl VersionSet {
             vlog_retired_pending: Vec::new(),
             vlog_punch_queue: Vec::new(),
             stale_manifests: Vec::new(),
+            checkpoint_pins: HashMap::new(),
+            next_checkpoint_pin: 0,
+            checkpoint_linked_files: HashSet::new(),
+            checkpoint_linked_vlogs: HashSet::new(),
             recuts: 0,
             sink: None,
         }
@@ -374,6 +392,38 @@ impl VersionSet {
         Ok(version)
     }
 
+    /// Pin `version` for an in-progress checkpoint and return the pin id.
+    ///
+    /// The pin does three things at once: the held `Arc` keeps every table
+    /// the checkpoint references alive for [`VersionSet::collect_garbage`],
+    /// any live pin defers value-log punching and segment retirement, and
+    /// every file about to be hard-linked is recorded so later hole punches
+    /// never go through an inode the checkpoint shares.
+    pub fn pin_checkpoint(&mut self, version: &Arc<Version>) -> u64 {
+        let id = self.next_checkpoint_pin;
+        self.next_checkpoint_pin += 1;
+        for (_, _, table) in version.all_tables() {
+            self.checkpoint_linked_files.insert(table.file_number);
+        }
+        for &segment in self.vlog_segments.keys() {
+            self.checkpoint_linked_vlogs.insert(segment);
+        }
+        self.checkpoint_pins.insert(id, Arc::clone(version));
+        id
+    }
+
+    /// Release a checkpoint pin. The linked-file punch suppression is
+    /// deliberately NOT released: the completed checkpoint still shares
+    /// those inodes.
+    pub fn unpin_checkpoint(&mut self, id: u64) {
+        self.checkpoint_pins.remove(&id);
+    }
+
+    /// Number of in-progress checkpoint pins.
+    pub fn checkpoint_pin_count(&self) -> usize {
+        self.checkpoint_pins.len()
+    }
+
     /// Reclaim space: punch dead logical tables out of shared files, delete
     /// files with no live tables, and forget dropped versions. Call only
     /// after the MANIFEST commit that invalidated the victims.
@@ -394,6 +444,13 @@ impl VersionSet {
         for (_, _, table) in self.current.all_tables() {
             live_tables.insert(table.table_id);
         }
+        // Checkpoint-pinned versions may predate the `live` list (e.g. the
+        // version built at recovery is never logged through it).
+        for version in self.checkpoint_pins.values() {
+            for (_, _, table) in version.all_tables() {
+                live_tables.insert(table.table_id);
+            }
+        }
 
         let mut dead_files = Vec::new();
         for (&file_number, info) in &mut self.files {
@@ -406,6 +463,18 @@ impl VersionSet {
                 .any(|r| live_tables.contains(&r.table_id));
             if !any_live {
                 dead_files.push(file_number);
+                continue;
+            }
+            if self.checkpoint_linked_files.contains(&file_number) {
+                // The inode is shared with a checkpoint that may still
+                // reference this region; punching would corrupt it. The
+                // space comes back when the file is fully dead (deletion
+                // only unlinks this database's name).
+                for region in &info.regions {
+                    if !live_tables.contains(&region.table_id) {
+                        table_cache.evict(region.table_id);
+                    }
+                }
                 continue;
             }
             for region in &info.regions {
@@ -453,7 +522,13 @@ impl VersionSet {
             .iter()
             .filter_map(Weak::upgrade)
             .any(|v| !Arc::ptr_eq(&v, &self.current));
-        if old_readers || (self.vlog_punch_queue.is_empty() && self.vlog_retired_pending.is_empty())
+        // An in-progress checkpoint defers ALL vlog reclamation: its pinned
+        // version may resolve pointers through any segment, and the segment
+        // files are about to be (or already are) hard-linked into the
+        // checkpoint dir.
+        if old_readers
+            || !self.checkpoint_pins.is_empty()
+            || (self.vlog_punch_queue.is_empty() && self.vlog_retired_pending.is_empty())
         {
             return;
         }
@@ -462,6 +537,12 @@ impl VersionSet {
         for (segment, offset, len) in punch_queue {
             // Ranges in retired segments are skipped: the whole file goes.
             if !self.vlog_segments.contains_key(&segment) {
+                continue;
+            }
+            // Segments a checkpoint has linked share their inode with it;
+            // the dead range stays in the ledger (so full-file retirement
+            // still fires) but is never punched.
+            if self.checkpoint_linked_vlogs.contains(&segment) {
                 continue;
             }
             // Lazy metadata update, no barrier (§3.2); a failed punch is
@@ -672,13 +753,64 @@ impl VersionSet {
         // Write CURRENT via a temp file + atomic rename (durable rename
         // semantics are modeled by the env).
         let _scope = BarrierScope::new(BarrierCause::CurrentPointer);
-        let tmp = format!("{}.tmp", current_file(&self.db));
-        let mut f = self.env.new_writable_file(&tmp)?;
-        let name = format!("MANIFEST-{manifest_number:06}\n");
-        f.append(name.as_bytes())?;
-        f.sync()?;
-        drop(f);
-        self.env.rename_file(&tmp, &current_file(&self.db))
+        install_current_at(self.env.as_ref(), &self.db, manifest_number)
+    }
+
+    /// Write a self-contained MANIFEST + CURRENT for `version` into `dir`
+    /// — the commit step of an online checkpoint. The table and value-log
+    /// files `version` references must already be linked into `dir`; after
+    /// this returns, `dir` opens as an independent database whose contents
+    /// are exactly the write prefix at `last_sequence`.
+    ///
+    /// CURRENT is written last, via temp-file + atomic rename: a crash
+    /// anywhere before the rename leaves a directory without CURRENT,
+    /// which recovery (and the backup tool) treat as ignorable garbage.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors from the env; the caller discards the partial
+    /// directory.
+    pub fn write_checkpoint_manifest(
+        &self,
+        dir: &str,
+        version: &Arc<Version>,
+        last_sequence: u64,
+    ) -> Result<()> {
+        let linked: HashSet<u64> = self.vlog_segments.keys().copied().collect();
+        let edit = VersionEdit {
+            next_file_number: Some(self.next_file_number),
+            next_table_id: Some(self.next_table_id),
+            last_sequence: Some(last_sequence),
+            log_number: Some(self.log_number),
+            compaction_policy: Some(self.policy),
+            added_tables: version
+                .all_tables()
+                .map(|(level, tag, meta)| (level as u32, tag, meta.as_ref().clone()))
+                .collect(),
+            // Carry the dead-byte ledger for the segments the checkpoint
+            // linked, so the restored database's space accounting (and
+            // eventual retirement) picks up where the source left off.
+            vlog_dead: self
+                .vlog_segments
+                .iter()
+                .filter(|(segment, _)| linked.contains(segment))
+                .flat_map(|(&segment, info)| {
+                    info.dead
+                        .iter()
+                        .map(move |(offset, len)| (segment, offset, len))
+                })
+                .collect(),
+            ..Default::default()
+        };
+        const CHECKPOINT_MANIFEST: u64 = 1;
+        let path = manifest_file(dir, CHECKPOINT_MANIFEST);
+        let mut manifest = new_manifest_writer(self.env.new_writable_file(&path)?);
+        manifest.set_barrier_cause(BarrierCause::Checkpoint);
+        manifest.add_record(&edit.encode())?;
+        manifest.sync()?;
+        drop(manifest);
+        let _scope = BarrierScope::new(BarrierCause::Checkpoint);
+        install_current_at(self.env.as_ref(), dir, CHECKPOINT_MANIFEST)
     }
 
     /// Recover state from CURRENT + MANIFEST; then start a fresh MANIFEST
@@ -859,6 +991,18 @@ impl VersionSet {
     pub fn manifest_recuts(&self) -> u64 {
         self.recuts
     }
+}
+
+/// Point `dir`'s CURRENT at `MANIFEST-<manifest_number>` via a temp file +
+/// atomic rename (durable rename semantics are modeled by the env).
+fn install_current_at(env: &dyn Env, dir: &str, manifest_number: u64) -> Result<()> {
+    let tmp = format!("{}.tmp", current_file(dir));
+    let mut f = env.new_writable_file(&tmp)?;
+    let name = format!("MANIFEST-{manifest_number:06}\n");
+    f.append(name.as_bytes())?;
+    f.sync()?;
+    drop(f);
+    env.rename_file(&tmp, &current_file(dir))
 }
 
 #[cfg(test)]

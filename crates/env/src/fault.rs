@@ -71,6 +71,8 @@ pub enum OpKind {
     OrderingBarrier,
     /// `rename_file`.
     Rename,
+    /// `link_file`.
+    Link,
     /// `delete_file`.
     Delete,
     /// `punch_hole`.
@@ -86,6 +88,7 @@ impl OpKind {
             OpKind::Sync => "sync",
             OpKind::OrderingBarrier => "barrier",
             OpKind::Rename => "rename",
+            OpKind::Link => "link",
             OpKind::Delete => "delete",
             OpKind::PunchHole => "punch",
         }
@@ -118,6 +121,8 @@ pub enum PathKind {
     Sync,
     /// `rename_file` (keyed by the source path).
     Rename,
+    /// `link_file` (keyed by the destination path).
+    Link,
     /// `delete_file`.
     Delete,
     /// `punch_hole`.
@@ -131,6 +136,7 @@ impl PathKind {
             PathKind::Append => op == OpKind::Append,
             PathKind::Sync => matches!(op, OpKind::Sync | OpKind::OrderingBarrier),
             PathKind::Rename => op == OpKind::Rename,
+            PathKind::Link => op == OpKind::Link,
             PathKind::Delete => op == OpKind::Delete,
             PathKind::Punch => op == OpKind::PunchHole,
         }
@@ -142,6 +148,7 @@ impl PathKind {
             PathKind::Append => "append",
             PathKind::Sync => "sync",
             PathKind::Rename => "rename",
+            PathKind::Link => "link",
             PathKind::Delete => "delete",
             PathKind::Punch => "punch",
         }
@@ -153,6 +160,7 @@ impl PathKind {
             "append" => PathKind::Append,
             "sync" => PathKind::Sync,
             "rename" => PathKind::Rename,
+            "link" => PathKind::Link,
             "delete" => PathKind::Delete,
             "punch" => PathKind::Punch,
             other => return Err(format!("unknown op kind `{other}`")),
@@ -749,6 +757,16 @@ impl Env for FaultEnv {
     fn rename_file(&self, from: &str, to: &str) -> Result<()> {
         match self.state.before_op(OpKind::Rename, from, 0) {
             Decision::Proceed => self.inner.rename_file(from, to),
+            Decision::Fail(e) => Err(e),
+            Decision::Torn(_) => unreachable!("torn decision only applies to appends"),
+        }
+    }
+
+    fn link_file(&self, src: &str, dst: &str) -> Result<()> {
+        // Keyed by the destination: checkpoint sweeps target "the Nth link
+        // into checkpoint dir X", which the source name cannot express.
+        match self.state.before_op(OpKind::Link, dst, 0) {
+            Decision::Proceed => self.inner.link_file(src, dst),
             Decision::Fail(e) => Err(e),
             Decision::Torn(_) => unreachable!("torn decision only applies to appends"),
         }

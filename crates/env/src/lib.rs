@@ -230,6 +230,36 @@ pub trait Env: Send + Sync {
     /// Returns [`bolt_common::Error::NotFound`] if the file does not exist.
     fn punch_hole(&self, path: &str, offset: u64, len: u64) -> Result<()>;
 
+    /// Make the immutable file `src` also reachable as `dst` — a hard link
+    /// where the store supports one, a full copy otherwise. Checkpoints use
+    /// this to publish SSTables and value-log segments into a checkpoint
+    /// directory without rewriting their bytes.
+    ///
+    /// The default implementation copies and syncs `dst`, so linked content
+    /// is durable on return in every implementation. Callers must only link
+    /// files that are never appended to again (tables, sealed segments):
+    /// with a true hard link, later writes through either name would alias.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`bolt_common::Error::NotFound`] if `src` does not exist.
+    fn link_file(&self, src: &str, dst: &str) -> Result<()> {
+        let reader = self.new_random_access_file(src)?;
+        let mut out = self.new_writable_file(dst)?;
+        let len = reader.len();
+        let mut offset = 0u64;
+        while offset < len {
+            let chunk = ((len - offset) as usize).min(1 << 20);
+            let data = reader.read(offset, chunk)?;
+            if data.is_empty() {
+                break;
+            }
+            offset += data.len() as u64;
+            out.append(&data)?;
+        }
+        out.sync()
+    }
+
     /// The I/O counters of this environment.
     fn stats(&self) -> &IoStats;
 
@@ -322,6 +352,27 @@ mod tests {
         assert!(data[..1024].iter().all(|&b| b == 0xff));
         assert!(data[1024..5120].iter().all(|&b| b == 0));
         assert!(data[5120..].iter().all(|&b| b == 0xff));
+
+        // Link: both names read the same (immutable) content, and deleting
+        // one name leaves the other intact.
+        env.create_dir_all("db/ckpt").unwrap();
+        env.link_file("db/b.txt", "db/ckpt/b.txt").unwrap();
+        assert!(env.file_exists("db/b.txt"));
+        assert!(env.file_exists("db/ckpt/b.txt"));
+        assert_eq!(env.file_size("db/ckpt/b.txt").unwrap(), 12);
+        let r = env.new_random_access_file("db/ckpt/b.txt").unwrap();
+        assert_eq!(r.read(0, 12).unwrap(), b"hello world!");
+        assert!(env.link_file("db/missing", "db/ckpt/missing").is_err());
+        env.delete_file("db/b.txt").unwrap();
+        assert!(env.file_exists("db/ckpt/b.txt"));
+        assert_eq!(
+            env.new_random_access_file("db/ckpt/b.txt")
+                .unwrap()
+                .read(0, 12)
+                .unwrap(),
+            b"hello world!"
+        );
+        env.link_file("db/ckpt/b.txt", "db/b.txt").unwrap();
 
         // Deletion.
         env.delete_file("db/c.txt").unwrap();

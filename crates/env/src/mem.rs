@@ -240,6 +240,16 @@ impl Env for MemEnv {
         Ok(())
     }
 
+    fn link_file(&self, src: &str, dst: &str) -> Result<()> {
+        // True hard-link semantics: both names share the same inode, so
+        // the destination inherits the source's synced prefix and the
+        // link itself survives a crash iff the source's bytes did.
+        let mut files = self.files.write();
+        let file = files.get(src).cloned().ok_or(Error::NotFound)?;
+        files.insert(dst.to_string(), file);
+        Ok(())
+    }
+
     fn create_dir_all(&self, _path: &str) -> Result<()> {
         Ok(())
     }

@@ -186,6 +186,21 @@ impl Env for RealEnv {
         Ok(())
     }
 
+    fn link_file(&self, src: &str, dst: &str) -> Result<()> {
+        let src = self.resolve(src);
+        if !src.exists() {
+            return Err(Error::NotFound);
+        }
+        let dst = self.resolve(dst);
+        // Replace a stale destination (e.g. a retried checkpoint) the way
+        // rename does.
+        if dst.exists() {
+            std::fs::remove_file(&dst)?;
+        }
+        std::fs::hard_link(&src, &dst)?;
+        Ok(())
+    }
+
     fn create_dir_all(&self, path: &str) -> Result<()> {
         std::fs::create_dir_all(self.resolve(path))?;
         Ok(())

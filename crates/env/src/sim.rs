@@ -314,6 +314,12 @@ impl Env for SimEnv {
         self.inner.rename_file(from, to)
     }
 
+    fn link_file(&self, src: &str, dst: &str) -> Result<()> {
+        // A hard link is pure metadata work (no data movement) — delegate so
+        // the link shares the inner file instead of paying the copy default.
+        self.inner.link_file(src, dst)
+    }
+
     fn create_dir_all(&self, path: &str) -> Result<()> {
         self.inner.create_dir_all(path)
     }

@@ -40,6 +40,7 @@ impl Config {
                 "crates/core/src/versions.rs".into(),
                 "crates/core/src/compaction.rs".into(),
                 "crates/wal/src/".into(),
+                "crates/tools/src/backup.rs".into(),
             ],
             commit_path: vec![
                 "crates/core/src/versions.rs".into(),

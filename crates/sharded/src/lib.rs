@@ -252,6 +252,43 @@ impl ShardedDb {
         self.shards[self.router.route(key)].get(key)
     }
 
+    /// Delete every key in `[begin, end)` across all shards, atomically.
+    ///
+    /// The tombstone is clipped to each owning shard's keyspace and fanned
+    /// out through [`ShardedDb::write_batch`], so a span touching several
+    /// shards commits via the 2PC path: either every shard applies its
+    /// clipped tombstone or (before the decide record) none does.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidArgument`] when `begin >= end`; otherwise
+    /// propagates shard write and coordinator-log errors.
+    pub fn delete_range(&self, begin: &[u8], end: &[u8]) -> Result<()> {
+        if begin >= end {
+            return Err(Error::InvalidArgument(
+                "delete_range requires begin < end".into(),
+            ));
+        }
+        let mut batch = WriteBatch::new();
+        batch.delete_range(begin, end);
+        self.write_batch(batch)
+    }
+
+    /// Split one ranged tombstone into per-shard slices, clipped to each
+    /// shard's ownership interval (hash shards own the whole keyspace, so
+    /// every shard receives the full span).
+    fn fan_range_delete(&self, begin: &[u8], end: &[u8], slices: &mut [WriteBatch]) {
+        let (first, last) = self.router.route_span(begin, end);
+        for (i, slice) in slices.iter_mut().enumerate().take(last + 1).skip(first) {
+            let (lo, hi) = self.router.shard_bounds(i);
+            let b = lo.map_or(begin, |lo| begin.max(lo));
+            let e = hi.map_or(end, |hi| end.min(hi));
+            if b < e {
+                slice.delete_range(b, e);
+            }
+        }
+    }
+
     /// Apply `batch` atomically across shards.
     ///
     /// A batch touching one shard commits through that shard's ordinary
@@ -273,6 +310,12 @@ impl ShardedDb {
         let n = self.shards.len();
         let mut slices: Vec<WriteBatch> = (0..n).map(|_| WriteBatch::new()).collect();
         batch.for_each(|vt, key, value| {
+            if vt == ValueType::RangeTombstone {
+                // key = begin, value = exclusive end; spans fan out to every
+                // owning shard, clipped to its keyspace.
+                self.fan_range_delete(key, value, &mut slices);
+                return;
+            }
             let s = self.router.route(key);
             match vt {
                 ValueType::Value => slices[s].put(key, value),
@@ -281,6 +324,7 @@ impl ShardedDb {
                 // inside each shard's write path), but preserve them if a
                 // pre-encoded batch is replayed through here.
                 ValueType::ValuePointer => slices[s].put_pointer(key, value),
+                ValueType::RangeTombstone => unreachable!("handled above"),
             }
         })?;
         let participants: Vec<usize> = (0..n).filter(|&i| !slices[i].is_empty()).collect();

@@ -105,6 +105,36 @@ impl Router {
         }
     }
 
+    /// The inclusive span of shard indexes that may own keys in
+    /// `[begin, end)`. Hash routing scatters a key range over every shard;
+    /// range routing confines it to the shards whose ownership intervals
+    /// the range overlaps.
+    pub fn route_span(&self, begin: &[u8], end: &[u8]) -> (usize, usize) {
+        match self {
+            Router::Hash { shards } => (0, shards - 1),
+            Router::Range { splits } => {
+                let first = self.route(begin);
+                // Highest shard owning any key strictly below `end`: the
+                // number of split points strictly below it.
+                let last = splits.partition_point(|s| s.as_slice() < end);
+                (first, last.max(first))
+            }
+        }
+    }
+
+    /// Shard `i`'s ownership interval as `(lower, upper)` bounds, `None`
+    /// meaning unbounded. Hash shards own the whole keyspace.
+    pub fn shard_bounds(&self, i: usize) -> (Option<&[u8]>, Option<&[u8]>) {
+        match self {
+            Router::Hash { .. } => (None, None),
+            Router::Range { splits } => {
+                let lo = i.checked_sub(1).and_then(|p| splits.get(p));
+                let hi = splits.get(i);
+                (lo.map(Vec::as_slice), hi.map(Vec::as_slice))
+            }
+        }
+    }
+
     /// Serialize for the `SHARDS` file.
     pub fn encode(&self) -> String {
         match self {

@@ -12,7 +12,7 @@ use bolt_env::WritableFile;
 
 use crate::block::BlockBuilder;
 use crate::format::{frame_block, BlockHandle, Footer};
-use crate::ikey::extract_user_key;
+use crate::ikey::{extract_user_key, ValueType};
 
 /// Which part of each key feeds the bloom filter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -74,6 +74,8 @@ pub struct BuiltTable {
     pub size: u64,
     /// Number of entries.
     pub num_entries: u64,
+    /// Number of range-tombstone entries among them.
+    pub range_tombstones: u64,
     /// Smallest key added.
     pub smallest: Vec<u8>,
     /// Largest key added.
@@ -90,6 +92,7 @@ pub struct TableBuilder<'a> {
     filter_keys: Vec<Vec<u8>>,
     pending_index: Option<(Vec<u8>, BlockHandle)>,
     num_entries: u64,
+    range_tombstones: u64,
     smallest: Option<Vec<u8>>,
     largest: Option<Vec<u8>>,
     finished: bool,
@@ -118,6 +121,7 @@ impl<'a> TableBuilder<'a> {
             filter_keys: Vec::new(),
             pending_index: None,
             num_entries: 0,
+            range_tombstones: 0,
             smallest: None,
             largest: None,
             finished: false,
@@ -152,6 +156,11 @@ impl<'a> TableBuilder<'a> {
         }
         self.data_block.add(key, value);
         self.num_entries += 1;
+        // Internal-key tag layout: type lives in the low byte of the
+        // fixed64 tag, i.e. 8 bytes from the end.
+        if key.len() >= 8 && key[key.len() - 8] == ValueType::RangeTombstone as u8 {
+            self.range_tombstones += 1;
+        }
         if self.data_block.current_size_estimate() >= self.format.block_size {
             self.flush_data_block()?;
         }
@@ -239,6 +248,7 @@ impl<'a> TableBuilder<'a> {
             offset: self.base_offset,
             size: self.file.len() - self.base_offset,
             num_entries: self.num_entries,
+            range_tombstones: self.range_tombstones,
             smallest: self.smallest.expect("non-empty"),
             largest: self.largest.expect("non-empty"),
         })

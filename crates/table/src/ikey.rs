@@ -17,13 +17,18 @@ pub enum ValueType {
     /// An indirect value: the entry's payload is a fixed-size pointer into
     /// the value log, not the value itself (WAL-time key-value separation).
     ValuePointer = 2,
+    /// A ranged tombstone: deletes every user key in `[key, value)` with a
+    /// smaller sequence number. The entry's key is the range begin, its
+    /// payload the exclusive range end. Flows through WAL/memtable/SSTable
+    /// like a point entry; reads merge it in via a tombstone overlay.
+    RangeTombstone = 3,
 }
 
 /// The type a point-lookup seek key carries. Must be the **numerically
 /// largest** type: within one user key the comparator orders tags
 /// descending, so a seek tag of `(snapshot << 8) | max_type` sorts at or
 /// before every entry with `sequence <= snapshot` regardless of its type.
-pub const VALUE_TYPE_FOR_SEEK: ValueType = ValueType::ValuePointer;
+pub const VALUE_TYPE_FOR_SEEK: ValueType = ValueType::RangeTombstone;
 
 impl ValueType {
     /// Decode a type byte.
@@ -36,6 +41,7 @@ impl ValueType {
             0 => Ok(ValueType::Deletion),
             1 => Ok(ValueType::Value),
             2 => Ok(ValueType::ValuePointer),
+            3 => Ok(ValueType::RangeTombstone),
             other => Err(Error::corruption(format!("bad value type {other}"))),
         }
     }
@@ -146,6 +152,7 @@ mod tests {
                 ValueType::Deletion,
                 ValueType::Value,
                 ValueType::ValuePointer,
+                ValueType::RangeTombstone,
             ] {
                 let tag = pack_tag(seq, vt);
                 assert_eq!(unpack_tag(tag).unwrap(), (seq, vt));
@@ -208,6 +215,7 @@ mod tests {
             ValueType::Deletion,
             ValueType::Value,
             ValueType::ValuePointer,
+            ValueType::RangeTombstone,
         ] {
             let exact = make_internal_key(b"k", 10, vt);
             assert!(

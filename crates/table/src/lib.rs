@@ -45,9 +45,11 @@ pub mod cache;
 pub mod comparator;
 pub mod format;
 pub mod ikey;
+pub mod rangedel;
 pub mod table;
 
 pub use builder::{BuiltTable, FilterKey, TableBuilder, TableFormat};
 pub use cache::{TableCache, TableSpec};
 pub use comparator::{BytewiseComparator, Comparator, InternalKeyComparator};
+pub use rangedel::{RangeTombstone, RangeTombstoneSet};
 pub use table::{BlockCache, BlockCacheKey, Table, TableIter, TableReadOptions};

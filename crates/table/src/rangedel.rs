@@ -1,0 +1,226 @@
+//! Range tombstones and the fragmented overlay used to apply them.
+//!
+//! A range tombstone deletes every user key in `[begin, end)` with a
+//! sequence number smaller than its own. Tombstones are stored as ordinary
+//! internal-key entries (`key = begin`, `type = RangeTombstone`,
+//! `value = end`) so they flow through WAL, memtable, flush, and compaction
+//! unchanged; the read path never surfaces them directly. Instead it builds
+//! a [`RangeTombstoneSet`] — the spans *fragmented* at every tombstone
+//! boundary into disjoint intervals, each carrying the sequence numbers of
+//! all tombstones covering it — and asks whether a point entry is covered.
+//!
+//! Fragmentation makes lookups a single binary search and keeps the overlay
+//! snapshot-aware: within a fragment the sequences are sorted, so "the
+//! newest tombstone visible at snapshot `s`" is a partition point, and an
+//! entry is hidden iff its own sequence is below that.
+
+use crate::ikey::SequenceNumber;
+
+/// One ranged tombstone: deletes `[begin, end)` below `sequence`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RangeTombstone {
+    /// Inclusive start of the deleted span of user keys.
+    pub begin: Vec<u8>,
+    /// Exclusive end of the deleted span of user keys.
+    pub end: Vec<u8>,
+    /// Sequence number the tombstone was written at; only entries with a
+    /// *smaller* sequence are hidden.
+    pub sequence: SequenceNumber,
+}
+
+impl RangeTombstone {
+    /// `true` if `user_key` lies inside `[begin, end)`.
+    pub fn covers_key(&self, user_key: &[u8]) -> bool {
+        self.begin.as_slice() <= user_key && user_key < self.end.as_slice()
+    }
+}
+
+/// A disjoint interval of user keys and the (ascending) sequences of every
+/// tombstone covering it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Fragment {
+    begin: Vec<u8>,
+    end: Vec<u8>,
+    /// Ascending, deduplicated.
+    seqs: Vec<SequenceNumber>,
+}
+
+/// An immutable, query-optimized overlay over a set of range tombstones.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RangeTombstoneSet {
+    raw: Vec<RangeTombstone>,
+    frags: Vec<Fragment>,
+}
+
+impl RangeTombstoneSet {
+    /// Build the fragmented overlay from tombstones in any order.
+    /// Tombstones with `begin >= end` are ignored (the write path rejects
+    /// them, but corrupt or adversarial inputs must not break lookups).
+    pub fn build(mut raw: Vec<RangeTombstone>) -> Self {
+        raw.retain(|t| t.begin < t.end);
+        raw.sort_by(|a, b| a.begin.cmp(&b.begin).then(a.sequence.cmp(&b.sequence)));
+        // Every begin/end is a fragment boundary; between two adjacent
+        // boundaries the covering set is constant.
+        let mut bounds: Vec<&[u8]> = Vec::with_capacity(raw.len() * 2);
+        for t in &raw {
+            bounds.push(&t.begin);
+            bounds.push(&t.end);
+        }
+        bounds.sort();
+        bounds.dedup();
+        let mut frags: Vec<Fragment> = Vec::new();
+        for pair in bounds.windows(2) {
+            let (lo, hi) = (pair[0], pair[1]);
+            let mut seqs: Vec<SequenceNumber> = raw
+                .iter()
+                .filter(|t| t.begin.as_slice() <= lo && hi <= t.end.as_slice())
+                .map(|t| t.sequence)
+                .collect();
+            if seqs.is_empty() {
+                continue;
+            }
+            seqs.sort_unstable();
+            seqs.dedup();
+            // Merge with the previous fragment when adjacent and identical —
+            // N stacked tombstones otherwise produce O(N^2) fragments.
+            if let Some(prev) = frags.last_mut() {
+                if prev.end.as_slice() == lo && prev.seqs == seqs {
+                    prev.end = hi.to_vec();
+                    continue;
+                }
+            }
+            frags.push(Fragment {
+                begin: lo.to_vec(),
+                end: hi.to_vec(),
+                seqs,
+            });
+        }
+        RangeTombstoneSet { raw, frags }
+    }
+
+    /// `true` when the set holds no tombstones.
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+
+    /// Number of tombstones the set was built from.
+    pub fn len(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// The tombstones the set was built from (sorted by begin key).
+    pub fn raw(&self) -> &[RangeTombstone] {
+        &self.raw
+    }
+
+    /// Sequence of the newest tombstone covering `user_key` that is visible
+    /// at `snapshot`, or 0 when none covers it.
+    pub fn max_covering_seq(&self, user_key: &[u8], snapshot: SequenceNumber) -> SequenceNumber {
+        if self.frags.is_empty() {
+            return 0;
+        }
+        // Last fragment with begin <= user_key.
+        let idx = self
+            .frags
+            .partition_point(|f| f.begin.as_slice() <= user_key);
+        if idx == 0 {
+            return 0;
+        }
+        let frag = &self.frags[idx - 1];
+        if user_key >= frag.end.as_slice() {
+            return 0;
+        }
+        // Newest sequence <= snapshot (seqs ascending).
+        let cut = frag.seqs.partition_point(|&s| s <= snapshot);
+        if cut == 0 {
+            0
+        } else {
+            frag.seqs[cut - 1]
+        }
+    }
+
+    /// `true` when an entry `(user_key, entry_seq)` is hidden at `snapshot`
+    /// by some tombstone in the set.
+    pub fn covers(
+        &self,
+        user_key: &[u8],
+        entry_seq: SequenceNumber,
+        snapshot: SequenceNumber,
+    ) -> bool {
+        entry_seq < self.max_covering_seq(user_key, snapshot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(begin: &[u8], end: &[u8], sequence: SequenceNumber) -> RangeTombstone {
+        RangeTombstone {
+            begin: begin.to_vec(),
+            end: end.to_vec(),
+            sequence,
+        }
+    }
+
+    #[test]
+    fn empty_set_covers_nothing() {
+        let set = RangeTombstoneSet::build(Vec::new());
+        assert!(set.is_empty());
+        assert_eq!(set.max_covering_seq(b"k", u64::MAX), 0);
+        assert!(!set.covers(b"k", 0, u64::MAX));
+    }
+
+    #[test]
+    fn single_tombstone_bounds() {
+        let set = RangeTombstoneSet::build(vec![t(b"b", b"f", 10)]);
+        assert_eq!(set.max_covering_seq(b"a", 100), 0);
+        assert_eq!(set.max_covering_seq(b"b", 100), 10, "begin inclusive");
+        assert_eq!(set.max_covering_seq(b"e", 100), 10);
+        assert_eq!(set.max_covering_seq(b"f", 100), 0, "end exclusive");
+        // Entry sequencing: only strictly older entries are covered.
+        assert!(set.covers(b"c", 9, 100));
+        assert!(!set.covers(b"c", 10, 100));
+        assert!(!set.covers(b"c", 11, 100));
+    }
+
+    #[test]
+    fn snapshot_awareness() {
+        let set = RangeTombstoneSet::build(vec![t(b"a", b"z", 50)]);
+        // A snapshot older than the tombstone does not see it.
+        assert_eq!(set.max_covering_seq(b"m", 49), 0);
+        assert!(!set.covers(b"m", 1, 49));
+        assert!(set.covers(b"m", 1, 50));
+    }
+
+    #[test]
+    fn overlapping_tombstones_fragment() {
+        let set =
+            RangeTombstoneSet::build(vec![t(b"a", b"m", 10), t(b"g", b"t", 20), t(b"c", b"e", 5)]);
+        assert_eq!(set.max_covering_seq(b"b", 100), 10);
+        assert_eq!(set.max_covering_seq(b"d", 100), 10, "newest wins");
+        assert_eq!(set.max_covering_seq(b"h", 100), 20);
+        assert_eq!(set.max_covering_seq(b"n", 100), 20);
+        assert_eq!(set.max_covering_seq(b"t", 100), 0);
+        // Snapshot between the two: only the older tombstone applies.
+        assert_eq!(set.max_covering_seq(b"h", 15), 10);
+        assert_eq!(set.max_covering_seq(b"n", 15), 0);
+    }
+
+    #[test]
+    fn adjacent_identical_fragments_merge() {
+        // Two abutting tombstones at the same sequence collapse into one
+        // fragment.
+        let set = RangeTombstoneSet::build(vec![t(b"a", b"c", 7), t(b"c", b"e", 7)]);
+        assert_eq!(set.frags.len(), 1);
+        assert_eq!(set.max_covering_seq(b"b", 100), 7);
+        assert_eq!(set.max_covering_seq(b"d", 100), 7);
+    }
+
+    #[test]
+    fn inverted_and_empty_ranges_ignored() {
+        let set = RangeTombstoneSet::build(vec![t(b"z", b"a", 9), t(b"k", b"k", 9)]);
+        assert!(set.is_empty());
+        assert_eq!(set.max_covering_seq(b"k", 100), 0);
+    }
+}

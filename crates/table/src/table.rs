@@ -7,7 +7,7 @@
 //! proportional to the table size and whose cache-miss penalty drives the
 //! paper's §2.6 analysis.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use bolt_common::bloom::BloomFilterPolicy;
 use bolt_common::cache::LruCache;
@@ -18,7 +18,8 @@ use crate::block::{Block, BlockIter};
 use crate::builder::FilterKey;
 use crate::comparator::Comparator;
 use crate::format::{read_block, BlockHandle, Footer, FOOTER_SIZE};
-use crate::ikey::extract_user_key;
+use crate::ikey::{extract_user_key, parse_internal_key, ValueType};
+use crate::rangedel::RangeTombstone;
 
 /// Key of a cached block: `(cache id, absolute offset in file)`.
 pub type BlockCacheKey = (u64, u64);
@@ -58,6 +59,8 @@ pub struct Table {
     filter: Option<Vec<u8>>,
     opts: TableReadOptions,
     metadata_bytes: usize,
+    /// Range tombstones found in the table, scanned once on first use.
+    tombstones: OnceLock<Arc<Vec<RangeTombstone>>>,
 }
 
 impl std::fmt::Debug for Table {
@@ -112,6 +115,7 @@ impl Table {
             filter,
             opts,
             metadata_bytes,
+            tombstones: OnceLock::new(),
         })
     }
 
@@ -172,6 +176,35 @@ impl Table {
             return Ok(None);
         }
         Ok(Some((iter.key().to_vec(), iter.value().to_vec())))
+    }
+
+    /// The range tombstones stored in this table. The first call scans the
+    /// whole table and memoizes the result; tables are immutable, so the
+    /// scan happens at most once per open reader.
+    ///
+    /// # Errors
+    ///
+    /// Returns block-read errors from the scan.
+    pub fn range_tombstones(self: &Arc<Self>) -> Result<Arc<Vec<RangeTombstone>>> {
+        if let Some(cached) = self.tombstones.get() {
+            return Ok(Arc::clone(cached));
+        }
+        let mut found = Vec::new();
+        let mut iter = self.iter();
+        iter.seek_to_first()?;
+        while iter.valid() {
+            let parsed = parse_internal_key(iter.key())?;
+            if parsed.value_type == ValueType::RangeTombstone {
+                found.push(RangeTombstone {
+                    begin: parsed.user_key.to_vec(),
+                    end: iter.value().to_vec(),
+                    sequence: parsed.sequence,
+                });
+            }
+            iter.next()?;
+        }
+        let found = Arc::new(found);
+        Ok(Arc::clone(self.tombstones.get_or_init(|| found)))
     }
 
     /// Create a two-level iterator over the whole table.
@@ -486,6 +519,36 @@ mod tests {
         let (small, _) = build_table(&env, "small", 100);
         let (large, _) = build_table(&env, "large", 10_000);
         assert!(large.metadata_size() > small.metadata_size() * 10);
+    }
+
+    #[test]
+    fn range_tombstones_scanned_once_and_memoized() {
+        let env = MemEnv::new();
+        let mut file = env.new_writable_file("t").unwrap();
+        let mut builder = TableBuilder::new(file.as_mut(), TableFormat::default());
+        builder
+            .add(&make_internal_key(b"a", 5, ValueType::Value), b"v")
+            .unwrap();
+        builder
+            .add(&make_internal_key(b"b", 9, ValueType::RangeTombstone), b"f")
+            .unwrap();
+        builder
+            .add(&make_internal_key(b"c", 3, ValueType::Value), b"v")
+            .unwrap();
+        let built = builder.finish().unwrap();
+        file.sync().unwrap();
+        drop(file);
+        let file = env.new_random_access_file("t").unwrap();
+        let table =
+            Arc::new(Table::open(file, built.offset, built.size, 1, read_options(None)).unwrap());
+        let tombs = table.range_tombstones().unwrap();
+        assert_eq!(tombs.len(), 1);
+        assert_eq!(tombs[0].begin, b"b");
+        assert_eq!(tombs[0].end, b"f");
+        assert_eq!(tombs[0].sequence, 9);
+        // Second call returns the memoized Arc.
+        let again = table.range_tombstones().unwrap();
+        assert!(Arc::ptr_eq(&tombs, &again));
     }
 
     #[test]

@@ -24,11 +24,15 @@
 
 #![warn(missing_docs)]
 
+mod backup;
 mod bench;
 pub mod json;
 mod sweep;
 mod sweep2pc;
 
+pub use backup::{
+    backup_create, backup_restore, backup_verify, render_backup_report, BackupReport,
+};
 pub use bench::{run_bench, BenchArgs, BENCH_SCHEMA};
 pub use sweep::{render_report, run_crash_sweep, SweepConfig, SweepCoverage, SweepOutcome};
 pub use sweep2pc::{
@@ -137,6 +141,14 @@ fn render_metrics_text(metrics: &MetricsSnapshot) -> String {
     )
     .expect("write");
     writeln!(out, "  manifest re-cuts {}", metrics.manifest_recuts).expect("write");
+    if s.range_deletes > 0 || s.checkpoints > 0 || metrics.range_tombstones_live > 0 {
+        writeln!(
+            out,
+            "  range deletes {} ({} tombstones live) | checkpoints {}",
+            s.range_deletes, metrics.range_tombstones_live, s.checkpoints
+        )
+        .expect("write");
+    }
     if s.vlog_values_separated > 0 {
         writeln!(
             out,
@@ -310,7 +322,17 @@ pub fn trace_workload() -> Result<(Vec<bolt_core::TraceEvent>, MetricsSnapshot)>
         // Drain incrementally so the ring buffer cannot overflow mid-run.
         events.extend(db.events());
     }
+    // Schema v4 events: a ranged tombstone straddling a resident prefix
+    // (range_delete, then dropped by the compaction below) and an online
+    // checkpoint (checkpoint_begin/checkpoint_end plus checkpoint-cause
+    // barriers). The checkpoint comes after the final compaction so its
+    // pinned version does not suppress the hole_punch events above.
+    db.delete_range(b"r01/", b"r02/")?;
+    db.flush()?;
+    events.extend(db.events());
     db.compact_until_quiet()?;
+    events.extend(db.events());
+    db.checkpoint("trace-ckpt")?;
     events.extend(db.events());
     db.close()?;
     // Close issues the final WAL barrier; pick it up before snapshotting.
@@ -857,6 +879,8 @@ fn stale() {
             "{prom}"
         );
         assert!(prom.contains("bolt_manifest_recuts_total"), "{prom}");
+        assert!(prom.contains("bolt_checkpoints_total"), "{prom}");
+        assert!(prom.contains("bolt_range_tombstones_live"), "{prom}");
         assert!(text.contains("manifest re-cuts"), "{text}");
     }
 
@@ -870,6 +894,12 @@ fn stale() {
         // always carries the self-healing re-cut and its barrier cause.
         assert!(out.contains("\"type\":\"manifest_recut\""), "{out}");
         assert!(out.contains("\"cause\":\"manifest_recut\""), "{out}");
+        // Schema v4 scenario events: the workload issues one delete_range
+        // and one online checkpoint.
+        assert!(out.contains("\"type\":\"range_delete\""), "{out}");
+        assert!(out.contains("\"type\":\"checkpoint_begin\""), "{out}");
+        assert!(out.contains("\"type\":\"checkpoint_end\""), "{out}");
+        assert!(out.contains("\"cause\":\"checkpoint\""), "{out}");
         let schema = std::fs::read_to_string(concat!(
             env!("CARGO_MANIFEST_DIR"),
             "/../../schemas/trace.schema.json"

@@ -32,15 +32,26 @@
 //!                                   full runs write BENCH_PR9.json and
 //!                                   enforce the accumulated perf floors,
 //!                                   --smoke checks the harness only
+//!   backup create <db> <backup>     checkpoint the database into a new
+//!                                   generation of an incremental backup
+//!                                   (unchanged payloads are shared)
+//!   backup restore <backup> <dest>  rebuild a database image from a
+//!          [--gen N]                generation (latest by default), every
+//!                                   byte CRC-verified, CURRENT landing last
+//!   backup verify <backup>          check every generation's manifest and
+//!                                   payload CRCs
 //!   crash-sweep [points] [seed]     crash-point + EIO sweep (in-memory,
 //!               [--policy=<p>]      needs no db-dir); --policy runs the
 //!               [--sharded]         sweep under leveled (default),
 //!               [--vlog]            size-tiered, or lazy-leveled victim
-//!                                   selection; with --sharded, sweep
+//!               [--checkpoint]      selection; with --sharded, sweep
 //!                                   cross-shard 2PC commit windows; with
 //!                                   --vlog, run under WAL-time value
 //!                                   separation and force-cover every
-//!                                   value-log op as a crash point
+//!                                   value-log op as a crash point; with
+//!                                   --checkpoint, end the workload with an
+//!                                   online checkpoint, force-cover its
+//!                                   window, and check invariant C1
 //!   lint [path] [--config FILE]     barrier-ordering/lock-discipline
 //!        [--json] [--validate F]    static analysis (alias of bolt-lint);
 //!                                   with --json, findings are JSON Lines,
@@ -59,7 +70,7 @@ use bolt_env::{Env, RealEnv};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: bolt-tool <stat|stats|dump-manifest|dump-tables|scan|get|put|delete|load|compact|verify> <db-dir> [args...] [--profile <name>] [--policy=<p>]\n       bolt-tool stat <db-dir> [--json|--prometheus] [--per-shard]\n       bolt-tool bench [--smoke] [--out FILE] [--suite trajectory|policies|value-separation]*\n       bolt-tool trace [--json] [--validate SCHEMA]\n       bolt-tool crash-sweep [max-points] [seed] [--policy=<p>] [--sharded] [--vlog]\n       bolt-tool lint [path] [--config FILE] [--json] [--validate SCHEMA]"
+        "usage: bolt-tool <stat|stats|dump-manifest|dump-tables|scan|get|put|delete|load|compact|verify> <db-dir> [args...] [--profile <name>] [--policy=<p>]\n       bolt-tool stat <db-dir> [--json|--prometheus] [--per-shard]\n       bolt-tool backup <create <db-dir>|restore [--gen N]|verify> <backup-dir> [<dest-dir>]\n       bolt-tool bench [--smoke] [--out FILE] [--suite trajectory|policies|value-separation]*\n       bolt-tool trace [--json] [--validate SCHEMA]\n       bolt-tool crash-sweep [max-points] [seed] [--policy=<p>] [--sharded] [--vlog] [--checkpoint]\n       bolt-tool lint [path] [--config FILE] [--json] [--validate SCHEMA]"
     );
     ExitCode::from(2)
 }
@@ -99,12 +110,15 @@ fn crash_sweep(args: &[String]) -> ExitCode {
     let mut positional: Vec<&String> = Vec::new();
     let mut sharded = false;
     let mut vlog = false;
+    let mut checkpoint = false;
     let mut policy = bolt_core::CompactionPolicyKind::Leveled;
     for arg in &args[1..] {
         if arg == "--sharded" {
             sharded = true;
         } else if arg == "--vlog" {
             vlog = true;
+        } else if arg == "--checkpoint" {
+            checkpoint = true;
         } else if let Some(name) = arg.strip_prefix("--policy=") {
             policy = match bolt_core::CompactionPolicyKind::parse(name) {
                 Some(policy) => policy,
@@ -126,6 +140,10 @@ fn crash_sweep(args: &[String]) -> ExitCode {
         }
         if vlog {
             eprintln!("error: --vlog is not supported with --sharded");
+            return ExitCode::from(2);
+        }
+        if checkpoint {
+            eprintln!("error: --checkpoint is not supported with --sharded");
             return ExitCode::from(2);
         }
         let mut cfg = bolt_tools::Sharded2pcConfig::default();
@@ -153,6 +171,7 @@ fn crash_sweep(args: &[String]) -> ExitCode {
     let mut cfg = bolt_tools::SweepConfig {
         policy,
         vlog,
+        checkpoint,
         ..bolt_tools::SweepConfig::default()
     };
     if let Some(points) = positional.first().and_then(|s| s.parse().ok()) {
@@ -169,6 +188,80 @@ fn crash_sweep(args: &[String]) -> ExitCode {
             } else {
                 ExitCode::FAILURE
             }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `bolt-tool backup <create|restore|verify> ...` — incremental backups
+/// built on online checkpoints. `create` opens the database (honouring
+/// `--profile` / `--policy=`), checkpoints it into the backup's staging
+/// area and commits a new generation; `restore` rebuilds a database image
+/// from a generation with every byte CRC-verified; `verify` checks every
+/// generation end to end.
+fn backup(args: &[String], profile_name: &str) -> ExitCode {
+    let mut positional: Vec<&String> = Vec::new();
+    let mut policy = None;
+    let mut generation: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if let Some(name) = arg.strip_prefix("--policy=") {
+            policy = match bolt_core::CompactionPolicyKind::parse(name) {
+                Some(policy) => Some(policy),
+                None => {
+                    eprintln!(
+                        "error: unknown policy `{name}` (try: leveled, size-tiered, lazy-leveled)"
+                    );
+                    return ExitCode::from(2);
+                }
+            };
+        } else if arg == "--gen" {
+            generation = match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => Some(n),
+                None => return usage(),
+            };
+        } else {
+            positional.push(arg);
+        }
+    }
+    let env: Arc<dyn Env> = Arc::new(RealEnv::new("."));
+    let result = match positional.as_slice() {
+        [verb, db, backup_dir] if verb.as_str() == "create" => {
+            let mut opts = match bolt_tools::profile(profile_name) {
+                Ok(opts) => opts,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            if let Some(p) = policy {
+                opts.compaction_policy = p;
+            }
+            bolt_core::Db::open(Arc::clone(&env), db, opts)
+                .and_then(|db| {
+                    let report = bolt_tools::backup_create(&env, &db, backup_dir);
+                    db.close()?;
+                    report
+                })
+                .map(|r| bolt_tools::render_backup_report("create", &r))
+        }
+        [verb, backup_dir, dest] if verb.as_str() == "restore" => {
+            bolt_tools::backup_restore(&env, backup_dir, generation, dest)
+                .map(|r| bolt_tools::render_backup_report("restore", &r))
+        }
+        [verb, backup_dir] if verb.as_str() == "verify" => {
+            bolt_tools::backup_verify(&env, backup_dir)
+                .map(|r| bolt_tools::render_backup_report("verify", &r))
+        }
+        _ => return usage(),
+    };
+    match result {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
         }
         Err(e) => {
             eprintln!("error: {e}");
@@ -313,6 +406,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("crash-sweep") {
         return crash_sweep(&args);
+    }
+    if args.first().map(String::as_str) == Some("backup") {
+        return backup(&args[1..], &profile_name);
     }
     if args.first().map(String::as_str) == Some("lint") {
         return lint(&args[1..]);

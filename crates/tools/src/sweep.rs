@@ -31,6 +31,22 @@
 //!   every stored pointer; a pointer into missing, truncated, or punched
 //!   value-log bytes surfaces as a `Corruption` error and is reported).
 //!
+//! The workload also runs a *range-delete phase* (a dedicated `rd*` key
+//! space whose middle is covered by one ranged tombstone, then partially
+//! resurrected), checked after every crash as:
+//!
+//! * **I5 — range-tombstone durability**: once the tombstone is durable,
+//!   covered keys stay gone (unless durably reborn); uncovered keys and
+//!   not-yet-deleted keys read back their exact durable values.
+//!
+//! With [`SweepConfig::checkpoint`] the workload ends with an online
+//! [`Db::checkpoint`] into `ckpt/`, every op in the checkpoint window is a
+//! forced crash point, and each crash additionally checks DESIGN.md §15:
+//!
+//! * **C1 — checkpoint atomicity**: an *acked* checkpoint directory opens
+//!   cleanly and scans byte-identical to the pinned snapshot; an unacked
+//!   one either lacks `CURRENT` (ignorable garbage) or opens cleanly.
+//!
 //! Invariant violations are *collected*, not thrown, so one sweep reports
 //! every broken crash point at once.
 
@@ -56,8 +72,55 @@ const FILLER_PER_ROUND: u32 = 60;
 /// rewritten to kill its logical tables while the flanks stay live.
 const HOLE_KEYS: u32 = 120;
 
+/// Keys in the range-delete phase key space (`rd0000..`).
+const RD_KEYS: u32 = 90;
+/// The ranged tombstone covers `[RD_DEL_BEGIN, RD_DEL_END)`.
+const RD_DEL_BEGIN: u32 = 20;
+const RD_DEL_END: u32 = 70;
+/// Covered keys rewritten ("reborn") after the tombstone.
+const RD_REBIRTH_BEGIN: u32 = 30;
+const RD_REBIRTH_END: u32 = 35;
+
 fn hole_key(i: u32) -> String {
     format!("h{i:04}")
+}
+
+fn rd_key(i: u32) -> String {
+    format!("rd{i:04}")
+}
+
+fn rd_alive(i: u32) -> Vec<u8> {
+    // Padding pushes the value past the vlog separation threshold, so in
+    // vlog mode the tombstone covers separated values.
+    format!("alive-{i:04}-{}", "a".repeat(72)).into_bytes()
+}
+
+fn rd_reborn(i: u32) -> Vec<u8> {
+    format!("reborn-{i:04}-{}", "b".repeat(72)).into_bytes()
+}
+
+/// How far the workload's range-delete phase provably got, in durability
+/// terms. Each transition is recorded *around* the call that makes it
+/// true, so after a crash the recovered state can be asserted exactly at
+/// the boundaries and left indeterminate in between (an unsynced
+/// tombstone may or may not have reached the WAL).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+enum RdPhase {
+    /// Phase not reached (or its writes not yet flushed).
+    #[default]
+    NotStarted,
+    /// All `rd*` writes flushed: they are durable.
+    WritesDurable,
+    /// `delete_range` was issued; its ack is unknown.
+    DeleteAttempted,
+    /// `delete_range` returned `Ok` (unsynced).
+    DeleteAcked,
+    /// A flush completed after the ack: the tombstone is durable.
+    DeleteDurable,
+    /// Rebirth writes were issued over the covered range.
+    RebirthAttempted,
+    /// Rebirth writes flushed: they are durable.
+    RebirthDurable,
 }
 
 /// Sweep tuning knobs.
@@ -82,6 +145,12 @@ pub struct SweepConfig {
     /// Run the workload under WAL-time value separation and force-cover
     /// every `.vlog` op (appends torn) as a crash point.
     pub vlog: bool,
+    /// End the workload with an online [`Db::checkpoint`] into `ckpt/`,
+    /// force-cover every op inside the checkpoint window, and check
+    /// invariant C1 after each crash: an acked checkpoint opens cleanly
+    /// and equals the pinned snapshot; an unacked one either has no
+    /// `CURRENT` (ignorable garbage) or still opens cleanly.
+    pub checkpoint: bool,
 }
 
 impl Default for SweepConfig {
@@ -94,6 +163,7 @@ impl Default for SweepConfig {
             max_double_crash_second: 5,
             policy: CompactionPolicyKind::Leveled,
             vlog: false,
+            checkpoint: false,
         }
     }
 }
@@ -115,6 +185,10 @@ pub struct SweepCoverage {
     pub vlog_separated: u64,
     /// Value-log segments retired whole by compaction (vlog mode only).
     pub vlog_retired: u64,
+    /// Ranged tombstones written by the range-delete phase.
+    pub range_deletes: u64,
+    /// Online checkpoints completed (checkpoint mode only).
+    pub checkpoints: u64,
 }
 
 /// Everything a sweep learned.
@@ -156,6 +230,13 @@ struct PairState {
 
 struct WorkloadOutcome {
     pairs: Vec<PairState>,
+    /// Range-delete phase progress (see [`RdPhase`]).
+    rd: RdPhase,
+    /// `Db::checkpoint("ckpt")` returned `Ok` (checkpoint mode only).
+    ckpt_acked: bool,
+    /// Full scan captured right after the checkpoint ack, while quiescent:
+    /// exactly the image the checkpoint pinned.
+    ckpt_expected: Option<Vec<(Vec<u8>, Vec<u8>)>>,
     /// Errors the workload observed (write/flush/compact/close).
     errors: usize,
     stats: SweepCoverage,
@@ -178,9 +259,12 @@ fn value_round(value: &[u8]) -> Option<u32> {
 
 /// Run the fixed workload over `env`. Every I/O failure is tolerated and
 /// counted; once the env reports a crash the workload stops early.
-fn run_workload(env: &FaultEnv, opts: &Options, marks: bool) -> WorkloadOutcome {
+fn run_workload(env: &FaultEnv, opts: &Options, marks: bool, checkpoint: bool) -> WorkloadOutcome {
     let mut out = WorkloadOutcome {
         pairs: vec![PairState::default(); PAIRS],
+        rd: RdPhase::default(),
+        ckpt_acked: false,
+        ckpt_expected: None,
         errors: 0,
         stats: SweepCoverage::default(),
     };
@@ -317,6 +401,81 @@ fn run_workload(env: &FaultEnv, opts: &Options, marks: bool) -> WorkloadOutcome 
                 env.mark("hole-punch");
             }
         }
+        // Range-delete phase: write a dedicated key space durably, cover
+        // its middle with one ranged tombstone, make the tombstone durable,
+        // then resurrect a few covered keys and push everything through
+        // compaction. `out.rd` records each durability boundary so the
+        // recovery invariants can assert exactly at the boundaries and
+        // stay agnostic in between.
+        'rdel: {
+            for i in 0..RD_KEYS {
+                if db.put(rd_key(i).as_bytes(), &rd_alive(i)).is_err() {
+                    out.errors += 1;
+                    if env.crashed() {
+                        break 'work;
+                    }
+                    break 'rdel;
+                }
+            }
+            if db.flush().is_err() {
+                out.errors += 1;
+                if env.crashed() {
+                    break 'work;
+                }
+                break 'rdel;
+            }
+            out.rd = RdPhase::WritesDurable;
+            if marks {
+                env.mark("range-delete");
+            }
+            out.rd = RdPhase::DeleteAttempted;
+            match db.delete_range(
+                rd_key(RD_DEL_BEGIN).as_bytes(),
+                rd_key(RD_DEL_END).as_bytes(),
+            ) {
+                Ok(()) => out.rd = RdPhase::DeleteAcked,
+                Err(_) => {
+                    out.errors += 1;
+                    if env.crashed() {
+                        break 'work;
+                    }
+                    break 'rdel;
+                }
+            }
+            if db.flush().is_err() {
+                out.errors += 1;
+                if env.crashed() {
+                    break 'work;
+                }
+                break 'rdel;
+            }
+            out.rd = RdPhase::DeleteDurable;
+            out.rd = RdPhase::RebirthAttempted;
+            for i in RD_REBIRTH_BEGIN..RD_REBIRTH_END {
+                if db.put(rd_key(i).as_bytes(), &rd_reborn(i)).is_err() {
+                    out.errors += 1;
+                    if env.crashed() {
+                        break 'work;
+                    }
+                    break 'rdel;
+                }
+            }
+            if db.flush().is_err() {
+                out.errors += 1;
+                if env.crashed() {
+                    break 'work;
+                }
+                break 'rdel;
+            }
+            out.rd = RdPhase::RebirthDurable;
+            // Drive the tombstone down through the data tables.
+            if db.compact_until_quiet().is_err() {
+                out.errors += 1;
+                if env.crashed() {
+                    break 'work;
+                }
+            }
+        }
         // Self-healing re-cut phase (O5): write one more round, then arm a
         // MANIFEST-sync EIO and flush. The failed commit barrier must be
         // absorbed by a re-cut — the flush still acknowledges durably, with
@@ -368,6 +527,41 @@ fn run_workload(env: &FaultEnv, opts: &Options, marks: bool) -> WorkloadOutcome 
                 env.mark("recut-done");
             }
         }
+        // Online-checkpoint phase (C1): checkpoint into `ckpt/` and capture
+        // the exact image the ack promised (the workload is quiescent, so a
+        // post-ack scan *is* the pinned snapshot). The `ckpt-arm` /
+        // `ckpt-done` markers bound the window whose every op the sweep
+        // force-covers: a crash anywhere inside must leave either no
+        // `ckpt/CURRENT` (ignorable garbage) or a complete, openable image.
+        if checkpoint {
+            'ckpt: {
+                if marks {
+                    env.mark("ckpt-arm");
+                }
+                match db.checkpoint("ckpt") {
+                    Ok(_) => out.ckpt_acked = true,
+                    Err(_) => {
+                        out.errors += 1;
+                        if env.crashed() {
+                            break 'work;
+                        }
+                        break 'ckpt;
+                    }
+                }
+                match full_scan(&db) {
+                    Ok(scan) => out.ckpt_expected = Some(scan),
+                    Err(_) => {
+                        out.errors += 1;
+                        if env.crashed() {
+                            break 'work;
+                        }
+                    }
+                }
+                if marks {
+                    env.mark("ckpt-done");
+                }
+            }
+        }
     }
     let s = db.stats().snapshot();
     out.stats = SweepCoverage {
@@ -378,6 +572,8 @@ fn run_workload(env: &FaultEnv, opts: &Options, marks: bool) -> WorkloadOutcome 
         recuts: db.metrics().manifest_recuts,
         vlog_separated: s.vlog_values_separated,
         vlog_retired: s.vlog_segments_retired,
+        range_deletes: s.range_deletes,
+        checkpoints: s.checkpoints,
     };
     if db.close().is_err() {
         out.errors += 1;
@@ -419,16 +615,49 @@ pub(crate) fn select_crash_points(trace: &[OpRecord], max: usize) -> Vec<(u64, u
     }
 }
 
-/// Open the recovered database and check invariants I1–I4 against the
-/// replay's `pairs` model, appending any violation to `violations`.
+/// Open the recovered database and check invariants I1–I5 (plus C1 when a
+/// checkpoint was attempted) against the replay's model, appending any
+/// violation to `violations`.
 fn check_invariants(
     env: &FaultEnv,
     opts: &Options,
-    pairs: &[PairState],
+    model: &WorkloadOutcome,
     label: &str,
     violations: &mut Vec<String>,
 ) {
     let arc_env: Arc<dyn Env> = Arc::new(env.clone());
+
+    // C1 first, so a wedged source database cannot mask checkpoint damage:
+    // an acked checkpoint must open and equal the pinned snapshot; an
+    // unacked one must either have no CURRENT (ignorable garbage, never
+    // opened — `Db::open` would create a fresh database there) or open
+    // cleanly as the complete image whose ack simply never returned.
+    if model.ckpt_acked || env.file_exists("ckpt/CURRENT") {
+        match Db::open(Arc::clone(&arc_env), "ckpt", opts.clone()) {
+            Ok(copy) => {
+                if let Err(e) = verify_db(&copy) {
+                    violations.push(format!("{label}: C1 checkpoint integrity walk failed: {e}"));
+                }
+                match (full_scan(&copy), &model.ckpt_expected) {
+                    (Ok(scan), Some(expected)) if &scan != expected => {
+                        violations.push(format!(
+                            "{label}: C1 checkpoint diverged from pinned snapshot: \
+                             {} vs {} entries",
+                            scan.len(),
+                            expected.len()
+                        ));
+                    }
+                    (Err(e), _) => {
+                        violations.push(format!("{label}: C1 checkpoint scan failed: {e}"));
+                    }
+                    _ => {}
+                }
+                let _ = copy.close();
+            }
+            Err(e) => violations.push(format!("{label}: C1 checkpoint failed to open: {e}")),
+        }
+    }
+
     let db = match Db::open(Arc::clone(&arc_env), "db", opts.clone()) {
         Ok(db) => db,
         Err(e) => {
@@ -443,7 +672,7 @@ fn check_invariants(
     }
 
     // I1 + I2 per pair.
-    for (p, state) in pairs.iter().enumerate() {
+    for (p, state) in model.pairs.iter().enumerate() {
         let (ka, kb) = pair_keys(p);
         let va = db.get(ka.as_bytes());
         let vb = db.get(kb.as_bytes());
@@ -485,6 +714,65 @@ fn check_invariants(
         }
     }
 
+    // I5: range-tombstone visibility at the recorded durability
+    // boundaries. Uncovered keys are never deleted, so once their writes
+    // were durable they must read back exactly; covered keys must be gone
+    // once the tombstone was durable (unless durably reborn) and intact
+    // while it was never attempted. Between attempt and durability the
+    // unsynced tombstone may or may not have reached the WAL, so only the
+    // *value* is pinned, not presence.
+    if model.rd >= RdPhase::WritesDurable {
+        for i in (0..RD_DEL_BEGIN).chain(RD_DEL_END..RD_KEYS) {
+            match db.get(rd_key(i).as_bytes()) {
+                Ok(Some(v)) if v == rd_alive(i) => {}
+                Ok(v) => violations.push(format!(
+                    "{label}: I5 uncovered key rd{i:04} corrupted: {:?}",
+                    v.as_deref().map(String::from_utf8_lossy)
+                )),
+                Err(e) => violations.push(format!("{label}: I5 read rd{i:04} failed: {e}")),
+            }
+        }
+        for i in RD_DEL_BEGIN..RD_DEL_END {
+            let reborn = (RD_REBIRTH_BEGIN..RD_REBIRTH_END).contains(&i);
+            let got = match db.get(rd_key(i).as_bytes()) {
+                Ok(got) => got,
+                Err(e) => {
+                    violations.push(format!("{label}: I5 read rd{i:04} failed: {e}"));
+                    continue;
+                }
+            };
+            let bad = match model.rd {
+                RdPhase::NotStarted => false,
+                // Tombstone never issued: the durable write must be there.
+                RdPhase::WritesDurable => got.as_deref() != Some(&rd_alive(i)[..]),
+                // Issued but not durable: absent or the old value.
+                RdPhase::DeleteAttempted | RdPhase::DeleteAcked => {
+                    got.is_some() && got.as_deref() != Some(&rd_alive(i)[..])
+                }
+                // Tombstone durable, rebirth not: absent, or the reborn
+                // value if its unsynced write happened to survive.
+                RdPhase::DeleteDurable | RdPhase::RebirthAttempted => {
+                    got.is_some() && !(reborn && got.as_deref() == Some(&rd_reborn(i)[..]))
+                }
+                // Rebirth durable: reborn keys back, the rest still gone.
+                RdPhase::RebirthDurable => {
+                    if reborn {
+                        got.as_deref() != Some(&rd_reborn(i)[..])
+                    } else {
+                        got.is_some()
+                    }
+                }
+            };
+            if bad {
+                violations.push(format!(
+                    "{label}: I5 covered key rd{i:04} wrong at phase {:?}: {:?}",
+                    model.rd,
+                    got.as_deref().map(String::from_utf8_lossy)
+                ));
+            }
+        }
+    }
+
     // I4: a second recovery must see the identical key space.
     let scan1 = match full_scan(&db) {
         Ok(scan) => scan,
@@ -521,13 +809,13 @@ fn check_invariants(
 fn checked_invariants(
     env: &FaultEnv,
     opts: &Options,
-    pairs: &[PairState],
+    model: &WorkloadOutcome,
     label: &str,
     violations: &mut Vec<String>,
 ) {
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let mut local = Vec::new();
-        check_invariants(env, opts, pairs, label, &mut local);
+        check_invariants(env, opts, model, label, &mut local);
         local
     }));
     match result {
@@ -566,31 +854,18 @@ fn full_scan(db: &Db) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
 /// run fails outright); invariant violations are reported in
 /// [`SweepOutcome::violations`].
 pub fn run_crash_sweep(cfg: &SweepConfig) -> Result<SweepOutcome> {
-    let mut opts = Options::bolt().scaled(1.0 / 256.0);
     // Compact eagerly and keep level 1 tiny so the short workload reaches
     // group compaction, settled promotion (L1 → L2 moves), and
     // hole-punching — every barrier in the §9 ordering contract shows up
-    // in the recorded trace.
-    opts.level0_compaction_trigger = 2;
-    opts.level1_max_bytes = 12 << 10;
-    opts.compaction_policy = cfg.policy;
-    if cfg.policy != CompactionPolicyKind::Leveled {
-        // Tiered buckets must fire on this short workload's few runs.
-        opts.size_tiered_min_threshold = 2;
-    }
-    if cfg.vlog {
-        // Every pair value (~90 B) and hole value (160 B) crosses this
-        // threshold, so the existing invariants read through value-log
-        // pointers everywhere; tiny segments force rotations so the
-        // rotate/seal windows are crash-covered too.
-        opts.value_separation_threshold = Some(64);
-        opts.vlog_segment_bytes = 4 << 10;
-    }
+    // in the recorded trace. In vlog mode every pair value (~90 B) and
+    // hole value (160 B) crosses the separation threshold and tiny
+    // segments force rotations, so the rotate/seal windows are covered.
+    let opts = sweep_options(cfg);
 
     // Phase 1: record.
     let env = FaultEnv::over_mem();
     env.start_recording();
-    let record = run_workload(&env, &opts, true);
+    let record = run_workload(&env, &opts, true, cfg.checkpoint);
     let trace = env.stop_recording();
     if record.errors > 0 {
         return Err(bolt_common::Error::io(format!(
@@ -605,6 +880,18 @@ pub fn run_crash_sweep(cfg: &SweepConfig) -> Result<SweepOutcome> {
             record.stats.vlog_separated, record.stats.vlog_retired
         )));
     }
+    if record.rd != RdPhase::RebirthDurable || record.stats.range_deletes == 0 {
+        return Err(bolt_common::Error::io(format!(
+            "sweep did not exercise the range-delete phase \
+             (reached {:?}, {} tombstones)",
+            record.rd, record.stats.range_deletes
+        )));
+    }
+    if cfg.checkpoint && (!record.ckpt_acked || record.stats.checkpoints == 0) {
+        return Err(bolt_common::Error::io(
+            "checkpoint sweep did not complete its checkpoint".to_string(),
+        ));
+    }
     let ops_recorded = env.op_count();
     let syncs_recorded = env.sync_count();
     let phases = env.markers();
@@ -614,18 +901,14 @@ pub fn run_crash_sweep(cfg: &SweepConfig) -> Result<SweepOutcome> {
     // MANIFEST, the fresh-but-unswung CURRENT, and the not-yet-re-appended
     // edit are exactly the intermediate states O5 must keep I1-I4 through.
     let mut points = select_crash_points(&trace, cfg.max_crash_points);
-    if let Some((arm, done)) = recut_window(&phases) {
-        let mut merged: std::collections::BTreeMap<u64, u64> = points.iter().copied().collect();
-        for record in &trace {
-            if record.index >= arm && record.index < done {
-                if record.kind == OpKind::Append {
-                    merged.entry(record.index).or_insert(record.bytes / 2);
-                } else {
-                    merged.entry(record.index).or_insert(0);
-                }
-            }
-        }
-        points = merged.into_iter().collect();
+    if let Some((arm, done)) = marker_window(&phases, "recut-arm", "recut-done") {
+        points = merge_window(points, &trace, arm, done);
+    }
+    // Checkpoint mode: every op between `ckpt-arm` and `ckpt-done` is a
+    // forced crash point — each link, the manifest write, the CURRENT
+    // staging and the publishing rename must leave garbage or a database.
+    if let Some((arm, done)) = marker_window(&phases, "ckpt-arm", "ckpt-done") {
+        points = merge_window(points, &trace, arm, done);
     }
     // Vlog mode: force every value-log metadata op (create, sync/barrier,
     // punch, delete) plus its successor into the point set — these bound
@@ -662,13 +945,13 @@ pub fn run_crash_sweep(cfg: &SweepConfig) -> Result<SweepOutcome> {
             FaultPlan::new().crash_at_op(k)
         };
         env.set_plan(plan);
-        let replay = run_workload(&env, &opts, false);
+        let replay = run_workload(&env, &opts, false, cfg.checkpoint);
         let label = format!("crash@op{k}{}", if keep > 0 { " (torn)" } else { "" });
         env.crash_inner(CrashConfig::TornTail {
             seed: cfg.seed ^ k.wrapping_mul(0x9E37_79B9),
         });
         env.reset();
-        checked_invariants(&env, &opts, &replay.pairs, &label, &mut violations);
+        checked_invariants(&env, &opts, &replay, &label, &mut violations);
         crash_points.push(k);
     }
 
@@ -679,7 +962,7 @@ pub fn run_crash_sweep(cfg: &SweepConfig) -> Result<SweepOutcome> {
         let n = i as u64 * syncs_recorded / eio_count as u64;
         let env = FaultEnv::over_mem();
         env.set_plan(FaultPlan::new().fail_sync(n));
-        let replay = run_workload(&env, &opts, false);
+        let replay = run_workload(&env, &opts, false, cfg.checkpoint);
         let label = format!("eio@sync{n}");
         // Every injected fault must be accounted for: either a caller saw
         // an error, or a self-healing re-cut absorbed it (the workload's
@@ -696,7 +979,7 @@ pub fn run_crash_sweep(cfg: &SweepConfig) -> Result<SweepOutcome> {
         // still recover to a consistent state.
         env.crash_inner(CrashConfig::Clean);
         env.reset();
-        checked_invariants(&env, &opts, &replay.pairs, &label, &mut violations);
+        checked_invariants(&env, &opts, &replay, &label, &mut violations);
         eio_points.push(n);
     }
 
@@ -723,7 +1006,7 @@ pub fn run_crash_sweep(cfg: &SweepConfig) -> Result<SweepOutcome> {
             let seconds = cfg.max_double_crash_second.min(recovery_ops as usize);
             for i in 0..seconds {
                 let j = i as u64 * recovery_ops / seconds as u64;
-                let (env, pairs) = build_first_crash(cfg, &opts, k, keep);
+                let (env, replay) = build_first_crash(cfg, &opts, k, keep);
                 env.set_plan(FaultPlan::new().crash_at_op(j));
                 let label = format!("crash@op{k}+recovery-crash@op{j}");
                 if !attempt_open(&env, &opts) {
@@ -733,7 +1016,7 @@ pub fn run_crash_sweep(cfg: &SweepConfig) -> Result<SweepOutcome> {
                     seed: cfg.seed ^ k.wrapping_mul(0x9E37_79B9) ^ j.wrapping_mul(0x517C_C1B7),
                 });
                 env.reset();
-                checked_invariants(&env, &opts, &pairs, &label, &mut violations);
+                checked_invariants(&env, &opts, &replay, &label, &mut violations);
                 double_crash_points.push((k, j));
             }
         }
@@ -752,12 +1035,33 @@ pub fn run_crash_sweep(cfg: &SweepConfig) -> Result<SweepOutcome> {
     })
 }
 
-/// The `[arm, done)` op-index window of the workload's self-healing
-/// re-cut phase, from its recorded phase markers.
-fn recut_window(phases: &[(u64, String)]) -> Option<(u64, u64)> {
-    let arm = phases.iter().find(|(_, l)| l == "recut-arm")?.0;
-    let done = phases.iter().find(|(_, l)| l == "recut-done")?.0;
+/// The `[arm, done)` op-index window bounded by two phase markers from the
+/// record run, if both were reached.
+fn marker_window(phases: &[(u64, String)], arm: &str, done: &str) -> Option<(u64, u64)> {
+    let arm = phases.iter().find(|(_, l)| l == arm)?.0;
+    let done = phases.iter().find(|(_, l)| l == done)?.0;
     Some((arm, done))
+}
+
+/// Force every op inside `[arm, done)` into the crash-point set (appends
+/// as torn appends), keeping the set sorted and deduplicated.
+fn merge_window(
+    points: Vec<(u64, u64)>,
+    trace: &[OpRecord],
+    arm: u64,
+    done: u64,
+) -> Vec<(u64, u64)> {
+    let mut merged: std::collections::BTreeMap<u64, u64> = points.into_iter().collect();
+    for record in trace {
+        if record.index >= arm && record.index < done {
+            if record.kind == OpKind::Append {
+                merged.entry(record.index).or_insert(record.bytes / 2);
+            } else {
+                merged.entry(record.index).or_insert(0);
+            }
+        }
+    }
+    merged.into_iter().collect()
 }
 
 /// Run the workload to its first crash at op `k` (torn-keeping `keep`
@@ -768,7 +1072,7 @@ fn build_first_crash(
     opts: &Options,
     k: u64,
     keep: u64,
-) -> (FaultEnv, Vec<PairState>) {
+) -> (FaultEnv, WorkloadOutcome) {
     let env = FaultEnv::over_mem();
     let plan = if keep > 0 {
         FaultPlan::new().torn_crash_at_op(k, keep)
@@ -776,12 +1080,12 @@ fn build_first_crash(
         FaultPlan::new().crash_at_op(k)
     };
     env.set_plan(plan);
-    let replay = run_workload(&env, opts, false);
+    let replay = run_workload(&env, opts, false, cfg.checkpoint);
     env.crash_inner(CrashConfig::TornTail {
         seed: cfg.seed ^ k.wrapping_mul(0x9E37_79B9),
     });
     env.reset();
-    (env, replay.pairs)
+    (env, replay)
 }
 
 /// Open (and close) the database, tolerating errors — the plan may crash
@@ -794,6 +1098,22 @@ fn attempt_open(env: &FaultEnv, opts: &Options) -> bool {
         }
     }))
     .is_ok()
+}
+
+/// The options every sweep run uses, derived from the config.
+fn sweep_options(cfg: &SweepConfig) -> Options {
+    let mut opts = Options::bolt().scaled(1.0 / 256.0);
+    opts.level0_compaction_trigger = 2;
+    opts.level1_max_bytes = 12 << 10;
+    opts.compaction_policy = cfg.policy;
+    if cfg.policy != CompactionPolicyKind::Leveled {
+        opts.size_tiered_min_threshold = 2;
+    }
+    if cfg.vlog {
+        opts.value_separation_threshold = Some(64);
+        opts.vlog_segment_bytes = 4 << 10;
+    }
+    opts
 }
 
 /// Render a sweep outcome for the CLI.
@@ -815,10 +1135,18 @@ pub fn render_report(outcome: &SweepOutcome) -> String {
     writeln!(
         out,
         "coverage: {} flushes, {} compactions, {} settled moves, {} holes punched, \
-         {} manifest re-cuts",
-        c.flushes, c.compactions, c.settled_moves, c.holes_punched, c.recuts
+         {} manifest re-cuts, {} range deletes",
+        c.flushes, c.compactions, c.settled_moves, c.holes_punched, c.recuts, c.range_deletes
     )
     .expect("write");
+    if c.checkpoints > 0 {
+        writeln!(
+            out,
+            "checkpoint coverage: {} online checkpoint(s)",
+            c.checkpoints
+        )
+        .expect("write");
+    }
     if c.vlog_separated > 0 {
         writeln!(
             out,
@@ -844,4 +1172,44 @@ pub fn render_report(outcome: &SweepOutcome) -> String {
         }
     }
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The full workload followed by a clean power-cycle must satisfy every
+    /// invariant — in particular I5: a durable range tombstone must not let
+    /// covered keys resurface after recovery, no matter how compaction
+    /// fragmented it across output tables.
+    #[test]
+    fn workload_invariants_hold_after_clean_powercycle() {
+        let cfg = SweepConfig {
+            checkpoint: true,
+            ..SweepConfig::default()
+        };
+        let opts = sweep_options(&cfg);
+        let env = FaultEnv::over_mem();
+        let record = run_workload(&env, &opts, false, cfg.checkpoint);
+        assert_eq!(record.errors, 0, "record run saw errors");
+        assert_eq!(record.rd, RdPhase::RebirthDurable);
+        assert!(record.ckpt_acked);
+        // The live scan the checkpoint pinned must already honour the
+        // tombstone: covered, un-reborn keys are absent.
+        let expected = record.ckpt_expected.as_ref().expect("scan captured");
+        for i in RD_DEL_BEGIN..RD_DEL_END {
+            if (RD_REBIRTH_BEGIN..RD_REBIRTH_END).contains(&i) {
+                continue;
+            }
+            assert!(
+                !expected.iter().any(|(k, _)| k == rd_key(i).as_bytes()),
+                "live scan resurrected covered key rd{i:04}"
+            );
+        }
+        env.crash_inner(CrashConfig::Clean);
+        env.reset();
+        let mut violations = Vec::new();
+        check_invariants(&env, &opts, &record, "clean-powercycle", &mut violations);
+        assert!(violations.is_empty(), "{violations:#?}");
+    }
 }

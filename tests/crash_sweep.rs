@@ -41,6 +41,8 @@ fn sweep_holds_all_recovery_invariants() {
     let c = outcome.coverage;
     assert!(c.flushes > 0, "workload never flushed");
     assert!(c.compactions > 0, "workload never ran a compaction");
+    // The range-delete phase (I5) runs in every leg.
+    assert!(c.range_deletes > 0, "workload never issued a delete_range");
     assert!(
         c.settled_moves > 0,
         "workload never performed a settled (MANIFEST-only) promotion"
@@ -169,6 +171,56 @@ fn sweep_holds_invariants_under_tiered_policies() {
             outcome.violations.join("\n  ")
         );
     }
+}
+
+#[test]
+fn sweep_forces_checkpoint_window_and_holds_c1() {
+    // `--checkpoint` leg (DESIGN.md §15): the workload takes an online
+    // checkpoint under the recorder, and the sweep force-includes every op
+    // inside the checkpoint window as a crash point. Invariant C1 is then
+    // asserted at each: an acked checkpoint must open cleanly and scan
+    // exactly the pinned snapshot; an unacked one must either lack CURRENT
+    // (ignorable garbage) or already be complete.
+    let cfg = SweepConfig {
+        checkpoint: true,
+        max_crash_points: 36,
+        max_eio_points: 8,
+        max_double_crash_first: 2,
+        max_double_crash_second: 3,
+        ..SweepConfig::default()
+    };
+    let outcome = run_crash_sweep(&cfg).expect("sweep harness must run");
+    assert!(
+        outcome.coverage.checkpoints > 0,
+        "workload never acked a checkpoint"
+    );
+    let arm = outcome
+        .phases
+        .iter()
+        .find(|(_, l)| l == "ckpt-arm")
+        .map(|&(at, _)| at)
+        .expect("record run marked ckpt-arm");
+    let done = outcome
+        .phases
+        .iter()
+        .find(|(_, l)| l == "ckpt-done")
+        .map(|&(at, _)| at)
+        .expect("record run marked ckpt-done");
+    assert!(arm < done, "checkpoint window is non-empty");
+    let in_window = outcome
+        .crash_points
+        .iter()
+        .filter(|&&k| k >= arm && k < done)
+        .count();
+    assert!(
+        in_window >= 5,
+        "expected >= 5 crash points inside the checkpoint window [{arm}, {done}), got {in_window}"
+    );
+    assert!(
+        outcome.violations.is_empty(),
+        "checkpoint-leg recovery invariant violations:\n  {}",
+        outcome.violations.join("\n  ")
+    );
 }
 
 #[test]
