@@ -44,7 +44,7 @@ use crate::options::{Options, ReadOptions, WriteOptions};
 use crate::stats::DbStats;
 use crate::txn::{self, ShardTxnMarker, TxnWalRecord};
 use crate::version::{RunLayout, TableMeta, Version, VersionEdit};
-use crate::versions::VersionSet;
+use crate::versions::{RangeSet, VersionSet};
 use crate::vlog::{self, ValuePointer, VlogWriter};
 
 /// A writer queued for group commit. All fields except `sync` are mutated
@@ -770,7 +770,7 @@ impl Db {
         // under the state lock, the installed version is exactly the write
         // prefix at the flushed boundary (an empty memtable tightens it to
         // `last_sequence`: everything acknowledged is flushed).
-        let (version, seq, pin, vlog_segments) = {
+        let (version, seq, pin, vlog_ledger) = {
             let mut state = inner.state.lock();
             loop {
                 if let Some(e) = &state.bg_error {
@@ -789,13 +789,17 @@ impl Db {
             };
             let mut versions = inner.versions.lock();
             let version = versions.current();
-            let pin = versions.pin_checkpoint(&version);
-            let vlog_segments: Vec<u64> = versions.vlog_segments().keys().copied().collect();
-            (version, seq, pin, vlog_segments)
+            // The pin also freezes the per-segment dead-range ledger: the
+            // checkpoint MANIFEST must carry the ledger as of this instant,
+            // not as of manifest-write time — a compaction committing in
+            // between may add dead ranges covering pointers the pinned
+            // version still references.
+            let (pin, vlog_ledger) = versions.pin_checkpoint(&version);
+            (version, seq, pin, vlog_ledger)
         };
 
         inner.sink.emit(EngineEvent::CheckpointBegin { id: pin });
-        let result = inner.do_checkpoint(dir, &version, seq, &vlog_segments);
+        let result = inner.do_checkpoint(dir, &version, seq, &vlog_ledger);
         inner.versions.lock().unpin_checkpoint(pin);
         let (tables, files) = result?;
         inner.stats.record_checkpoint(1);
@@ -2479,7 +2483,7 @@ impl DbInner {
         dir: &str,
         version: &Arc<Version>,
         seq: SequenceNumber,
-        vlog_segments: &[u64],
+        vlog_ledger: &[(u64, RangeSet)],
     ) -> Result<(u64, u64)> {
         let _scope = BarrierScope::new(BarrierCause::Checkpoint);
         self.env.create_dir_all(dir)?;
@@ -2506,21 +2510,25 @@ impl DbInner {
         // fine, because pointers reachable from the pinned version only
         // reference bytes below its last synced barrier, and a hard link
         // shares exactly that durability state. A segment the ledger knows
-        // but that was never written to yet has no file — skip it.
-        for &segment in vlog_segments {
-            let src = vlog_file(&self.name, segment);
+        // but that was never written to yet has no file — skip it, and keep
+        // its dead ranges out of the manifest (only segments actually placed
+        // in `dir` may carry vlog_dead records there).
+        let mut vlog_dead: Vec<(u64, u64, u64)> = Vec::new();
+        for (segment, dead) in vlog_ledger {
+            let src = vlog_file(&self.name, *segment);
             if !self.env.file_exists(&src) {
                 continue;
             }
-            self.env.link_file(&src, &vlog_file(dir, segment))?;
+            self.env.link_file(&src, &vlog_file(dir, *segment))?;
             files += 1;
+            vlog_dead.extend(dead.iter().map(|(offset, len)| (*segment, offset, len)));
         }
 
         // MANIFEST + CURRENT last: until CURRENT lands, the directory is
         // not a database and a crash leaves ignorable garbage.
         self.versions
             .lock()
-            .write_checkpoint_manifest(dir, version, seq)?;
+            .write_checkpoint_manifest(dir, version, seq, vlog_dead)?;
         files += 2;
         Ok((tables, files))
     }

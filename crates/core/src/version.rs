@@ -429,6 +429,13 @@ mod tag {
     pub const COMPACTION_POLICY: u64 = 8;
     pub const VLOG_DEAD: u64 = 9;
     pub const VLOG_DELETED: u64 = 10;
+    /// `(table_id, count)` — range-tombstone count for a table added by an
+    /// earlier ADDED_TABLE record in the *same* edit. A separate optional
+    /// tag (emitted only when `count > 0`) rather than a field inside
+    /// ADDED_TABLE, so MANIFESTs written before range deletes existed still
+    /// parse, and old readers hit a clean "unknown tag" error instead of
+    /// silently misparsing new records.
+    pub const TABLE_RANGE_TOMBSTONES: u64 = 11;
 }
 
 impl VersionEdit {
@@ -487,9 +494,13 @@ impl VersionEdit {
             put_fixed64(&mut out, meta.offset);
             put_varint64(&mut out, meta.size);
             put_varint64(&mut out, meta.num_entries);
-            put_varint64(&mut out, meta.range_tombstones);
             put_length_prefixed_slice(&mut out, &meta.smallest);
             put_length_prefixed_slice(&mut out, &meta.largest);
+            if meta.range_tombstones > 0 {
+                put_varint64(&mut out, tag::TABLE_RANGE_TOMBSTONES);
+                put_varint64(&mut out, meta.table_id);
+                put_varint64(&mut out, meta.range_tombstones);
+            }
         }
         out
     }
@@ -526,7 +537,6 @@ impl VersionEdit {
                     let offset = dec.fixed64()?;
                     let size = dec.varint64()?;
                     let num_entries = dec.varint64()?;
-                    let range_tombstones = dec.varint64()?;
                     let smallest = dec.length_prefixed_slice()?.to_vec();
                     let largest = dec.length_prefixed_slice()?.to_vec();
                     edit.added_tables.push((
@@ -540,9 +550,27 @@ impl VersionEdit {
                             num_entries,
                             smallest,
                             largest,
-                        )
-                        .with_range_tombstones(range_tombstones),
+                        ),
                     ));
+                }
+                tag::TABLE_RANGE_TOMBSTONES => {
+                    let table_id = dec.varint64()?;
+                    let count = dec.varint64()?;
+                    // The tag annotates an ADDED_TABLE earlier in this same
+                    // edit; the writer emits it immediately after the table
+                    // record, so search from the back.
+                    let meta = edit
+                        .added_tables
+                        .iter_mut()
+                        .rev()
+                        .find(|(_, _, m)| m.table_id == table_id)
+                        .map(|(_, _, m)| m)
+                        .ok_or_else(|| {
+                            Error::corruption(format!(
+                                "range-tombstone count for table {table_id} not added by this edit"
+                            ))
+                        })?;
+                    meta.range_tombstones = count;
                 }
                 tag::VLOG_DEAD => {
                     let file_number = dec.varint64()?;
@@ -738,12 +766,53 @@ mod tests {
         edit.deleted_tables.push((1, 11));
         edit.added_tables.push((2, 0, meta(12, b"a", b"m")));
         edit.added_tables.push((0, 7, meta(13, b"n", b"z")));
+        // A table with range tombstones exercises the optional
+        // TABLE_RANGE_TOMBSTONES tag alongside plain tables.
+        edit.added_tables
+            .push((1, 3, meta(14, b"q", b"t").with_range_tombstones(5)));
         edit.vlog_dead.push((21, 0, 65536));
         edit.vlog_dead.push((22, 4096, 128));
         edit.vlog_deleted.push(20);
 
         let decoded = VersionEdit::decode(&edit.encode()).unwrap();
         assert_eq!(decoded, edit);
+    }
+
+    #[test]
+    fn decode_accepts_added_table_without_tombstone_tag() {
+        // The exact ADDED_TABLE wire layout from before range deletes
+        // existed, hand-encoded: a MANIFEST written by an older build must
+        // still parse, with the count defaulting to zero.
+        let want = meta(12, b"a", b"m");
+        let mut data = Vec::new();
+        put_varint64(&mut data, 7); // tag::ADDED_TABLE
+        put_varint32(&mut data, 2); // level
+        put_varint64(&mut data, 0); // run tag
+        put_varint64(&mut data, want.table_id);
+        put_varint64(&mut data, want.file_number);
+        put_fixed64(&mut data, want.offset);
+        put_varint64(&mut data, want.size);
+        put_varint64(&mut data, want.num_entries);
+        put_length_prefixed_slice(&mut data, &want.smallest);
+        put_length_prefixed_slice(&mut data, &want.largest);
+
+        let decoded = VersionEdit::decode(&data).unwrap();
+        assert_eq!(decoded.added_tables.len(), 1);
+        let (level, run_tag, got) = &decoded.added_tables[0];
+        assert_eq!((*level, *run_tag), (2, 0));
+        assert_eq!(got, &want);
+        assert_eq!(got.range_tombstones, 0);
+    }
+
+    #[test]
+    fn decode_rejects_orphan_tombstone_tag() {
+        // A TABLE_RANGE_TOMBSTONES record must annotate a table added
+        // earlier in the same edit.
+        let mut data = Vec::new();
+        put_varint64(&mut data, 11); // tag::TABLE_RANGE_TOMBSTONES
+        put_varint64(&mut data, 999); // table id never added
+        put_varint64(&mut data, 3);
+        assert!(VersionEdit::decode(&data).is_err());
     }
 
     #[test]

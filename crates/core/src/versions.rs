@@ -175,14 +175,18 @@ pub struct VersionSet {
     /// `live` scan, and any pin defers value-log punches/retirements.
     checkpoint_pins: HashMap<u64, Arc<Version>>,
     next_checkpoint_pin: u64,
-    /// Physical table files ever hard-linked into a checkpoint this
-    /// process lifetime. A hole punch goes through the shared inode and
-    /// would corrupt the (completed, self-contained) checkpoint, so these
-    /// files are only ever reclaimed by whole-file deletion — which merely
-    /// unlinks the database's name.
+    /// Physical table files hard-linked (or about to be) into a checkpoint
+    /// this process lifetime. A hole punch goes through the shared inode
+    /// and would corrupt the (completed, self-contained) checkpoint, so
+    /// these files are only ever reclaimed by whole-file deletion — which
+    /// merely unlinks the database's name. This set alone is NOT the punch
+    /// gate: it covers the pin-to-link window (when the link does not
+    /// exist yet) and in-process checkpoints cheaply, while the punch path
+    /// additionally consults [`Env::link_count`], which survives restarts
+    /// and therefore protects checkpoints taken by earlier processes.
     checkpoint_linked_files: HashSet<u64>,
-    /// Value-log segments ever hard-linked into a checkpoint; same
-    /// punch-suppression rule as `checkpoint_linked_files`.
+    /// Value-log segments hard-linked (or about to be) into a checkpoint;
+    /// same punch-suppression rule as `checkpoint_linked_files`.
     checkpoint_linked_vlogs: HashSet<u64>,
     /// Successful self-healing re-cuts since open.
     recuts: u64,
@@ -392,24 +396,39 @@ impl VersionSet {
         Ok(version)
     }
 
-    /// Pin `version` for an in-progress checkpoint and return the pin id.
+    /// Pin `version` for an in-progress checkpoint. Returns the pin id and
+    /// a frozen copy of the value-log liveness ledger — the segment set and
+    /// per-segment dead ranges *as of the pin* — sorted by segment number.
     ///
     /// The pin does three things at once: the held `Arc` keeps every table
     /// the checkpoint references alive for [`VersionSet::collect_garbage`],
     /// any live pin defers value-log punching and segment retirement, and
     /// every file about to be hard-linked is recorded so later hole punches
     /// never go through an inode the checkpoint shares.
-    pub fn pin_checkpoint(&mut self, version: &Arc<Version>) -> u64 {
+    ///
+    /// The frozen ledger is what the checkpoint must link and what its
+    /// MANIFEST must carry as `vlog_dead`: the live ledger keeps moving
+    /// (a compaction committing after the pin can add dead ranges covering
+    /// pointers the pinned version still resolves, or register segments
+    /// the checkpoint will never link), so reading it again at
+    /// manifest-write time would poison the copy's own space accounting.
+    pub fn pin_checkpoint(&mut self, version: &Arc<Version>) -> (u64, Vec<(u64, RangeSet)>) {
         let id = self.next_checkpoint_pin;
         self.next_checkpoint_pin += 1;
         for (_, _, table) in version.all_tables() {
             self.checkpoint_linked_files.insert(table.file_number);
         }
-        for &segment in self.vlog_segments.keys() {
+        let mut ledger: Vec<(u64, RangeSet)> = self
+            .vlog_segments
+            .iter()
+            .map(|(&segment, info)| (segment, info.dead.clone()))
+            .collect();
+        ledger.sort_unstable_by_key(|&(segment, _)| segment);
+        for &(segment, _) in &ledger {
             self.checkpoint_linked_vlogs.insert(segment);
         }
         self.checkpoint_pins.insert(id, Arc::clone(version));
-        id
+        (id, ledger)
     }
 
     /// Release a checkpoint pin. The linked-file punch suppression is
@@ -465,7 +484,25 @@ impl VersionSet {
                 dead_files.push(file_number);
                 continue;
             }
-            if self.checkpoint_linked_files.contains(&file_number) {
+            let punch_candidate = info.regions.iter().any(|r| {
+                !live_tables.contains(&r.table_id) && !info.punched.contains(&r.table_id)
+            });
+            if !punch_candidate {
+                continue;
+            }
+            // The in-memory set covers this process's checkpoints (including
+            // the pin-to-link window, when no link exists yet); the inode
+            // link count covers checkpoints taken before this process
+            // started — the set does not survive a restart, the links do.
+            // An unanswerable link count plays it safe: the punch is
+            // retried on a later pass. Deleting the checkpoint drops the
+            // count back to one and punching resumes.
+            if self.checkpoint_linked_files.contains(&file_number)
+                || self
+                    .env
+                    .link_count(&table_file(&self.db, file_number))
+                    .map_or(true, |n| n > 1)
+            {
                 // The inode is shared with a checkpoint that may still
                 // reference this region; punching would corrupt it. The
                 // space comes back when the file is fully dead (deletion
@@ -541,8 +578,18 @@ impl VersionSet {
             }
             // Segments a checkpoint has linked share their inode with it;
             // the dead range stays in the ledger (so full-file retirement
-            // still fires) but is never punched.
-            if self.checkpoint_linked_vlogs.contains(&segment) {
+            // still fires) and is re-queued rather than punched. As for
+            // table files, the in-memory set only knows this process's
+            // checkpoints — the inode link count also protects ones taken
+            // before a restart, and re-queuing lets punching resume once a
+            // checkpoint directory is deleted and the count drops to one.
+            if self.checkpoint_linked_vlogs.contains(&segment)
+                || self
+                    .env
+                    .link_count(&vlog_file(&self.db, segment))
+                    .map_or(true, |n| n > 1)
+            {
+                self.vlog_punch_queue.push((segment, offset, len));
                 continue;
             }
             // Lazy metadata update, no barrier (§3.2); a failed punch is
@@ -704,6 +751,21 @@ impl VersionSet {
             // (collect_garbage retries, open-time scavenging is the backstop).
             self.stale_manifests.push(abandoned);
             self.scavenge_stale_manifests();
+            // Count the re-cut now, not on recommit success: each completed
+            // cut absorbed exactly one fault (the one that tore the writer it
+            // replaced), even if the re-appended edit's own sync fails next
+            // and a further re-cut — or the caller's error — covers *that*
+            // fault. Counting per successful recommit instead undercounts
+            // when one healing sequence absorbs two faults, which breaks any
+            // audit matching faults against `errors + recuts`.
+            self.recuts += 1;
+            if let Some(sink) = &self.sink {
+                sink.emit(EngineEvent::ManifestRecut {
+                    abandoned,
+                    new_manifest: self.manifest_number,
+                    snapshot_tables: self.current.num_tables() as u64,
+                });
+            }
             // The re-cut consumed a file number; refresh the counters so the
             // re-appended record never understates them.
             edit.next_file_number = Some(self.next_file_number);
@@ -715,17 +777,7 @@ impl VersionSet {
                 ));
             };
             match manifest.add_record(&payload).and_then(|()| manifest.sync()) {
-                Ok(()) => {
-                    self.recuts += 1;
-                    if let Some(sink) = &self.sink {
-                        sink.emit(EngineEvent::ManifestRecut {
-                            abandoned,
-                            new_manifest: self.manifest_number,
-                            snapshot_tables: self.current.num_tables() as u64,
-                        });
-                    }
-                    return Ok(());
-                }
+                Ok(()) => return Ok(()),
                 Err(e) => {
                     // The fresh MANIFEST is torn now too; abandon it and
                     // (maybe) cut another.
@@ -762,6 +814,14 @@ impl VersionSet {
     /// this returns, `dir` opens as an independent database whose contents
     /// are exactly the write prefix at `last_sequence`.
     ///
+    /// `vlog_dead` is the dead-byte ledger to carry for the segments the
+    /// checkpoint actually linked, so the restored database's space
+    /// accounting (and eventual retirement) picks up where the source left
+    /// off. It must come from the frozen copy [`VersionSet::pin_checkpoint`]
+    /// captured — NOT from the live ledger, which a compaction committing
+    /// after the pin may have advanced past what the pinned tables still
+    /// reference — filtered to the segments placed in `dir`.
+    ///
     /// CURRENT is written last, via temp-file + atomic rename: a crash
     /// anywhere before the rename leaves a directory without CURRENT,
     /// which recovery (and the backup tool) treat as ignorable garbage.
@@ -775,8 +835,8 @@ impl VersionSet {
         dir: &str,
         version: &Arc<Version>,
         last_sequence: u64,
+        vlog_dead: Vec<(u64, u64, u64)>,
     ) -> Result<()> {
-        let linked: HashSet<u64> = self.vlog_segments.keys().copied().collect();
         let edit = VersionEdit {
             next_file_number: Some(self.next_file_number),
             next_table_id: Some(self.next_table_id),
@@ -787,19 +847,7 @@ impl VersionSet {
                 .all_tables()
                 .map(|(level, tag, meta)| (level as u32, tag, meta.as_ref().clone()))
                 .collect(),
-            // Carry the dead-byte ledger for the segments the checkpoint
-            // linked, so the restored database's space accounting (and
-            // eventual retirement) picks up where the source left off.
-            vlog_dead: self
-                .vlog_segments
-                .iter()
-                .filter(|(segment, _)| linked.contains(segment))
-                .flat_map(|(&segment, info)| {
-                    info.dead
-                        .iter()
-                        .map(move |(offset, len)| (segment, offset, len))
-                })
-                .collect(),
+            vlog_dead,
             ..Default::default()
         };
         const CHECKPOINT_MANIFEST: u64 = 1;
@@ -987,7 +1035,11 @@ impl VersionSet {
         self.manifest_number
     }
 
-    /// Successful self-healing MANIFEST re-cuts since open (O5).
+    /// Self-healing MANIFEST re-cuts since open (O5): fresh manifests cut
+    /// to absorb a torn commit, counted per completed cut. One commit can
+    /// drive several (the re-appended edit's own sync may fail too), so
+    /// every fault is covered by exactly one re-cut or one caller-visible
+    /// error — never silently by a sibling's re-cut.
     pub fn manifest_recuts(&self) -> u64 {
         self.recuts
     }
@@ -1228,6 +1280,117 @@ mod tests {
         vs.clear_pending(f);
         vs.collect_garbage(&cache);
         assert!(!env.file_exists(&path));
+    }
+
+    #[test]
+    fn link_count_suppresses_punch_across_restart() {
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+        let cache = test_cache(&env);
+        let (f, ta, path) = {
+            let mut vs = new_set(&env);
+            let f = vs.new_file_number();
+            let path = table_file("db", f);
+            let mut file = env.new_writable_file(&path).unwrap();
+            file.append(&[0xaa; 2048]).unwrap();
+            file.sync().unwrap();
+            drop(file);
+            let (ta, tb) = (vs.new_table_id(), vs.new_table_id());
+            let mut edit = VersionEdit::default();
+            edit.added_tables.push((0, 1, meta(ta, f, 0, 1024)));
+            edit.added_tables.push((0, 2, meta(tb, f, 1024, 1024)));
+            vs.log_and_apply(edit).unwrap();
+            (f, ta, path)
+        };
+        // A checkpoint taken by a previous process hard-linked the file; the
+        // next process starts with an empty in-memory linked set, so only
+        // the inode link count can tell it the file is shared.
+        env.create_dir_all("ckpt").unwrap();
+        env.link_file(&path, &table_file("ckpt", f)).unwrap();
+
+        let mut vs = VersionSet::new(Arc::clone(&env), "db", InternalKeyComparator::default(), 7);
+        vs.recover().unwrap();
+        let mut edit = VersionEdit::default();
+        edit.deleted_tables.push((0, ta));
+        vs.log_and_apply(edit).unwrap();
+        vs.collect_garbage(&cache);
+        assert_eq!(
+            env.stats().snapshot().holes_punched,
+            0,
+            "a shared inode must never be punched"
+        );
+        let linked = env.new_random_access_file(&table_file("ckpt", f)).unwrap();
+        assert!(linked.read(0, 1024).unwrap().iter().all(|&b| b == 0xaa));
+
+        // Deleting the checkpoint's link drops the count to one: punching
+        // resumes on the next pass (nothing was marked punched above).
+        env.delete_file(&table_file("ckpt", f)).unwrap();
+        vs.collect_garbage(&cache);
+        assert_eq!(env.stats().snapshot().holes_punched, 1);
+        let r = env.new_random_access_file(&path).unwrap();
+        assert!(r.read(0, 1024).unwrap().iter().all(|&b| b == 0));
+        assert!(r.read(1024, 1024).unwrap().iter().all(|&b| b == 0xaa));
+    }
+
+    #[test]
+    fn checkpoint_manifest_freezes_vlog_dead_at_pin_time() {
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+        let mut vs = new_set(&env);
+        let mut file = env.new_writable_file(&vlog_file("db", 5)).unwrap();
+        file.append(&[0xbb; 4096]).unwrap();
+        file.sync().unwrap();
+        drop(file);
+        vs.register_vlog_segment(5);
+        vs.seal_vlog_segment(5, 4096);
+        let mut edit = VersionEdit::default();
+        edit.vlog_dead.push((5, 0, 100));
+        let version = vs.log_and_apply(edit).unwrap();
+
+        let (pin, ledger) = vs.pin_checkpoint(&version);
+        assert_eq!(ledger.len(), 1);
+        assert_eq!(ledger[0].0, 5);
+        assert_eq!(ledger[0].1.iter().collect::<Vec<_>>(), vec![(0, 100)]);
+
+        // A compaction commits between the pin and the manifest write: more
+        // of segment 5 dies and a new segment 6 appears with dead bytes.
+        // Neither may leak into the checkpoint's manifest.
+        let mut file = env.new_writable_file(&vlog_file("db", 6)).unwrap();
+        file.append(&[0xcc; 512]).unwrap();
+        file.sync().unwrap();
+        drop(file);
+        vs.register_vlog_segment(6);
+        vs.seal_vlog_segment(6, 512);
+        let mut edit = VersionEdit::default();
+        edit.vlog_dead.push((5, 100, 200));
+        edit.vlog_dead.push((6, 0, 50));
+        vs.log_and_apply(edit).unwrap();
+
+        // What do_checkpoint does: link exactly the frozen ledger's
+        // segments and write the manifest from the frozen dead ranges.
+        env.create_dir_all("ckpt").unwrap();
+        let mut vlog_dead = Vec::new();
+        for (segment, dead) in &ledger {
+            let src = vlog_file("db", *segment);
+            assert!(env.file_exists(&src));
+            env.link_file(&src, &vlog_file("ckpt", *segment)).unwrap();
+            vlog_dead.extend(dead.iter().map(|(offset, len)| (*segment, offset, len)));
+        }
+        vs.write_checkpoint_manifest("ckpt", &version, 42, vlog_dead)
+            .unwrap();
+        vs.unpin_checkpoint(pin);
+
+        let mut ckpt =
+            VersionSet::new(Arc::clone(&env), "ckpt", InternalKeyComparator::default(), 7);
+        ckpt.recover().unwrap();
+        let seg5 = &ckpt.vlog_segments()[&5];
+        assert_eq!(
+            seg5.dead.total(),
+            100,
+            "post-pin dead ranges must not reach the checkpoint manifest"
+        );
+        assert!(
+            !ckpt.has_vlog_segment(6),
+            "a segment the checkpoint never linked must not be referenced"
+        );
     }
 
     #[test]
@@ -1476,7 +1639,11 @@ mod tests {
         vs.log_and_apply(edit)
             .expect("second re-cut lands the edit");
         assert_eq!(fault.faults_injected(), 2);
-        assert_eq!(vs.manifest_recuts(), 1, "one successful re-cut");
+        assert_eq!(
+            vs.manifest_recuts(),
+            2,
+            "one re-cut per absorbed fault: the commit's and the recommit's"
+        );
         assert_eq!(vs.current().num_tables(), 1);
     }
 
@@ -1546,7 +1713,11 @@ mod tests {
             "exhaustion message, got: {err:?}"
         );
         assert_eq!(fault.faults_injected(), 3);
-        assert_eq!(vs.manifest_recuts(), 0);
+        assert_eq!(
+            vs.manifest_recuts(),
+            2,
+            "both completed cuts count; the third fault surfaced as the error"
+        );
     }
 
     #[test]

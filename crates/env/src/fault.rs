@@ -772,6 +772,11 @@ impl Env for FaultEnv {
         }
     }
 
+    fn link_count(&self, path: &str) -> Result<u64> {
+        self.state.check_crashed()?;
+        self.inner.link_count(path)
+    }
+
     fn create_dir_all(&self, path: &str) -> Result<()> {
         self.state.check_crashed()?;
         self.inner.create_dir_all(path)

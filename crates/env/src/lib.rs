@@ -77,7 +77,7 @@ pub use stats::{IoSnapshot, IoStats};
 
 use std::sync::Arc;
 
-use bolt_common::Result;
+use bolt_common::{Error, Result};
 
 /// A writable, append-only file handle.
 ///
@@ -260,6 +260,29 @@ pub trait Env: Send + Sync {
         out.sync()
     }
 
+    /// Number of names (hard links) referencing `path`'s inode.
+    ///
+    /// The engine consults this before hole-punching: a count above one
+    /// means another name — typically a checkpoint directory, possibly
+    /// created before this process started — shares the bytes, and a punch
+    /// through the shared inode would corrupt that copy.
+    ///
+    /// The default returns 1, which is correct for any environment using
+    /// the default (copying) [`Env::link_file`]. Implementations that
+    /// override `link_file` with true hard links MUST override this too,
+    /// or linked files lose their punch protection after a restart.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`bolt_common::Error::NotFound`] if the file does not exist.
+    fn link_count(&self, path: &str) -> Result<u64> {
+        if self.file_exists(path) {
+            Ok(1)
+        } else {
+            Err(Error::NotFound)
+        }
+    }
+
     /// The I/O counters of this environment.
     fn stats(&self) -> &IoStats;
 
@@ -356,15 +379,24 @@ mod tests {
         // Link: both names read the same (immutable) content, and deleting
         // one name leaves the other intact.
         env.create_dir_all("db/ckpt").unwrap();
+        assert_eq!(env.link_count("db/b.txt").unwrap(), 1);
         env.link_file("db/b.txt", "db/ckpt/b.txt").unwrap();
         assert!(env.file_exists("db/b.txt"));
         assert!(env.file_exists("db/ckpt/b.txt"));
         assert_eq!(env.file_size("db/ckpt/b.txt").unwrap(), 12);
+        // Hard-link envs report the shared inode through either name; an
+        // env whose link_file copies reports 1 for both — both answers keep
+        // punch suppression truthful.
+        let links = env.link_count("db/b.txt").unwrap();
+        assert_eq!(links, env.link_count("db/ckpt/b.txt").unwrap());
+        assert!((1..=2).contains(&links));
+        assert!(env.link_count("db/missing").is_err());
         let r = env.new_random_access_file("db/ckpt/b.txt").unwrap();
         assert_eq!(r.read(0, 12).unwrap(), b"hello world!");
         assert!(env.link_file("db/missing", "db/ckpt/missing").is_err());
         env.delete_file("db/b.txt").unwrap();
         assert!(env.file_exists("db/ckpt/b.txt"));
+        assert_eq!(env.link_count("db/ckpt/b.txt").unwrap(), 1);
         assert_eq!(
             env.new_random_access_file("db/ckpt/b.txt")
                 .unwrap()

@@ -250,6 +250,14 @@ impl Env for MemEnv {
         Ok(())
     }
 
+    fn link_count(&self, path: &str) -> Result<u64> {
+        // The inode is the shared `Arc<MemFile>`; every map entry holding
+        // the same allocation is a name for it.
+        let files = self.files.read();
+        let target = files.get(path).ok_or(Error::NotFound)?;
+        Ok(files.values().filter(|f| Arc::ptr_eq(f, target)).count() as u64)
+    }
+
     fn create_dir_all(&self, _path: &str) -> Result<()> {
         Ok(())
     }

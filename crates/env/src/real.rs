@@ -186,6 +186,10 @@ impl Env for RealEnv {
         Ok(())
     }
 
+    // True hard links only where the link count is also observable
+    // (`link_count` below); elsewhere the trait's copying default keeps
+    // punch suppression truthful — a copy has no shared inode to protect.
+    #[cfg(unix)]
     fn link_file(&self, src: &str, dst: &str) -> Result<()> {
         let src = self.resolve(src);
         if !src.exists() {
@@ -199,6 +203,16 @@ impl Env for RealEnv {
         }
         std::fs::hard_link(&src, &dst)?;
         Ok(())
+    }
+
+    #[cfg(unix)]
+    fn link_count(&self, path: &str) -> Result<u64> {
+        use std::os::unix::fs::MetadataExt;
+        let full = self.resolve(path);
+        if !full.exists() {
+            return Err(Error::NotFound);
+        }
+        Ok(std::fs::metadata(full)?.nlink())
     }
 
     fn create_dir_all(&self, path: &str) -> Result<()> {

@@ -320,6 +320,10 @@ impl Env for SimEnv {
         self.inner.link_file(src, dst)
     }
 
+    fn link_count(&self, path: &str) -> Result<u64> {
+        self.inner.link_count(path)
+    }
+
     fn create_dir_all(&self, path: &str) -> Result<()> {
         self.inner.create_dir_all(path)
     }

@@ -31,7 +31,7 @@
 
 use std::sync::Arc;
 
-use bolt_common::crc32c::crc32c;
+use bolt_common::crc32c::extend;
 use bolt_common::{Error, Result};
 use bolt_core::Db;
 use bolt_env::{join_path, Env};
@@ -118,34 +118,31 @@ fn read_file_chunks(
     Ok(len)
 }
 
-/// CRC32C of a whole file's contents.
+/// CRC32C of a whole file's contents, streamed chunk-at-a-time —
+/// `extend` chains so memory stays O(CHUNK) regardless of file size, and
+/// an empty file hashes to 0 (extend over nothing leaves the seed).
 fn file_crc(env: &dyn Env, path: &str) -> Result<(u64, u32)> {
     let mut crc = 0u32;
-    let mut data = Vec::new();
     let size = read_file_chunks(env, path, |chunk| {
-        data.extend_from_slice(chunk);
+        crc = extend(crc, chunk);
         Ok(())
     })?;
-    if !data.is_empty() {
-        crc = crc32c(&data);
-    }
     Ok((size, crc))
 }
 
 /// Copy `src` to `dst` via temp-file + rename so `dst`'s existence implies
-/// a complete, synced copy. Returns the CRC of the bytes written.
+/// a complete, synced copy. Returns the streamed CRC of the bytes written.
 fn copy_committed(env: &dyn Env, src: &str, dst: &str) -> Result<(u64, u32)> {
     let tmp = format!("{dst}.tmp");
     let mut out = env.new_writable_file(&tmp)?;
-    let mut data = Vec::new();
+    let mut crc = 0u32;
     let size = read_file_chunks(env, src, |chunk| {
-        data.extend_from_slice(chunk);
+        crc = extend(crc, chunk);
         out.append(chunk)
     })?;
     out.sync()?;
     drop(out);
     env.rename_file(&tmp, dst)?;
-    let crc = if data.is_empty() { 0 } else { crc32c(&data) };
     Ok((size, crc))
 }
 
@@ -436,6 +433,39 @@ mod tests {
             it.next().unwrap();
         }
         out
+    }
+
+    #[test]
+    fn streamed_crc_matches_one_shot_across_chunks() {
+        use bolt_common::crc32c::crc32c;
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+        env.create_dir_all("d").unwrap();
+        // Spans three read chunks (with a ragged tail) so the test fails if
+        // chunked `extend` chaining ever diverges from hashing the whole
+        // file at once.
+        let body: Vec<u8> = (0..(2 * CHUNK + CHUNK / 3))
+            .map(|i| (i * 31 % 251) as u8)
+            .collect();
+        let mut f = env.new_writable_file("d/big").unwrap();
+        f.append(&body).unwrap();
+        f.sync().unwrap();
+        drop(f);
+
+        let (size, crc) = file_crc(env.as_ref(), "d/big").unwrap();
+        assert_eq!(size, body.len() as u64);
+        assert_eq!(crc, crc32c(&body));
+
+        let (size, crc) = copy_committed(env.as_ref(), "d/big", "d/copy").unwrap();
+        assert_eq!(size, body.len() as u64);
+        assert_eq!(crc, crc32c(&body));
+        let copy = env.new_random_access_file("d/copy").unwrap();
+        assert_eq!(copy.read(0, body.len()).unwrap(), body);
+
+        // Empty file: no chunks ever reach the hasher; crc stays 0.
+        let mut f = env.new_writable_file("d/empty").unwrap();
+        f.sync().unwrap();
+        drop(f);
+        assert_eq!(file_crc(env.as_ref(), "d/empty").unwrap(), (0, 0));
     }
 
     #[test]

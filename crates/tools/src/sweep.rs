@@ -563,6 +563,14 @@ fn run_workload(env: &FaultEnv, opts: &Options, marks: bool, checkpoint: bool) -
             }
         }
     }
+    if db.close().is_err() {
+        out.errors += 1;
+    }
+    // Capture coverage only after close() has joined the background
+    // thread: a MANIFEST re-cut absorbing an injected sync error can land
+    // in a late background compaction, and snapshotting `manifest_recuts`
+    // before the join undercounts it — making a correctly-absorbed fault
+    // look swallowed.
     let s = db.stats().snapshot();
     out.stats = SweepCoverage {
         flushes: s.flushes,
@@ -575,9 +583,6 @@ fn run_workload(env: &FaultEnv, opts: &Options, marks: bool, checkpoint: bool) -
         range_deletes: s.range_deletes,
         checkpoints: s.checkpoints,
     };
-    if db.close().is_err() {
-        out.errors += 1;
-    }
     out
 }
 
